@@ -1,0 +1,126 @@
+//! Property tests for the ROBDD engine: the Boolean algebra of
+//! [`BddManager`] operations must agree with formula semantics, and
+//! canonicity must identify equivalent formulas.
+
+use proptest::prelude::*;
+use revkb_bdd::{to_formula_definitional, to_formula_shannon, BddManager, FALSE, TRUE};
+use revkb_logic::{tt_equivalent, Alphabet, CountingSupply, Formula, Var};
+
+fn formula_strategy(num_vars: u32, depth: u32) -> BoxedStrategy<Formula> {
+    let leaf = prop_oneof![
+        4 => (0..num_vars, any::<bool>()).prop_map(|(v, pos)| Formula::lit(Var(v), pos)),
+        1 => Just(Formula::True),
+        1 => Just(Formula::False),
+    ]
+    .boxed();
+    leaf.prop_recursive(depth, 24, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.and(b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.or(b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.implies(b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.iff(b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.xor(b)),
+            inner.prop_map(|a| a.not()),
+        ]
+        .boxed()
+    })
+    .boxed()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, .. ProptestConfig::default() })]
+
+    /// Canonicity: equivalent formulas land on the same node; only
+    /// equivalent formulas do.
+    #[test]
+    fn canonicity(a in formula_strategy(5, 3), b in formula_strategy(5, 3)) {
+        let mut mgr = BddManager::with_order((0..5).map(Var));
+        let na = mgr.from_formula(&a);
+        let nb = mgr.from_formula(&b);
+        prop_assert_eq!(na == nb, tt_equivalent(&a, &b));
+    }
+
+    /// Boolean algebra: BDD ops match formula ops pointwise.
+    #[test]
+    fn algebra_matches_semantics(a in formula_strategy(4, 3), b in formula_strategy(4, 3)) {
+        let alpha = Alphabet::new((0..4).map(Var).collect());
+        let mut mgr = BddManager::with_order((0..4).map(Var));
+        let na = mgr.from_formula(&a);
+        let nb = mgr.from_formula(&b);
+        let and = mgr.and(na, nb);
+        let or = mgr.or(na, nb);
+        let xor = mgr.xor(na, nb);
+        let not_a = mgr.not(na);
+        let ite = mgr.ite(na, nb, not_a);
+        for mask in 0..16u64 {
+            let m = alpha.mask_to_interpretation(mask);
+            let (va, vb) = (alpha.eval_mask(&a, mask), alpha.eval_mask(&b, mask));
+            prop_assert_eq!(mgr.model_check(and, &m), va && vb);
+            prop_assert_eq!(mgr.model_check(or, &m), va || vb);
+            prop_assert_eq!(mgr.model_check(xor, &m), va ^ vb);
+            prop_assert_eq!(mgr.model_check(not_a, &m), !va);
+            prop_assert_eq!(mgr.model_check(ite, &m), if va { vb } else { !va });
+        }
+    }
+
+    /// Quantification: ∃x.f and ∀x.f match the cofactor semantics.
+    #[test]
+    fn quantification(f in formula_strategy(4, 3), idx in 0u32..4) {
+        let mut mgr = BddManager::with_order((0..4).map(Var));
+        let n = mgr.from_formula(&f);
+        let v = Var(idx);
+        let hi = mgr.restrict(n, v, true);
+        let lo = mgr.restrict(n, v, false);
+        let exists = mgr.exists(n, &[v]);
+        let forall = mgr.forall(n, &[v]);
+        let or = mgr.or(hi, lo);
+        let and = mgr.and(hi, lo);
+        prop_assert_eq!(exists, or);
+        prop_assert_eq!(forall, and);
+    }
+
+    /// Model counting equals enumeration; any_model is a model.
+    #[test]
+    fn counting_and_witnesses(f in formula_strategy(5, 3)) {
+        let alpha = Alphabet::new((0..5).map(Var).collect());
+        let mut mgr = BddManager::with_order((0..5).map(Var));
+        let n = mgr.from_formula(&f);
+        prop_assert_eq!(mgr.count_models(n), alpha.models(&f).len() as u128);
+        match mgr.any_model(n) {
+            Some(m) => prop_assert!(f.eval(&m)),
+            None => prop_assert_eq!(n, FALSE),
+        }
+        if n == TRUE {
+            prop_assert_eq!(mgr.count_models(n), 32);
+        }
+    }
+
+    /// Both extraction routes reproduce the function.
+    #[test]
+    fn extraction_roundtrips(f in formula_strategy(4, 3)) {
+        let mut mgr = BddManager::with_order((0..4).map(Var));
+        let n = mgr.from_formula(&f);
+        let shannon = to_formula_shannon(&mgr, n);
+        prop_assert!(tt_equivalent(&f, &shannon));
+        let mut supply = CountingSupply::new(100);
+        let defs = to_formula_definitional(&mgr, n, &mut supply);
+        // Query equivalence over the original letters. The projection
+        // alphabet must contain every base letter even when f doesn't
+        // mention it (free letters stay free on both sides).
+        let base: Vec<Var> = (0..4).map(Var).collect();
+        let mut union = defs.vars();
+        f.collect_vars(&mut union);
+        union.extend(base.iter().copied());
+        let full = Alphabet::new(union.into_iter().collect());
+        prop_assume!(full.len() <= 20);
+        let base_alpha = Alphabet::new(base);
+        let mut projected: Vec<u64> = full
+            .models(&defs)
+            .into_iter()
+            .map(|m| full.project_mask(m, &base_alpha))
+            .collect();
+        projected.sort_unstable();
+        projected.dedup();
+        prop_assert_eq!(projected, base_alpha.models(&f));
+    }
+}

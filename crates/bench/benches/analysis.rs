@@ -1,0 +1,77 @@
+//! Timing of the analysis machinery: exact two-level minimisation,
+//! Horn closure, direct model checking, and the §4.2 disjunct-pruning
+//! pass.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use revkb_logic::{Alphabet, Formula, Var};
+use revkb_revision::compact::{prune_disjuncts, winslett_bounded};
+use revkb_revision::minimize::minimum_dnf;
+use revkb_revision::{horn_lub, model_check, ModelBasedOp, ModelSet};
+
+fn bench_minimize(c: &mut Criterion) {
+    let mut group = c.benchmark_group("quine_mccluskey");
+    group.sample_size(10);
+    let mut rng = StdRng::seed_from_u64(6);
+    // QM's pairwise combining explodes with dense on-sets; keep the
+    // bench at sparse densities and modest alphabets.
+    for n in [5usize, 6, 7] {
+        let minterms: Vec<u64> = (0..1u64 << n).filter(|_| rng.gen_bool(0.15)).collect();
+        group.bench_with_input(BenchmarkId::new("min_dnf", n), &minterms, |b, ms| {
+            b.iter(|| minimum_dnf(ms, n).literal_count())
+        });
+    }
+    group.finish();
+}
+
+fn bench_horn(c: &mut Criterion) {
+    let mut group = c.benchmark_group("horn_closure");
+    group.sample_size(10);
+    let mut rng = StdRng::seed_from_u64(7);
+    for n in [6usize, 8] {
+        let alpha = Alphabet::new((0..n as u32).map(Var).collect());
+        let masks: Vec<u64> = (0..1u64 << n).filter(|_| rng.gen_bool(0.2)).collect();
+        let ms = ModelSet::new(alpha, masks);
+        group.bench_with_input(BenchmarkId::new("lub", n), &ms, |b, ms| {
+            b.iter(|| horn_lub(ms).len())
+        });
+    }
+    group.finish();
+}
+
+fn bench_model_check(c: &mut Criterion) {
+    let mut group = c.benchmark_group("direct_model_check");
+    let n = 12u32;
+    let t = Formula::and_all((0..n).map(|i| Formula::var(Var(i))));
+    let p = Formula::var(Var(0)).not().or(Formula::var(Var(1)).not());
+    let m: revkb_logic::Interpretation = (1..n).map(Var).collect();
+    for op in [ModelBasedOp::Dalal, ModelBasedOp::Weber, ModelBasedOp::Winslett] {
+        group.bench_function(BenchmarkId::new(op.name(), n), |b| {
+            b.iter(|| model_check(op, &m, &t, &p).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_prune(c: &mut Criterion) {
+    let mut group = c.benchmark_group("disjunct_pruning");
+    for n in [8u32, 16] {
+        let t = Formula::and_all((0..n).map(|i| Formula::var(Var(i))));
+        let p = Formula::var(Var(0)).not().or(Formula::var(Var(1)).not());
+        let rep = winslett_bounded(&t, &p);
+        group.bench_with_input(BenchmarkId::new("winslett_f5", n), &rep, |b, rep| {
+            b.iter(|| prune_disjuncts(rep).size())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_minimize,
+    bench_horn,
+    bench_model_check,
+    bench_prune
+);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Timing of the semantic (oracle) revision operators and the
+//! formula-based world enumeration — the per-operator cost behind
+//! Table 1's rows and Figure 1's sweep.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use revkb_instances::{random_satisfiable, NebelExample};
+use revkb_logic::Alphabet;
+use revkb_revision::{possible_worlds, revise_on, ModelBasedOp};
+
+fn bench_model_based(c: &mut Criterion) {
+    let mut group = c.benchmark_group("semantic_revision");
+    let mut rng = StdRng::seed_from_u64(1);
+    for n in [6usize, 8, 10] {
+        let t = random_satisfiable(&mut rng, 3, n as u32, 0);
+        let p = random_satisfiable(&mut rng, 3, n as u32, 0);
+        let alpha = Alphabet::of_formulas([&t, &p]);
+        for op in ModelBasedOp::ALL {
+            group.bench_with_input(
+                BenchmarkId::new(op.name(), n),
+                &(&t, &p),
+                |b, (t, p)| b.iter(|| revise_on(op, &alpha, t, p)),
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_gfuv_worlds(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gfuv_possible_worlds");
+    group.sample_size(10);
+    for m in [3usize, 5, 7] {
+        let ex = NebelExample::new(m);
+        group.bench_with_input(BenchmarkId::new("nebel", m), &ex, |b, ex| {
+            b.iter(|| possible_worlds(&ex.t, &ex.p, 1 << 12).unwrap().len())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_model_based, bench_gfuv_worlds);
+criterion_main!(benches);

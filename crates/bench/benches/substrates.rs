@@ -1,0 +1,70 @@
+//! Timing of the substrates: CDCL solving, Tseitin transformation,
+//! BDD construction, and the EXA distance circuit.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use revkb_bdd::BddManager;
+use revkb_circuits::exa;
+use revkb_instances::random_kcnf;
+use revkb_logic::{tseitin_auto, CountingSupply, Var};
+
+fn bench_sat(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cdcl_sat");
+    let mut rng = StdRng::seed_from_u64(2);
+    // Random 3-SAT near the phase transition (m/n ≈ 4.26).
+    for n in [40u32, 80, 120] {
+        let m = (n as f64 * 4.26) as usize;
+        let f = random_kcnf(&mut rng, n, m, 3);
+        group.bench_with_input(BenchmarkId::new("random3sat", n), &f, |b, f| {
+            b.iter(|| revkb_sat::satisfiable(f))
+        });
+    }
+    group.finish();
+}
+
+fn bench_tseitin(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tseitin");
+    let mut rng = StdRng::seed_from_u64(3);
+    for n in [50u32, 100] {
+        let f = random_kcnf(&mut rng, n, 4 * n as usize, 3);
+        group.bench_with_input(BenchmarkId::new("kcnf", n), &f, |b, f| {
+            b.iter(|| tseitin_auto(f).len())
+        });
+    }
+    group.finish();
+}
+
+fn bench_bdd(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bdd_build");
+    let mut rng = StdRng::seed_from_u64(4);
+    for n in [10u32, 14, 18] {
+        let f = random_kcnf(&mut rng, n, 2 * n as usize, 3);
+        group.bench_with_input(BenchmarkId::new("kcnf", n), &f, |b, f| {
+            b.iter(|| {
+                let mut mgr = BddManager::new();
+                let node = mgr.from_formula(f);
+                mgr.size(node)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_exa(c: &mut Criterion) {
+    let mut group = c.benchmark_group("exa_circuit");
+    for n in [16usize, 64, 256] {
+        let xs: Vec<Var> = (0..n as u32).map(Var).collect();
+        let ys: Vec<Var> = (n as u32..2 * n as u32).map(Var).collect();
+        group.bench_with_input(BenchmarkId::new("build", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut supply = CountingSupply::new(4 * n as u32);
+                exa(n / 2, &xs, &ys, &mut supply).size()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sat, bench_tseitin, bench_bdd, bench_exa);
+criterion_main!(benches);

@@ -1,0 +1,227 @@
+//! # revkb-bench
+//!
+//! Shared measurement machinery for the table-generator binaries
+//! (`table1`, `table2`, `figure1`, `section7`) and the Criterion
+//! benches. The binaries regenerate the paper's Table 1, Table 2 and
+//! Figure 1; the Criterion benches time the substrates and
+//! constructions.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use serde::Serialize;
+
+/// A measured size series: representation size as a function of the
+/// scaling parameter.
+#[derive(Debug, Clone, Serialize)]
+pub struct Series {
+    /// What was measured.
+    pub label: String,
+    /// Scaling parameter values (`n` or `m`).
+    pub xs: Vec<f64>,
+    /// Measured sizes.
+    pub ys: Vec<f64>,
+}
+
+/// Growth classification of a size series.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub enum Growth {
+    /// Fits `y ≈ a·x^b` better: polynomial with the fitted degree.
+    Polynomial {
+        /// Fitted exponent `b`.
+        degree: f64,
+    },
+    /// Fits `y ≈ a·base^x` better: exponential with the fitted base.
+    Exponential {
+        /// Fitted base.
+        base: f64,
+    },
+}
+
+impl std::fmt::Display for Growth {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Growth::Polynomial { degree } => write!(f, "polynomial (≈ n^{degree:.1})"),
+            Growth::Exponential { base } => write!(f, "EXPONENTIAL (≈ {base:.2}^n)"),
+        }
+    }
+}
+
+/// Least-squares fit of `y = a + b·x`; returns `(a, b, sse)`.
+fn linfit(xs: &[f64], ys: &[f64]) -> (f64, f64, f64) {
+    let n = xs.len() as f64;
+    let sx: f64 = xs.iter().sum();
+    let sy: f64 = ys.iter().sum();
+    let sxx: f64 = xs.iter().map(|x| x * x).sum();
+    let sxy: f64 = xs.iter().zip(ys).map(|(x, y)| x * y).sum();
+    let denom = n * sxx - sx * sx;
+    let b = if denom.abs() < 1e-12 {
+        0.0
+    } else {
+        (n * sxy - sx * sy) / denom
+    };
+    let a = (sy - b * sx) / n;
+    let sse: f64 = xs
+        .iter()
+        .zip(ys)
+        .map(|(x, y)| {
+            let e = y - (a + b * x);
+            e * e
+        })
+        .sum();
+    (a, b, sse)
+}
+
+/// Classify a positive, growing series as polynomial or exponential by
+/// comparing the least-squares fit of `log y` against `log x`
+/// (polynomial model) and against `x` (exponential model).
+pub fn classify_growth(xs: &[f64], ys: &[f64]) -> Growth {
+    assert!(xs.len() >= 3, "need at least 3 points to classify");
+    let logy: Vec<f64> = ys.iter().map(|&y| y.max(1.0).ln()).collect();
+    let logx: Vec<f64> = xs.iter().map(|&x| x.max(1.0).ln()).collect();
+    let (_, poly_deg, poly_sse) = linfit(&logx, &logy);
+    let (_, exp_slope, exp_sse) = linfit(xs, &logy);
+    // Prefer the model with the smaller residual; an exponential fit
+    // with base ≈ 1 is really polynomial-or-flat.
+    if exp_sse < poly_sse && exp_slope.exp() > 1.25 {
+        Growth::Exponential {
+            base: exp_slope.exp(),
+        }
+    } else {
+        Growth::Polynomial { degree: poly_deg }
+    }
+}
+
+impl Series {
+    /// New series.
+    pub fn new(label: impl Into<String>) -> Self {
+        Self {
+            label: label.into(),
+            xs: Vec::new(),
+            ys: Vec::new(),
+        }
+    }
+
+    /// Append a data point.
+    pub fn push(&mut self, x: f64, y: f64) {
+        self.xs.push(x);
+        self.ys.push(y);
+    }
+
+    /// Classify the growth of the series.
+    pub fn growth(&self) -> Growth {
+        classify_growth(&self.xs, &self.ys)
+    }
+
+    /// Render `x→y` pairs compactly.
+    pub fn render(&self) -> String {
+        self.xs
+            .iter()
+            .zip(&self.ys)
+            .map(|(x, y)| format!("{x:.0}→{y:.0}"))
+            .collect::<Vec<_>>()
+            .join("  ")
+    }
+}
+
+/// One cell of a compactability table.
+#[derive(Debug, Clone, Serialize)]
+pub struct Cell {
+    /// The paper's verdict for the cell ("YES"/"NO").
+    pub paper_claim: &'static str,
+    /// The theorem or result backing the claim.
+    pub reference: &'static str,
+    /// What this run measured.
+    pub series: Vec<Series>,
+    /// Whether the measurement is consistent with the claim.
+    pub consistent: bool,
+    /// One-line explanation of the evidence.
+    pub evidence: String,
+}
+
+/// A whole table for serialisation.
+#[derive(Debug, Clone, Serialize)]
+pub struct TableReport {
+    /// Table name.
+    pub table: String,
+    /// Row label → column label → cell.
+    pub rows: Vec<(String, Vec<(String, Cell)>)>,
+}
+
+impl TableReport {
+    /// Write the report as JSON next to the repo's bench outputs.
+    pub fn write_json(&self, path: &str) -> std::io::Result<()> {
+        let json = serde_json::to_string_pretty(self).expect("serialise report");
+        std::fs::write(path, json)
+    }
+}
+
+/// Print a paper-style YES/NO grid.
+pub fn print_grid(title: &str, columns: &[&str], rows: &[(String, Vec<(String, Cell)>)]) {
+    println!("== {title} ==");
+    print!("{:<22}", "Formalism");
+    for c in columns {
+        print!("{c:>26}");
+    }
+    println!();
+    println!("{}", "-".repeat(22 + 26 * columns.len()));
+    for (row_label, cells) in rows {
+        print!("{row_label:<22}");
+        for (_, cell) in cells {
+            let mark = if cell.consistent { "" } else { " (!)" };
+            print!("{:>26}", format!("{}{} {}", cell.paper_claim, mark, cell.reference));
+        }
+        println!();
+    }
+    println!();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classifies_polynomial() {
+        let xs: Vec<f64> = (1..=10).map(|x| x as f64).collect();
+        let quad: Vec<f64> = xs.iter().map(|x| 3.0 * x * x).collect();
+        match classify_growth(&xs, &quad) {
+            Growth::Polynomial { degree } => assert!((degree - 2.0).abs() < 0.2),
+            g => panic!("misclassified quadratic as {g:?}"),
+        }
+        let lin: Vec<f64> = xs.iter().map(|x| 7.0 * x + 2.0).collect();
+        assert!(matches!(
+            classify_growth(&xs, &lin),
+            Growth::Polynomial { .. }
+        ));
+    }
+
+    #[test]
+    fn classifies_exponential() {
+        let xs: Vec<f64> = (1..=10).map(|x| x as f64).collect();
+        let exp: Vec<f64> = xs.iter().map(|x| 2f64.powf(*x)).collect();
+        match classify_growth(&xs, &exp) {
+            Growth::Exponential { base } => assert!((base - 2.0).abs() < 0.2),
+            g => panic!("misclassified exponential as {g:?}"),
+        }
+    }
+
+    #[test]
+    fn constant_series_is_polynomial() {
+        let xs: Vec<f64> = (1..=6).map(|x| x as f64).collect();
+        let ys = vec![5.0; 6];
+        assert!(matches!(
+            classify_growth(&xs, &ys),
+            Growth::Polynomial { .. }
+        ));
+    }
+
+    #[test]
+    fn series_round_trip() {
+        let mut s = Series::new("test");
+        for i in 1..=5 {
+            s.push(i as f64, (i * i) as f64);
+        }
+        assert!(matches!(s.growth(), Growth::Polynomial { .. }));
+        assert!(s.render().contains("5→25"));
+    }
+}

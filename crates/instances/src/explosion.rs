@@ -1,0 +1,202 @@
+//! The two explicit blow-up examples of §3.1: Nebel's `(T₁, P₁)` with
+//! `2^m` possible worlds, and Winslett's chain `(T₂, P₂)` showing the
+//! blow-up persists even with a *constant-size* revising formula.
+
+use revkb_logic::{Formula, Signature, Var};
+use revkb_revision::Theory;
+
+/// Nebel's example: `T₁ = {x₁,…,xₘ, y₁,…,yₘ}`,
+/// `P₁ = ⋀ᵢ (xᵢ ≢ yᵢ)`. `W(T₁,P₁)` has exactly `2^m` elements.
+///
+/// ```
+/// use revkb_instances::NebelExample;
+/// let ex = NebelExample::new(4);
+/// assert_eq!(revkb_revision::world_count(&ex.t, &ex.p, 1 << 10), Some(16));
+/// ```
+#[derive(Debug, Clone)]
+pub struct NebelExample {
+    /// Letter names.
+    pub sig: Signature,
+    /// The `x` atoms.
+    pub xs: Vec<Var>,
+    /// The `y` atoms.
+    pub ys: Vec<Var>,
+    /// `T₁` (a set of atoms).
+    pub t: Theory,
+    /// `P₁`.
+    pub p: Formula,
+}
+
+impl NebelExample {
+    /// Build the example for a given `m`.
+    pub fn new(m: usize) -> Self {
+        let mut sig = Signature::new();
+        let xs: Vec<Var> = (0..m).map(|i| sig.var(&format!("x{}", i + 1))).collect();
+        let ys: Vec<Var> = (0..m).map(|i| sig.var(&format!("y{}", i + 1))).collect();
+        let t = Theory::new(xs.iter().chain(&ys).map(|&v| Formula::var(v)));
+        let p = Formula::and_all(
+            xs.iter()
+                .zip(&ys)
+                .map(|(&x, &y)| Formula::var(x).xor(Formula::var(y))),
+        );
+        Self { sig, xs, ys, t, p }
+    }
+}
+
+/// Winslett's example: the chain theory
+///
+/// ```text
+/// T₂ = { x₁, y₁, z₁ ≡ (¬x₁ ∨ ¬y₁),
+///        xᵢ, yᵢ, zᵢ ≡ (zᵢ₋₁ ∧ (¬xᵢ ∨ ¬yᵢ)),  i = 2…m }
+/// P₂ = zₘ
+/// ```
+///
+/// `|P₂|` is constant yet `|W(T₂,P₂)|` is exponential in `m`: to make
+/// `zₘ` true while keeping the definitions one must drop one of
+/// `xᵢ, yᵢ` at every level.
+#[derive(Debug, Clone)]
+pub struct WinslettChain {
+    /// Letter names.
+    pub sig: Signature,
+    /// The `x` atoms.
+    pub xs: Vec<Var>,
+    /// The `y` atoms.
+    pub ys: Vec<Var>,
+    /// The `z` atoms.
+    pub zs: Vec<Var>,
+    /// `T₂`.
+    pub t: Theory,
+    /// `P₂ = zₘ`.
+    pub p: Formula,
+}
+
+impl WinslettChain {
+    /// Build the chain of length `m ≥ 1`.
+    pub fn new(m: usize) -> Self {
+        assert!(m >= 1);
+        let mut sig = Signature::new();
+        let xs: Vec<Var> = (0..m).map(|i| sig.var(&format!("x{}", i + 1))).collect();
+        let ys: Vec<Var> = (0..m).map(|i| sig.var(&format!("y{}", i + 1))).collect();
+        let zs: Vec<Var> = (0..m).map(|i| sig.var(&format!("z{}", i + 1))).collect();
+        let mut formulas = Vec::with_capacity(3 * m);
+        for i in 0..m {
+            formulas.push(Formula::var(xs[i]));
+            formulas.push(Formula::var(ys[i]));
+            let no_both = Formula::var(xs[i]).not().or(Formula::var(ys[i]).not());
+            let body = if i == 0 {
+                no_both
+            } else {
+                Formula::var(zs[i - 1]).and(no_both)
+            };
+            formulas.push(Formula::var(zs[i]).iff(body));
+        }
+        let p = Formula::var(zs[m - 1]);
+        Self {
+            sig,
+            xs,
+            ys,
+            zs,
+            t: Theory::new(formulas),
+            p,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use revkb_revision::{gfuv_explicit, possible_worlds, world_count};
+
+    #[test]
+    fn nebel_world_count_is_2_to_m() {
+        for m in 1..=5 {
+            let ex = NebelExample::new(m);
+            assert_eq!(world_count(&ex.t, &ex.p, 1 << 12), Some(1 << m), "m={m}");
+        }
+    }
+
+    #[test]
+    fn nebel_worlds_pick_one_per_pair() {
+        let ex = NebelExample::new(3);
+        let worlds = possible_worlds(&ex.t, &ex.p, 100).unwrap();
+        for w in worlds {
+            // Exactly one of xᵢ (index i) and yᵢ (index m+i) per i.
+            for i in 0..3 {
+                let has_x = w.contains(&i);
+                let has_y = w.contains(&(3 + i));
+                assert!(has_x ^ has_y, "world {w:?} keeps both/neither of pair {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn nebel_explicit_size_grows_exponentially() {
+        let mut sizes = Vec::new();
+        for m in 1..=6 {
+            let ex = NebelExample::new(m);
+            let explicit = gfuv_explicit(&ex.t, &ex.p, 1 << 12).unwrap();
+            sizes.push(explicit.size());
+        }
+        // Strictly ~2x growth per step.
+        for w in sizes.windows(2) {
+            assert!(w[1] >= 2 * w[0] - 4, "not exponential: {sizes:?}");
+        }
+    }
+
+    #[test]
+    fn winslett_chain_worlds_exponential_with_constant_p() {
+        for m in 1..=4usize {
+            let ex = WinslettChain::new(m);
+            assert_eq!(ex.p.size(), 1);
+            let count = world_count(&ex.t, &ex.p, 1 << 12).unwrap();
+            assert!(
+                count >= 1 << m,
+                "m={m}: only {count} worlds, expected ≥ {}",
+                1 << m
+            );
+        }
+    }
+
+    #[test]
+    fn nebel_priorities_can_collapse_the_explosion() {
+        // Putting all x's in a higher priority class than the y's
+        // collapses Nebel's 2^m worlds to a single preferred
+        // subtheory: keep every xᵢ (maximal in class 1), forcing every
+        // yᵢ out.
+        let ex = NebelExample::new(4);
+        let class1 = Theory::new(ex.xs.iter().map(|&v| Formula::var(v)));
+        let class2 = Theory::new(ex.ys.iter().map(|&v| Formula::var(v)));
+        let subs = revkb_revision::nebel_preferred_subtheories(
+            &[class1, class2],
+            &ex.p,
+            1 << 12,
+        )
+        .unwrap();
+        assert_eq!(subs.len(), 1);
+        // All four x's kept, no y's.
+        assert_eq!(subs[0].iter().filter(|(c, _)| *c == 0).count(), 4);
+        assert_eq!(subs[0].iter().filter(|(c, _)| *c == 1).count(), 0);
+        // Flat (single-class) Nebel still explodes like GFUV.
+        let flat = revkb_revision::nebel_preferred_subtheories(
+            std::slice::from_ref(&ex.t),
+            &ex.p,
+            1 << 12,
+        )
+        .unwrap();
+        assert_eq!(flat.len(), 16);
+    }
+
+    #[test]
+    fn winslett_chain_worlds_are_consistent_with_p() {
+        let ex = WinslettChain::new(3);
+        let worlds = possible_worlds(&ex.t, &ex.p, 1 << 12).unwrap();
+        for w in &worlds {
+            let theory = Formula::and_all(
+                w.iter()
+                    .map(|&i| ex.t.formulas[i].clone())
+                    .chain([ex.p.clone()]),
+            );
+            assert!(revkb_sat::satisfiable(&theory));
+        }
+    }
+}

@@ -1,0 +1,40 @@
+//! # revkb-instances
+//!
+//! Instance and workload generation for the `revkb` reproduction:
+//!
+//! - the paper's 3-SAT partition and clause universes
+//!   ([`threesat`]: `3-SATₙ`, `γₙᵐᵃˣ`);
+//! - the hard families behind every non-compactability theorem
+//!   ([`thm31`]: Thms 3.1 & 4.1, [`thm33`]: Thm 3.3, [`thm36`]:
+//!   Thms 3.6 & 6.5);
+//! - the explicit blow-up examples of §3.1 ([`explosion`]: Nebel's
+//!   `2^m`-world example and Winslett's constant-`P` chain);
+//! - random workloads ([`random`]);
+//! - the paper's worked examples ([`examples`]).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod examples;
+pub mod explosion;
+pub mod random;
+pub mod thm31;
+pub mod thm33;
+pub mod thm36;
+pub mod threesat;
+
+pub use examples::{
+    office_example, running_example, section4_example, section5_example, section6_example,
+    syntax_example, Scenario,
+};
+pub use explosion::{NebelExample, WinslettChain};
+pub use random::{
+    random_formula, random_kcnf, random_literal_conjunction, random_satisfiable,
+    random_scenario,
+};
+pub use thm31::{thm41_bounded_transform, Thm31Family};
+pub use thm33::Thm33Family;
+pub use thm36::Thm36Family;
+pub use threesat::{
+    all_instances, contradictory_pairs, gamma_max, random_instance, Clause3, ThreeSat,
+};

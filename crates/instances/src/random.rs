@@ -1,0 +1,124 @@
+//! Random workload generation for the benchmarks and property tests.
+
+use rand::Rng;
+use revkb_logic::{Formula, Var};
+
+/// A random formula over variables `lo..lo+num_vars`, with the given
+/// connective depth.
+pub fn random_formula(rng: &mut impl Rng, depth: u32, num_vars: u32, lo: u32) -> Formula {
+    if depth == 0 || rng.gen_ratio(1, 6) {
+        let v = Var(lo + rng.gen_range(0..num_vars));
+        return Formula::lit(v, rng.gen_bool(0.5));
+    }
+    let a = random_formula(rng, depth - 1, num_vars, lo);
+    let b = random_formula(rng, depth - 1, num_vars, lo);
+    match rng.gen_range(0..5) {
+        0 => a.and(b),
+        1 => a.or(b),
+        2 => a.implies(b),
+        3 => a.xor(b),
+        _ => a.iff(b),
+    }
+}
+
+/// A random *satisfiable* formula (rejection sampling).
+pub fn random_satisfiable(
+    rng: &mut impl Rng,
+    depth: u32,
+    num_vars: u32,
+    lo: u32,
+) -> Formula {
+    loop {
+        let f = random_formula(rng, depth, num_vars, lo);
+        if revkb_sat::satisfiable(&f) {
+            return f;
+        }
+    }
+}
+
+/// A random revision scenario: satisfiable `T` over `n` letters and a
+/// satisfiable `P` over the first `p_vars` of them.
+pub fn random_scenario(
+    rng: &mut impl Rng,
+    n: u32,
+    p_vars: u32,
+    depth: u32,
+) -> (Formula, Formula) {
+    let t = random_satisfiable(rng, depth, n, 0);
+    let p = random_satisfiable(rng, depth.min(3), p_vars, 0);
+    (t, p)
+}
+
+/// A random k-CNF over `n` variables with `m` clauses of width `k`.
+pub fn random_kcnf(rng: &mut impl Rng, n: u32, m: usize, k: usize) -> Formula {
+    Formula::and_all((0..m).map(|_| {
+        let mut vars: Vec<u32> = Vec::with_capacity(k);
+        while vars.len() < k {
+            let v = rng.gen_range(0..n);
+            if !vars.contains(&v) {
+                vars.push(v);
+            }
+        }
+        Formula::or_all(
+            vars.iter()
+                .map(|&v| Formula::lit(Var(v), rng.gen_bool(0.5))),
+        )
+    }))
+}
+
+/// A random conjunction of literals (a complete or partial "state").
+pub fn random_literal_conjunction(rng: &mut impl Rng, n: u32, width: u32) -> Formula {
+    Formula::and_all((0..width).map(|_| {
+        let v = Var(rng.gen_range(0..n));
+        Formula::lit(v, rng.gen_bool(0.5))
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn random_formula_respects_var_range() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..50 {
+            let f = random_formula(&mut rng, 4, 5, 10);
+            for v in f.vars() {
+                assert!((10..15).contains(&v.0));
+            }
+        }
+    }
+
+    #[test]
+    fn random_satisfiable_is_satisfiable() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..20 {
+            let f = random_satisfiable(&mut rng, 3, 4, 0);
+            assert!(revkb_sat::satisfiable(&f));
+        }
+    }
+
+    #[test]
+    fn scenario_shapes() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let (t, p) = random_scenario(&mut rng, 6, 2, 3);
+        assert!(revkb_sat::satisfiable(&t));
+        assert!(revkb_sat::satisfiable(&p));
+        assert!(p.vars().iter().all(|v| v.0 < 2));
+        assert!(t.vars().iter().all(|v| v.0 < 6));
+    }
+
+    #[test]
+    fn kcnf_structure() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let f = random_kcnf(&mut rng, 8, 10, 3);
+        if let Formula::And(clauses) = &f {
+            assert_eq!(clauses.len(), 10);
+        } else {
+            panic!("expected a conjunction");
+        }
+        assert_eq!(f.size(), 30);
+    }
+}

@@ -1,0 +1,194 @@
+//! The hard family of **Theorem 3.1** (GFUV is not query-compactable
+//! unless NP ⊆ coNP/poly), and its **Theorem 4.1** bounded-`P`
+//! transform.
+//!
+//! For a clause universe `γ ⊆ γₙᵐᵃˣ` the family uses the alphabet
+//! `L = Bₙ ∪ C ∪ D ∪ {r}` with guard pairs `(cⱼ, dⱼ)` per clause:
+//!
+//! ```text
+//! Tₙ = C ∪ D ∪ Bₙ ∪ {r}                          (a set of atoms)
+//! Pₙ = [ (⋀¬bᵢ ∧ ¬r)  ∨  ⋀ⱼ(cⱼ → γⱼ) ]  ∧  ⋀ⱼ(cⱼ ≢ dⱼ)
+//! Q_π = (⋀{cᵢ : γᵢ ∈ π} ∧ ⋀{dᵢ : γᵢ ∉ π}) → r
+//! ```
+//!
+//! Theorem 3.1: `π` is satisfiable **iff** `Tₙ *GFUV Pₙ ⊨ Q_π`.
+//!
+//! Theorem 4.1 reduces to constant-size `P`: `T'ₙ = {f ∧ (¬s ∨ Pₙ) :
+//! f ∈ Tₙ} ∪ {¬s}`, `P' = s`, preserving all the entailments over the
+//! original alphabet.
+
+use crate::threesat::{Clause3, ThreeSat};
+use revkb_logic::{Formula, Signature, Var};
+use revkb_revision::Theory;
+
+/// The Theorem 3.1 family for one clause universe.
+#[derive(Debug, Clone)]
+pub struct Thm31Family {
+    /// Letter names.
+    pub sig: Signature,
+    /// The `Bₙ` atoms.
+    pub b: Vec<Var>,
+    /// Guard atoms `cⱼ`, one per universe clause.
+    pub c: Vec<Var>,
+    /// Guard atoms `dⱼ`, one per universe clause.
+    pub d: Vec<Var>,
+    /// The flag atom `r`.
+    pub r: Var,
+    /// The clause universe (a subset of `γₙᵐᵃˣ`).
+    pub universe: Vec<Clause3>,
+    /// `Tₙ` — the set of atoms, as a formula-based theory.
+    pub t: Theory,
+    /// `Pₙ`.
+    pub p: Formula,
+}
+
+impl Thm31Family {
+    /// Build the family for `n` atoms over `universe`.
+    pub fn new(n: usize, universe: Vec<Clause3>) -> Self {
+        let mut sig = Signature::new();
+        let b: Vec<Var> = (0..n).map(|i| sig.var(&format!("b{}", i + 1))).collect();
+        let c: Vec<Var> = (0..universe.len())
+            .map(|j| sig.var(&format!("c{}", j + 1)))
+            .collect();
+        let d: Vec<Var> = (0..universe.len())
+            .map(|j| sig.var(&format!("d{}", j + 1)))
+            .collect();
+        let r = sig.var("r");
+
+        let t = Theory::new(
+            c.iter()
+                .chain(&d)
+                .chain(&b)
+                .chain([&r])
+                .map(|&v| Formula::var(v)),
+        );
+
+        let all_b_false_and_not_r = Formula::and_all(
+            b.iter()
+                .map(|&bi| Formula::var(bi).not())
+                .chain([Formula::var(r).not()]),
+        );
+        let guards_imply_clauses = Formula::and_all(
+            universe
+                .iter()
+                .zip(&c)
+                .map(|(clause, &cj)| Formula::var(cj).implies(clause.to_formula(&b))),
+        );
+        let c_neq_d = Formula::and_all(
+            c.iter()
+                .zip(&d)
+                .map(|(&cj, &dj)| Formula::var(cj).xor(Formula::var(dj))),
+        );
+        let p = all_b_false_and_not_r
+            .or(guards_imply_clauses)
+            .and(c_neq_d);
+
+        Self {
+            sig,
+            b,
+            c,
+            d,
+            r,
+            universe,
+            t,
+            p,
+        }
+    }
+
+    /// Membership flags of `pi`'s clauses in the universe.
+    fn membership(&self, pi: &ThreeSat) -> Vec<bool> {
+        self.universe
+            .iter()
+            .map(|u| pi.clauses.contains(u))
+            .collect()
+    }
+
+    /// The query `Q_π = W_π → r`.
+    pub fn query(&self, pi: &ThreeSat) -> Formula {
+        let member = self.membership(pi);
+        let w = Formula::and_all(member.iter().enumerate().map(|(j, &inside)| {
+            if inside {
+                Formula::var(self.c[j])
+            } else {
+                Formula::var(self.d[j])
+            }
+        }));
+        w.implies(Formula::var(self.r))
+    }
+
+    /// Combined size `|Tₙ| + |Pₙ|` (polynomial in `n`, per hypothesis
+    /// 1 of Theorem 2.2).
+    pub fn size(&self) -> usize {
+        self.t.size() + self.p.size()
+    }
+}
+
+/// Theorem 4.1's bounded transform of a Theorem 3.1 family: returns
+/// `(T'ₙ, P' = s)` with `|P'| = 1`.
+pub fn thm41_bounded_transform(family: &Thm31Family) -> (Theory, Formula, Var) {
+    let mut sig = family.sig.clone();
+    let s = sig.fresh("s");
+    let guard = Formula::var(s).not().or(family.p.clone());
+    let mut formulas: Vec<Formula> = family
+        .t
+        .formulas
+        .iter()
+        .map(|f| f.clone().and(guard.clone()))
+        .collect();
+    formulas.push(Formula::var(s).not());
+    (Theory::new(formulas), Formula::var(s), s)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::threesat::{all_instances, gamma_max};
+    use revkb_revision::gfuv_entails;
+
+    /// Exhaustive check of Theorem 3.1's reduction over a 4-clause
+    /// universe: `π` satisfiable iff `Tₙ *GFUV Pₙ ⊨ Q_π`.
+    #[test]
+    fn reduction_is_correct_exhaustive() {
+        let universe: Vec<Clause3> = gamma_max(3).into_iter().take(4).collect();
+        let family = Thm31Family::new(3, universe.clone());
+        for pi in all_instances(3, &universe) {
+            let q = family.query(&pi);
+            assert_eq!(
+                gfuv_entails(&family.t, &family.p, &q),
+                pi.satisfiable(),
+                "Thm 3.1 reduction failed on {pi:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn family_size_is_polynomial() {
+        // |T| + |P| grows like the universe size (Θ(n³) for γmax).
+        let f3 = Thm31Family::new(3, gamma_max(3));
+        let f4 = Thm31Family::new(4, gamma_max(4));
+        let f5 = Thm31Family::new(5, gamma_max(5));
+        // γmax sizes: 8, 32, 80 — growth of the family ≈ linear in it.
+        let per_clause3 = f3.size() as f64 / 8.0;
+        let per_clause5 = f5.size() as f64 / 80.0;
+        assert!(per_clause5 < 2.0 * per_clause3, "superlinear in universe");
+        assert!(f4.size() > f3.size());
+    }
+
+    /// Theorem 4.1: the transform preserves GFUV consequences while
+    /// making `|P'| = 1`.
+    #[test]
+    fn bounded_transform_preserves_entailment() {
+        let universe: Vec<Clause3> = gamma_max(3).into_iter().take(3).collect();
+        let family = Thm31Family::new(3, universe.clone());
+        let (t2, p2, _s) = thm41_bounded_transform(&family);
+        assert_eq!(p2.size(), 1);
+        for pi in all_instances(3, &universe) {
+            let q = family.query(&pi);
+            assert_eq!(
+                gfuv_entails(&t2, &p2, &q),
+                gfuv_entails(&family.t, &family.p, &q),
+                "Thm 4.1 transform changed the consequence on {pi:?}"
+            );
+        }
+    }
+}

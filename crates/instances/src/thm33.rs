@@ -1,0 +1,185 @@
+//! The hard family of **Theorem 3.3** (Forbus is not
+//! query-compactable unless NP ⊆ coNP/poly).
+//!
+//! Each universe clause `γⱼ` gets a *column* of `n+2` guard atoms
+//! `c¹ⱼ…cⁿ⁺²ⱼ`, forced equal by `Γₙ = ⋀ⱼ⋀ᵢ (c¹ⱼ ≡ cᵢⱼ)` so that
+//! models encoding different clause sets are at distance ≥ n+2 while
+//! models sharing the clause set are within distance n+1:
+//!
+//! ```text
+//! Tₙ = Γₙ ∧ ⋀Bₙ ∧ r
+//! Pₙ = [ (⋀¬bᵢ ∧ ¬r) ∨ ⋀ⱼ(c¹ⱼ → γⱼ) ] ∧ Γₙ
+//! M_π = ⋃ᵢ {cᵢⱼ : γⱼ ∈ π}          (all Bₙ and r false)
+//! ```
+//!
+//! Theorem 3.3: `M_π ⊨ Tₙ *F Pₙ` **iff** `π` is unsatisfiable
+//! (equivalently `Tₙ *F Pₙ ⊨ Q_π` iff `π` satisfiable, where `Q_π` is
+//! the clause excluding `M_π`).
+
+use crate::threesat::{Clause3, ThreeSat};
+use revkb_logic::{Formula, Interpretation, Signature, Var};
+
+/// The Theorem 3.3 family for one clause universe.
+#[derive(Debug, Clone)]
+pub struct Thm33Family {
+    /// Letter names.
+    pub sig: Signature,
+    /// The `Bₙ` atoms.
+    pub b: Vec<Var>,
+    /// Guard columns: `c[i][j]` is `cⁱ⁺¹ⱼ₊₁` (row `i`, clause `j`);
+    /// `n + 2` rows.
+    pub c: Vec<Vec<Var>>,
+    /// The flag atom `r`.
+    pub r: Var,
+    /// The clause universe.
+    pub universe: Vec<Clause3>,
+    /// `Tₙ` as a single formula (model-based input).
+    pub t: Formula,
+    /// `Pₙ`.
+    pub p: Formula,
+}
+
+impl Thm33Family {
+    /// Build the family for `n` atoms over `universe`.
+    pub fn new(n: usize, universe: Vec<Clause3>) -> Self {
+        let mut sig = Signature::new();
+        let b: Vec<Var> = (0..n).map(|i| sig.var(&format!("b{}", i + 1))).collect();
+        let rows = n + 2;
+        let c: Vec<Vec<Var>> = (0..rows)
+            .map(|i| {
+                (0..universe.len())
+                    .map(|j| sig.var(&format!("c{}_{}", i + 1, j + 1)))
+                    .collect()
+            })
+            .collect();
+        let r = sig.var("r");
+
+        // Γₙ: all rows equal to row 1.
+        let gamma_eq = Formula::and_all((0..universe.len()).flat_map(|j| {
+            (1..rows).map(move |i| (i, j))
+        }).map(|(i, j)| Formula::var(c[0][j]).iff(Formula::var(c[i][j]))));
+
+        let t = gamma_eq
+            .clone()
+            .and(Formula::and_all(b.iter().map(|&bi| Formula::var(bi))))
+            .and(Formula::var(r));
+
+        let all_b_false_and_not_r = Formula::and_all(
+            b.iter()
+                .map(|&bi| Formula::var(bi).not())
+                .chain([Formula::var(r).not()]),
+        );
+        let guards_imply_clauses = Formula::and_all(
+            universe
+                .iter()
+                .enumerate()
+                .map(|(j, clause)| Formula::var(c[0][j]).implies(clause.to_formula(&b))),
+        );
+        let p = all_b_false_and_not_r
+            .or(guards_imply_clauses)
+            .and(gamma_eq);
+
+        Self {
+            sig,
+            b,
+            c,
+            r,
+            universe,
+            t,
+            p,
+        }
+    }
+
+    /// The interpretation `M_π`: every guard of a `π`-clause true (in
+    /// all rows), everything else false.
+    pub fn m_pi(&self, pi: &ThreeSat) -> Interpretation {
+        let mut m = Interpretation::new();
+        for (j, u) in self.universe.iter().enumerate() {
+            if pi.clauses.contains(u) {
+                for row in &self.c {
+                    m.insert(row[j]);
+                }
+            }
+        }
+        m
+    }
+
+    /// The query `Q_π` — the clause that is false exactly at `M_π`:
+    /// some off-`π` guard true, some `π` guard false, some `b` true,
+    /// or `r`.
+    pub fn query(&self, pi: &ThreeSat) -> Formula {
+        let mut lits: Vec<Formula> = Vec::new();
+        for (j, u) in self.universe.iter().enumerate() {
+            let inside = pi.clauses.contains(u);
+            for row in &self.c {
+                if inside {
+                    lits.push(Formula::var(row[j]).not());
+                } else {
+                    lits.push(Formula::var(row[j]));
+                }
+            }
+        }
+        lits.extend(self.b.iter().map(|&bi| Formula::var(bi)));
+        lits.push(Formula::var(self.r));
+        Formula::or_all(lits)
+    }
+
+    /// Combined size `|Tₙ| + |Pₙ|`.
+    pub fn size(&self) -> usize {
+        self.t.size() + self.p.size()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::threesat::{all_instances, gamma_max};
+    use revkb_logic::Alphabet;
+    use revkb_revision::{revise_on, ModelBasedOp};
+
+    /// Exhaustive check of Theorem 3.3 over a 2-clause universe
+    /// (alphabet 3 + 5·2 + 1 = 14 letters): `M_π` is a model of
+    /// `Tₙ *F Pₙ` iff `π` is unsatisfiable.
+    #[test]
+    fn reduction_is_correct_exhaustive() {
+        let universe: Vec<Clause3> = gamma_max(3).into_iter().take(2).collect();
+        let family = Thm33Family::new(3, universe.clone());
+        let alpha = Alphabet::of_formulas([&family.t, &family.p]);
+        let revised = revise_on(ModelBasedOp::Forbus, &alpha, &family.t, &family.p);
+        for pi in all_instances(3, &universe) {
+            let m = family.m_pi(&pi);
+            assert_eq!(
+                revised.contains(&m),
+                !pi.satisfiable(),
+                "Thm 3.3 reduction failed on {pi:?}"
+            );
+            // Query form: T *F P ⊨ Q_π iff π satisfiable.
+            assert_eq!(
+                revised.entails(&family.query(&pi)),
+                pi.satisfiable(),
+                "Thm 3.3 query form failed on {pi:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn m_pi_is_model_of_p() {
+        // M_π always satisfies Pₙ (first disjunct + equal columns).
+        let universe: Vec<Clause3> = gamma_max(3).into_iter().take(2).collect();
+        let family = Thm33Family::new(3, universe.clone());
+        for pi in all_instances(3, &universe) {
+            assert!(family.p.eval(&family.m_pi(&pi)));
+        }
+    }
+
+    #[test]
+    fn family_size_is_polynomial() {
+        let sizes: Vec<usize> = [3usize, 4, 5]
+            .iter()
+            .map(|&n| Thm33Family::new(n, gamma_max(n)).size())
+            .collect();
+        // γmax grows Θ(n³) and columns add a factor n: Θ(n⁴) overall.
+        // Check it's nowhere near exponential: n=5 vs n=4 under 8x.
+        assert!(sizes[2] < 8 * sizes[1], "suspicious growth: {sizes:?}");
+    }
+}

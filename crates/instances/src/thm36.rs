@@ -1,0 +1,202 @@
+//! The hard families of **Theorem 3.6** (Dalal and Weber are not
+//! logically-compactable unless NP ⊆ P/poly) and **Theorem 6.5**
+//! (iterated bounded revision is not logically compactable for any of
+//! the model-based operators).
+//!
+//! Both use the same knowledge base over `L = Bₙ ∪ Y ∪ C`:
+//!
+//! ```text
+//! Φₙ = ⋀ᵢ (bᵢ ≢ yᵢ)          Γₙ = ⋀ⱼ (γⱼ ∨ ¬cⱼ)
+//! Tₙ = Φₙ ∧ Γₙ
+//! ```
+//!
+//! - Theorem 3.6 revises once with `Pₙ = ⋀ᵢ(¬bᵢ ∧ ¬yᵢ)`;
+//! - Theorem 6.5 revises `n` times with the constant-size formulas
+//!   `Pⁱ = ¬bᵢ ∧ ¬yᵢ`.
+//!
+//! In both cases, with `C_π = {cⱼ : γⱼ ∈ π}`: `π` is satisfiable
+//! **iff** `C_π` is a model of the revised base (for Thm 3.6 under
+//! Dalal and Weber; for Thm 6.5 under all six model-based operators,
+//! whose results the proof shows coincide on this family).
+
+use crate::threesat::{Clause3, ThreeSat};
+use revkb_logic::{Formula, Interpretation, Signature, Var};
+
+/// The Theorem 3.6 / 6.5 family for one clause universe.
+#[derive(Debug, Clone)]
+pub struct Thm36Family {
+    /// Letter names.
+    pub sig: Signature,
+    /// The `Bₙ` atoms.
+    pub b: Vec<Var>,
+    /// The `Y` copies.
+    pub y: Vec<Var>,
+    /// One guard per universe clause.
+    pub c: Vec<Var>,
+    /// The clause universe.
+    pub universe: Vec<Clause3>,
+    /// `Tₙ = Φₙ ∧ Γₙ`.
+    pub t: Formula,
+    /// Theorem 3.6's single revision `Pₙ = ⋀ᵢ(¬bᵢ ∧ ¬yᵢ)`.
+    pub p_single: Formula,
+    /// Theorem 6.5's bounded revisions `Pⁱ = ¬bᵢ ∧ ¬yᵢ`, `i = 1…n`.
+    pub p_sequence: Vec<Formula>,
+}
+
+impl Thm36Family {
+    /// Build the family for `n` atoms over `universe`.
+    pub fn new(n: usize, universe: Vec<Clause3>) -> Self {
+        let mut sig = Signature::new();
+        let b: Vec<Var> = (0..n).map(|i| sig.var(&format!("b{}", i + 1))).collect();
+        let y: Vec<Var> = (0..n).map(|i| sig.var(&format!("y{}", i + 1))).collect();
+        let c: Vec<Var> = (0..universe.len())
+            .map(|j| sig.var(&format!("c{}", j + 1)))
+            .collect();
+
+        let phi = Formula::and_all(
+            b.iter()
+                .zip(&y)
+                .map(|(&bi, &yi)| Formula::var(bi).xor(Formula::var(yi))),
+        );
+        let gamma = Formula::and_all(
+            universe
+                .iter()
+                .zip(&c)
+                .map(|(clause, &cj)| clause.to_formula(&b).or(Formula::var(cj).not())),
+        );
+        let t = phi.and(gamma);
+
+        let p_single = Formula::and_all(b.iter().zip(&y).map(|(&bi, &yi)| {
+            Formula::var(bi).not().and(Formula::var(yi).not())
+        }));
+        let p_sequence: Vec<Formula> = b
+            .iter()
+            .zip(&y)
+            .map(|(&bi, &yi)| Formula::var(bi).not().and(Formula::var(yi).not()))
+            .collect();
+
+        Self {
+            sig,
+            b,
+            y,
+            c,
+            universe,
+            t,
+            p_single,
+            p_sequence,
+        }
+    }
+
+    /// The interpretation `C_π = {cⱼ : γⱼ ∈ π}`.
+    pub fn c_pi(&self, pi: &ThreeSat) -> Interpretation {
+        self.universe
+            .iter()
+            .enumerate()
+            .filter(|(_, u)| pi.clauses.contains(u))
+            .map(|(j, _)| self.c[j])
+            .collect()
+    }
+
+    /// Combined size for the single-revision case.
+    pub fn size_single(&self) -> usize {
+        self.t.size() + self.p_single.size()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::threesat::{all_instances, gamma_max};
+    use revkb_logic::Alphabet;
+    use revkb_revision::{revise_iterated_on, revise_on, ModelBasedOp};
+
+    fn alphabet_of(family: &Thm36Family) -> Alphabet {
+        Alphabet::new(
+            family
+                .b
+                .iter()
+                .chain(&family.y)
+                .chain(&family.c)
+                .copied()
+                .collect(),
+        )
+    }
+
+    /// Exhaustive Theorem 3.6 over a 4-clause universe (alphabet
+    /// 3+3+4 = 10 letters): `C_π ⊨ Tₙ *D Pₙ` iff `C_π ⊨ Tₙ *Web Pₙ`
+    /// iff `π` satisfiable.
+    #[test]
+    fn reduction_is_correct_exhaustive() {
+        let universe: Vec<Clause3> = gamma_max(3).into_iter().take(4).collect();
+        let family = Thm36Family::new(3, universe.clone());
+        let alpha = alphabet_of(&family);
+        let dalal = revise_on(ModelBasedOp::Dalal, &alpha, &family.t, &family.p_single);
+        let weber = revise_on(ModelBasedOp::Weber, &alpha, &family.t, &family.p_single);
+        for pi in all_instances(3, &universe) {
+            let c_pi = family.c_pi(&pi);
+            let sat = pi.satisfiable();
+            assert_eq!(dalal.contains(&c_pi), sat, "Dalal 3.6 failed on {pi:?}");
+            assert_eq!(weber.contains(&c_pi), sat, "Weber 3.6 failed on {pi:?}");
+        }
+    }
+
+    /// `k_{Tₙ,Pₙ} = n` as the proof of Theorem 3.6 computes.
+    #[test]
+    fn minimum_distance_is_n() {
+        let universe: Vec<Clause3> = gamma_max(3).into_iter().take(3).collect();
+        let family = Thm36Family::new(3, universe);
+        assert_eq!(
+            revkb_revision::distance::min_distance(&family.t, &family.p_single),
+            Some(3)
+        );
+    }
+
+    /// Exhaustive Theorem 6.5 over a 3-clause universe: after the
+    /// sequence `P¹…Pⁿ`, all six operators coincide and select `C_π`
+    /// iff `π` is satisfiable.
+    #[test]
+    fn iterated_reduction_all_operators() {
+        let universe: Vec<Clause3> = gamma_max(3).into_iter().take(3).collect();
+        let family = Thm36Family::new(3, universe.clone());
+        let alpha = alphabet_of(&family);
+        let results: Vec<_> = ModelBasedOp::ALL
+            .iter()
+            .map(|&op| {
+                (
+                    op,
+                    revise_iterated_on(op, &alpha, &family.t, &family.p_sequence),
+                )
+            })
+            .collect();
+        // The proof shows the model sets coincide across operators.
+        for window in results.windows(2) {
+            assert_eq!(
+                window[0].1, window[1].1,
+                "Thm 6.5: {} and {} differ",
+                window[0].0.name(),
+                window[1].0.name()
+            );
+        }
+        for pi in all_instances(3, &universe) {
+            let c_pi = family.c_pi(&pi);
+            let sat = pi.satisfiable();
+            for (op, ms) in &results {
+                assert_eq!(
+                    ms.contains(&c_pi),
+                    sat,
+                    "Thm 6.5 failed for {} on {pi:?}",
+                    op.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn family_size_is_polynomial() {
+        let sizes: Vec<usize> = [3usize, 4, 5]
+            .iter()
+            .map(|&n| Thm36Family::new(n, gamma_max(n)).size_single())
+            .collect();
+        assert!(sizes[2] < 6 * sizes[1], "suspicious growth: {sizes:?}");
+    }
+}

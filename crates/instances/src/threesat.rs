@@ -1,0 +1,210 @@
+//! The paper's 3-SAT infrastructure (Definition 2.5).
+//!
+//! Instances of `3-SATₙ` are built on the fixed atom set
+//! `Bₙ = {b₁,…,bₙ}`; `γₙᵐᵃˣ` is the set of *all* three-literal clauses
+//! over `Bₙ` (on three distinct atoms), of which every instance is a
+//! subset. The hard families of Theorems 3.1/3.3/3.6/6.5 attach one
+//! guard letter (or guard column) to each clause of a clause universe.
+
+use revkb_logic::Formula;
+use revkb_logic::Var;
+
+/// A three-literal clause over `Bₙ`: three literals, each a 0-based
+/// atom index with a polarity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Clause3 {
+    /// The three literals as `(atom index, positive)` pairs.
+    pub lits: [(usize, bool); 3],
+}
+
+impl Clause3 {
+    /// The clause as a formula over the given `B` letters.
+    pub fn to_formula(&self, b: &[Var]) -> Formula {
+        Formula::or_all(
+            self.lits
+                .iter()
+                .map(|&(i, pos)| Formula::lit(b[i], pos)),
+        )
+    }
+
+    /// Evaluate under an assignment to `Bₙ` (bit `i` = atom `i`).
+    pub fn eval(&self, assignment: u64) -> bool {
+        self.lits
+            .iter()
+            .any(|&(i, pos)| (assignment >> i & 1 == 1) == pos)
+    }
+}
+
+/// A 3-SAT instance: a subset of a clause universe over `Bₙ`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ThreeSat {
+    /// Number of atoms `n`.
+    pub n: usize,
+    /// The clauses.
+    pub clauses: Vec<Clause3>,
+}
+
+impl ThreeSat {
+    /// Brute-force satisfiability (the ground truth the reductions are
+    /// checked against; `n ≤ 24`).
+    pub fn satisfiable(&self) -> bool {
+        assert!(self.n <= 24, "brute force is for small instances");
+        (0..1u64 << self.n).any(|a| self.clauses.iter().all(|c| c.eval(a)))
+    }
+
+    /// A satisfying assignment, if any, as a bitmask over `Bₙ`.
+    pub fn satisfying_assignment(&self) -> Option<u64> {
+        assert!(self.n <= 24);
+        (0..1u64 << self.n).find(|&a| self.clauses.iter().all(|c| c.eval(a)))
+    }
+
+    /// The conjunction of the clauses over the given `B` letters.
+    pub fn to_formula(&self, b: &[Var]) -> Formula {
+        Formula::and_all(self.clauses.iter().map(|c| c.to_formula(b)))
+    }
+}
+
+/// `γₙᵐᵃˣ`: all three-literal clauses on three *distinct* atoms of
+/// `Bₙ`, in a fixed order — `8·C(n,3)` clauses, `Θ(n³)` as the paper
+/// notes.
+pub fn gamma_max(n: usize) -> Vec<Clause3> {
+    let mut out = Vec::new();
+    for i in 0..n {
+        for j in i + 1..n {
+            for k in j + 1..n {
+                for signs in 0..8u8 {
+                    out.push(Clause3 {
+                        lits: [
+                            (i, signs & 1 != 0),
+                            (j, signs & 2 != 0),
+                            (k, signs & 4 != 0),
+                        ],
+                    });
+                }
+            }
+        }
+    }
+    out
+}
+
+/// A universe of `2n` degenerate (repeated-literal) clauses: for each
+/// atom `bᵢ`, the clause `bᵢ ∨ bᵢ ∨ bᵢ` and the clause
+/// `¬bᵢ ∨ ¬bᵢ ∨ ¬bᵢ`. A subset is satisfiable iff it contains no
+/// contradictory pair, so the Theorem 3.6 family built on this
+/// universe yields a revised base whose *exact minimum DNF* has `2ⁿ`
+/// terms — measurable exponential growth of the best two-level
+/// representation (used as Table 1 NO-cell evidence).
+pub fn contradictory_pairs(n: usize) -> Vec<Clause3> {
+    (0..n)
+        .flat_map(|i| {
+            [
+                Clause3 {
+                    lits: [(i, true); 3],
+                },
+                Clause3 {
+                    lits: [(i, false); 3],
+                },
+            ]
+        })
+        .collect()
+}
+
+/// All `2^|universe|` instances over a clause universe (exhaustive
+/// testing of the reductions; keep the universe small).
+pub fn all_instances(n: usize, universe: &[Clause3]) -> Vec<ThreeSat> {
+    assert!(universe.len() <= 16, "universe too large to enumerate");
+    (0..1u64 << universe.len())
+        .map(|mask| ThreeSat {
+            n,
+            clauses: universe
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| mask >> i & 1 == 1)
+                .map(|(_, &c)| c)
+                .collect(),
+        })
+        .collect()
+}
+
+/// A random instance over a clause universe.
+pub fn random_instance(
+    n: usize,
+    universe: &[Clause3],
+    density: f64,
+    rng: &mut impl rand::Rng,
+) -> ThreeSat {
+    ThreeSat {
+        n,
+        clauses: universe
+            .iter()
+            .copied()
+            .filter(|_| rng.gen_bool(density))
+            .collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gamma_max_count() {
+        // 8·C(n,3).
+        assert_eq!(gamma_max(3).len(), 8);
+        assert_eq!(gamma_max(4).len(), 32);
+        assert_eq!(gamma_max(5).len(), 80);
+        assert!(gamma_max(2).is_empty());
+    }
+
+    #[test]
+    fn clause_eval() {
+        // (b0 ∨ ¬b1 ∨ b2)
+        let c = Clause3 {
+            lits: [(0, true), (1, false), (2, true)],
+        };
+        assert!(c.eval(0b001));
+        assert!(c.eval(0b000)); // ¬b1 true
+        assert!(!c.eval(0b010));
+    }
+
+    #[test]
+    fn empty_instance_is_satisfiable() {
+        let inst = ThreeSat { n: 3, clauses: vec![] };
+        assert!(inst.satisfiable());
+    }
+
+    #[test]
+    fn full_gamma_max_is_unsatisfiable() {
+        // All 8 sign patterns on one triple cannot be satisfied.
+        let inst = ThreeSat {
+            n: 3,
+            clauses: gamma_max(3),
+        };
+        assert!(!inst.satisfiable());
+    }
+
+    #[test]
+    fn formula_matches_brute_force() {
+        use revkb_logic::Alphabet;
+        let universe = gamma_max(3);
+        let b: Vec<Var> = (0..3).map(Var).collect();
+        let alpha = Alphabet::new(b.clone());
+        for inst in all_instances(3, &universe[..4]) {
+            let f = inst.to_formula(&b);
+            let sat_formula = !alpha.models(&f).is_empty();
+            assert_eq!(sat_formula, inst.satisfiable(), "mismatch on {inst:?}");
+        }
+    }
+
+    #[test]
+    fn satisfying_assignment_satisfies() {
+        let universe = gamma_max(3);
+        for inst in all_instances(3, &universe[..5]) {
+            if let Some(a) = inst.satisfying_assignment() {
+                assert!(inst.clauses.iter().all(|c| c.eval(a)));
+            } else {
+                assert!(!inst.satisfiable());
+            }
+        }
+    }
+}

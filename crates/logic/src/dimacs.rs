@@ -1,0 +1,143 @@
+//! DIMACS CNF reading and writing, for interoperability with external
+//! SAT tooling and for snapshotting benchmark instances.
+
+use crate::cnf::{Cnf, Lit};
+use crate::var::Var;
+use std::fmt;
+
+/// An error while parsing DIMACS input.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DimacsError {
+    /// 1-based line where the error was found.
+    pub line: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for DimacsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "DIMACS error on line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for DimacsError {}
+
+/// Serialise a CNF in DIMACS format. Variable `Var(i)` maps to DIMACS
+/// variable `i + 1`.
+pub fn write_dimacs(cnf: &Cnf) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("p cnf {} {}\n", cnf.num_vars, cnf.clauses.len()));
+    for clause in &cnf.clauses {
+        for lit in clause {
+            let v = lit.var().0 as i64 + 1;
+            let signed = if lit.is_positive() { v } else { -v };
+            out.push_str(&format!("{signed} "));
+        }
+        out.push_str("0\n");
+    }
+    out
+}
+
+/// Parse DIMACS CNF text. Comment lines (`c …`) are skipped; the
+/// problem line is validated loosely (clause/variable counts may exceed
+/// the declaration, which raises the watermark instead of failing).
+pub fn parse_dimacs(input: &str) -> Result<Cnf, DimacsError> {
+    let mut cnf = Cnf::new();
+    let mut declared_vars: Option<u32> = None;
+    let mut current: Vec<Lit> = Vec::new();
+    for (lineno, line) in input.lines().enumerate() {
+        let line = line.trim();
+        let lineno = lineno + 1;
+        if line.is_empty() || line.starts_with('c') || line.starts_with('%') {
+            continue;
+        }
+        if line.starts_with('p') {
+            let mut parts = line.split_whitespace();
+            let _p = parts.next();
+            match parts.next() {
+                Some("cnf") => {}
+                other => {
+                    return Err(DimacsError {
+                        line: lineno,
+                        message: format!("expected 'p cnf', found {other:?}"),
+                    })
+                }
+            }
+            let nv: u32 = parts
+                .next()
+                .and_then(|s| s.parse().ok())
+                .ok_or_else(|| DimacsError {
+                    line: lineno,
+                    message: "missing variable count".into(),
+                })?;
+            declared_vars = Some(nv);
+            continue;
+        }
+        for tok in line.split_whitespace() {
+            let value: i64 = tok.parse().map_err(|_| DimacsError {
+                line: lineno,
+                message: format!("bad literal token {tok:?}"),
+            })?;
+            if value == 0 {
+                cnf.push(std::mem::take(&mut current));
+            } else {
+                let var = Var((value.unsigned_abs() - 1) as u32);
+                current.push(Lit::new(var, value > 0));
+            }
+        }
+    }
+    if !current.is_empty() {
+        // Trailing clause without terminating 0 — accept it.
+        cnf.push(current);
+    }
+    if let Some(nv) = declared_vars {
+        cnf.num_vars = cnf.num_vars.max(nv);
+    }
+    Ok(cnf)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let mut cnf = Cnf::new();
+        cnf.push(vec![Lit::pos(Var(0)), Lit::neg(Var(2))]);
+        cnf.push(vec![Lit::neg(Var(1))]);
+        let text = write_dimacs(&cnf);
+        let parsed = parse_dimacs(&text).unwrap();
+        assert_eq!(parsed.clauses, cnf.clauses);
+        assert_eq!(parsed.num_vars, cnf.num_vars);
+    }
+
+    #[test]
+    fn parses_comments_and_header() {
+        let text = "c a comment\np cnf 3 2\n1 -2 0\n3 0\n";
+        let cnf = parse_dimacs(text).unwrap();
+        assert_eq!(cnf.clauses.len(), 2);
+        assert_eq!(cnf.num_vars, 3);
+        assert_eq!(cnf.clauses[0], vec![Lit::pos(Var(0)), Lit::neg(Var(1))]);
+    }
+
+    #[test]
+    fn multiline_clause() {
+        let text = "p cnf 2 1\n1\n-2 0\n";
+        let cnf = parse_dimacs(text).unwrap();
+        assert_eq!(cnf.clauses.len(), 1);
+        assert_eq!(cnf.clauses[0].len(), 2);
+    }
+
+    #[test]
+    fn errors_on_garbage() {
+        assert!(parse_dimacs("p cnf x y\n").is_err());
+        assert!(parse_dimacs("p dnf 1 1\n1 0\n").is_err());
+        assert!(parse_dimacs("1 banana 0\n").is_err());
+    }
+
+    #[test]
+    fn declared_var_count_raises_watermark() {
+        let cnf = parse_dimacs("p cnf 10 1\n1 0\n").unwrap();
+        assert_eq!(cnf.num_vars, 10);
+    }
+}

@@ -1,0 +1,314 @@
+//! Interpretations, evaluation and dense model enumeration.
+//!
+//! The paper identifies an interpretation with the set of letters it
+//! maps to true; [`Interpretation`] follows that convention. For the
+//! semantic ground-truth engine we also provide a dense view: an
+//! [`Alphabet`] fixes an ordering of at most 64 letters and represents
+//! each interpretation as a `u64` bitmask, so `2ⁿ` enumeration and
+//! symmetric-difference arithmetic become single machine operations.
+
+use crate::formula::Formula;
+use crate::var::Var;
+use std::collections::BTreeSet;
+
+/// An interpretation as the set of letters mapped to true.
+pub type Interpretation = BTreeSet<Var>;
+
+impl Formula {
+    /// Evaluate under an arbitrary valuation function.
+    pub fn eval_fn(&self, val: &impl Fn(Var) -> bool) -> bool {
+        match self {
+            Formula::True => true,
+            Formula::False => false,
+            Formula::Var(v) => val(*v),
+            Formula::Not(f) => !f.eval_fn(val),
+            Formula::And(fs) => fs.iter().all(|f| f.eval_fn(val)),
+            Formula::Or(fs) => fs.iter().any(|f| f.eval_fn(val)),
+            Formula::Implies(a, b) => !a.eval_fn(val) || b.eval_fn(val),
+            Formula::Iff(a, b) => a.eval_fn(val) == b.eval_fn(val),
+            Formula::Xor(a, b) => a.eval_fn(val) != b.eval_fn(val),
+        }
+    }
+
+    /// Evaluate under a set-of-true-letters interpretation
+    /// (`M ⊨ φ` in the paper's notation).
+    pub fn eval(&self, m: &Interpretation) -> bool {
+        self.eval_fn(&|v| m.contains(&v))
+    }
+}
+
+/// A fixed ordering of at most 64 letters, giving each interpretation a
+/// dense `u64` bitmask encoding (bit `i` = truth of the `i`-th letter).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Alphabet {
+    vars: Vec<Var>,
+    positions: std::collections::HashMap<Var, usize>,
+}
+
+impl Alphabet {
+    /// Build an alphabet from an ordered list of distinct letters.
+    ///
+    /// # Panics
+    /// If there are more than 64 letters or duplicates.
+    pub fn new(vars: Vec<Var>) -> Self {
+        assert!(vars.len() <= 64, "dense alphabets support at most 64 letters");
+        let mut positions = std::collections::HashMap::with_capacity(vars.len());
+        for (i, &v) in vars.iter().enumerate() {
+            let prev = positions.insert(v, i);
+            assert!(prev.is_none(), "duplicate letter in alphabet");
+        }
+        Self { vars, positions }
+    }
+
+    /// The alphabet `V(φ)` of a formula, in `Var` order.
+    pub fn of_formula(f: &Formula) -> Self {
+        Self::new(f.vars().into_iter().collect())
+    }
+
+    /// The union of the alphabets of several formulas, in `Var` order.
+    pub fn of_formulas<'a, I: IntoIterator<Item = &'a Formula>>(fs: I) -> Self {
+        let mut vars = BTreeSet::new();
+        for f in fs {
+            f.collect_vars(&mut vars);
+        }
+        Self::new(vars.into_iter().collect())
+    }
+
+    /// Number of letters.
+    pub fn len(&self) -> usize {
+        self.vars.len()
+    }
+
+    /// True when the alphabet has no letters.
+    pub fn is_empty(&self) -> bool {
+        self.vars.is_empty()
+    }
+
+    /// The letters, in mask-bit order.
+    pub fn vars(&self) -> &[Var] {
+        &self.vars
+    }
+
+    /// Bit position of `v`, if it belongs to the alphabet.
+    pub fn position(&self, v: Var) -> Option<usize> {
+        self.positions.get(&v).copied()
+    }
+
+    /// True when `v` belongs to the alphabet.
+    pub fn contains(&self, v: Var) -> bool {
+        self.positions.contains_key(&v)
+    }
+
+    /// Total number of interpretations `2ⁿ`.
+    ///
+    /// # Panics
+    /// If the alphabet has 64 letters (the count overflows `u64`); all
+    /// enumeration entry points are intended for much smaller alphabets.
+    pub fn interpretation_count(&self) -> u64 {
+        assert!(self.len() < 64, "interpretation count overflows u64");
+        1u64 << self.len()
+    }
+
+    /// Convert a mask to the paper's set-of-letters interpretation.
+    pub fn mask_to_interpretation(&self, mask: u64) -> Interpretation {
+        self.vars
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| mask & (1 << i) != 0)
+            .map(|(_, &v)| v)
+            .collect()
+    }
+
+    /// Convert a set-of-letters interpretation to a mask. Letters outside
+    /// the alphabet are ignored (they are false by convention).
+    pub fn interpretation_to_mask(&self, m: &Interpretation) -> u64 {
+        let mut mask = 0u64;
+        for v in m {
+            if let Some(i) = self.position(*v) {
+                mask |= 1 << i;
+            }
+        }
+        mask
+    }
+
+    /// Evaluate `f` under `mask`; letters of `f` outside the alphabet
+    /// are false.
+    pub fn eval_mask(&self, f: &Formula, mask: u64) -> bool {
+        f.eval_fn(&|v| match self.position(v) {
+            Some(i) => mask & (1 << i) != 0,
+            None => false,
+        })
+    }
+
+    /// Enumerate all models of `f` over this alphabet, as masks, in
+    /// increasing mask order.
+    ///
+    /// # Panics
+    /// If the alphabet has 64 or more letters. This is the ground-truth
+    /// path; use the SAT solver for large alphabets.
+    pub fn models(&self, f: &Formula) -> Vec<u64> {
+        let count = self.interpretation_count();
+        (0..count).filter(|&m| self.eval_mask(f, m)).collect()
+    }
+
+    /// Hamming distance between two interpretations (the cardinality of
+    /// the symmetric difference, `|M △ N|`).
+    #[inline]
+    pub fn distance(a: u64, b: u64) -> u32 {
+        (a ^ b).count_ones()
+    }
+
+    /// Symmetric difference `M △ N` as a mask.
+    #[inline]
+    pub fn diff(a: u64, b: u64) -> u64 {
+        a ^ b
+    }
+
+    /// Project a mask onto the letters of `sub` (a sub-alphabet): the
+    /// resulting mask is expressed in `sub`'s bit order. Letters of
+    /// `sub` absent from `self` come out false.
+    pub fn project_mask(&self, mask: u64, sub: &Alphabet) -> u64 {
+        let mut out = 0u64;
+        for (j, &v) in sub.vars.iter().enumerate() {
+            if let Some(i) = self.position(v) {
+                if mask & (1 << i) != 0 {
+                    out |= 1 << j;
+                }
+            }
+        }
+        out
+    }
+
+    /// The mask selecting the positions of the given letters (letters
+    /// outside the alphabet are ignored).
+    pub fn subset_mask(&self, vars: &[Var]) -> u64 {
+        let mut out = 0u64;
+        for &v in vars {
+            if let Some(i) = self.position(v) {
+                out |= 1 << i;
+            }
+        }
+        out
+    }
+}
+
+/// Truth-table logical equivalence of two formulas over the union of
+/// their alphabets. Exponential; intended for testing and small inputs.
+pub fn tt_equivalent(a: &Formula, b: &Formula) -> bool {
+    let alpha = Alphabet::of_formulas([a, b]);
+    assert!(alpha.len() <= 24, "tt_equivalent is for small alphabets");
+    let count = 1u64 << alpha.len();
+    (0..count).all(|m| alpha.eval_mask(a, m) == alpha.eval_mask(b, m))
+}
+
+/// Truth-table validity check. Exponential; for testing and small inputs.
+pub fn tt_valid(f: &Formula) -> bool {
+    tt_equivalent(f, &Formula::True)
+}
+
+/// Truth-table satisfiability check. Exponential; for testing and small
+/// inputs.
+pub fn tt_satisfiable(f: &Formula) -> bool {
+    let alpha = Alphabet::of_formula(f);
+    assert!(alpha.len() <= 24, "tt_satisfiable is for small alphabets");
+    let count = 1u64 << alpha.len();
+    (0..count).any(|m| alpha.eval_mask(f, m))
+}
+
+/// Truth-table entailment `a ⊨ b` over the union alphabet. Exponential.
+pub fn tt_entails(a: &Formula, b: &Formula) -> bool {
+    let alpha = Alphabet::of_formulas([a, b]);
+    assert!(alpha.len() <= 24, "tt_entails is for small alphabets");
+    let count = 1u64 << alpha.len();
+    (0..count).all(|m| !alpha.eval_mask(a, m) || alpha.eval_mask(b, m))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(i: u32) -> Formula {
+        Formula::var(Var(i))
+    }
+
+    #[test]
+    fn eval_on_sets() {
+        let f = v(0).and(v(1).not());
+        let m: Interpretation = [Var(0)].into_iter().collect();
+        assert!(f.eval(&m));
+        let m2: Interpretation = [Var(0), Var(1)].into_iter().collect();
+        assert!(!f.eval(&m2));
+    }
+
+    #[test]
+    fn eval_shorthands() {
+        let f = v(0).iff(v(1));
+        let both: Interpretation = [Var(0), Var(1)].into_iter().collect();
+        let neither: Interpretation = Interpretation::new();
+        let one: Interpretation = [Var(0)].into_iter().collect();
+        assert!(f.eval(&both));
+        assert!(f.eval(&neither));
+        assert!(!f.eval(&one));
+        let g = v(0).implies(v(1));
+        assert!(g.eval(&neither));
+        assert!(!g.eval(&one));
+    }
+
+    #[test]
+    fn model_enumeration() {
+        let f = v(0).or(v(1));
+        let alpha = Alphabet::of_formula(&f);
+        let models = alpha.models(&f);
+        assert_eq!(models, vec![0b01, 0b10, 0b11]);
+    }
+
+    #[test]
+    fn interpretation_roundtrip() {
+        let alpha = Alphabet::new(vec![Var(3), Var(7), Var(9)]);
+        let m: Interpretation = [Var(3), Var(9)].into_iter().collect();
+        let mask = alpha.interpretation_to_mask(&m);
+        assert_eq!(mask, 0b101);
+        assert_eq!(alpha.mask_to_interpretation(mask), m);
+    }
+
+    #[test]
+    fn distance_and_diff() {
+        assert_eq!(Alphabet::distance(0b101, 0b011), 2);
+        assert_eq!(Alphabet::diff(0b101, 0b011), 0b110);
+    }
+
+    #[test]
+    fn projection() {
+        let big = Alphabet::new(vec![Var(0), Var(1), Var(2)]);
+        let small = Alphabet::new(vec![Var(2), Var(0)]);
+        // mask 0b110 on big = {Var1, Var2}; projected to (Var2, Var0) = 0b01.
+        assert_eq!(big.project_mask(0b110, &small), 0b01);
+    }
+
+    #[test]
+    fn subset_mask_ignores_foreign_letters() {
+        let alpha = Alphabet::new(vec![Var(0), Var(1)]);
+        assert_eq!(alpha.subset_mask(&[Var(1), Var(42)]), 0b10);
+    }
+
+    #[test]
+    fn tt_checks() {
+        let f = v(0).or(v(0).not());
+        assert!(tt_valid(&f));
+        assert!(tt_satisfiable(&v(0)));
+        assert!(!tt_satisfiable(&v(0).and(v(0).not())));
+        assert!(tt_entails(&v(0).and(v(1)), &v(0)));
+        assert!(!tt_entails(&v(0), &v(1)));
+        assert!(tt_equivalent(
+            &v(0).implies(v(1)),
+            &v(0).not().or(v(1))
+        ));
+    }
+
+    #[test]
+    fn eval_mask_treats_foreign_vars_false() {
+        let alpha = Alphabet::new(vec![Var(0)]);
+        let f = v(0).and(v(5).not());
+        assert!(alpha.eval_mask(&f, 0b1));
+    }
+}

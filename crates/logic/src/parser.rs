@@ -1,0 +1,298 @@
+//! A small recursive-descent parser for propositional formulas.
+//!
+//! Grammar (lowest to highest precedence; `<->` and `<+>` associate
+//! left, `->` associates right):
+//!
+//! ```text
+//! iff     := implies ( ("<->" | "<+>") implies )*
+//! implies := or ( "->" implies )?
+//! or      := and ( ("|" | "\/") and )*
+//! and     := unary ( ("&" | "/\") unary )*
+//! unary   := ("!" | "~" | "-") unary | atom
+//! atom    := "true" | "false" | ident | "(" iff ")"
+//! ident   := [A-Za-z_][A-Za-z0-9_'#]*
+//! ```
+//!
+//! Identifiers are interned into the supplied [`Signature`], so parsing
+//! `"g | b"` then `"!g"` reuses the same letters.
+
+use crate::formula::Formula;
+use crate::var::Signature;
+use std::fmt;
+
+/// A parse error with a byte offset into the input.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Byte position where parsing failed.
+    pub position: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at byte {}: {}", self.position, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parse `input` into a formula, interning letters into `sig`.
+///
+/// ```
+/// use revkb_logic::{parse, Signature};
+/// let mut sig = Signature::new();
+/// let f = parse("george | bill", &mut sig).unwrap();
+/// let g = parse("!george", &mut sig).unwrap();
+/// // Letters are shared through the signature.
+/// assert!(revkb_logic::tt_entails(&f.and(g), &parse("bill", &mut sig).unwrap()));
+/// ```
+pub fn parse(input: &str, sig: &mut Signature) -> Result<Formula, ParseError> {
+    let mut p = Parser {
+        bytes: input.as_bytes(),
+        pos: 0,
+        sig,
+    };
+    p.skip_ws();
+    let f = p.parse_iff()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.error("trailing input"));
+    }
+    Ok(f)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    sig: &'a mut Signature,
+}
+
+impl<'a> Parser<'a> {
+    fn error(&self, message: &str) -> ParseError {
+        ParseError {
+            position: self.pos,
+            message: message.to_string(),
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while self.pos < self.bytes.len() && self.bytes[self.pos].is_ascii_whitespace() {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn eat(&mut self, token: &str) -> bool {
+        if self.bytes[self.pos..].starts_with(token.as_bytes()) {
+            self.pos += token.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn parse_iff(&mut self) -> Result<Formula, ParseError> {
+        let mut left = self.parse_implies()?;
+        loop {
+            self.skip_ws();
+            if self.eat("<->") {
+                self.skip_ws();
+                let right = self.parse_implies()?;
+                left = left.iff(right);
+            } else if self.eat("<+>") {
+                self.skip_ws();
+                let right = self.parse_implies()?;
+                left = left.xor(right);
+            } else {
+                return Ok(left);
+            }
+        }
+    }
+
+    fn parse_implies(&mut self) -> Result<Formula, ParseError> {
+        let left = self.parse_or()?;
+        self.skip_ws();
+        if self.eat("->") {
+            self.skip_ws();
+            let right = self.parse_implies()?;
+            Ok(left.implies(right))
+        } else {
+            Ok(left)
+        }
+    }
+
+    fn parse_or(&mut self) -> Result<Formula, ParseError> {
+        let mut parts = vec![self.parse_and()?];
+        loop {
+            self.skip_ws();
+            // Careful not to consume the "|" of nothing or "\/".
+            if self.eat("\\/") || (self.peek() == Some(b'|') && { self.pos += 1; true }) {
+                self.skip_ws();
+                parts.push(self.parse_and()?);
+            } else {
+                break;
+            }
+        }
+        Ok(Formula::or_all(parts))
+    }
+
+    fn parse_and(&mut self) -> Result<Formula, ParseError> {
+        let mut parts = vec![self.parse_unary()?];
+        loop {
+            self.skip_ws();
+            if self.eat("/\\") || (self.peek() == Some(b'&') && { self.pos += 1; true }) {
+                self.skip_ws();
+                parts.push(self.parse_unary()?);
+            } else {
+                break;
+            }
+        }
+        Ok(Formula::and_all(parts))
+    }
+
+    fn parse_unary(&mut self) -> Result<Formula, ParseError> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'!') | Some(b'~') => {
+                self.pos += 1;
+                Ok(self.parse_unary()?.not())
+            }
+            // '-' negation, but not the '->' arrow (can't start a term).
+            Some(b'-') if self.bytes.get(self.pos + 1) != Some(&b'>') => {
+                self.pos += 1;
+                Ok(self.parse_unary()?.not())
+            }
+            _ => self.parse_atom(),
+        }
+    }
+
+    fn parse_atom(&mut self) -> Result<Formula, ParseError> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'(') => {
+                self.pos += 1;
+                let f = self.parse_iff()?;
+                self.skip_ws();
+                if self.peek() == Some(b')') {
+                    self.pos += 1;
+                    Ok(f)
+                } else {
+                    Err(self.error("expected ')'"))
+                }
+            }
+            Some(c) if c.is_ascii_alphabetic() || c == b'_' => {
+                let start = self.pos;
+                while self
+                    .peek()
+                    .map(|c| {
+                        c.is_ascii_alphanumeric() || c == b'_' || c == b'\'' || c == b'#'
+                    })
+                    .unwrap_or(false)
+                {
+                    self.pos += 1;
+                }
+                let ident = std::str::from_utf8(&self.bytes[start..self.pos])
+                    .expect("ascii slice");
+                match ident {
+                    "true" | "TRUE" | "T" => Ok(Formula::True),
+                    "false" | "FALSE" | "F" => Ok(Formula::False),
+                    name => Ok(Formula::var(self.sig.var(name))),
+                }
+            }
+            _ => Err(self.error("expected atom")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::tt_equivalent;
+    use crate::formula::Formula;
+
+    fn roundtrip(s: &str) -> (Formula, Signature) {
+        let mut sig = Signature::new();
+        let f = parse(s, &mut sig).expect("parse failed");
+        (f, sig)
+    }
+
+    #[test]
+    fn atoms_and_constants() {
+        let (f, sig) = roundtrip("george");
+        assert_eq!(f, Formula::var(sig.lookup("george").unwrap()));
+        assert_eq!(roundtrip("true").0, Formula::True);
+        assert_eq!(roundtrip("false").0, Formula::False);
+    }
+
+    #[test]
+    fn precedence() {
+        // a | b & c parses as a | (b & c)
+        let (f, mut sig) = roundtrip("a | b & c");
+        let expected = parse("a | (b & c)", &mut sig).unwrap();
+        assert_eq!(f, expected);
+        // !a & b parses as (!a) & b
+        let (g, mut sig2) = roundtrip("!a & b");
+        let expected2 = parse("(!a) & b", &mut sig2).unwrap();
+        assert_eq!(g, expected2);
+    }
+
+    #[test]
+    fn implication_right_associative() {
+        let (f, mut sig) = roundtrip("a -> b -> c");
+        let expected = parse("a -> (b -> c)", &mut sig).unwrap();
+        assert_eq!(f, expected);
+    }
+
+    #[test]
+    fn connective_spellings() {
+        let (f, mut sig) = roundtrip("a /\\ b \\/ ~c");
+        let expected = parse("a & b | !c", &mut sig).unwrap();
+        assert!(tt_equivalent(&f, &expected));
+    }
+
+    #[test]
+    fn iff_and_xor() {
+        let (f, _) = roundtrip("a <-> b");
+        assert!(matches!(f, Formula::Iff(_, _)));
+        let (g, _) = roundtrip("a <+> b");
+        assert!(matches!(g, Formula::Xor(_, _)));
+    }
+
+    #[test]
+    fn shared_signature_reuses_letters() {
+        let mut sig = Signature::new();
+        let f = parse("g | b", &mut sig).unwrap();
+        let g = parse("!g", &mut sig).unwrap();
+        let conj = f.and(g);
+        // g ∨ b, ¬g entails b (the paper's office example).
+        let b = Formula::var(sig.lookup("b").unwrap());
+        assert!(crate::eval::tt_entails(&conj, &b));
+    }
+
+    #[test]
+    fn dash_negation_vs_arrow() {
+        let (f, mut sig) = roundtrip("-a -> b");
+        let expected = parse("(!a) -> b", &mut sig).unwrap();
+        assert_eq!(f, expected);
+    }
+
+    #[test]
+    fn errors() {
+        let mut sig = Signature::new();
+        assert!(parse("a &", &mut sig).is_err());
+        assert!(parse("(a", &mut sig).is_err());
+        assert!(parse("a b", &mut sig).is_err());
+        assert!(parse("", &mut sig).is_err());
+    }
+
+    #[test]
+    fn primed_identifiers() {
+        let (_, sig) = roundtrip("x1' & w#3");
+        assert!(sig.lookup("x1'").is_some());
+        assert!(sig.lookup("w#3").is_some());
+    }
+}

@@ -1,0 +1,134 @@
+//! Pretty-printing formulas back to the parser's concrete syntax.
+
+use crate::formula::Formula;
+use crate::var::Signature;
+use std::fmt::Write;
+
+/// Render `f` using the letter names of `sig` (unknown letters print as
+/// `v<i>`). The output re-parses to a structurally equal formula.
+pub fn render(f: &Formula, sig: &Signature) -> String {
+    let mut out = String::new();
+    write_prec(f, sig, 0, &mut out);
+    out
+}
+
+/// Precedence levels: 0 iff/xor, 1 implies, 2 or, 3 and, 4 unary.
+fn write_prec(f: &Formula, sig: &Signature, prec: u8, out: &mut String) {
+    let my_prec = match f {
+        Formula::Iff(_, _) | Formula::Xor(_, _) => 0,
+        Formula::Implies(_, _) => 1,
+        Formula::Or(_) => 2,
+        Formula::And(_) => 3,
+        _ => 4,
+    };
+    let need_parens = my_prec < prec;
+    if need_parens {
+        out.push('(');
+    }
+    match f {
+        Formula::True => out.push_str("true"),
+        Formula::False => out.push_str("false"),
+        Formula::Var(v) => {
+            let _ = write!(out, "{}", sig.name_or_default(*v));
+        }
+        Formula::Not(inner) => {
+            out.push('!');
+            write_prec(inner, sig, 4, out);
+        }
+        Formula::And(fs) => {
+            for (i, g) in fs.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(" & ");
+                }
+                write_prec(g, sig, 4, out);
+            }
+        }
+        Formula::Or(fs) => {
+            for (i, g) in fs.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(" | ");
+                }
+                write_prec(g, sig, 3, out);
+            }
+        }
+        Formula::Implies(a, b) => {
+            write_prec(a, sig, 2, out);
+            out.push_str(" -> ");
+            write_prec(b, sig, 1, out);
+        }
+        Formula::Iff(a, b) => {
+            write_prec(a, sig, 1, out);
+            out.push_str(" <-> ");
+            write_prec(b, sig, 1, out);
+        }
+        Formula::Xor(a, b) => {
+            write_prec(a, sig, 1, out);
+            out.push_str(" <+> ");
+            write_prec(b, sig, 1, out);
+        }
+    }
+    if need_parens {
+        out.push(')');
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::tt_equivalent;
+    use crate::parser::parse;
+
+    fn check_roundtrip(s: &str) {
+        let mut sig = Signature::new();
+        let f = parse(s, &mut sig).unwrap();
+        let rendered = render(&f, &sig);
+        let mut sig2 = sig.clone();
+        let g = parse(&rendered, &mut sig2).unwrap();
+        assert!(
+            tt_equivalent(&f, &g),
+            "roundtrip changed semantics: {s} -> {rendered}"
+        );
+    }
+
+    #[test]
+    fn roundtrips() {
+        for s in [
+            "a",
+            "!a",
+            "a & b & c",
+            "a | b & c",
+            "(a | b) & c",
+            "a -> b -> c",
+            "(a -> b) -> c",
+            "a <-> b <+> c",
+            "!(a & b)",
+            "true | false",
+            "a & !b | c -> d <-> e",
+        ] {
+            check_roundtrip(s);
+        }
+    }
+
+    #[test]
+    fn rendering_uses_names() {
+        let mut sig = Signature::new();
+        let f = parse("george | bill", &mut sig).unwrap();
+        assert_eq!(render(&f, &sig), "george | bill");
+    }
+
+    #[test]
+    fn unknown_vars_render_as_default() {
+        let sig = Signature::new();
+        let f = Formula::var(crate::var::Var(7));
+        assert_eq!(render(&f, &sig), "v7");
+    }
+
+    #[test]
+    fn negation_parenthesizes_compounds() {
+        let mut sig = Signature::new();
+        let f = parse("!(a | b)", &mut sig).unwrap();
+        let rendered = render(&f, &sig);
+        let g = parse(&rendered, &mut sig).unwrap();
+        assert!(tt_equivalent(&f, &g));
+    }
+}

@@ -1,0 +1,281 @@
+//! CNF simplification: unit propagation, tautology and duplicate
+//! removal, subsumption and self-subsumption.
+//!
+//! The compact representations the revision engine emits are highly
+//! structured (guard letters, definitional equivalences); a
+//! simplification pass often shrinks them substantially before they
+//! are measured or queried. All rules preserve logical equivalence
+//! over the original variables — unit propagation keeps the unit
+//! clauses themselves, so no model is gained or lost.
+
+use crate::cnf::{Clause, Cnf, Lit};
+use std::collections::BTreeSet;
+
+/// Outcome statistics of a simplification pass.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SimplifyStats {
+    /// Clauses removed as tautologies or duplicates.
+    pub tautologies: usize,
+    /// Clauses removed by unit propagation (satisfied by a unit).
+    pub satisfied_by_units: usize,
+    /// Literal occurrences deleted (falsified by units or
+    /// self-subsumption).
+    pub literals_removed: usize,
+    /// Clauses removed by subsumption.
+    pub subsumed: usize,
+    /// True when a contradiction was derived (the result is `⊥`).
+    pub contradiction: bool,
+}
+
+/// Simplify a CNF in place, preserving logical equivalence over all
+/// variables. Returns the statistics; on contradiction the CNF is
+/// replaced by the single empty clause.
+pub fn simplify_cnf(cnf: &mut Cnf) -> SimplifyStats {
+    let mut stats = SimplifyStats::default();
+
+    // 1. Normalise clauses: sort, dedup, drop tautologies.
+    let mut clauses: Vec<Clause> = Vec::with_capacity(cnf.clauses.len());
+    'clause: for c in cnf.clauses.drain(..) {
+        let mut c = c;
+        c.sort_unstable();
+        c.dedup();
+        for w in c.windows(2) {
+            if w[0] == w[1].negated() {
+                stats.tautologies += 1;
+                continue 'clause;
+            }
+        }
+        clauses.push(c);
+    }
+    clauses.sort();
+    let before = clauses.len();
+    clauses.dedup();
+    stats.tautologies += before - clauses.len();
+
+    // 2. Unit propagation to fixpoint.
+    let mut units: BTreeSet<Lit> = BTreeSet::new();
+    loop {
+        let new_units: Vec<Lit> = clauses
+            .iter()
+            .filter(|c| c.len() == 1)
+            .map(|c| c[0])
+            .filter(|l| !units.contains(l))
+            .collect();
+        if new_units.is_empty() {
+            break;
+        }
+        for u in new_units {
+            if units.contains(&u.negated()) {
+                stats.contradiction = true;
+                cnf.clauses = vec![vec![]];
+                return stats;
+            }
+            units.insert(u);
+        }
+        let mut next: Vec<Clause> = Vec::with_capacity(clauses.len());
+        for c in clauses.drain(..) {
+            if c.len() == 1 && units.contains(&c[0]) {
+                next.push(c); // keep the unit itself
+                continue;
+            }
+            if c.iter().any(|l| units.contains(l)) {
+                stats.satisfied_by_units += 1;
+                continue;
+            }
+            let filtered: Clause = c
+                .iter()
+                .copied()
+                .filter(|l| !units.contains(&l.negated()))
+                .collect();
+            stats.literals_removed += c.len() - filtered.len();
+            if filtered.is_empty() {
+                stats.contradiction = true;
+                cnf.clauses = vec![vec![]];
+                return stats;
+            }
+            next.push(filtered);
+        }
+        clauses = next;
+    }
+
+    // 3. Subsumption and self-subsumption (quadratic; fine at the
+    //    sizes the revision engine produces).
+    let subset = |a: &Clause, b: &Clause| a.iter().all(|l| b.binary_search(l).is_ok());
+    let mut removed = vec![false; clauses.len()];
+    for i in 0..clauses.len() {
+        if removed[i] {
+            continue;
+        }
+        for j in 0..clauses.len() {
+            if i == j || removed[j] || removed[i] {
+                continue;
+            }
+            if clauses[i].len() <= clauses[j].len() && subset(&clauses[i], &clauses[j]) {
+                removed[j] = true;
+                stats.subsumed += 1;
+                continue;
+            }
+            // Self-subsumption: if flipping one literal of clause i
+            // makes it a subset of clause j, that literal can be
+            // removed from j.
+            if clauses[i].len() <= clauses[j].len() {
+                let mut candidate: Option<Lit> = None;
+                let mut fits = true;
+                for &l in &clauses[i] {
+                    if clauses[j].binary_search(&l).is_ok() {
+                        continue;
+                    }
+                    if clauses[j].binary_search(&l.negated()).is_ok()
+                        && candidate.is_none()
+                    {
+                        candidate = Some(l.negated());
+                    } else {
+                        fits = false;
+                        break;
+                    }
+                }
+                if fits {
+                    if let Some(drop) = candidate {
+                        let pos = clauses[j].binary_search(&drop).expect("present");
+                        clauses[j].remove(pos);
+                        stats.literals_removed += 1;
+                        if clauses[j].is_empty() {
+                            stats.contradiction = true;
+                            cnf.clauses = vec![vec![]];
+                            return stats;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    cnf.clauses = clauses
+        .into_iter()
+        .zip(removed)
+        .filter(|(_, r)| !r)
+        .map(|(c, _)| c)
+        .collect();
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::tt_equivalent;
+    use crate::var::Var;
+
+    fn pos(i: u32) -> Lit {
+        Lit::pos(Var(i))
+    }
+    fn neg(i: u32) -> Lit {
+        Lit::neg(Var(i))
+    }
+
+    fn check_preserves(cnf_in: Vec<Clause>) {
+        let mut cnf = Cnf::new();
+        for c in cnf_in {
+            cnf.push(c);
+        }
+        let original = cnf.to_formula();
+        let mut simplified = cnf.clone();
+        simplify_cnf(&mut simplified);
+        assert!(
+            tt_equivalent(&original, &simplified.to_formula()),
+            "simplification changed semantics of {cnf:?}"
+        );
+    }
+
+    #[test]
+    fn removes_tautologies_and_duplicates() {
+        let mut cnf = Cnf::new();
+        cnf.push(vec![pos(0), neg(0)]);
+        cnf.push(vec![pos(1)]);
+        cnf.push(vec![pos(1)]);
+        let stats = simplify_cnf(&mut cnf);
+        assert_eq!(cnf.len(), 1);
+        assert_eq!(stats.tautologies, 2);
+    }
+
+    #[test]
+    fn unit_propagation_fixpoint() {
+        // x0, ¬x0 ∨ x1, ¬x1 ∨ x2 — propagates through the chain.
+        let mut cnf = Cnf::new();
+        cnf.push(vec![pos(0)]);
+        cnf.push(vec![neg(0), pos(1)]);
+        cnf.push(vec![neg(1), pos(2)]);
+        let stats = simplify_cnf(&mut cnf);
+        assert!(!stats.contradiction);
+        // The units remain; the implications collapse into units.
+        let mut units: Vec<Clause> = cnf.clauses.clone();
+        units.sort();
+        assert_eq!(units, vec![vec![pos(0)], vec![pos(1)], vec![pos(2)]]);
+    }
+
+    #[test]
+    fn detects_contradiction() {
+        let mut cnf = Cnf::new();
+        cnf.push(vec![pos(0)]);
+        cnf.push(vec![neg(0)]);
+        let stats = simplify_cnf(&mut cnf);
+        assert!(stats.contradiction);
+        assert_eq!(cnf.clauses, vec![Vec::<Lit>::new()]);
+    }
+
+    #[test]
+    fn subsumption() {
+        let mut cnf = Cnf::new();
+        cnf.push(vec![pos(0), pos(1)]);
+        cnf.push(vec![pos(0), pos(1), pos(2)]);
+        let stats = simplify_cnf(&mut cnf);
+        assert_eq!(stats.subsumed, 1);
+        assert_eq!(cnf.len(), 1);
+    }
+
+    #[test]
+    fn self_subsumption_strengthens() {
+        // (x0 ∨ x1) ∧ (¬x0 ∨ x1 ∨ x2) → second becomes (x1 ∨ x2).
+        let mut cnf = Cnf::new();
+        cnf.push(vec![pos(0), pos(1)]);
+        cnf.push(vec![neg(0), pos(1), pos(2)]);
+        simplify_cnf(&mut cnf);
+        assert!(cnf
+            .clauses
+            .iter()
+            .any(|c| c.len() == 2 && c.contains(&pos(1)) && c.contains(&pos(2))));
+    }
+
+    #[test]
+    fn preserves_equivalence_on_samples() {
+        check_preserves(vec![
+            vec![pos(0), neg(1)],
+            vec![pos(1)],
+            vec![neg(0), pos(2), pos(1)],
+        ]);
+        check_preserves(vec![vec![pos(0), pos(1)], vec![neg(0), pos(1), pos(2)]]);
+        check_preserves(vec![vec![pos(0), neg(0), pos(1)], vec![pos(2)]]);
+        check_preserves(vec![]);
+    }
+
+    #[test]
+    fn random_equivalence_preservation() {
+        let mut seed = 11u64;
+        let mut rnd = move || {
+            seed = seed
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (seed >> 33) as u32
+        };
+        for _ in 0..100 {
+            let m = 2 + rnd() % 8;
+            let clauses: Vec<Clause> = (0..m)
+                .map(|_| {
+                    let k = 1 + rnd() % 3;
+                    (0..k)
+                        .map(|_| Lit::new(Var(rnd() % 5), rnd() & 1 == 0))
+                        .collect()
+                })
+                .collect();
+            check_preserves(clauses);
+        }
+    }
+}

@@ -1,0 +1,166 @@
+//! Substitution of letters by formulas: the paper's `P[x/F]` and
+//! `P[X/Y]` notation, plus the idioms the constructions use constantly —
+//! vector renaming `T[X/Y]` and literal flipping `T[S/S̄]`.
+
+use crate::formula::Formula;
+use crate::var::Var;
+use std::collections::HashMap;
+
+/// A simultaneous substitution from letters to formulas.
+#[derive(Debug, Clone, Default)]
+pub struct Substitution {
+    map: HashMap<Var, Formula>,
+}
+
+impl Substitution {
+    /// The empty substitution.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// `P[x/F]`: map letter `x` to formula `F`.
+    pub fn bind(mut self, x: Var, f: Formula) -> Self {
+        self.map.insert(x, f);
+        self
+    }
+
+    /// `P[X/Y]` for ordered letter vectors `X`, `Y` of equal length.
+    ///
+    /// # Panics
+    /// If the vectors differ in length.
+    pub fn renaming(xs: &[Var], ys: &[Var]) -> Self {
+        assert_eq!(xs.len(), ys.len(), "renaming vectors differ in length");
+        let mut s = Self::new();
+        for (&x, &y) in xs.iter().zip(ys) {
+            s.map.insert(x, Formula::var(y));
+        }
+        s
+    }
+
+    /// `T[S/S̄]`: replace each letter of `S` by its negation
+    /// (Proposition 4.2's flip).
+    pub fn flipping(s: &[Var]) -> Self {
+        let mut sub = Self::new();
+        for &x in s {
+            sub.map.insert(x, Formula::var(x).not());
+        }
+        sub
+    }
+
+    /// The bound formula for `x`, if any.
+    pub fn get(&self, x: Var) -> Option<&Formula> {
+        self.map.get(&x)
+    }
+
+    /// Number of bound letters.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when no letter is bound.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Apply the substitution simultaneously to `f`.
+    pub fn apply(&self, f: &Formula) -> Formula {
+        match f {
+            Formula::True | Formula::False => f.clone(),
+            Formula::Var(v) => match self.map.get(v) {
+                Some(g) => g.clone(),
+                None => f.clone(),
+            },
+            Formula::Not(inner) => self.apply(inner).not(),
+            Formula::And(fs) => Formula::and_all(fs.iter().map(|g| self.apply(g))),
+            Formula::Or(fs) => Formula::or_all(fs.iter().map(|g| self.apply(g))),
+            Formula::Implies(a, b) => self.apply(a).implies(self.apply(b)),
+            Formula::Iff(a, b) => self.apply(a).iff(self.apply(b)),
+            Formula::Xor(a, b) => self.apply(a).xor(self.apply(b)),
+        }
+    }
+}
+
+impl Formula {
+    /// `self[x/F]`.
+    pub fn substitute(&self, x: Var, f: Formula) -> Formula {
+        Substitution::new().bind(x, f).apply(self)
+    }
+
+    /// `self[X/Y]` for equal-length letter vectors.
+    pub fn rename(&self, xs: &[Var], ys: &[Var]) -> Formula {
+        Substitution::renaming(xs, ys).apply(self)
+    }
+
+    /// `self[S/S̄]`: flip the polarity of every letter in `s`.
+    pub fn flip(&self, s: &[Var]) -> Formula {
+        Substitution::flipping(s).apply(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::tt_equivalent;
+
+    fn v(i: u32) -> Formula {
+        Formula::var(Var(i))
+    }
+
+    #[test]
+    fn paper_example() {
+        // Q = x1 ∧ (x2 ∨ ¬x3); X = {x1,x3}, Y = {y1, ¬y3}.
+        // Q[X/Y] = y1 ∧ (x2 ∨ ¬¬y3).
+        let q = v(1).and(v(2).or(v(3).not()));
+        let sub = Substitution::new()
+            .bind(Var(1), v(11))
+            .bind(Var(3), v(13).not());
+        let out = sub.apply(&q);
+        // ¬¬y3 collapses to y3 under our smart constructors.
+        let expected = v(11).and(v(2).or(v(13)));
+        assert_eq!(out, expected);
+    }
+
+    #[test]
+    fn substitution_is_simultaneous() {
+        // [x0/x1, x1/x0] swaps, it does not cascade.
+        let f = v(0).and(v(1));
+        let sub = Substitution::new().bind(Var(0), v(1)).bind(Var(1), v(0));
+        assert_eq!(sub.apply(&f), v(1).and(v(0)));
+    }
+
+    #[test]
+    fn renaming_vectors() {
+        let f = v(0).or(v(1));
+        let out = f.rename(&[Var(0), Var(1)], &[Var(10), Var(11)]);
+        assert_eq!(out, v(10).or(v(11)));
+    }
+
+    #[test]
+    fn flip_is_involutive_semantically() {
+        let f = v(0).implies(v(1)).and(v(2).xor(v(0)));
+        let s = [Var(0), Var(2)];
+        let flipped_twice = f.flip(&s).flip(&s);
+        assert!(tt_equivalent(&f, &flipped_twice));
+    }
+
+    #[test]
+    fn prop_4_2_flip_models() {
+        // Proposition 4.2: M ⊨ F iff M△H ⊨ F[H/H̄].
+        // F = x1 ∧ (x2 ∨ ¬x3), M = {x1}, H = {x2,x3}.
+        let f = v(1).and(v(2).or(v(3).not()));
+        let m: crate::eval::Interpretation = [Var(1)].into_iter().collect();
+        assert!(f.eval(&m));
+        let h = [Var(2), Var(3)];
+        let m_delta_h: crate::eval::Interpretation =
+            [Var(1), Var(2), Var(3)].into_iter().collect();
+        let f_flipped = f.flip(&h);
+        assert!(f_flipped.eval(&m_delta_h));
+    }
+
+    #[test]
+    fn unbound_letters_untouched() {
+        let f = v(0).and(v(5));
+        let out = f.substitute(Var(0), Formula::True);
+        assert_eq!(out, v(5));
+    }
+}

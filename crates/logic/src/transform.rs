@@ -1,0 +1,169 @@
+//! Structural transformations: negation normal form, constant
+//! simplification, and conditioning (partial evaluation).
+
+use crate::formula::Formula;
+use crate::var::Var;
+use std::collections::HashMap;
+
+impl Formula {
+    /// Negation normal form: negations pushed to the letters.
+    ///
+    /// Shorthands (`→`, `≡`, `≢`) are expanded first, so the result
+    /// uses only `¬/∧/∨` with negation applied to letters.
+    pub fn nnf(&self) -> Formula {
+        nnf_inner(&self.expand_shorthands(), false)
+    }
+
+    /// Fold constants and flatten nested connectives, bottom-up.
+    ///
+    /// This is not a full simplifier (no absorption or unit
+    /// propagation); it re-runs the smart constructors over the whole
+    /// tree, which is enough to clean up after substitution of `⊤`/`⊥`.
+    pub fn simplified(&self) -> Formula {
+        match self {
+            Formula::True | Formula::False | Formula::Var(_) => self.clone(),
+            Formula::Not(f) => f.simplified().not(),
+            Formula::And(fs) => Formula::and_all(fs.iter().map(Formula::simplified)),
+            Formula::Or(fs) => Formula::or_all(fs.iter().map(Formula::simplified)),
+            Formula::Implies(a, b) => {
+                let (a, b) = (a.simplified(), b.simplified());
+                match (&a, &b) {
+                    (Formula::True, _) => b,
+                    (Formula::False, _) => Formula::True,
+                    (_, Formula::True) => Formula::True,
+                    (_, Formula::False) => a.not(),
+                    _ => a.implies(b),
+                }
+            }
+            Formula::Iff(a, b) => {
+                let (a, b) = (a.simplified(), b.simplified());
+                match (&a, &b) {
+                    (Formula::True, _) => b,
+                    (_, Formula::True) => a,
+                    (Formula::False, _) => b.not(),
+                    (_, Formula::False) => a.not(),
+                    _ => a.iff(b),
+                }
+            }
+            Formula::Xor(a, b) => {
+                let (a, b) = (a.simplified(), b.simplified());
+                match (&a, &b) {
+                    (Formula::True, _) => b.not(),
+                    (_, Formula::True) => a.not(),
+                    (Formula::False, _) => b,
+                    (_, Formula::False) => a,
+                    _ => a.xor(b),
+                }
+            }
+        }
+    }
+
+    /// Condition the formula on a partial assignment: replace each
+    /// assigned letter by `⊤`/`⊥` and simplify.
+    pub fn condition(&self, assignment: &HashMap<Var, bool>) -> Formula {
+        let mut sub = crate::subst::Substitution::new();
+        for (&v, &b) in assignment {
+            sub = sub.bind(v, if b { Formula::True } else { Formula::False });
+        }
+        sub.apply(self).simplified()
+    }
+}
+
+fn nnf_inner(f: &Formula, negate: bool) -> Formula {
+    match f {
+        Formula::True => {
+            if negate {
+                Formula::False
+            } else {
+                Formula::True
+            }
+        }
+        Formula::False => {
+            if negate {
+                Formula::True
+            } else {
+                Formula::False
+            }
+        }
+        Formula::Var(v) => Formula::lit(*v, !negate),
+        Formula::Not(inner) => nnf_inner(inner, !negate),
+        Formula::And(fs) => {
+            let parts = fs.iter().map(|g| nnf_inner(g, negate));
+            if negate {
+                Formula::or_all(parts)
+            } else {
+                Formula::and_all(parts)
+            }
+        }
+        Formula::Or(fs) => {
+            let parts = fs.iter().map(|g| nnf_inner(g, negate));
+            if negate {
+                Formula::and_all(parts)
+            } else {
+                Formula::or_all(parts)
+            }
+        }
+        // expand_shorthands ran first, so these cannot appear.
+        other => panic!("nnf_inner on unexpanded shorthand {other:?}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::tt_equivalent;
+
+    fn v(i: u32) -> Formula {
+        Formula::var(Var(i))
+    }
+
+    fn is_nnf(f: &Formula) -> bool {
+        match f {
+            Formula::True | Formula::False | Formula::Var(_) => true,
+            Formula::Not(inner) => matches!(inner.as_ref(), Formula::Var(_)),
+            Formula::And(fs) | Formula::Or(fs) => fs.iter().all(is_nnf),
+            _ => false,
+        }
+    }
+
+    #[test]
+    fn nnf_preserves_semantics_and_shape() {
+        for f in [
+            v(0).and(v(1).or(v(2))).not(),
+            v(0).iff(v(1)).not(),
+            v(0).implies(v(1).xor(v(2))),
+            v(0).not().not().not(),
+        ] {
+            let n = f.nnf();
+            assert!(is_nnf(&n), "not NNF: {n:?}");
+            assert!(tt_equivalent(&f, &n), "NNF changed semantics of {f:?}");
+        }
+    }
+
+    #[test]
+    fn simplify_folds_constants() {
+        let f = v(0).implies(Formula::True);
+        assert_eq!(f.simplified(), Formula::True);
+        let g = Formula::False.iff(v(1));
+        assert_eq!(g.simplified(), v(1).not());
+        let h = Formula::True.xor(v(2));
+        assert_eq!(h.simplified(), v(2).not());
+    }
+
+    #[test]
+    fn conditioning() {
+        let f = v(0).and(v(1).or(v(2)));
+        let mut assign = HashMap::new();
+        assign.insert(Var(0), true);
+        assign.insert(Var(1), false);
+        assert_eq!(f.condition(&assign), v(2));
+        assign.insert(Var(2), false);
+        assert_eq!(f.condition(&assign), Formula::False);
+    }
+
+    #[test]
+    fn simplify_preserves_semantics() {
+        let f = v(0).implies(v(1)).iff(v(2).xor(Formula::False));
+        assert!(tt_equivalent(&f, &f.simplified()));
+    }
+}

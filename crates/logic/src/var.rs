@@ -1,0 +1,189 @@
+//! Propositional variables and signatures (alphabets).
+//!
+//! The paper works with named propositional letters (`b₁ … bₙ`, guard
+//! matrices `cʲᵢ`, primed copies `Y`, `Z`, circuit-internal letters `W`).
+//! A [`Signature`] interns letter names and hands out dense [`Var`]
+//! indices, so the rest of the system can use integer-indexed variables
+//! while error messages and pretty-printing keep the paper's names.
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// A propositional variable: a dense index into a [`Signature`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Var(pub u32);
+
+impl Var {
+    /// Index as `usize`, for table lookups.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for Var {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+/// An interning table from letter names to [`Var`] indices.
+///
+/// Signatures are append-only: letters are never removed, so `Var`
+/// indices stay stable for the lifetime of the signature. Fresh letters
+/// (Tseitin definitions, the paper's `Y`/`Z`/`W` families) are created
+/// with [`Signature::fresh`], which guarantees a name that is not yet
+/// taken.
+#[derive(Debug, Default, Clone)]
+pub struct Signature {
+    names: Vec<String>,
+    index: HashMap<String, Var>,
+    fresh_counter: u64,
+}
+
+impl Signature {
+    /// An empty signature.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A signature pre-populated with `names`, in order.
+    pub fn from_names<I, S>(names: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let mut sig = Self::new();
+        for n in names {
+            sig.var(&n.into());
+        }
+        sig
+    }
+
+    /// Intern `name`, returning its variable (existing or new).
+    pub fn var(&mut self, name: &str) -> Var {
+        if let Some(&v) = self.index.get(name) {
+            return v;
+        }
+        let v = Var(self.names.len() as u32);
+        self.names.push(name.to_string());
+        self.index.insert(name.to_string(), v);
+        v
+    }
+
+    /// Look up an already-interned name.
+    pub fn lookup(&self, name: &str) -> Option<Var> {
+        self.index.get(name).copied()
+    }
+
+    /// The name of `v`, if `v` belongs to this signature.
+    pub fn name(&self, v: Var) -> Option<&str> {
+        self.names.get(v.index()).map(|s| s.as_str())
+    }
+
+    /// The name of `v`, or a synthetic `v<i>` placeholder.
+    pub fn name_or_default(&self, v: Var) -> String {
+        self.name(v)
+            .map(|s| s.to_string())
+            .unwrap_or_else(|| format!("v{}", v.0))
+    }
+
+    /// Number of interned letters.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// True when no letter has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Create a fresh letter whose name starts with `prefix` and is not
+    /// yet interned.
+    pub fn fresh(&mut self, prefix: &str) -> Var {
+        loop {
+            let candidate = format!("{}#{}", prefix, self.fresh_counter);
+            self.fresh_counter += 1;
+            if !self.index.contains_key(&candidate) {
+                return self.var(&candidate);
+            }
+        }
+    }
+
+    /// Create `count` fresh letters sharing `prefix`.
+    pub fn fresh_many(&mut self, prefix: &str, count: usize) -> Vec<Var> {
+        (0..count).map(|_| self.fresh(prefix)).collect()
+    }
+
+    /// Iterate over `(Var, name)` pairs in index order.
+    pub fn iter(&self) -> impl Iterator<Item = (Var, &str)> {
+        self.names
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (Var(i as u32), n.as_str()))
+    }
+
+    /// All variables of the signature, in index order.
+    pub fn all_vars(&self) -> Vec<Var> {
+        (0..self.names.len() as u32).map(Var).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_idempotent() {
+        let mut sig = Signature::new();
+        let a = sig.var("a");
+        let b = sig.var("b");
+        assert_ne!(a, b);
+        assert_eq!(sig.var("a"), a);
+        assert_eq!(sig.len(), 2);
+    }
+
+    #[test]
+    fn lookup_and_names() {
+        let mut sig = Signature::new();
+        let g = sig.var("george");
+        assert_eq!(sig.lookup("george"), Some(g));
+        assert_eq!(sig.lookup("bill"), None);
+        assert_eq!(sig.name(g), Some("george"));
+        assert_eq!(sig.name(Var(99)), None);
+        assert_eq!(sig.name_or_default(Var(99)), "v99");
+    }
+
+    #[test]
+    fn fresh_avoids_collisions() {
+        let mut sig = Signature::new();
+        sig.var("w#0");
+        let f = sig.fresh("w");
+        assert_ne!(sig.name(f), Some("w#0"));
+        let g = sig.fresh("w");
+        assert_ne!(f, g);
+    }
+
+    #[test]
+    fn fresh_many_distinct() {
+        let mut sig = Signature::new();
+        let vs = sig.fresh_many("y", 10);
+        let set: std::collections::HashSet<_> = vs.iter().collect();
+        assert_eq!(set.len(), 10);
+    }
+
+    #[test]
+    fn from_names_orders_vars() {
+        let sig = Signature::from_names(["a", "b", "c"]);
+        assert_eq!(sig.lookup("a"), Some(Var(0)));
+        assert_eq!(sig.lookup("c"), Some(Var(2)));
+        assert_eq!(sig.all_vars(), vec![Var(0), Var(1), Var(2)]);
+    }
+
+    #[test]
+    fn iter_yields_pairs() {
+        let sig = Signature::from_names(["x", "y"]);
+        let pairs: Vec<_> = sig.iter().map(|(v, n)| (v.0, n.to_string())).collect();
+        assert_eq!(pairs, vec![(0, "x".to_string()), (1, "y".to_string())]);
+    }
+}

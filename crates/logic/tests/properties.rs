@@ -1,0 +1,119 @@
+//! Property tests for the logic kernel: parser/printer round-trips,
+//! transformation semantics preservation, substitution laws, and the
+//! Proposition 4.2 flip identity.
+
+use proptest::prelude::*;
+use revkb_logic::{
+    distribute_cnf, parse, render, simplify_cnf, tseitin_auto, tt_equivalent, Alphabet,
+    Formula, Signature, Var,
+};
+
+fn formula_strategy(num_vars: u32, depth: u32) -> BoxedStrategy<Formula> {
+    let leaf = prop_oneof![
+        4 => (0..num_vars, any::<bool>()).prop_map(|(v, pos)| Formula::lit(Var(v), pos)),
+        1 => Just(Formula::True),
+        1 => Just(Formula::False),
+    ]
+    .boxed();
+    leaf.prop_recursive(depth, 32, 3, |inner| {
+        prop_oneof![
+            prop::collection::vec(inner.clone(), 2..4).prop_map(Formula::and_all),
+            prop::collection::vec(inner.clone(), 2..4).prop_map(Formula::or_all),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.implies(b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.iff(b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.xor(b)),
+            inner.prop_map(|a| a.not()),
+        ]
+        .boxed()
+    })
+    .boxed()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, .. ProptestConfig::default() })]
+
+    /// render ∘ parse is semantics-preserving.
+    #[test]
+    fn print_parse_roundtrip(f in formula_strategy(6, 4)) {
+        let mut sig = Signature::new();
+        for i in 0..6u32 {
+            sig.var(&format!("x{i}"));
+        }
+        let rendered = render(&f, &sig);
+        let reparsed = parse(&rendered, &mut sig).expect("rendered output re-parses");
+        prop_assert!(
+            tt_equivalent(&f, &reparsed),
+            "roundtrip changed semantics: {rendered}"
+        );
+    }
+
+    /// NNF, shorthand expansion, simplification and conditioning all
+    /// preserve semantics.
+    #[test]
+    fn transforms_preserve_semantics(f in formula_strategy(5, 4)) {
+        prop_assert!(tt_equivalent(&f, &f.nnf()));
+        prop_assert!(tt_equivalent(&f, &f.expand_shorthands()));
+        prop_assert!(tt_equivalent(&f, &f.simplified()));
+    }
+
+    /// |f| never grows under shorthand expansion: the measure already
+    /// counts shorthands expanded, and the smart constructors can only
+    /// fold constants away (strict equality holds for constant-free
+    /// formulas, checked in the unit tests).
+    #[test]
+    fn size_monotone_under_expansion(f in formula_strategy(5, 4)) {
+        prop_assert!(f.expand_shorthands().size() <= f.size());
+    }
+
+    /// Distribution to CNF preserves semantics (small depth — the
+    /// blowup is real).
+    #[test]
+    fn distribution_preserves_semantics(f in formula_strategy(4, 3)) {
+        let cnf = distribute_cnf(&f);
+        prop_assert!(tt_equivalent(&f, &cnf.to_formula()));
+    }
+
+    /// CNF simplification preserves semantics on Tseitin outputs.
+    #[test]
+    fn simplify_preserves_tseitin(f in formula_strategy(4, 3)) {
+        let mut cnf = tseitin_auto(&f);
+        let before = cnf.to_formula();
+        simplify_cnf(&mut cnf);
+        prop_assert!(tt_equivalent(&before, &cnf.to_formula()));
+    }
+
+    /// Proposition 4.2: `M ⊨ F` iff `M△H ⊨ F[H/H̄]`, for random F, M, H.
+    #[test]
+    fn prop_4_2_flip(f in formula_strategy(5, 3), m_mask in 0u64..32, h_mask in 0u64..32) {
+        let alpha = Alphabet::new((0..5).map(Var).collect());
+        let h: Vec<Var> = (0..5u32).filter(|i| h_mask >> i & 1 == 1).map(Var).collect();
+        let flipped = f.flip(&h);
+        let m_delta_h = m_mask ^ (h_mask & 0b11111);
+        prop_assert_eq!(
+            alpha.eval_mask(&f, m_mask),
+            alpha.eval_mask(&flipped, m_delta_h)
+        );
+    }
+
+    /// Renaming with fresh letters then renaming back is the identity
+    /// up to equivalence.
+    #[test]
+    fn rename_roundtrip(f in formula_strategy(4, 3)) {
+        let xs: Vec<Var> = (0..4).map(Var).collect();
+        let ys: Vec<Var> = (10..14).map(Var).collect();
+        let there = f.rename(&xs, &ys);
+        let back = there.rename(&ys, &xs);
+        prop_assert!(tt_equivalent(&f, &back));
+    }
+
+    /// Dense enumeration agrees with pointwise evaluation.
+    #[test]
+    fn models_agree_with_eval(f in formula_strategy(5, 3)) {
+        let alpha = Alphabet::new((0..5).map(Var).collect());
+        let models = alpha.models(&f);
+        for mask in 0..32u64 {
+            let in_models = models.binary_search(&mask).is_ok();
+            prop_assert_eq!(in_models, alpha.eval_mask(&f, mask));
+        }
+    }
+}

@@ -1,0 +1,339 @@
+//! # revkb-qbf
+//!
+//! Quantified boolean formulas and their expansion to propositional
+//! form.
+//!
+//! Section 6 of the paper expresses the iterated bounded revisions of
+//! Winslett, Borgida, Satoh and Forbus as QBFs — formulas (12)–(16) —
+//! whose universal quantifiers range over the (constant-size) alphabet
+//! of the revising formula. Theorem 6.3 turns them into propositional
+//! formulas by replacing each `∀Z.φ` with the conjunction of `φ` under
+//! every assignment to `Z`, an at-most-quadratic size increase when
+//! `|Z|` is bounded. [`Qbf::expand`] implements exactly that.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use revkb_logic::{Formula, Interpretation, Substitution, Var};
+use std::collections::BTreeSet;
+
+/// A quantified boolean formula.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Qbf {
+    /// A propositional (quantifier-free) formula.
+    Prop(Formula),
+    /// Universal quantification `∀Z.φ` over a block of letters.
+    Forall(Vec<Var>, Box<Qbf>),
+    /// Existential quantification `∃Z.φ` over a block of letters.
+    Exists(Vec<Var>, Box<Qbf>),
+    /// Conjunction.
+    And(Vec<Qbf>),
+    /// Disjunction.
+    Or(Vec<Qbf>),
+    /// Negation.
+    Not(Box<Qbf>),
+    /// Implication.
+    Implies(Box<Qbf>, Box<Qbf>),
+}
+
+impl Qbf {
+    /// Lift a propositional formula.
+    pub fn prop(f: Formula) -> Qbf {
+        Qbf::Prop(f)
+    }
+
+    /// `∀vars. body`.
+    pub fn forall(vars: Vec<Var>, body: Qbf) -> Qbf {
+        if vars.is_empty() {
+            body
+        } else {
+            Qbf::Forall(vars, Box::new(body))
+        }
+    }
+
+    /// `∃vars. body`.
+    pub fn exists(vars: Vec<Var>, body: Qbf) -> Qbf {
+        if vars.is_empty() {
+            body
+        } else {
+            Qbf::Exists(vars, Box::new(body))
+        }
+    }
+
+    /// Conjunction of QBFs.
+    pub fn and_all<I: IntoIterator<Item = Qbf>>(items: I) -> Qbf {
+        Qbf::And(items.into_iter().collect())
+    }
+
+    /// `self ∧ other`.
+    pub fn and(self, other: Qbf) -> Qbf {
+        Qbf::And(vec![self, other])
+    }
+
+    /// `self ∨ other`.
+    pub fn or(self, other: Qbf) -> Qbf {
+        Qbf::Or(vec![self, other])
+    }
+
+    /// `¬self`.
+    pub fn not(self) -> Qbf {
+        Qbf::Not(Box::new(self))
+    }
+
+    /// `self → other`.
+    pub fn implies(self, other: Qbf) -> Qbf {
+        Qbf::Implies(Box::new(self), Box::new(other))
+    }
+
+    /// Free letters (occurring outside the scope of their quantifier).
+    pub fn free_vars(&self) -> BTreeSet<Var> {
+        match self {
+            Qbf::Prop(f) => f.vars(),
+            Qbf::Forall(vs, body) | Qbf::Exists(vs, body) => {
+                let mut free = body.free_vars();
+                for v in vs {
+                    free.remove(v);
+                }
+                free
+            }
+            Qbf::And(items) | Qbf::Or(items) => {
+                let mut free = BTreeSet::new();
+                for q in items {
+                    free.extend(q.free_vars());
+                }
+                free
+            }
+            Qbf::Not(body) => body.free_vars(),
+            Qbf::Implies(a, b) => {
+                let mut free = a.free_vars();
+                free.extend(b.free_vars());
+                free
+            }
+        }
+    }
+
+    /// Size before expansion: variable occurrences of the matrix plus
+    /// the quantified blocks.
+    pub fn size(&self) -> usize {
+        match self {
+            Qbf::Prop(f) => f.size(),
+            Qbf::Forall(vs, body) | Qbf::Exists(vs, body) => vs.len() + body.size(),
+            Qbf::And(items) | Qbf::Or(items) => items.iter().map(Qbf::size).sum(),
+            Qbf::Not(body) => body.size(),
+            Qbf::Implies(a, b) => a.size() + b.size(),
+        }
+    }
+
+    /// Expand every quantifier into a conjunction/disjunction over all
+    /// assignments of its block (Theorem 6.3). Exponential in the
+    /// largest block — polynomial when blocks are bounded, which is
+    /// the paper's bounded-revision setting.
+    ///
+    /// ```
+    /// use revkb_qbf::Qbf;
+    /// use revkb_logic::{Formula, Var};
+    /// // ∀x₀.(x₀ ∨ x₁) ≡ x₁
+    /// let q = Qbf::forall(vec![Var(0)],
+    ///     Qbf::prop(Formula::var(Var(0)).or(Formula::var(Var(1)))));
+    /// assert!(revkb_logic::tt_equivalent(&q.expand(), &Formula::var(Var(1))));
+    /// ```
+    pub fn expand(&self) -> Formula {
+        match self {
+            Qbf::Prop(f) => f.clone(),
+            Qbf::Forall(vs, body) => {
+                let inner = body.expand();
+                Formula::and_all(assignments(vs).map(|sub| sub.apply(&inner).simplified()))
+            }
+            Qbf::Exists(vs, body) => {
+                let inner = body.expand();
+                Formula::or_all(assignments(vs).map(|sub| sub.apply(&inner).simplified()))
+            }
+            Qbf::And(items) => Formula::and_all(items.iter().map(Qbf::expand)),
+            Qbf::Or(items) => Formula::or_all(items.iter().map(Qbf::expand)),
+            Qbf::Not(body) => body.expand().not(),
+            Qbf::Implies(a, b) => a.expand().implies(b.expand()),
+        }
+    }
+
+    /// Apply a substitution to the free letters.
+    ///
+    /// # Panics
+    /// If the substitution binds a quantified letter or its replacement
+    /// would be captured by a quantifier (both are construction errors
+    /// in the revision formulas, where all copies are fresh).
+    pub fn substitute(&self, sub: &Substitution) -> Qbf {
+        match self {
+            Qbf::Prop(f) => Qbf::Prop(sub.apply(f)),
+            Qbf::Forall(vs, body) | Qbf::Exists(vs, body) => {
+                for &v in vs {
+                    assert!(
+                        sub.get(v).is_none(),
+                        "substitution binds quantified letter {v}"
+                    );
+                }
+                let new_body = Box::new(body.substitute(sub));
+                // Capture check: replacements must not mention bound letters.
+                let free_after = new_body.free_vars();
+                debug_assert!(
+                    vs.iter()
+                        .all(|v| !free_after.contains(v) || body.free_vars().contains(v)),
+                    "substitution captured a quantified letter"
+                );
+                match self {
+                    Qbf::Forall(_, _) => Qbf::Forall(vs.clone(), new_body),
+                    _ => Qbf::Exists(vs.clone(), new_body),
+                }
+            }
+            Qbf::And(items) => Qbf::And(items.iter().map(|q| q.substitute(sub)).collect()),
+            Qbf::Or(items) => Qbf::Or(items.iter().map(|q| q.substitute(sub)).collect()),
+            Qbf::Not(body) => Qbf::Not(Box::new(body.substitute(sub))),
+            Qbf::Implies(a, b) => {
+                Qbf::Implies(Box::new(a.substitute(sub)), Box::new(b.substitute(sub)))
+            }
+        }
+    }
+
+    /// Evaluate under an interpretation of the free letters (quantified
+    /// letters are handled by quantifier semantics). Exponential in
+    /// quantified blocks; for testing.
+    pub fn eval(&self, m: &Interpretation) -> bool {
+        match self {
+            Qbf::Prop(f) => f.eval(m),
+            Qbf::Forall(vs, body) => assignments_sets(vs, m).all(|m2| body.eval(&m2)),
+            Qbf::Exists(vs, body) => assignments_sets(vs, m).any(|m2| body.eval(&m2)),
+            Qbf::And(items) => items.iter().all(|q| q.eval(m)),
+            Qbf::Or(items) => items.iter().any(|q| q.eval(m)),
+            Qbf::Not(body) => !body.eval(m),
+            Qbf::Implies(a, b) => !a.eval(m) || b.eval(m),
+        }
+    }
+}
+
+/// All substitutions mapping `vs` to constants, as an iterator.
+fn assignments(vs: &[Var]) -> impl Iterator<Item = Substitution> + '_ {
+    assert!(vs.len() < 30, "quantifier block too large to expand");
+    (0..1u64 << vs.len()).map(move |mask| {
+        let mut sub = Substitution::new();
+        for (i, &v) in vs.iter().enumerate() {
+            let value = mask >> i & 1 == 1;
+            sub = sub.bind(v, if value { Formula::True } else { Formula::False });
+        }
+        sub
+    })
+}
+
+/// All overlays of `vs` onto a base interpretation.
+fn assignments_sets<'a>(
+    vs: &'a [Var],
+    base: &'a Interpretation,
+) -> impl Iterator<Item = Interpretation> + 'a {
+    assert!(vs.len() < 30, "quantifier block too large to expand");
+    (0..1u64 << vs.len()).map(move |mask| {
+        let mut m = base.clone();
+        for (i, &v) in vs.iter().enumerate() {
+            if mask >> i & 1 == 1 {
+                m.insert(v);
+            } else {
+                m.remove(&v);
+            }
+        }
+        m
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use revkb_logic::{tt_equivalent, tt_valid};
+
+    fn v(i: u32) -> Formula {
+        Formula::var(Var(i))
+    }
+
+    #[test]
+    fn expand_forall() {
+        // ∀x0. (x0 ∨ x1) ≡ x1
+        let q = Qbf::forall(vec![Var(0)], Qbf::prop(v(0).or(v(1))));
+        assert!(tt_equivalent(&q.expand(), &v(1)));
+    }
+
+    #[test]
+    fn expand_exists() {
+        // ∃x0. (x0 ∧ x1) ≡ x1
+        let q = Qbf::exists(vec![Var(0)], Qbf::prop(v(0).and(v(1))));
+        assert!(tt_equivalent(&q.expand(), &v(1)));
+    }
+
+    #[test]
+    fn expand_nested_blocks() {
+        // ∀x0 ∃x1. (x0 ≢ x1) is valid.
+        let q = Qbf::forall(
+            vec![Var(0)],
+            Qbf::exists(vec![Var(1)], Qbf::prop(v(0).xor(v(1)))),
+        );
+        assert!(tt_valid(&q.expand()));
+        // ∃x1 ∀x0. (x0 ≢ x1) is unsatisfiable.
+        let q2 = Qbf::exists(
+            vec![Var(1)],
+            Qbf::forall(vec![Var(0)], Qbf::prop(v(0).xor(v(1)))),
+        );
+        assert!(tt_equivalent(&q2.expand(), &Formula::False));
+    }
+
+    #[test]
+    fn expand_multivar_block() {
+        // ∀{x0,x1}. (x0 ∨ x1 ∨ x2) ≡ x2
+        let q = Qbf::forall(vec![Var(0), Var(1)], Qbf::prop(v(0).or(v(1)).or(v(2))));
+        assert!(tt_equivalent(&q.expand(), &v(2)));
+    }
+
+    #[test]
+    fn eval_matches_expand() {
+        let q = Qbf::prop(v(2))
+            .and(Qbf::forall(
+                vec![Var(0)],
+                Qbf::prop(v(0).implies(v(1))).or(Qbf::prop(v(0).not())),
+            ))
+            .implies(Qbf::exists(vec![Var(1)], Qbf::prop(v(1).xor(v(2)))));
+        let expanded = q.expand();
+        let free: Vec<Var> = q.free_vars().into_iter().collect();
+        for mask in 0..1u64 << free.len() {
+            let m: Interpretation = free
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| mask >> i & 1 == 1)
+                .map(|(_, &v)| v)
+                .collect();
+            assert_eq!(q.eval(&m), expanded.eval(&m), "mismatch at {m:?}");
+        }
+    }
+
+    #[test]
+    fn free_vars_exclude_bound() {
+        let q = Qbf::forall(vec![Var(0)], Qbf::prop(v(0).and(v(1))));
+        let free = q.free_vars();
+        assert!(!free.contains(&Var(0)));
+        assert!(free.contains(&Var(1)));
+    }
+
+    #[test]
+    fn empty_block_is_identity() {
+        let q = Qbf::forall(vec![], Qbf::prop(v(0)));
+        assert_eq!(q, Qbf::prop(v(0)));
+    }
+
+    #[test]
+    fn size_accounts_blocks() {
+        let q = Qbf::forall(vec![Var(0), Var(1)], Qbf::prop(v(0).or(v(1))));
+        assert_eq!(q.size(), 4);
+    }
+
+    #[test]
+    fn expansion_size_quadratic_in_bounded_blocks() {
+        // With |Z| = 2 fixed, expansion multiplies matrix size by 4.
+        let matrix = v(0).or(v(1)).or(v(2)).or(v(3));
+        let q = Qbf::forall(vec![Var(0), Var(1)], Qbf::prop(matrix.clone()));
+        let e = q.expand();
+        assert!(e.size() <= 4 * matrix.size());
+    }
+}

@@ -1,0 +1,94 @@
+//! Property tests for the QBF crate: expansion agrees with quantifier
+//! semantics, substitution commutes with expansion, and duality laws
+//! hold.
+
+use proptest::prelude::*;
+use revkb_logic::{tt_equivalent, Formula, Interpretation, Substitution, Var};
+use revkb_qbf::Qbf;
+
+fn formula_strategy(num_vars: u32, depth: u32) -> BoxedStrategy<Formula> {
+    let leaf = (0..num_vars, any::<bool>())
+        .prop_map(|(v, pos)| Formula::lit(Var(v), pos))
+        .boxed();
+    leaf.prop_recursive(depth, 24, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.and(b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.or(b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.implies(b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.xor(b)),
+        ]
+        .boxed()
+    })
+    .boxed()
+}
+
+fn interp_of(free: &[Var], mask: u64) -> Interpretation {
+    free.iter()
+        .enumerate()
+        .filter(|(i, _)| mask >> i & 1 == 1)
+        .map(|(_, &v)| v)
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, .. ProptestConfig::default() })]
+
+    /// Expansion agrees with direct evaluation for ∀∃ prefixes.
+    #[test]
+    fn expand_agrees_with_eval(f in formula_strategy(5, 3), outer in 0u32..5, inner in 0u32..5) {
+        prop_assume!(outer != inner);
+        let q = Qbf::forall(
+            vec![Var(outer)],
+            Qbf::exists(vec![Var(inner)], Qbf::prop(f)),
+        );
+        let expanded = q.expand();
+        let free: Vec<Var> = q.free_vars().into_iter().collect();
+        prop_assume!(free.len() <= 8);
+        for mask in 0..1u64 << free.len() {
+            let m = interp_of(&free, mask);
+            prop_assert_eq!(q.eval(&m), expanded.eval(&m));
+        }
+    }
+
+    /// Quantifier duality: ¬∀Z.φ ≡ ∃Z.¬φ after expansion.
+    #[test]
+    fn duality(f in formula_strategy(4, 3), idx in 0u32..4) {
+        let not_forall = Qbf::forall(vec![Var(idx)], Qbf::prop(f.clone())).not();
+        let exists_not = Qbf::exists(vec![Var(idx)], Qbf::prop(f).not());
+        prop_assert!(tt_equivalent(&not_forall.expand(), &exists_not.expand()));
+    }
+
+    /// Substituting free letters commutes with expansion.
+    #[test]
+    fn substitution_commutes_with_expand(
+        f in formula_strategy(4, 2),
+        target in 0u32..4,
+        bound in 0u32..4,
+    ) {
+        prop_assume!(target != bound);
+        let q = Qbf::forall(vec![Var(bound)], Qbf::prop(f));
+        // Rename the target to a fresh letter, both before and after.
+        let sub = Substitution::renaming(&[Var(target)], &[Var(20)]);
+        let sub_then_expand = q.substitute(&sub).expand();
+        let expand_then_sub = sub.apply(&q.expand());
+        prop_assert!(tt_equivalent(&sub_then_expand, &expand_then_sub));
+    }
+
+    /// Quantifying a letter the matrix does not mention is a no-op.
+    #[test]
+    fn vacuous_quantification(f in formula_strategy(3, 3)) {
+        let q = Qbf::forall(vec![Var(17)], Qbf::prop(f.clone()));
+        prop_assert!(tt_equivalent(&q.expand(), &f));
+        let e = Qbf::exists(vec![Var(17)], Qbf::prop(f.clone()));
+        prop_assert!(tt_equivalent(&e.expand(), &f));
+    }
+
+    /// ∀ strengthens, ∃ weakens: ∀Z.φ ⊨ φ ⊨ ∃Z.φ.
+    #[test]
+    fn monotonicity(f in formula_strategy(4, 3), idx in 0u32..4) {
+        let a = Qbf::forall(vec![Var(idx)], Qbf::prop(f.clone())).expand();
+        let e = Qbf::exists(vec![Var(idx)], Qbf::prop(f.clone())).expand();
+        prop_assert!(revkb_logic::tt_entails(&a, &f));
+        prop_assert!(revkb_logic::tt_entails(&f, &e));
+    }
+}

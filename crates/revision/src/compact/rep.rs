@@ -1,0 +1,68 @@
+//! The result type of a compact construction.
+
+use revkb_logic::{Formula, Var};
+
+/// A compact representation `T'` of a revised knowledge base, together
+/// with the base alphabet on which its guarantee holds.
+///
+/// For *query-equivalent* representations (criterion (1)), `T'` may
+/// use letters outside `base`; its consequences restricted to `base`
+/// formulas coincide with those of `T * P`. For *logically equivalent*
+/// representations (criterion (2)), `formula` uses only `base` letters
+/// and `T' ≡ T * P`.
+#[derive(Debug, Clone)]
+pub struct CompactRep {
+    /// The representation formula `T'`.
+    pub formula: Formula,
+    /// The base alphabet `X = V(T) ∪ V(P…)`.
+    pub base: Vec<Var>,
+    /// Whether the construction guarantees logical equivalence
+    /// (criterion (2)); otherwise only query equivalence (criterion
+    /// (1)) is guaranteed.
+    pub logical: bool,
+}
+
+impl CompactRep {
+    /// A query-equivalent representation.
+    pub fn query(formula: Formula, base: Vec<Var>) -> Self {
+        Self {
+            formula,
+            base,
+            logical: false,
+        }
+    }
+
+    /// A logically equivalent representation.
+    pub fn logical(formula: Formula, base: Vec<Var>) -> Self {
+        Self {
+            formula,
+            base,
+            logical: true,
+        }
+    }
+
+    /// The paper's size measure `|T'|` (variable occurrences).
+    pub fn size(&self) -> usize {
+        self.formula.size()
+    }
+
+    /// Answer `T * P ⊨ Q` through the representation (step 2 of the
+    /// paper's two-step query answering). `q` must be over the base
+    /// alphabet.
+    pub fn entails(&self, q: &Formula) -> bool {
+        debug_assert!(
+            q.vars().iter().all(|v| self.base.contains(v)),
+            "query uses letters outside the base alphabet"
+        );
+        revkb_sat::entails(&self.formula, q)
+    }
+
+    /// The auxiliary letters used beyond the base alphabet.
+    pub fn aux_vars(&self) -> Vec<Var> {
+        self.formula
+            .vars()
+            .into_iter()
+            .filter(|v| !self.base.contains(v))
+            .collect()
+    }
+}

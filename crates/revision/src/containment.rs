@@ -1,0 +1,157 @@
+//! Figure 1: the containment lattice among the model sets selected by
+//! the model-based operators.
+//!
+//! The paper's Figure 1 (arrows = set containment of the selected
+//! model sets) induces these relations, all derivable from the
+//! definitions:
+//!
+//! ```text
+//! M(T*D P) ⊆ M(T*F P) ⊆ M(T*Win P)
+//! M(T*D P) ⊆ M(T*S P) ⊆ M(T*Win P)
+//!             M(T*S P) ⊆ M(T*Web P)
+//!             M(T*S P) ⊆ M(T*B P)
+//!             M(T*B P) ⊆ M(T*Win P)
+//! ```
+//!
+//! (Forbus ⊄ Borgida in general: when `T ∧ P` is consistent Borgida
+//! collapses to the conjunction while Forbus still performs a
+//! pointwise update — the office example separates them.)
+//!
+//! [`check_containments`] verifies all of them on a concrete `(T, P)`
+//! pair; the Figure 1 bench sweeps random instances and reports the
+//! observed matrix (E1 in DESIGN.md).
+
+use crate::model_set::ModelSet;
+use crate::semantic::{revise_on, ModelBasedOp};
+use revkb_logic::{Alphabet, Formula};
+
+/// The claimed containments `(sub, sup)` of Figure 1.
+pub const FIGURE1_EDGES: [(ModelBasedOp, ModelBasedOp); 7] = [
+    (ModelBasedOp::Dalal, ModelBasedOp::Forbus),
+    (ModelBasedOp::Dalal, ModelBasedOp::Satoh),
+    (ModelBasedOp::Forbus, ModelBasedOp::Winslett),
+    (ModelBasedOp::Satoh, ModelBasedOp::Winslett),
+    (ModelBasedOp::Satoh, ModelBasedOp::Weber),
+    (ModelBasedOp::Satoh, ModelBasedOp::Borgida),
+    (ModelBasedOp::Borgida, ModelBasedOp::Winslett),
+];
+
+/// All model sets of the six operators on one `(T,P)` pair, over the
+/// union alphabet.
+pub fn all_operator_models(t: &Formula, p: &Formula) -> Vec<(ModelBasedOp, ModelSet)> {
+    let alpha = Alphabet::of_formulas([t, p]);
+    ModelBasedOp::ALL
+        .iter()
+        .map(|&op| (op, revise_on(op, &alpha, t, p)))
+        .collect()
+}
+
+/// Check every Figure 1 edge on `(T,P)`. Returns the violated edges
+/// (empty = lattice respected).
+pub fn check_containments(t: &Formula, p: &Formula) -> Vec<(ModelBasedOp, ModelBasedOp)> {
+    let sets = all_operator_models(t, p);
+    let get = |op: ModelBasedOp| &sets.iter().find(|(o, _)| *o == op).unwrap().1;
+    FIGURE1_EDGES
+        .iter()
+        .copied()
+        .filter(|&(sub, sup)| !get(sub).is_subset_of(get(sup)))
+        .collect()
+}
+
+/// The full observed containment matrix: `matrix[i][j]` is true when
+/// `M(T *opᵢ P) ⊆ M(T *opⱼ P)` for this instance.
+pub fn containment_matrix(t: &Formula, p: &Formula) -> [[bool; 6]; 6] {
+    let sets = all_operator_models(t, p);
+    let mut out = [[false; 6]; 6];
+    for (i, (_, a)) in sets.iter().enumerate() {
+        for (j, (_, b)) in sets.iter().enumerate() {
+            out[i][j] = a.is_subset_of(b);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use revkb_logic::Var;
+
+    fn v(i: u32) -> Formula {
+        Formula::var(Var(i))
+    }
+
+    #[test]
+    fn paper_example_respects_lattice() {
+        let t = v(0).and(v(1)).and(v(2));
+        let p = v(0)
+            .not()
+            .and(v(1).not())
+            .and(v(3).not())
+            .or(v(2).not().and(v(1)).and(v(0).xor(v(3))));
+        assert!(check_containments(&t, &p).is_empty());
+    }
+
+    #[test]
+    fn random_instances_respect_lattice() {
+        let mut seed = 17u64;
+        let mut rnd = move || {
+            seed = seed
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (seed >> 33) as u32
+        };
+        fn build(rnd: &mut impl FnMut() -> u32, depth: u32, nv: u32) -> Formula {
+            let r = rnd();
+            if depth == 0 || r % 6 == 0 {
+                return Formula::lit(Var(r % nv), r & 1 == 0);
+            }
+            let a = build(rnd, depth - 1, nv);
+            let b = build(rnd, depth - 1, nv);
+            match r % 4 {
+                0 => a.and(b),
+                1 => a.or(b),
+                2 => a.xor(b),
+                _ => a.implies(b),
+            }
+        }
+        for _ in 0..200 {
+            let t = build(&mut rnd, 3, 5);
+            let p = build(&mut rnd, 3, 5);
+            let violations = check_containments(&t, &p);
+            assert!(
+                violations.is_empty(),
+                "Figure 1 violated on {t:?} * {p:?}: {violations:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn strictness_witnesses_exist() {
+        // The paper's example separates Dalal ⊊ Forbus ⊊/= …: verify
+        // at least that some instance makes each containment strict
+        // somewhere (so the lattice is not an equality collapse).
+        let t = v(0).and(v(1)).and(v(2));
+        let p = v(0)
+            .not()
+            .and(v(1).not())
+            .and(v(3).not())
+            .or(v(2).not().and(v(1)).and(v(0).xor(v(3))));
+        let sets = all_operator_models(&t, &p);
+        let get = |op: ModelBasedOp| {
+            sets.iter().find(|(o, _)| *o == op).unwrap().1.len()
+        };
+        assert!(get(ModelBasedOp::Dalal) < get(ModelBasedOp::Forbus));
+        assert!(get(ModelBasedOp::Forbus) < get(ModelBasedOp::Winslett));
+        assert!(get(ModelBasedOp::Satoh) < get(ModelBasedOp::Weber));
+    }
+
+    #[test]
+    fn matrix_diagonal_is_true() {
+        let t = v(0);
+        let p = v(1);
+        let m = containment_matrix(&t, &p);
+        for (i, row) in m.iter().enumerate() {
+            assert!(row[i]);
+        }
+    }
+}

@@ -1,0 +1,392 @@
+//! The paper's two-step query-answering pipeline, packaged.
+//!
+//! The introduction motivates splitting `T * P ⊨ Q` into (1) an
+//! *offline* compilation producing a propositional `T'`, and (2)
+//! ordinary entailment `T' ⊨ Q` answered with standard machinery
+//! (here: the CDCL solver). [`RevisedKb::compile`] performs step 1
+//! with the construction the compactability analysis recommends for
+//! each operator; [`RevisedKb::entails`] is step 2.
+//!
+//! [`DelayedKb`] is the strategy the conclusions recommend for
+//! iterated revision: store `T` and the update formulas `P¹…Pᵐ`
+//! (keeping them even after incorporation) and compile only when a
+//! query actually arrives.
+
+use crate::compact::{
+    borgida_bounded, borgida_iterated, dalal_compact, dalal_iterated, forbus_bounded,
+    forbus_iterated, satoh_bounded, satoh_iterated, weber_compact, weber_iterated,
+    winslett_bounded, winslett_iterated, CompactRep,
+};
+use crate::semantic::ModelBasedOp;
+use revkb_logic::Formula;
+use revkb_sat::supply_above;
+use std::fmt;
+
+/// Why a compilation was refused.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CompileError {
+    /// The operator's construction needs `|V(P)|` bounded and the
+    /// given `P` is too wide for the exponential-in-`|V(P)|` formula.
+    UpdateAlphabetTooLarge {
+        /// The operator requested.
+        op: ModelBasedOp,
+        /// `|V(P)|` encountered.
+        got: usize,
+        /// Maximum supported width.
+        max: usize,
+    },
+    /// A minimal-difference enumeration exceeded its cap.
+    DeltaEnumerationOverflow,
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CompileError::UpdateAlphabetTooLarge { op, got, max } => write!(
+                f,
+                "{} compilation needs |V(P)| ≤ {max}, got {got} \
+                 (the operator is not compactable in the unbounded case)",
+                op.name()
+            ),
+            CompileError::DeltaEnumerationOverflow => {
+                write!(f, "minimal-difference enumeration exceeded its cap")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CompileError {}
+
+/// Widest `V(P)` accepted by the bounded (exponential-in-`|V(P)|`)
+/// constructions.
+pub const MAX_BOUNDED_P_VARS: usize = 12;
+
+/// Cap on minimal-difference set enumeration.
+pub const DELTA_LIMIT: usize = 1 << 20;
+
+/// A compiled revised knowledge base: step 1's output plus step 2's
+/// query interface.
+#[derive(Debug, Clone)]
+pub struct RevisedKb {
+    op: ModelBasedOp,
+    rep: CompactRep,
+}
+
+impl RevisedKb {
+    /// Compile `T * P` with the construction matching the operator's
+    /// compactability entry in Table 1:
+    ///
+    /// - Dalal → Theorem 3.4 (query-equivalent, any `|P|`);
+    /// - Weber → Theorem 3.5 (query-equivalent, any `|P|`);
+    /// - Winslett/Borgida/Forbus/Satoh → the Section 4 bounded
+    ///   constructions (logically equivalent; requires small `V(P)` —
+    ///   Table 1 says these operators are *not* compactable
+    ///   unbounded, so refusing wide `P` is the honest contract).
+    ///
+    /// ```
+    /// use revkb_revision::{ModelBasedOp, RevisedKb};
+    /// use revkb_logic::{Formula, Var};
+    /// let t = Formula::var(Var(0)).or(Formula::var(Var(1)));  // g ∨ b
+    /// let p = Formula::var(Var(0)).not();                     // ¬g
+    /// let kb = RevisedKb::compile(ModelBasedOp::Dalal, &t, &p).unwrap();
+    /// assert!(kb.entails(&Formula::var(Var(1))));             // the voice was Bill's
+    /// ```
+    pub fn compile(op: ModelBasedOp, t: &Formula, p: &Formula) -> Result<Self, CompileError> {
+        let rep = match op {
+            ModelBasedOp::Dalal => {
+                let mut supply = supply_above([t, p]);
+                dalal_compact(t, p, &mut supply)
+            }
+            ModelBasedOp::Weber => {
+                let mut supply = supply_above([t, p]);
+                weber_compact(t, p, DELTA_LIMIT, &mut supply)
+                    .ok_or(CompileError::DeltaEnumerationOverflow)?
+            }
+            bounded_op => {
+                let width = p.vars().len();
+                if width > MAX_BOUNDED_P_VARS {
+                    return Err(CompileError::UpdateAlphabetTooLarge {
+                        op: bounded_op,
+                        got: width,
+                        max: MAX_BOUNDED_P_VARS,
+                    });
+                }
+                match bounded_op {
+                    ModelBasedOp::Winslett => winslett_bounded(t, p),
+                    ModelBasedOp::Borgida => borgida_bounded(t, p),
+                    ModelBasedOp::Forbus => forbus_bounded(t, p),
+                    ModelBasedOp::Satoh => satoh_bounded(t, p),
+                    _ => unreachable!(),
+                }
+            }
+        };
+        Ok(Self { op, rep })
+    }
+
+    /// Compile the iterated revision `T * P¹ * … * Pᵐ` with the
+    /// Section 5/6 constructions (all query-equivalent).
+    pub fn compile_iterated(
+        op: ModelBasedOp,
+        t: &Formula,
+        ps: &[Formula],
+    ) -> Result<Self, CompileError> {
+        let mut supply = supply_above(std::iter::once(t).chain(ps));
+        let rep = match op {
+            ModelBasedOp::Dalal => dalal_iterated(t, ps, &mut supply),
+            ModelBasedOp::Weber => weber_iterated(t, ps, DELTA_LIMIT, &mut supply)
+                .ok_or(CompileError::DeltaEnumerationOverflow)?,
+            bounded_op => {
+                let width = ps.iter().map(|p| p.vars().len()).max().unwrap_or(0);
+                if width > MAX_BOUNDED_P_VARS {
+                    return Err(CompileError::UpdateAlphabetTooLarge {
+                        op: bounded_op,
+                        got: width,
+                        max: MAX_BOUNDED_P_VARS,
+                    });
+                }
+                match bounded_op {
+                    ModelBasedOp::Winslett => winslett_iterated(t, ps, &mut supply),
+                    ModelBasedOp::Borgida => borgida_iterated(t, ps, &mut supply),
+                    ModelBasedOp::Forbus => forbus_iterated(t, ps, &mut supply),
+                    ModelBasedOp::Satoh => satoh_iterated(t, ps, DELTA_LIMIT, &mut supply)
+                        .ok_or(CompileError::DeltaEnumerationOverflow)?,
+                    _ => unreachable!(),
+                }
+            }
+        };
+        Ok(Self { op, rep })
+    }
+
+    /// Compile via the BDD pipeline: semantic model set → ROBDD →
+    /// definitional formula (one fresh letter per BDD node).
+    ///
+    /// Exact for any operator, but requires an enumerable alphabet
+    /// (`|V(T) ∪ V(P)| ≤ 20`). The result is query-equivalent over the
+    /// base alphabet and has size linear in the BDD — the Section 7
+    /// data-structure view made into a compiler backend.
+    pub fn compile_via_bdd(
+        op: ModelBasedOp,
+        t: &Formula,
+        p: &Formula,
+    ) -> Result<Self, CompileError> {
+        let alpha = crate::model_set::revision_alphabet(t, p);
+        if alpha.len() > 20 {
+            return Err(CompileError::UpdateAlphabetTooLarge {
+                op,
+                got: alpha.len(),
+                max: 20,
+            });
+        }
+        let oracle = crate::semantic::revise_on(op, &alpha, t, p);
+        let mut mgr = revkb_bdd::BddManager::with_order(alpha.vars().to_vec());
+        let node = mgr.from_formula(&oracle.to_dnf());
+        let mut supply = supply_above([t, p]);
+        let formula = revkb_bdd::to_formula_definitional(&mgr, node, &mut supply);
+        Ok(Self {
+            op,
+            rep: CompactRep::query(formula, alpha.vars().to_vec()),
+        })
+    }
+
+    /// The operator this base was compiled for.
+    pub fn operator(&self) -> ModelBasedOp {
+        self.op
+    }
+
+    /// The compiled representation.
+    pub fn representation(&self) -> &CompactRep {
+        &self.rep
+    }
+
+    /// Step 2: answer `T * P ⊨ Q` (for `Q` over the base alphabet).
+    pub fn entails(&self, q: &Formula) -> bool {
+        self.rep.entails(q)
+    }
+
+    /// Size of the compiled representation, `|T'|`.
+    pub fn size(&self) -> usize {
+        self.rep.size()
+    }
+}
+
+/// The paper's delayed-incorporation strategy (§6.2 / Conclusions):
+/// keep `T` and the revision formulas; compile lazily at query time
+/// and cache the compilation.
+#[derive(Debug, Clone)]
+pub struct DelayedKb {
+    op: ModelBasedOp,
+    t: Formula,
+    ps: Vec<Formula>,
+    compiled: Option<RevisedKb>,
+}
+
+impl DelayedKb {
+    /// Start from an initial knowledge base.
+    pub fn new(op: ModelBasedOp, t: Formula) -> Self {
+        Self {
+            op,
+            t,
+            ps: Vec::new(),
+            compiled: None,
+        }
+    }
+
+    /// Record a revision (no computation happens yet).
+    pub fn revise(&mut self, p: Formula) {
+        self.ps.push(p);
+        self.compiled = None;
+    }
+
+    /// The stored revision formulas (kept even after incorporation,
+    /// as the paper recommends).
+    pub fn pending(&self) -> &[Formula] {
+        &self.ps
+    }
+
+    /// Answer a query, compiling (and caching) on demand.
+    pub fn entails(&mut self, q: &Formula) -> Result<bool, CompileError> {
+        if self.compiled.is_none() {
+            self.compiled = Some(RevisedKb::compile_iterated(self.op, &self.t, &self.ps)?);
+        }
+        Ok(self.compiled.as_ref().expect("just compiled").entails(q))
+    }
+
+    /// Size of the cached compilation, if any.
+    pub fn compiled_size(&self) -> Option<usize> {
+        self.compiled.as_ref().map(RevisedKb::size)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::equivalence::query_equivalent_enum;
+    use crate::model_set::revision_alphabet_seq;
+    use crate::semantic::{revise_iterated_on, revise_on};
+    use revkb_logic::Var;
+
+    fn v(i: u32) -> Formula {
+        Formula::var(Var(i))
+    }
+
+    #[test]
+    fn compile_every_operator_single() {
+        let t = v(0).and(v(1)).and(v(2));
+        let p = v(0).not().or(v(1).not());
+        for op in ModelBasedOp::ALL {
+            let kb = RevisedKb::compile(op, &t, &p).unwrap();
+            let alpha = revision_alphabet_seq(&t, std::slice::from_ref(&p));
+            let oracle = revise_on(op, &alpha, &t, &p);
+            assert!(
+                query_equivalent_enum(
+                    &kb.representation().formula,
+                    &oracle.to_dnf(),
+                    &kb.representation().base
+                ),
+                "{} compile wrong",
+                op.name()
+            );
+            // Sample queries.
+            assert_eq!(kb.entails(&v(2)), oracle.entails(&v(2)), "{}", op.name());
+            assert_eq!(
+                kb.entails(&v(0).or(v(1))),
+                oracle.entails(&v(0).or(v(1))),
+                "{}",
+                op.name()
+            );
+        }
+    }
+
+    #[test]
+    fn compile_every_operator_iterated() {
+        let t = v(0).and(v(1)).and(v(2));
+        let ps = vec![v(0).not().or(v(1).not()), v(2).not()];
+        for op in ModelBasedOp::ALL {
+            let kb = RevisedKb::compile_iterated(op, &t, &ps).unwrap();
+            let alpha = revision_alphabet_seq(&t, &ps);
+            let oracle = revise_iterated_on(op, &alpha, &t, &ps);
+            assert!(
+                query_equivalent_enum(
+                    &kb.representation().formula,
+                    &oracle.to_dnf(),
+                    &kb.representation().base
+                ),
+                "iterated {} compile wrong",
+                op.name()
+            );
+        }
+    }
+
+    #[test]
+    fn bdd_pipeline_matches_constructions() {
+        let t = v(0).and(v(1)).and(v(2));
+        let p = v(0).not().or(v(1).not());
+        for op in ModelBasedOp::ALL {
+            let via_bdd = RevisedKb::compile_via_bdd(op, &t, &p).unwrap();
+            let direct = RevisedKb::compile(op, &t, &p).unwrap();
+            assert!(
+                query_equivalent_enum(
+                    &via_bdd.representation().formula,
+                    &direct.representation().formula,
+                    &via_bdd.representation().base
+                ),
+                "BDD pipeline diverges for {}",
+                op.name()
+            );
+        }
+    }
+
+    #[test]
+    fn bdd_pipeline_refuses_wide_alphabets() {
+        let t = Formula::and_all((0..25u32).map(v));
+        let p = v(0).not();
+        assert!(RevisedKb::compile_via_bdd(ModelBasedOp::Dalal, &t, &p).is_err());
+    }
+
+    #[test]
+    fn bounded_ops_refuse_wide_p() {
+        let t = v(0);
+        let wide_p = Formula::or_all((0..20).map(v));
+        let err = RevisedKb::compile(ModelBasedOp::Winslett, &t, &wide_p).unwrap_err();
+        assert!(matches!(
+            err,
+            CompileError::UpdateAlphabetTooLarge { .. }
+        ));
+        // Dalal and Weber accept it (query-compactable unbounded).
+        assert!(RevisedKb::compile(ModelBasedOp::Dalal, &t, &wide_p).is_ok());
+        assert!(RevisedKb::compile(ModelBasedOp::Weber, &t, &wide_p).is_ok());
+    }
+
+    #[test]
+    fn delayed_kb_lazy_compilation() {
+        let mut kb = DelayedKb::new(ModelBasedOp::Dalal, v(0).and(v(1)));
+        assert!(kb.compiled_size().is_none());
+        kb.revise(v(0).not().or(v(1).not()));
+        kb.revise(v(0).not());
+        assert!(kb.compiled_size().is_none());
+        // After two Dalal revisions: first keeps exactly one of x0/x1,
+        // then ¬x0 forces... check against the oracle.
+        let ps: Vec<Formula> = kb.pending().to_vec();
+        let t = v(0).and(v(1));
+        let alpha = revision_alphabet_seq(&t, &ps);
+        let oracle = revise_iterated_on(ModelBasedOp::Dalal, &alpha, &t, &ps);
+        assert_eq!(kb.entails(&v(1)).unwrap(), oracle.entails(&v(1)));
+        assert_eq!(kb.entails(&v(0).not()).unwrap(), oracle.entails(&v(0).not()));
+        assert!(kb.compiled_size().is_some());
+        // A further revision invalidates the cache.
+        kb.revise(v(1).not());
+        assert!(kb.compiled_size().is_none());
+    }
+
+    #[test]
+    fn error_display() {
+        let e = CompileError::UpdateAlphabetTooLarge {
+            op: ModelBasedOp::Forbus,
+            got: 30,
+            max: 12,
+        };
+        let s = e.to_string();
+        assert!(s.contains("Forbus"));
+        assert!(s.contains("30"));
+    }
+}

@@ -1,0 +1,193 @@
+//! The paper's two equivalence criteria, as decision procedures.
+//!
+//! - **Logical equivalence** (criterion (2)): `T' ≡ T * P` — decided
+//!   with the SAT solver or by BDD canonicity.
+//! - **Query equivalence** (criterion (1)): `{Q over X : T' ⊨ Q} =
+//!   {Q over X : T*P ⊨ Q}` — since any set of `X`-interpretations is
+//!   axiomatisable, this holds iff the projections of the two model
+//!   sets onto `X` coincide. Two independent implementations are
+//!   provided (BDD quantification and projected all-SAT) and
+//!   cross-checked in tests.
+
+use revkb_bdd::BddManager;
+use revkb_logic::{Formula, Var};
+use revkb_sat::models_projected;
+
+/// Logical equivalence via SAT (`a ⊕ b` unsatisfiable).
+pub fn logically_equivalent(a: &Formula, b: &Formula) -> bool {
+    revkb_sat::equivalent(a, b)
+}
+
+/// Logical equivalence via BDD canonicity (same node in one manager).
+pub fn logically_equivalent_bdd(a: &Formula, b: &Formula) -> bool {
+    let mut m = BddManager::new();
+    let na = m.from_formula(a);
+    let nb = m.from_formula(b);
+    na == nb
+}
+
+/// Query equivalence over `base` via BDDs: existentially quantify all
+/// non-base letters of each side, then compare canonical nodes.
+pub fn query_equivalent_bdd(a: &Formula, b: &Formula, base: &[Var]) -> bool {
+    // Put the base letters first in the ordering for stability.
+    let mut order: Vec<Var> = base.to_vec();
+    let mut extra: Vec<Var> = Vec::new();
+    for f in [a, b] {
+        for v in f.vars() {
+            if !base.contains(&v) && !extra.contains(&v) {
+                extra.push(v);
+            }
+        }
+    }
+    order.extend(extra.iter().copied());
+    let mut m = BddManager::with_order(order);
+    let na = m.from_formula(a);
+    let nb = m.from_formula(b);
+    let pa = m.exists(na, &extra);
+    let pb = m.exists(nb, &extra);
+    pa == pb
+}
+
+/// Query equivalence over `base` via projected all-SAT enumeration.
+/// Returns `false` when more than `limit` projected models exist on
+/// either side without a decision (callers should raise the limit).
+pub fn query_equivalent_enum_limited(
+    a: &Formula,
+    b: &Formula,
+    base: &[Var],
+    limit: usize,
+) -> Option<bool> {
+    let ma = models_projected(a, base, limit)?;
+    let mb = models_projected(b, base, limit)?;
+    let sa: std::collections::BTreeSet<_> = ma.into_iter().collect();
+    let sb: std::collections::BTreeSet<_> = mb.into_iter().collect();
+    Some(sa == sb)
+}
+
+/// Query equivalence by enumeration with a generous default limit.
+///
+/// ```
+/// use revkb_revision::query_equivalent_enum;
+/// use revkb_logic::{Formula, Var};
+/// let a = Formula::var(Var(0)).or(Formula::var(Var(1)));
+/// // b adds a defined auxiliary letter: query-equivalent over {x0,x1}.
+/// let b = a.clone().and(Formula::var(Var(9)).iff(Formula::var(Var(0))));
+/// assert!(query_equivalent_enum(&a, &b, &[Var(0), Var(1)]));
+/// assert!(!revkb_sat::equivalent(&a, &b));
+/// ```
+///
+/// # Panics
+/// If the projected model count exceeds the internal limit (use
+/// [`query_equivalent_bdd`] or
+/// [`query_equivalent_enum_limited`] for huge spaces).
+pub fn query_equivalent_enum(a: &Formula, b: &Formula, base: &[Var]) -> bool {
+    query_equivalent_enum_limited(a, b, base, 2_000_000)
+        .expect("projected model space too large for enumeration")
+}
+
+/// Does `a` query-entail everything `b` entails and vice versa on a
+/// single query? Convenience check: `a ⊨ q ⟺ b ⊨ q`.
+pub fn agree_on_query(a: &Formula, b: &Formula, q: &Formula) -> bool {
+    revkb_sat::entails(a, q) == revkb_sat::entails(b, q)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(i: u32) -> Formula {
+        Formula::var(Var(i))
+    }
+
+    #[test]
+    fn logical_equivalence_both_ways() {
+        let a = v(0).implies(v(1));
+        let b = v(0).not().or(v(1));
+        assert!(logically_equivalent(&a, &b));
+        assert!(logically_equivalent_bdd(&a, &b));
+        let c = v(0).and(v(1));
+        assert!(!logically_equivalent(&a, &c));
+        assert!(!logically_equivalent_bdd(&a, &c));
+    }
+
+    #[test]
+    fn query_equivalence_ignores_aux_letters() {
+        // a: (x0 ∨ x1); b: same plus a fresh letter y constrained
+        // y ≡ x0 — query-equivalent over {x0, x1} but not logically
+        // equivalent.
+        let a = v(0).or(v(1));
+        let b = a.clone().and(v(9).iff(v(0)));
+        let base = [Var(0), Var(1)];
+        assert!(query_equivalent_bdd(&a, &b, &base));
+        assert!(query_equivalent_enum(&a, &b, &base));
+        assert!(!logically_equivalent(&a, &b));
+    }
+
+    #[test]
+    fn query_equivalence_detects_difference() {
+        let a = v(0).or(v(1));
+        let b = v(0).and(v(1));
+        let base = [Var(0), Var(1)];
+        assert!(!query_equivalent_bdd(&a, &b, &base));
+        assert!(!query_equivalent_enum(&a, &b, &base));
+    }
+
+    #[test]
+    fn projection_collapses_constraints() {
+        // ∃y. (x ≡ y) is a tautology over {x}.
+        let a = v(0).iff(v(1));
+        let base = [Var(0)];
+        assert!(query_equivalent_bdd(&a, &Formula::True, &base));
+        assert!(query_equivalent_enum(&a, &Formula::True, &base));
+    }
+
+    #[test]
+    fn enum_and_bdd_agree_on_random_pairs() {
+        let mut seed = 5u64;
+        let mut rnd = move || {
+            seed = seed
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (seed >> 33) as u32
+        };
+        fn build(rnd: &mut impl FnMut() -> u32, depth: u32, nv: u32) -> Formula {
+            let r = rnd();
+            if depth == 0 || r % 6 == 0 {
+                return Formula::lit(Var(r % nv), r & 1 == 0);
+            }
+            let a = build(rnd, depth - 1, nv);
+            let b = build(rnd, depth - 1, nv);
+            match r % 4 {
+                0 => a.and(b),
+                1 => a.or(b),
+                2 => a.xor(b),
+                _ => a.iff(b),
+            }
+        }
+        let base = [Var(0), Var(1), Var(2)];
+        for _ in 0..60 {
+            let a = build(&mut rnd, 3, 6);
+            let b = build(&mut rnd, 3, 6);
+            assert_eq!(
+                query_equivalent_bdd(&a, &b, &base),
+                query_equivalent_enum(&a, &b, &base),
+                "BDD and enumeration disagree on {a:?} vs {b:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn unsat_sides() {
+        let unsat = v(0).and(v(0).not());
+        assert!(query_equivalent_bdd(&unsat, &Formula::False, &[Var(0)]));
+        assert!(query_equivalent_enum(&unsat, &Formula::False, &[Var(0)]));
+        assert!(!query_equivalent_bdd(&unsat, &v(0), &[Var(0)]));
+    }
+
+    #[test]
+    fn agree_on_query_basic() {
+        let a = v(0).and(v(1));
+        let b = v(1).and(v(0));
+        assert!(agree_on_query(&a, &b, &v(0)));
+    }
+}

@@ -1,0 +1,384 @@
+//! Formula-based (syntax-sensitive) revision: **GFUV**
+//! (Ginsberg–Fagin–Ullman–Vardi), **Nebel**'s prioritised variant and
+//! **WIDTIO**, §2.2.1 of the paper.
+//!
+//! All three are driven by `W(T,P)` — the set of maximal subsets of
+//! the theory `T` consistent with `P`:
+//!
+//! ```text
+//! W(T,P) = maxc { T' ⊆ T | T' ∪ {P} ⊭ ⊥ }
+//! ```
+//!
+//! `W(T,P)` is enumerated with the CDCL solver via selector letters:
+//! the working formula is `P ∧ ⋀ᵢ (sᵢ → fᵢ)`; each satisfying
+//! assignment is *grown* to a maximal selector set, recorded, and
+//! blocked with the clause `⋁_{i ∉ S} sᵢ` (every other maximal set
+//! must contain some formula outside `S`, so nothing is lost and
+//! nothing repeats).
+
+use revkb_logic::{tseitin, Formula, Lit, Var};
+use revkb_sat::{supply_above, Solver};
+use revkb_logic::VarSupply;
+
+/// A knowledge base as a *set of formulas* (syntax matters here: the
+/// paper's `T₁ = {a, b}` and `T₂ = {a, a → b}` revise differently).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Theory {
+    /// The member formulas, in insertion order.
+    pub formulas: Vec<Formula>,
+}
+
+impl Theory {
+    /// A theory from its member formulas.
+    pub fn new<I: IntoIterator<Item = Formula>>(formulas: I) -> Self {
+        Self {
+            formulas: formulas.into_iter().collect(),
+        }
+    }
+
+    /// The conjunction `⋀T`.
+    pub fn conjunction(&self) -> Formula {
+        Formula::and_all(self.formulas.iter().cloned())
+    }
+
+    /// Number of member formulas.
+    pub fn len(&self) -> usize {
+        self.formulas.len()
+    }
+
+    /// True when the theory has no formulas.
+    pub fn is_empty(&self) -> bool {
+        self.formulas.is_empty()
+    }
+
+    /// Total size `|T| = Σ|fᵢ|`.
+    pub fn size(&self) -> usize {
+        self.formulas.iter().map(Formula::size).sum()
+    }
+}
+
+/// Enumerate `W(T,P)` as sets of indices into `t.formulas`, up to
+/// `limit` worlds. Returns `None` if the limit was exceeded (the
+/// result would be incomplete) — the possibility the paper's
+/// exponential examples exercise.
+pub fn possible_worlds(t: &Theory, p: &Formula, limit: usize) -> Option<Vec<Vec<usize>>> {
+    let mut supply = supply_above(t.formulas.iter().chain([p]));
+    let n = t.formulas.len();
+    let selectors: Vec<Var> = (0..n).map(|_| supply.fresh_var()).collect();
+    let guarded = Formula::and_all(
+        std::iter::once(p.clone()).chain(
+            t.formulas
+                .iter()
+                .zip(&selectors)
+                .map(|(f, &s)| Formula::var(s).implies(f.clone())),
+        ),
+    );
+    let cnf = tseitin(&guarded, &mut supply);
+    let mut solver = Solver::new();
+    if !solver.add_cnf(&cnf) {
+        // P itself is unsatisfiable: W(T,P) is empty.
+        return Some(Vec::new());
+    }
+    for &s in &selectors {
+        solver.ensure_var(s);
+    }
+
+    let mut worlds: Vec<Vec<usize>> = Vec::new();
+    while solver.solve() {
+        if worlds.len() >= limit {
+            return None;
+        }
+        // Start from the selectors true in the model, then grow.
+        let mut in_set: Vec<bool> = selectors.iter().map(|&s| solver.model_value(s)).collect();
+        loop {
+            let mut grew = false;
+            for j in 0..n {
+                if in_set[j] {
+                    continue;
+                }
+                let assumptions: Vec<Lit> = (0..n)
+                    .filter(|&i| in_set[i] || i == j)
+                    .map(|i| Lit::pos(selectors[i]))
+                    .collect();
+                if solver.solve_with_assumptions(&assumptions) {
+                    // Absorb everything the new model satisfies.
+                    for (i, flag) in in_set.iter_mut().enumerate() {
+                        *flag = *flag || solver.model_value(selectors[i]);
+                    }
+                    in_set[j] = true;
+                    grew = true;
+                }
+            }
+            if !grew {
+                break;
+            }
+        }
+        let world: Vec<usize> = (0..n).filter(|&i| in_set[i]).collect();
+        // Block this world: any further maximal set must include a
+        // formula outside it.
+        let blocking: Vec<Lit> = (0..n)
+            .filter(|&i| !in_set[i])
+            .map(|i| Lit::pos(selectors[i]))
+            .collect();
+        worlds.push(world);
+        if blocking.is_empty() || !solver.add_clause(&blocking) {
+            break;
+        }
+    }
+    Some(worlds)
+}
+
+/// `T *GFUV P ⊨ Q`: consequence in every possible world.
+pub fn gfuv_entails(t: &Theory, p: &Formula, q: &Formula) -> bool {
+    let worlds =
+        possible_worlds(t, p, usize::MAX).expect("unlimited enumeration cannot truncate");
+    worlds.iter().all(|w| {
+        let theory = Formula::and_all(
+            w.iter()
+                .map(|&i| t.formulas[i].clone())
+                .chain([p.clone()]),
+        );
+        revkb_sat::entails(&theory, q)
+    })
+}
+
+/// The explicit (naive) representation of `T *GFUV P`:
+/// `(⋁_{T' ∈ W(T,P)} ⋀T') ∧ P` — the formula whose exponential size
+/// Nebel's and Winslett's examples exhibit. Returns `None` if more
+/// than `limit` worlds exist.
+pub fn gfuv_explicit(t: &Theory, p: &Formula, limit: usize) -> Option<Formula> {
+    let worlds = possible_worlds(t, p, limit)?;
+    Some(
+        Formula::or_all(worlds.iter().map(|w| {
+            Formula::and_all(w.iter().map(|&i| t.formulas[i].clone()))
+        }))
+        .and(p.clone()),
+    )
+}
+
+/// Number of possible worlds `|W(T,P)|`, up to `limit`.
+pub fn world_count(t: &Theory, p: &Formula, limit: usize) -> Option<usize> {
+    possible_worlds(t, p, limit).map(|w| w.len())
+}
+
+/// `T *wid P = (⋂ W(T,P)) ∪ {P}` — When In Doubt Throw It Out.
+/// Always compactable: the result is a sub-theory of `T` plus `P`.
+pub fn widtio(t: &Theory, p: &Formula) -> Theory {
+    let worlds =
+        possible_worlds(t, p, usize::MAX).expect("unlimited enumeration cannot truncate");
+    let kept: Vec<Formula> = match worlds.split_first() {
+        None => Vec::new(), // P unsatisfiable: intersection over ∅ = keep nothing
+        Some((first, rest)) => first
+            .iter()
+            .copied()
+            .filter(|i| rest.iter().all(|w| w.binary_search(i).is_ok()))
+            .map(|i| t.formulas[i].clone())
+            .collect(),
+    };
+    Theory::new(kept.into_iter().chain([p.clone()]))
+}
+
+/// Nebel's prioritised revision `*N`: the theory is partitioned into
+/// priority classes `T₁ ≻ T₂ ≻ …`; a preferred subtheory maximises
+/// its intersection with `T₁` first, then `T₂` given that choice, and
+/// so on. Returns the preferred subtheories as `(class, index)` pairs,
+/// up to `limit` of them.
+pub fn nebel_preferred_subtheories(
+    classes: &[Theory],
+    p: &Formula,
+    limit: usize,
+) -> Option<Vec<Vec<(usize, usize)>>> {
+    let mut out = Vec::new();
+    nebel_rec(classes, 0, p.clone(), Vec::new(), &mut out, limit)?;
+    Some(out)
+}
+
+fn nebel_rec(
+    classes: &[Theory],
+    class_idx: usize,
+    context: Formula,
+    chosen: Vec<(usize, usize)>,
+    out: &mut Vec<Vec<(usize, usize)>>,
+    limit: usize,
+) -> Option<()> {
+    if class_idx == classes.len() {
+        if out.len() >= limit {
+            return None;
+        }
+        out.push(chosen);
+        return Some(());
+    }
+    let worlds = possible_worlds(&classes[class_idx], &context, usize::MAX)
+        .expect("unlimited enumeration cannot truncate");
+    if worlds.is_empty() {
+        // context itself unsatisfiable: no preferred subtheory extends it.
+        return Some(());
+    }
+    for w in worlds {
+        let mut next_chosen = chosen.clone();
+        let mut next_context = context.clone();
+        for &i in &w {
+            next_chosen.push((class_idx, i));
+            next_context = next_context.and(classes[class_idx].formulas[i].clone());
+        }
+        nebel_rec(classes, class_idx + 1, next_context, next_chosen, out, limit)?;
+    }
+    Some(())
+}
+
+/// `T *N P ⊨ Q` under Nebel's prioritised semantics.
+pub fn nebel_entails(classes: &[Theory], p: &Formula, q: &Formula) -> bool {
+    let subtheories = nebel_preferred_subtheories(classes, p, usize::MAX)
+        .expect("unlimited enumeration cannot truncate");
+    subtheories.iter().all(|sel| {
+        let theory = Formula::and_all(
+            sel.iter()
+                .map(|&(c, i)| classes[c].formulas[i].clone())
+                .chain([p.clone()]),
+        );
+        revkb_sat::entails(&theory, q)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use revkb_logic::{tt_equivalent, Var};
+
+    fn v(i: u32) -> Formula {
+        Formula::var(Var(i))
+    }
+
+    /// The paper's §2.2.1 example: T₁ = {a, b}, T₂ = {a, a → b},
+    /// P = ¬b.
+    #[test]
+    fn syntax_sensitivity_example() {
+        let (a, b) = (v(0), v(1));
+        let p = b.clone().not();
+        let t1 = Theory::new([a.clone(), b.clone()]);
+        let t2 = Theory::new([a.clone(), a.clone().implies(b.clone())]);
+
+        let w1 = possible_worlds(&t1, &p, 100).unwrap();
+        assert_eq!(w1, vec![vec![0]]); // only {a}
+
+        let mut w2 = possible_worlds(&t2, &p, 100).unwrap();
+        w2.sort();
+        assert_eq!(w2, vec![vec![0], vec![1]]); // {a} and {a→b}
+
+        // T1 *GFUV P ≡ a ∧ ¬b.
+        let e1 = gfuv_explicit(&t1, &p, 100).unwrap();
+        assert!(tt_equivalent(&e1, &a.clone().and(b.clone().not())));
+        // T2 *GFUV P ≡ ¬b.
+        let e2 = gfuv_explicit(&t2, &p, 100).unwrap();
+        assert!(tt_equivalent(&e2, &b.clone().not()));
+
+        // WIDTIO gives the same results here.
+        let wid1 = widtio(&t1, &p).conjunction();
+        assert!(tt_equivalent(&wid1, &a.clone().and(b.clone().not())));
+        let wid2 = widtio(&t2, &p).conjunction();
+        assert!(tt_equivalent(&wid2, &b.not()));
+    }
+
+    #[test]
+    fn consistent_case_keeps_everything() {
+        let t = Theory::new([v(0), v(1).implies(v(2))]);
+        let p = v(2);
+        let worlds = possible_worlds(&t, &p, 100).unwrap();
+        assert_eq!(worlds, vec![vec![0, 1]]);
+        assert!(gfuv_entails(&t, &p, &v(0)));
+    }
+
+    #[test]
+    fn unsat_p_gives_no_worlds() {
+        let t = Theory::new([v(0)]);
+        let p = v(1).and(v(1).not());
+        assert_eq!(possible_worlds(&t, &p, 100).unwrap(), Vec::<Vec<usize>>::new());
+        // GFUV entailment over zero worlds is vacuous.
+        assert!(gfuv_entails(&t, &p, &Formula::False));
+    }
+
+    #[test]
+    fn nebel_example_exponential_worlds() {
+        // Nebel's T₁ = {x₁..xₘ, y₁..yₘ}, P₁ = ⋀(xᵢ ≢ yᵢ):
+        // 2^m possible worlds.
+        let m = 4u32;
+        let xs: Vec<Formula> = (0..m).map(v).collect();
+        let ys: Vec<Formula> = (m..2 * m).map(v).collect();
+        let t = Theory::new(xs.iter().chain(&ys).cloned());
+        let p = Formula::and_all(
+            xs.iter()
+                .zip(&ys)
+                .map(|(x, y)| x.clone().xor(y.clone())),
+        );
+        assert_eq!(world_count(&t, &p, 1 << 10), Some(1 << m));
+        // And the limit machinery reports truncation.
+        assert_eq!(world_count(&t, &p, 3), None);
+    }
+
+    #[test]
+    fn widtio_drops_everything_under_full_conflict() {
+        // Nebel's example again: the intersection of the 2^m worlds is
+        // empty, so WIDTIO keeps only P.
+        let m = 3u32;
+        let t = Theory::new((0..2 * m).map(v));
+        let p = Formula::and_all((0..m).map(|i| v(i).xor(v(m + i))));
+        let wid = widtio(&t, &p);
+        assert_eq!(wid.len(), 1);
+        assert!(tt_equivalent(&wid.conjunction(), &p));
+    }
+
+    #[test]
+    fn widtio_size_bounded_by_inputs() {
+        // |T *wid P| ≤ |T| + |P| always (the paper's observation that
+        // WIDTIO is trivially logically compactable).
+        let t = Theory::new([v(0), v(1), v(0).implies(v(2))]);
+        let p = v(2).not();
+        let wid = widtio(&t, &p);
+        assert!(wid.size() <= t.size() + p.size());
+    }
+
+    #[test]
+    fn nebel_priorities_pick_high_class() {
+        // Classes: {a} ≻ {¬a ∨ b, ¬b}. P = ¬(a ∧ b).
+        // Highest class {a} always kept; second class then can keep
+        // at most one of its two formulas? a ∧ ¬(a∧b) forces ¬b; both
+        // ¬a∨b and ¬b: a ∧ (¬a∨b) gives b — contradiction with ¬b? Let
+        // me just check the machinery returns maximal prioritised sets.
+        let c1 = Theory::new([v(0)]);
+        let c2 = Theory::new([v(0).not().or(v(1)), v(1).not()]);
+        let p = v(0).and(v(1)).not();
+        let subs = nebel_preferred_subtheories(&[c1, c2], &p, 100).unwrap();
+        // a is in every preferred subtheory.
+        assert!(subs.iter().all(|s| s.contains(&(0, 0))));
+        // With a fixed and P: {¬a∨b} forces b, conflicting with P∧a;
+        // so the only maximal second-class choice is {¬b}.
+        assert_eq!(subs, vec![vec![(0, 0), (1, 1)]]);
+    }
+
+    #[test]
+    fn nebel_flat_partition_matches_gfuv() {
+        // With a single priority class Nebel = GFUV.
+        let t = Theory::new([v(0), v(0).implies(v(1))]);
+        let p = v(1).not();
+        let mut nw: Vec<Vec<usize>> = nebel_preferred_subtheories(
+            std::slice::from_ref(&t),
+            &p,
+            100,
+        )
+        .unwrap()
+        .into_iter()
+        .map(|s| s.into_iter().map(|(_, i)| i).collect())
+        .collect();
+        nw.sort();
+        let mut gw = possible_worlds(&t, &p, 100).unwrap();
+        gw.sort();
+        assert_eq!(nw, gw);
+    }
+
+    #[test]
+    fn theory_size_measure() {
+        let t = Theory::new([v(0).and(v(1)), v(2)]);
+        assert_eq!(t.size(), 3);
+        assert_eq!(t.len(), 2);
+    }
+}

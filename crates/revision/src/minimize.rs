@@ -1,0 +1,352 @@
+//! Exact two-level minimisation: Quine–McCluskey prime implicants plus
+//! Petrick-style exact cover.
+//!
+//! The paper's object of study is the size of the *smallest* formula
+//! equivalent to `T * P` — uncomputable at scale, but measurable
+//! exactly for small alphabets in the two-level (DNF/CNF) restriction.
+//! The benches use [`minimum_dnf`] / [`minimum_cnf_literals`] as the measurable
+//! lower-bound proxy on the hard families (see DESIGN.md §1,
+//! substitution 1).
+
+use crate::model_set::ModelSet;
+use revkb_logic::{Formula, Var};
+
+/// A cube (product term): covers minterm `m` iff
+/// `m & !dontcare == bits`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Cube {
+    /// Fixed bit values (don't-care positions are zeroed).
+    pub bits: u64,
+    /// Mask of positions this cube does not constrain.
+    pub dontcare: u64,
+}
+
+impl Cube {
+    /// Does this cube cover the minterm?
+    #[inline]
+    pub fn covers(&self, m: u64) -> bool {
+        m & !self.dontcare == self.bits
+    }
+
+    /// Number of literals of the cube over `n` variables.
+    pub fn literals(&self, n: usize) -> usize {
+        n - (self.dontcare.count_ones() as usize)
+    }
+}
+
+/// Result of an exact two-level minimisation.
+#[derive(Debug, Clone)]
+pub struct TwoLevel {
+    /// Chosen cubes (a minimum cover by prime implicants).
+    pub cubes: Vec<Cube>,
+    /// Number of variables.
+    pub num_vars: usize,
+}
+
+impl TwoLevel {
+    /// Total literal occurrences (the paper's `|W|` measure for the
+    /// resulting DNF).
+    pub fn literal_count(&self) -> usize {
+        self.cubes.iter().map(|c| c.literals(self.num_vars)).sum()
+    }
+
+    /// Number of terms.
+    pub fn term_count(&self) -> usize {
+        self.cubes.len()
+    }
+
+    /// Materialise as a DNF over the given ordered variables.
+    pub fn to_dnf(&self, vars: &[Var]) -> Formula {
+        assert_eq!(vars.len(), self.num_vars);
+        if self.cubes.is_empty() {
+            return Formula::False;
+        }
+        Formula::or_all(self.cubes.iter().map(|c| {
+            Formula::and_all(vars.iter().enumerate().filter_map(|(i, &v)| {
+                if c.dontcare >> i & 1 == 1 {
+                    None
+                } else {
+                    Some(Formula::lit(v, c.bits >> i & 1 == 1))
+                }
+            }))
+        }))
+    }
+}
+
+/// All prime implicants of the function whose on-set is `minterms`
+/// over `n` variables (Quine–McCluskey).
+pub fn prime_implicants(minterms: &[u64], n: usize) -> Vec<Cube> {
+    assert!(n <= 24, "QM minimisation is for small alphabets");
+    let mut current: Vec<Cube> = minterms
+        .iter()
+        .map(|&m| Cube {
+            bits: m,
+            dontcare: 0,
+        })
+        .collect();
+    current.sort_unstable();
+    current.dedup();
+    let mut primes: Vec<Cube> = Vec::new();
+    while !current.is_empty() {
+        let mut combined = vec![false; current.len()];
+        let mut next: Vec<Cube> = Vec::new();
+        for i in 0..current.len() {
+            for j in i + 1..current.len() {
+                let (a, b) = (current[i], current[j]);
+                if a.dontcare != b.dontcare {
+                    continue;
+                }
+                let diff = a.bits ^ b.bits;
+                if diff.count_ones() == 1 {
+                    combined[i] = true;
+                    combined[j] = true;
+                    next.push(Cube {
+                        bits: a.bits & !diff,
+                        dontcare: a.dontcare | diff,
+                    });
+                }
+            }
+        }
+        for (i, c) in current.iter().enumerate() {
+            if !combined[i] {
+                primes.push(*c);
+            }
+        }
+        next.sort_unstable();
+        next.dedup();
+        current = next;
+    }
+    primes.sort_unstable();
+    primes.dedup();
+    primes
+}
+
+/// Exact minimum cover of `minterms` by `primes`: essential primes
+/// first, then branch-and-bound on the rest, minimising term count
+/// with literal count as tie-break.
+fn minimum_cover(minterms: &[u64], primes: &[Cube], n: usize) -> Vec<Cube> {
+    if minterms.is_empty() {
+        return Vec::new();
+    }
+    // Coverage table.
+    let cover: Vec<Vec<usize>> = minterms
+        .iter()
+        .map(|&m| {
+            (0..primes.len())
+                .filter(|&p| primes[p].covers(m))
+                .collect()
+        })
+        .collect();
+    // Essential primes: sole coverer of some minterm.
+    let mut chosen: Vec<usize> = Vec::new();
+    for row in &cover {
+        if row.len() == 1 && !chosen.contains(&row[0]) {
+            chosen.push(row[0]);
+        }
+    }
+    let mut uncovered: Vec<usize> = (0..minterms.len())
+        .filter(|&i| !chosen.iter().any(|&p| primes[p].covers(minterms[i])))
+        .collect();
+    // Branch and bound over the remaining minterms.
+    let mut best: Option<Vec<usize>> = None;
+    let mut stack_choice: Vec<usize> = Vec::new();
+    fn cost(sel: &[usize], primes: &[Cube], n: usize) -> (usize, usize) {
+        (
+            sel.len(),
+            sel.iter().map(|&p| primes[p].literals(n)).sum(),
+        )
+    }
+    fn bnb(
+        uncovered: &mut Vec<usize>,
+        chosen_extra: &mut Vec<usize>,
+        cover: &[Vec<usize>],
+        primes: &[Cube],
+        minterms: &[u64],
+        n: usize,
+        best: &mut Option<Vec<usize>>,
+    ) {
+        if let Some(b) = best {
+            if chosen_extra.len() >= b.len() {
+                return; // cannot improve term count
+            }
+        }
+        let Some(&pivot) = uncovered.first() else {
+            let better = match best {
+                None => true,
+                Some(b) => cost(chosen_extra, primes, n) < cost(b, primes, n),
+            };
+            if better {
+                *best = Some(chosen_extra.clone());
+            }
+            return;
+        };
+        for &p in &cover[pivot] {
+            if chosen_extra.contains(&p) {
+                continue;
+            }
+            chosen_extra.push(p);
+            let removed: Vec<usize> = uncovered
+                .iter()
+                .copied()
+                .filter(|&i| primes[p].covers(minterms[i]))
+                .collect();
+            uncovered.retain(|&i| !primes[p].covers(minterms[i]));
+            bnb(uncovered, chosen_extra, cover, primes, minterms, n, best);
+            uncovered.extend(removed);
+            uncovered.sort_unstable();
+            chosen_extra.pop();
+        }
+    }
+    if !uncovered.is_empty() {
+        bnb(
+            &mut uncovered,
+            &mut stack_choice,
+            &cover,
+            primes,
+            minterms,
+            n,
+            &mut best,
+        );
+    }
+    if let Some(extra) = best {
+        chosen.extend(extra);
+    }
+    chosen.sort_unstable();
+    chosen.dedup();
+    chosen.into_iter().map(|p| primes[p]).collect()
+}
+
+/// Exact minimum DNF of the function with on-set `minterms` over `n`
+/// variables.
+///
+/// ```
+/// use revkb_revision::minimize::minimum_dnf;
+/// // x0 ⊕ x1 needs two full terms: 4 literals.
+/// let r = minimum_dnf(&[0b01, 0b10], 2);
+/// assert_eq!(r.term_count(), 2);
+/// assert_eq!(r.literal_count(), 4);
+/// ```
+pub fn minimum_dnf(minterms: &[u64], n: usize) -> TwoLevel {
+    let primes = prime_implicants(minterms, n);
+    let cubes = minimum_cover(minterms, &primes, n);
+    TwoLevel {
+        cubes,
+        num_vars: n,
+    }
+}
+
+/// Exact minimum DNF of a model set.
+pub fn minimum_dnf_of(ms: &ModelSet) -> TwoLevel {
+    minimum_dnf(ms.masks(), ms.alphabet().len())
+}
+
+/// Exact minimum CNF literal count, via the complement's minimum DNF
+/// (De Morgan duality).
+pub fn minimum_cnf_literals(minterms: &[u64], n: usize) -> usize {
+    assert!(n < 24);
+    let on: std::collections::HashSet<u64> = minterms.iter().copied().collect();
+    let off: Vec<u64> = (0..1u64 << n).filter(|m| !on.contains(m)).collect();
+    minimum_dnf(&off, n).literal_count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use revkb_logic::Alphabet;
+
+    fn check_equivalent(minterms: &[u64], n: usize) {
+        let result = minimum_dnf(minterms, n);
+        let vars: Vec<Var> = (0..n as u32).map(Var).collect();
+        let f = result.to_dnf(&vars);
+        let alpha = Alphabet::new(vars);
+        let mut got = alpha.models(&f);
+        got.sort_unstable();
+        let mut expected = minterms.to_vec();
+        expected.sort_unstable();
+        expected.dedup();
+        assert_eq!(got, expected, "cover changed the function");
+    }
+
+    #[test]
+    fn xor_needs_two_full_terms() {
+        // x0 ⊕ x1: on-set {01, 10}; minimal DNF has 2 terms, 4 literals.
+        let r = minimum_dnf(&[0b01, 0b10], 2);
+        assert_eq!(r.term_count(), 2);
+        assert_eq!(r.literal_count(), 4);
+        check_equivalent(&[0b01, 0b10], 2);
+    }
+
+    #[test]
+    fn single_variable_collapses() {
+        // on-set = all minterms with x0 = 1 over 3 vars → one cube "x0".
+        let minterms: Vec<u64> = (0..8).filter(|m| m & 1 == 1).collect();
+        let r = minimum_dnf(&minterms, 3);
+        assert_eq!(r.term_count(), 1);
+        assert_eq!(r.literal_count(), 1);
+        check_equivalent(&minterms, 3);
+    }
+
+    #[test]
+    fn tautology_is_empty_cube() {
+        let minterms: Vec<u64> = (0..8).collect();
+        let r = minimum_dnf(&minterms, 3);
+        assert_eq!(r.term_count(), 1);
+        assert_eq!(r.literal_count(), 0);
+    }
+
+    #[test]
+    fn empty_onset_is_false() {
+        let r = minimum_dnf(&[], 3);
+        assert_eq!(r.term_count(), 0);
+        let vars: Vec<Var> = (0..3).map(Var).collect();
+        assert_eq!(r.to_dnf(&vars), Formula::False);
+    }
+
+    #[test]
+    fn classic_qm_example() {
+        // f(w,x,y,z) with on-set {4,8,10,11,12,15} (classic textbook
+        // case): minimum has 3 terms (with m9, m14 as don't-cares it
+        // would be smaller, but without don't-cares the exact cover is
+        // 4 terms). Verify equivalence and primality rather than a
+        // memorised count.
+        let minterms = [4u64, 8, 10, 11, 12, 15];
+        check_equivalent(&minterms, 4);
+        let primes = prime_implicants(&minterms, 4);
+        // Every prime must cover only on-set minterms.
+        let on: std::collections::HashSet<u64> = minterms.iter().copied().collect();
+        for p in &primes {
+            for m in 0..16u64 {
+                if p.covers(m) {
+                    assert!(on.contains(&m), "prime {p:?} covers off-set {m}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn minimum_is_no_larger_than_naive() {
+        let mut seed = 3u64;
+        for _ in 0..30 {
+            seed = seed
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let n = 4usize;
+            let onset_mask = seed >> 20 & 0xFFFF;
+            let minterms: Vec<u64> =
+                (0..16u64).filter(|&m| onset_mask >> m & 1 == 1).collect();
+            let r = minimum_dnf(&minterms, n);
+            // Naive DNF: one full term per minterm.
+            assert!(r.literal_count() <= minterms.len() * n);
+            assert!(r.term_count() <= minterms.len().max(1));
+            check_equivalent(&minterms, n);
+        }
+    }
+
+    #[test]
+    fn cnf_duality() {
+        // x0 ∧ x1 over 2 vars: min CNF = 2 unit clauses = 2 literals.
+        assert_eq!(minimum_cnf_literals(&[0b11], 2), 2);
+        // xor: min CNF has 4 literals.
+        assert_eq!(minimum_cnf_literals(&[0b01, 0b10], 2), 4);
+    }
+}

@@ -1,0 +1,523 @@
+//! The semantic (ground-truth) engine: model-based revision operators
+//! computed by explicit enumeration, exactly as defined in §2.2.2 of
+//! the paper.
+//!
+//! All six model-based operators select among the models of `P` by
+//! proximity to the models of `T`:
+//!
+//! - pointwise (update-style): **Winslett** `*Win`, **Borgida** `*B`,
+//!   **Forbus** `*F`;
+//! - global (revision-style): **Satoh** `*S`, **Dalal** `*D`,
+//!   **Weber** `*Web`.
+//!
+//! Proximities are built from `μ(M,P) = min⊆ {M△N | N ⊨ P}` and
+//! `δ(T,P) = min⊆ ⋃_{M ⊨ T} μ(M,P)`.
+//!
+//! Enumeration is exponential in the alphabet — this module is the
+//! *oracle* the scalable constructions are validated against, and is
+//! also used directly by the benchmarks on small alphabets.
+//!
+//! Degenerate cases: the paper assumes both `T` and `P` satisfiable
+//! (other cases are "clearly compactable"). We fix the convention:
+//! if `P` is unsatisfiable the result is unsatisfiable; if `T` is
+//! unsatisfiable (but `P` is not) the result is `P`.
+
+use crate::model_set::{revision_alphabet, ModelSet};
+use revkb_logic::{Alphabet, Formula};
+
+/// The model-based revision operators of §2.2.2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ModelBasedOp {
+    /// Winslett's standard-semantics update `*Win` \[27\].
+    Winslett,
+    /// Borgida's operator `*B` \[4\]: `T ∧ P` when consistent, else
+    /// Winslett.
+    Borgida,
+    /// Forbus' cardinality-based update `*F` \[11\].
+    Forbus,
+    /// Satoh's global set-inclusion revision `*S` \[25\].
+    Satoh,
+    /// Dalal's global cardinality revision `*D` \[7\].
+    Dalal,
+    /// Weber's revision `*Web` \[26\].
+    Weber,
+}
+
+impl ModelBasedOp {
+    /// All six operators, for sweeps.
+    pub const ALL: [ModelBasedOp; 6] = [
+        ModelBasedOp::Winslett,
+        ModelBasedOp::Borgida,
+        ModelBasedOp::Forbus,
+        ModelBasedOp::Satoh,
+        ModelBasedOp::Dalal,
+        ModelBasedOp::Weber,
+    ];
+
+    /// Short name as used in the paper's tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            ModelBasedOp::Winslett => "Winslett",
+            ModelBasedOp::Borgida => "Borgida",
+            ModelBasedOp::Forbus => "Forbus",
+            ModelBasedOp::Satoh => "Satoh",
+            ModelBasedOp::Dalal => "Dalal",
+            ModelBasedOp::Weber => "Weber",
+        }
+    }
+
+    /// Is proximity computed pointwise per model of `T` (update-style)
+    /// rather than globally (revision-style)?
+    pub fn is_pointwise(self) -> bool {
+        matches!(
+            self,
+            ModelBasedOp::Winslett | ModelBasedOp::Borgida | ModelBasedOp::Forbus
+        )
+    }
+}
+
+/// Keep only the ⊆-minimal masks of `sets` (each mask a set of
+/// letters). `O(s²)` — fine for enumeration scales.
+pub fn min_subsets(mut sets: Vec<u64>) -> Vec<u64> {
+    sets.sort_unstable();
+    sets.dedup();
+    let minimal: Vec<u64> = sets
+        .iter()
+        .copied()
+        .filter(|&a| !sets.iter().any(|&b| b != a && b & !a == 0))
+        .collect();
+    minimal
+}
+
+/// `μ(M, P)`: the ⊆-minimal symmetric differences between `m` and the
+/// models `p_models` of `P` (all masks over one alphabet).
+pub fn mu(m: u64, p_models: &[u64]) -> Vec<u64> {
+    min_subsets(p_models.iter().map(|&n| m ^ n).collect())
+}
+
+/// `k_{M,P}`: the minimum cardinality of differences between `m` and
+/// models of `P`. `None` when `P` has no models.
+pub fn k_m(m: u64, p_models: &[u64]) -> Option<u32> {
+    p_models.iter().map(|&n| (m ^ n).count_ones()).min()
+}
+
+/// `δ(T, P) = min⊆ ⋃_{M ⊨ T} μ(M, P)`: the globally ⊆-minimal
+/// differences between models of `T` and models of `P`.
+pub fn delta(t_models: &[u64], p_models: &[u64]) -> Vec<u64> {
+    // min⊆ of the union of pointwise-minimal sets equals min⊆ over all
+    // pairwise differences.
+    let all: Vec<u64> = t_models
+        .iter()
+        .flat_map(|&m| p_models.iter().map(move |&n| m ^ n))
+        .collect();
+    min_subsets(all)
+}
+
+/// `k_{T,P}`: minimum Hamming distance between models of `T` and
+/// models of `P`. `None` when either side is empty.
+pub fn k_global(t_models: &[u64], p_models: &[u64]) -> Option<u32> {
+    t_models
+        .iter()
+        .flat_map(|&m| p_models.iter().map(move |&n| (m ^ n).count_ones()))
+        .min()
+}
+
+/// `Ω = ⋃ δ(T, P)` as a letter mask.
+pub fn omega_mask(t_models: &[u64], p_models: &[u64]) -> u64 {
+    delta(t_models, p_models).into_iter().fold(0, |a, b| a | b)
+}
+
+/// Compute `M(T *op P)` over a given alphabet, by enumeration.
+pub fn revise_on(
+    op: ModelBasedOp,
+    alphabet: &Alphabet,
+    t: &Formula,
+    p: &Formula,
+) -> ModelSet {
+    let t_models = alphabet.models(t);
+    let p_models = alphabet.models(p);
+    let selected = revise_masks(op, &t_models, &p_models);
+    ModelSet::new(alphabet.clone(), selected)
+}
+
+/// Compute `M(T *op P)` over the union alphabet `V(T) ∪ V(P)`.
+///
+/// ```
+/// use revkb_revision::{revise, ModelBasedOp};
+/// use revkb_logic::{Formula, Var};
+/// // The office example: T = g ∨ b, P = ¬g.
+/// let t = Formula::var(Var(0)).or(Formula::var(Var(1)));
+/// let p = Formula::var(Var(0)).not();
+/// // Dalal (revision) concludes b; Winslett (update) does not.
+/// assert!(revise(ModelBasedOp::Dalal, &t, &p).entails(&Formula::var(Var(1))));
+/// assert!(!revise(ModelBasedOp::Winslett, &t, &p).entails(&Formula::var(Var(1))));
+/// ```
+pub fn revise(op: ModelBasedOp, t: &Formula, p: &Formula) -> ModelSet {
+    let alphabet = revision_alphabet(t, p);
+    revise_on(op, &alphabet, t, p)
+}
+
+/// Operator semantics on raw mask sets (both over the same alphabet).
+pub fn revise_masks(op: ModelBasedOp, t_models: &[u64], p_models: &[u64]) -> Vec<u64> {
+    if p_models.is_empty() {
+        return Vec::new();
+    }
+    if t_models.is_empty() {
+        return p_models.to_vec();
+    }
+    match op {
+        ModelBasedOp::Winslett => {
+            // N ∈ M(P) with ∃M ⊨ T : M△N ∈ μ(M,P).
+            let mut out = Vec::new();
+            for &m in t_models {
+                let minimal = mu(m, p_models);
+                for &d in &minimal {
+                    out.push(m ^ d);
+                }
+            }
+            out
+        }
+        ModelBasedOp::Borgida => {
+            let both: Vec<u64> = t_models
+                .iter()
+                .copied()
+                .filter(|m| p_models.binary_search(m).is_ok())
+                .collect();
+            if !both.is_empty() {
+                both
+            } else {
+                revise_masks(ModelBasedOp::Winslett, t_models, p_models)
+            }
+        }
+        ModelBasedOp::Forbus => {
+            let mut out = Vec::new();
+            for &m in t_models {
+                let k = k_m(m, p_models).expect("p_models nonempty");
+                for &n in p_models {
+                    if (m ^ n).count_ones() == k {
+                        out.push(n);
+                    }
+                }
+            }
+            out
+        }
+        ModelBasedOp::Satoh => {
+            let d = delta(t_models, p_models);
+            p_models
+                .iter()
+                .copied()
+                .filter(|&n| {
+                    t_models.iter().any(|&m| d.contains(&(m ^ n)))
+                })
+                .collect()
+        }
+        ModelBasedOp::Dalal => {
+            let k = k_global(t_models, p_models).expect("both nonempty");
+            p_models
+                .iter()
+                .copied()
+                .filter(|&n| t_models.iter().any(|&m| (m ^ n).count_ones() == k))
+                .collect()
+        }
+        ModelBasedOp::Weber => {
+            let omega = omega_mask(t_models, p_models);
+            p_models
+                .iter()
+                .copied()
+                .filter(|&n| t_models.iter().any(|&m| (m ^ n) & !omega == 0))
+                .collect()
+        }
+    }
+}
+
+/// Iterated revision `T *op P¹ *op … *op Pᵐ` over a fixed alphabet
+/// (left-associative, §2.2.3), by enumeration. The result of each step
+/// becomes the theory for the next.
+pub fn revise_iterated_on(
+    op: ModelBasedOp,
+    alphabet: &Alphabet,
+    t: &Formula,
+    ps: &[Formula],
+) -> ModelSet {
+    let mut current = alphabet.models(t);
+    for p in ps {
+        let p_models = alphabet.models(p);
+        current = revise_masks(op, &current, &p_models);
+        current.sort_unstable();
+        current.dedup();
+    }
+    ModelSet::new(alphabet.clone(), current)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use revkb_logic::{Signature, Var};
+
+    fn v(i: u32) -> Formula {
+        Formula::var(Var(i))
+    }
+
+    #[test]
+    fn min_subsets_keeps_antichain() {
+        assert_eq!(min_subsets(vec![0b11, 0b01, 0b10]), vec![0b01, 0b10]);
+        assert_eq!(min_subsets(vec![0b111, 0b101]), vec![0b101]);
+        assert_eq!(min_subsets(vec![0b0]), vec![0b0]);
+        assert_eq!(min_subsets(vec![0b01, 0b0, 0b10]), vec![0b0]);
+    }
+
+    /// §2.2.2's running example: T = a∧b∧c, P = (¬a∧¬b∧¬d) ∨
+    /// (¬c∧b∧(a ≢ d)) over {a,b,c,d}.
+    fn paper_example() -> (Signature, Formula, Formula, Alphabet) {
+        let mut sig = Signature::new();
+        let (a, b, c, d) = (sig.var("a"), sig.var("b"), sig.var("c"), sig.var("d"));
+        let t = Formula::var(a).and(Formula::var(b)).and(Formula::var(c));
+        let p1 = Formula::var(a)
+            .not()
+            .and(Formula::var(b).not())
+            .and(Formula::var(d).not());
+        let p2 = Formula::var(c)
+            .not()
+            .and(Formula::var(b))
+            .and(Formula::var(a).xor(Formula::var(d)));
+        let p = p1.or(p2);
+        let alpha = Alphabet::new(vec![a, b, c, d]);
+        (sig, t, p, alpha)
+    }
+
+    /// Models named as in the paper: N1 = {a,b}, N2 = {c},
+    /// N3 = {b,d}, N4 = ∅.
+    fn named_masks(alpha: &Alphabet, sig: &Signature) -> (u64, u64, u64, u64) {
+        let m = |names: &[&str]| -> u64 {
+            let interp: revkb_logic::Interpretation =
+                names.iter().map(|n| sig.lookup(n).unwrap()).collect();
+            alpha.interpretation_to_mask(&interp)
+        };
+        (m(&["a", "b"]), m(&["c"]), m(&["b", "d"]), m(&[]))
+    }
+
+    #[test]
+    fn paper_example_p_has_four_models() {
+        let (sig, _t, p, alpha) = paper_example();
+        let (n1, n2, n3, n4) = named_masks(&alpha, &sig);
+        let mut expected = vec![n1, n2, n3, n4];
+        expected.sort_unstable();
+        assert_eq!(alpha.models(&p), expected);
+    }
+
+    #[test]
+    fn paper_example_winslett_selects_n1_n2_n3() {
+        let (sig, t, p, alpha) = paper_example();
+        let (n1, n2, n3, _n4) = named_masks(&alpha, &sig);
+        let got = revise_on(ModelBasedOp::Winslett, &alpha, &t, &p);
+        let mut expected = vec![n1, n2, n3];
+        expected.sort_unstable();
+        assert_eq!(got.masks(), &expected[..]);
+        // Borgida coincides (T ∧ P inconsistent).
+        let b = revise_on(ModelBasedOp::Borgida, &alpha, &t, &p);
+        assert_eq!(b.masks(), &expected[..]);
+    }
+
+    #[test]
+    fn paper_example_forbus_selects_n1_n3() {
+        // Paper: k_{M1,P} = 2 selects N1, N3; k_{M2,P} = 1 selects N1;
+        // so T *F P has models N1 and N3.
+        let (sig, t, p, alpha) = paper_example();
+        let (n1, _n2, n3, _n4) = named_masks(&alpha, &sig);
+        let got = revise_on(ModelBasedOp::Forbus, &alpha, &t, &p);
+        let mut expected = vec![n1, n3];
+        expected.sort_unstable();
+        assert_eq!(got.masks(), &expected[..]);
+    }
+
+    #[test]
+    fn paper_example_satoh_selects_n1_n2() {
+        let (sig, t, p, alpha) = paper_example();
+        let (n1, n2, _n3, _n4) = named_masks(&alpha, &sig);
+        let got = revise_on(ModelBasedOp::Satoh, &alpha, &t, &p);
+        let mut expected = vec![n1, n2];
+        expected.sort_unstable();
+        assert_eq!(got.masks(), &expected[..]);
+    }
+
+    #[test]
+    fn paper_example_dalal_selects_n1() {
+        let (sig, t, p, alpha) = paper_example();
+        let (n1, _n2, _n3, _n4) = named_masks(&alpha, &sig);
+        let got = revise_on(ModelBasedOp::Dalal, &alpha, &t, &p);
+        assert_eq!(got.masks(), &[n1]);
+    }
+
+    #[test]
+    fn paper_example_weber_selects_all_models_of_p() {
+        let (_sig, t, p, alpha) = paper_example();
+        let got = revise_on(ModelBasedOp::Weber, &alpha, &t, &p);
+        assert_eq!(got.masks(), &alpha.models(&p)[..]);
+    }
+
+    #[test]
+    fn paper_example_mu_and_delta() {
+        let (sig, t, p, alpha) = paper_example();
+        let t_models = alpha.models(&t);
+        let p_models = alpha.models(&p);
+        // μ(M2 = {a,b,c}, P) = {{c}, {a,b}}.
+        let m2 = alpha.interpretation_to_mask(
+            &["a", "b", "c"]
+                .iter()
+                .map(|n| sig.lookup(n).unwrap())
+                .collect(),
+        );
+        let mask_of = |names: &[&str]| -> u64 {
+            alpha.interpretation_to_mask(
+                &names.iter().map(|n| sig.lookup(n).unwrap()).collect(),
+            )
+        };
+        let mut mu2 = mu(m2, &p_models);
+        mu2.sort_unstable();
+        let mut expected = vec![mask_of(&["c"]), mask_of(&["a", "b"])];
+        expected.sort_unstable();
+        assert_eq!(mu2, expected);
+        // δ(T,P) = {{c},{a,b}}; Ω = {a,b,c}.
+        let mut d = delta(&t_models, &p_models);
+        d.sort_unstable();
+        assert_eq!(d, expected);
+        assert_eq!(omega_mask(&t_models, &p_models), mask_of(&["a", "b", "c"]));
+        // k_{T,P} = 1.
+        assert_eq!(k_global(&t_models, &p_models), Some(1));
+    }
+
+    #[test]
+    fn consistent_case_all_revision_ops_give_conjunction() {
+        // Office example: T = g ∨ b, P = ¬g consistent with T:
+        // revision-style operators give T ∧ P = ¬g ∧ b.
+        let t = v(0).or(v(1));
+        let p = v(0).not();
+        for op in [ModelBasedOp::Borgida, ModelBasedOp::Satoh, ModelBasedOp::Dalal, ModelBasedOp::Weber] {
+            let got = revise(op, &t, &p);
+            let alpha = got.alphabet().clone();
+            let expected = ModelSet::of_formula(alpha, &t.clone().and(p.clone()));
+            assert_eq!(got, expected, "{}", op.name());
+        }
+    }
+
+    #[test]
+    fn update_office_example_keeps_ignorance() {
+        // Update semantics: T = g∨b updated with ¬g does NOT conclude b
+        // (the paper's update example): {¬g,¬b} model survives because
+        // the T-model {g} updates to ∅... concretely ∅ must be a model
+        // of T *Win ¬g.
+        let t = v(0).or(v(1));
+        let p = v(0).not();
+        let got = revise(ModelBasedOp::Winslett, &t, &p);
+        let empty = revkb_logic::Interpretation::new();
+        assert!(got.contains(&empty));
+        // So T *Win P does not entail b.
+        assert!(!got.entails(&v(1)));
+    }
+
+    #[test]
+    fn success_postulate_result_entails_p() {
+        // All operators: M(T*P) ⊆ M(P).
+        let t = v(0).iff(v(1)).and(v(2).or(v(0)));
+        let p = v(0).xor(v(2));
+        let alpha = revision_alphabet(&t, &p);
+        let p_set = ModelSet::of_formula(alpha.clone(), &p);
+        for op in ModelBasedOp::ALL {
+            let got = revise_on(op, &alpha, &t, &p);
+            assert!(got.is_subset_of(&p_set), "{}", op.name());
+            assert!(!got.is_empty(), "{} empty", op.name());
+        }
+    }
+
+    #[test]
+    fn unsat_p_gives_empty() {
+        let t = v(0);
+        let p = v(1).and(v(1).not());
+        for op in ModelBasedOp::ALL {
+            assert!(revise(op, &t, &p).is_empty());
+        }
+    }
+
+    #[test]
+    fn unsat_t_gives_p() {
+        let t = v(0).and(v(0).not());
+        let p = v(1).or(v(0));
+        for op in ModelBasedOp::ALL {
+            let got = revise(op, &t, &p);
+            let expected = ModelSet::of_formula(got.alphabet().clone(), &p);
+            assert_eq!(got, expected);
+        }
+    }
+
+    #[test]
+    fn iterated_single_step_matches_revise() {
+        let t = v(0).and(v(1));
+        let p = v(0).not().or(v(1).not());
+        let alpha = revision_alphabet(&t, &p);
+        for op in ModelBasedOp::ALL {
+            let once = revise_on(op, &alpha, &t, &p);
+            let seq = revise_iterated_on(op, &alpha, &t, std::slice::from_ref(&p));
+            assert_eq!(once, seq, "{}", op.name());
+        }
+    }
+
+    #[test]
+    fn iterated_two_steps() {
+        // T = x0∧x1∧x2; P1 = ¬x0∨¬x1; P2 = ¬x2. After both Dalal
+        // steps the models keep two of the original letters.
+        let t = v(0).and(v(1)).and(v(2));
+        let p1 = v(0).not().or(v(1).not());
+        let p2 = v(2).not();
+        let alpha = revision_alphabet(&t, &p1);
+        let got = revise_iterated_on(ModelBasedOp::Dalal, &alpha, &t, &[p1, p2]);
+        // Step 1: models {x0,x2},{x1,x2}; step 2: drop x2 → {x0},{x1}.
+        let expected = ModelSet::of_formula(alpha, &v(0).xor(v(1)).and(v(2).not()));
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn prop_2_1_bounded_difference_pointwise() {
+        // Proposition 2.1 for the pointwise operators with arbitrary T:
+        // for every model M of T there is a model N of T*P with
+        // M△N ⊆ V(P). (Pointwise minimal differences always stay
+        // inside V(P) and every one of them is realised.)
+        let t = v(0).iff(v(1)).and(v(2).or(v(3)));
+        let p = v(0).xor(v(3));
+        let alpha = revision_alphabet(&t, &p);
+        let t_models = alpha.models(&t);
+        let pvars_mask = alpha.subset_mask(&p.vars().into_iter().collect::<Vec<_>>());
+        for op in [ModelBasedOp::Winslett, ModelBasedOp::Forbus] {
+            let result = revise_on(op, &alpha, &t, &p);
+            for &m in &t_models {
+                assert!(
+                    result.masks().iter().any(|&n| (m ^ n) & !pvars_mask == 0),
+                    "Prop 2.1 fails for {} at model {m:b}",
+                    op.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn prop_2_1_complete_theory_all_operators() {
+        // Proposition 2.1 in the form the non-compactability proofs use
+        // it (T a maximal consistent set of literals, i.e. one model):
+        // holds for all six operators.
+        let t = v(0).and(v(1).not()).and(v(2)).and(v(3));
+        let p = v(0).xor(v(3)).or(v(1));
+        let alpha = revision_alphabet(&t, &p);
+        let t_models = alpha.models(&t);
+        assert_eq!(t_models.len(), 1);
+        let pvars_mask = alpha.subset_mask(&p.vars().into_iter().collect::<Vec<_>>());
+        for op in ModelBasedOp::ALL {
+            let result = revise_on(op, &alpha, &t, &p);
+            for &m in &t_models {
+                assert!(
+                    result.masks().iter().any(|&n| (m ^ n) & !pvars_mask == 0),
+                    "Prop 2.1 fails for {} at model {m:b}",
+                    op.name()
+                );
+            }
+        }
+    }
+}

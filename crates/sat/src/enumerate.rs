@@ -1,0 +1,142 @@
+//! All-SAT: enumerate the models of a formula projected onto a chosen
+//! sub-alphabet, by repeated solving with blocking clauses.
+//!
+//! Projection is what query equivalence (the paper's criterion (1))
+//! needs: a compact representation `T'` uses fresh letters `Y/Z/W`, and
+//! its consequences over the base alphabet `X` are determined by the
+//! projection of `M(T')` onto `X`.
+
+use crate::solver::Solver;
+use revkb_logic::{tseitin, Formula, Interpretation, Lit, Var};
+use std::collections::BTreeSet;
+
+/// Enumerate models of `f` projected onto `vars` (deduplicated), up to
+/// `limit` models. Returns `None` if the limit was hit (result
+/// incomplete), `Some(models)` otherwise.
+pub fn models_projected(
+    f: &Formula,
+    vars: &[Var],
+    limit: usize,
+) -> Option<Vec<Interpretation>> {
+    // The watermark must clear both the formula's letters and the
+    // projection letters — auxiliary Tseitin letters colliding with a
+    // projection letter would corrupt the projection.
+    let watermark = f
+        .vars()
+        .iter()
+        .chain(vars.iter())
+        .map(|v| v.0 + 1)
+        .max()
+        .unwrap_or(0);
+    let mut supply = revkb_logic::CountingSupply::new(watermark);
+    let cnf = tseitin(f, &mut supply);
+    let mut solver = Solver::new();
+    if !solver.add_cnf(&cnf) {
+        return Some(Vec::new());
+    }
+    for &v in vars {
+        solver.ensure_var(v);
+    }
+    let mut out = Vec::new();
+    while solver.solve() {
+        if out.len() >= limit {
+            return None;
+        }
+        let model: Interpretation = vars
+            .iter()
+            .copied()
+            .filter(|&v| solver.model_value(v))
+            .collect::<BTreeSet<Var>>();
+        // Block this projected assignment.
+        let blocking: Vec<Lit> = vars
+            .iter()
+            .map(|&v| Lit::new(v, !model.contains(&v)))
+            .collect();
+        out.push(model);
+        if blocking.is_empty() {
+            // Projecting onto the empty alphabet: one "model" at most.
+            break;
+        }
+        if !solver.add_clause(&blocking) {
+            break;
+        }
+    }
+    Some(out)
+}
+
+/// Enumerate models of `f` over exactly `V(f)` (no projection), up to
+/// `limit`.
+pub fn all_models(f: &Formula, limit: usize) -> Option<Vec<Interpretation>> {
+    let vars: Vec<Var> = f.vars().into_iter().collect();
+    models_projected(f, &vars, limit)
+}
+
+/// Count models of `f` projected onto `vars`, up to `limit` (returns
+/// `None` when the count reaches the limit).
+pub fn count_models_projected(f: &Formula, vars: &[Var], limit: usize) -> Option<usize> {
+    models_projected(f, vars, limit).map(|ms| ms.len())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(i: u32) -> Formula {
+        Formula::var(Var(i))
+    }
+
+    #[test]
+    fn enumerates_all_models() {
+        let f = v(0).or(v(1));
+        let mut models = all_models(&f, 100).unwrap();
+        models.sort();
+        assert_eq!(models.len(), 3);
+        assert!(models.iter().all(|m| f.eval(m)));
+    }
+
+    #[test]
+    fn projection_collapses_aux_vars() {
+        // f = (x0 ∨ x1) ∧ (x2 ∨ ¬x2): projecting on {x0} gives {∅?}.
+        // Models over {x0,x1,x2} projected to x0: x0 can be 0 (x1 must
+        // hold) or 1 → two projected models.
+        let f = v(0).or(v(1));
+        let ms = models_projected(&f, &[Var(0)], 100).unwrap();
+        assert_eq!(ms.len(), 2);
+    }
+
+    #[test]
+    fn unsat_formula_has_no_models() {
+        let f = v(0).and(v(0).not());
+        assert_eq!(all_models(&f, 10).unwrap().len(), 0);
+    }
+
+    #[test]
+    fn empty_projection_of_sat_formula() {
+        let f = v(0).or(v(1));
+        let ms = models_projected(&f, &[], 10).unwrap();
+        assert_eq!(ms.len(), 1);
+        assert!(ms[0].is_empty());
+    }
+
+    #[test]
+    fn limit_returns_none() {
+        let f = v(0).or(v(0).not()); // 2 models over {x0}
+        assert!(models_projected(&f, &[Var(0)], 1).is_none());
+        assert!(models_projected(&f, &[Var(0)], 2).is_some());
+    }
+
+    #[test]
+    fn projection_onto_foreign_vars() {
+        // Var(5) does not occur in f: it is unconstrained, so
+        // projection onto it yields both values.
+        let f = v(0);
+        let ms = models_projected(&f, &[Var(5)], 10).unwrap();
+        assert_eq!(ms.len(), 2);
+    }
+
+    #[test]
+    fn tautology_projection_counts() {
+        let f = v(0).or(v(0).not());
+        assert_eq!(count_models_projected(&f, &[Var(0)], 10), Some(2));
+    }
+}

@@ -1,0 +1,25 @@
+//! # revkb-sat
+//!
+//! A from-scratch CDCL SAT solver and formula-level decision
+//! procedures for the `revkb` belief-revision system.
+//!
+//! - [`Solver`]: incremental CDCL (two-watched literals, first-UIP
+//!   learning, VSIDS, Luby restarts, phase saving, assumptions);
+//! - [`satisfiable`] / [`entails`] / [`equivalent`] / [`find_model`]:
+//!   formula-level queries via the Tseitin transform;
+//! - [`models_projected`]: all-SAT with projection onto a
+//!   sub-alphabet (the engine behind query-equivalence checking).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod api;
+pub mod enumerate;
+pub mod heap;
+pub mod solver;
+
+pub use api::{
+    entails, equivalent, find_model, satisfiable, solve_cnf, solver_for, supply_above, valid,
+};
+pub use enumerate::{all_models, count_models_projected, models_projected};
+pub use solver::{luby, LBool, Solver, Stats};

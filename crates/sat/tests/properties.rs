@@ -1,0 +1,82 @@
+//! Property tests for the CDCL solver: differential agreement with
+//! truth tables on arbitrary formula shapes, model validity, and
+//! assumption semantics.
+
+use proptest::prelude::*;
+use revkb_logic::{tt_entails, tt_equivalent, tt_satisfiable, Formula, Lit, Var};
+use revkb_sat::Solver;
+
+fn formula_strategy(num_vars: u32, depth: u32) -> BoxedStrategy<Formula> {
+    let leaf = prop_oneof![
+        4 => (0..num_vars, any::<bool>()).prop_map(|(v, pos)| Formula::lit(Var(v), pos)),
+        1 => Just(Formula::True),
+        1 => Just(Formula::False),
+    ]
+    .boxed();
+    leaf.prop_recursive(depth, 32, 3, |inner| {
+        prop_oneof![
+            prop::collection::vec(inner.clone(), 2..4).prop_map(Formula::and_all),
+            prop::collection::vec(inner.clone(), 2..4).prop_map(Formula::or_all),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.implies(b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.iff(b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.xor(b)),
+            inner.prop_map(|a| a.not()),
+        ]
+        .boxed()
+    })
+    .boxed()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 96, .. ProptestConfig::default() })]
+
+    /// Solver and truth tables agree on satisfiability; reported
+    /// models actually satisfy the formula.
+    #[test]
+    fn sat_agrees_with_truth_tables(f in formula_strategy(6, 4)) {
+        let expected = tt_satisfiable(&f);
+        prop_assert_eq!(revkb_sat::satisfiable(&f), expected);
+        if expected {
+            let m = revkb_sat::find_model(&f).expect("model exists");
+            prop_assert!(f.eval(&m));
+        } else {
+            prop_assert!(revkb_sat::find_model(&f).is_none());
+        }
+    }
+
+    /// Entailment and equivalence agree with truth tables.
+    #[test]
+    fn consequence_agrees(a in formula_strategy(5, 3), b in formula_strategy(5, 3)) {
+        prop_assert_eq!(revkb_sat::entails(&a, &b), tt_entails(&a, &b));
+        prop_assert_eq!(revkb_sat::equivalent(&a, &b), tt_equivalent(&a, &b));
+    }
+
+    /// Assumptions behave as added unit clauses (without persisting).
+    /// The Tseitin gate letters must start above every letter the
+    /// assumption may touch, not just above V(f).
+    #[test]
+    fn assumptions_are_temporary_units(f in formula_strategy(5, 3), idx in 0u32..5, pos in any::<bool>()) {
+        let mut supply = revkb_logic::CountingSupply::new(10);
+        let mut solver = revkb_sat::solver_for(&f, &mut supply);
+        solver.ensure_var(Var(idx));
+        let lit = Lit::new(Var(idx), pos);
+        let with_assumption = solver.solve_with_assumptions(&[lit]);
+        let unit = Formula::lit(Var(idx), pos);
+        let expected = tt_satisfiable(&f.clone().and(unit));
+        prop_assert_eq!(with_assumption, expected);
+        // The assumption does not persist.
+        prop_assert_eq!(solver.solve(), tt_satisfiable(&f));
+    }
+
+    /// All-SAT enumerates exactly the truth-table models.
+    #[test]
+    fn all_models_exact(f in formula_strategy(4, 3)) {
+        let models = revkb_sat::all_models(&f, 1 << 12).expect("within limit");
+        let vars: Vec<Var> = f.vars().into_iter().collect();
+        let alpha = revkb_logic::Alphabet::new(vars);
+        prop_assert_eq!(models.len(), alpha.models(&f).len());
+        for m in &models {
+            prop_assert!(f.eval(m));
+        }
+    }
+}

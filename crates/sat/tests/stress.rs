@@ -1,0 +1,172 @@
+//! Solver stress tests: structured hard instances (pigeonhole),
+//! differential validation against brute force at the largest
+//! enumerable sizes, and incremental-use torture.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use revkb_logic::{Formula, Lit, Var};
+use revkb_sat::Solver;
+
+/// Pigeonhole CNF: `pigeons` into `holes`. Unsatisfiable iff
+/// `pigeons > holes` — resolution-hard, a classic solver workout.
+fn pigeonhole(solver: &mut Solver, pigeons: u32, holes: u32) {
+    let var = |p: u32, h: u32| Var(p * holes + h);
+    for p in 0..pigeons {
+        let clause: Vec<Lit> = (0..holes).map(|h| Lit::pos(var(p, h))).collect();
+        solver.add_clause(&clause);
+    }
+    for h in 0..holes {
+        for p1 in 0..pigeons {
+            for p2 in p1 + 1..pigeons {
+                solver.add_clause(&[Lit::neg(var(p1, h)), Lit::neg(var(p2, h))]);
+            }
+        }
+    }
+}
+
+#[test]
+fn pigeonhole_unsat_up_to_7() {
+    for holes in 2..=6u32 {
+        let mut s = Solver::new();
+        pigeonhole(&mut s, holes + 1, holes);
+        assert!(!s.solve(), "PHP({},{}) should be UNSAT", holes + 1, holes);
+    }
+}
+
+#[test]
+fn pigeonhole_sat_when_enough_holes() {
+    let mut s = Solver::new();
+    pigeonhole(&mut s, 5, 5);
+    assert!(s.solve());
+    // The model must be a valid assignment: every pigeon placed, no
+    // hole shared.
+    let var = |p: u32, h: u32| Var(p * 5 + h);
+    for p in 0..5 {
+        assert!((0..5).any(|h| s.model_value(var(p, h))), "pigeon {p} unplaced");
+    }
+    for h in 0..5 {
+        let count = (0..5).filter(|&p| s.model_value(var(p, h))).count();
+        assert!(count <= 1, "hole {h} shared");
+    }
+}
+
+/// Random 3-CNF near the phase transition, cross-checked against
+/// brute force over 12 variables (4096 assignments) — 300 instances.
+#[test]
+fn random_3sat_differential() {
+    let mut rng = StdRng::seed_from_u64(0x5A7);
+    let n = 12u32;
+    for round in 0..300 {
+        let m = 30 + (round % 40); // densities straddling the threshold
+        let mut clauses: Vec<[i64; 3]> = Vec::with_capacity(m);
+        for _ in 0..m {
+            let mut vars = [0u32; 3];
+            let mut k = 0;
+            while k < 3 {
+                let v = rng.gen_range(0..n);
+                if !vars[..k].contains(&v) {
+                    vars[k] = v;
+                    k += 1;
+                }
+            }
+            clauses.push([
+                (vars[0] as i64 + 1) * if rng.gen_bool(0.5) { 1 } else { -1 },
+                (vars[1] as i64 + 1) * if rng.gen_bool(0.5) { 1 } else { -1 },
+                (vars[2] as i64 + 1) * if rng.gen_bool(0.5) { 1 } else { -1 },
+            ]);
+        }
+        // Brute force.
+        let brute = (0..1u64 << n).any(|assignment| {
+            clauses.iter().all(|c| {
+                c.iter().any(|&lit| {
+                    let v = lit.unsigned_abs() as u64 - 1;
+                    (assignment >> v & 1 == 1) == (lit > 0)
+                })
+            })
+        });
+        // Solver.
+        let mut s = Solver::new();
+        for c in &clauses {
+            let lits: Vec<Lit> = c
+                .iter()
+                .map(|&lit| Lit::new(Var(lit.unsigned_abs() as u32 - 1), lit > 0))
+                .collect();
+            s.add_clause(&lits);
+        }
+        let got = s.solve();
+        assert_eq!(got, brute, "divergence on round {round}");
+        if got {
+            // The reported model must satisfy every clause.
+            for c in &clauses {
+                assert!(
+                    c.iter().any(|&lit| {
+                        s.model_value(Var(lit.unsigned_abs() as u32 - 1)) == (lit > 0)
+                    }),
+                    "model violates a clause on round {round}"
+                );
+            }
+        }
+    }
+}
+
+/// Incremental torture: alternate assumption solving, clause addition
+/// and full solving on one solver instance.
+#[test]
+fn incremental_torture() {
+    let mut rng = StdRng::seed_from_u64(0x10C);
+    let n = 30u32;
+    let mut s = Solver::new();
+    // Seed with implications forming a ring.
+    for i in 0..n {
+        s.add_clause(&[Lit::neg(Var(i)), Lit::pos(Var((i + 1) % n))]);
+    }
+    let mut expected_sat = true;
+    for round in 0..200 {
+        match round % 3 {
+            0 => {
+                let a = Var(rng.gen_range(0..n));
+                let sat = s.solve_with_assumptions(&[Lit::pos(a)]);
+                if expected_sat {
+                    // Positive assumption forces the whole ring true —
+                    // consistent unless a negative unit was added.
+                    let _ = sat;
+                }
+            }
+            1 => {
+                let _ = s.solve();
+            }
+            _ => {
+                // Add a random (wide, satisfiable-ish) clause.
+                let lits: Vec<Lit> = (0..3)
+                    .map(|_| Lit::new(Var(rng.gen_range(0..n)), rng.gen_bool(0.7)))
+                    .collect();
+                if !s.add_clause(&lits) {
+                    expected_sat = false;
+                }
+            }
+        }
+    }
+    // The solver must still be in a coherent state.
+    let final_sat = s.solve();
+    if !expected_sat {
+        assert!(!final_sat);
+    }
+}
+
+/// Formula-level entailment at a size where Tseitin + CDCL does real
+/// work: chains of implications with noise.
+#[test]
+fn long_implication_chains() {
+    let n = 200u32;
+    let chain = Formula::and_all(
+        (0..n - 1).map(|i| Formula::var(Var(i)).implies(Formula::var(Var(i + 1)))),
+    );
+    let premise = chain.clone().and(Formula::var(Var(0)));
+    assert!(revkb_sat::entails(&premise, &Formula::var(Var(n - 1))));
+    assert!(!revkb_sat::entails(&chain, &Formula::var(Var(n - 1))));
+    // Breaking one link breaks the entailment.
+    let broken = chain.and(Formula::var(Var(n / 2)).not());
+    assert!(!revkb_sat::satisfiable(
+        &broken.clone().and(Formula::var(Var(0)))
+    ));
+}

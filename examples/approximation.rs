@@ -1,0 +1,106 @@
+//! Approximate knowledge compilation of a revised base (§2.3's
+//! Kautz–Selman / Gogic–Papadimitriou–Sideri connection): when the
+//! exact revised base has no compact representation, its **least Horn
+//! upper bound** still answers a sound (if incomplete) fragment of the
+//! queries.
+//!
+//! ```text
+//! cargo run --example approximation
+//! ```
+
+use revkb::logic::{Alphabet, Formula, Var};
+use revkb::revision::{
+    horn_formula, horn_lub, is_horn_definable, revise_on, ModelBasedOp, ModelSet,
+};
+
+fn main() {
+    // A wiring knowledge base over 5 lines; the revision makes a
+    // disjunctive observation, which is exactly where Horn
+    // approximation loses information.
+    let line: Vec<Formula> = (0..5).map(|i| Formula::var(Var(i))).collect();
+    let t = Formula::and_all(line.iter().cloned());
+    let p = line[0]
+        .clone()
+        .not()
+        .or(line[1].clone().not())
+        .and(line[2].clone().not().or(line[3].clone().not()));
+
+    let alpha = Alphabet::of_formulas([&t, &p]);
+    println!("T = all 5 lines up; P = (¬l0 ∨ ¬l1) ∧ (¬l2 ∨ ¬l3)");
+    println!();
+    println!(
+        "{:<10} {:>8} {:>8} {:>12} {:>16}",
+        "operator", "models", "Horn?", "LUB models", "sound/complete"
+    );
+    println!("{}", "-".repeat(60));
+    for op in ModelBasedOp::ALL {
+        let revised = revise_on(op, &alpha, &t, &p);
+        let horn = is_horn_definable(&revised);
+        let lub = horn_lub(&revised);
+        // Query battery: single lines up/down.
+        let queries: Vec<Formula> = (0..5)
+            .flat_map(|i| {
+                [
+                    Formula::var(Var(i)),
+                    Formula::var(Var(i)).not(),
+                    Formula::var(Var(i)).or(Formula::var(Var((i + 1) % 5))),
+                ]
+            })
+            .collect();
+        let mut sound = true;
+        let mut complete = 0usize;
+        let mut exact_yes = 0usize;
+        for q in &queries {
+            let exact = revised.entails(q);
+            let approx = lub.entails(q);
+            // Upper bound: approx yes ⇒ exact yes.
+            if approx && !exact {
+                sound = false;
+            }
+            if exact {
+                exact_yes += 1;
+                if approx {
+                    complete += 1;
+                }
+            }
+        }
+        println!(
+            "{:<10} {:>8} {:>8} {:>12} {:>10}/{}",
+            op.name(),
+            revised.len(),
+            if horn { "yes" } else { "no" },
+            lub.len(),
+            if sound { complete } else { usize::MAX },
+            exact_yes,
+        );
+        debug_assert!(sound, "Horn LUB must be an upper bound");
+        let _ = complete;
+    }
+    println!();
+
+    // Show the Horn formula for one operator.
+    let weber = revise_on(ModelBasedOp::Weber, &alpha, &t, &p);
+    let lub = horn_lub(&weber);
+    let lub_formula = horn_formula(&lub);
+    println!(
+        "Weber LUB as a Horn theory ({} variable occurrences):",
+        lub_formula.size()
+    );
+    let sig = {
+        let mut s = revkb::logic::Signature::new();
+        for i in 0..5 {
+            s.var(&format!("l{i}"));
+        }
+        s
+    };
+    println!("  {}", revkb::logic::render(&lub_formula, &sig));
+    println!();
+    println!(
+        "Every 'yes' the approximation gives is sound (LUB is an upper\n\
+         bound); the gap between the columns is the completeness price —\n\
+         §2.3's point that approximation and equivalence-preserving\n\
+         compilation are different games."
+    );
+    // Keep the exact set alive for the assert above in debug builds.
+    let _ = ModelSet::new(alpha, vec![]);
+}

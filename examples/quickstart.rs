@@ -1,0 +1,66 @@
+//! Quickstart: the paper's office example under every revision
+//! operator.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+//!
+//! You heard a voice in George and Bill's office (`T = g ∨ b`), then
+//! saw George in the corridor (`P = ¬g`). *Revision* operators treat
+//! the old belief as possibly wrong but still usable — they conclude
+//! the voice was Bill's. *Update* operators treat the world as having
+//! changed — they refuse to conclude anything about Bill.
+
+use revkb::logic::{parse, render, Signature};
+use revkb::revision::{revise, ModelBasedOp, Theory};
+
+fn main() {
+    let mut sig = Signature::new();
+    let t = parse("george | bill", &mut sig).expect("parse T");
+    let p = parse("!george", &mut sig).expect("parse P");
+    let bill = parse("bill", &mut sig).expect("parse query");
+
+    println!("T = {}   (someone is in the office)", render(&t, &sig));
+    println!("P = {}   (George is in the corridor)", render(&p, &sig));
+    println!();
+    println!("{:<10} {:>8}  models of T * P", "operator", "T*P⊨bill");
+    println!("{}", "-".repeat(60));
+
+    for op in ModelBasedOp::ALL {
+        let result = revise(op, &t, &p);
+        let models: Vec<String> = result
+            .interpretations()
+            .iter()
+            .map(|m| {
+                let names: Vec<&str> =
+                    m.iter().filter_map(|&v| sig.name(v)).collect();
+                format!("{{{}}}", names.join(","))
+            })
+            .collect();
+        println!(
+            "{:<10} {:>8}  {}",
+            op.name(),
+            if result.entails(&bill) { "yes" } else { "no" },
+            models.join(" ")
+        );
+    }
+
+    // Formula-based operators care about the syntax of T.
+    println!();
+    println!("Formula-based revision is syntax-sensitive (§2.2.1):");
+    let mut sig2 = Signature::new();
+    let a = parse("a", &mut sig2).unwrap();
+    let b = parse("b", &mut sig2).unwrap();
+    let a_imp_b = parse("a -> b", &mut sig2).unwrap();
+    let not_b = parse("!b", &mut sig2).unwrap();
+    let t1 = Theory::new([a.clone(), b.clone()]);
+    let t2 = Theory::new([a.clone(), a_imp_b]);
+    for (name, theory) in [("T1 = {a, b}", &t1), ("T2 = {a, a -> b}", &t2)] {
+        let entails_a = revkb::revision::gfuv_entails(theory, &not_b, &a);
+        println!(
+            "  {name:<18} *GFUV !b ⊨ a ?  {}",
+            if entails_a { "yes" } else { "no" }
+        );
+    }
+    println!("  (logically equivalent theories, different conclusions)");
+}

@@ -1,0 +1,367 @@
+//! `revkb-cli` — command-line front end to the revision engine.
+//!
+//! ```text
+//! revkb-cli revise  --op dalal -t "a & b & c" -p "!a | !b" [--models]
+//! revkb-cli compile --op weber -t "a & b" -p "!a" -q "b"
+//! revkb-cli worlds  -t "a ; a -> b" -p "!b"
+//! revkb-cli check   --op forbus -t "a & b" -p "!a" -m "b"
+//! revkb-cli postulates --op winslett [--cases 100]
+//! ```
+//!
+//! Formulas use the `revkb` concrete syntax (`& | ! -> <-> <+>`);
+//! theories for `worlds` are `;`-separated formula lists. Exits with
+//! a nonzero status and a message on bad input.
+
+use revkb::logic::{parse, render, Formula, Signature};
+use revkb::revision::{
+    advise, model_check, possible_worlds, postulate_report, revise, widtio, Advice,
+    ModelBasedOp, OperatorKind, Postulate, Profile, RevisedKb, Theory,
+};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(output) => {
+            print!("{output}");
+            ExitCode::SUCCESS
+        }
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            eprintln!();
+            eprintln!("{}", usage());
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn usage() -> &'static str {
+    "usage:\n  revkb-cli revise  --op <operator> -t <formula> -p <formula> [--models]\n  revkb-cli compile --op <operator> -t <formula> -p <formula> -q <query>\n  revkb-cli compile-seq --op <operator> -t <formula> --ps <p1 ; p2 ; …> -q <query>\n  revkb-cli worlds  -t <f1 ; f2 ; …> -p <formula>\n  revkb-cli widtio  -t <f1 ; f2 ; …> -p <formula>\n  revkb-cli check   --op <operator> -t <formula> -p <formula> -m <letters,comma,separated>\n  revkb-cli postulates --op <operator> [--cases <n>]\n  revkb-cli advise  --op <operator|gfuv|widtio> [--bounded] [--new-letters] [--iterated]\n\noperators: winslett borgida forbus satoh dalal weber"
+}
+
+/// Parsed flag map: `--key value` and `-k value` pairs.
+fn parse_flags(args: &[String]) -> Result<std::collections::HashMap<String, String>, String> {
+    let mut flags = std::collections::HashMap::new();
+    let mut i = 0;
+    while i < args.len() {
+        let key = args[i]
+            .strip_prefix("--")
+            .or_else(|| args[i].strip_prefix('-'))
+            .ok_or_else(|| format!("expected a flag, found {:?}", args[i]))?;
+        if ["models", "bounded", "new-letters", "iterated"].contains(&key) {
+            flags.insert(key.to_string(), "true".to_string());
+            i += 1;
+            continue;
+        }
+        let value = args
+            .get(i + 1)
+            .ok_or_else(|| format!("flag --{key} needs a value"))?;
+        flags.insert(key.to_string(), value.clone());
+        i += 2;
+    }
+    Ok(flags)
+}
+
+fn operator(name: &str) -> Result<ModelBasedOp, String> {
+    match name.to_ascii_lowercase().as_str() {
+        "winslett" | "win" => Ok(ModelBasedOp::Winslett),
+        "borgida" | "b" => Ok(ModelBasedOp::Borgida),
+        "forbus" | "f" => Ok(ModelBasedOp::Forbus),
+        "satoh" | "s" => Ok(ModelBasedOp::Satoh),
+        "dalal" | "d" => Ok(ModelBasedOp::Dalal),
+        "weber" | "web" => Ok(ModelBasedOp::Weber),
+        other => Err(format!("unknown operator {other:?}")),
+    }
+}
+
+fn required<'a>(
+    flags: &'a std::collections::HashMap<String, String>,
+    key: &str,
+) -> Result<&'a str, String> {
+    flags
+        .get(key)
+        .map(|s| s.as_str())
+        .ok_or_else(|| format!("missing required flag --{key}"))
+}
+
+fn parse_theory(input: &str, sig: &mut Signature) -> Result<Theory, String> {
+    let formulas: Result<Vec<Formula>, String> = input
+        .split(';')
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .map(|s| parse(s, sig).map_err(|e| e.to_string()))
+        .collect();
+    Ok(Theory::new(formulas?))
+}
+
+/// Dispatch and render output (separated from `main` for testing).
+pub fn run(args: &[String]) -> Result<String, String> {
+    let (command, rest) = args
+        .split_first()
+        .ok_or_else(|| "missing command".to_string())?;
+    let flags = parse_flags(rest)?;
+    let mut sig = Signature::new();
+    let mut out = String::new();
+    use std::fmt::Write;
+
+    match command.as_str() {
+        "revise" => {
+            let op = operator(required(&flags, "op")?)?;
+            let t = parse(required(&flags, "t")?, &mut sig).map_err(|e| e.to_string())?;
+            let p = parse(required(&flags, "p")?, &mut sig).map_err(|e| e.to_string())?;
+            let result = revise(op, &t, &p);
+            writeln!(out, "operator: {}", op.name()).unwrap();
+            writeln!(out, "models of T * P: {}", result.len()).unwrap();
+            if flags.contains_key("models") {
+                for m in result.interpretations() {
+                    let names: Vec<String> = m
+                        .iter()
+                        .map(|&v| sig.name_or_default(v))
+                        .collect();
+                    writeln!(out, "  {{{}}}", names.join(", ")).unwrap();
+                }
+            }
+        }
+        "compile" => {
+            let op = operator(required(&flags, "op")?)?;
+            let t = parse(required(&flags, "t")?, &mut sig).map_err(|e| e.to_string())?;
+            let p = parse(required(&flags, "p")?, &mut sig).map_err(|e| e.to_string())?;
+            let q = parse(required(&flags, "q")?, &mut sig).map_err(|e| e.to_string())?;
+            let kb = RevisedKb::compile(op, &t, &p).map_err(|e| e.to_string())?;
+            writeln!(out, "operator: {}", op.name()).unwrap();
+            writeln!(out, "|T'| = {} variable occurrences", kb.size()).unwrap();
+            writeln!(
+                out,
+                "T * P ⊨ {} : {}",
+                render(&q, &sig),
+                if kb.entails(&q) { "yes" } else { "no" }
+            )
+            .unwrap();
+        }
+        "worlds" => {
+            let t = parse_theory(required(&flags, "t")?, &mut sig)?;
+            let p = parse(required(&flags, "p")?, &mut sig).map_err(|e| e.to_string())?;
+            let worlds = possible_worlds(&t, &p, 1 << 16)
+                .ok_or_else(|| "more than 65536 possible worlds".to_string())?;
+            writeln!(out, "|W(T,P)| = {}", worlds.len()).unwrap();
+            for w in worlds {
+                let members: Vec<String> = w
+                    .iter()
+                    .map(|&i| render(&t.formulas[i], &sig))
+                    .collect();
+                writeln!(out, "  {{ {} }}", members.join(" ; ")).unwrap();
+            }
+        }
+        "widtio" => {
+            let t = parse_theory(required(&flags, "t")?, &mut sig)?;
+            let p = parse(required(&flags, "p")?, &mut sig).map_err(|e| e.to_string())?;
+            let kept = widtio(&t, &p);
+            writeln!(out, "T *wid P keeps {} formula(s):", kept.len()).unwrap();
+            for f in &kept.formulas {
+                writeln!(out, "  {}", render(f, &sig)).unwrap();
+            }
+        }
+        "check" => {
+            let op = operator(required(&flags, "op")?)?;
+            let t = parse(required(&flags, "t")?, &mut sig).map_err(|e| e.to_string())?;
+            let p = parse(required(&flags, "p")?, &mut sig).map_err(|e| e.to_string())?;
+            let m: revkb::logic::Interpretation = required(&flags, "m")?
+                .split(',')
+                .map(str::trim)
+                .filter(|s| !s.is_empty())
+                .map(|name| sig.var(name))
+                .collect();
+            let holds = model_check(op, &m, &t, &p).map_err(|e| format!("{e:?}"))?;
+            writeln!(
+                out,
+                "M ⊨ T *{} P : {}",
+                op.name(),
+                if holds { "yes" } else { "no" }
+            )
+            .unwrap();
+        }
+        "compile-seq" => {
+            let op = operator(required(&flags, "op")?)?;
+            let t = parse(required(&flags, "t")?, &mut sig).map_err(|e| e.to_string())?;
+            let ps: Result<Vec<Formula>, String> = required(&flags, "ps")?
+                .split(';')
+                .map(str::trim)
+                .filter(|s| !s.is_empty())
+                .map(|s| parse(s, &mut sig).map_err(|e| e.to_string()))
+                .collect();
+            let ps = ps?;
+            let q = parse(required(&flags, "q")?, &mut sig).map_err(|e| e.to_string())?;
+            let kb = RevisedKb::compile_iterated(op, &t, &ps).map_err(|e| e.to_string())?;
+            writeln!(out, "operator: {}, {} revision(s)", op.name(), ps.len()).unwrap();
+            writeln!(out, "|T'| = {} variable occurrences", kb.size()).unwrap();
+            writeln!(
+                out,
+                "T * P¹ * … ⊨ {} : {}",
+                render(&q, &sig),
+                if kb.entails(&q) { "yes" } else { "no" }
+            )
+            .unwrap();
+        }
+        "advise" => {
+            let kind = match required(&flags, "op")?.to_ascii_lowercase().as_str() {
+                "gfuv" | "nebel" => OperatorKind::Gfuv,
+                "widtio" => OperatorKind::Widtio,
+                name => OperatorKind::ModelBased(operator(name)?),
+            };
+            let profile = Profile {
+                bounded_p: flags.contains_key("bounded"),
+                allow_new_letters: flags.contains_key("new-letters"),
+                iterated: flags.contains_key("iterated"),
+            };
+            writeln!(
+                out,
+                "profile: |P| {}, new letters {}, {} revision",
+                if profile.bounded_p { "bounded" } else { "unbounded" },
+                if profile.allow_new_letters { "allowed" } else { "forbidden" },
+                if profile.iterated { "iterated" } else { "single" },
+            )
+            .unwrap();
+            match advise(kind, profile) {
+                Advice::Compactable {
+                    construction,
+                    reference,
+                } => {
+                    writeln!(out, "COMPACTABLE ({reference})").unwrap();
+                    writeln!(out, "  construction: {construction}").unwrap();
+                }
+                Advice::NotCompactable {
+                    reference,
+                    consequence,
+                } => {
+                    writeln!(out, "NOT COMPACTABLE ({reference})").unwrap();
+                    writeln!(
+                        out,
+                        "  a polynomial representation would imply {consequence}"
+                    )
+                    .unwrap();
+                }
+            }
+        }
+        "postulates" => {
+            let op = operator(required(&flags, "op")?)?;
+            let cases: usize = flags
+                .get("cases")
+                .map(|s| s.parse().map_err(|_| "bad --cases".to_string()))
+                .transpose()?
+                .unwrap_or(60);
+            let all: Vec<Postulate> = Postulate::REVISION
+                .iter()
+                .chain(Postulate::UPDATE.iter())
+                .copied()
+                .collect();
+            writeln!(out, "operator: {}, {cases} sampled instances", op.name()).unwrap();
+            for (p, held, failed, _) in postulate_report(op, &all, cases, 0xC11) {
+                writeln!(
+                    out,
+                    "  {p:?}: held {held}, failed {failed}{}",
+                    if failed == 0 { "" } else { "  ← violated" }
+                )
+                .unwrap();
+            }
+        }
+        other => return Err(format!("unknown command {other:?}")),
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn revise_command() {
+        let out = run(&args(&[
+            "revise", "--op", "dalal", "-t", "g | b", "-p", "!g", "--models",
+        ]))
+        .unwrap();
+        assert!(out.contains("models of T * P: 1"));
+        assert!(out.contains("{b}"));
+    }
+
+    #[test]
+    fn compile_command() {
+        let out = run(&args(&[
+            "compile", "--op", "weber", "-t", "a & b", "-p", "!a", "-q", "b",
+        ]))
+        .unwrap();
+        assert!(out.contains(": yes"));
+    }
+
+    #[test]
+    fn worlds_command() {
+        let out = run(&args(&["worlds", "-t", "a ; a -> b", "-p", "!b"])).unwrap();
+        assert!(out.contains("|W(T,P)| = 2"));
+    }
+
+    #[test]
+    fn widtio_command() {
+        let out = run(&args(&["widtio", "-t", "a ; a -> b", "-p", "!b"])).unwrap();
+        assert!(out.contains("keeps 1 formula"));
+    }
+
+    #[test]
+    fn check_command() {
+        let out = run(&args(&[
+            "check", "--op", "winslett", "-t", "a & b", "-p", "!a", "-m", "b",
+        ]))
+        .unwrap();
+        assert!(out.contains(": yes"));
+        let out2 = run(&args(&[
+            "check", "--op", "winslett", "-t", "a & b", "-p", "!a", "-m", "a,b",
+        ]))
+        .unwrap();
+        assert!(out2.contains(": no"));
+    }
+
+    #[test]
+    fn postulates_command() {
+        let out = run(&args(&["postulates", "--op", "dalal", "--cases", "10"])).unwrap();
+        assert!(out.contains("R1"));
+        assert!(out.contains("U8"));
+    }
+
+    #[test]
+    fn compile_seq_command() {
+        let out = run(&args(&[
+            "compile-seq", "--op", "dalal", "-t", "a & b & c", "--ps", "!a ; !b", "-q", "c",
+        ]))
+        .unwrap();
+        assert!(out.contains("2 revision(s)"));
+        assert!(out.contains(": yes"));
+    }
+
+    #[test]
+    fn advise_command() {
+        let out = run(&args(&["advise", "--op", "dalal", "--new-letters"])).unwrap();
+        assert!(out.contains("COMPACTABLE"));
+        assert!(out.contains("Th.3.4"));
+        let out2 = run(&args(&["advise", "--op", "gfuv"])).unwrap();
+        assert!(out2.contains("NOT COMPACTABLE"));
+        let out3 = run(&args(&["advise", "--op", "winslett", "--iterated", "--bounded"]))
+            .unwrap();
+        assert!(out3.contains("NOT COMPACTABLE"));
+        let out4 = run(&args(&[
+            "advise", "--op", "winslett", "--iterated", "--bounded", "--new-letters",
+        ]))
+        .unwrap();
+        assert!(out4.contains("COMPACTABLE"));
+    }
+
+    #[test]
+    fn errors_are_reported() {
+        assert!(run(&args(&["revise", "--op", "nope", "-t", "a", "-p", "b"])).is_err());
+        assert!(run(&args(&["revise", "--op", "dalal", "-t", "a"])).is_err());
+        assert!(run(&args(&["bogus"])).is_err());
+        assert!(run(&[]).is_err());
+        assert!(run(&args(&["revise", "--op", "dalal", "-t", "a &", "-p", "b"])).is_err());
+    }
+}

@@ -1,0 +1,89 @@
+//! Property test of Figure 1's containment lattice (E1 in DESIGN.md)
+//! plus the paper's structural invariants (Proposition 2.1, success,
+//! and the pointwise/global relationships).
+
+use proptest::prelude::*;
+use revkb::logic::{Alphabet, Formula, Var};
+use revkb::revision::{check_containments, revise_on, ModelBasedOp, ModelSet};
+
+fn formula_strategy(num_vars: u32, depth: u32) -> BoxedStrategy<Formula> {
+    let leaf = (0..num_vars, any::<bool>())
+        .prop_map(|(v, pos)| Formula::lit(Var(v), pos))
+        .boxed();
+    leaf.prop_recursive(depth, 24, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.and(b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.or(b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.xor(b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.implies(b)),
+        ]
+        .boxed()
+    })
+    .boxed()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, .. ProptestConfig::default() })]
+
+    /// Every Figure 1 edge holds on random instances.
+    #[test]
+    fn lattice_edges_hold(t in formula_strategy(5, 3), p in formula_strategy(5, 3)) {
+        let violations = check_containments(&t, &p);
+        prop_assert!(violations.is_empty(), "violated: {:?}", violations);
+    }
+
+    /// All operators produce subsets of M(P), and nonempty results for
+    /// satisfiable inputs.
+    #[test]
+    fn results_are_p_models(t in formula_strategy(5, 3), p in formula_strategy(5, 3)) {
+        prop_assume!(revkb::sat::satisfiable(&t));
+        prop_assume!(revkb::sat::satisfiable(&p));
+        let alpha = Alphabet::of_formulas([&t, &p]);
+        let p_models = ModelSet::of_formula(alpha.clone(), &p);
+        for op in ModelBasedOp::ALL {
+            let got = revise_on(op, &alpha, &t, &p);
+            prop_assert!(!got.is_empty(), "{} empty", op.name());
+            prop_assert!(got.is_subset_of(&p_models), "{} ⊄ M(P)", op.name());
+        }
+    }
+
+    /// Vacuity: when T ∧ P is consistent, the global operators give
+    /// exactly M(T ∧ P), and Winslett includes it.
+    #[test]
+    fn vacuity(t in formula_strategy(5, 3), p in formula_strategy(5, 3)) {
+        let conj = t.clone().and(p.clone());
+        prop_assume!(revkb::sat::satisfiable(&conj));
+        let alpha = Alphabet::of_formulas([&t, &p]);
+        let conj_models = ModelSet::of_formula(alpha.clone(), &conj);
+        for op in [ModelBasedOp::Borgida, ModelBasedOp::Satoh, ModelBasedOp::Dalal, ModelBasedOp::Weber] {
+            let got = revise_on(op, &alpha, &t, &p);
+            prop_assert_eq!(&got, &conj_models, "{} ≠ T∧P when consistent", op.name());
+        }
+        let win = revise_on(ModelBasedOp::Winslett, &alpha, &t, &p);
+        prop_assert!(conj_models.is_subset_of(&win));
+    }
+
+    /// Proposition 2.1 for complete theories: every operator leaves a
+    /// model within V(P) of the single T-model.
+    #[test]
+    fn prop_2_1_complete_theories(
+        state in 0u64..32,
+        p in formula_strategy(3, 3),
+    ) {
+        prop_assume!(revkb::sat::satisfiable(&p));
+        let t = Formula::and_all(
+            (0..5u32).map(|i| Formula::lit(Var(i), state >> i & 1 == 1)),
+        );
+        let alpha = Alphabet::of_formulas([&t, &p]);
+        let t_mask = alpha.models(&t)[0];
+        let pvars: Vec<Var> = p.vars().into_iter().collect();
+        let pmask = alpha.subset_mask(&pvars);
+        for op in ModelBasedOp::ALL {
+            let got = revise_on(op, &alpha, &t, &p);
+            prop_assert!(
+                got.masks().iter().any(|&n| (n ^ t_mask) & !pmask == 0),
+                "Prop 2.1 fails for {}", op.name()
+            );
+        }
+    }
+}

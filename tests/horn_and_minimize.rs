@@ -1,0 +1,101 @@
+//! Cross-crate property tests for the measurement machinery: exact
+//! two-level minimisation and Horn upper bounds against the semantic
+//! oracle and the SAT solver.
+
+use proptest::prelude::*;
+use revkb::logic::{Alphabet, Formula, Var};
+use revkb::revision::minimize::{minimum_cnf_literals, minimum_dnf_of, prime_implicants};
+use revkb::revision::{horn_formula, horn_lub, is_horn_definable, revise_on, ModelBasedOp, ModelSet};
+
+fn formula_strategy(num_vars: u32, depth: u32) -> BoxedStrategy<Formula> {
+    let leaf = (0..num_vars, any::<bool>())
+        .prop_map(|(v, pos)| Formula::lit(Var(v), pos))
+        .boxed();
+    leaf.prop_recursive(depth, 24, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.and(b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.or(b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.xor(b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.implies(b)),
+        ]
+        .boxed()
+    })
+    .boxed()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 32, .. ProptestConfig::default() })]
+
+    /// The exact minimum DNF of a revised base is equivalent to the
+    /// base and no larger than the canonical minterm DNF.
+    #[test]
+    fn minimum_dnf_of_revised_bases(
+        t in formula_strategy(4, 3),
+        p in formula_strategy(3, 2),
+    ) {
+        prop_assume!(revkb::sat::satisfiable(&t));
+        prop_assume!(revkb::sat::satisfiable(&p));
+        let alpha = Alphabet::of_formulas([&t, &p]);
+        for op in [ModelBasedOp::Dalal, ModelBasedOp::Winslett] {
+            let revised = revise_on(op, &alpha, &t, &p);
+            let two_level = minimum_dnf_of(&revised);
+            let vars = revised.alphabet().vars().to_vec();
+            let dnf = two_level.to_dnf(&vars);
+            let back = ModelSet::of_formula(revised.alphabet().clone(), &dnf);
+            prop_assert_eq!(&back, &revised, "{} min-DNF wrong", op.name());
+            prop_assert!(
+                two_level.literal_count() <= revised.len() * vars.len(),
+                "larger than the minterm DNF"
+            );
+        }
+    }
+
+    /// Prime implicants never cover off-set points, and every minterm
+    /// is covered by some prime.
+    #[test]
+    fn primes_are_sound_and_complete(onset_mask in 0u64..65536) {
+        let n = 4usize;
+        let minterms: Vec<u64> = (0..16u64).filter(|&m| onset_mask >> m & 1 == 1).collect();
+        let primes = prime_implicants(&minterms, n);
+        let on: std::collections::HashSet<u64> = minterms.iter().copied().collect();
+        for p in &primes {
+            for m in 0..16u64 {
+                if p.covers(m) {
+                    prop_assert!(on.contains(&m));
+                }
+            }
+        }
+        for &m in &minterms {
+            prop_assert!(primes.iter().any(|p| p.covers(m)));
+        }
+    }
+
+    /// Min-CNF and min-DNF agree through complementation.
+    #[test]
+    fn cnf_dnf_duality(onset_mask in 0u64..65536) {
+        let n = 4usize;
+        let minterms: Vec<u64> = (0..16u64).filter(|&m| onset_mask >> m & 1 == 1).collect();
+        let offset: Vec<u64> = (0..16u64).filter(|&m| onset_mask >> m & 1 == 0).collect();
+        prop_assert_eq!(
+            minimum_cnf_literals(&minterms, n),
+            revkb::revision::minimize::minimum_dnf(&offset, n).literal_count()
+        );
+    }
+
+    /// The Horn LUB is a sound upper bound: the original entails the
+    /// LUB's formula, and the LUB is the *least* closed superset.
+    #[test]
+    fn horn_lub_soundness(f in formula_strategy(4, 3)) {
+        let alpha = Alphabet::new((0..4).map(Var).collect());
+        let ms = ModelSet::of_formula(alpha.clone(), &f);
+        let lub = horn_lub(&ms);
+        prop_assert!(ms.is_subset_of(&lub));
+        prop_assert!(is_horn_definable(&lub));
+        let g = horn_formula(&lub);
+        prop_assert!(revkb::sat::entails(&f, &g));
+        // Least: any Horn-definable superset of ms contains the LUB.
+        // (Witnessed by the closure construction itself.)
+        let back = ModelSet::of_formula(alpha, &g);
+        prop_assert_eq!(back, lub);
+    }
+}

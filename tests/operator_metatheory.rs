@@ -1,0 +1,112 @@
+//! Metatheoretic properties of the operators that the paper uses
+//! implicitly (mostly via Eiter–Gottlob [8]): collapses over complete
+//! theories, idempotence, and the pointwise/global relationships.
+
+use proptest::prelude::*;
+use revkb::logic::{Alphabet, Formula, Var};
+use revkb::revision::{revise_masks, revise_on, ModelBasedOp};
+
+fn formula_strategy(num_vars: u32, depth: u32) -> BoxedStrategy<Formula> {
+    let leaf = (0..num_vars, any::<bool>())
+        .prop_map(|(v, pos)| Formula::lit(Var(v), pos))
+        .boxed();
+    leaf.prop_recursive(depth, 24, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.and(b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.or(b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.xor(b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.implies(b)),
+        ]
+        .boxed()
+    })
+    .boxed()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, .. ProptestConfig::default() })]
+
+    /// Over a complete theory (one model), the proofs' key collapse
+    /// holds: Satoh = Winslett and Dalal = Forbus (global and
+    /// pointwise proximity coincide when there is only one reference
+    /// model). This is the Eiter–Gottlob observation behind Thm 3.2.
+    #[test]
+    fn complete_theory_collapses(
+        state in 0u64..32,
+        p in formula_strategy(5, 3),
+    ) {
+        prop_assume!(revkb::sat::satisfiable(&p));
+        let t = Formula::and_all(
+            (0..5u32).map(|i| Formula::lit(Var(i), state >> i & 1 == 1)),
+        );
+        let alpha = Alphabet::of_formulas([&t, &p]);
+        prop_assert_eq!(
+            revise_on(ModelBasedOp::Satoh, &alpha, &t, &p),
+            revise_on(ModelBasedOp::Winslett, &alpha, &t, &p),
+            "Satoh ≠ Winslett over a complete theory"
+        );
+        prop_assert_eq!(
+            revise_on(ModelBasedOp::Dalal, &alpha, &t, &p),
+            revise_on(ModelBasedOp::Forbus, &alpha, &t, &p),
+            "Dalal ≠ Forbus over a complete theory"
+        );
+    }
+
+    /// Idempotence: revising a second time with the same formula
+    /// changes nothing (the result already satisfies P, so every model
+    /// is at distance zero from itself).
+    #[test]
+    fn revision_is_idempotent(
+        t in formula_strategy(5, 3),
+        p in formula_strategy(4, 3),
+    ) {
+        prop_assume!(revkb::sat::satisfiable(&t));
+        prop_assume!(revkb::sat::satisfiable(&p));
+        let alpha = Alphabet::of_formulas([&t, &p]);
+        let p_models = alpha.models(&p);
+        for op in ModelBasedOp::ALL {
+            let once = revise_on(op, &alpha, &t, &p);
+            let twice = revise_masks(op, once.masks(), &p_models);
+            let mut twice = twice;
+            twice.sort_unstable();
+            twice.dedup();
+            prop_assert_eq!(once.masks(), &twice[..], "{} not idempotent", op.name());
+        }
+    }
+
+    /// Revising with a tautology over the same alphabet is the
+    /// identity for every operator (distance 0 to every model).
+    #[test]
+    fn tautology_revision_is_identity(t in formula_strategy(4, 3)) {
+        prop_assume!(revkb::sat::satisfiable(&t));
+        let taut = Formula::var(Var(0)).or(Formula::var(Var(0)).not());
+        let alpha = Alphabet::of_formulas([&t, &taut]);
+        let t_models = revkb::revision::ModelSet::of_formula(alpha.clone(), &t);
+        for op in ModelBasedOp::ALL {
+            let got = revise_on(op, &alpha, &t, &taut);
+            prop_assert_eq!(&got, &t_models, "{} changed T on a tautology", op.name());
+        }
+    }
+
+    /// Revising with an already-entailed formula: for revision-style
+    /// operators the result is exactly T (vacuity + success combined).
+    #[test]
+    fn entailed_update_preserves_t(
+        t in formula_strategy(4, 3),
+        q in formula_strategy(3, 2),
+    ) {
+        prop_assume!(revkb::sat::satisfiable(&t));
+        let p = t.clone().or(q); // weaker than T, so T ⊨ P
+        let alpha = Alphabet::of_formulas([&t, &p]);
+        let t_models = revkb::revision::ModelSet::of_formula(alpha.clone(), &t);
+        for op in [
+            ModelBasedOp::Borgida,
+            ModelBasedOp::Satoh,
+            ModelBasedOp::Dalal,
+            ModelBasedOp::Weber,
+            ModelBasedOp::Winslett, // KM U2 holds for the PMA too
+        ] {
+            let got = revise_on(op, &alpha, &t, &p);
+            prop_assert_eq!(&got, &t_models, "{} violates inertia", op.name());
+        }
+    }
+}

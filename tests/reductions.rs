@@ -1,0 +1,125 @@
+//! Machine-checks of the non-compactability reductions (E6–E8 and E14
+//! in DESIGN.md), run across crates through the public API, including
+//! random sampling beyond the exhaustive universes covered by the
+//! in-crate unit tests.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use revkb::instances::{
+    all_instances, gamma_max, random_instance, thm41_bounded_transform, Thm31Family,
+    Thm33Family, Thm36Family,
+};
+use revkb::logic::Alphabet;
+use revkb::revision::{gfuv_entails, revise_iterated_on, revise_on, ModelBasedOp};
+
+/// Theorem 3.1 (GFUV): exhaustive over a 4-clause universe plus random
+/// instances over a larger universe.
+#[test]
+fn thm31_gfuv_reduction() {
+    let universe: Vec<_> = gamma_max(3).into_iter().take(4).collect();
+    let family = Thm31Family::new(3, universe.clone());
+    for pi in all_instances(3, &universe) {
+        assert_eq!(
+            gfuv_entails(&family.t, &family.p, &family.query(&pi)),
+            pi.satisfiable()
+        );
+    }
+    // Random π over the full γ₃ᵐᵃˣ (8 clauses).
+    let full = gamma_max(3);
+    let family = Thm31Family::new(3, full.clone());
+    let mut rng = StdRng::seed_from_u64(31);
+    for _ in 0..10 {
+        let pi = random_instance(3, &full, 0.5, &mut rng);
+        assert_eq!(
+            gfuv_entails(&family.t, &family.p, &family.query(&pi)),
+            pi.satisfiable(),
+            "random π failed: {pi:?}"
+        );
+    }
+}
+
+/// Theorem 4.1: the bounded transform preserves GFUV consequence with
+/// `|P'| = 1`.
+#[test]
+fn thm41_bounded_transform_preserves() {
+    let universe: Vec<_> = gamma_max(3).into_iter().take(3).collect();
+    let family = Thm31Family::new(3, universe.clone());
+    let (t2, p2, _) = thm41_bounded_transform(&family);
+    assert_eq!(p2.size(), 1);
+    for pi in all_instances(3, &universe) {
+        let q = family.query(&pi);
+        assert_eq!(
+            gfuv_entails(&t2, &p2, &q),
+            pi.satisfiable(),
+            "transformed family diverges on {pi:?}"
+        );
+    }
+}
+
+/// Theorem 3.3 (Forbus): the guard-column family, exhaustive over a
+/// 2-clause universe.
+#[test]
+fn thm33_forbus_reduction() {
+    let universe: Vec<_> = gamma_max(3).into_iter().take(2).collect();
+    let family = Thm33Family::new(3, universe.clone());
+    let alpha = Alphabet::of_formulas([&family.t, &family.p]);
+    let revised = revise_on(ModelBasedOp::Forbus, &alpha, &family.t, &family.p);
+    for pi in all_instances(3, &universe) {
+        assert_eq!(revised.contains(&family.m_pi(&pi)), !pi.satisfiable());
+        assert_eq!(revised.entails(&family.query(&pi)), pi.satisfiable());
+    }
+}
+
+/// Theorem 3.6 (Dalal/Weber): a *different* clause-universe slice than
+/// the in-crate test, plus the distance invariant `k_{T,P} = n`.
+#[test]
+fn thm36_dalal_weber_reduction() {
+    let universe: Vec<_> = gamma_max(3).into_iter().skip(2).take(4).collect();
+    let family = Thm36Family::new(3, universe.clone());
+    let alpha = Alphabet::new(
+        family
+            .b
+            .iter()
+            .chain(&family.y)
+            .chain(&family.c)
+            .copied()
+            .collect(),
+    );
+    assert_eq!(
+        revkb::revision::distance::min_distance(&family.t, &family.p_single),
+        Some(3)
+    );
+    let dalal = revise_on(ModelBasedOp::Dalal, &alpha, &family.t, &family.p_single);
+    let weber = revise_on(ModelBasedOp::Weber, &alpha, &family.t, &family.p_single);
+    for pi in all_instances(3, &universe) {
+        let c = family.c_pi(&pi);
+        assert_eq!(dalal.contains(&c), pi.satisfiable(), "Dalal on {pi:?}");
+        assert_eq!(weber.contains(&c), pi.satisfiable(), "Weber on {pi:?}");
+    }
+}
+
+/// Theorem 6.5 (iterated): all six operators coincide on the family
+/// and encode satisfiability; checked on a fresh universe slice.
+#[test]
+fn thm65_iterated_reduction() {
+    let universe: Vec<_> = gamma_max(3).into_iter().skip(4).take(3).collect();
+    let family = Thm36Family::new(3, universe.clone());
+    let alpha = Alphabet::new(
+        family
+            .b
+            .iter()
+            .chain(&family.y)
+            .chain(&family.c)
+            .copied()
+            .collect(),
+    );
+    let reference =
+        revise_iterated_on(ModelBasedOp::Dalal, &alpha, &family.t, &family.p_sequence);
+    for op in ModelBasedOp::ALL {
+        let got = revise_iterated_on(op, &alpha, &family.t, &family.p_sequence);
+        assert_eq!(got, reference, "{} diverges on the Thm 6.5 family", op.name());
+    }
+    for pi in all_instances(3, &universe) {
+        assert_eq!(reference.contains(&family.c_pi(&pi)), pi.satisfiable());
+    }
+}

@@ -1,0 +1,133 @@
+//! Cross-substrate consistency: the CDCL solver, the ROBDD engine and
+//! the truth-table evaluator must agree on satisfiability,
+//! equivalence, model counts and model checking for random formulas;
+//! Tseitin projection and the distance circuits must agree with
+//! brute-force semantics.
+
+use proptest::prelude::*;
+use revkb::bdd::BddManager;
+use revkb::circuits::{evaluate_circuit_mask, exa, exa_direct};
+use revkb::logic::{
+    tseitin_auto, tt_entails, tt_equivalent, tt_satisfiable, Alphabet, CountingSupply,
+    Formula, Var,
+};
+use revkb::qbf::Qbf;
+
+fn formula_strategy(num_vars: u32, depth: u32) -> BoxedStrategy<Formula> {
+    let leaf = prop_oneof![
+        (0..num_vars, any::<bool>()).prop_map(|(v, pos)| Formula::lit(Var(v), pos)),
+        Just(Formula::True),
+        Just(Formula::False),
+    ]
+    .boxed();
+    leaf.prop_recursive(depth, 24, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.and(b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.or(b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.implies(b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.iff(b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.xor(b)),
+            inner.prop_map(|a| a.not()),
+        ]
+        .boxed()
+    })
+    .boxed()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, .. ProptestConfig::default() })]
+
+    /// SAT solver ⟺ truth table ⟺ BDD on satisfiability.
+    #[test]
+    fn sat_bdd_tt_agree(f in formula_strategy(6, 4)) {
+        let tt = tt_satisfiable(&f);
+        prop_assert_eq!(revkb::sat::satisfiable(&f), tt);
+        let mut mgr = BddManager::new();
+        let node = mgr.from_formula(&f);
+        prop_assert_eq!(node != revkb::bdd::FALSE, tt);
+    }
+
+    /// Entailment and equivalence agree between solver and tables.
+    #[test]
+    fn entailment_agrees(a in formula_strategy(5, 3), b in formula_strategy(5, 3)) {
+        prop_assert_eq!(revkb::sat::entails(&a, &b), tt_entails(&a, &b));
+        prop_assert_eq!(revkb::sat::equivalent(&a, &b), tt_equivalent(&a, &b));
+    }
+
+    /// BDD model counting matches enumeration.
+    #[test]
+    fn bdd_count_matches_enumeration(f in formula_strategy(6, 4)) {
+        let vars: Vec<Var> = (0..6).map(Var).collect();
+        let alpha = Alphabet::new(vars.clone());
+        let mut mgr = BddManager::with_order(vars);
+        let node = mgr.from_formula(&f);
+        prop_assert_eq!(mgr.count_models(node), alpha.models(&f).len() as u128);
+    }
+
+    /// Tseitin projection: the CNF's models project exactly onto the
+    /// formula's models.
+    #[test]
+    fn tseitin_projection(f in formula_strategy(4, 3)) {
+        let cnf = tseitin_auto(&f);
+        let g = cnf.to_formula();
+        let fvars: Vec<Var> = f.vars().into_iter().collect();
+        let projected = revkb::sat::models_projected(&g, &fvars, 1 << 16)
+            .expect("within limit");
+        let direct = revkb::sat::models_projected(&f, &fvars, 1 << 16)
+            .expect("within limit");
+        let set_a: std::collections::BTreeSet<_> = projected.into_iter().collect();
+        let set_b: std::collections::BTreeSet<_> = direct.into_iter().collect();
+        prop_assert_eq!(set_a, set_b);
+    }
+
+    /// QBF expansion agrees with direct quantifier evaluation.
+    #[test]
+    fn qbf_expand_agrees_with_eval(f in formula_strategy(4, 3)) {
+        let q = Qbf::forall(vec![Var(0)], Qbf::exists(vec![Var(1)], Qbf::prop(f)));
+        let expanded = q.expand();
+        let free: Vec<Var> = q.free_vars().into_iter().collect();
+        for mask in 0..1u64 << free.len() {
+            let m: revkb::logic::Interpretation = free
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| mask >> i & 1 == 1)
+                .map(|(_, &v)| v)
+                .collect();
+            prop_assert_eq!(q.eval(&m), expanded.eval(&m));
+        }
+    }
+
+    /// The EXA circuit and the gate-free direct form agree with the
+    /// Hamming distance for every input.
+    #[test]
+    fn exa_agrees_with_hamming(k in 0usize..5) {
+        let n = 3usize;
+        let xs: Vec<Var> = (0..n as u32).map(Var).collect();
+        let ys: Vec<Var> = (n as u32..2 * n as u32).map(Var).collect();
+        let inputs: Vec<Var> = xs.iter().chain(&ys).copied().collect();
+        let mut supply = CountingSupply::new(100);
+        let circuit = exa(k, &xs, &ys, &mut supply);
+        let direct = exa_direct(k, &xs, &ys);
+        let alpha = Alphabet::new(inputs.clone());
+        for m in 0..1u64 << (2 * n) {
+            let expected = ((m & 7) ^ (m >> 3)).count_ones() as usize == k;
+            prop_assert_eq!(evaluate_circuit_mask(&circuit, &inputs, m), expected);
+            prop_assert_eq!(alpha.eval_mask(&direct, m), expected);
+        }
+    }
+}
+
+/// The solver survives heavy incremental use: repeated solving with
+/// blocking clauses enumerates exactly the truth-table models.
+#[test]
+fn incremental_enumeration_is_exact() {
+    let f = Formula::var(Var(0))
+        .xor(Formula::var(Var(1)))
+        .or(Formula::var(Var(2)).and(Formula::var(Var(3))));
+    let models = revkb::sat::all_models(&f, 1 << 10).unwrap();
+    let alpha = Alphabet::of_formula(&f);
+    assert_eq!(models.len(), alpha.models(&f).len());
+    for m in &models {
+        assert!(f.eval(m));
+    }
+}
