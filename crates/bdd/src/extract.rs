@@ -23,11 +23,7 @@ pub fn to_formula_shannon(mgr: &BddManager, node: NodeId) -> Formula {
     rec_shannon(mgr, node, &mut memo)
 }
 
-fn rec_shannon(
-    mgr: &BddManager,
-    node: NodeId,
-    memo: &mut HashMap<NodeId, Formula>,
-) -> Formula {
+fn rec_shannon(mgr: &BddManager, node: NodeId, memo: &mut HashMap<NodeId, Formula>) -> Formula {
     if node == TRUE {
         return Formula::True;
     }

@@ -289,10 +289,7 @@ impl BddManager {
         if let Some(&r) = self.cache.get(&(CacheOp::Ite, f, g, h)) {
             return r;
         }
-        let level = self
-            .level(f)
-            .min(self.level(g))
-            .min(self.level(h));
+        let level = self.level(f).min(self.level(g)).min(self.level(h));
         let (fl, fh) = self.cofactor_at(f, level);
         let (gl, gh) = self.cofactor_at(g, level);
         let (hl, hh) = self.cofactor_at(h, level);
@@ -311,11 +308,7 @@ impl BddManager {
         }
     }
 
-    fn cofactors(
-        &self,
-        f: NodeId,
-        g: NodeId,
-    ) -> (u32, NodeId, NodeId, NodeId, NodeId) {
+    fn cofactors(&self, f: NodeId, g: NodeId) -> (u32, NodeId, NodeId, NodeId, NodeId) {
         let level = self.level(f).min(self.level(g));
         let (fl, fh) = self.cofactor_at(f, level);
         let (gl, gh) = self.cofactor_at(g, level);
@@ -736,7 +729,7 @@ mod tests {
             // random formula over 5 vars, depth 4
             fn build(rnd: &mut impl FnMut() -> u32, depth: u32) -> Formula {
                 let r = rnd();
-                if depth == 0 || r % 7 == 0 {
+                if depth == 0 || r.is_multiple_of(7) {
                     return Formula::lit(Var(r % 5), r & 1 == 0);
                 }
                 let a = build(rnd, depth - 1);

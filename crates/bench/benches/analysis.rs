@@ -46,7 +46,11 @@ fn bench_model_check(c: &mut Criterion) {
     let t = Formula::and_all((0..n).map(|i| Formula::var(Var(i))));
     let p = Formula::var(Var(0)).not().or(Formula::var(Var(1)).not());
     let m: revkb_logic::Interpretation = (1..n).map(Var).collect();
-    for op in [ModelBasedOp::Dalal, ModelBasedOp::Weber, ModelBasedOp::Winslett] {
+    for op in [
+        ModelBasedOp::Dalal,
+        ModelBasedOp::Weber,
+        ModelBasedOp::Winslett,
+    ] {
         group.bench_function(BenchmarkId::new(op.name(), n), |b| {
             b.iter(|| model_check(op, &m, &t, &p).unwrap())
         });

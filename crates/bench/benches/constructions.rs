@@ -20,12 +20,16 @@ fn bench_single(c: &mut Criterion) {
     group.sample_size(20);
     for n in [8u32, 16, 32] {
         let (t, p) = chain_inputs(n);
-        group.bench_with_input(BenchmarkId::new("dalal_thm34", n), &(&t, &p), |b, (t, p)| {
-            b.iter(|| dalal_compact_auto(t, p).size())
-        });
-        group.bench_with_input(BenchmarkId::new("weber_thm35", n), &(&t, &p), |b, (t, p)| {
-            b.iter(|| weber_compact_auto(t, p).unwrap().size())
-        });
+        group.bench_with_input(
+            BenchmarkId::new("dalal_thm34", n),
+            &(&t, &p),
+            |b, (t, p)| b.iter(|| dalal_compact_auto(t, p).size()),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("weber_thm35", n),
+            &(&t, &p),
+            |b, (t, p)| b.iter(|| weber_compact_auto(t, p).unwrap().size()),
+        );
         group.bench_with_input(
             BenchmarkId::new("winslett_f5", n),
             &(&t, &p),

@@ -17,11 +17,9 @@ fn bench_model_based(c: &mut Criterion) {
         let p = random_satisfiable(&mut rng, 3, n as u32, 0);
         let alpha = Alphabet::of_formulas([&t, &p]);
         for op in ModelBasedOp::ALL {
-            group.bench_with_input(
-                BenchmarkId::new(op.name(), n),
-                &(&t, &p),
-                |b, (t, p)| b.iter(|| revise_on(op, &alpha, t, p)),
-            );
+            group.bench_with_input(BenchmarkId::new(op.name(), n), &(&t, &p), |b, (t, p)| {
+                b.iter(|| revise_on(op, &alpha, t, p))
+            });
         }
     }
     group.finish();

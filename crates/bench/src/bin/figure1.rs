@@ -79,7 +79,11 @@ fn main() {
             "  M(T*{:<8}) ⊆ M(T*{:<8})  {}",
             sub.name(),
             sup.name(),
-            if ok { "confirmed on every instance" } else { "VIOLATED" }
+            if ok {
+                "confirmed on every instance"
+            } else {
+                "VIOLATED"
+            }
         );
     }
     println!();

@@ -25,7 +25,9 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use revkb_bdd::BddManager;
 use revkb_bench::Series;
-use revkb_instances::{all_instances, contradictory_pairs, gamma_max, random_satisfiable, Thm36Family};
+use revkb_instances::{
+    all_instances, contradictory_pairs, gamma_max, random_satisfiable, Thm36Family,
+};
 use revkb_logic::Alphabet;
 use revkb_revision::minimize::minimum_dnf_of;
 use revkb_revision::{revise_on, ModelBasedOp};
@@ -54,8 +56,18 @@ fn main() {
         bdd_series.push(n as f64, mgr.size(node) as f64);
     }
     println!("pairs family (T*D P, n contradictory clause pairs):");
-    println!("  {}: {}   [{}]", dnf_series.label, dnf_series.render(), dnf_series.growth());
-    println!("  {}: {}   [{}]", bdd_series.label, bdd_series.render(), bdd_series.growth());
+    println!(
+        "  {}: {}   [{}]",
+        dnf_series.label,
+        dnf_series.render(),
+        dnf_series.growth()
+    );
+    println!(
+        "  {}: {}   [{}]",
+        bdd_series.label,
+        bdd_series.render(),
+        bdd_series.growth()
+    );
     println!("  → the BDD is exponentially more succinct than any DNF here,");
     println!("    which is why Definition 7.1 quantifies over ALL poly-ASK structures.");
     println!();
@@ -110,5 +122,10 @@ fn main() {
         benign.push(n as f64, (total / samples) as f64);
     }
     println!("contrast — random workloads:");
-    println!("  {}: {}   [{}]", benign.label, benign.render(), benign.growth());
+    println!(
+        "  {}: {}   [{}]",
+        benign.label,
+        benign.render(),
+        benign.growth()
+    );
 }

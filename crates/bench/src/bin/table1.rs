@@ -20,10 +20,10 @@
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use revkb_bench::{print_grid, Cell, Growth, Series, TableReport};
+use revkb_bench::{print_grid, print_solver_stats, Cell, Growth, Series, TableReport};
 use revkb_instances::{
-    all_instances, contradictory_pairs, gamma_max, random_kcnf, random_satisfiable,
-    NebelExample, Thm31Family, Thm36Family, WinslettChain,
+    all_instances, contradictory_pairs, gamma_max, random_kcnf, random_satisfiable, NebelExample,
+    Thm31Family, Thm36Family, WinslettChain,
 };
 use revkb_logic::{Alphabet, Formula, Var};
 use revkb_revision::compact::{
@@ -32,17 +32,12 @@ use revkb_revision::compact::{
 };
 use revkb_revision::minimize::minimum_dnf_of;
 use revkb_revision::{
-    gfuv_entails, gfuv_explicit, query_equivalent_enum, revise_on, widtio, ModelBasedOp,
-    ModelSet, Theory,
+    gfuv_entails, gfuv_explicit, query_equivalent_enum, revise_on, widtio, ModelBasedOp, ModelSet,
+    Theory,
 };
 
 fn main() {
-    let columns = [
-        "Gen/Logical",
-        "Gen/Query",
-        "Bnd/Logical",
-        "Bnd/Query",
-    ];
+    let columns = ["Gen/Logical", "Gen/Query", "Bnd/Logical", "Bnd/Query"];
     let mut rows: Vec<(String, Vec<(String, Cell)>)> = Vec::new();
 
     // --- GFUV / Nebel -------------------------------------------------
@@ -125,15 +120,59 @@ fn main() {
     print_grid("Table 1: single revision compactability", &columns, &rows);
     print_details(&rows);
 
+    let solver_stats = query_workload_stats();
+    print_solver_stats(&solver_stats);
+
     let report = TableReport {
         table: "Table 1".into(),
         rows,
+        solver_stats,
     };
     if let Err(e) = report.write_json("table1_report.json") {
         eprintln!("could not write table1_report.json: {e}");
     } else {
         println!("(full measurements written to table1_report.json)");
     }
+}
+
+/// Answer a batch of entailment queries against each operator's
+/// bounded compact representation through one incremental
+/// [`revkb_sat::QuerySession`] per operator, reporting the per-operator
+/// solver statistics (one base load and one solver each, regardless of
+/// the number of queries).
+fn query_workload_stats() -> Vec<(String, revkb_sat::SolverStats)> {
+    let n = 12u32;
+    let t = Formula::and_all((0..n).map(|i| Formula::var(Var(i))));
+    let p = Formula::var(Var(0)).not().or(Formula::var(Var(1)).not());
+    [
+        ModelBasedOp::Winslett,
+        ModelBasedOp::Borgida,
+        ModelBasedOp::Forbus,
+        ModelBasedOp::Satoh,
+        ModelBasedOp::Dalal,
+        ModelBasedOp::Weber,
+    ]
+    .into_iter()
+    .enumerate()
+    .map(|(op_index, op)| {
+        let rep = match op {
+            ModelBasedOp::Winslett => winslett_bounded(&t, &p),
+            ModelBasedOp::Borgida => borgida_bounded(&t, &p),
+            ModelBasedOp::Forbus => forbus_bounded(&t, &p),
+            ModelBasedOp::Satoh => satoh_bounded(&t, &p),
+            ModelBasedOp::Dalal => dalal_bounded(&t, &p),
+            ModelBasedOp::Weber => weber_bounded(&t, &p),
+        };
+        let mut session = revkb_sat::QuerySession::new(&rep.formula);
+        let mut seed = 0x7AB1E1u64 ^ op_index as u64;
+        for _ in 0..30 {
+            let q = revkb_sat::pseudo_random_formula(&mut seed, 3, n);
+            session.entails(&q);
+            session.entails(&q); // exercise the memo cache
+        }
+        (op.name().to_string(), session.stats())
+    })
+    .collect()
 }
 
 fn print_details(rows: &[(String, Vec<(String, Cell)>)]) {
@@ -304,8 +343,8 @@ fn dalal_general_query_cell() -> Cell {
     let mut verified = 0;
     let mut total = 0;
     for n in [4usize, 6, 8, 10, 12, 16, 20] {
-        let t = random_satisfiable(&mut rng, 1, 1, 0)
-            .and(random_kcnf(&mut rng, n as u32, 2 * n, 3));
+        let t =
+            random_satisfiable(&mut rng, 1, 1, 0).and(random_kcnf(&mut rng, n as u32, 2 * n, 3));
         let t = if revkb_sat::satisfiable(&t) {
             t
         } else {
@@ -381,7 +420,10 @@ fn weber_general_query_cell() -> Cell {
 /// Bounded-case cell for one operator: formulas (5)–(9), logically
 /// equivalent and linear in |T|.
 fn bounded_cell(op: ModelBasedOp, _logical: bool) -> Cell {
-    let mut series = Series::new(format!("|T'| bounded construction, |V(P)| = 2, {}", op.name()));
+    let mut series = Series::new(format!(
+        "|T'| bounded construction, |V(P)| = 2, {}",
+        op.name()
+    ));
     let p = Formula::var(Var(0)).not().or(Formula::var(Var(1)).not());
     let mut verified = 0;
     let mut total = 0;

@@ -12,16 +12,14 @@
 //! cargo run --release -p revkb-bench --bin table2
 //! ```
 
-use revkb_bench::{print_grid, Cell, Growth, Series, TableReport};
+use revkb_bench::{print_grid, print_solver_stats, Cell, Growth, Series, TableReport};
 use revkb_instances::{all_instances, gamma_max, Thm36Family};
 use revkb_logic::{Alphabet, Formula, Var};
 use revkb_revision::compact::{
     borgida_iterated_auto, dalal_iterated_auto, forbus_iterated_auto, satoh_iterated_auto,
     weber_iterated_auto, winslett_iterated_auto, CompactRep,
 };
-use revkb_revision::{
-    query_equivalent_enum, revise_iterated_on, widtio, ModelBasedOp, Theory,
-};
+use revkb_revision::{query_equivalent_enum, revise_iterated_on, widtio, ModelBasedOp, Theory};
 
 fn main() {
     let columns = ["Gen/Logical", "Gen/Query", "Bnd/Logical", "Bnd/Query"];
@@ -107,15 +105,42 @@ fn main() {
         }
     }
 
+    let solver_stats = query_workload_stats();
+    print_solver_stats(&solver_stats);
+
     let report = TableReport {
         table: "Table 2".into(),
         rows,
+        solver_stats,
     };
     if let Err(e) = report.write_json("table2_report.json") {
         eprintln!("could not write table2_report.json: {e}");
     } else {
         println!("(full measurements written to table2_report.json)");
     }
+}
+
+/// Per-operator incremental query statistics: each operator's iterated
+/// compact representation (m = 4 revisions) answers a batch of queries
+/// through one [`revkb_sat::QuerySession`] — one Tseitin load and one
+/// solver for the whole batch.
+fn query_workload_stats() -> Vec<(String, revkb_sat::SolverStats)> {
+    let (t, ps) = workload(4);
+    ModelBasedOp::ALL
+        .iter()
+        .enumerate()
+        .filter_map(|(op_index, &op)| {
+            let rep = build_iterated(op, &t, &ps)?;
+            let mut session = revkb_sat::QuerySession::new(&rep.formula);
+            let mut seed = 0x7AB1E2u64 ^ op_index as u64;
+            for _ in 0..30 {
+                let q = revkb_sat::pseudo_random_formula(&mut seed, 3, 6);
+                session.entails(&q);
+                session.entails(&q); // exercise the memo cache
+            }
+            Some((op.name().to_string(), session.stats()))
+        })
+        .collect()
 }
 
 fn table1_no(reference: &'static str) -> Cell {

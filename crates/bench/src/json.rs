@@ -1,0 +1,165 @@
+//! A deliberately tiny JSON emitter.
+//!
+//! The workspace builds fully offline, so the report binaries cannot
+//! pull in serde; this module covers exactly what [`crate::TableReport`]
+//! needs: objects, arrays, strings (with escaping), numbers, booleans,
+//! and pre-rendered raw fragments (for `SolverStats::to_json`).
+
+/// A JSON value tree.
+#[derive(Debug, Clone)]
+pub enum Value {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A finite number, rendered via `f64`'s shortest round-trip
+    /// `Display`; non-finite values render as `null`.
+    Number(f64),
+    /// A string (escaped on render).
+    String(String),
+    /// An ordered array.
+    Array(Vec<Value>),
+    /// An ordered object.
+    Object(Vec<(String, Value)>),
+    /// An already-rendered JSON fragment, emitted verbatim.
+    Raw(String),
+}
+
+impl Value {
+    /// A string value.
+    pub fn string(s: impl Into<String>) -> Value {
+        Value::String(s.into())
+    }
+
+    /// An array value from an iterator.
+    pub fn array(items: impl IntoIterator<Item = Value>) -> Value {
+        Value::Array(items.into_iter().collect())
+    }
+
+    /// An array of numbers.
+    pub fn numbers(xs: &[f64]) -> Value {
+        Value::Array(xs.iter().map(|&x| Value::Number(x)).collect())
+    }
+
+    /// An object value from `(key, value)` pairs.
+    pub fn object<'a>(pairs: impl IntoIterator<Item = (&'a str, Value)>) -> Value {
+        Value::Object(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+    }
+
+    /// Render with two-space indentation and a trailing newline.
+    pub fn pretty(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, 0);
+        out.push('\n');
+        out
+    }
+
+    fn write(&self, out: &mut String, indent: usize) {
+        match self {
+            Value::Null => out.push_str("null"),
+            Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Value::Number(x) => {
+                if x.is_finite() {
+                    out.push_str(&x.to_string());
+                } else {
+                    out.push_str("null");
+                }
+            }
+            Value::String(s) => escape_into(s, out),
+            Value::Raw(s) => out.push_str(s),
+            Value::Array(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    newline_indent(out, indent + 1);
+                    item.write(out, indent + 1);
+                }
+                newline_indent(out, indent);
+                out.push(']');
+            }
+            Value::Object(pairs) => {
+                if pairs.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push('{');
+                for (i, (key, value)) in pairs.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    newline_indent(out, indent + 1);
+                    escape_into(key, out);
+                    out.push_str(": ");
+                    value.write(out, indent + 1);
+                }
+                newline_indent(out, indent);
+                out.push('}');
+            }
+        }
+    }
+}
+
+fn newline_indent(out: &mut String, indent: usize) {
+    out.push('\n');
+    for _ in 0..indent {
+        out.push_str("  ");
+    }
+}
+
+/// Append `s` as a JSON string literal (quotes included).
+fn escape_into(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escapes_strings() {
+        let v = Value::string("a\"b\\c\nd\u{1}");
+        assert_eq!(v.pretty(), "\"a\\\"b\\\\c\\nd\\u0001\"\n");
+    }
+
+    #[test]
+    fn renders_nested() {
+        let v = Value::object([
+            ("n", Value::Number(1.5)),
+            ("ok", Value::Bool(true)),
+            ("xs", Value::array([Value::Number(1.0), Value::Null])),
+            ("raw", Value::Raw("{\"inner\":2}".into())),
+            ("empty", Value::Array(vec![])),
+        ]);
+        let s = v.pretty();
+        assert!(s.contains("\"n\": 1.5"));
+        assert!(s.contains("\"ok\": true"));
+        assert!(s.contains("\"raw\": {\"inner\":2}"));
+        assert!(s.contains("\"empty\": []"));
+    }
+
+    #[test]
+    fn non_finite_numbers_are_null() {
+        assert_eq!(Value::Number(f64::NAN).pretty(), "null\n");
+        assert_eq!(Value::Number(f64::INFINITY).pretty(), "null\n");
+    }
+}

@@ -5,15 +5,21 @@
 //! benches. The binaries regenerate the paper's Table 1, Table 2 and
 //! Figure 1; the Criterion benches time the substrates and
 //! constructions.
+//!
+//! Reports are serialised with the hand-rolled emitter in [`json`] —
+//! the build is fully offline, so there is deliberately no serde
+//! dependency.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use serde::Serialize;
+use revkb_sat::SolverStats;
+
+pub mod json;
 
 /// A measured size series: representation size as a function of the
 /// scaling parameter.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Series {
     /// What was measured.
     pub label: String,
@@ -24,7 +30,7 @@ pub struct Series {
 }
 
 /// Growth classification of a size series.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum Growth {
     /// Fits `y ≈ a·x^b` better: polynomial with the fitted degree.
     Polynomial {
@@ -122,10 +128,18 @@ impl Series {
             .collect::<Vec<_>>()
             .join("  ")
     }
+
+    fn to_json(&self) -> json::Value {
+        json::Value::object([
+            ("label", json::Value::string(&self.label)),
+            ("xs", json::Value::numbers(&self.xs)),
+            ("ys", json::Value::numbers(&self.ys)),
+        ])
+    }
 }
 
 /// One cell of a compactability table.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Cell {
     /// The paper's verdict for the cell ("YES"/"NO").
     pub paper_claim: &'static str,
@@ -139,20 +153,62 @@ pub struct Cell {
     pub evidence: String,
 }
 
+impl Cell {
+    fn to_json(&self) -> json::Value {
+        json::Value::object([
+            ("paper_claim", json::Value::string(self.paper_claim)),
+            ("reference", json::Value::string(self.reference)),
+            (
+                "series",
+                json::Value::array(self.series.iter().map(|s| s.to_json())),
+            ),
+            ("consistent", json::Value::Bool(self.consistent)),
+            ("evidence", json::Value::string(&self.evidence)),
+        ])
+    }
+}
+
 /// A whole table for serialisation.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct TableReport {
     /// Table name.
     pub table: String,
     /// Row label → column label → cell.
     pub rows: Vec<(String, Vec<(String, Cell)>)>,
+    /// Per-operator incremental-query statistics: label →
+    /// [`SolverStats`] snapshot from the query workload that backed the
+    /// row's measurements.
+    pub solver_stats: Vec<(String, SolverStats)>,
 }
 
 impl TableReport {
+    /// Render the report as a JSON string.
+    pub fn to_json(&self) -> String {
+        let rows = json::Value::array(self.rows.iter().map(|(label, cells)| {
+            json::Value::Array(vec![
+                json::Value::string(label),
+                json::Value::array(cells.iter().map(|(col, cell)| {
+                    json::Value::Array(vec![json::Value::string(col), cell.to_json()])
+                })),
+            ])
+        }));
+        let stats = json::Value::array(self.solver_stats.iter().map(|(label, stats)| {
+            json::Value::object([
+                ("operator", json::Value::string(label)),
+                ("stats", json::Value::Raw(stats.to_json())),
+            ])
+        }));
+        json::Value::object([
+            ("table", json::Value::string(&self.table)),
+            ("rows", rows),
+            ("solver_stats", stats),
+        ])
+        .pretty()
+    }
+
     /// Write the report as JSON next to the repo's bench outputs.
     pub fn write_json(&self, path: &str) -> std::io::Result<()> {
-        let json = serde_json::to_string_pretty(self).expect("serialise report");
-        std::fs::write(path, json)
+        std::fs::write(path, self.to_json())
     }
 }
 
@@ -169,9 +225,33 @@ pub fn print_grid(title: &str, columns: &[&str], rows: &[(String, Vec<(String, C
         print!("{row_label:<22}");
         for (_, cell) in cells {
             let mark = if cell.consistent { "" } else { " (!)" };
-            print!("{:>26}", format!("{}{} {}", cell.paper_claim, mark, cell.reference));
+            print!(
+                "{:>26}",
+                format!("{}{} {}", cell.paper_claim, mark, cell.reference)
+            );
         }
         println!();
+    }
+    println!();
+}
+
+/// Print the per-operator solver statistics of a query workload.
+pub fn print_solver_stats(stats: &[(String, SolverStats)]) {
+    println!("== Incremental query sessions ==");
+    for (label, s) in stats {
+        println!(
+            "{label:<22} queries={} hits={} misses={} loads={} solvers={} \
+             conflicts={} decisions={} props={} total_us={}",
+            s.queries,
+            s.cache_hits,
+            s.cache_misses,
+            s.base_loads,
+            s.solver_constructions,
+            s.conflicts,
+            s.decisions,
+            s.propagations,
+            s.total_query_micros,
+        );
     }
     println!();
 }
@@ -223,5 +303,37 @@ mod tests {
         }
         assert!(matches!(s.growth(), Growth::Polynomial { .. }));
         assert!(s.render().contains("5→25"));
+    }
+
+    #[test]
+    fn report_json_shape() {
+        let report = TableReport {
+            table: "t".into(),
+            rows: vec![(
+                "Horn".into(),
+                vec![(
+                    "revision".into(),
+                    Cell {
+                        paper_claim: "NO",
+                        reference: "Thm 4.2",
+                        series: vec![Series {
+                            label: "s".into(),
+                            xs: vec![1.0, 2.0],
+                            ys: vec![3.0, 4.5],
+                        }],
+                        consistent: true,
+                        evidence: "he said \"so\"".into(),
+                    },
+                )],
+            )],
+            solver_stats: vec![("revision".into(), SolverStats::default())],
+        };
+        let j = report.to_json();
+        assert!(j.contains("\"table\": \"t\""));
+        assert!(j.contains("\"Horn\""));
+        assert!(j.contains("\"paper_claim\": \"NO\""));
+        assert!(j.contains("\\\"so\\\""));
+        assert!(j.contains("\"solver_constructions\":0"));
+        assert!(j.contains("4.5"));
     }
 }

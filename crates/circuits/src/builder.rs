@@ -147,9 +147,7 @@ impl<'a, S: VarSupply> CircuitBuilder<'a, S> {
         // lt = ∨ⱼ ( ¬aⱼ ∧ bⱼ ∧ ⋀_{j'>j} (aⱼ' ≡ bⱼ') )
         Formula::or_all((0..width).map(|j| {
             let here = bit(a, j).not().and(bit(b, j));
-            let above = Formula::and_all(
-                (j + 1..width).map(|j2| bit(a, j2).iff(bit(b, j2))),
-            );
+            let above = Formula::and_all((j + 1..width).map(|j2| bit(a, j2).iff(bit(b, j2))));
             here.and(above)
         }))
     }

@@ -54,12 +54,7 @@ pub fn exa_with_aux(
 }
 
 /// True iff `|X △ Y| ≤ k`.
-pub fn distance_at_most(
-    k: usize,
-    xs: &[Var],
-    ys: &[Var],
-    supply: &mut impl VarSupply,
-) -> Formula {
+pub fn distance_at_most(k: usize, xs: &[Var], ys: &[Var], supply: &mut impl VarSupply) -> Formula {
     let mut cb = CircuitBuilder::new(supply);
     let bits = cb.diff_bits(xs, ys);
     let sum = cb.popcount(&bits);
@@ -137,9 +132,11 @@ pub fn k_subsets(n: usize, k: usize) -> Vec<Vec<usize>> {
 /// [`exa_direct`]; intended for the bounded case.
 pub fn distance_less_direct(a: &[Var], b: &[Var], y: &[Var]) -> Formula {
     let n = y.len();
-    Formula::or_all((0..n).flat_map(|d1| {
-        (d1 + 1..=n).map(move |d2| exa_direct(d1, a, y).and(exa_direct(d2, b, y)))
-    }))
+    Formula::or_all(
+        (0..n).flat_map(|d1| {
+            (d1 + 1..=n).map(move |d2| exa_direct(d1, a, y).and(exa_direct(d2, b, y)))
+        }),
+    )
 }
 
 #[cfg(test)]

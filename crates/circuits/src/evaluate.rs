@@ -20,8 +20,7 @@ use std::collections::HashMap;
 /// not been defined yet; all other conjuncts are treated as output
 /// conditions.
 pub fn evaluate_circuit(f: &Formula, inputs: &Interpretation) -> bool {
-    let mut values: HashMap<Var, bool> =
-        inputs.iter().map(|&v| (v, true)).collect();
+    let mut values: HashMap<Var, bool> = inputs.iter().map(|&v| (v, true)).collect();
     let input_set: std::collections::BTreeSet<Var> = inputs.iter().copied().collect();
     let parts: Vec<&Formula> = match f {
         Formula::And(fs) => fs.iter().collect(),

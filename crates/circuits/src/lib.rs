@@ -9,12 +9,12 @@
 #![warn(missing_docs)]
 
 pub mod builder;
-pub mod evaluate;
 pub mod distance;
+pub mod evaluate;
 
 pub use builder::{CircuitBuilder, Wire};
-pub use evaluate::{evaluate_circuit, evaluate_circuit_mask};
 pub use distance::{
     distance_at_most, distance_less_direct, distance_less_than, exa, exa_direct, exa_with_aux,
     k_subsets,
 };
+pub use evaluate::{evaluate_circuit, evaluate_circuit_mask};

@@ -36,10 +36,7 @@ pub fn syntax_example() -> (Signature, Theory, Theory, Formula) {
     let a = sig.var("a");
     let b = sig.var("b");
     let t1 = Theory::new([Formula::var(a), Formula::var(b)]);
-    let t2 = Theory::new([
-        Formula::var(a),
-        Formula::var(a).implies(Formula::var(b)),
-    ]);
+    let t2 = Theory::new([Formula::var(a), Formula::var(a).implies(Formula::var(b))]);
     (sig, t1, t2, Formula::var(b).not())
 }
 
@@ -76,9 +73,7 @@ pub fn section4_example() -> Scenario {
         .collect();
     Scenario {
         t: Formula::and_all(vars.iter().map(|&v| Formula::var(v))),
-        p: Formula::var(vars[0])
-            .not()
-            .or(Formula::var(vars[1]).not()),
+        p: Formula::var(vars[0]).not().or(Formula::var(vars[1]).not()),
         sig,
     }
 }
@@ -115,7 +110,12 @@ mod tests {
         let s = office_example();
         let bill = Formula::var(s.sig.lookup("bill").unwrap());
         // Revision-style operators conclude b.
-        for op in [ModelBasedOp::Dalal, ModelBasedOp::Satoh, ModelBasedOp::Weber, ModelBasedOp::Borgida] {
+        for op in [
+            ModelBasedOp::Dalal,
+            ModelBasedOp::Satoh,
+            ModelBasedOp::Weber,
+            ModelBasedOp::Borgida,
+        ] {
             assert!(revise(op, &s.t, &s.p).entails(&bill), "{}", op.name());
         }
         // Update-style Winslett does not (the paper's point).
@@ -124,7 +124,12 @@ mod tests {
 
     #[test]
     fn scenarios_are_satisfiable() {
-        for s in [office_example(), running_example(), section4_example(), section6_example()] {
+        for s in [
+            office_example(),
+            running_example(),
+            section4_example(),
+            section6_example(),
+        ] {
             assert!(revkb_sat::satisfiable(&s.t));
             assert!(revkb_sat::satisfiable(&s.p));
         }

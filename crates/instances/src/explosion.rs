@@ -166,12 +166,8 @@ mod tests {
         let ex = NebelExample::new(4);
         let class1 = Theory::new(ex.xs.iter().map(|&v| Formula::var(v)));
         let class2 = Theory::new(ex.ys.iter().map(|&v| Formula::var(v)));
-        let subs = revkb_revision::nebel_preferred_subtheories(
-            &[class1, class2],
-            &ex.p,
-            1 << 12,
-        )
-        .unwrap();
+        let subs =
+            revkb_revision::nebel_preferred_subtheories(&[class1, class2], &ex.p, 1 << 12).unwrap();
         assert_eq!(subs.len(), 1);
         // All four x's kept, no y's.
         assert_eq!(subs[0].iter().filter(|(c, _)| *c == 0).count(), 4);

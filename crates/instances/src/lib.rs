@@ -29,8 +29,7 @@ pub use examples::{
 };
 pub use explosion::{NebelExample, WinslettChain};
 pub use random::{
-    random_formula, random_kcnf, random_literal_conjunction, random_satisfiable,
-    random_scenario,
+    random_formula, random_kcnf, random_literal_conjunction, random_satisfiable, random_scenario,
 };
 pub use thm31::{thm41_bounded_transform, Thm31Family};
 pub use thm33::Thm33Family;

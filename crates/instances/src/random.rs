@@ -22,12 +22,7 @@ pub fn random_formula(rng: &mut impl Rng, depth: u32, num_vars: u32, lo: u32) ->
 }
 
 /// A random *satisfiable* formula (rejection sampling).
-pub fn random_satisfiable(
-    rng: &mut impl Rng,
-    depth: u32,
-    num_vars: u32,
-    lo: u32,
-) -> Formula {
+pub fn random_satisfiable(rng: &mut impl Rng, depth: u32, num_vars: u32, lo: u32) -> Formula {
     loop {
         let f = random_formula(rng, depth, num_vars, lo);
         if revkb_sat::satisfiable(&f) {
@@ -38,12 +33,7 @@ pub fn random_satisfiable(
 
 /// A random revision scenario: satisfiable `T` over `n` letters and a
 /// satisfiable `P` over the first `p_vars` of them.
-pub fn random_scenario(
-    rng: &mut impl Rng,
-    n: u32,
-    p_vars: u32,
-    depth: u32,
-) -> (Formula, Formula) {
+pub fn random_scenario(rng: &mut impl Rng, n: u32, p_vars: u32, depth: u32) -> (Formula, Formula) {
     let t = random_satisfiable(rng, depth, n, 0);
     let p = random_satisfiable(rng, depth.min(3), p_vars, 0);
     (t, p)

@@ -79,9 +79,7 @@ impl Thm31Family {
                 .zip(&d)
                 .map(|(&cj, &dj)| Formula::var(cj).xor(Formula::var(dj))),
         );
-        let p = all_b_false_and_not_r
-            .or(guards_imply_clauses)
-            .and(c_neq_d);
+        let p = all_b_false_and_not_r.or(guards_imply_clauses).and(c_neq_d);
 
         Self {
             sig,

@@ -55,9 +55,11 @@ impl Thm33Family {
         let r = sig.var("r");
 
         // Γₙ: all rows equal to row 1.
-        let gamma_eq = Formula::and_all((0..universe.len()).flat_map(|j| {
-            (1..rows).map(move |i| (i, j))
-        }).map(|(i, j)| Formula::var(c[0][j]).iff(Formula::var(c[i][j]))));
+        let gamma_eq = Formula::and_all(
+            (0..universe.len())
+                .flat_map(|j| (1..rows).map(move |i| (i, j)))
+                .map(|(i, j)| Formula::var(c[0][j]).iff(Formula::var(c[i][j]))),
+        );
 
         let t = gamma_eq
             .clone()
@@ -75,9 +77,7 @@ impl Thm33Family {
                 .enumerate()
                 .map(|(j, clause)| Formula::var(c[0][j]).implies(clause.to_formula(&b))),
         );
-        let p = all_b_false_and_not_r
-            .or(guards_imply_clauses)
-            .and(gamma_eq);
+        let p = all_b_false_and_not_r.or(guards_imply_clauses).and(gamma_eq);
 
         Self {
             sig,

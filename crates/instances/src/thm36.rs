@@ -66,9 +66,11 @@ impl Thm36Family {
         );
         let t = phi.and(gamma);
 
-        let p_single = Formula::and_all(b.iter().zip(&y).map(|(&bi, &yi)| {
-            Formula::var(bi).not().and(Formula::var(yi).not())
-        }));
+        let p_single = Formula::and_all(
+            b.iter()
+                .zip(&y)
+                .map(|(&bi, &yi)| Formula::var(bi).not().and(Formula::var(yi).not())),
+        );
         let p_sequence: Vec<Formula> = b
             .iter()
             .zip(&y)
@@ -171,7 +173,8 @@ mod tests {
         // The proof shows the model sets coincide across operators.
         for window in results.windows(2) {
             assert_eq!(
-                window[0].1, window[1].1,
+                window[0].1,
+                window[1].1,
                 "Thm 6.5: {} and {} differ",
                 window[0].0.name(),
                 window[1].0.name()

@@ -20,11 +20,7 @@ pub struct Clause3 {
 impl Clause3 {
     /// The clause as a formula over the given `B` letters.
     pub fn to_formula(&self, b: &[Var]) -> Formula {
-        Formula::or_all(
-            self.lits
-                .iter()
-                .map(|&(i, pos)| Formula::lit(b[i], pos)),
-        )
+        Formula::or_all(self.lits.iter().map(|&(i, pos)| Formula::lit(b[i], pos)))
     }
 
     /// Evaluate under an assignment to `Bₙ` (bit `i` = atom `i`).
@@ -169,7 +165,10 @@ mod tests {
 
     #[test]
     fn empty_instance_is_satisfiable() {
-        let inst = ThreeSat { n: 3, clauses: vec![] };
+        let inst = ThreeSat {
+            n: 3,
+            clauses: vec![],
+        };
         assert!(inst.satisfiable());
     }
 

@@ -142,12 +142,11 @@ impl Cnf {
 
     /// View the CNF as a [`Formula`].
     pub fn to_formula(&self) -> Formula {
-        Formula::and_all(self.clauses.iter().map(|c| {
-            Formula::or_all(
-                c.iter()
-                    .map(|l| Formula::lit(l.var(), l.is_positive())),
-            )
-        }))
+        Formula::and_all(
+            self.clauses
+                .iter()
+                .map(|c| Formula::or_all(c.iter().map(|l| Formula::lit(l.var(), l.is_positive())))),
+        )
     }
 }
 
@@ -198,12 +197,25 @@ impl VarSupply for crate::var::Signature {
 /// model of the result restricts to a model of `f`.
 pub fn tseitin(f: &Formula, supply: &mut impl VarSupply) -> Cnf {
     let mut cnf = Cnf::new();
+    let root = tseitin_definitions(f, &mut cnf, supply);
+    cnf.push(vec![root]);
+    cnf
+}
+
+/// Tseitin-encode `f` into `cnf` *without asserting it*, returning
+/// the defining literal of the root.
+///
+/// The pushed clauses are two-sided definitions (`d ↔ subformula`),
+/// so they are satisfiable under every assignment of `V(f)` and can
+/// be added to an incremental solver permanently: asserting the
+/// returned literal (or its negation) later — e.g. as a solver
+/// assumption — constrains the solver to models of `f` (resp. `¬f`).
+/// This is the encoding step behind `revkb_sat::QuerySession`.
+pub fn tseitin_definitions(f: &Formula, cnf: &mut Cnf, supply: &mut impl VarSupply) -> Lit {
     for v in f.vars() {
         cnf.register_var(v);
     }
-    let root = encode(f, &mut cnf, supply);
-    cnf.push(vec![root]);
-    cnf
+    encode(f, cnf, supply)
 }
 
 /// Tseitin-transform with an automatic fresh-variable watermark placed

@@ -51,7 +51,10 @@ impl Alphabet {
     /// # Panics
     /// If there are more than 64 letters or duplicates.
     pub fn new(vars: Vec<Var>) -> Self {
-        assert!(vars.len() <= 64, "dense alphabets support at most 64 letters");
+        assert!(
+            vars.len() <= 64,
+            "dense alphabets support at most 64 letters"
+        );
         let mut positions = std::collections::HashMap::with_capacity(vars.len());
         for (i, &v) in vars.iter().enumerate() {
             let prev = positions.insert(v, i);
@@ -299,10 +302,7 @@ mod tests {
         assert!(!tt_satisfiable(&v(0).and(v(0).not())));
         assert!(tt_entails(&v(0).and(v(1)), &v(0)));
         assert!(!tt_entails(&v(0), &v(1)));
-        assert!(tt_equivalent(
-            &v(0).implies(v(1)),
-            &v(0).not().or(v(1))
-        ));
+        assert!(tt_equivalent(&v(0).implies(v(1)), &v(0).not().or(v(1))));
     }
 
     #[test]

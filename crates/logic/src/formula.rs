@@ -54,6 +54,12 @@ impl Formula {
     }
 
     /// `¬self`, with double negations collapsed.
+    ///
+    /// Deliberately an inherent method rather than `std::ops::Not`:
+    /// the whole codebase builds formulas by fluent chaining
+    /// (`a.and(b).not()`), and an operator impl would force `!`
+    /// syntax into those chains.
+    #[allow(clippy::should_implement_trait)]
     pub fn not(self) -> Formula {
         match self {
             Formula::True => Formula::False,
@@ -208,9 +214,7 @@ impl Formula {
         match self {
             Formula::True | Formula::False | Formula::Var(_) => self.clone(),
             Formula::Not(f) => f.expand_shorthands().not(),
-            Formula::And(fs) => {
-                Formula::and_all(fs.iter().map(Formula::expand_shorthands))
-            }
+            Formula::And(fs) => Formula::and_all(fs.iter().map(Formula::expand_shorthands)),
             Formula::Or(fs) => Formula::or_all(fs.iter().map(Formula::expand_shorthands)),
             Formula::Implies(a, b) => {
                 let a = a.expand_shorthands();

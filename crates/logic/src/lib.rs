@@ -22,20 +22,21 @@ pub mod dimacs;
 pub mod eval;
 pub mod formula;
 pub mod parser;
-pub mod simplify_cnf;
 pub mod printer;
+pub mod simplify_cnf;
 pub mod subst;
 pub mod transform;
 pub mod var;
 
-pub use cnf::{distribute_cnf, tseitin, tseitin_auto, Clause, Cnf, CountingSupply, Lit, VarSupply};
-pub use dimacs::{parse_dimacs, write_dimacs, DimacsError};
-pub use eval::{
-    tt_entails, tt_equivalent, tt_satisfiable, tt_valid, Alphabet, Interpretation,
+pub use cnf::{
+    distribute_cnf, tseitin, tseitin_auto, tseitin_definitions, Clause, Cnf, CountingSupply, Lit,
+    VarSupply,
 };
+pub use dimacs::{parse_dimacs, write_dimacs, DimacsError};
+pub use eval::{tt_entails, tt_equivalent, tt_satisfiable, tt_valid, Alphabet, Interpretation};
 pub use formula::{vectors_differ_everywhere, vectors_equal, Formula};
 pub use parser::{parse, ParseError};
-pub use simplify_cnf::{simplify_cnf, SimplifyStats};
 pub use printer::render;
+pub use simplify_cnf::{simplify_cnf, SimplifyStats};
 pub use subst::Substitution;
 pub use var::{Signature, Var};

@@ -130,7 +130,12 @@ impl<'a> Parser<'a> {
         loop {
             self.skip_ws();
             // Careful not to consume the "|" of nothing or "\/".
-            if self.eat("\\/") || (self.peek() == Some(b'|') && { self.pos += 1; true }) {
+            if self.eat("\\/")
+                || (self.peek() == Some(b'|') && {
+                    self.pos += 1;
+                    true
+                })
+            {
                 self.skip_ws();
                 parts.push(self.parse_and()?);
             } else {
@@ -144,7 +149,12 @@ impl<'a> Parser<'a> {
         let mut parts = vec![self.parse_unary()?];
         loop {
             self.skip_ws();
-            if self.eat("/\\") || (self.peek() == Some(b'&') && { self.pos += 1; true }) {
+            if self.eat("/\\")
+                || (self.peek() == Some(b'&') && {
+                    self.pos += 1;
+                    true
+                })
+            {
                 self.skip_ws();
                 parts.push(self.parse_unary()?);
             } else {
@@ -188,15 +198,12 @@ impl<'a> Parser<'a> {
                 let start = self.pos;
                 while self
                     .peek()
-                    .map(|c| {
-                        c.is_ascii_alphanumeric() || c == b'_' || c == b'\'' || c == b'#'
-                    })
+                    .map(|c| c.is_ascii_alphanumeric() || c == b'_' || c == b'\'' || c == b'#')
                     .unwrap_or(false)
                 {
                     self.pos += 1;
                 }
-                let ident = std::str::from_utf8(&self.bytes[start..self.pos])
-                    .expect("ascii slice");
+                let ident = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii slice");
                 match ident {
                     "true" | "TRUE" | "T" => Ok(Formula::True),
                     "false" | "FALSE" | "F" => Ok(Formula::False),

@@ -125,9 +125,7 @@ pub fn simplify_cnf(cnf: &mut Cnf) -> SimplifyStats {
                     if clauses[j].binary_search(&l).is_ok() {
                         continue;
                     }
-                    if clauses[j].binary_search(&l.negated()).is_ok()
-                        && candidate.is_none()
-                    {
+                    if clauses[j].binary_search(&l.negated()).is_ok() && candidate.is_none() {
                         candidate = Some(l.negated());
                     } else {
                         fits = false;

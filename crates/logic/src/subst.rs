@@ -151,8 +151,7 @@ mod tests {
         let m: crate::eval::Interpretation = [Var(1)].into_iter().collect();
         assert!(f.eval(&m));
         let h = [Var(2), Var(3)];
-        let m_delta_h: crate::eval::Interpretation =
-            [Var(1), Var(2), Var(3)].into_iter().collect();
+        let m_delta_h: crate::eval::Interpretation = [Var(1), Var(2), Var(3)].into_iter().collect();
         let f_flipped = f.flip(&h);
         assert!(f_flipped.eval(&m_delta_h));
     }

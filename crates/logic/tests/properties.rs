@@ -4,8 +4,8 @@
 
 use proptest::prelude::*;
 use revkb_logic::{
-    distribute_cnf, parse, render, simplify_cnf, tseitin_auto, tt_equivalent, Alphabet,
-    Formula, Signature, Var,
+    distribute_cnf, parse, render, simplify_cnf, tseitin_auto, tt_equivalent, Alphabet, Formula,
+    Signature, Var,
 };
 
 fn formula_strategy(num_vars: u32, depth: u32) -> BoxedStrategy<Formula> {

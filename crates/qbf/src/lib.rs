@@ -76,6 +76,10 @@ impl Qbf {
     }
 
     /// `¬self`.
+    ///
+    /// Inherent rather than `std::ops::Not` for the same fluent-
+    /// chaining reason as `Formula::not`.
+    #[allow(clippy::should_implement_trait)]
     pub fn not(self) -> Qbf {
         Qbf::Not(Box::new(self))
     }

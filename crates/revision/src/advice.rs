@@ -74,12 +74,20 @@ pub fn advise(op: OperatorKind, profile: Profile) -> Advice {
             reference: "§3",
         },
         OperatorKind::Gfuv => NotCompactable {
-            reference: if profile.bounded_p { "Th.4.1" } else { "Th.3.1" },
+            reference: if profile.bounded_p {
+                "Th.4.1"
+            } else {
+                "Th.3.1"
+            },
             consequence: NP_CONP,
         },
         OperatorKind::ModelBased(mb) => {
             let global_query = matches!(mb, ModelBasedOp::Dalal | ModelBasedOp::Weber);
-            match (profile.bounded_p, profile.allow_new_letters, profile.iterated) {
+            match (
+                profile.bounded_p,
+                profile.allow_new_letters,
+                profile.iterated,
+            ) {
                 // Bounded, single revision: everything is compactable,
                 // even logically (Section 4).
                 (true, _, false) => Compactable {
@@ -109,7 +117,11 @@ pub fn advise(op: OperatorKind, profile: Profile) -> Advice {
                         "T[Ω/Z] ∧ P (weber_compact)"
                     },
                     reference: if mb == ModelBasedOp::Dalal {
-                        if profile.iterated { "Th.5.1" } else { "Th.3.4" }
+                        if profile.iterated {
+                            "Th.5.1"
+                        } else {
+                            "Th.3.4"
+                        }
                     } else if profile.iterated {
                         "Cor.5.2"
                     } else {
@@ -189,12 +201,30 @@ mod tests {
         // (operator, gen/logical, gen/query, bnd/logical, bnd/query)
         let expected: Vec<(OperatorKind, [bool; 4])> = vec![
             (OperatorKind::Gfuv, [false, false, false, false]),
-            (OperatorKind::ModelBased(ModelBasedOp::Winslett), [false, false, true, true]),
-            (OperatorKind::ModelBased(ModelBasedOp::Borgida), [false, false, true, true]),
-            (OperatorKind::ModelBased(ModelBasedOp::Forbus), [false, false, true, true]),
-            (OperatorKind::ModelBased(ModelBasedOp::Satoh), [false, false, true, true]),
-            (OperatorKind::ModelBased(ModelBasedOp::Dalal), [false, true, true, true]),
-            (OperatorKind::ModelBased(ModelBasedOp::Weber), [false, true, true, true]),
+            (
+                OperatorKind::ModelBased(ModelBasedOp::Winslett),
+                [false, false, true, true],
+            ),
+            (
+                OperatorKind::ModelBased(ModelBasedOp::Borgida),
+                [false, false, true, true],
+            ),
+            (
+                OperatorKind::ModelBased(ModelBasedOp::Forbus),
+                [false, false, true, true],
+            ),
+            (
+                OperatorKind::ModelBased(ModelBasedOp::Satoh),
+                [false, false, true, true],
+            ),
+            (
+                OperatorKind::ModelBased(ModelBasedOp::Dalal),
+                [false, true, true, true],
+            ),
+            (
+                OperatorKind::ModelBased(ModelBasedOp::Weber),
+                [false, true, true, true],
+            ),
             (OperatorKind::Widtio, [true, true, true, true]),
         ];
         for (op, cells) in expected {
@@ -213,11 +243,26 @@ mod tests {
     fn table2_cells() {
         let expected: Vec<(OperatorKind, [bool; 4])> = vec![
             (OperatorKind::Gfuv, [false, false, false, false]),
-            (OperatorKind::ModelBased(ModelBasedOp::Winslett), [false, false, false, true]),
-            (OperatorKind::ModelBased(ModelBasedOp::Forbus), [false, false, false, true]),
-            (OperatorKind::ModelBased(ModelBasedOp::Satoh), [false, false, false, true]),
-            (OperatorKind::ModelBased(ModelBasedOp::Dalal), [false, true, false, true]),
-            (OperatorKind::ModelBased(ModelBasedOp::Weber), [false, true, false, true]),
+            (
+                OperatorKind::ModelBased(ModelBasedOp::Winslett),
+                [false, false, false, true],
+            ),
+            (
+                OperatorKind::ModelBased(ModelBasedOp::Forbus),
+                [false, false, false, true],
+            ),
+            (
+                OperatorKind::ModelBased(ModelBasedOp::Satoh),
+                [false, false, false, true],
+            ),
+            (
+                OperatorKind::ModelBased(ModelBasedOp::Dalal),
+                [false, true, false, true],
+            ),
+            (
+                OperatorKind::ModelBased(ModelBasedOp::Weber),
+                [false, true, false, true],
+            ),
             (OperatorKind::Widtio, [true, true, true, true]),
         ];
         for (op, cells) in expected {
@@ -245,10 +290,12 @@ mod tests {
                                 reference,
                             } => {
                                 assert!(!construction.is_empty());
-                                assert!(reference.starts_with("Th")
-                                    || reference.starts_with("Cor")
-                                    || reference.starts_with("Prop")
-                                    || reference.starts_with("§"));
+                                assert!(
+                                    reference.starts_with("Th")
+                                        || reference.starts_with("Cor")
+                                        || reference.starts_with("Prop")
+                                        || reference.starts_with("§")
+                                );
                             }
                             Advice::NotCompactable { consequence, .. } => {
                                 assert!(consequence.contains("poly"));

@@ -25,7 +25,10 @@ use revkb_logic::{Formula, Var};
 
 /// All subsets of `vars`, as vectors (ascending by mask).
 fn subsets(vars: &[Var]) -> Vec<Vec<Var>> {
-    assert!(vars.len() < 24, "V(P) too large for the bounded construction");
+    assert!(
+        vars.len() < 24,
+        "V(P) too large for the bounded construction"
+    );
     (0..1u64 << vars.len())
         .map(|mask| {
             vars.iter()
@@ -127,8 +130,8 @@ pub fn satoh_bounded(t: &Formula, p: &Formula) -> CompactRep {
     if let Some(rep) = degenerate(t, p, base.clone()) {
         return rep;
     }
-    let delta = delta_sets_over(t, p, &base, 1 << 22)
-        .expect("δ enumeration exceeded the bounded-case cap");
+    let delta =
+        delta_sets_over(t, p, &base, 1 << 22).expect("δ enumeration exceeded the bounded-case cap");
     let disjuncts = delta.into_iter().map(|s| {
         let s_vec: Vec<Var> = s.into_iter().collect();
         t.flip(&s_vec)
@@ -206,11 +209,11 @@ pub fn prune_disjuncts(rep: &CompactRep) -> CompactRep {
             }))
         })
         .collect();
-    CompactRep {
-        formula: Formula::and_all(pruned_parts),
-        base: rep.base.clone(),
-        logical: rep.logical,
-    }
+    CompactRep::new(
+        Formula::and_all(pruned_parts),
+        rep.base.clone(),
+        rep.logical,
+    )
 }
 
 #[cfg(test)]
@@ -267,7 +270,11 @@ mod tests {
         // {b,c,d,e}; T*Web additionally {c,d,e}.
         let t = Formula::and_all((0..5).map(v));
         let p = v(0).not().or(v(1).not());
-        for op in [ModelBasedOp::Satoh, ModelBasedOp::Dalal, ModelBasedOp::Weber] {
+        for op in [
+            ModelBasedOp::Satoh,
+            ModelBasedOp::Dalal,
+            ModelBasedOp::Weber,
+        ] {
             check(op, &t, &p);
         }
         let weber = weber_bounded(&t, &p);
@@ -296,7 +303,7 @@ mod tests {
         };
         fn build(rnd: &mut impl FnMut() -> u32, depth: u32, nv: u32, lo: u32) -> Formula {
             let r = rnd();
-            if depth == 0 || r % 6 == 0 {
+            if depth == 0 || r.is_multiple_of(6) {
                 return Formula::lit(Var(lo + r % nv), r & 1 == 0);
             }
             let a = build(rnd, depth - 1, nv, lo);

@@ -81,11 +81,7 @@ fn degenerate_step(cur: &Formula, p: &Formula) -> Option<Formula> {
 
 /// Theorem 5.1: `Φₘ`, the query-equivalent representation of
 /// `T *D P¹ *D … *D Pᵐ`. Polynomial in `|T| + Σ|Pⁱ|`.
-pub fn dalal_iterated(
-    t: &Formula,
-    ps: &[Formula],
-    supply: &mut impl VarSupply,
-) -> CompactRep {
+pub fn dalal_iterated(t: &Formula, ps: &[Formula], supply: &mut impl VarSupply) -> CompactRep {
     let xs = base_vars(t, ps);
     let mut cur = t.clone();
     for p in ps {
@@ -118,9 +114,7 @@ pub fn weber_iterated(
             cur = f;
             continue;
         }
-        let omega: Vec<Var> = omega_over(&cur, p, &xs, delta_limit)?
-            .into_iter()
-            .collect();
+        let omega: Vec<Var> = omega_over(&cur, p, &xs, delta_limit)?.into_iter().collect();
         let zs: Vec<Var> = omega.iter().map(|_| supply.fresh_var()).collect();
         cur = cur.rename(&omega, &zs).and(p.clone());
     }
@@ -138,19 +132,14 @@ fn winslett_step(prev: Qbf, p: &Formula, supply: &mut impl VarSupply) -> Qbf {
     let f_p_z = p.rename(&pvars, &zs);
     let premise = f_p_z.and(f_subset(&zs, &ys, &ys, &pvars));
     let conclusion = f_subset(&pvars, &ys, &ys, &zs);
-    renamed.and(Qbf::prop(p.clone())).and(Qbf::forall(
-        zs,
-        Qbf::prop(premise.implies(conclusion)),
-    ))
+    renamed
+        .and(Qbf::prop(p.clone()))
+        .and(Qbf::forall(zs, Qbf::prop(premise.implies(conclusion))))
 }
 
 /// Formulas (15)/(16): the query-equivalent QBF for
 /// `T *Win P¹ *Win … *Win Pᵐ` (also Borgida's upper bound, Cor 6.4).
-pub fn winslett_iterated_qbf(
-    t: &Formula,
-    ps: &[Formula],
-    supply: &mut impl VarSupply,
-) -> Qbf {
+pub fn winslett_iterated_qbf(t: &Formula, ps: &[Formula], supply: &mut impl VarSupply) -> Qbf {
     let mut cur = Qbf::prop(t.clone());
     for p in ps {
         cur = winslett_step(cur, p, supply);
@@ -161,11 +150,7 @@ pub fn winslett_iterated_qbf(
 /// Theorem 6.1 + 6.3: the propositional expansion of
 /// [`winslett_iterated_qbf`], polynomial in `|T| + m` for bounded
 /// `|Pⁱ|`.
-pub fn winslett_iterated(
-    t: &Formula,
-    ps: &[Formula],
-    supply: &mut impl VarSupply,
-) -> CompactRep {
+pub fn winslett_iterated(t: &Formula, ps: &[Formula], supply: &mut impl VarSupply) -> CompactRep {
     let q = winslett_iterated_qbf(t, ps, supply);
     CompactRep::query(q.expand(), base_vars(t, ps))
 }
@@ -180,20 +165,15 @@ fn forbus_step(prev: Qbf, p: &Formula, supply: &mut impl VarSupply) -> Qbf {
     let renamed = prev.substitute(&Substitution::renaming(&pvars, &ys));
     let f_p_z = p.rename(&pvars, &zs);
     let closer = distance_less_direct(&zs, &pvars, &ys);
-    renamed.and(Qbf::prop(p.clone())).and(Qbf::forall(
-        zs,
-        Qbf::prop(f_p_z.implies(closer.not())),
-    ))
+    renamed
+        .and(Qbf::prop(p.clone()))
+        .and(Qbf::forall(zs, Qbf::prop(f_p_z.implies(closer.not()))))
 }
 
 /// Theorem 6.2 (Forbus part): the query-equivalent propositional
 /// representation of `T *F P¹ *F … *F Pᵐ`, polynomial in `|T| + m`
 /// for bounded `|Pⁱ|`.
-pub fn forbus_iterated(
-    t: &Formula,
-    ps: &[Formula],
-    supply: &mut impl VarSupply,
-) -> CompactRep {
+pub fn forbus_iterated(t: &Formula, ps: &[Formula], supply: &mut impl VarSupply) -> CompactRep {
     let mut cur = Qbf::prop(t.clone());
     for p in ps {
         cur = forbus_step(cur, p, supply);
@@ -252,11 +232,7 @@ fn satoh_step(
     let pvars: Vec<Var> = p.vars().into_iter().collect();
     let ys: Vec<Var> = pvars.iter().map(|_| supply.fresh_var()).collect();
     let renamed = prev.rename(&pvars, &ys);
-    let selector = Formula::or_all(
-        delta
-            .iter()
-            .map(|s| differ_exactly(&pvars, &ys, s)),
-    );
+    let selector = Formula::or_all(delta.iter().map(|s| differ_exactly(&pvars, &ys, s)));
     Some(renamed.and(p.clone()).and(selector))
 }
 
@@ -282,11 +258,7 @@ pub fn satoh_iterated(
 /// is the conjunction when consistent with the running representation,
 /// and a Winslett step (formula 16) otherwise. Query-equivalent,
 /// polynomial in `|T| + m` for bounded `|Pⁱ|`.
-pub fn borgida_iterated(
-    t: &Formula,
-    ps: &[Formula],
-    supply: &mut impl VarSupply,
-) -> CompactRep {
+pub fn borgida_iterated(t: &Formula, ps: &[Formula], supply: &mut impl VarSupply) -> CompactRep {
     let base = base_vars(t, ps);
     let mut cur = Qbf::prop(t.clone());
     for p in ps {
@@ -343,7 +315,6 @@ pub fn satoh_iterated_auto(t: &Formula, ps: &[Formula]) -> Option<CompactRep> {
 mod tests {
     use super::*;
     use crate::equivalence::query_equivalent_enum;
-    use crate::model_set::ModelSet;
     use crate::semantic::{revise_iterated_on, ModelBasedOp};
     use revkb_logic::Alphabet;
 
@@ -351,12 +322,7 @@ mod tests {
         Formula::var(Var(i))
     }
 
-    fn check_iterated(
-        op: ModelBasedOp,
-        rep: &CompactRep,
-        t: &Formula,
-        ps: &[Formula],
-    ) {
+    fn check_iterated(op: ModelBasedOp, rep: &CompactRep, t: &Formula, ps: &[Formula]) {
         let alpha = Alphabet::new(rep.base.clone());
         let oracle = revise_iterated_on(op, &alpha, t, ps);
         assert!(
@@ -439,9 +405,9 @@ mod tests {
         // some are not (Winslett step): Borgida must switch per step.
         let t = Formula::and_all((0..3).map(v));
         let ps = vec![
-            v(0).not(),              // inconsistent with T: update step
-            v(1).not().or(v(2)),     // consistent: conjunction step
-            v(1).not(),              // inconsistent: update step
+            v(0).not(),          // inconsistent with T: update step
+            v(1).not().or(v(2)), // consistent: conjunction step
+            v(1).not(),          // inconsistent: update step
         ];
         let rep = borgida_iterated_auto(&t, &ps);
         check_iterated(ModelBasedOp::Borgida, &rep, &t, &ps);
@@ -482,11 +448,12 @@ mod tests {
     #[test]
     fn paper_formula_13_counterexample() {
         let (q, a, b1, b2) = (v(0), v(1), v(2), v(3));
-        let t = q
+        let t = q.clone().and(a.clone()).and(b1.clone()).or(q
             .clone()
-            .and(a.clone())
+            .not()
+            .and(a.clone().not())
             .and(b1.clone())
-            .or(q.clone().not().and(a.clone().not()).and(b1.clone()).and(b2.clone()));
+            .and(b2.clone()));
         let p = b1.clone().not().and(b2.clone().not());
         let base: Vec<Var> = vec![Var(0), Var(1), Var(2), Var(3)];
 
@@ -504,8 +471,8 @@ mod tests {
             "formula (13) unexpectedly agreed — counterexample no longer applies"
         );
         // Specifically: it accepts the empty model, which Satoh rejects.
-        let projected = revkb_sat::models_projected(&expanded, &base, 1 << 16)
-            .expect("projection small");
+        let projected =
+            revkb_sat::models_projected(&expanded, &base, 1 << 16).expect("projection small");
         assert!(projected.iter().any(|m| m.is_empty()));
         assert!(!oracle.contains_mask(0));
 
@@ -525,7 +492,10 @@ mod tests {
             let rep = dalal_iterated_auto(&t, &ps[..m]);
             sizes.push(rep.size());
         }
-        let increments: Vec<i64> = sizes.windows(2).map(|w| w[1] as i64 - w[0] as i64).collect();
+        let increments: Vec<i64> = sizes
+            .windows(2)
+            .map(|w| w[1] as i64 - w[0] as i64)
+            .collect();
         let max_inc = *increments.iter().max().unwrap();
         let min_inc = *increments.iter().min().unwrap();
         assert!(

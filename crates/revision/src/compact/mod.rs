@@ -17,16 +17,16 @@ pub mod rep;
 pub mod weber;
 
 pub use bounded::{
-    borgida_bounded, dalal_bounded, forbus_bounded, prune_disjuncts, satoh_bounded,
-    weber_bounded, winslett_bounded,
+    borgida_bounded, dalal_bounded, forbus_bounded, prune_disjuncts, satoh_bounded, weber_bounded,
+    winslett_bounded,
 };
 pub use dalal::{dalal_compact, dalal_compact_auto};
 pub use iterated::{
-    borgida_iterated, borgida_iterated_auto, dalal_iterated, dalal_iterated_auto, forbus_iterated, forbus_iterated_auto, satoh_iterated,
-    satoh_iterated_auto, satoh_qbf_paper, weber_iterated, weber_iterated_auto,
-    winslett_iterated, winslett_iterated_auto, winslett_iterated_qbf,
+    borgida_iterated, borgida_iterated_auto, dalal_iterated, dalal_iterated_auto, forbus_iterated,
+    forbus_iterated_auto, satoh_iterated, satoh_iterated_auto, satoh_qbf_paper, weber_iterated,
+    weber_iterated_auto, winslett_iterated, winslett_iterated_auto, winslett_iterated_qbf,
 };
-pub use rep::CompactRep;
+pub use rep::{CompactRep, QueryError};
 pub use weber::{weber_compact, weber_compact_auto};
 
 use crate::formula_based::{widtio, Theory};

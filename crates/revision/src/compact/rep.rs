@@ -1,6 +1,37 @@
 //! The result type of a compact construction.
 
 use revkb_logic::{Formula, Var};
+use revkb_sat::{QuerySession, SolverStats};
+use std::cell::RefCell;
+
+/// Error answering a query through a [`CompactRep`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum QueryError {
+    /// The query mentions a letter outside the representation's base
+    /// alphabet: the compactness guarantee (query equivalence to
+    /// `T * P`) says nothing about such formulas, so an answer would
+    /// be silently meaningless — auxiliary letters of `T'` are
+    /// implementation detail, not knowledge.
+    OutOfAlphabet {
+        /// The offending letter.
+        var: Var,
+    },
+}
+
+impl std::fmt::Display for QueryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            QueryError::OutOfAlphabet { var } => write!(
+                f,
+                "query mentions {var:?}, which is outside the representation's \
+                 base alphabet; answers are only guaranteed for queries over \
+                 the base letters"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for QueryError {}
 
 /// A compact representation `T'` of a revised knowledge base, together
 /// with the base alphabet on which its guarantee holds.
@@ -10,7 +41,15 @@ use revkb_logic::{Formula, Var};
 /// formulas coincide with those of `T * P`. For *logically equivalent*
 /// representations (criterion (2)), `formula` uses only `base` letters
 /// and `T' ≡ T * P`.
-#[derive(Debug, Clone)]
+///
+/// Entailment queries go through a lazily-created incremental
+/// [`QuerySession`]: the first call to [`CompactRep::entails`] /
+/// [`CompactRep::try_entails`] Tseitin-loads `formula` into a solver
+/// once, and every later query reuses that solver (and its learned
+/// clauses). Mutating `formula` after the first query is a footgun —
+/// the session keeps answering for the formula it loaded; construct a
+/// fresh `CompactRep` instead.
+#[derive(Debug)]
 pub struct CompactRep {
     /// The representation formula `T'`.
     pub formula: Formula,
@@ -20,25 +59,38 @@ pub struct CompactRep {
     /// (criterion (2)); otherwise only query equivalence (criterion
     /// (1)) is guaranteed.
     pub logical: bool,
+    /// Lazily-created incremental query engine over `formula`.
+    session: RefCell<Option<QuerySession>>,
+}
+
+impl Clone for CompactRep {
+    fn clone(&self) -> Self {
+        // The clone starts with a fresh (unloaded) session rather than
+        // a copy of the solver state: cloning is used to build derived
+        // representations, not to share query workloads.
+        Self::new(self.formula.clone(), self.base.clone(), self.logical)
+    }
 }
 
 impl CompactRep {
-    /// A query-equivalent representation.
-    pub fn query(formula: Formula, base: Vec<Var>) -> Self {
+    /// A representation with the given equivalence guarantee.
+    pub fn new(formula: Formula, base: Vec<Var>, logical: bool) -> Self {
         Self {
             formula,
             base,
-            logical: false,
+            logical,
+            session: RefCell::new(None),
         }
+    }
+
+    /// A query-equivalent representation.
+    pub fn query(formula: Formula, base: Vec<Var>) -> Self {
+        Self::new(formula, base, false)
     }
 
     /// A logically equivalent representation.
     pub fn logical(formula: Formula, base: Vec<Var>) -> Self {
-        Self {
-            formula,
-            base,
-            logical: true,
-        }
+        Self::new(formula, base, true)
     }
 
     /// The paper's size measure `|T'|` (variable occurrences).
@@ -47,14 +99,49 @@ impl CompactRep {
     }
 
     /// Answer `T * P ⊨ Q` through the representation (step 2 of the
-    /// paper's two-step query answering). `q` must be over the base
-    /// alphabet.
+    /// paper's two-step query answering), or report why the query is
+    /// not answerable.
+    ///
+    /// Queries must stay within the base alphabet: a query mentioning
+    /// other letters — auxiliary letters of the construction, or
+    /// letters the knowledge base has never heard of — yields
+    /// [`QueryError::OutOfAlphabet`] instead of a silently meaningless
+    /// boolean.
+    pub fn try_entails(&self, q: &Formula) -> Result<bool, QueryError> {
+        if let Some(&var) = q.vars().iter().find(|v| !self.base.contains(v)) {
+            return Err(QueryError::OutOfAlphabet { var });
+        }
+        let mut slot = self.session.borrow_mut();
+        let session = slot.get_or_insert_with(|| {
+            // Reserve the whole base alphabet for queries, not just
+            // V(formula): the construction may have simplified a base
+            // letter away, yet queries over it remain legitimate.
+            let num_query_vars = self.base.iter().map(|v| v.0 + 1).max().unwrap_or(0);
+            QuerySession::with_query_alphabet(&self.formula, num_query_vars)
+        });
+        Ok(session.entails(q))
+    }
+
+    /// Answer `T * P ⊨ Q` through the representation.
+    ///
+    /// # Panics
+    ///
+    /// If `q` uses letters outside the base alphabet — in **every**
+    /// build profile, not just with debug assertions: an out-of-
+    /// alphabet query has no defined answer, and returning one anyway
+    /// was a silent-wrong-answer path. Use [`CompactRep::try_entails`]
+    /// to handle the condition gracefully.
     pub fn entails(&self, q: &Formula) -> bool {
-        debug_assert!(
-            q.vars().iter().all(|v| self.base.contains(v)),
-            "query uses letters outside the base alphabet"
-        );
-        revkb_sat::entails(&self.formula, q)
+        match self.try_entails(q) {
+            Ok(answer) => answer,
+            Err(e) => panic!("CompactRep::entails: {e}"),
+        }
+    }
+
+    /// Statistics of the incremental query session, if any query has
+    /// been answered yet.
+    pub fn query_stats(&self) -> Option<SolverStats> {
+        self.session.borrow().as_ref().map(|s| s.stats())
     }
 
     /// The auxiliary letters used beyond the base alphabet.
@@ -64,5 +151,55 @@ impl CompactRep {
             .into_iter()
             .filter(|v| !self.base.contains(v))
             .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(i: u32) -> Formula {
+        Formula::var(Var(i))
+    }
+
+    #[test]
+    fn entails_uses_incremental_session() {
+        let rep = CompactRep::logical(v(0).and(v(1)), vec![Var(0), Var(1)]);
+        assert!(rep.query_stats().is_none(), "session is lazy");
+        assert!(rep.entails(&v(0)));
+        assert!(!rep.entails(&v(0).not()));
+        assert!(rep.entails(&v(0)));
+        let stats = rep.query_stats().expect("session exists after queries");
+        assert_eq!(stats.base_loads, 1);
+        assert_eq!(stats.queries, 3);
+        assert_eq!(stats.cache_hits, 1);
+    }
+
+    #[test]
+    fn try_entails_rejects_out_of_alphabet() {
+        let rep = CompactRep::logical(v(0), vec![Var(0)]);
+        assert_eq!(
+            rep.try_entails(&v(7)),
+            Err(QueryError::OutOfAlphabet { var: Var(7) })
+        );
+        // The error message names the guarantee, not just the letter.
+        let msg = rep.try_entails(&v(7)).unwrap_err().to_string();
+        assert!(msg.contains("base alphabet"));
+    }
+
+    #[test]
+    #[should_panic(expected = "outside the representation's base alphabet")]
+    fn entails_panics_out_of_alphabet() {
+        let rep = CompactRep::logical(v(0), vec![Var(0)]);
+        rep.entails(&v(7));
+    }
+
+    #[test]
+    fn clone_resets_session() {
+        let rep = CompactRep::query(v(0), vec![Var(0)]);
+        assert!(rep.entails(&v(0)));
+        let cloned = rep.clone();
+        assert!(cloned.query_stats().is_none());
+        assert!(cloned.entails(&v(0)));
     }
 }

@@ -116,7 +116,7 @@ mod tests {
         };
         fn build(rnd: &mut impl FnMut() -> u32, depth: u32, nv: u32) -> Formula {
             let r = rnd();
-            if depth == 0 || r % 6 == 0 {
+            if depth == 0 || r.is_multiple_of(6) {
                 return Formula::lit(Var(r % nv), r & 1 == 0);
             }
             let a = build(rnd, depth - 1, nv);

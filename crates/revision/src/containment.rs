@@ -102,7 +102,7 @@ mod tests {
         };
         fn build(rnd: &mut impl FnMut() -> u32, depth: u32, nv: u32) -> Formula {
             let r = rnd();
-            if depth == 0 || r % 6 == 0 {
+            if depth == 0 || r.is_multiple_of(6) {
                 return Formula::lit(Var(r % nv), r & 1 == 0);
             }
             let a = build(rnd, depth - 1, nv);
@@ -137,9 +137,7 @@ mod tests {
             .and(v(3).not())
             .or(v(2).not().and(v(1)).and(v(0).xor(v(3))));
         let sets = all_operator_models(&t, &p);
-        let get = |op: ModelBasedOp| {
-            sets.iter().find(|(o, _)| *o == op).unwrap().1.len()
-        };
+        let get = |op: ModelBasedOp| sets.iter().find(|(o, _)| *o == op).unwrap().1.len();
         assert!(get(ModelBasedOp::Dalal) < get(ModelBasedOp::Forbus));
         assert!(get(ModelBasedOp::Forbus) < get(ModelBasedOp::Winslett));
         assert!(get(ModelBasedOp::Satoh) < get(ModelBasedOp::Weber));

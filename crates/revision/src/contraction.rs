@@ -22,12 +22,7 @@ use revkb_logic::{Alphabet, Formula};
 /// Degenerate convention: contracting by a tautology cannot succeed
 /// (nothing satisfies `¬P`); the identity then yields `M(T)` itself,
 /// which matches AGM (tautologies are never retractable).
-pub fn contract_on(
-    op: ModelBasedOp,
-    alphabet: &Alphabet,
-    t: &Formula,
-    p: &Formula,
-) -> ModelSet {
+pub fn contract_on(op: ModelBasedOp, alphabet: &Alphabet, t: &Formula, p: &Formula) -> ModelSet {
     let t_models = ModelSet::of_formula(alphabet.clone(), t);
     let not_p = p.clone().not();
     if !revkb_sat::satisfiable(&not_p) {
@@ -113,7 +108,11 @@ mod tests {
         let alpha = Alphabet::of_formulas([&t, &p]);
         let t_models = ModelSet::of_formula(alpha.clone(), &t);
         let p_models = ModelSet::of_formula(alpha.clone(), &p);
-        for op in [ModelBasedOp::Dalal, ModelBasedOp::Satoh, ModelBasedOp::Borgida] {
+        for op in [
+            ModelBasedOp::Dalal,
+            ModelBasedOp::Satoh,
+            ModelBasedOp::Borgida,
+        ] {
             let contracted = contract_on(op, &alpha, &t, &p);
             let back = contracted.intersect(&p_models);
             assert!(

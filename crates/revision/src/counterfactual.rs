@@ -137,7 +137,12 @@ mod tests {
             &v(0).not(),
             &v(1).not()
         ));
-        assert!(!might_hold(ModelBasedOp::Dalal, &t, &v(0).not(), &v(1).not()));
+        assert!(!might_hold(
+            ModelBasedOp::Dalal,
+            &t,
+            &v(0).not(),
+            &v(1).not()
+        ));
     }
 
     #[test]

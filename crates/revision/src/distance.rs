@@ -63,9 +63,7 @@ pub fn min_distance_over(a: &Formula, b: &Formula, xs: &[Var]) -> Option<usize> 
     let renamed = rename_apart(a, xs, &mut supply);
     let base = renamed.t_renamed.and(b.clone());
     for d in 0..=xs.len() {
-        let probe = base
-            .clone()
-            .and(exa(d, xs, &renamed.ys, &mut supply));
+        let probe = base.clone().and(exa(d, xs, &renamed.ys, &mut supply));
         if revkb_sat::satisfiable(&probe) {
             return Some(d);
         }
@@ -122,17 +120,13 @@ pub fn delta_sets_over(
         // Shrink to a ⊆-minimal difference: ask for a strictly smaller
         // one (agree outside diff, differ on a strict subset).
         loop {
-            let smaller = Formula::and_all(
-                (0..xs.len())
-                    .filter(|i| !diff.contains(i))
-                    .map(agrees),
-            )
-            .and(if diff.is_empty() {
-                Formula::False
-            } else {
-                Formula::or_all(diff.iter().map(|&i| agrees(i)))
-            })
-            .and(constraint.clone());
+            let smaller = Formula::and_all((0..xs.len()).filter(|i| !diff.contains(i)).map(agrees))
+                .and(if diff.is_empty() {
+                    Formula::False
+                } else {
+                    Formula::or_all(diff.iter().map(|&i| agrees(i)))
+                })
+                .and(constraint.clone());
             match revkb_sat::find_model(&smaller) {
                 None => break, // diff is minimal
                 Some(m2) => {
@@ -164,14 +158,8 @@ pub fn delta_sets(t: &Formula, p: &Formula, limit: usize) -> Option<Vec<BTreeSet
 }
 
 /// `Ω = ⋃ δ(T,P)` over `xs`, up to `limit` difference sets.
-pub fn omega_over(
-    a: &Formula,
-    b: &Formula,
-    xs: &[Var],
-    limit: usize,
-) -> Option<BTreeSet<Var>> {
-    delta_sets_over(a, b, xs, limit)
-        .map(|sets| sets.into_iter().flatten().collect())
+pub fn omega_over(a: &Formula, b: &Formula, xs: &[Var], limit: usize) -> Option<BTreeSet<Var>> {
+    delta_sets_over(a, b, xs, limit).map(|sets| sets.into_iter().flatten().collect())
 }
 
 /// `Ω` over `V(T) ∪ V(P)`.
@@ -203,7 +191,11 @@ mod tests {
         let t_models = alpha.models(t);
         let p_models = alpha.models(p);
         let expected_k = semantic::k_global(&t_models, &p_models).map(|k| k as usize);
-        assert_eq!(min_distance(t, p), expected_k, "k mismatch for {t:?}, {p:?}");
+        assert_eq!(
+            min_distance(t, p),
+            expected_k,
+            "k mismatch for {t:?}, {p:?}"
+        );
 
         let expected_delta: std::collections::BTreeSet<BTreeSet<Var>> =
             semantic::delta(&t_models, &p_models)
@@ -284,7 +276,7 @@ mod tests {
         };
         fn build(rnd: &mut impl FnMut() -> u32, depth: u32, nv: u32) -> Formula {
             let r = rnd();
-            if depth == 0 || r % 6 == 0 {
+            if depth == 0 || r.is_multiple_of(6) {
                 return Formula::lit(Var(r % nv), r & 1 == 0);
             }
             let a = build(rnd, depth - 1, nv);
@@ -318,9 +310,10 @@ mod tests {
         // T = x0∧x1∧x2, P = exactly-one-false: three singleton minimal
         // diffs.
         let t = v(0).and(v(1)).and(v(2));
-        let p = Formula::or_all((0..3).map(|i| {
-            Formula::and_all((0..3).map(|j| if i == j { v(j).not() } else { v(j) }))
-        }));
+        let p = Formula::or_all(
+            (0..3)
+                .map(|i| Formula::and_all((0..3).map(|j| if i == j { v(j).not() } else { v(j) }))),
+        );
         assert_eq!(delta_sets(&t, &p, 100).unwrap().len(), 3);
         assert!(delta_sets(&t, &p, 2).is_none());
     }

@@ -11,6 +11,18 @@
 //! iterated revision: store `T` and the update formulas `P¹…Pᵐ`
 //! (keeping them even after incorporation) and compile only when a
 //! query actually arrives.
+//!
+//! Step 2 is incremental: the first query opens a
+//! [`revkb_sat::QuerySession`] that Tseitin-loads the compiled `T'`
+//! into one CDCL solver; later queries reuse it (activation-literal
+//! encoding, learned clauses kept, answers memoised). The session's
+//! counters are available through [`RevisedKb::query_stats`] and
+//! [`DelayedKb::query_stats`]. Two sharp edges are made loud rather
+//! than silent: queries mentioning letters outside the revision
+//! alphabet are rejected in every profile
+//! ([`RevisedKb::try_entails`]), and revising a [`DelayedKb`] drops
+//! its compilation — and with it the session and its stats — so
+//! stale answers cannot survive a revision.
 
 use crate::compact::{
     borgida_bounded, borgida_iterated, dalal_compact, dalal_iterated, forbus_bounded,
@@ -35,6 +47,17 @@ pub enum CompileError {
         /// Maximum supported width.
         max: usize,
     },
+    /// The *total* revision alphabet `V(T) ∪ V(P)` is too wide for an
+    /// enumeration-based backend (e.g. the BDD pipeline, which builds
+    /// the full model set first).
+    AlphabetTooLarge {
+        /// The operator requested.
+        op: ModelBasedOp,
+        /// `|V(T) ∪ V(P)|` encountered.
+        got: usize,
+        /// Maximum supported width.
+        max: usize,
+    },
     /// A minimal-difference enumeration exceeded its cap.
     DeltaEnumerationOverflow,
 }
@@ -46,6 +69,12 @@ impl fmt::Display for CompileError {
                 f,
                 "{} compilation needs |V(P)| ≤ {max}, got {got} \
                  (the operator is not compactable in the unbounded case)",
+                op.name()
+            ),
+            CompileError::AlphabetTooLarge { op, got, max } => write!(
+                f,
+                "{} compilation via model enumeration needs a total alphabet \
+                 |V(T) ∪ V(P)| ≤ {max}, got {got}",
                 op.name()
             ),
             CompileError::DeltaEnumerationOverflow => {
@@ -171,7 +200,10 @@ impl RevisedKb {
     ) -> Result<Self, CompileError> {
         let alpha = crate::model_set::revision_alphabet(t, p);
         if alpha.len() > 20 {
-            return Err(CompileError::UpdateAlphabetTooLarge {
+            // Not `UpdateAlphabetTooLarge`: that variant's message
+            // talks about |V(P)|, but the enumeration bound here is on
+            // the *whole* revision alphabet.
+            return Err(CompileError::AlphabetTooLarge {
                 op,
                 got: alpha.len(),
                 max: 20,
@@ -199,8 +231,29 @@ impl RevisedKb {
     }
 
     /// Step 2: answer `T * P ⊨ Q` (for `Q` over the base alphabet).
+    ///
+    /// Queries are answered through the representation's incremental
+    /// [`revkb_sat::QuerySession`]: the first query Tseitin-loads `T'`
+    /// once, later queries reuse the solver and its learned clauses.
+    ///
+    /// # Panics
+    ///
+    /// If `q` mentions letters outside the base alphabet (see
+    /// [`RevisedKb::try_entails`] for the fallible version).
     pub fn entails(&self, q: &Formula) -> bool {
         self.rep.entails(q)
+    }
+
+    /// Step 2, fallible: `Err` if `q` strays outside the base
+    /// alphabet, where the compilation's guarantee is void.
+    pub fn try_entails(&self, q: &Formula) -> Result<bool, crate::compact::QueryError> {
+        self.rep.try_entails(q)
+    }
+
+    /// Statistics of the incremental query session, if any query has
+    /// been answered yet.
+    pub fn query_stats(&self) -> Option<revkb_sat::SolverStats> {
+        self.rep.query_stats()
     }
 
     /// Size of the compiled representation, `|T'|`.
@@ -243,12 +296,26 @@ impl DelayedKb {
         &self.ps
     }
 
-    /// Answer a query, compiling (and caching) on demand.
+    /// Answer a query, compiling (and caching) on demand. While no
+    /// further revision arrives, every query reuses the cached
+    /// compilation's incremental solver session.
+    ///
+    /// # Panics
+    ///
+    /// If `q` mentions letters outside the base alphabet of the
+    /// compilation (see [`RevisedKb::entails`]).
     pub fn entails(&mut self, q: &Formula) -> Result<bool, CompileError> {
         if self.compiled.is_none() {
             self.compiled = Some(RevisedKb::compile_iterated(self.op, &self.t, &self.ps)?);
         }
         Ok(self.compiled.as_ref().expect("just compiled").entails(q))
+    }
+
+    /// Statistics of the cached compilation's query session, if a
+    /// compilation exists and has answered at least one query. Reset
+    /// by [`DelayedKb::revise`] together with the compilation cache.
+    pub fn query_stats(&self) -> Option<revkb_sat::SolverStats> {
+        self.compiled.as_ref().and_then(RevisedKb::query_stats)
     }
 
     /// Size of the cached compilation, if any.
@@ -340,7 +407,17 @@ mod tests {
     fn bdd_pipeline_refuses_wide_alphabets() {
         let t = Formula::and_all((0..25u32).map(v));
         let p = v(0).not();
-        assert!(RevisedKb::compile_via_bdd(ModelBasedOp::Dalal, &t, &p).is_err());
+        let err = RevisedKb::compile_via_bdd(ModelBasedOp::Dalal, &t, &p).unwrap_err();
+        // The refusal is about the total alphabet, not |V(P)| (which
+        // is 1 here) — it must use the dedicated variant.
+        assert_eq!(
+            err,
+            CompileError::AlphabetTooLarge {
+                op: ModelBasedOp::Dalal,
+                got: 25,
+                max: 20,
+            }
+        );
     }
 
     #[test]
@@ -348,10 +425,7 @@ mod tests {
         let t = v(0);
         let wide_p = Formula::or_all((0..20).map(v));
         let err = RevisedKb::compile(ModelBasedOp::Winslett, &t, &wide_p).unwrap_err();
-        assert!(matches!(
-            err,
-            CompileError::UpdateAlphabetTooLarge { .. }
-        ));
+        assert!(matches!(err, CompileError::UpdateAlphabetTooLarge { .. }));
         // Dalal and Weber accept it (query-compactable unbounded).
         assert!(RevisedKb::compile(ModelBasedOp::Dalal, &t, &wide_p).is_ok());
         assert!(RevisedKb::compile(ModelBasedOp::Weber, &t, &wide_p).is_ok());
@@ -371,7 +445,10 @@ mod tests {
         let alpha = revision_alphabet_seq(&t, &ps);
         let oracle = revise_iterated_on(ModelBasedOp::Dalal, &alpha, &t, &ps);
         assert_eq!(kb.entails(&v(1)).unwrap(), oracle.entails(&v(1)));
-        assert_eq!(kb.entails(&v(0).not()).unwrap(), oracle.entails(&v(0).not()));
+        assert_eq!(
+            kb.entails(&v(0).not()).unwrap(),
+            oracle.entails(&v(0).not())
+        );
         assert!(kb.compiled_size().is_some());
         // A further revision invalidates the cache.
         kb.revise(v(1).not());
@@ -388,5 +465,56 @@ mod tests {
         let s = e.to_string();
         assert!(s.contains("Forbus"));
         assert!(s.contains("30"));
+        assert!(
+            s.contains("|V(P)|"),
+            "update-width variant talks about |V(P)|"
+        );
+
+        let e = CompileError::AlphabetTooLarge {
+            op: ModelBasedOp::Dalal,
+            got: 25,
+            max: 20,
+        };
+        let s = e.to_string();
+        assert!(s.contains("Dalal"));
+        assert!(s.contains("25"));
+        assert!(
+            s.contains("|V(T) ∪ V(P)|"),
+            "total-alphabet variant talks about the whole alphabet, got: {s}"
+        );
+        assert!(
+            !s.contains("|V(P)| ≤"),
+            "must not claim an update-width bound"
+        );
+    }
+
+    #[test]
+    fn revised_kb_session_reuse_and_stats() {
+        let t = v(0).and(v(1)).and(v(2));
+        let p = v(0).not().or(v(1).not());
+        let kb = RevisedKb::compile(ModelBasedOp::Dalal, &t, &p).unwrap();
+        assert!(kb.query_stats().is_none());
+        assert!(kb.entails(&v(2)));
+        assert!(kb.entails(&v(2)));
+        assert_eq!(
+            kb.try_entails(&v(40)),
+            Err(crate::compact::QueryError::OutOfAlphabet { var: Var(40) })
+        );
+        let stats = kb.query_stats().unwrap();
+        assert_eq!(stats.base_loads, 1);
+        assert_eq!(stats.solver_constructions, 1);
+        assert_eq!(stats.queries, 2);
+        assert_eq!(stats.cache_hits, 1);
+    }
+
+    #[test]
+    fn delayed_kb_stats_reset_on_revise() {
+        let mut kb = DelayedKb::new(ModelBasedOp::Dalal, v(0).and(v(1)));
+        kb.revise(v(0).not());
+        assert!(kb.query_stats().is_none());
+        kb.entails(&v(1)).unwrap();
+        assert_eq!(kb.query_stats().unwrap().queries, 1);
+        kb.revise(v(1).not());
+        assert!(kb.query_stats().is_none(), "revise drops the session");
     }
 }

@@ -44,8 +44,7 @@ pub struct GfuvKb {
 impl GfuvKb {
     /// Materialise `W(T,P)` up to `budget` worlds.
     pub fn compile(theory: Theory, p: Formula, budget: usize) -> Result<Self, WorldBudgetExceeded> {
-        let worlds = possible_worlds(&theory, &p, budget)
-            .ok_or(WorldBudgetExceeded { budget })?;
+        let worlds = possible_worlds(&theory, &p, budget).ok_or(WorldBudgetExceeded { budget })?;
         let world_formulas = worlds
             .iter()
             .map(|w| {
@@ -70,9 +69,7 @@ impl GfuvKb {
 
     /// `T *GFUV P ⊨ Q`: consequence in every world.
     pub fn entails(&self, q: &Formula) -> bool {
-        self.world_formulas
-            .iter()
-            .all(|w| revkb_sat::entails(w, q))
+        self.world_formulas.iter().all(|w| revkb_sat::entails(w, q))
     }
 
     /// The explicit representation `(⋁ ⋀T') ∧ P` and its size — what

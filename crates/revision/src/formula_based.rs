@@ -16,9 +16,9 @@
 //! must contain some formula outside `S`, so nothing is lost and
 //! nothing repeats).
 
+use revkb_logic::VarSupply;
 use revkb_logic::{tseitin, Formula, Lit, Var};
 use revkb_sat::{supply_above, Solver};
-use revkb_logic::VarSupply;
 
 /// A knowledge base as a *set of formulas* (syntax matters here: the
 /// paper's `T₁ = {a, b}` and `T₂ = {a, a → b}` revise differently).
@@ -130,14 +130,9 @@ pub fn possible_worlds(t: &Theory, p: &Formula, limit: usize) -> Option<Vec<Vec<
 
 /// `T *GFUV P ⊨ Q`: consequence in every possible world.
 pub fn gfuv_entails(t: &Theory, p: &Formula, q: &Formula) -> bool {
-    let worlds =
-        possible_worlds(t, p, usize::MAX).expect("unlimited enumeration cannot truncate");
+    let worlds = possible_worlds(t, p, usize::MAX).expect("unlimited enumeration cannot truncate");
     worlds.iter().all(|w| {
-        let theory = Formula::and_all(
-            w.iter()
-                .map(|&i| t.formulas[i].clone())
-                .chain([p.clone()]),
-        );
+        let theory = Formula::and_all(w.iter().map(|&i| t.formulas[i].clone()).chain([p.clone()]));
         revkb_sat::entails(&theory, q)
     })
 }
@@ -149,9 +144,11 @@ pub fn gfuv_entails(t: &Theory, p: &Formula, q: &Formula) -> bool {
 pub fn gfuv_explicit(t: &Theory, p: &Formula, limit: usize) -> Option<Formula> {
     let worlds = possible_worlds(t, p, limit)?;
     Some(
-        Formula::or_all(worlds.iter().map(|w| {
-            Formula::and_all(w.iter().map(|&i| t.formulas[i].clone()))
-        }))
+        Formula::or_all(
+            worlds
+                .iter()
+                .map(|w| Formula::and_all(w.iter().map(|&i| t.formulas[i].clone()))),
+        )
         .and(p.clone()),
     )
 }
@@ -164,8 +161,7 @@ pub fn world_count(t: &Theory, p: &Formula, limit: usize) -> Option<usize> {
 /// `T *wid P = (⋂ W(T,P)) ∪ {P}` — When In Doubt Throw It Out.
 /// Always compactable: the result is a sub-theory of `T` plus `P`.
 pub fn widtio(t: &Theory, p: &Formula) -> Theory {
-    let worlds =
-        possible_worlds(t, p, usize::MAX).expect("unlimited enumeration cannot truncate");
+    let worlds = possible_worlds(t, p, usize::MAX).expect("unlimited enumeration cannot truncate");
     let kept: Vec<Formula> = match worlds.split_first() {
         None => Vec::new(), // P unsatisfiable: intersection over ∅ = keep nothing
         Some((first, rest)) => first
@@ -221,7 +217,14 @@ fn nebel_rec(
             next_chosen.push((class_idx, i));
             next_context = next_context.and(classes[class_idx].formulas[i].clone());
         }
-        nebel_rec(classes, class_idx + 1, next_context, next_chosen, out, limit)?;
+        nebel_rec(
+            classes,
+            class_idx + 1,
+            next_context,
+            next_chosen,
+            out,
+            limit,
+        )?;
     }
     Some(())
 }
@@ -292,7 +295,10 @@ mod tests {
     fn unsat_p_gives_no_worlds() {
         let t = Theory::new([v(0)]);
         let p = v(1).and(v(1).not());
-        assert_eq!(possible_worlds(&t, &p, 100).unwrap(), Vec::<Vec<usize>>::new());
+        assert_eq!(
+            possible_worlds(&t, &p, 100).unwrap(),
+            Vec::<Vec<usize>>::new()
+        );
         // GFUV entailment over zero worlds is vacuous.
         assert!(gfuv_entails(&t, &p, &Formula::False));
     }
@@ -305,11 +311,7 @@ mod tests {
         let xs: Vec<Formula> = (0..m).map(v).collect();
         let ys: Vec<Formula> = (m..2 * m).map(v).collect();
         let t = Theory::new(xs.iter().chain(&ys).cloned());
-        let p = Formula::and_all(
-            xs.iter()
-                .zip(&ys)
-                .map(|(x, y)| x.clone().xor(y.clone())),
-        );
+        let p = Formula::and_all(xs.iter().zip(&ys).map(|(x, y)| x.clone().xor(y.clone())));
         assert_eq!(world_count(&t, &p, 1 << 10), Some(1 << m));
         // And the limit machinery reports truncation.
         assert_eq!(world_count(&t, &p, 3), None);
@@ -360,15 +362,12 @@ mod tests {
         // With a single priority class Nebel = GFUV.
         let t = Theory::new([v(0), v(0).implies(v(1))]);
         let p = v(1).not();
-        let mut nw: Vec<Vec<usize>> = nebel_preferred_subtheories(
-            std::slice::from_ref(&t),
-            &p,
-            100,
-        )
-        .unwrap()
-        .into_iter()
-        .map(|s| s.into_iter().map(|(_, i)| i).collect())
-        .collect();
+        let mut nw: Vec<Vec<usize>> =
+            nebel_preferred_subtheories(std::slice::from_ref(&t), &p, 100)
+                .unwrap()
+                .into_iter()
+                .map(|s| s.into_iter().map(|(_, i)| i).collect())
+                .collect();
         nw.sort();
         let mut gw = possible_worlds(&t, &p, 100).unwrap();
         gw.sort();

@@ -22,7 +22,17 @@
 //! - exact two-level minimisation ([`minimize`]) as the measurable
 //!   "smallest formula" proxy;
 //! - Figure 1's containment lattice ([`containment`]);
-//! - the two-step query-answering engine ([`engine`]).
+//! - the two-step query-answering engine ([`engine`]), whose online
+//!   half answers queries through an incremental
+//!   [`revkb_sat::QuerySession`]: the compiled `T'` is loaded into one
+//!   CDCL solver, each query runs under an activation literal keeping
+//!   learned clauses across queries, answers are memoised, and a
+//!   [`revkb_sat::SolverStats`] block is exposed via
+//!   [`engine::RevisedKb::query_stats`]. Queries outside the base
+//!   alphabet are rejected in every build profile
+//!   ([`compact::CompactRep::try_entails`] /
+//!   [`compact::QueryError::OutOfAlphabet`]) rather than silently
+//!   answered against the wrong alphabet.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -45,7 +55,7 @@ pub mod postulates;
 pub mod semantic;
 
 pub use advice::{advise, Advice, OperatorKind, Profile};
-pub use compact::CompactRep;
+pub use compact::{CompactRep, QueryError};
 pub use containment::{check_containments, containment_matrix, FIGURE1_EDGES};
 pub use contraction::{contract, contract_on};
 pub use counterfactual::{holds as counterfactual_holds, might_hold, Counterfactual};
@@ -62,5 +72,7 @@ pub use formula_based::{
 pub use horn::{horn_formula, horn_lub, is_horn_definable};
 pub use model_check::{model_check, ModelCheckError};
 pub use model_set::{revision_alphabet, revision_alphabet_seq, ModelSet};
-pub use postulates::{check_postulate, postulate_report, Counterexample, Postulate, PostulateCheck};
+pub use postulates::{
+    check_postulate, postulate_report, Counterexample, Postulate, PostulateCheck,
+};
 pub use semantic::{revise, revise_iterated_on, revise_masks, revise_on, ModelBasedOp};

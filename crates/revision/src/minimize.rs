@@ -131,11 +131,7 @@ fn minimum_cover(minterms: &[u64], primes: &[Cube], n: usize) -> Vec<Cube> {
     // Coverage table.
     let cover: Vec<Vec<usize>> = minterms
         .iter()
-        .map(|&m| {
-            (0..primes.len())
-                .filter(|&p| primes[p].covers(m))
-                .collect()
-        })
+        .map(|&m| (0..primes.len()).filter(|&p| primes[p].covers(m)).collect())
         .collect();
     // Essential primes: sole coverer of some minterm.
     let mut chosen: Vec<usize> = Vec::new();
@@ -151,10 +147,7 @@ fn minimum_cover(minterms: &[u64], primes: &[Cube], n: usize) -> Vec<Cube> {
     let mut best: Option<Vec<usize>> = None;
     let mut stack_choice: Vec<usize> = Vec::new();
     fn cost(sel: &[usize], primes: &[Cube], n: usize) -> (usize, usize) {
-        (
-            sel.len(),
-            sel.iter().map(|&p| primes[p].literals(n)).sum(),
-        )
+        (sel.len(), sel.iter().map(|&p| primes[p].literals(n)).sum())
     }
     fn bnb(
         uncovered: &mut Vec<usize>,
@@ -229,10 +222,7 @@ fn minimum_cover(minterms: &[u64], primes: &[Cube], n: usize) -> Vec<Cube> {
 pub fn minimum_dnf(minterms: &[u64], n: usize) -> TwoLevel {
     let primes = prime_implicants(minterms, n);
     let cubes = minimum_cover(minterms, &primes, n);
-    TwoLevel {
-        cubes,
-        num_vars: n,
-    }
+    TwoLevel { cubes, num_vars: n }
 }
 
 /// Exact minimum DNF of a model set.
@@ -332,8 +322,7 @@ mod tests {
                 .wrapping_add(1442695040888963407);
             let n = 4usize;
             let onset_mask = seed >> 20 & 0xFFFF;
-            let minterms: Vec<u64> =
-                (0..16u64).filter(|&m| onset_mask >> m & 1 == 1).collect();
+            let minterms: Vec<u64> = (0..16u64).filter(|&m| onset_mask >> m & 1 == 1).collect();
             let r = minimum_dnf(&minterms, n);
             // Naive DNF: one full term per minterm.
             assert!(r.literal_count() <= minterms.len() * n);

@@ -72,10 +72,7 @@ fn distance_to(m: &Interpretation, f: &Formula, xs: &[Var]) -> Option<usize> {
             .map(|(&y, &x)| Formula::lit(y, m.contains(&x))),
     );
     for d in 0..=xs.len() {
-        let probe = f
-            .clone()
-            .and(pin.clone())
-            .and(exa(d, xs, &ys, &mut supply));
+        let probe = f.clone().and(pin.clone()).and(exa(d, xs, &ys, &mut supply));
         if revkb_sat::satisfiable(&probe) {
             return Some(d);
         }
@@ -184,9 +181,8 @@ pub fn model_check(
                 if !t.eval(&witness) {
                     continue;
                 }
-                let closer_exists = subsets(&s).any(|c| {
-                    !c.is_empty() && p.eval(&flip_interpretation(m, &c))
-                });
+                let closer_exists =
+                    subsets(&s).any(|c| !c.is_empty() && p.eval(&flip_interpretation(m, &c)));
                 if !closer_exists {
                     return Ok(true);
                 }
@@ -276,7 +272,7 @@ mod tests {
         };
         fn build(rnd: &mut impl FnMut() -> u32, depth: u32, nv: u32) -> Formula {
             let r = rnd();
-            if depth == 0 || r % 6 == 0 {
+            if depth == 0 || r.is_multiple_of(6) {
                 return Formula::lit(Var(r % nv), r & 1 == 0);
             }
             let a = build(rnd, depth - 1, nv);
@@ -302,13 +298,10 @@ mod tests {
         let m: Interpretation = [Var(1)].into_iter().collect();
         for op in ModelBasedOp::ALL {
             // P unsatisfiable: nothing is a model.
-            assert_eq!(model_check(op, &m, &v(0), &unsat).unwrap(), false);
+            assert!(!model_check(op, &m, &v(0), &unsat).unwrap());
             // T unsatisfiable: result is P.
-            assert_eq!(model_check(op, &m, &unsat, &p).unwrap(), true);
-            assert_eq!(
-                model_check(op, &Interpretation::new(), &unsat, &p).unwrap(),
-                false
-            );
+            assert!(model_check(op, &m, &unsat, &p).unwrap());
+            assert!(!model_check(op, &Interpretation::new(), &unsat, &p).unwrap());
         }
     }
 
@@ -319,7 +312,7 @@ mod tests {
         let p = v(1);
         let m = Interpretation::new();
         for op in ModelBasedOp::ALL {
-            assert_eq!(model_check(op, &m, &t, &p).unwrap(), false);
+            assert!(!model_check(op, &m, &t, &p).unwrap());
         }
     }
 

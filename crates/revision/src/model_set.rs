@@ -95,9 +95,13 @@ impl ModelSet {
     /// minterms (exponential; ground truth for small alphabets).
     pub fn to_dnf(&self) -> Formula {
         Formula::or_all(self.models.iter().map(|&m| {
-            Formula::and_all(self.alphabet.vars().iter().enumerate().map(|(i, &v)| {
-                Formula::lit(v, m >> i & 1 == 1)
-            }))
+            Formula::and_all(
+                self.alphabet
+                    .vars()
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &v)| Formula::lit(v, m >> i & 1 == 1)),
+            )
         }))
     }
 

@@ -101,9 +101,7 @@ pub fn check_postulate(
     let t_models = ModelSet::of_formula(alpha.clone(), t);
     let p_models = ModelSet::of_formula(alpha.clone(), p);
     match postulate {
-        Postulate::R1 | Postulate::U1 => {
-            rev(op, &alpha, t, p).is_subset_of(&p_models)
-        }
+        Postulate::R1 | Postulate::U1 => rev(op, &alpha, t, p).is_subset_of(&p_models),
         Postulate::R2 => {
             let conj = ModelSet::of_formula(alpha.clone(), &t.clone().and(p.clone()));
             if conj.is_empty() {
@@ -130,14 +128,12 @@ pub fn check_postulate(
             rev(op, &alpha, t, p) == rev(op, &alpha, &t_variant, &p_variant)
         }
         Postulate::R5 | Postulate::U5 => {
-            let left = rev(op, &alpha, t, p)
-                .intersect(&ModelSet::of_formula(alpha.clone(), q));
+            let left = rev(op, &alpha, t, p).intersect(&ModelSet::of_formula(alpha.clone(), q));
             let right = rev(op, &alpha, t, &p.clone().and(q.clone()));
             left.is_subset_of(&right)
         }
         Postulate::R6 => {
-            let left = rev(op, &alpha, t, p)
-                .intersect(&ModelSet::of_formula(alpha.clone(), q));
+            let left = rev(op, &alpha, t, p).intersect(&ModelSet::of_formula(alpha.clone(), q));
             if left.is_empty() {
                 true
             } else {
@@ -222,7 +218,7 @@ pub fn postulate_report(
     };
     fn build(rnd: &mut impl FnMut() -> u32, depth: u32, nv: u32) -> Formula {
         let r = rnd();
-        if depth == 0 || r % 6 == 0 {
+        if depth == 0 || r.is_multiple_of(6) {
             return Formula::lit(revkb_logic::Var(r % nv), r & 1 == 0);
         }
         let a = build(rnd, depth - 1, nv);

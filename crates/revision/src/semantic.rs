@@ -128,12 +128,7 @@ pub fn omega_mask(t_models: &[u64], p_models: &[u64]) -> u64 {
 }
 
 /// Compute `M(T *op P)` over a given alphabet, by enumeration.
-pub fn revise_on(
-    op: ModelBasedOp,
-    alphabet: &Alphabet,
-    t: &Formula,
-    p: &Formula,
-) -> ModelSet {
+pub fn revise_on(op: ModelBasedOp, alphabet: &Alphabet, t: &Formula, p: &Formula) -> ModelSet {
     let t_models = alphabet.models(t);
     let p_models = alphabet.models(p);
     let selected = revise_masks(op, &t_models, &p_models);
@@ -206,9 +201,7 @@ pub fn revise_masks(op: ModelBasedOp, t_models: &[u64], p_models: &[u64]) -> Vec
             p_models
                 .iter()
                 .copied()
-                .filter(|&n| {
-                    t_models.iter().any(|&m| d.contains(&(m ^ n)))
-                })
+                .filter(|&n| t_models.iter().any(|&m| d.contains(&(m ^ n))))
                 .collect()
         }
         ModelBasedOp::Dalal => {
@@ -310,7 +303,7 @@ mod tests {
         let (sig, t, p, alpha) = paper_example();
         let (n1, n2, n3, _n4) = named_masks(&alpha, &sig);
         let got = revise_on(ModelBasedOp::Winslett, &alpha, &t, &p);
-        let mut expected = vec![n1, n2, n3];
+        let mut expected = [n1, n2, n3];
         expected.sort_unstable();
         assert_eq!(got.masks(), &expected[..]);
         // Borgida coincides (T ∧ P inconsistent).
@@ -325,7 +318,7 @@ mod tests {
         let (sig, t, p, alpha) = paper_example();
         let (n1, _n2, n3, _n4) = named_masks(&alpha, &sig);
         let got = revise_on(ModelBasedOp::Forbus, &alpha, &t, &p);
-        let mut expected = vec![n1, n3];
+        let mut expected = [n1, n3];
         expected.sort_unstable();
         assert_eq!(got.masks(), &expected[..]);
     }
@@ -335,7 +328,7 @@ mod tests {
         let (sig, t, p, alpha) = paper_example();
         let (n1, n2, _n3, _n4) = named_masks(&alpha, &sig);
         let got = revise_on(ModelBasedOp::Satoh, &alpha, &t, &p);
-        let mut expected = vec![n1, n2];
+        let mut expected = [n1, n2];
         expected.sort_unstable();
         assert_eq!(got.masks(), &expected[..]);
     }
@@ -368,9 +361,7 @@ mod tests {
                 .collect(),
         );
         let mask_of = |names: &[&str]| -> u64 {
-            alpha.interpretation_to_mask(
-                &names.iter().map(|n| sig.lookup(n).unwrap()).collect(),
-            )
+            alpha.interpretation_to_mask(&names.iter().map(|n| sig.lookup(n).unwrap()).collect())
         };
         let mut mu2 = mu(m2, &p_models);
         mu2.sort_unstable();
@@ -392,7 +383,12 @@ mod tests {
         // revision-style operators give T ∧ P = ¬g ∧ b.
         let t = v(0).or(v(1));
         let p = v(0).not();
-        for op in [ModelBasedOp::Borgida, ModelBasedOp::Satoh, ModelBasedOp::Dalal, ModelBasedOp::Weber] {
+        for op in [
+            ModelBasedOp::Borgida,
+            ModelBasedOp::Satoh,
+            ModelBasedOp::Dalal,
+            ModelBasedOp::Weber,
+        ] {
             let got = revise(op, &t, &p);
             let alpha = got.alphabet().clone();
             let expected = ModelSet::of_formula(alpha, &t.clone().and(p.clone()));

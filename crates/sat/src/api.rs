@@ -78,6 +78,32 @@ pub fn find_model(f: &Formula) -> Option<Interpretation> {
     )
 }
 
+/// Deterministic pseudo-random formula generator (LCG-driven, no
+/// external RNG): the workhorse of differential tests that cross-check
+/// solver paths against truth tables and each other.
+///
+/// The sequence is a pure function of the evolving `seed`, so test
+/// failures reproduce exactly from the initial seed value.
+pub fn pseudo_random_formula(seed: &mut u64, depth: u32, num_vars: u32) -> Formula {
+    *seed = seed
+        .wrapping_mul(6364136223846793005)
+        .wrapping_add(1442695040888963407);
+    let r = (*seed >> 33) as u32;
+    if depth == 0 || r.is_multiple_of(7) {
+        return Formula::lit(Var(r % num_vars), r & 1 == 0);
+    }
+    let a = pseudo_random_formula(seed, depth - 1, num_vars);
+    let b = pseudo_random_formula(seed, depth - 1, num_vars);
+    match r % 6 {
+        0 => a.and(b),
+        1 => a.or(b),
+        2 => a.implies(b),
+        3 => a.iff(b),
+        4 => a.xor(b),
+        _ => a.not(),
+    }
+}
+
 /// Solve a raw CNF, returning one model if satisfiable.
 pub fn solve_cnf(cnf: &Cnf) -> Option<Vec<bool>> {
     let mut s = Solver::new();
@@ -139,46 +165,18 @@ mod tests {
         assert!(entails(&t.and(p), &b));
     }
 
-    /// Deterministic pseudo-random formulas (no external RNG needed):
-    /// cross-check solver answers against truth tables.
-    fn pseudo_random_formula(seed: &mut u64, depth: u32, num_vars: u32) -> Formula {
-        *seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
-        let r = (*seed >> 33) as u32;
-        if depth == 0 || r % 7 == 0 {
-            return Formula::lit(Var(r % num_vars), r & 1 == 0);
-        }
-        let a = pseudo_random_formula(seed, depth - 1, num_vars);
-        let b = pseudo_random_formula(seed, depth - 1, num_vars);
-        match r % 6 {
-            0 => a.and(b),
-            1 => a.or(b),
-            2 => a.implies(b),
-            3 => a.iff(b),
-            4 => a.xor(b),
-            _ => a.not(),
-        }
-    }
-
     #[test]
     fn agrees_with_truth_tables() {
         let mut seed = 0xDEADBEEFu64;
         for _ in 0..200 {
             let f = pseudo_random_formula(&mut seed, 4, 6);
-            assert_eq!(
-                satisfiable(&f),
-                tt_satisfiable(&f),
-                "sat mismatch on {f:?}"
-            );
+            assert_eq!(satisfiable(&f), tt_satisfiable(&f), "sat mismatch on {f:?}");
         }
         for _ in 0..100 {
             let a = pseudo_random_formula(&mut seed, 3, 5);
             let b = pseudo_random_formula(&mut seed, 3, 5);
             assert_eq!(entails(&a, &b), tt_entails(&a, &b), "entails mismatch");
-            assert_eq!(
-                equivalent(&a, &b),
-                tt_equivalent(&a, &b),
-                "equiv mismatch"
-            );
+            assert_eq!(equivalent(&a, &b), tt_equivalent(&a, &b), "equiv mismatch");
         }
     }
 }

@@ -13,11 +13,7 @@ use std::collections::BTreeSet;
 /// Enumerate models of `f` projected onto `vars` (deduplicated), up to
 /// `limit` models. Returns `None` if the limit was hit (result
 /// incomplete), `Some(models)` otherwise.
-pub fn models_projected(
-    f: &Formula,
-    vars: &[Var],
-    limit: usize,
-) -> Option<Vec<Interpretation>> {
+pub fn models_projected(f: &Formula, vars: &[Var], limit: usize) -> Option<Vec<Interpretation>> {
     // The watermark must clear both the formula's letters and the
     // projection letters — auxiliary Tseitin letters colliding with a
     // projection letter would corrupt the projection.

@@ -1,0 +1,322 @@
+//! Incremental query sessions: load a knowledge base once, answer
+//! many entailment queries against it.
+//!
+//! The paper's two-step pipeline compiles `T * P` into `T'` once and
+//! then answers every `T' ⊨ Q` with "standard machinery". The
+//! one-shot [`crate::entails`] re-runs the Tseitin transform of
+//! `T' ∧ ¬Q` and builds a fresh [`Solver`] for *every* query, which
+//! throws away both the loaded CNF of `T'` and all learned clauses.
+//! [`QuerySession`] is the incremental alternative:
+//!
+//! - the CNF of `T'` is Tseitin-loaded exactly once, at construction;
+//! - each query encodes `¬Q` under a fresh *activation literal* `a`:
+//!   the definition clauses of `Q` and the clause `¬a ∨ ¬root(Q)` are
+//!   added, the solver runs under the assumption `a`, and afterwards
+//!   the unit `¬a` permanently disables the query-specific clauses
+//!   while every learned clause stays usable;
+//! - a memo cache keyed by the query's structural hash makes repeated
+//!   queries O(1);
+//! - a [`SolverStats`] block (decisions, conflicts, propagations,
+//!   restarts, learned clauses, cache traffic, wall time) makes the
+//!   hot path observable.
+
+use crate::api::supply_above;
+use crate::solver::Solver;
+use revkb_logic::{tseitin, tseitin_definitions, Cnf, CountingSupply, Formula, Lit, VarSupply};
+use std::collections::HashMap;
+use std::time::Instant;
+
+/// Counter block for an incremental query session, merging solver
+/// search counters with session-level cache and load accounting.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SolverStats {
+    /// Queries answered (including cache hits).
+    pub queries: u64,
+    /// Queries answered from the memo cache.
+    pub cache_hits: u64,
+    /// Queries that reached the solver.
+    pub cache_misses: u64,
+    /// Tseitin loads of the knowledge base (always 1 per session;
+    /// the one-shot path pays one per query).
+    pub base_loads: u64,
+    /// Solvers constructed (always 1 per session).
+    pub solver_constructions: u64,
+    /// Decisions taken by the solver.
+    pub decisions: u64,
+    /// Conflicts encountered by the solver.
+    pub conflicts: u64,
+    /// Literals propagated by the solver.
+    pub propagations: u64,
+    /// Restarts performed by the solver.
+    pub restarts: u64,
+    /// Learned clauses currently retained.
+    pub learnt_clauses: u64,
+    /// Learned clauses deleted by DB reduction.
+    pub learnts_removed: u64,
+    /// Total wall time spent answering queries, in microseconds.
+    pub total_query_micros: u64,
+    /// Wall time of the most recent query, in microseconds.
+    pub last_query_micros: u64,
+}
+
+impl SolverStats {
+    /// Render as a JSON object (stable key order, no dependencies).
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"queries\":{},\"cache_hits\":{},\"cache_misses\":{},\
+             \"base_loads\":{},\"solver_constructions\":{},\
+             \"decisions\":{},\"conflicts\":{},\"propagations\":{},\
+             \"restarts\":{},\"learnt_clauses\":{},\"learnts_removed\":{},\
+             \"total_query_micros\":{},\"last_query_micros\":{}}}",
+            self.queries,
+            self.cache_hits,
+            self.cache_misses,
+            self.base_loads,
+            self.solver_constructions,
+            self.decisions,
+            self.conflicts,
+            self.propagations,
+            self.restarts,
+            self.learnt_clauses,
+            self.learnts_removed,
+            self.total_query_micros,
+            self.last_query_micros,
+        )
+    }
+}
+
+/// An incremental entailment session against a fixed base formula.
+///
+/// ```
+/// use revkb_logic::{Formula, Var};
+/// use revkb_sat::QuerySession;
+///
+/// let v = |i| Formula::var(Var(i));
+/// let mut session = QuerySession::new(&v(0).and(v(1)));
+/// assert!(session.entails(&v(0)));
+/// assert!(!session.entails(&v(0).not()));
+/// assert!(session.entails(&v(0))); // cache hit
+/// let stats = session.stats();
+/// assert_eq!(stats.base_loads, 1);
+/// assert_eq!(stats.cache_hits, 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct QuerySession {
+    solver: Solver,
+    supply: CountingSupply,
+    /// First variable index owned by the session's Tseitin encodings;
+    /// queries must stay strictly below it.
+    first_internal_var: u32,
+    cache: HashMap<Formula, bool>,
+    stats: SolverStats,
+}
+
+impl QuerySession {
+    /// Load `base` (the compiled representation `T'`) into a fresh
+    /// solver. This is the only Tseitin transform of `base` the
+    /// session ever performs.
+    ///
+    /// Queries may use any variable of `base`. If the query alphabet
+    /// is wider than `V(base)` — e.g. the knowledge base's alphabet
+    /// includes letters the formula simplified away — use
+    /// [`QuerySession::with_query_alphabet`] so the session's internal
+    /// letters are placed above them.
+    pub fn new(base: &Formula) -> Self {
+        Self::with_query_alphabet(base, 0)
+    }
+
+    /// Like [`QuerySession::new`], but additionally reserves
+    /// `Var(0) .. Var(num_query_vars)` for queries: internal Tseitin
+    /// letters start above both `V(base)` and `num_query_vars`.
+    pub fn with_query_alphabet(base: &Formula, num_query_vars: u32) -> Self {
+        let mut supply = supply_above([base]);
+        let first_internal_var = supply.fresh_var().0.max(num_query_vars);
+        let mut supply = CountingSupply::new(first_internal_var);
+        let cnf = tseitin(base, &mut supply);
+        let mut solver = Solver::new();
+        // An unsatisfiable base sets the solver's root-level
+        // contradiction flag; every later query then correctly
+        // reports entailment (⊥ entails everything).
+        solver.add_cnf(&cnf);
+        QuerySession {
+            solver,
+            supply,
+            first_internal_var,
+            cache: HashMap::new(),
+            stats: SolverStats {
+                base_loads: 1,
+                solver_constructions: 1,
+                ..SolverStats::default()
+            },
+        }
+    }
+
+    /// Does the loaded base entail `q`?
+    ///
+    /// # Panics
+    ///
+    /// If `q` mentions a variable the session's internal encodings
+    /// own (any index at or above the base formula's watermark):
+    /// such a query would silently collide with Tseitin letters, so
+    /// it is rejected in every build profile.
+    pub fn entails(&mut self, q: &Formula) -> bool {
+        let start = Instant::now();
+        self.stats.queries += 1;
+        if let Some(&answer) = self.cache.get(q) {
+            self.stats.cache_hits += 1;
+            self.record_time(start);
+            return answer;
+        }
+        self.stats.cache_misses += 1;
+        if let Some(v) = q
+            .vars()
+            .into_iter()
+            .find(|v| v.0 >= self.first_internal_var)
+        {
+            panic!(
+                "QuerySession::entails: query variable {v:?} collides with the \
+                 session's internal Tseitin letters (base watermark {}); query \
+                 formulas must stay within the base alphabet",
+                self.first_internal_var
+            );
+        }
+
+        // Encode ¬q under a fresh activation literal: definition
+        // clauses are two-sided Tseitin definitions (harmless to keep
+        // permanently), and the root-negation clause is gated so a
+        // later unit ¬act retires it without touching learned clauses.
+        let mut defs = Cnf::new();
+        let root = tseitin_definitions(q, &mut defs, &mut self.supply);
+        let act = Lit::pos(self.supply.fresh_var());
+        for clause in &defs.clauses {
+            let mut gated = clause.clone();
+            gated.push(act.negated());
+            self.solver.add_clause(&gated);
+        }
+        self.solver.add_clause(&[act.negated(), root.negated()]);
+
+        let counterexample = self.solver.solve_under_assumptions(&[act]);
+        // Permanently disable this query's activation group.
+        self.solver.add_clause(&[act.negated()]);
+
+        let answer = !counterexample;
+        self.cache.insert(q.clone(), answer);
+        self.record_time(start);
+        answer
+    }
+
+    /// Is the loaded base consistent? (Answered incrementally; the
+    /// result is not cached as a query.)
+    pub fn base_satisfiable(&mut self) -> bool {
+        self.solver.solve_under_assumptions(&[])
+    }
+
+    /// Current statistics, merged with the underlying solver's
+    /// counters.
+    pub fn stats(&self) -> SolverStats {
+        let solver = &self.solver.stats;
+        SolverStats {
+            decisions: solver.decisions,
+            conflicts: solver.conflicts,
+            propagations: solver.propagations,
+            restarts: solver.restarts,
+            learnt_clauses: self.solver.num_learnts() as u64,
+            learnts_removed: solver.learnts_removed,
+            ..self.stats
+        }
+    }
+
+    /// Number of distinct queries memoised so far.
+    pub fn cache_len(&self) -> usize {
+        self.cache.len()
+    }
+
+    fn record_time(&mut self, start: Instant) {
+        let micros = start.elapsed().as_micros().min(u64::MAX as u128) as u64;
+        self.stats.last_query_micros = micros;
+        self.stats.total_query_micros += micros;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use revkb_logic::Var;
+
+    fn v(i: u32) -> Formula {
+        Formula::var(Var(i))
+    }
+
+    #[test]
+    fn basic_entailment() {
+        let mut s = QuerySession::new(&v(0).and(v(1)));
+        assert!(s.entails(&v(0)));
+        assert!(s.entails(&v(1)));
+        assert!(s.entails(&v(0).and(v(1))));
+        assert!(!s.entails(&v(0).not()));
+        assert!(s.entails(&v(0).or(v(1))));
+    }
+
+    #[test]
+    fn inconsistent_base_entails_everything() {
+        let mut s = QuerySession::new(&v(0).and(v(0).not()));
+        assert!(!s.base_satisfiable());
+        assert!(s.entails(&v(0)));
+        assert!(s.entails(&v(0).not()));
+        assert!(s.entails(&Formula::False));
+    }
+
+    #[test]
+    fn answers_survive_unsat_queries() {
+        // Entailed queries make the solver run to UNSAT under the
+        // activation assumption; the session must stay correct after.
+        let mut s = QuerySession::new(&v(0).implies(v(1)).and(v(0)));
+        assert!(s.entails(&v(1))); // UNSAT search
+        assert!(!s.entails(&v(0).not())); // SAT search right after
+        assert!(s.entails(&v(0).implies(v(1))));
+        assert!(!s.entails(&v(1).implies(v(0)).and(v(1).not())));
+    }
+
+    #[test]
+    fn cache_hits_are_counted_and_correct() {
+        let mut s = QuerySession::new(&v(0).or(v(1)));
+        let q = v(0).or(v(1));
+        assert!(s.entails(&q));
+        assert!(s.entails(&q));
+        assert!(s.entails(&q));
+        let stats = s.stats();
+        assert_eq!(stats.queries, 3);
+        assert_eq!(stats.cache_hits, 2);
+        assert_eq!(stats.cache_misses, 1);
+        assert_eq!(s.cache_len(), 1);
+        // A different query after the hits is still answered correctly.
+        assert!(!s.entails(&v(0)));
+    }
+
+    #[test]
+    fn constants_as_queries() {
+        let mut s = QuerySession::new(&v(0));
+        assert!(s.entails(&Formula::True));
+        assert!(!s.entails(&Formula::False));
+    }
+
+    #[test]
+    #[should_panic(expected = "collides with the session's internal")]
+    fn out_of_watermark_query_panics() {
+        let mut s = QuerySession::new(&v(0).and(v(1)));
+        s.entails(&v(1000));
+    }
+
+    #[test]
+    fn one_base_load_many_queries() {
+        let mut s = QuerySession::new(&v(0).and(v(1)).and(v(2)));
+        for i in 0..3u32 {
+            assert!(s.entails(&v(i)));
+            assert!(!s.entails(&v(i).not()));
+        }
+        let stats = s.stats();
+        assert_eq!(stats.base_loads, 1);
+        assert_eq!(stats.solver_constructions, 1);
+        assert_eq!(stats.queries, 6);
+    }
+}

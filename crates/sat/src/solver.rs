@@ -10,6 +10,17 @@
 
 use crate::heap::ActivityHeap;
 use revkb_logic::{Clause, Cnf, Lit, Var};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Process-wide count of [`Solver`] constructions, for measuring how
+/// many solvers a query path builds (the incremental `QuerySession`
+/// builds one; the one-shot API builds one per call).
+static CONSTRUCTIONS: AtomicU64 = AtomicU64::new(0);
+
+/// Total number of [`Solver`]s constructed by this process so far.
+pub fn constructions() -> u64 {
+    CONSTRUCTIONS.load(Ordering::Relaxed)
+}
 
 /// Three-valued assignment.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -93,6 +104,7 @@ impl Default for Solver {
 impl Solver {
     /// A fresh, empty solver.
     pub fn new() -> Self {
+        CONSTRUCTIONS.fetch_add(1, Ordering::Relaxed);
         Self {
             clauses: Vec::new(),
             headers: Vec::new(),
@@ -424,9 +436,7 @@ impl Solver {
         } else {
             let mut max_i = 1;
             for k in 2..learnt.len() {
-                if self.level[learnt[k].var().index()]
-                    > self.level[learnt[max_i].var().index()]
-                {
+                if self.level[learnt[k].var().index()] > self.level[learnt[max_i].var().index()] {
                     max_i = k;
                 }
             }
@@ -600,9 +610,9 @@ impl Solver {
                 }
                 let decision = match next_decision {
                     Some(a) => Some(a),
-                    None => self.pick_branch_var().map(|v| {
-                        Lit::new(v, self.polarity[v.index()])
-                    }),
+                    None => self
+                        .pick_branch_var()
+                        .map(|v| Lit::new(v, self.polarity[v.index()])),
                 };
                 match decision {
                     None => return SearchResult::Sat, // all assigned
@@ -621,10 +631,19 @@ impl Solver {
         self.solve_with_assumptions(&[])
     }
 
-    /// Solve under unit assumptions. Returns satisfiability; on SAT the
-    /// model is available through [`Solver::model`] /
-    /// [`Solver::model_value`] until the next mutation.
+    /// Alias for [`Solver::solve_under_assumptions`] (historical name).
     pub fn solve_with_assumptions(&mut self, assumptions: &[Lit]) -> bool {
+        self.solve_under_assumptions(assumptions)
+    }
+
+    /// Solve under unit assumptions, keeping all learned clauses for
+    /// later calls. The assumptions are propagated as pseudo-decisions
+    /// below any real decision; on return the solver is back at the
+    /// root level and immediately reusable (incremental solving).
+    /// Returns satisfiability; on SAT the model is available through
+    /// [`Solver::model`] / [`Solver::model_value`] until the next
+    /// mutation.
+    pub fn solve_under_assumptions(&mut self, assumptions: &[Lit]) -> bool {
         if !self.ok {
             return false;
         }
@@ -644,8 +663,7 @@ impl Solver {
                     // Snapshot the model, then return to the root level
                     // so the solver can be mutated immediately
                     // (all-SAT blocking clauses rely on this).
-                    self.stored_model =
-                        self.assigns.iter().map(|&a| a == LBool::True).collect();
+                    self.stored_model = self.assigns.iter().map(|&a| a == LBool::True).collect();
                     self.cancel_until(0);
                     return true;
                 }
@@ -678,6 +696,17 @@ impl Solver {
     /// True if no contradiction has been derived at level 0.
     pub fn is_ok(&self) -> bool {
         self.ok
+    }
+
+    /// Number of learned clauses currently in the database.
+    pub fn num_learnts(&self) -> usize {
+        self.num_learnts
+    }
+
+    /// Number of clauses (original + learned, minus deleted) in the
+    /// database.
+    pub fn num_clauses(&self) -> usize {
+        self.headers.iter().filter(|h| !h.deleted).count()
     }
 }
 
@@ -791,7 +820,7 @@ mod tests {
         s.add_clause(&[pos(0), pos(1)]);
         assert!(s.solve_with_assumptions(&[neg(0)]));
         assert!(s.model_value(Var(1)));
-        assert!(s.solve_with_assumptions(&[neg(0), neg(1)]) == false);
+        assert!(!s.solve_with_assumptions(&[neg(0), neg(1)]));
         // Solver survives and is reusable.
         assert!(s.solve());
         assert!(s.solve_with_assumptions(&[pos(0)]));

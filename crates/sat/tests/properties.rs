@@ -4,7 +4,6 @@
 
 use proptest::prelude::*;
 use revkb_logic::{tt_entails, tt_equivalent, tt_satisfiable, Formula, Lit, Var};
-use revkb_sat::Solver;
 
 fn formula_strategy(num_vars: u32, depth: u32) -> BoxedStrategy<Formula> {
     let leaf = prop_oneof![

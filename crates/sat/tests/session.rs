@@ -1,0 +1,91 @@
+//! Differential tests: the incremental [`QuerySession`] must agree
+//! with the one-shot [`revkb_sat::entails`] oracle on every query —
+//! including after UNSAT queries (which exercise assumption-level
+//! conflict analysis and clause learning) and across cache hits.
+
+use revkb_sat::{pseudo_random_formula, QuerySession};
+
+/// 40 random bases × 6 queries each = 240 differential cases, every
+/// answer checked against the one-shot oracle on a fresh solver.
+#[test]
+fn session_agrees_with_one_shot_entails() {
+    let mut seed = 0x5E55101u64;
+    let mut cases = 0u32;
+    for _ in 0..40 {
+        let base = pseudo_random_formula(&mut seed, 4, 6);
+        let mut session = QuerySession::with_query_alphabet(&base, 6);
+        for _ in 0..6 {
+            let q = pseudo_random_formula(&mut seed, 3, 6);
+            let expected = revkb_sat::entails(&base, &q);
+            assert_eq!(
+                session.entails(&q),
+                expected,
+                "session diverged from one-shot on base {base:?}, query {q:?}"
+            );
+            cases += 1;
+        }
+        let stats = session.stats();
+        assert_eq!(stats.base_loads, 1);
+        assert_eq!(stats.solver_constructions, 1);
+    }
+    assert!(cases >= 200, "need ≥200 differential cases, ran {cases}");
+}
+
+/// Repeating every query must hit the cache and return the identical
+/// answer; interleaved fresh queries must stay correct.
+#[test]
+fn cached_answers_match_recomputed_answers() {
+    let mut seed = 0xCAC4E0u64;
+    for _ in 0..10 {
+        let base = pseudo_random_formula(&mut seed, 4, 5);
+        let mut session = QuerySession::with_query_alphabet(&base, 5);
+        let queries: Vec<_> = (0..8)
+            .map(|_| pseudo_random_formula(&mut seed, 3, 5))
+            .collect();
+        let first: Vec<bool> = queries.iter().map(|q| session.entails(q)).collect();
+        let misses = session.stats().cache_misses;
+        let second: Vec<bool> = queries.iter().map(|q| session.entails(q)).collect();
+        assert_eq!(first, second, "cache returned a different answer");
+        assert_eq!(
+            session.stats().cache_misses,
+            misses,
+            "second pass must be pure cache hits"
+        );
+        for q in &queries {
+            assert_eq!(session.entails(q), revkb_sat::entails(&base, q));
+        }
+    }
+}
+
+/// After a query whose search ends UNSAT (an entailed query), the
+/// session keeps answering correctly — the activation-literal
+/// retirement must not poison the solver.
+#[test]
+fn correct_after_unsat_queries() {
+    let mut seed = 0x0B5A7u64;
+    let mut unsat_then_checked = 0u32;
+    for _ in 0..30 {
+        let base = pseudo_random_formula(&mut seed, 4, 5);
+        let mut session = QuerySession::with_query_alphabet(&base, 5);
+        let mut saw_entailed = false;
+        for _ in 0..8 {
+            let q = pseudo_random_formula(&mut seed, 3, 5);
+            let expected = revkb_sat::entails(&base, &q);
+            assert_eq!(session.entails(&q), expected);
+            if saw_entailed {
+                unsat_then_checked += 1;
+            }
+            saw_entailed |= expected;
+        }
+    }
+    assert!(
+        unsat_then_checked >= 20,
+        "workload must actually exercise queries after an UNSAT search, \
+         got {unsat_then_checked}"
+    );
+}
+
+// The 1-solver-vs-N-solvers accounting test lives in its own test
+// binary (`session_constructions.rs`): the process-wide construction
+// counter cannot be measured exactly while sibling tests construct
+// solvers on other threads.

@@ -1,0 +1,40 @@
+//! Solver-construction accounting for [`QuerySession`].
+//!
+//! This file must hold exactly one test: [`revkb_sat::constructions`]
+//! is a process-wide counter, and measuring exact deltas requires that
+//! no sibling test constructs solvers concurrently. Each integration
+//! test file is its own binary, so isolation is structural.
+
+use revkb_sat::{pseudo_random_formula, QuerySession};
+
+/// One session construction serves the whole workload: the solver
+/// construction counter moves by exactly 1 for N queries, versus N for
+/// the one-shot path — and the answers are identical.
+#[test]
+fn one_solver_for_n_queries() {
+    let mut seed = 0x15010u64;
+    let base = pseudo_random_formula(&mut seed, 4, 6);
+    let queries: Vec<_> = (0..20)
+        .map(|_| pseudo_random_formula(&mut seed, 3, 6))
+        .collect();
+
+    let before = revkb_sat::constructions();
+    let mut session = QuerySession::with_query_alphabet(&base, 6);
+    let incremental: Vec<bool> = queries.iter().map(|q| session.entails(q)).collect();
+    let session_solvers = revkb_sat::constructions() - before;
+
+    let before = revkb_sat::constructions();
+    let one_shot: Vec<bool> = queries
+        .iter()
+        .map(|q| revkb_sat::entails(&base, q))
+        .collect();
+    let one_shot_solvers = revkb_sat::constructions() - before;
+
+    assert_eq!(incremental, one_shot);
+    assert_eq!(session_solvers, 1, "session builds exactly one solver");
+    assert_eq!(
+        one_shot_solvers,
+        queries.len() as u64,
+        "one-shot builds one solver per query"
+    );
+}

@@ -42,7 +42,10 @@ fn pigeonhole_sat_when_enough_holes() {
     // hole shared.
     let var = |p: u32, h: u32| Var(p * 5 + h);
     for p in 0..5 {
-        assert!((0..5).any(|h| s.model_value(var(p, h))), "pigeon {p} unplaced");
+        assert!(
+            (0..5).any(|h| s.model_value(var(p, h))),
+            "pigeon {p} unplaced"
+        );
     }
     for h in 0..5 {
         let count = (0..5).filter(|&p| s.model_value(var(p, h))).count();
@@ -79,7 +82,7 @@ fn random_3sat_differential() {
         let brute = (0..1u64 << n).any(|assignment| {
             clauses.iter().all(|c| {
                 c.iter().any(|&lit| {
-                    let v = lit.unsigned_abs() as u64 - 1;
+                    let v = lit.unsigned_abs() - 1;
                     (assignment >> v & 1 == 1) == (lit > 0)
                 })
             })

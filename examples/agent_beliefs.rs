@@ -24,8 +24,7 @@ fn main() {
         .collect();
 
     // Initial beliefs: all rooms lit, and rooms 2/3 share a breaker.
-    let t = Formula::and_all(lit.iter().cloned())
-        .and(lit[2].clone().iff(lit[3].clone()));
+    let t = Formula::and_all(lit.iter().cloned()).and(lit[2].clone().iff(lit[3].clone()));
     println!("initial beliefs: all rooms lit; rooms 2 and 3 share a breaker");
     println!("|T| = {}\n", t.size());
 
@@ -33,7 +32,10 @@ fn main() {
 
     let observations: Vec<(&str, Formula)> = vec![
         ("room 0 is dark", lit[0].clone().not()),
-        ("room 2 or 3 is dark", lit[2].clone().not().or(lit[3].clone().not())),
+        (
+            "room 2 or 3 is dark",
+            lit[2].clone().not().or(lit[3].clone().not()),
+        ),
         ("room 1 is dark", lit[1].clone().not()),
         ("room 0 is lit again", lit[0].clone()),
     ];

@@ -55,11 +55,7 @@ fn main() {
     for op in [ModelBasedOp::Dalal, ModelBasedOp::Winslett] {
         println!("— under {} semantics —", op.name());
         let q1 = &queries[0].1;
-        println!(
-            "  {:<58} {}",
-            queries[0].0,
-            yn(holds(op, &t, q1))
-        );
+        println!("  {:<58} {}", queries[0].0, yn(holds(op, &t, q1)));
         let fuse_blew = parse("!fuse", &mut sig).unwrap();
         let lamp_on = parse("lamp", &mut sig).unwrap();
         println!(

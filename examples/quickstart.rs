@@ -32,8 +32,7 @@ fn main() {
             .interpretations()
             .iter()
             .map(|m| {
-                let names: Vec<&str> =
-                    m.iter().filter_map(|&v| sig.name(v)).collect();
+                let names: Vec<&str> = m.iter().filter_map(|&v| sig.name(v)).collect();
                 format!("{{{}}}", names.join(","))
             })
             .collect();

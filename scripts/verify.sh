@@ -1,0 +1,18 @@
+#!/usr/bin/env sh
+# Full verification flow: build, tests, lints, formatting.
+# Run from the repository root. Fails on the first broken step.
+set -eu
+
+echo "==> cargo build --release"
+cargo build --release --workspace
+
+echo "==> cargo test"
+cargo test --workspace -q
+
+echo "==> cargo clippy (warnings are errors)"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "verify: all checks passed"

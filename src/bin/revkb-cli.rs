@@ -14,8 +14,8 @@
 
 use revkb::logic::{parse, render, Formula, Signature};
 use revkb::revision::{
-    advise, model_check, possible_worlds, postulate_report, revise, widtio, Advice,
-    ModelBasedOp, OperatorKind, Postulate, Profile, RevisedKb, Theory,
+    advise, model_check, possible_worlds, postulate_report, revise, widtio, Advice, ModelBasedOp,
+    OperatorKind, Postulate, Profile, RevisedKb, Theory,
 };
 use std::process::ExitCode;
 
@@ -114,10 +114,7 @@ pub fn run(args: &[String]) -> Result<String, String> {
             writeln!(out, "models of T * P: {}", result.len()).unwrap();
             if flags.contains_key("models") {
                 for m in result.interpretations() {
-                    let names: Vec<String> = m
-                        .iter()
-                        .map(|&v| sig.name_or_default(v))
-                        .collect();
+                    let names: Vec<String> = m.iter().map(|&v| sig.name_or_default(v)).collect();
                     writeln!(out, "  {{{}}}", names.join(", ")).unwrap();
                 }
             }
@@ -145,10 +142,8 @@ pub fn run(args: &[String]) -> Result<String, String> {
                 .ok_or_else(|| "more than 65536 possible worlds".to_string())?;
             writeln!(out, "|W(T,P)| = {}", worlds.len()).unwrap();
             for w in worlds {
-                let members: Vec<String> = w
-                    .iter()
-                    .map(|&i| render(&t.formulas[i], &sig))
-                    .collect();
+                let members: Vec<String> =
+                    w.iter().map(|&i| render(&t.formulas[i], &sig)).collect();
                 writeln!(out, "  {{ {} }}", members.join(" ; ")).unwrap();
             }
         }
@@ -216,9 +211,21 @@ pub fn run(args: &[String]) -> Result<String, String> {
             writeln!(
                 out,
                 "profile: |P| {}, new letters {}, {} revision",
-                if profile.bounded_p { "bounded" } else { "unbounded" },
-                if profile.allow_new_letters { "allowed" } else { "forbidden" },
-                if profile.iterated { "iterated" } else { "single" },
+                if profile.bounded_p {
+                    "bounded"
+                } else {
+                    "unbounded"
+                },
+                if profile.allow_new_letters {
+                    "allowed"
+                } else {
+                    "forbidden"
+                },
+                if profile.iterated {
+                    "iterated"
+                } else {
+                    "single"
+                },
             )
             .unwrap();
             match advise(kind, profile) {
@@ -332,7 +339,15 @@ mod tests {
     #[test]
     fn compile_seq_command() {
         let out = run(&args(&[
-            "compile-seq", "--op", "dalal", "-t", "a & b & c", "--ps", "!a ; !b", "-q", "c",
+            "compile-seq",
+            "--op",
+            "dalal",
+            "-t",
+            "a & b & c",
+            "--ps",
+            "!a ; !b",
+            "-q",
+            "c",
         ]))
         .unwrap();
         assert!(out.contains("2 revision(s)"));
@@ -346,11 +361,22 @@ mod tests {
         assert!(out.contains("Th.3.4"));
         let out2 = run(&args(&["advise", "--op", "gfuv"])).unwrap();
         assert!(out2.contains("NOT COMPACTABLE"));
-        let out3 = run(&args(&["advise", "--op", "winslett", "--iterated", "--bounded"]))
-            .unwrap();
+        let out3 = run(&args(&[
+            "advise",
+            "--op",
+            "winslett",
+            "--iterated",
+            "--bounded",
+        ]))
+        .unwrap();
         assert!(out3.contains("NOT COMPACTABLE"));
         let out4 = run(&args(&[
-            "advise", "--op", "winslett", "--iterated", "--bounded", "--new-letters",
+            "advise",
+            "--op",
+            "winslett",
+            "--iterated",
+            "--bounded",
+            "--new-letters",
         ]))
         .unwrap();
         assert!(out4.contains("COMPACTABLE"));

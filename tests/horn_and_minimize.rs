@@ -5,7 +5,9 @@
 use proptest::prelude::*;
 use revkb::logic::{Alphabet, Formula, Var};
 use revkb::revision::minimize::{minimum_cnf_literals, minimum_dnf_of, prime_implicants};
-use revkb::revision::{horn_formula, horn_lub, is_horn_definable, revise_on, ModelBasedOp, ModelSet};
+use revkb::revision::{
+    horn_formula, horn_lub, is_horn_definable, revise_on, ModelBasedOp, ModelSet,
+};
 
 fn formula_strategy(num_vars: u32, depth: u32) -> BoxedStrategy<Formula> {
     let leaf = (0..num_vars, any::<bool>())

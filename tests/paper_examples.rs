@@ -7,8 +7,8 @@ use revkb::instances::{
 };
 use revkb::logic::{Formula, Interpretation};
 use revkb::revision::{
-    gfuv_entails, gfuv_explicit, query_equivalent_enum, revise, revise_iterated_on,
-    ModelBasedOp, RevisedKb,
+    gfuv_entails, gfuv_explicit, query_equivalent_enum, revise, revise_iterated_on, ModelBasedOp,
+    RevisedKb,
 };
 
 /// §1 office example: revision concludes Bill; update stays agnostic.
@@ -52,9 +52,7 @@ fn syntax_sensitivity() {
 fn running_example_model_sets() {
     let s = running_example();
     let name = |n: &str| s.sig.lookup(n).unwrap();
-    let interp = |names: &[&str]| -> Interpretation {
-        names.iter().map(|n| name(n)).collect()
-    };
+    let interp = |names: &[&str]| -> Interpretation { names.iter().map(|n| name(n)).collect() };
     let n1 = interp(&["a", "b"]);
     let n2 = interp(&["c"]);
     let n3 = interp(&["b", "d"]);
@@ -124,8 +122,8 @@ fn section5_iterated_weber() {
 #[test]
 fn section6_winslett_single_model() {
     let s = section6_example();
-    let kb =
-        RevisedKb::compile_iterated(ModelBasedOp::Winslett, &s.t, &[s.p.clone()]).unwrap();
+    let kb = RevisedKb::compile_iterated(ModelBasedOp::Winslett, &s.t, std::slice::from_ref(&s.p))
+        .unwrap();
     let x = |n: &str| Formula::var(s.sig.lookup(n).unwrap());
     assert!(kb.entails(&x("x2").and(x("x3")).and(x("x4")).and(x("x5"))));
     assert!(kb.entails(&x("x1").not()));

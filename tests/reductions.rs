@@ -6,8 +6,8 @@
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use revkb::instances::{
-    all_instances, gamma_max, random_instance, thm41_bounded_transform, Thm31Family,
-    Thm33Family, Thm36Family,
+    all_instances, gamma_max, random_instance, thm41_bounded_transform, Thm31Family, Thm33Family,
+    Thm36Family,
 };
 use revkb::logic::Alphabet;
 use revkb::revision::{gfuv_entails, revise_iterated_on, revise_on, ModelBasedOp};
@@ -113,11 +113,15 @@ fn thm65_iterated_reduction() {
             .copied()
             .collect(),
     );
-    let reference =
-        revise_iterated_on(ModelBasedOp::Dalal, &alpha, &family.t, &family.p_sequence);
+    let reference = revise_iterated_on(ModelBasedOp::Dalal, &alpha, &family.t, &family.p_sequence);
     for op in ModelBasedOp::ALL {
         let got = revise_iterated_on(op, &alpha, &family.t, &family.p_sequence);
-        assert_eq!(got, reference, "{} diverges on the Thm 6.5 family", op.name());
+        assert_eq!(
+            got,
+            reference,
+            "{} diverges on the Thm 6.5 family",
+            op.name()
+        );
     }
     for pi in all_instances(3, &universe) {
         assert_eq!(reference.contains(&family.c_pi(&pi)), pi.satisfiable());

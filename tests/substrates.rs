@@ -8,8 +8,7 @@ use proptest::prelude::*;
 use revkb::bdd::BddManager;
 use revkb::circuits::{evaluate_circuit_mask, exa, exa_direct};
 use revkb::logic::{
-    tseitin_auto, tt_entails, tt_equivalent, tt_satisfiable, Alphabet, CountingSupply,
-    Formula, Var,
+    tseitin_auto, tt_entails, tt_equivalent, tt_satisfiable, Alphabet, CountingSupply, Formula, Var,
 };
 use revkb::qbf::Qbf;
 

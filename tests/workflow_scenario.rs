@@ -12,8 +12,8 @@
 
 use revkb::logic::{parse, Formula, Signature};
 use revkb::revision::{
-    contract, counterfactual::holds_compiled, horn_lub, is_horn_definable, revise,
-    Counterfactual, DelayedKb, GfuvKb, ModelBasedOp, Theory, WidtioKb,
+    contract, counterfactual::holds_compiled, horn_lub, is_horn_definable, revise, Counterfactual,
+    DelayedKb, GfuvKb, ModelBasedOp, Theory, WidtioKb,
 };
 
 struct Cluster {

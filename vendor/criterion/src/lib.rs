@@ -1,0 +1,197 @@
+//! A minimal, dependency-free, offline drop-in for the subset of the
+//! `criterion` API this workspace uses: `criterion_group!` /
+//! `criterion_main!`, [`Criterion::benchmark_group`],
+//! `sample_size`, `bench_function`, `bench_with_input`,
+//! [`Bencher::iter`], [`BenchmarkId`] and [`black_box`].
+//!
+//! It times each benchmark with plain wall-clock sampling and prints
+//! a one-line median — enough to compare hot paths locally without
+//! the statistical machinery (or the dependency tree) of the real
+//! crate.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::time::Instant;
+
+/// Opaque input blinder (re-exported `std::hint::black_box`).
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// A benchmark identifier: function name plus a parameter rendering.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter`.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            name: format!("{}/{}", name.into(), parameter),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { name: s.to_owned() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(name: String) -> Self {
+        BenchmarkId { name }
+    }
+}
+
+/// The benchmark driver handed to `criterion_group!` functions.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("== {name} ==");
+        BenchmarkGroup {
+            _criterion: self,
+            samples: 10,
+        }
+    }
+
+    /// Run a single benchmark outside any group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_bench(&id.into().name, 10, f);
+    }
+}
+
+/// A group of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    samples: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the number of timing samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = n.max(2);
+        self
+    }
+
+    /// Time a closure.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_bench(&id.into().name, self.samples, f);
+        self
+    }
+
+    /// Time a closure against a fixed input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        run_bench(&id.into().name, self.samples, |b| f(b, input));
+        self
+    }
+
+    /// End the group (printing is already done per-benchmark).
+    pub fn finish(self) {}
+}
+
+/// Passed to benchmark closures; call [`Bencher::iter`] with the code
+/// under test.
+pub struct Bencher {
+    sample_nanos: Vec<u128>,
+}
+
+impl Bencher {
+    /// Time one execution of `f` (called once per sample).
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        black_box(f());
+        self.sample_nanos.push(start.elapsed().as_nanos());
+    }
+}
+
+fn run_bench<F: FnMut(&mut Bencher)>(name: &str, samples: usize, mut f: F) {
+    let mut bencher = Bencher {
+        sample_nanos: Vec::with_capacity(samples),
+    };
+    // One untimed warm-up, then the requested samples.
+    f(&mut bencher);
+    bencher.sample_nanos.clear();
+    for _ in 0..samples {
+        f(&mut bencher);
+    }
+    bencher.sample_nanos.sort_unstable();
+    let median = bencher
+        .sample_nanos
+        .get(bencher.sample_nanos.len() / 2)
+        .copied()
+        .unwrap_or(0);
+    println!(
+        "{name:<40} median {:>12.3} µs ({samples} samples)",
+        median as f64 / 1000.0
+    );
+}
+
+/// Bundle benchmark functions into a runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emit `main` running the given groups (ignores harness CLI flags).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_and_reports() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("demo");
+        let mut runs = 0u32;
+        group
+            .sample_size(3)
+            .bench_with_input(BenchmarkId::new("sum", 10), &10u64, |b, &n| {
+                b.iter(|| (0..n).sum::<u64>());
+                runs += 1;
+            });
+        group.finish();
+        assert_eq!(runs, 4); // warm-up + 3 samples
+    }
+
+    #[test]
+    fn bench_function_accepts_str() {
+        let mut c = Criterion::default();
+        c.bench_function("plain", |b| b.iter(|| black_box(1 + 1)));
+    }
+}

@@ -1,0 +1,233 @@
+//! A minimal, dependency-free, offline drop-in for the subset of the
+//! `rand` 0.8 API this workspace uses: [`Rng`] (`gen_range`,
+//! `gen_bool`, `gen_ratio`), [`SeedableRng::seed_from_u64`] and
+//! [`rngs::StdRng`].
+//!
+//! The backend is xoshiro256** seeded through splitmix64 — fast,
+//! deterministic, and more than adequate for workload generation and
+//! property tests. It makes no cryptographic claims whatsoever.
+
+#![forbid(unsafe_code)]
+
+use std::ops::{Range, RangeInclusive};
+
+/// A source of random `u64`s (object-safe core trait).
+pub trait RngCore {
+    /// The next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// The next 32 random bits.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// A type that can be sampled uniformly from a range by an [`Rng`].
+pub trait SampleRange<T> {
+    /// Draw one uniform sample. Panics on an empty range.
+    fn sample_from(self, rng: &mut dyn RngCore) -> T;
+}
+
+/// Draw a uniform integer in `[0, n)` without modulo bias worth
+/// caring about at these sizes (rejection sampling on the top chunk).
+fn uniform_below(rng: &mut dyn RngCore, n: u64) -> u64 {
+    assert!(n > 0, "cannot sample from an empty range");
+    if n.is_power_of_two() {
+        return rng.next_u64() & (n - 1);
+    }
+    let zone = u64::MAX - u64::MAX % n;
+    loop {
+        let x = rng.next_u64();
+        if x < zone {
+            return x % n;
+        }
+    }
+}
+
+macro_rules! impl_sample_range_uint {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_from(self, rng: &mut dyn RngCore) -> $t {
+                assert!(self.start < self.end, "cannot sample from an empty range");
+                let span = (self.end as u64) - (self.start as u64);
+                self.start + uniform_below(rng, span) as $t
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample_from(self, rng: &mut dyn RngCore) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "cannot sample from an empty range");
+                let span = (hi as u64) - (lo as u64);
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                lo + uniform_below(rng, span + 1) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_range_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_sample_range_int {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_from(self, rng: &mut dyn RngCore) -> $t {
+                assert!(self.start < self.end, "cannot sample from an empty range");
+                let span = (self.end as i64).wrapping_sub(self.start as i64) as u64;
+                (self.start as i64).wrapping_add(uniform_below(rng, span) as i64) as $t
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample_from(self, rng: &mut dyn RngCore) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "cannot sample from an empty range");
+                let span = (hi as i64).wrapping_sub(lo as i64) as u64;
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                (lo as i64).wrapping_add(uniform_below(rng, span + 1) as i64) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_range_int!(i8, i16, i32, i64, isize);
+
+/// Convenience sampling methods, blanket-implemented for every
+/// [`RngCore`].
+pub trait Rng: RngCore {
+    /// A uniform sample from `range` (half-open or inclusive).
+    fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T
+    where
+        Self: Sized,
+    {
+        range.sample_from(self)
+    }
+
+    /// `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "gen_bool probability out of range"
+        );
+        // 53 uniform mantissa bits, compared against p.
+        ((self.next_u64() >> 11) as f64) * (1.0 / (1u64 << 53) as f64) < p
+    }
+
+    /// `true` with probability `numerator / denominator`.
+    fn gen_ratio(&mut self, numerator: u32, denominator: u32) -> bool
+    where
+        Self: Sized,
+    {
+        assert!(denominator > 0 && numerator <= denominator);
+        uniform_below(self, denominator as u64) < numerator as u64
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Construction of RNGs from seeds.
+pub trait SeedableRng: Sized {
+    /// Build from a 64-bit seed (expanded through splitmix64).
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// Concrete RNG implementations.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// The workspace's standard RNG: xoshiro256** seeded via
+    /// splitmix64. Deterministic for a given seed.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(mut state: u64) -> Self {
+            let s = [
+                splitmix64(&mut state),
+                splitmix64(&mut state),
+                splitmix64(&mut state),
+                splitmix64(&mut state),
+            ];
+            StdRng { s }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_for_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.gen_range(0u32..1000), b.gen_range(0u32..1000));
+        }
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let x = rng.gen_range(3u32..17);
+            assert!((3..17).contains(&x));
+            let y = rng.gen_range(0usize..5);
+            assert!(y < 5);
+            let z = rng.gen_range(-4i64..=4);
+            assert!((-4..=4).contains(&z));
+        }
+    }
+
+    #[test]
+    fn gen_bool_extremes() {
+        let mut rng = StdRng::seed_from_u64(9);
+        assert!(!rng.gen_bool(0.0));
+        assert!(rng.gen_bool(1.0));
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.25)).count();
+        assert!((1_500..3_500).contains(&hits), "p=0.25 gave {hits}/10000");
+    }
+
+    #[test]
+    fn gen_ratio_plausible() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let hits = (0..6_000).filter(|_| rng.gen_ratio(1, 6)).count();
+        assert!((600..1_400).contains(&hits), "1/6 gave {hits}/6000");
+    }
+}
