@@ -20,7 +20,10 @@
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use revkb_bench::{print_grid, print_solver_stats, Cell, Growth, Series, TableReport};
+use revkb_bench::{
+    print_grid, print_workloads, run_batch_workload, BatchWorkload, Cell, Growth, Series,
+    TableReport,
+};
 use revkb_instances::{
     all_instances, contradictory_pairs, gamma_max, random_kcnf, random_satisfiable, NebelExample,
     Thm31Family, Thm36Family, WinslettChain,
@@ -120,13 +123,13 @@ fn main() {
     print_grid("Table 1: single revision compactability", &columns, &rows);
     print_details(&rows);
 
-    let solver_stats = query_workload_stats();
-    print_solver_stats(&solver_stats);
+    let workloads = query_workloads();
+    print_workloads(&workloads);
 
     let report = TableReport {
         table: "Table 1".into(),
         rows,
-        solver_stats,
+        workloads,
     };
     if let Err(e) = report.write_json("table1_report.json") {
         eprintln!("could not write table1_report.json: {e}");
@@ -135,13 +138,15 @@ fn main() {
     }
 }
 
-/// Answer a batch of entailment queries against each operator's
-/// bounded compact representation through one incremental
-/// [`revkb_sat::QuerySession`] per operator, reporting the per-operator
-/// solver statistics (one base load and one solver each, regardless of
-/// the number of queries).
-fn query_workload_stats() -> Vec<(String, revkb_sat::SolverStats)> {
+/// Answer a table1-sized batch (60 queries) against each operator's
+/// bounded compact representation through a sharded
+/// [`revkb_sat::SessionPool`] — one sequential pass and one parallel
+/// pass over the same pool, reporting worker count, merged pool
+/// statistics, and the head-to-head wall times. A mismatch between
+/// the two passes would be flagged in the report (`answers_match`).
+fn query_workloads() -> Vec<(String, BatchWorkload)> {
     let n = 12u32;
+    let threads = revkb_sat::default_threads();
     let t = Formula::and_all((0..n).map(|i| Formula::var(Var(i))));
     let p = Formula::var(Var(0)).not().or(Formula::var(Var(1)).not());
     [
@@ -163,14 +168,14 @@ fn query_workload_stats() -> Vec<(String, revkb_sat::SolverStats)> {
             ModelBasedOp::Dalal => dalal_bounded(&t, &p),
             ModelBasedOp::Weber => weber_bounded(&t, &p),
         };
-        let mut session = revkb_sat::QuerySession::new(&rep.formula);
         let mut seed = 0x7AB1E1u64 ^ op_index as u64;
-        for _ in 0..30 {
-            let q = revkb_sat::pseudo_random_formula(&mut seed, 3, n);
-            session.entails(&q);
-            session.entails(&q); // exercise the memo cache
-        }
-        (op.name().to_string(), session.stats())
+        let queries: Vec<Formula> = (0..60)
+            .map(|_| revkb_sat::pseudo_random_formula(&mut seed, 3, n))
+            .collect();
+        (
+            op.name().to_string(),
+            run_batch_workload(&rep.formula, &queries, threads),
+        )
     })
     .collect()
 }

@@ -12,7 +12,10 @@
 //! cargo run --release -p revkb-bench --bin table2
 //! ```
 
-use revkb_bench::{print_grid, print_solver_stats, Cell, Growth, Series, TableReport};
+use revkb_bench::{
+    print_grid, print_workloads, run_batch_workload, BatchWorkload, Cell, Growth, Series,
+    TableReport,
+};
 use revkb_instances::{all_instances, gamma_max, Thm36Family};
 use revkb_logic::{Alphabet, Formula, Var};
 use revkb_revision::compact::{
@@ -105,13 +108,13 @@ fn main() {
         }
     }
 
-    let solver_stats = query_workload_stats();
-    print_solver_stats(&solver_stats);
+    let workloads = query_workloads();
+    print_workloads(&workloads);
 
     let report = TableReport {
         table: "Table 2".into(),
         rows,
-        solver_stats,
+        workloads,
     };
     if let Err(e) = report.write_json("table2_report.json") {
         eprintln!("could not write table2_report.json: {e}");
@@ -120,25 +123,27 @@ fn main() {
     }
 }
 
-/// Per-operator incremental query statistics: each operator's iterated
-/// compact representation (m = 4 revisions) answers a batch of queries
-/// through one [`revkb_sat::QuerySession`] — one Tseitin load and one
-/// solver for the whole batch.
-fn query_workload_stats() -> Vec<(String, revkb_sat::SolverStats)> {
+/// Per-operator batch workloads: each operator's iterated compact
+/// representation (m = 4 revisions) answers a 60-query batch through
+/// a sharded [`revkb_sat::SessionPool`] — one sequential pass, one
+/// parallel pass, merged pool statistics and both wall times in the
+/// report.
+fn query_workloads() -> Vec<(String, BatchWorkload)> {
     let (t, ps) = workload(4);
+    let threads = revkb_sat::default_threads();
     ModelBasedOp::ALL
         .iter()
         .enumerate()
         .filter_map(|(op_index, &op)| {
             let rep = build_iterated(op, &t, &ps)?;
-            let mut session = revkb_sat::QuerySession::new(&rep.formula);
             let mut seed = 0x7AB1E2u64 ^ op_index as u64;
-            for _ in 0..30 {
-                let q = revkb_sat::pseudo_random_formula(&mut seed, 3, 6);
-                session.entails(&q);
-                session.entails(&q); // exercise the memo cache
-            }
-            Some((op.name().to_string(), session.stats()))
+            let queries: Vec<Formula> = (0..60)
+                .map(|_| revkb_sat::pseudo_random_formula(&mut seed, 3, 6))
+                .collect();
+            Some((
+                op.name().to_string(),
+                run_batch_workload(&rep.formula, &queries, threads),
+            ))
         })
         .collect()
 }

@@ -13,7 +13,9 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use revkb_sat::SolverStats;
+use revkb_logic::Formula;
+use revkb_sat::{PoolConfig, PoolStats, SessionPool};
+use std::time::Instant;
 
 pub mod json;
 
@@ -168,6 +170,79 @@ impl Cell {
     }
 }
 
+/// One operator's batch-query workload, answered twice through the
+/// same [`SessionPool`]: once sequentially, once sharded across the
+/// workers. Captures the head-to-head wall times and the pool's
+/// merged statistics.
+#[derive(Debug, Clone)]
+pub struct BatchWorkload {
+    /// Worker threads in the pool.
+    pub threads: usize,
+    /// Queries in the batch.
+    pub queries: usize,
+    /// Wall time of the sequential pass, in microseconds.
+    pub sequential_wall_micros: u64,
+    /// Wall time of the parallel pass, in microseconds.
+    pub parallel_wall_micros: u64,
+    /// Whether the two passes returned bit-identical answer vectors
+    /// (they must — a `false` here is a correctness bug, and the
+    /// report says so rather than hiding it).
+    pub answers_match: bool,
+    /// The pool's statistics after both passes (per-worker blocks,
+    /// merged counters, CPU-vs-wall time accounting).
+    pub pool: PoolStats,
+}
+
+/// Run `queries` through a fresh pool over `base` twice — a
+/// sequential pass and a parallel pass — and capture the comparison.
+///
+/// The parallel pass uses a forced-parallel threshold so the
+/// comparison is honest even for small sweeps; worker count comes
+/// from `threads` (pass [`revkb_sat::default_threads`] for the
+/// `REVKB_THREADS`-aware default).
+pub fn run_batch_workload(base: &Formula, queries: &[Formula], threads: usize) -> BatchWorkload {
+    let mut pool = SessionPool::with_config(
+        base,
+        PoolConfig {
+            threads,
+            sequential_threshold: 0,
+        },
+    );
+    let start = Instant::now();
+    let sequential = pool.entails_batch(queries);
+    let sequential_wall_micros = start.elapsed().as_micros() as u64;
+    let start = Instant::now();
+    let parallel = pool.par_entails_batch(queries);
+    let parallel_wall_micros = start.elapsed().as_micros() as u64;
+    BatchWorkload {
+        threads: pool.threads(),
+        queries: queries.len(),
+        sequential_wall_micros,
+        parallel_wall_micros,
+        answers_match: sequential == parallel,
+        pool: pool.stats(),
+    }
+}
+
+impl BatchWorkload {
+    fn to_json(&self) -> json::Value {
+        json::Value::object([
+            ("threads", json::Value::Number(self.threads as f64)),
+            ("queries", json::Value::Number(self.queries as f64)),
+            (
+                "sequential_wall_micros",
+                json::Value::Number(self.sequential_wall_micros as f64),
+            ),
+            (
+                "parallel_wall_micros",
+                json::Value::Number(self.parallel_wall_micros as f64),
+            ),
+            ("answers_match", json::Value::Bool(self.answers_match)),
+            ("pool_stats", json::Value::Raw(self.pool.to_json())),
+        ])
+    }
+}
+
 /// A whole table for serialisation.
 #[derive(Debug, Clone)]
 pub struct TableReport {
@@ -175,10 +250,9 @@ pub struct TableReport {
     pub table: String,
     /// Row label → column label → cell.
     pub rows: Vec<(String, Vec<(String, Cell)>)>,
-    /// Per-operator incremental-query statistics: label →
-    /// [`SolverStats`] snapshot from the query workload that backed the
-    /// row's measurements.
-    pub solver_stats: Vec<(String, SolverStats)>,
+    /// Per-operator batch-query workloads: label → sequential vs
+    /// parallel comparison over one sharded session pool.
+    pub workloads: Vec<(String, BatchWorkload)>,
 }
 
 impl TableReport {
@@ -192,16 +266,17 @@ impl TableReport {
                 })),
             ])
         }));
-        let stats = json::Value::array(self.solver_stats.iter().map(|(label, stats)| {
-            json::Value::object([
-                ("operator", json::Value::string(label)),
-                ("stats", json::Value::Raw(stats.to_json())),
-            ])
+        let workloads = json::Value::array(self.workloads.iter().map(|(label, workload)| {
+            let json::Value::Object(mut fields) = workload.to_json() else {
+                unreachable!("BatchWorkload::to_json returns an object");
+            };
+            fields.insert(0, ("operator".into(), json::Value::string(label)));
+            json::Value::Object(fields)
         }));
         json::Value::object([
             ("table", json::Value::string(&self.table)),
             ("rows", rows),
-            ("solver_stats", stats),
+            ("query_workloads", workloads),
         ])
         .pretty()
     }
@@ -235,22 +310,29 @@ pub fn print_grid(title: &str, columns: &[&str], rows: &[(String, Vec<(String, C
     println!();
 }
 
-/// Print the per-operator solver statistics of a query workload.
-pub fn print_solver_stats(stats: &[(String, SolverStats)]) {
-    println!("== Incremental query sessions ==");
-    for (label, s) in stats {
+/// Print the per-operator sequential-vs-parallel workload comparison.
+pub fn print_workloads(workloads: &[(String, BatchWorkload)]) {
+    println!("== Batch query workloads (sharded session pool) ==");
+    for (label, w) in workloads {
+        let merged = w.pool.merged();
+        let verdict = if w.answers_match {
+            "identical"
+        } else {
+            "DIVERGED (!)"
+        };
         println!(
-            "{label:<22} queries={} hits={} misses={} loads={} solvers={} \
-             conflicts={} decisions={} props={} total_us={}",
-            s.queries,
-            s.cache_hits,
-            s.cache_misses,
-            s.base_loads,
-            s.solver_constructions,
-            s.conflicts,
-            s.decisions,
-            s.propagations,
-            s.total_query_micros,
+            "{label:<22} threads={} queries={} seq_us={} par_us={} answers={} \
+             cache_hits={} conflicts={} decisions={} cpu_us={} wall_us={}",
+            w.threads,
+            w.queries,
+            w.sequential_wall_micros,
+            w.parallel_wall_micros,
+            verdict,
+            merged.cache_hits,
+            merged.conflicts,
+            merged.decisions,
+            w.pool.cpu_time_total_micros(),
+            w.pool.wall_time_micros,
         );
     }
     println!();
@@ -307,6 +389,13 @@ mod tests {
 
     #[test]
     fn report_json_shape() {
+        use revkb_logic::Var;
+        let base = Formula::var(Var(0)).and(Formula::var(Var(1)));
+        let queries = vec![Formula::var(Var(0)), Formula::var(Var(1)).not()];
+        let workload = run_batch_workload(&base, &queries, 2);
+        assert!(workload.answers_match);
+        assert_eq!(workload.threads, 2);
+        assert_eq!(workload.queries, 2);
         let report = TableReport {
             table: "t".into(),
             rows: vec![(
@@ -326,14 +415,27 @@ mod tests {
                     },
                 )],
             )],
-            solver_stats: vec![("revision".into(), SolverStats::default())],
+            workloads: vec![("revision".into(), workload)],
         };
         let j = report.to_json();
         assert!(j.contains("\"table\": \"t\""));
         assert!(j.contains("\"Horn\""));
         assert!(j.contains("\"paper_claim\": \"NO\""));
         assert!(j.contains("\\\"so\\\""));
-        assert!(j.contains("\"solver_constructions\":0"));
         assert!(j.contains("4.5"));
+        for key in [
+            "\"query_workloads\"",
+            "\"operator\": \"revision\"",
+            "\"threads\": 2",
+            "\"sequential_wall_micros\"",
+            "\"parallel_wall_micros\"",
+            "\"answers_match\": true",
+            "\"pool_stats\": {",
+            "\"cpu_time_total_micros\"",
+            "\"wall_time_micros\"",
+            "\"per_worker\":[{",
+        ] {
+            assert!(j.contains(key), "missing {key} in {j}");
+        }
     }
 }

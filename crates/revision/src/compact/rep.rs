@@ -1,7 +1,7 @@
 //! The result type of a compact construction.
 
 use revkb_logic::{Formula, Var};
-use revkb_sat::{QuerySession, SolverStats};
+use revkb_sat::{PoolConfig, PoolStats, QuerySession, SessionPool, SolverStats};
 use std::cell::RefCell;
 
 /// Error answering a query through a [`CompactRep`].
@@ -61,6 +61,9 @@ pub struct CompactRep {
     pub logical: bool,
     /// Lazily-created incremental query engine over `formula`.
     session: RefCell<Option<QuerySession>>,
+    /// Lazily-created sharded pool for batch queries (independent of
+    /// the single-query session so mixed workloads keep both warm).
+    pool: RefCell<Option<SessionPool>>,
 }
 
 impl Clone for CompactRep {
@@ -80,6 +83,7 @@ impl CompactRep {
             base,
             logical,
             session: RefCell::new(None),
+            pool: RefCell::new(None),
         }
     }
 
@@ -138,10 +142,50 @@ impl CompactRep {
         }
     }
 
+    /// Answer a batch of queries `T * P ⊨ Qᵢ` through a sharded
+    /// [`SessionPool`] (parallel above the pool's batch threshold,
+    /// sequential below it), or report the first out-of-alphabet
+    /// query. The answer at index `i` is for `queries[i]`.
+    ///
+    /// Every query is alphabet-checked **before** any is answered, so
+    /// an `Err` means no work was done and no session state changed.
+    pub fn try_entails_batch(&self, queries: &[Formula]) -> Result<Vec<bool>, QueryError> {
+        for q in queries {
+            if let Some(&var) = q.vars().iter().find(|v| !self.base.contains(v)) {
+                return Err(QueryError::OutOfAlphabet { var });
+            }
+        }
+        let mut slot = self.pool.borrow_mut();
+        let pool = slot.get_or_insert_with(|| {
+            let num_query_vars = self.base.iter().map(|v| v.0 + 1).max().unwrap_or(0);
+            SessionPool::with_query_alphabet(&self.formula, num_query_vars, PoolConfig::default())
+        });
+        Ok(pool.par_entails_batch(queries))
+    }
+
+    /// Answer a batch of queries through the sharded pool.
+    ///
+    /// # Panics
+    ///
+    /// If any query uses letters outside the base alphabet (see
+    /// [`CompactRep::try_entails_batch`]).
+    pub fn entails_batch(&self, queries: &[Formula]) -> Vec<bool> {
+        match self.try_entails_batch(queries) {
+            Ok(answers) => answers,
+            Err(e) => panic!("CompactRep::entails_batch: {e}"),
+        }
+    }
+
     /// Statistics of the incremental query session, if any query has
     /// been answered yet.
     pub fn query_stats(&self) -> Option<SolverStats> {
         self.session.borrow().as_ref().map(|s| s.stats())
+    }
+
+    /// Statistics of the batch-query pool, if any batch has been
+    /// answered yet.
+    pub fn pool_stats(&self) -> Option<PoolStats> {
+        self.pool.borrow().as_ref().map(SessionPool::stats)
     }
 
     /// The auxiliary letters used beyond the base alphabet.
@@ -192,6 +236,28 @@ mod tests {
     fn entails_panics_out_of_alphabet() {
         let rep = CompactRep::logical(v(0), vec![Var(0)]);
         rep.entails(&v(7));
+    }
+
+    #[test]
+    fn batch_matches_single_queries() {
+        let rep = CompactRep::logical(v(0).and(v(1)), vec![Var(0), Var(1)]);
+        let queries = vec![v(0), v(1).not(), v(0).and(v(1)), v(0).or(v(1)).not()];
+        let batch = rep.entails_batch(&queries);
+        let single: Vec<bool> = queries.iter().map(|q| rep.entails(q)).collect();
+        assert_eq!(batch, single);
+        let pool = rep.pool_stats().expect("pool ran");
+        assert_eq!(pool.queries, 4);
+        assert!(pool.threads >= 1);
+    }
+
+    #[test]
+    fn batch_rejects_out_of_alphabet_before_answering() {
+        let rep = CompactRep::logical(v(0), vec![Var(0)]);
+        assert_eq!(
+            rep.try_entails_batch(&[v(0), v(9)]),
+            Err(QueryError::OutOfAlphabet { var: Var(9) })
+        );
+        assert!(rep.pool_stats().is_none(), "no pool built on rejection");
     }
 
     #[test]

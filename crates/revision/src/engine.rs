@@ -250,10 +250,39 @@ impl RevisedKb {
         self.rep.try_entails(q)
     }
 
+    /// Step 2 for a whole batch: answers are sharded over a worker
+    /// pool (one incremental session per `REVKB_THREADS` worker) and
+    /// come back index-aligned with `queries`. Small batches run
+    /// sequentially; answers are identical to query-by-query
+    /// [`RevisedKb::entails`] either way.
+    ///
+    /// # Panics
+    ///
+    /// If any query strays outside the base alphabet (see
+    /// [`RevisedKb::try_entails_batch`]).
+    pub fn entails_batch(&self, queries: &[Formula]) -> Vec<bool> {
+        self.rep.entails_batch(queries)
+    }
+
+    /// Batch step 2, fallible: `Err` (before any work) if some query
+    /// strays outside the base alphabet.
+    pub fn try_entails_batch(
+        &self,
+        queries: &[Formula],
+    ) -> Result<Vec<bool>, crate::compact::QueryError> {
+        self.rep.try_entails_batch(queries)
+    }
+
     /// Statistics of the incremental query session, if any query has
     /// been answered yet.
     pub fn query_stats(&self) -> Option<revkb_sat::SolverStats> {
         self.rep.query_stats()
+    }
+
+    /// Statistics of the batch-query pool, if any batch has been
+    /// answered yet.
+    pub fn pool_stats(&self) -> Option<revkb_sat::PoolStats> {
+        self.rep.pool_stats()
     }
 
     /// Size of the compiled representation, `|T'|`.
@@ -311,11 +340,37 @@ impl DelayedKb {
         Ok(self.compiled.as_ref().expect("just compiled").entails(q))
     }
 
+    /// Answer a batch of queries, compiling (and caching) on demand;
+    /// the batch is sharded over the compilation's worker pool.
+    /// Answers come back index-aligned with `queries`.
+    ///
+    /// # Panics
+    ///
+    /// If any query mentions letters outside the base alphabet of the
+    /// compilation (see [`RevisedKb::entails_batch`]).
+    pub fn entails_batch(&mut self, queries: &[Formula]) -> Result<Vec<bool>, CompileError> {
+        if self.compiled.is_none() {
+            self.compiled = Some(RevisedKb::compile_iterated(self.op, &self.t, &self.ps)?);
+        }
+        Ok(self
+            .compiled
+            .as_ref()
+            .expect("just compiled")
+            .entails_batch(queries))
+    }
+
     /// Statistics of the cached compilation's query session, if a
     /// compilation exists and has answered at least one query. Reset
     /// by [`DelayedKb::revise`] together with the compilation cache.
     pub fn query_stats(&self) -> Option<revkb_sat::SolverStats> {
         self.compiled.as_ref().and_then(RevisedKb::query_stats)
+    }
+
+    /// Statistics of the cached compilation's batch pool, if any batch
+    /// has been answered. Reset by [`DelayedKb::revise`] together with
+    /// the compilation cache.
+    pub fn pool_stats(&self) -> Option<revkb_sat::PoolStats> {
+        self.compiled.as_ref().and_then(RevisedKb::pool_stats)
     }
 
     /// Size of the cached compilation, if any.
@@ -505,6 +560,48 @@ mod tests {
         assert_eq!(stats.solver_constructions, 1);
         assert_eq!(stats.queries, 2);
         assert_eq!(stats.cache_hits, 1);
+    }
+
+    #[test]
+    fn revised_kb_batch_matches_single_path() {
+        let t = v(0).and(v(1)).and(v(2));
+        let p = v(0).not().or(v(1).not());
+        for op in ModelBasedOp::ALL {
+            let kb = RevisedKb::compile(op, &t, &p).unwrap();
+            let mut seed = 0xBA7C4u64;
+            let queries: Vec<Formula> = (0..24)
+                .map(|_| revkb_sat::pseudo_random_formula(&mut seed, 3, 3))
+                .collect();
+            let batch = kb.entails_batch(&queries);
+            let single: Vec<bool> = queries.iter().map(|q| kb.entails(q)).collect();
+            assert_eq!(batch, single, "{} batch diverges", op.name());
+            let pool = kb.pool_stats().expect("batch pool ran");
+            assert_eq!(pool.queries, 24);
+            assert_eq!(pool.batches, 1);
+        }
+    }
+
+    #[test]
+    fn revised_kb_batch_rejects_out_of_alphabet() {
+        let t = v(0).and(v(1));
+        let p = v(0).not();
+        let kb = RevisedKb::compile(ModelBasedOp::Dalal, &t, &p).unwrap();
+        assert_eq!(
+            kb.try_entails_batch(&[v(0), v(33)]),
+            Err(crate::compact::QueryError::OutOfAlphabet { var: Var(33) })
+        );
+        assert!(kb.pool_stats().is_none());
+    }
+
+    #[test]
+    fn delayed_kb_batch_compiles_and_resets() {
+        let mut kb = DelayedKb::new(ModelBasedOp::Dalal, v(0).and(v(1)));
+        kb.revise(v(0).not());
+        let answers = kb.entails_batch(&[v(1), v(0)]).unwrap();
+        assert_eq!(answers, vec![true, false]);
+        assert_eq!(kb.pool_stats().unwrap().queries, 2);
+        kb.revise(v(1).not());
+        assert!(kb.pool_stats().is_none(), "revise drops the pool");
     }
 
     #[test]

@@ -11,7 +11,9 @@
 //!   sub-alphabet (the engine behind query-equivalence checking);
 //! - [`QuerySession`]: incremental entailment — load a knowledge base
 //!   once, answer many queries against it, with [`SolverStats`]
-//!   observability.
+//!   observability;
+//! - [`SessionPool`]: batch entailment sharded over one worker
+//!   session per thread (`REVKB_THREADS`), with merged [`PoolStats`].
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -19,6 +21,7 @@
 pub mod api;
 pub mod enumerate;
 pub mod heap;
+pub mod pool;
 pub mod session;
 pub mod solver;
 
@@ -27,5 +30,6 @@ pub use api::{
     supply_above, valid,
 };
 pub use enumerate::{all_models, count_models_projected, models_projected};
+pub use pool::{default_threads, PoolConfig, PoolStats, SessionPool, THREADS_ENV};
 pub use session::{QuerySession, SolverStats};
 pub use solver::{constructions, luby, LBool, Solver, Stats};

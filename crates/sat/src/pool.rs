@@ -1,0 +1,467 @@
+//! A sharded pool of [`QuerySession`]s for batch entailment.
+//!
+//! The paper's pipeline amortises one compilation of `T * P` across
+//! many queries; [`QuerySession`] already amortises the Tseitin load
+//! and the learned clauses across a *sequential* query stream. This
+//! module adds the remaining axis: **parallelism across queries**.
+//! A [`SessionPool`] owns one session per worker thread, all loaded
+//! from the same compiled base, and answers a batch by sharding it
+//! over the workers with a simple atomic work queue
+//! ([`SessionPool::par_entails_batch`]). Small batches fall back to
+//! the sequential path automatically — spawning threads for three
+//! queries costs more than it saves.
+//!
+//! Answers are **bit-identical** to the sequential path by
+//! construction: every worker session is loaded from the same base,
+//! entailment is a semantic property of that base, and each answer is
+//! written to the slot of its query index — the shard assignment can
+//! never change an answer or its position.
+//!
+//! Worker counts come from [`PoolConfig`]; the default reads the
+//! `REVKB_THREADS` environment variable and falls back to
+//! [`std::thread::available_parallelism`].
+//!
+//! Statistics: [`PoolStats`] keeps the per-worker [`SolverStats`]
+//! blocks and distinguishes **CPU time** (the sum of per-worker busy
+//! time, which double-counts overlapping intervals) from **wall
+//! time** (measured elapsed time across batch calls) — see
+//! [`SolverStats::merge`] for why the two must not be conflated.
+
+use crate::session::{QuerySession, SolverStats};
+use revkb_logic::Formula;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Instant;
+
+/// Environment variable overriding the default worker count.
+pub const THREADS_ENV: &str = "REVKB_THREADS";
+
+/// The default worker count: `REVKB_THREADS` if set to a positive
+/// integer, otherwise the machine's available parallelism (1 if even
+/// that is unknown).
+pub fn default_threads() -> usize {
+    if let Ok(raw) = std::env::var(THREADS_ENV) {
+        if let Ok(n) = raw.trim().parse::<usize>() {
+            if n >= 1 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Tuning knobs for a [`SessionPool`].
+#[derive(Debug, Clone)]
+pub struct PoolConfig {
+    /// Worker sessions to build (clamped to at least 1).
+    pub threads: usize,
+    /// Batches with fewer queries than this are answered sequentially
+    /// on one worker — thread spawn and hand-off overhead dwarfs the
+    /// solve time of a handful of small queries.
+    pub sequential_threshold: usize,
+}
+
+impl Default for PoolConfig {
+    fn default() -> Self {
+        PoolConfig {
+            threads: default_threads(),
+            sequential_threshold: 8,
+        }
+    }
+}
+
+impl PoolConfig {
+    /// A config with the given worker count and the default threshold.
+    pub fn with_threads(threads: usize) -> Self {
+        PoolConfig {
+            threads,
+            ..PoolConfig::default()
+        }
+    }
+}
+
+/// Aggregated statistics of a [`SessionPool`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Worker sessions in the pool.
+    pub threads: usize,
+    /// Batch calls answered (sequential + parallel).
+    pub batches: u64,
+    /// Batch calls that ran on the parallel path.
+    pub parallel_batches: u64,
+    /// Batch calls that fell back to the sequential path.
+    pub sequential_batches: u64,
+    /// Queries answered across all batches.
+    pub queries: u64,
+    /// Measured elapsed time across batch calls, in microseconds.
+    /// This is real wall-clock time: concurrent worker activity is
+    /// counted once.
+    pub wall_time_micros: u64,
+    /// Elapsed time of the most recent batch call, in microseconds.
+    pub last_batch_wall_micros: u64,
+    /// Per-worker session counters.
+    pub per_worker: Vec<SolverStats>,
+}
+
+impl PoolStats {
+    /// All per-worker counters folded into one block. Its
+    /// `total_query_micros` is the **CPU-time total** (summed busy
+    /// time, overlapping intervals double-counted); compare it with
+    /// [`PoolStats::wall_time_micros`] to see the parallel speed-up.
+    pub fn merged(&self) -> SolverStats {
+        let mut merged = SolverStats::default();
+        for w in &self.per_worker {
+            merged.merge(w);
+        }
+        merged
+    }
+
+    /// Summed per-worker busy time, in microseconds (CPU-style
+    /// accounting; ≥ wall time whenever workers overlap).
+    pub fn cpu_time_total_micros(&self) -> u64 {
+        self.merged().total_query_micros
+    }
+
+    /// Render as a JSON object (stable key order, no dependencies).
+    pub fn to_json(&self) -> String {
+        let per_worker = self
+            .per_worker
+            .iter()
+            .map(SolverStats::to_json)
+            .collect::<Vec<_>>()
+            .join(",");
+        format!(
+            "{{\"threads\":{},\"batches\":{},\"parallel_batches\":{},\
+             \"sequential_batches\":{},\"queries\":{},\
+             \"cpu_time_total_micros\":{},\"wall_time_micros\":{},\
+             \"last_batch_wall_micros\":{},\"merged\":{},\
+             \"per_worker\":[{}]}}",
+            self.threads,
+            self.batches,
+            self.parallel_batches,
+            self.sequential_batches,
+            self.queries,
+            self.cpu_time_total_micros(),
+            self.wall_time_micros,
+            self.last_batch_wall_micros,
+            self.merged().to_json(),
+            per_worker,
+        )
+    }
+}
+
+/// A pool of worker [`QuerySession`]s over one compiled base.
+///
+/// ```
+/// use revkb_logic::{Formula, Var};
+/// use revkb_sat::{PoolConfig, SessionPool};
+///
+/// let v = |i| Formula::var(Var(i));
+/// let base = v(0).and(v(1)).and(v(2));
+/// let mut pool = SessionPool::with_config(
+///     &base,
+///     PoolConfig { threads: 4, sequential_threshold: 2 },
+/// );
+/// let queries: Vec<Formula> = (0..3).map(v).collect();
+/// assert_eq!(pool.par_entails_batch(&queries), vec![true, true, true]);
+/// let stats = pool.stats();
+/// assert_eq!(stats.threads, 4);
+/// assert_eq!(stats.queries, 3);
+/// ```
+#[derive(Debug)]
+pub struct SessionPool {
+    workers: Vec<QuerySession>,
+    sequential_threshold: usize,
+    batches: u64,
+    parallel_batches: u64,
+    sequential_batches: u64,
+    queries: u64,
+    wall_time_micros: u64,
+    last_batch_wall_micros: u64,
+}
+
+impl SessionPool {
+    /// A pool over `base` with the default configuration
+    /// (`REVKB_THREADS` / available parallelism).
+    pub fn new(base: &Formula) -> Self {
+        Self::with_config(base, PoolConfig::default())
+    }
+
+    /// A pool over `base` with an explicit configuration.
+    pub fn with_config(base: &Formula, config: PoolConfig) -> Self {
+        Self::build(QuerySession::new(base), config)
+    }
+
+    /// Like [`SessionPool::with_config`], additionally reserving
+    /// `Var(0) .. Var(num_query_vars)` for queries (see
+    /// [`QuerySession::with_query_alphabet`]).
+    pub fn with_query_alphabet(base: &Formula, num_query_vars: u32, config: PoolConfig) -> Self {
+        Self::build(
+            QuerySession::with_query_alphabet(base, num_query_vars),
+            config,
+        )
+    }
+
+    fn build(first: QuerySession, config: PoolConfig) -> Self {
+        let threads = config.threads.max(1);
+        // The base is Tseitin-transformed exactly once; the other
+        // workers clone the loaded solver instead of re-encoding.
+        let mut workers = Vec::with_capacity(threads);
+        workers.push(first);
+        for _ in 1..threads {
+            workers.push(workers[0].clone());
+        }
+        SessionPool {
+            workers,
+            sequential_threshold: config.sequential_threshold,
+            batches: 0,
+            parallel_batches: 0,
+            sequential_batches: 0,
+            queries: 0,
+            wall_time_micros: 0,
+            last_batch_wall_micros: 0,
+        }
+    }
+
+    /// Worker sessions in the pool.
+    pub fn threads(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Answer a batch sequentially on the first worker. The answer at
+    /// index `i` is for `queries[i]`.
+    ///
+    /// # Panics
+    ///
+    /// As [`QuerySession::entails`]: if a query collides with the
+    /// base's internal Tseitin letters.
+    pub fn entails_batch(&mut self, queries: &[Formula]) -> Vec<bool> {
+        let start = Instant::now();
+        let answers = queries.iter().map(|q| self.workers[0].entails(q)).collect();
+        self.sequential_batches += 1;
+        self.finish_batch(start, queries.len());
+        answers
+    }
+
+    /// Answer a batch in parallel: the queries are sharded over the
+    /// workers through an atomic work queue, so a slow query on one
+    /// worker does not hold up the rest of the batch. The answer at
+    /// index `i` is for `queries[i]`, exactly as in
+    /// [`SessionPool::entails_batch`] — parallelism never changes an
+    /// answer or its position.
+    ///
+    /// Batches smaller than the configured `sequential_threshold`
+    /// (and every batch on a 1-thread pool) take the sequential path.
+    ///
+    /// # Panics
+    ///
+    /// As [`QuerySession::entails`]: if a query collides with the
+    /// base's internal Tseitin letters.
+    pub fn par_entails_batch(&mut self, queries: &[Formula]) -> Vec<bool> {
+        if self.workers.len() == 1 || queries.len() < self.sequential_threshold {
+            return self.entails_batch(queries);
+        }
+        let start = Instant::now();
+        let next = AtomicUsize::new(0);
+        let mut answers = vec![false; queries.len()];
+        let per_worker: Vec<Vec<(usize, bool)>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = self
+                .workers
+                .iter_mut()
+                .map(|worker| {
+                    let next = &next;
+                    scope.spawn(move || {
+                        let mut taken = Vec::new();
+                        loop {
+                            let i = next.fetch_add(1, Ordering::Relaxed);
+                            if i >= queries.len() {
+                                break;
+                            }
+                            taken.push((i, worker.entails(&queries[i])));
+                        }
+                        taken
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| match h.join() {
+                    Ok(taken) => taken,
+                    Err(payload) => std::panic::resume_unwind(payload),
+                })
+                .collect()
+        });
+        for (i, answer) in per_worker.into_iter().flatten() {
+            answers[i] = answer;
+        }
+        self.parallel_batches += 1;
+        self.finish_batch(start, queries.len());
+        answers
+    }
+
+    fn finish_batch(&mut self, start: Instant, queries: usize) {
+        let micros = start.elapsed().as_micros().min(u64::MAX as u128) as u64;
+        self.batches += 1;
+        self.queries += queries as u64;
+        self.wall_time_micros += micros;
+        self.last_batch_wall_micros = micros;
+    }
+
+    /// Current pool statistics (per-worker blocks plus batch and
+    /// wall-time accounting).
+    pub fn stats(&self) -> PoolStats {
+        PoolStats {
+            threads: self.workers.len(),
+            batches: self.batches,
+            parallel_batches: self.parallel_batches,
+            sequential_batches: self.sequential_batches,
+            queries: self.queries,
+            wall_time_micros: self.wall_time_micros,
+            last_batch_wall_micros: self.last_batch_wall_micros,
+            per_worker: self.workers.iter().map(QuerySession::stats).collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::api::pseudo_random_formula;
+    use revkb_logic::Var;
+
+    fn v(i: u32) -> Formula {
+        Formula::var(Var(i))
+    }
+
+    fn forced_parallel(threads: usize) -> PoolConfig {
+        PoolConfig {
+            threads,
+            sequential_threshold: 0,
+        }
+    }
+
+    #[test]
+    fn parallel_matches_sequential_on_random_batch() {
+        let base = v(0).implies(v(1)).and(v(0)).and(v(2).or(v(3)));
+        let mut seed = 0x9001u64;
+        let queries: Vec<Formula> = (0..64)
+            .map(|_| pseudo_random_formula(&mut seed, 3, 4))
+            .collect();
+        let mut seq_pool = SessionPool::with_config(&base, PoolConfig::with_threads(1));
+        let mut par_pool = SessionPool::with_config(&base, forced_parallel(4));
+        let seq = seq_pool.entails_batch(&queries);
+        let par = par_pool.par_entails_batch(&queries);
+        assert_eq!(seq, par, "parallel path changed an answer");
+        // Cross-check a few against the one-shot path.
+        for (q, &a) in queries.iter().zip(&seq).take(8) {
+            assert_eq!(a, crate::entails(&base, q), "one-shot disagrees on {q:?}");
+        }
+    }
+
+    #[test]
+    fn small_batch_falls_back_to_sequential() {
+        let mut pool = SessionPool::with_config(
+            &v(0).and(v(1)),
+            PoolConfig {
+                threads: 4,
+                sequential_threshold: 8,
+            },
+        );
+        let queries = vec![v(0), v(1).not()];
+        assert_eq!(pool.par_entails_batch(&queries), vec![true, false]);
+        let stats = pool.stats();
+        assert_eq!(stats.sequential_batches, 1);
+        assert_eq!(stats.parallel_batches, 0);
+        // Only worker 0 saw the queries.
+        assert_eq!(stats.per_worker[0].queries, 2);
+        assert!(stats.per_worker[1..].iter().all(|w| w.queries == 0));
+    }
+
+    #[test]
+    fn one_thread_pool_never_spawns() {
+        let mut pool = SessionPool::with_config(&v(0), forced_parallel(1));
+        let queries: Vec<Formula> = (0..20).map(|_| v(0)).collect();
+        assert!(pool.par_entails_batch(&queries).iter().all(|&a| a));
+        let stats = pool.stats();
+        assert_eq!(stats.threads, 1);
+        assert_eq!(stats.sequential_batches, 1);
+    }
+
+    #[test]
+    fn stats_account_batches_and_queries() {
+        let base = v(0).and(v(1));
+        let mut pool = SessionPool::with_config(&base, forced_parallel(3));
+        let queries: Vec<Formula> = (0..30).map(|i| v(i % 2)).collect();
+        pool.par_entails_batch(&queries);
+        pool.entails_batch(&queries[..5]);
+        let stats = pool.stats();
+        assert_eq!(stats.threads, 3);
+        assert_eq!(stats.batches, 2);
+        assert_eq!(stats.parallel_batches, 1);
+        assert_eq!(stats.sequential_batches, 1);
+        assert_eq!(stats.queries, 35);
+        let merged = stats.merged();
+        assert_eq!(merged.queries, 35);
+        // Every worker keeps its own Tseitin-loaded copy of the base.
+        assert_eq!(merged.base_loads, 3);
+        // CPU total sums worker busy time; wall time is measured once.
+        assert_eq!(
+            stats.cpu_time_total_micros(),
+            merged.total_query_micros,
+            "cpu_time_total is the merged busy-time sum"
+        );
+    }
+
+    #[test]
+    fn unsat_base_is_parallel_safe() {
+        let base = v(0).and(v(0).not());
+        let mut pool = SessionPool::with_config(&base, forced_parallel(4));
+        let queries: Vec<Formula> = (0..16)
+            .map(|i| if i % 2 == 0 { v(0) } else { v(0).not() })
+            .collect();
+        assert!(
+            pool.par_entails_batch(&queries).iter().all(|&a| a),
+            "⊥ entails everything, on every worker"
+        );
+    }
+
+    #[test]
+    fn pool_stats_json_shape() {
+        let mut pool = SessionPool::with_config(&v(0), PoolConfig::with_threads(2));
+        pool.entails_batch(&[v(0)]);
+        let j = pool.stats().to_json();
+        for key in [
+            "\"threads\":2",
+            "\"batches\":1",
+            "\"parallel_batches\":0",
+            "\"sequential_batches\":1",
+            "\"queries\":1",
+            "\"cpu_time_total_micros\":",
+            "\"wall_time_micros\":",
+            "\"merged\":{",
+            "\"per_worker\":[{",
+        ] {
+            assert!(j.contains(key), "missing {key} in {j}");
+        }
+    }
+
+    #[test]
+    fn threshold_boundary_is_parallel() {
+        let base = v(0).and(v(1));
+        let mut pool = SessionPool::with_config(
+            &base,
+            PoolConfig {
+                threads: 2,
+                sequential_threshold: 4,
+            },
+        );
+        let queries: Vec<Formula> = (0..4).map(|i| v(i % 2)).collect();
+        pool.par_entails_batch(&queries);
+        let stats = pool.stats();
+        assert_eq!(
+            stats.parallel_batches, 1,
+            "a batch exactly at the threshold runs in parallel"
+        );
+    }
+}

@@ -60,6 +60,34 @@ pub struct SolverStats {
 }
 
 impl SolverStats {
+    /// Fold another counter block into this one, summing every
+    /// additive counter.
+    ///
+    /// Time accounting: after merging, `total_query_micros` is the
+    /// **sum of per-session busy time** — CPU-style accounting. When
+    /// the merged sessions ran concurrently (as in
+    /// [`crate::SessionPool`]), that sum double-counts overlapping
+    /// wall-clock intervals, so it must *not* be reported as elapsed
+    /// time; the pool measures real elapsed time separately and
+    /// reports both (see [`crate::PoolStats`]). `last_query_micros`
+    /// is kept as the maximum of the two blocks, since "most recent"
+    /// is meaningless across concurrent sessions.
+    pub fn merge(&mut self, other: &SolverStats) {
+        self.queries += other.queries;
+        self.cache_hits += other.cache_hits;
+        self.cache_misses += other.cache_misses;
+        self.base_loads += other.base_loads;
+        self.solver_constructions += other.solver_constructions;
+        self.decisions += other.decisions;
+        self.conflicts += other.conflicts;
+        self.propagations += other.propagations;
+        self.restarts += other.restarts;
+        self.learnt_clauses += other.learnt_clauses;
+        self.learnts_removed += other.learnts_removed;
+        self.total_query_micros += other.total_query_micros;
+        self.last_query_micros = self.last_query_micros.max(other.last_query_micros);
+    }
+
     /// Render as a JSON object (stable key order, no dependencies).
     pub fn to_json(&self) -> String {
         format!(
@@ -305,6 +333,51 @@ mod tests {
     fn out_of_watermark_query_panics() {
         let mut s = QuerySession::new(&v(0).and(v(1)));
         s.entails(&v(1000));
+    }
+
+    #[test]
+    fn merge_sums_counters_and_keeps_cpu_time_semantics() {
+        let a = SolverStats {
+            queries: 3,
+            cache_hits: 1,
+            cache_misses: 2,
+            base_loads: 1,
+            solver_constructions: 1,
+            decisions: 10,
+            conflicts: 4,
+            propagations: 100,
+            restarts: 1,
+            learnt_clauses: 5,
+            learnts_removed: 2,
+            total_query_micros: 700,
+            last_query_micros: 50,
+        };
+        let b = SolverStats {
+            queries: 2,
+            cache_misses: 2,
+            base_loads: 1,
+            solver_constructions: 1,
+            total_query_micros: 900,
+            last_query_micros: 80,
+            ..SolverStats::default()
+        };
+        let mut merged = a;
+        merged.merge(&b);
+        assert_eq!(merged.queries, 5);
+        assert_eq!(merged.cache_hits, 1);
+        assert_eq!(merged.cache_misses, 4);
+        assert_eq!(merged.base_loads, 2);
+        assert_eq!(merged.solver_constructions, 2);
+        assert_eq!(merged.decisions, 10);
+        assert_eq!(merged.conflicts, 4);
+        assert_eq!(merged.propagations, 100);
+        // Busy time sums (CPU-style): if the two sessions overlapped
+        // on the wall clock, 1600 µs is *more* than the elapsed time —
+        // that is exactly why it must be labelled CPU time, and why
+        // the pool measures wall time independently.
+        assert_eq!(merged.total_query_micros, 1600);
+        // "Most recent" across concurrent sessions: keep the max.
+        assert_eq!(merged.last_query_micros, 80);
     }
 
     #[test]

@@ -87,6 +87,67 @@ proptest! {
         }
     }
 
+    /// AGM/KM success (K*1 / U1): every model of `T * P` satisfies
+    /// `P`, for all six model-based operators.
+    #[test]
+    fn success_postulate(
+        t in formula_strategy(5, 3),
+        p in formula_strategy(4, 3),
+    ) {
+        prop_assume!(revkb::sat::satisfiable(&t));
+        prop_assume!(revkb::sat::satisfiable(&p));
+        let alpha = Alphabet::of_formulas([&t, &p]);
+        for op in ModelBasedOp::ALL {
+            let got = revise_on(op, &alpha, &t, &p);
+            prop_assert!(got.entails(&p), "{} violates success", op.name());
+        }
+    }
+
+    /// AGM consistency preservation (K*5): a satisfiable `P` yields a
+    /// satisfiable revised base, for all six model-based operators —
+    /// even when `T` itself is inconsistent.
+    #[test]
+    fn consistency_preservation_postulate(
+        t in formula_strategy(5, 3),
+        p in formula_strategy(4, 3),
+    ) {
+        prop_assume!(revkb::sat::satisfiable(&p));
+        let alpha = Alphabet::of_formulas([&t, &p]);
+        for op in ModelBasedOp::ALL {
+            let got = revise_on(op, &alpha, &t, &p);
+            prop_assert!(
+                !got.is_empty(),
+                "{} returned an inconsistent base for satisfiable P",
+                op.name()
+            );
+        }
+    }
+
+    /// AGM vacuity (K*3 + K*4): when `T ∧ P` is consistent, the
+    /// revision *is* `Mod(T ∧ P)` — for the revision-style operators.
+    /// The update-style operators (Winslett, Forbus) deliberately
+    /// violate this (their pointwise semantics keeps models of `P`
+    /// close to *every* model of `T`), which is why they are excluded.
+    #[test]
+    fn vacuity_postulate(
+        t in formula_strategy(5, 3),
+        p in formula_strategy(4, 3),
+    ) {
+        let both = t.clone().and(p.clone());
+        prop_assume!(revkb::sat::satisfiable(&both));
+        let alpha = Alphabet::of_formulas([&t, &p]);
+        let expected = revkb::revision::ModelSet::of_formula(alpha.clone(), &both);
+        for op in [
+            ModelBasedOp::Borgida,
+            ModelBasedOp::Satoh,
+            ModelBasedOp::Dalal,
+            ModelBasedOp::Weber,
+        ] {
+            let got = revise_on(op, &alpha, &t, &p);
+            prop_assert_eq!(&got, &expected, "{} violates vacuity", op.name());
+        }
+    }
+
     /// Revising with an already-entailed formula: for revision-style
     /// operators the result is exactly T (vacuity + success combined).
     #[test]

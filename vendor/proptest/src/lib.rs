@@ -10,22 +10,60 @@
 //! [`prop_assert_ne!`] / [`prop_assume!`], and
 //! `ProptestConfig { cases, max_shrink_iters, .. }`.
 //!
-//! Semantics differ from real proptest in two deliberate ways: case
-//! generation is fully deterministic (seeded from the test name, so a
-//! failure reproduces on every run without persistence files), and
-//! there is **no shrinking** — the failing input is reported as-is.
+//! The engine is a real (if small) property tester:
+//!
+//! - **Deterministic seeding.** Each case's RNG is a pure function of
+//!   the test name, the case index, and a run seed. The run seed
+//!   defaults to 0 and can be overridden with the `REVKB_PROP_SEED`
+//!   environment variable to explore a different corner of the input
+//!   space; failures reproduce exactly under the same seed, no
+//!   persistence files needed. `REVKB_PROP_CASES` overrides the
+//!   per-test case count the same way.
+//! - **Greedy shrinking.** Generation is a deterministic function of
+//!   the RNG's draw stream, so the engine records every `u64` drawn
+//!   while generating the failing case and then shrinks the *stream*:
+//!   each draw is greedily replaced by smaller values (0, half,
+//!   decrement) and the case re-run, keeping any mutation that still
+//!   fails. Smaller draws systematically mean structurally smaller
+//!   values — recursive formula strategies bottom out into leaves,
+//!   ranges move toward their low end, vectors toward their minimum
+//!   length — so the reported counterexample is a (locally) minimal
+//!   failing input, bounded by `max_shrink_iters` re-runs.
 
 #![forbid(unsafe_code)]
 
 pub mod test_runner {
-    //! Test-case configuration, errors, and the deterministic RNG.
+    //! Test-case configuration, errors, the deterministic RNG, and
+    //! the shrinking runner.
+
+    /// Environment variable overriding the run seed (u64; default 0).
+    pub const SEED_ENV: &str = "REVKB_PROP_SEED";
+
+    /// Environment variable overriding every test's case count.
+    pub const CASES_ENV: &str = "REVKB_PROP_CASES";
+
+    /// The run seed: `REVKB_PROP_SEED` if set to a valid u64,
+    /// otherwise 0.
+    pub fn env_seed() -> u64 {
+        std::env::var(SEED_ENV)
+            .ok()
+            .and_then(|raw| raw.trim().parse::<u64>().ok())
+            .unwrap_or(0)
+    }
+
+    fn env_cases() -> Option<u32> {
+        std::env::var(CASES_ENV)
+            .ok()
+            .and_then(|raw| raw.trim().parse::<u32>().ok())
+            .filter(|&n| n > 0)
+    }
 
     /// Configuration accepted by `#![proptest_config(..)]`.
     #[derive(Debug, Clone)]
     pub struct Config {
         /// Number of successful cases required for the test to pass.
         pub cases: u32,
-        /// Accepted for compatibility; shrinking is not implemented.
+        /// Upper bound on shrink re-runs after a failure.
         pub max_shrink_iters: u32,
         /// Upper bound on `prop_assume!` rejections across the run.
         pub max_global_rejects: u32,
@@ -35,7 +73,7 @@ pub mod test_runner {
         fn default() -> Self {
             Config {
                 cases: 256,
-                max_shrink_iters: 1024,
+                max_shrink_iters: 4096,
                 max_global_rejects: 65_536,
             }
         }
@@ -63,33 +101,75 @@ pub mod test_runner {
     }
 
     /// Deterministic per-case RNG (splitmix64 over a seed derived
-    /// from the test name and case index).
+    /// from the test name, the run seed, and the case index), with a
+    /// recorded draw stream so the runner can replay and shrink a
+    /// failing case.
     #[derive(Debug, Clone)]
     pub struct TestRng {
         state: u64,
+        /// Draw values to replay before falling back to `state`.
+        replay: Vec<u64>,
+        /// Draws handed out so far (replayed or fresh).
+        record: Vec<u64>,
     }
 
     impl TestRng {
-        /// The RNG for case `case` of test `name`.
+        /// The RNG for case `case` of test `name` under the
+        /// environment's run seed.
         pub fn for_case(name: &str, case: u64) -> Self {
-            // FNV-1a over the name, mixed with the case index.
+            Self::for_case_seeded(name, case, env_seed())
+        }
+
+        /// The RNG for case `case` of test `name` under an explicit
+        /// run seed.
+        pub fn for_case_seeded(name: &str, case: u64, run_seed: u64) -> Self {
+            // FNV-1a over the name, mixed with the run seed and the
+            // case index.
             let mut h = 0xcbf29ce484222325u64;
             for b in name.bytes() {
                 h ^= b as u64;
                 h = h.wrapping_mul(0x100000001b3);
             }
+            h ^= run_seed.wrapping_mul(0xD6E8FEB86659FD93);
             TestRng {
                 state: h ^ case.wrapping_mul(0x9E3779B97F4A7C15),
+                replay: Vec::new(),
+                record: Vec::new(),
             }
         }
 
-        /// The next 64 random bits.
+        /// A clone of this RNG's starting point that first replays
+        /// the given draw stream, then continues deterministically.
+        fn with_replay(name: &str, case: u64, run_seed: u64, replay: Vec<u64>) -> Self {
+            let mut rng = Self::for_case_seeded(name, case, run_seed);
+            rng.replay = replay;
+            rng
+        }
+
+        /// The draws handed out so far.
+        pub fn recorded(&self) -> &[u64] {
+            &self.record
+        }
+
+        /// The next 64 random bits (replayed if a replay stream is
+        /// loaded, freshly generated otherwise; always recorded).
         pub fn next_u64(&mut self) -> u64 {
+            // Advance the generator state unconditionally so draws
+            // after the replay prefix stay deterministic.
             self.state = self.state.wrapping_add(0x9E3779B97F4A7C15);
-            let mut z = self.state;
-            z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
-            z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
-            z ^ (z >> 31)
+            let fresh = {
+                let mut z = self.state;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+                z ^ (z >> 31)
+            };
+            let value = if self.record.len() < self.replay.len() {
+                self.replay[self.record.len()]
+            } else {
+                fresh
+            };
+            self.record.push(value);
+            value
         }
 
         /// A uniform draw from `[0, n)`; `n` must be positive.
@@ -108,20 +188,104 @@ pub mod test_runner {
         }
     }
 
-    /// Drive one property across `config.cases` generated cases.
-    /// Called by the [`crate::proptest!`] expansion — not user code.
-    pub fn run_cases(
+    /// A fully shrunk failure, as reported by [`run_cases_impl`].
+    #[derive(Debug, Clone)]
+    pub struct Failure {
+        /// Case index (0-based) that first failed.
+        pub case: u64,
+        /// Failure message of the *shrunk* case.
+        pub message: String,
+        /// Shrink re-runs spent.
+        pub shrink_iters: u32,
+        /// Accepted shrinking steps (mutations that kept failing).
+        pub shrink_steps: u32,
+        /// The minimal failing draw stream.
+        pub minimal_draws: Vec<u64>,
+    }
+
+    /// Candidate replacements for one draw, most aggressive first.
+    fn shrink_candidates(v: u64) -> [Option<u64>; 3] {
+        [
+            (v != 0).then_some(0),
+            (v / 2 != 0).then_some(v / 2),
+            v.checked_sub(1),
+        ]
+    }
+
+    /// Greedily shrink a failing draw stream: walk the draws, try
+    /// smaller replacements, keep any that still fail, repeat until a
+    /// fixpoint or the iteration budget. Returns the final failure.
+    fn shrink_failure(
+        name: &str,
+        case: u64,
+        run_seed: u64,
+        config: &Config,
+        case_fn: &mut impl FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+        mut best_draws: Vec<u64>,
+        mut best_msg: String,
+    ) -> Failure {
+        let mut iters = 0u32;
+        let mut steps = 0u32;
+        let mut improved = true;
+        while improved && iters < config.max_shrink_iters {
+            improved = false;
+            let mut i = 0;
+            while i < best_draws.len() && iters < config.max_shrink_iters {
+                let mut advanced = true;
+                // Descend greedily at this position before moving on.
+                while advanced && iters < config.max_shrink_iters {
+                    advanced = false;
+                    for candidate in shrink_candidates(best_draws[i]).into_iter().flatten() {
+                        let mut trial = best_draws.clone();
+                        trial[i] = candidate;
+                        let mut rng = TestRng::with_replay(name, case, run_seed, trial);
+                        iters += 1;
+                        if let Err(TestCaseError::Fail(msg)) = case_fn(&mut rng) {
+                            // Keep the draws actually consumed: the
+                            // mutation may have shortened the path.
+                            best_draws = rng.record;
+                            best_msg = msg;
+                            steps += 1;
+                            improved = true;
+                            advanced = true;
+                            break;
+                        }
+                        if iters >= config.max_shrink_iters {
+                            break;
+                        }
+                    }
+                }
+                i += 1;
+            }
+        }
+        Failure {
+            case,
+            message: best_msg,
+            shrink_iters: iters,
+            shrink_steps: steps,
+            minimal_draws: best_draws,
+        }
+    }
+
+    /// Drive one property across the configured number of cases,
+    /// shrinking the first failure. Returns `None` when every case
+    /// passed. Called by [`run_cases`]; public so the engine's own
+    /// tests (and curious callers) can inspect the [`Failure`]
+    /// instead of panicking.
+    pub fn run_cases_impl(
         name: &str,
         config: &Config,
         mut case_fn: impl FnMut(&mut TestRng) -> Result<(), TestCaseError>,
-    ) {
+    ) -> Option<Failure> {
+        let run_seed = env_seed();
+        let cases = env_cases().unwrap_or(config.cases);
         let mut passed = 0u32;
         let mut rejected = 0u32;
         let mut case = 0u64;
-        while passed < config.cases {
-            let mut rng = TestRng::for_case(name, case);
-            case += 1;
-            match case_fn(&mut rng) {
+        while passed < cases {
+            let mut rng = TestRng::for_case_seeded(name, case, run_seed);
+            let outcome = case_fn(&mut rng);
+            match outcome {
                 Ok(()) => passed += 1,
                 Err(TestCaseError::Reject(msg)) => {
                     rejected += 1;
@@ -133,12 +297,41 @@ pub mod test_runner {
                     }
                 }
                 Err(TestCaseError::Fail(msg)) => {
-                    panic!(
-                        "proptest '{name}' failed at case #{case} \
-                         (deterministic seed — rerun reproduces): {msg}"
-                    );
+                    return Some(shrink_failure(
+                        name,
+                        case,
+                        run_seed,
+                        config,
+                        &mut case_fn,
+                        rng.record,
+                        msg,
+                    ));
                 }
             }
+            case += 1;
+        }
+        None
+    }
+
+    /// Drive one property across the configured cases, panicking with
+    /// the shrunk counterexample on failure. Called by the
+    /// [`crate::proptest!`] expansion — not user code.
+    pub fn run_cases(
+        name: &str,
+        config: &Config,
+        case_fn: impl FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+    ) {
+        if let Some(failure) = run_cases_impl(name, config, case_fn) {
+            panic!(
+                "proptest '{name}' failed at case #{} and was shrunk for {} \
+                 re-runs ({} accepted steps; seed {} — rerun with the same \
+                 {SEED_ENV} reproduces): {}",
+                failure.case,
+                failure.shrink_iters,
+                failure.shrink_steps,
+                env_seed(),
+                failure.message,
+            );
         }
     }
 }
@@ -634,5 +827,117 @@ mod tests {
             },
             |_| Err(TestCaseError::fail("boom")),
         );
+    }
+
+    #[test]
+    fn seeded_rng_is_deterministic_and_seed_sensitive() {
+        let draw = |seed: u64| {
+            let mut rng = crate::test_runner::TestRng::for_case_seeded("det", 7, seed);
+            (0..16).map(|_| rng.next_u64()).collect::<Vec<_>>()
+        };
+        assert_eq!(draw(0), draw(0));
+        assert_eq!(draw(42), draw(42));
+        assert_ne!(draw(0), draw(42));
+
+        let mut rng = crate::test_runner::TestRng::for_case_seeded("det", 7, 42);
+        for _ in 0..16 {
+            rng.next_u64();
+        }
+        assert_eq!(rng.recorded(), draw(42).as_slice());
+    }
+
+    /// `x in 0u64..1000` failing whenever `x >= 10` must shrink to
+    /// exactly `x == 10` — the smallest failing input.
+    #[test]
+    fn shrinking_minimises_a_range_draw() {
+        let strat = 0u64..1000;
+        let mut last_failing = None;
+        let failure =
+            crate::test_runner::run_cases_impl("shrink_range", &ProptestConfig::default(), |rng| {
+                let x = strat.generate(rng);
+                if x >= 10 {
+                    last_failing = Some(x);
+                    return Err(TestCaseError::fail(format!("x = {x}")));
+                }
+                Ok(())
+            })
+            .expect("property must fail");
+        assert_eq!(
+            last_failing,
+            Some(10),
+            "greedy shrink should reach the boundary"
+        );
+        assert!(
+            failure.shrink_steps > 0,
+            "at least one shrink step should be accepted"
+        );
+        assert!(failure.shrink_iters <= ProptestConfig::default().max_shrink_iters);
+    }
+
+    /// A failing vector case must shrink structurally: the length
+    /// draw collapses to the smallest failing length and every
+    /// element draw collapses to the range minimum.
+    #[test]
+    fn shrinking_minimises_vector_structure() {
+        let strat = prop::collection::vec(0u32..100, 0..10);
+        let mut last_failing = None;
+        crate::test_runner::run_cases_impl("shrink_vec", &ProptestConfig::default(), |rng| {
+            let xs = strat.generate(rng);
+            if xs.len() >= 3 {
+                last_failing = Some(xs.clone());
+                return Err(TestCaseError::fail(format!("len = {}", xs.len())));
+            }
+            Ok(())
+        })
+        .expect("property must fail");
+        assert_eq!(last_failing, Some(vec![0, 0, 0]));
+    }
+
+    /// Shrinking a recursive strategy drives the structure toward
+    /// leaves: the minimal failing tree-sum is the boundary value.
+    #[test]
+    fn shrinking_minimises_recursive_structures() {
+        let strat = tree_strategy();
+        let mut last_failing = None;
+        crate::test_runner::run_cases_impl(
+            "shrink_tree",
+            &ProptestConfig {
+                cases: 512,
+                ..ProptestConfig::default()
+            },
+            |rng| {
+                let n = strat.generate(rng);
+                if n >= 4 {
+                    last_failing = Some(n);
+                    return Err(TestCaseError::fail(format!("n = {n}")));
+                }
+                Ok(())
+            },
+        )
+        .expect("property must fail");
+        assert_eq!(last_failing, Some(4));
+    }
+
+    /// Replaying a failure's minimal draw stream must reproduce the
+    /// shrunk case exactly (this is what makes reports actionable).
+    #[test]
+    fn minimal_draws_replay_reproduces_failure() {
+        let strat = 0u64..1000;
+        let failure = crate::test_runner::run_cases_impl(
+            "shrink_replay",
+            &ProptestConfig::default(),
+            |rng| {
+                let x = strat.generate(rng);
+                if x >= 10 {
+                    return Err(TestCaseError::fail(format!("x = {x}")));
+                }
+                Ok(())
+            },
+        )
+        .expect("property must fail");
+        // Reconstruct the value from the recorded minimal stream: the
+        // range strategy consumes one draw below its width.
+        let reproduced = failure.minimal_draws[0] % 1000;
+        assert_eq!(reproduced, 10);
     }
 }
