@@ -54,6 +54,7 @@ pub fn to_formula_definitional(
     node: NodeId,
     supply: &mut impl VarSupply,
 ) -> Formula {
+    let _span = revkb_obs::span("bdd.extract");
     if node == TRUE {
         return Formula::True;
     }

@@ -11,6 +11,12 @@
 use revkb_logic::{Formula, Interpretation, Var};
 use std::collections::HashMap;
 
+static APPLY_HITS: revkb_obs::Counter = revkb_obs::Counter::new("bdd.apply.cache_hits");
+static APPLY_MISSES: revkb_obs::Counter = revkb_obs::Counter::new("bdd.apply.cache_misses");
+static NODES_ALLOCATED: revkb_obs::Counter = revkb_obs::Counter::new("bdd.unique.nodes_allocated");
+/// High-watermark of the unique-table size across all managers.
+static UNIQUE_SIZE: revkb_obs::Gauge = revkb_obs::Gauge::new("bdd.unique.size");
+
 /// A BDD node reference (index into the manager's node store).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct NodeId(pub u32);
@@ -143,7 +149,23 @@ impl BddManager {
         let id = NodeId(self.nodes.len() as u32);
         self.nodes.push(node);
         self.unique.insert(node, id);
+        NODES_ALLOCATED.inc();
+        UNIQUE_SIZE.set_max(self.nodes.len() as u64);
         id
+    }
+
+    /// Operation-cache lookup with hit/miss telemetry.
+    fn cache_get(&self, key: &(CacheOp, NodeId, NodeId, NodeId)) -> Option<NodeId> {
+        match self.cache.get(key) {
+            Some(&r) => {
+                APPLY_HITS.inc();
+                Some(r)
+            }
+            None => {
+                APPLY_MISSES.inc();
+                None
+            }
+        }
     }
 
     /// The BDD for the single variable `v`.
@@ -194,7 +216,7 @@ impl BddManager {
             return f;
         }
         let (a, b) = if f <= g { (f, g) } else { (g, f) };
-        if let Some(&r) = self.cache.get(&(CacheOp::And, a, b, FALSE)) {
+        if let Some(r) = self.cache_get(&(CacheOp::And, a, b, FALSE)) {
             return r;
         }
         let (level, fl, fh, gl, gh) = self.cofactors(f, g);
@@ -220,7 +242,7 @@ impl BddManager {
             return f;
         }
         let (a, b) = if f <= g { (f, g) } else { (g, f) };
-        if let Some(&r) = self.cache.get(&(CacheOp::Or, a, b, FALSE)) {
+        if let Some(r) = self.cache_get(&(CacheOp::Or, a, b, FALSE)) {
             return r;
         }
         let (level, fl, fh, gl, gh) = self.cofactors(f, g);
@@ -249,7 +271,7 @@ impl BddManager {
             return self.not(f);
         }
         let (a, b) = if f <= g { (f, g) } else { (g, f) };
-        if let Some(&r) = self.cache.get(&(CacheOp::Xor, a, b, FALSE)) {
+        if let Some(r) = self.cache_get(&(CacheOp::Xor, a, b, FALSE)) {
             return r;
         }
         let (level, fl, fh, gl, gh) = self.cofactors(f, g);
@@ -286,7 +308,7 @@ impl BddManager {
         if g == TRUE && h == FALSE {
             return f;
         }
-        if let Some(&r) = self.cache.get(&(CacheOp::Ite, f, g, h)) {
+        if let Some(r) = self.cache_get(&(CacheOp::Ite, f, g, h)) {
             return r;
         }
         let level = self.level(f).min(self.level(g)).min(self.level(h));
@@ -335,7 +357,7 @@ impl BddManager {
             NodeId(level),
             if value { TRUE } else { FALSE },
         );
-        if let Some(&r) = self.cache.get(&key) {
+        if let Some(r) = self.cache_get(&key) {
             return r;
         }
         let node_level = self.level(f);
@@ -376,7 +398,7 @@ impl BddManager {
             NodeId(levels[0]),
             NodeId(levels.len() as u32),
         );
-        if let Some(&r) = self.cache.get(&key) {
+        if let Some(r) = self.cache_get(&key) {
             return r;
         }
         let (l0, h0) = (self.low(f), self.high(f));

@@ -21,8 +21,8 @@
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use revkb_bench::{
-    print_grid, print_workloads, run_batch_workload, BatchWorkload, Cell, Growth, Series,
-    TableReport,
+    drain_telemetry, print_grid, print_workloads, run_batch_workload, BatchWorkload, Cell, Growth,
+    RunMeta, Series, TableReport,
 };
 use revkb_instances::{
     all_instances, contradictory_pairs, gamma_max, random_kcnf, random_satisfiable, NebelExample,
@@ -36,7 +36,7 @@ use revkb_revision::compact::{
 use revkb_revision::minimize::minimum_dnf_of;
 use revkb_revision::{
     gfuv_entails, gfuv_explicit, query_equivalent_enum, revise_on, widtio, ModelBasedOp, ModelSet,
-    Theory,
+    RevisedKb, Theory,
 };
 
 fn main() {
@@ -44,8 +44,10 @@ fn main() {
     let mut rows: Vec<(String, Vec<(String, Cell)>)> = Vec::new();
 
     // --- GFUV / Nebel -------------------------------------------------
-    let gfuv_gen = gfuv_general_cell();
-    let gfuv_bnd = gfuv_bounded_cell();
+    let (gfuv_gen, gfuv_bnd) = {
+        let _span = revkb_obs::span("GFUV");
+        (gfuv_general_cell(), gfuv_bounded_cell())
+    };
     rows.push((
         "GFUV, Nebel".into(),
         vec![
@@ -65,6 +67,7 @@ fn main() {
         ModelBasedOp::Forbus,
         ModelBasedOp::Satoh,
     ] {
+        let _span = revkb_obs::span(op.name());
         let (gl, gq) = (
             no_like(&reduction_cell, "Th.3.7"),
             no_like(&reduction_cell, refs_general_query(op)),
@@ -83,8 +86,13 @@ fn main() {
     }
 
     // --- Dalal ---------------------------------------------------------
-    let dalal_query = dalal_general_query_cell();
-    let dalal_bnd = bounded_cell(ModelBasedOp::Dalal, true);
+    let (dalal_query, dalal_bnd) = {
+        let _span = revkb_obs::span("Dalal");
+        (
+            dalal_general_query_cell(),
+            bounded_cell(ModelBasedOp::Dalal, true),
+        )
+    };
     rows.push((
         "Dalal".into(),
         vec![
@@ -96,8 +104,13 @@ fn main() {
     ));
 
     // --- Weber ---------------------------------------------------------
-    let weber_query = weber_general_query_cell();
-    let weber_bnd = bounded_cell(ModelBasedOp::Weber, true);
+    let (weber_query, weber_bnd) = {
+        let _span = revkb_obs::span("Weber");
+        (
+            weber_general_query_cell(),
+            bounded_cell(ModelBasedOp::Weber, true),
+        )
+    };
     rows.push((
         "Weber".into(),
         vec![
@@ -109,7 +122,10 @@ fn main() {
     ));
 
     // --- WIDTIO ----------------------------------------------------
-    let widtio_cell = widtio_cell();
+    let widtio_cell = {
+        let _span = revkb_obs::span("WIDTIO");
+        widtio_cell()
+    };
     rows.push((
         "WIDTIO".into(),
         vec![
@@ -126,8 +142,12 @@ fn main() {
     let workloads = query_workloads();
     print_workloads(&workloads);
 
+    bdd_exercise();
+
     let report = TableReport {
         table: "Table 1".into(),
+        meta: RunMeta::capture(),
+        telemetry: drain_telemetry(),
         rows,
         workloads,
     };
@@ -135,6 +155,29 @@ fn main() {
         eprintln!("could not write table1_report.json: {e}");
     } else {
         println!("(full measurements written to table1_report.json)");
+    }
+}
+
+/// Under tracing only: push every model-based operator through the
+/// ROBDD compiler backend on a small shared workload so the `bdd.*`
+/// instruments (apply-cache hits/misses, unique-table size, node
+/// allocations) show up in the telemetry section alongside the
+/// formula-route ones. A no-op when `REVKB_TRACE` is off, keeping the
+/// untraced run's work — and wall time — unchanged.
+fn bdd_exercise() {
+    if !revkb_obs::enabled() {
+        return;
+    }
+    let _span = revkb_obs::span("table1.bdd_exercise");
+    let t = Formula::and_all((0..6u32).map(|i| Formula::var(Var(i))));
+    let p = Formula::var(Var(0)).not().or(Formula::var(Var(1)).not());
+    for op in ModelBasedOp::ALL {
+        match RevisedKb::compile_via_bdd(op, &t, &p) {
+            Ok(kb) => {
+                let _ = kb.entails(&Formula::var(Var(2)));
+            }
+            Err(e) => eprintln!("bdd exercise skipped for {}: {e}", op.name()),
+        }
     }
 }
 

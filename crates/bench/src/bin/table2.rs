@@ -13,8 +13,8 @@
 //! ```
 
 use revkb_bench::{
-    print_grid, print_workloads, run_batch_workload, BatchWorkload, Cell, Growth, Series,
-    TableReport,
+    drain_telemetry, print_grid, print_workloads, run_batch_workload, BatchWorkload, Cell, Growth,
+    RunMeta, Series, TableReport,
 };
 use revkb_instances::{all_instances, gamma_max, Thm36Family};
 use revkb_logic::{Alphabet, Formula, Var};
@@ -30,15 +30,18 @@ fn main() {
 
     let thm65 = thm65_reduction_cell();
 
-    rows.push((
-        "GFUV, Nebel".into(),
-        vec![
-            ("Gen/Logical".into(), table1_no("Th.3.7")),
-            ("Gen/Query".into(), table1_no("Th.3.1")),
-            ("Bnd/Logical".into(), table1_no("Th.4.1")),
-            ("Bnd/Query".into(), table1_no("Th.4.1")),
-        ],
-    ));
+    {
+        let _span = revkb_obs::span("GFUV");
+        rows.push((
+            "GFUV, Nebel".into(),
+            vec![
+                ("Gen/Logical".into(), table1_no("Th.3.7")),
+                ("Gen/Query".into(), table1_no("Th.3.1")),
+                ("Bnd/Logical".into(), table1_no("Th.4.1")),
+                ("Bnd/Query".into(), table1_no("Th.4.1")),
+            ],
+        ));
+    }
 
     for op in [
         ModelBasedOp::Winslett,
@@ -46,6 +49,7 @@ fn main() {
         ModelBasedOp::Forbus,
         ModelBasedOp::Satoh,
     ] {
+        let _span = revkb_obs::span(op.name());
         let bq = iterated_bounded_query_cell(op);
         rows.push((
             op.name().into(),
@@ -59,8 +63,13 @@ fn main() {
     }
 
     // Dalal.
-    let dalal_gen = iterated_general_cell(ModelBasedOp::Dalal);
-    let dalal_bnd = iterated_bounded_query_cell(ModelBasedOp::Dalal);
+    let (dalal_gen, dalal_bnd) = {
+        let _span = revkb_obs::span("Dalal");
+        (
+            iterated_general_cell(ModelBasedOp::Dalal),
+            iterated_bounded_query_cell(ModelBasedOp::Dalal),
+        )
+    };
     rows.push((
         "Dalal".into(),
         vec![
@@ -72,8 +81,13 @@ fn main() {
     ));
 
     // Weber.
-    let weber_gen = iterated_general_cell(ModelBasedOp::Weber);
-    let weber_bnd = iterated_bounded_query_cell(ModelBasedOp::Weber);
+    let (weber_gen, weber_bnd) = {
+        let _span = revkb_obs::span("Weber");
+        (
+            iterated_general_cell(ModelBasedOp::Weber),
+            iterated_bounded_query_cell(ModelBasedOp::Weber),
+        )
+    };
     rows.push((
         "Weber".into(),
         vec![
@@ -85,7 +99,10 @@ fn main() {
     ));
 
     // WIDTIO.
-    let wid = widtio_iterated_cell();
+    let wid = {
+        let _span = revkb_obs::span("WIDTIO");
+        widtio_iterated_cell()
+    };
     rows.push((
         "WIDTIO".into(),
         vec![
@@ -113,6 +130,8 @@ fn main() {
 
     let report = TableReport {
         table: "Table 2".into(),
+        meta: RunMeta::capture(),
+        telemetry: drain_telemetry(),
         rows,
         workloads,
     };

@@ -243,16 +243,98 @@ impl BatchWorkload {
     }
 }
 
+/// Schema version of the table reports. Bumped to 2 when the
+/// `schema_version`/`run_meta` block and the optional `telemetry`
+/// section were added.
+pub const REPORT_SCHEMA_VERSION: u32 = 2;
+
+/// Run metadata stamped into every report: enough to know how the
+/// numbers were produced without reading shell history.
+#[derive(Debug, Clone)]
+pub struct RunMeta {
+    /// Worker threads the batch pools default to (`REVKB_THREADS` /
+    /// available parallelism).
+    pub threads: usize,
+    /// Telemetry mode of the run (`REVKB_TRACE`).
+    pub trace_mode: &'static str,
+    /// `git describe --always --dirty` of the working tree, when a git
+    /// binary and repository are reachable.
+    pub git_describe: Option<String>,
+}
+
+impl RunMeta {
+    /// Capture the current process environment.
+    pub fn capture() -> Self {
+        RunMeta {
+            threads: revkb_sat::default_threads(),
+            trace_mode: revkb_obs::mode().name(),
+            git_describe: git_describe(),
+        }
+    }
+
+    fn to_json(&self) -> json::Value {
+        json::Value::object([
+            ("threads", json::Value::Number(self.threads as f64)),
+            ("trace_mode", json::Value::string(self.trace_mode)),
+            (
+                "git_describe",
+                match &self.git_describe {
+                    Some(d) => json::Value::string(d),
+                    None => json::Value::Null,
+                },
+            ),
+        ])
+    }
+}
+
+fn git_describe() -> Option<String> {
+    let out = std::process::Command::new("git")
+        .args(["describe", "--always", "--dirty"])
+        .output()
+        .ok()?;
+    if !out.status.success() {
+        return None;
+    }
+    let s = String::from_utf8(out.stdout).ok()?;
+    let s = s.trim();
+    (!s.is_empty()).then(|| s.to_string())
+}
+
+/// Drain the telemetry registry into the report's `telemetry` section,
+/// writing the Chrome trace file first when the mode asks for one.
+/// Returns `None` (no section, no file) when telemetry is off.
+pub fn drain_telemetry() -> Option<String> {
+    if !revkb_obs::enabled() {
+        return None;
+    }
+    let snap = revkb_obs::drain();
+    if snap.mode == revkb_obs::TraceMode::Chrome {
+        let path = revkb_obs::trace_file_path();
+        match revkb_obs::write_chrome_trace(&path, &snap) {
+            Ok(()) => eprintln!("chrome trace written to {}", path.display()),
+            Err(e) => eprintln!("chrome trace write failed for {}: {e}", path.display()),
+        }
+    }
+    Some(snap.to_json())
+}
+
 /// A whole table for serialisation.
 #[derive(Debug, Clone)]
 pub struct TableReport {
     /// Table name.
     pub table: String,
+    /// Run metadata (threads, trace mode, git describe).
+    pub meta: RunMeta,
     /// Row label → column label → cell.
     pub rows: Vec<(String, Vec<(String, Cell)>)>,
     /// Per-operator batch-query workloads: label → sequential vs
     /// parallel comparison over one sharded session pool.
     pub workloads: Vec<(String, BatchWorkload)>,
+    /// Drained telemetry snapshot (pre-rendered JSON), present only
+    /// when the run had `REVKB_TRACE` enabled — so `off` runs stay
+    /// byte-compatible with earlier reports apart from the
+    /// schema/metadata fields.
+    pub telemetry: Option<String>,
 }
 
 impl TableReport {
@@ -273,12 +355,20 @@ impl TableReport {
             fields.insert(0, ("operator".into(), json::Value::string(label)));
             json::Value::Object(fields)
         }));
-        json::Value::object([
+        let mut pairs = vec![
             ("table", json::Value::string(&self.table)),
+            (
+                "schema_version",
+                json::Value::Number(REPORT_SCHEMA_VERSION as f64),
+            ),
+            ("run_meta", self.meta.to_json()),
             ("rows", rows),
             ("query_workloads", workloads),
-        ])
-        .pretty()
+        ];
+        if let Some(telemetry) = &self.telemetry {
+            pairs.push(("telemetry", json::Value::Raw(telemetry.clone())));
+        }
+        json::Value::object(pairs).pretty()
     }
 
     /// Write the report as JSON next to the repo's bench outputs.
@@ -398,6 +488,8 @@ mod tests {
         assert_eq!(workload.queries, 2);
         let report = TableReport {
             table: "t".into(),
+            meta: RunMeta::capture(),
+            telemetry: None,
             rows: vec![(
                 "Horn".into(),
                 vec![(
@@ -424,6 +516,9 @@ mod tests {
         assert!(j.contains("\\\"so\\\""));
         assert!(j.contains("4.5"));
         for key in [
+            "\"schema_version\": 2",
+            "\"run_meta\": {",
+            "\"trace_mode\":",
             "\"query_workloads\"",
             "\"operator\": \"revision\"",
             "\"threads\": 2",

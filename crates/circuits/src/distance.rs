@@ -31,6 +31,7 @@ use revkb_logic::{Formula, Var, VarSupply};
 /// # Panics
 /// If `xs` and `ys` differ in length.
 pub fn exa(k: usize, xs: &[Var], ys: &[Var], supply: &mut impl VarSupply) -> Formula {
+    let _span = revkb_obs::span("circuits.exa");
     let mut cb = CircuitBuilder::new(supply);
     let bits = cb.diff_bits(xs, ys);
     let sum = cb.popcount(&bits);

@@ -13,6 +13,13 @@ use crate::formula::Formula;
 use crate::var::Var;
 use std::fmt;
 
+/// Number of Tseitin encodings performed (KB loads and per-query
+/// definitional encodings both funnel through
+/// [`tseitin_definitions`]).
+static TSEITIN_RUNS: revkb_obs::Counter = revkb_obs::Counter::new("logic.tseitin.runs");
+static TSEITIN_CLAUSES: revkb_obs::Counter = revkb_obs::Counter::new("logic.tseitin.clauses");
+static TSEITIN_AUX_VARS: revkb_obs::Counter = revkb_obs::Counter::new("logic.tseitin.aux_vars");
+
 /// A literal: a variable with a polarity, packed MiniSat-style.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Lit(u32);
@@ -196,6 +203,7 @@ impl VarSupply for crate::var::Signature {
 /// (over `V(f)`) extends to exactly one model of the result, and every
 /// model of the result restricts to a model of `f`.
 pub fn tseitin(f: &Formula, supply: &mut impl VarSupply) -> Cnf {
+    let _span = revkb_obs::span("logic.tseitin");
     let mut cnf = Cnf::new();
     let root = tseitin_definitions(f, &mut cnf, supply);
     cnf.push(vec![root]);
@@ -215,7 +223,30 @@ pub fn tseitin_definitions(f: &Formula, cnf: &mut Cnf, supply: &mut impl VarSupp
     for v in f.vars() {
         cnf.register_var(v);
     }
-    encode(f, cnf, supply)
+    let clauses_before = cnf.len();
+    let mut counting = CountingFresh {
+        inner: supply,
+        fresh: 0,
+    };
+    let root = encode(f, cnf, &mut counting);
+    TSEITIN_RUNS.inc();
+    TSEITIN_CLAUSES.add((cnf.len() - clauses_before) as u64);
+    TSEITIN_AUX_VARS.add(counting.fresh);
+    root
+}
+
+/// Wraps a supply to count how many definitional letters an encoding
+/// consumed (one local increment per fresh var; negligible either way).
+struct CountingFresh<'a, S: VarSupply> {
+    inner: &'a mut S,
+    fresh: u64,
+}
+
+impl<S: VarSupply> VarSupply for CountingFresh<'_, S> {
+    fn fresh_var(&mut self) -> Var {
+        self.fresh += 1;
+        self.inner.fresh_var()
+    }
 }
 
 /// Tseitin-transform with an automatic fresh-variable watermark placed

@@ -1,0 +1,241 @@
+//! Minimal JSON validation, used by tests and the CI smoke to assert
+//! that emitted reports and traces parse without pulling in a JSON
+//! dependency.
+
+/// Is `s` exactly one syntactically valid JSON value?
+///
+/// Full JSON grammar (objects, arrays, strings with escapes, numbers,
+/// `true`/`false`/`null`); no semantic checks, no size limits beyond a
+/// nesting-depth cap of 512.
+pub fn validate_json(s: &str) -> bool {
+    let bytes = s.as_bytes();
+    let mut p = Parser { bytes, pos: 0 };
+    p.skip_ws();
+    if !p.value(0) {
+        return false;
+    }
+    p.skip_ws();
+    p.pos == bytes.len()
+}
+
+const MAX_DEPTH: usize = 512;
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn eat(&mut self, b: u8) -> bool {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn value(&mut self, depth: usize) -> bool {
+        if depth > MAX_DEPTH {
+            return false;
+        }
+        match self.peek() {
+            Some(b'{') => self.object(depth),
+            Some(b'[') => self.array(depth),
+            Some(b'"') => self.string(),
+            Some(b't') => self.literal(b"true"),
+            Some(b'f') => self.literal(b"false"),
+            Some(b'n') => self.literal(b"null"),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            _ => false,
+        }
+    }
+
+    fn literal(&mut self, lit: &[u8]) -> bool {
+        if self.bytes[self.pos..].starts_with(lit) {
+            self.pos += lit.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn object(&mut self, depth: usize) -> bool {
+        self.pos += 1; // '{'
+        self.skip_ws();
+        if self.eat(b'}') {
+            return true;
+        }
+        loop {
+            self.skip_ws();
+            if !self.string() {
+                return false;
+            }
+            self.skip_ws();
+            if !self.eat(b':') {
+                return false;
+            }
+            self.skip_ws();
+            if !self.value(depth + 1) {
+                return false;
+            }
+            self.skip_ws();
+            if self.eat(b'}') {
+                return true;
+            }
+            if !self.eat(b',') {
+                return false;
+            }
+        }
+    }
+
+    fn array(&mut self, depth: usize) -> bool {
+        self.pos += 1; // '['
+        self.skip_ws();
+        if self.eat(b']') {
+            return true;
+        }
+        loop {
+            self.skip_ws();
+            if !self.value(depth + 1) {
+                return false;
+            }
+            self.skip_ws();
+            if self.eat(b']') {
+                return true;
+            }
+            if !self.eat(b',') {
+                return false;
+            }
+        }
+    }
+
+    fn string(&mut self) -> bool {
+        if !self.eat(b'"') {
+            return false;
+        }
+        while let Some(b) = self.peek() {
+            self.pos += 1;
+            match b {
+                b'"' => return true,
+                b'\\' => match self.peek() {
+                    Some(b'"' | b'\\' | b'/' | b'b' | b'f' | b'n' | b'r' | b't') => self.pos += 1,
+                    Some(b'u') => {
+                        self.pos += 1;
+                        for _ in 0..4 {
+                            match self.peek() {
+                                Some(h) if h.is_ascii_hexdigit() => self.pos += 1,
+                                _ => return false,
+                            }
+                        }
+                    }
+                    _ => return false,
+                },
+                0x00..=0x1f => return false, // raw control char
+                _ => {}
+            }
+        }
+        false // unterminated
+    }
+
+    fn number(&mut self) -> bool {
+        self.eat(b'-');
+        match self.peek() {
+            Some(b'0') => self.pos += 1,
+            Some(b'1'..=b'9') => {
+                while matches!(self.peek(), Some(b'0'..=b'9')) {
+                    self.pos += 1;
+                }
+            }
+            _ => return false,
+        }
+        if self.eat(b'.') {
+            if !matches!(self.peek(), Some(b'0'..=b'9')) {
+                return false;
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            if !matches!(self.peek(), Some(b'0'..=b'9')) {
+                return false;
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::validate_json;
+
+    #[test]
+    fn accepts_valid_json() {
+        for s in [
+            "null",
+            "true",
+            "false",
+            "0",
+            "-12.5e3",
+            "\"hi\\n\\u00e9\"",
+            "[]",
+            "[1,2,3]",
+            "{}",
+            "{\"a\":{\"b\":[1,null,\"x\"]},\"c\":-0.5}",
+            "  { \"k\" : [ true , false ] }  ",
+        ] {
+            assert!(validate_json(s), "should accept: {s}");
+        }
+    }
+
+    #[test]
+    fn rejects_invalid_json() {
+        for s in [
+            "",
+            "nul",
+            "01",
+            "1.",
+            "1e",
+            "+1",
+            "{",
+            "}",
+            "[1,]",
+            "{\"a\":}",
+            "{\"a\" 1}",
+            "{a:1}",
+            "\"unterminated",
+            "\"bad\\q\"",
+            "\"ctrl\u{0}\"",
+            "[1] trailing",
+            "{\"a\":1,}",
+        ] {
+            assert!(!validate_json(s), "should reject: {s}");
+        }
+    }
+
+    #[test]
+    fn depth_cap() {
+        let deep_ok = "[".repeat(100) + &"]".repeat(100);
+        assert!(validate_json(&deep_ok));
+        let too_deep = "[".repeat(600) + &"]".repeat(600);
+        assert!(!validate_json(&too_deep));
+    }
+}

@@ -1,0 +1,126 @@
+//! Chrome trace-event export (`chrome://tracing` / Perfetto).
+//!
+//! Span events render as `"X"` (complete) events with microsecond
+//! timestamps; counters render as one `"C"` event so the totals are
+//! visible alongside the timeline. Everything lives under `pid` 1 with
+//! `tid` equal to the recording thread's ordinal.
+
+use crate::snapshot::Snapshot;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+/// Environment variable naming the trace output file (default
+/// `trace.json`).
+pub const TRACE_FILE_ENV: &str = "REVKB_TRACE_FILE";
+
+/// Where the Chrome trace should be written: `$REVKB_TRACE_FILE`, or
+/// `trace.json` in the current directory.
+pub fn trace_file_path() -> PathBuf {
+    std::env::var_os(TRACE_FILE_ENV)
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("trace.json"))
+}
+
+/// Render a snapshot in the Chrome trace-event JSON format.
+pub fn chrome_trace(snap: &Snapshot) -> String {
+    let mut out = String::with_capacity(4096);
+    out.push_str("{\"traceEvents\":[");
+    let mut first = true;
+    for s in &snap.spans {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        // ts/dur are microseconds (floats allowed; we emit integers).
+        out.push_str(&format!(
+            "{{\"name\":{},\"ph\":\"X\",\"pid\":1,\"tid\":{},\"ts\":{},\"dur\":{},\"args\":{{\"depth\":{}}}}}",
+            json_str(s.name),
+            s.thread,
+            s.start_ns / 1_000,
+            (s.dur_ns / 1_000).max(1),
+            s.depth
+        ));
+    }
+    if !snap.counters.is_empty() {
+        let ts = snap
+            .spans
+            .iter()
+            .map(|s| s.start_ns / 1_000)
+            .max()
+            .unwrap_or(0);
+        if !first {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"name\":\"revkb counters\",\"ph\":\"C\",\"pid\":1,\"tid\":0,\"ts\":{ts},\"args\":{{"
+        ));
+        for (i, (name, v)) in snap.counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("{}:{}", json_str(name), v));
+        }
+        out.push_str("}}");
+    }
+    out.push_str("],\"displayTimeUnit\":\"ms\"}");
+    out
+}
+
+/// Write the Chrome trace for `snap` to `path`.
+pub fn write_chrome_trace(path: &Path, snap: &Snapshot) -> std::io::Result<()> {
+    let mut f = std::fs::File::create(path)?;
+    f.write_all(chrome_trace(snap).as_bytes())
+}
+
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::TraceMode;
+
+    static CHROME_C: crate::Counter = crate::Counter::new("chrome.test.counter");
+
+    #[test]
+    fn chrome_trace_is_valid_json_with_events() {
+        let _g = crate::testutil::TEST_LOCK.lock().unwrap();
+        crate::set_mode(TraceMode::Chrome);
+        crate::reset();
+        CHROME_C.inc();
+        {
+            let _root = crate::span("chrome.test.root");
+            let _child = crate::span("chrome.test.child");
+        }
+        let snap = crate::drain();
+        crate::set_mode(TraceMode::Off);
+        let trace = super::chrome_trace(&snap);
+        assert!(crate::validate_json(&trace), "invalid trace: {trace}");
+        assert!(trace.contains("\"traceEvents\""));
+        assert!(trace.contains("\"chrome.test.root\""));
+        assert!(trace.contains("\"chrome.test.child\""));
+        assert!(trace.contains("\"ph\":\"X\""));
+        assert!(trace.contains("\"chrome.test.counter\":1"));
+    }
+
+    #[test]
+    fn trace_file_path_defaults_to_trace_json() {
+        if std::env::var_os(super::TRACE_FILE_ENV).is_none() {
+            assert_eq!(
+                super::trace_file_path(),
+                std::path::PathBuf::from("trace.json")
+            );
+        }
+    }
+}

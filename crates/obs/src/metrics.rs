@@ -1,0 +1,317 @@
+//! The metrics registry: counters, gauges, and log₂-bucket histograms.
+//!
+//! Instruments are declared as `static` items (`Counter::new` and
+//! friends are `const fn`) and register themselves with the global
+//! registry on first use while telemetry is enabled — there is no
+//! registration boilerplate and no linker-section magic. When the mode
+//! is [`crate::TraceMode::Off`] an instrument call is a single relaxed
+//! atomic load.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Registered instruments, discovered lazily on first record.
+pub(crate) static COUNTERS: Mutex<Vec<&'static Counter>> = Mutex::new(Vec::new());
+pub(crate) static GAUGES: Mutex<Vec<&'static Gauge>> = Mutex::new(Vec::new());
+pub(crate) static HISTOGRAMS: Mutex<Vec<&'static Histogram>> = Mutex::new(Vec::new());
+
+/// A monotonically increasing counter.
+#[derive(Debug)]
+pub struct Counter {
+    name: &'static str,
+    value: AtomicU64,
+    registered: AtomicBool,
+}
+
+impl Counter {
+    /// A new counter (declare as a `static`).
+    pub const fn new(name: &'static str) -> Self {
+        Self {
+            name,
+            value: AtomicU64::new(0),
+            registered: AtomicBool::new(false),
+        }
+    }
+
+    /// The instrument's name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Add `n` (no-op while telemetry is off).
+    #[inline]
+    pub fn add(&'static self, n: u64) {
+        if crate::enabled() {
+            self.record(n);
+        }
+    }
+
+    /// Add 1 (no-op while telemetry is off).
+    #[inline]
+    pub fn inc(&'static self) {
+        self.add(1);
+    }
+
+    #[cold]
+    fn record(&'static self, n: u64) {
+        if !self.registered.load(Ordering::Relaxed)
+            && !self.registered.swap(true, Ordering::Relaxed)
+        {
+            COUNTERS
+                .lock()
+                .expect("counter registry poisoned")
+                .push(self);
+        }
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn value(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+
+    pub(crate) fn reset(&self) {
+        self.value.store(0, Ordering::Relaxed);
+    }
+}
+
+/// A last-value / high-watermark gauge.
+#[derive(Debug)]
+pub struct Gauge {
+    name: &'static str,
+    value: AtomicU64,
+    registered: AtomicBool,
+}
+
+impl Gauge {
+    /// A new gauge (declare as a `static`).
+    pub const fn new(name: &'static str) -> Self {
+        Self {
+            name,
+            value: AtomicU64::new(0),
+            registered: AtomicBool::new(false),
+        }
+    }
+
+    /// The instrument's name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Store `v` (no-op while telemetry is off).
+    #[inline]
+    pub fn set(&'static self, v: u64) {
+        if crate::enabled() {
+            self.ensure_registered();
+            self.value.store(v, Ordering::Relaxed);
+        }
+    }
+
+    /// Raise the gauge to `v` if larger (high-watermark semantics;
+    /// no-op while telemetry is off).
+    #[inline]
+    pub fn set_max(&'static self, v: u64) {
+        if crate::enabled() {
+            self.ensure_registered();
+            self.value.fetch_max(v, Ordering::Relaxed);
+        }
+    }
+
+    #[cold]
+    fn ensure_registered(&'static self) {
+        if !self.registered.load(Ordering::Relaxed)
+            && !self.registered.swap(true, Ordering::Relaxed)
+        {
+            GAUGES.lock().expect("gauge registry poisoned").push(self);
+        }
+    }
+
+    /// Current value.
+    pub fn value(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+
+    pub(crate) fn reset(&self) {
+        self.value.store(0, Ordering::Relaxed);
+    }
+}
+
+/// Number of histogram buckets: bucket 0 holds zero values, bucket
+/// `b ≥ 1` holds values in `[2^(b-1), 2^b)`. 64 buckets of powers of
+/// two cover the entire `u64` range.
+pub const HIST_BUCKETS: usize = 65;
+
+#[allow(clippy::declare_interior_mutable_const)]
+const BUCKET_ZERO: AtomicU64 = AtomicU64::new(0);
+
+/// A `u64` histogram with fixed log₂ buckets plus count / sum / max.
+#[derive(Debug)]
+pub struct Histogram {
+    name: &'static str,
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+    buckets: [AtomicU64; HIST_BUCKETS],
+    registered: AtomicBool,
+}
+
+/// Bucket index of a value: 0 for 0, otherwise `floor(log₂ v) + 1`.
+pub(crate) fn bucket_of(v: u64) -> usize {
+    if v == 0 {
+        0
+    } else {
+        (64 - v.leading_zeros()) as usize
+    }
+}
+
+impl Histogram {
+    /// A new histogram (declare as a `static`).
+    pub const fn new(name: &'static str) -> Self {
+        Self {
+            name,
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+            buckets: [BUCKET_ZERO; HIST_BUCKETS],
+            registered: AtomicBool::new(false),
+        }
+    }
+
+    /// The instrument's name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Record one observation (no-op while telemetry is off).
+    #[inline]
+    pub fn record(&'static self, v: u64) {
+        if crate::enabled() {
+            self.record_inner(v);
+        }
+    }
+
+    #[cold]
+    fn record_inner(&'static self, v: u64) {
+        if !self.registered.load(Ordering::Relaxed)
+            && !self.registered.swap(true, Ordering::Relaxed)
+        {
+            HISTOGRAMS
+                .lock()
+                .expect("histogram registry poisoned")
+                .push(self);
+        }
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+        self.buckets[bucket_of(v)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of observations.
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Largest observation.
+    pub fn max(&self) -> u64 {
+        self.max.load(Ordering::Relaxed)
+    }
+
+    /// Occupancy of bucket `b` (see [`HIST_BUCKETS`]).
+    pub fn bucket(&self, b: usize) -> u64 {
+        self.buckets[b].load(Ordering::Relaxed)
+    }
+
+    pub(crate) fn reset(&self) {
+        self.count.store(0, Ordering::Relaxed);
+        self.sum.store(0, Ordering::Relaxed);
+        self.max.store(0, Ordering::Relaxed);
+        for b in &self.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::TraceMode;
+
+    // Tests here mutate the global mode; serialise them.
+    pub(crate) static TEST_LOCK: Mutex<()> = Mutex::new(());
+
+    static C: Counter = Counter::new("test.counter");
+    static G: Gauge = Gauge::new("test.gauge");
+    static H: Histogram = Histogram::new("test.hist");
+
+    #[test]
+    fn bucket_boundaries() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 1);
+        assert_eq!(bucket_of(2), 2);
+        assert_eq!(bucket_of(3), 2);
+        assert_eq!(bucket_of(4), 3);
+        assert_eq!(bucket_of(1023), 10);
+        assert_eq!(bucket_of(1024), 11);
+        assert_eq!(bucket_of(u64::MAX), 64);
+        assert!(bucket_of(u64::MAX) < HIST_BUCKETS);
+    }
+
+    #[test]
+    fn disabled_records_nothing() {
+        let _g = TEST_LOCK.lock().unwrap();
+        crate::set_mode(TraceMode::Off);
+        let before = C.value();
+        C.add(5);
+        C.inc();
+        G.set(9);
+        H.record(7);
+        assert_eq!(C.value(), before);
+        assert_eq!(H.count(), 0);
+    }
+
+    #[test]
+    fn enabled_records_and_registers() {
+        let _g = TEST_LOCK.lock().unwrap();
+        crate::set_mode(TraceMode::Summary);
+        C.reset();
+        G.reset();
+        H.reset();
+        C.add(2);
+        C.inc();
+        G.set(4);
+        G.set_max(2); // below current: keeps 4
+        G.set_max(10);
+        H.record(0);
+        H.record(5);
+        H.record(1000);
+        assert_eq!(C.value(), 3);
+        assert_eq!(G.value(), 10);
+        assert_eq!(H.count(), 3);
+        assert_eq!(H.sum(), 1005);
+        assert_eq!(H.max(), 1000);
+        assert_eq!(H.bucket(0), 1);
+        assert_eq!(H.bucket(3), 1); // 5 ∈ [4, 8)
+        assert_eq!(H.bucket(10), 1); // 1000 ∈ [512, 1024)
+        assert!(COUNTERS
+            .lock()
+            .unwrap()
+            .iter()
+            .any(|c| c.name() == "test.counter"));
+        assert!(GAUGES
+            .lock()
+            .unwrap()
+            .iter()
+            .any(|g| g.name() == "test.gauge"));
+        assert!(HISTOGRAMS
+            .lock()
+            .unwrap()
+            .iter()
+            .any(|h| h.name() == "test.hist"));
+        crate::set_mode(TraceMode::Off);
+    }
+}

@@ -1,0 +1,283 @@
+//! Hierarchical wall-time spans with RAII guards.
+//!
+//! Each thread keeps its own span stack (so nesting is tracked without
+//! locks on the hot path); finished spans are flushed to a global
+//! buffer when the thread's stack empties and when the thread exits,
+//! so short-lived pool workers are merged correctly at drain time.
+
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::marker::PhantomData;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::Instant;
+
+/// One finished span, as retained in `spans`/`chrome` modes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanEvent {
+    /// Static span name (e.g. `"revision.compile"`).
+    pub name: &'static str,
+    /// Ordinal of the recording thread (stable within a process run).
+    pub thread: u64,
+    /// Per-thread span id (unique within `thread`).
+    pub id: u64,
+    /// Per-thread id of the enclosing span, if any.
+    pub parent: Option<u64>,
+    /// Nesting depth (0 for a root span).
+    pub depth: u32,
+    /// Start time in nanoseconds since the process trace epoch.
+    pub start_ns: u64,
+    /// Wall-clock duration in nanoseconds.
+    pub dur_ns: u64,
+}
+
+/// Per-name aggregate kept in every enabled mode.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub(crate) struct Agg {
+    pub count: u64,
+    pub total_ns: u64,
+    pub max_ns: u64,
+}
+
+pub(crate) static EVENTS: Mutex<Vec<SpanEvent>> = Mutex::new(Vec::new());
+pub(crate) static AGGS: Mutex<BTreeMap<&'static str, Agg>> = Mutex::new(BTreeMap::new());
+
+static EPOCH: OnceLock<Instant> = OnceLock::new();
+static NEXT_THREAD_ORD: AtomicU64 = AtomicU64::new(0);
+
+fn epoch() -> Instant {
+    *EPOCH.get_or_init(Instant::now)
+}
+
+struct ActiveSpan {
+    name: &'static str,
+    id: u64,
+    parent: Option<u64>,
+    depth: u32,
+    start_ns: u64,
+}
+
+struct ThreadSpans {
+    ord: u64,
+    next_id: u64,
+    stack: Vec<ActiveSpan>,
+    finished: Vec<SpanEvent>,
+}
+
+impl ThreadSpans {
+    fn new() -> Self {
+        Self {
+            ord: NEXT_THREAD_ORD.fetch_add(1, Ordering::Relaxed),
+            next_id: 0,
+            stack: Vec::new(),
+            finished: Vec::new(),
+        }
+    }
+
+    fn flush(&mut self) {
+        if !self.finished.is_empty() {
+            EVENTS
+                .lock()
+                .expect("span event buffer poisoned")
+                .append(&mut self.finished);
+        }
+    }
+}
+
+impl Drop for ThreadSpans {
+    fn drop(&mut self) {
+        // Worker threads may exit with spans buffered but never see an
+        // empty-stack flush; merge what they recorded.
+        self.flush();
+    }
+}
+
+thread_local! {
+    static THREAD_SPANS: RefCell<ThreadSpans> = RefCell::new(ThreadSpans::new());
+}
+
+/// RAII guard returned by [`span`]; records the span when dropped.
+///
+/// The guard is intentionally `!Send`: a span measures one thread's
+/// wall time and must end on the thread that started it.
+#[derive(Debug)]
+pub struct SpanGuard {
+    armed: bool,
+    _not_send: PhantomData<*const ()>,
+}
+
+/// Open a span named `name`. Nothing is recorded in
+/// [`crate::TraceMode::Off`]; aggregates are kept in every enabled
+/// mode, and individual [`SpanEvent`]s additionally in `spans` and
+/// `chrome` modes.
+#[inline]
+pub fn span(name: &'static str) -> SpanGuard {
+    let mode = crate::mode();
+    if mode == crate::TraceMode::Off {
+        return SpanGuard {
+            armed: false,
+            _not_send: PhantomData,
+        };
+    }
+    open_span(name);
+    SpanGuard {
+        armed: true,
+        _not_send: PhantomData,
+    }
+}
+
+#[cold]
+fn open_span(name: &'static str) {
+    let start_ns = epoch().elapsed().as_nanos() as u64;
+    THREAD_SPANS.with(|ts| {
+        let mut ts = ts.borrow_mut();
+        let id = ts.next_id;
+        ts.next_id += 1;
+        let parent = ts.stack.last().map(|a| a.id);
+        let depth = ts.stack.len() as u32;
+        ts.stack.push(ActiveSpan {
+            name,
+            id,
+            parent,
+            depth,
+            start_ns,
+        });
+    });
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if self.armed {
+            close_span();
+        }
+    }
+}
+
+#[cold]
+fn close_span() {
+    let now_ns = epoch().elapsed().as_nanos() as u64;
+    let keep_events = crate::mode().spans_enabled();
+    THREAD_SPANS.with(|ts| {
+        let mut ts = ts.borrow_mut();
+        let Some(active) = ts.stack.pop() else {
+            return; // mode flipped mid-span; nothing to close
+        };
+        let dur_ns = now_ns.saturating_sub(active.start_ns);
+        {
+            let mut aggs = AGGS.lock().expect("span aggregate table poisoned");
+            let agg = aggs.entry(active.name).or_default();
+            agg.count += 1;
+            agg.total_ns += dur_ns;
+            agg.max_ns = agg.max_ns.max(dur_ns);
+        }
+        if keep_events {
+            let thread = ts.ord;
+            ts.finished.push(SpanEvent {
+                name: active.name,
+                thread,
+                id: active.id,
+                parent: active.parent,
+                depth: active.depth,
+                start_ns: active.start_ns,
+                dur_ns,
+            });
+        }
+        if ts.stack.is_empty() {
+            ts.flush();
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::TraceMode;
+
+    #[test]
+    fn nested_spans_record_hierarchy() {
+        let _g = crate::testutil::TEST_LOCK.lock().unwrap();
+        crate::set_mode(TraceMode::Spans);
+        crate::reset();
+        {
+            let _outer = span("test.outer");
+            std::thread::sleep(std::time::Duration::from_millis(2));
+            {
+                let _inner = span("test.inner");
+                std::thread::sleep(std::time::Duration::from_millis(1));
+            }
+        }
+        let snap = crate::drain();
+        crate::set_mode(TraceMode::Off);
+        assert_eq!(snap.spans.len(), 2);
+        let outer = snap.spans.iter().find(|s| s.name == "test.outer").unwrap();
+        let inner = snap.spans.iter().find(|s| s.name == "test.inner").unwrap();
+        assert_eq!(inner.parent, Some(outer.id));
+        assert_eq!(outer.parent, None);
+        assert_eq!(outer.depth, 0);
+        assert_eq!(inner.depth, 1);
+        assert!(inner.dur_ns <= outer.dur_ns);
+        assert!(inner.start_ns >= outer.start_ns);
+    }
+
+    #[test]
+    fn summary_mode_keeps_aggregates_only() {
+        let _g = crate::testutil::TEST_LOCK.lock().unwrap();
+        crate::set_mode(TraceMode::Summary);
+        crate::reset();
+        {
+            let _s = span("test.summary_only");
+        }
+        let snap = crate::drain();
+        crate::set_mode(TraceMode::Off);
+        assert!(snap.spans.is_empty());
+        let agg = snap
+            .span_aggregates
+            .iter()
+            .find(|a| a.name == "test.summary_only")
+            .unwrap();
+        assert_eq!(agg.count, 1);
+    }
+
+    #[test]
+    fn off_mode_records_nothing() {
+        let _g = crate::testutil::TEST_LOCK.lock().unwrap();
+        crate::set_mode(TraceMode::Off);
+        crate::reset();
+        {
+            let _s = span("test.off");
+        }
+        crate::set_mode(TraceMode::Spans);
+        let snap = crate::drain();
+        crate::set_mode(TraceMode::Off);
+        assert!(snap.spans.is_empty());
+        assert!(snap.span_aggregates.iter().all(|a| a.name != "test.off"));
+    }
+
+    #[test]
+    fn cross_thread_spans_merge_at_drain() {
+        let _g = crate::testutil::TEST_LOCK.lock().unwrap();
+        crate::set_mode(TraceMode::Spans);
+        crate::reset();
+        std::thread::scope(|scope| {
+            for _ in 0..3 {
+                scope.spawn(|| {
+                    let _s = span("test.worker");
+                });
+            }
+        });
+        let snap = crate::drain();
+        crate::set_mode(TraceMode::Off);
+        assert_eq!(
+            snap.spans
+                .iter()
+                .filter(|s| s.name == "test.worker")
+                .count(),
+            3
+        );
+        // Three distinct worker threads, three distinct ordinals.
+        let mut ords: Vec<u64> = snap.spans.iter().map(|s| s.thread).collect();
+        ords.sort_unstable();
+        ords.dedup();
+        assert_eq!(ords.len(), 3);
+    }
+}

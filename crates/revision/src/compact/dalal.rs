@@ -26,6 +26,7 @@ use revkb_sat::supply_above;
 /// trivially compactable): unsatisfiable `P` yields `⊥`; unsatisfiable
 /// `T` (with satisfiable `P`) yields `P`.
 pub fn dalal_compact(t: &Formula, p: &Formula, supply: &mut impl VarSupply) -> CompactRep {
+    let _span = revkb_obs::span("revision.phase.distance_circuit");
     let xs = union_vars(t, p);
     let k = match min_distance_over(t, p, &xs) {
         Some(k) => k,

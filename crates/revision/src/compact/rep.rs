@@ -33,6 +33,57 @@ impl std::fmt::Display for QueryError {
 
 impl std::error::Error for QueryError {}
 
+/// Combined statistics of a representation's query engines: the
+/// single-query [`QuerySession`] and the batch [`SessionPool`], both
+/// lazily created, either possibly absent. Exposed uniformly as
+/// `stats()` on [`CompactRep`], `RevisedKb`, and `DelayedKb`.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Counters of the single-query session, if one has answered yet.
+    pub session: Option<SolverStats>,
+    /// Counters of the batch pool, if one has answered yet.
+    pub pool: Option<PoolStats>,
+}
+
+impl EngineStats {
+    /// Are both engines still unused?
+    pub fn is_empty(&self) -> bool {
+        self.session.is_none() && self.pool.is_none()
+    }
+
+    /// All counters folded into one [`SolverStats`] block. Its
+    /// `total_query_micros` follows the CPU-time semantics of
+    /// [`SolverStats::merge`] — do not read it as elapsed time when
+    /// the pool ran in parallel.
+    pub fn merged(&self) -> SolverStats {
+        let mut merged = SolverStats::default();
+        if let Some(session) = &self.session {
+            merged.merge(session);
+        }
+        if let Some(pool) = &self.pool {
+            merged.merge(&pool.merged());
+        }
+        merged
+    }
+
+    /// Render as a JSON object: `session` and `pool` (each an object
+    /// or `null`) plus the `merged` fold.
+    pub fn to_json(&self) -> String {
+        let session = self
+            .session
+            .as_ref()
+            .map_or_else(|| "null".to_string(), SolverStats::to_json);
+        let pool = self
+            .pool
+            .as_ref()
+            .map_or_else(|| "null".to_string(), PoolStats::to_json);
+        format!(
+            "{{\"session\":{session},\"pool\":{pool},\"merged\":{}}}",
+            self.merged().to_json()
+        )
+    }
+}
+
 /// A compact representation `T'` of a revised knowledge base, together
 /// with the base alphabet on which its guarantee holds.
 ///
@@ -186,6 +237,16 @@ impl CompactRep {
     /// answered yet.
     pub fn pool_stats(&self) -> Option<PoolStats> {
         self.pool.borrow().as_ref().map(SessionPool::stats)
+    }
+
+    /// Combined statistics of both query engines (the single-query
+    /// session and the batch pool), uniformly shaped as
+    /// [`EngineStats`].
+    pub fn stats(&self) -> EngineStats {
+        EngineStats {
+            session: self.query_stats(),
+            pool: self.pool_stats(),
+        }
     }
 
     /// The auxiliary letters used beyond the base alphabet.

@@ -121,6 +121,8 @@ impl RevisedKb {
     /// assert!(kb.entails(&Formula::var(Var(1))));             // the voice was Bill's
     /// ```
     pub fn compile(op: ModelBasedOp, t: &Formula, p: &Formula) -> Result<Self, CompileError> {
+        let _span = revkb_obs::span("revision.compile");
+        let _op_span = revkb_obs::span(op.name());
         let rep = match op {
             ModelBasedOp::Dalal => {
                 let mut supply = supply_above([t, p]);
@@ -159,6 +161,8 @@ impl RevisedKb {
         t: &Formula,
         ps: &[Formula],
     ) -> Result<Self, CompileError> {
+        let _span = revkb_obs::span("revision.compile_iterated");
+        let _op_span = revkb_obs::span(op.name());
         let mut supply = supply_above(std::iter::once(t).chain(ps));
         let rep = match op {
             ModelBasedOp::Dalal => dalal_iterated(t, ps, &mut supply),
@@ -209,9 +213,14 @@ impl RevisedKb {
                 max: 20,
             });
         }
+        let _span = revkb_obs::span("revision.compile_via_bdd");
+        let _op_span = revkb_obs::span(op.name());
         let oracle = crate::semantic::revise_on(op, &alpha, t, p);
         let mut mgr = revkb_bdd::BddManager::with_order(alpha.vars().to_vec());
-        let node = mgr.from_formula(&oracle.to_dnf());
+        let node = {
+            let _bdd_span = revkb_obs::span("revision.phase.bdd_build");
+            mgr.from_formula(&oracle.to_dnf())
+        };
         let mut supply = supply_above([t, p]);
         let formula = revkb_bdd::to_formula_definitional(&mgr, node, &mut supply);
         Ok(Self {
@@ -283,6 +292,13 @@ impl RevisedKb {
     /// answered yet.
     pub fn pool_stats(&self) -> Option<revkb_sat::PoolStats> {
         self.rep.pool_stats()
+    }
+
+    /// Combined statistics of both query engines, uniformly shaped as
+    /// [`crate::compact::EngineStats`] (also available on
+    /// [`crate::compact::CompactRep`] and [`DelayedKb`]).
+    pub fn stats(&self) -> crate::compact::EngineStats {
+        self.rep.stats()
     }
 
     /// Size of the compiled representation, `|T'|`.
@@ -371,6 +387,18 @@ impl DelayedKb {
     /// the compilation cache.
     pub fn pool_stats(&self) -> Option<revkb_sat::PoolStats> {
         self.compiled.as_ref().and_then(RevisedKb::pool_stats)
+    }
+
+    /// Combined statistics of the cached compilation's query engines,
+    /// uniformly shaped as [`crate::compact::EngineStats`]; empty (not
+    /// `None`) when no compilation exists, so callers can always read
+    /// the same shape. Reset by [`DelayedKb::revise`] together with the
+    /// compilation cache.
+    pub fn stats(&self) -> crate::compact::EngineStats {
+        self.compiled
+            .as_ref()
+            .map(RevisedKb::stats)
+            .unwrap_or_default()
     }
 
     /// Size of the cached compilation, if any.

@@ -55,7 +55,7 @@ pub mod postulates;
 pub mod semantic;
 
 pub use advice::{advise, Advice, OperatorKind, Profile};
-pub use compact::{CompactRep, QueryError};
+pub use compact::{CompactRep, EngineStats, QueryError};
 pub use containment::{check_containments, containment_matrix, FIGURE1_EDGES};
 pub use contraction::{contract, contract_on};
 pub use counterfactual::{holds as counterfactual_holds, might_hold, Counterfactual};

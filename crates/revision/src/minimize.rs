@@ -220,6 +220,7 @@ fn minimum_cover(minterms: &[u64], primes: &[Cube], n: usize) -> Vec<Cube> {
 /// assert_eq!(r.literal_count(), 4);
 /// ```
 pub fn minimum_dnf(minterms: &[u64], n: usize) -> TwoLevel {
+    let _span = revkb_obs::span("revision.phase.minimize");
     let primes = prime_implicants(minterms, n);
     let cubes = minimum_cover(minterms, &primes, n);
     TwoLevel { cubes, num_vars: n }

@@ -129,6 +129,7 @@ pub fn omega_mask(t_models: &[u64], p_models: &[u64]) -> u64 {
 
 /// Compute `M(T *op P)` over a given alphabet, by enumeration.
 pub fn revise_on(op: ModelBasedOp, alphabet: &Alphabet, t: &Formula, p: &Formula) -> ModelSet {
+    let _span = revkb_obs::span("revision.phase.model_set");
     let t_models = alphabet.models(t);
     let p_models = alphabet.models(p);
     let selected = revise_masks(op, &t_models, &p_models);
@@ -232,6 +233,7 @@ pub fn revise_iterated_on(
     t: &Formula,
     ps: &[Formula],
 ) -> ModelSet {
+    let _span = revkb_obs::span("revision.phase.model_set");
     let mut current = alphabet.models(t);
     for p in ps {
         let p_models = alphabet.models(p);

@@ -237,6 +237,7 @@ impl SessionPool {
     /// As [`QuerySession::entails`]: if a query collides with the
     /// base's internal Tseitin letters.
     pub fn entails_batch(&mut self, queries: &[Formula]) -> Vec<bool> {
+        let _span = revkb_obs::span("sat.pool.batch");
         let start = Instant::now();
         let answers = queries.iter().map(|q| self.workers[0].entails(q)).collect();
         self.sequential_batches += 1;
@@ -262,6 +263,7 @@ impl SessionPool {
         if self.workers.len() == 1 || queries.len() < self.sequential_threshold {
             return self.entails_batch(queries);
         }
+        let _span = revkb_obs::span("sat.pool.batch");
         let start = Instant::now();
         let next = AtomicUsize::new(0);
         let mut answers = vec![false; queries.len()];
@@ -272,6 +274,7 @@ impl SessionPool {
                 .map(|worker| {
                     let next = &next;
                     scope.spawn(move || {
+                        let _span = revkb_obs::span("sat.pool.worker");
                         let mut taken = Vec::new();
                         loop {
                             let i = next.fetch_add(1, Ordering::Relaxed);

@@ -26,6 +26,21 @@ use revkb_logic::{tseitin, tseitin_definitions, Cnf, CountingSupply, Formula, Li
 use std::collections::HashMap;
 use std::time::Instant;
 
+// Registry mirrors of the session counters. `SolverStats` stays the
+// JSON-visible source of truth (its shape is pinned by tests); these
+// feed the cross-cutting telemetry snapshot that the bench binaries
+// drain.
+static OBS_QUERIES: revkb_obs::Counter = revkb_obs::Counter::new("sat.session.queries");
+static OBS_CACHE_HITS: revkb_obs::Counter = revkb_obs::Counter::new("sat.session.cache_hits");
+static OBS_CACHE_MISSES: revkb_obs::Counter = revkb_obs::Counter::new("sat.session.cache_misses");
+static OBS_BASE_LOADS: revkb_obs::Counter = revkb_obs::Counter::new("sat.session.base_loads");
+static OBS_DECISIONS: revkb_obs::Counter = revkb_obs::Counter::new("sat.solver.decisions");
+static OBS_CONFLICTS: revkb_obs::Counter = revkb_obs::Counter::new("sat.solver.conflicts");
+static OBS_PROPAGATIONS: revkb_obs::Counter = revkb_obs::Counter::new("sat.solver.propagations");
+static OBS_RESTARTS: revkb_obs::Counter = revkb_obs::Counter::new("sat.solver.restarts");
+static OBS_QUERY_MICROS: revkb_obs::Histogram =
+    revkb_obs::Histogram::new("sat.session.query_micros");
+
 /// Counter block for an incremental query session, merging solver
 /// search counters with session-level cache and load accounting.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -157,6 +172,8 @@ impl QuerySession {
     /// `Var(0) .. Var(num_query_vars)` for queries: internal Tseitin
     /// letters start above both `V(base)` and `num_query_vars`.
     pub fn with_query_alphabet(base: &Formula, num_query_vars: u32) -> Self {
+        let _span = revkb_obs::span("sat.base_load");
+        OBS_BASE_LOADS.inc();
         let mut supply = supply_above([base]);
         let first_internal_var = supply.fresh_var().0.max(num_query_vars);
         let mut supply = CountingSupply::new(first_internal_var);
@@ -190,12 +207,15 @@ impl QuerySession {
     pub fn entails(&mut self, q: &Formula) -> bool {
         let start = Instant::now();
         self.stats.queries += 1;
+        OBS_QUERIES.inc();
         if let Some(&answer) = self.cache.get(q) {
             self.stats.cache_hits += 1;
+            OBS_CACHE_HITS.inc();
             self.record_time(start);
             return answer;
         }
         self.stats.cache_misses += 1;
+        OBS_CACHE_MISSES.inc();
         if let Some(v) = q
             .vars()
             .into_iter()
@@ -223,7 +243,16 @@ impl QuerySession {
         }
         self.solver.add_clause(&[act.negated(), root.negated()]);
 
-        let counterexample = self.solver.solve_under_assumptions(&[act]);
+        let before = self.solver.stats;
+        let counterexample = {
+            let _span = revkb_obs::span("sat.query");
+            self.solver.solve_under_assumptions(&[act])
+        };
+        let after = &self.solver.stats;
+        OBS_DECISIONS.add(after.decisions - before.decisions);
+        OBS_CONFLICTS.add(after.conflicts - before.conflicts);
+        OBS_PROPAGATIONS.add(after.propagations - before.propagations);
+        OBS_RESTARTS.add(after.restarts - before.restarts);
         // Permanently disable this query's activation group.
         self.solver.add_clause(&[act.negated()]);
 
@@ -263,6 +292,7 @@ impl QuerySession {
         let micros = start.elapsed().as_micros().min(u64::MAX as u128) as u64;
         self.stats.last_query_micros = micros;
         self.stats.total_query_micros += micros;
+        OBS_QUERY_MICROS.record(micros);
     }
 }
 

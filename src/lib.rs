@@ -33,6 +33,7 @@ pub use revkb_bdd as bdd;
 pub use revkb_circuits as circuits;
 pub use revkb_instances as instances;
 pub use revkb_logic as logic;
+pub use revkb_obs as obs;
 pub use revkb_qbf as qbf;
 pub use revkb_revision as revision;
 pub use revkb_sat as sat;

@@ -1,0 +1,70 @@
+//! Guard on the cost of *disabled* telemetry: with `REVKB_TRACE=off`,
+//! every instrument hook must reduce to a single relaxed atomic load,
+//! so the instrumented pipeline stays within 5% of its
+//! pre-instrumentation wall time.
+//!
+//! Rather than pinning an absolute wall time (flaky across machines),
+//! the test pins the *ratio*: it measures a table1-sized batch
+//! workload through the pool's own `wall_time_micros` stat, measures
+//! the real per-hook cost of a disabled instrument, and checks that
+//! the hooks the pipeline executes for that workload (~24 sites per
+//! query: span open/close, counters, histogram) cannot account for 5%
+//! of the batch.
+
+use revkb::logic::{Formula, Var};
+use revkb::obs::{self, Counter, TraceMode};
+use revkb::revision::compact::winslett_bounded;
+use revkb::sat::{pseudo_random_formula, PoolConfig, SessionPool};
+use std::time::Instant;
+
+/// Hook sites executed per query in the instrumented pipeline,
+/// rounded up (session counters + histogram + span open/close on both
+/// the query and batch paths).
+const HOOKS_PER_QUERY: f64 = 24.0;
+
+/// Wall-time floor so a machine fast enough to finish the batch in
+/// microseconds doesn't turn the 5% bound into noise-chasing.
+const FLOOR_MICROS: u64 = 2_000;
+
+static PROBE: Counter = Counter::new("test.overhead.probe");
+
+#[test]
+fn disabled_telemetry_stays_under_five_percent() {
+    obs::set_mode(TraceMode::Off);
+    obs::reset();
+
+    // The table1 batch workload: a bounded Winslett representation
+    // over 12 letters answering 60 pseudo-random queries.
+    let t = Formula::and_all((0..12u32).map(|i| Formula::var(Var(i))));
+    let p = Formula::var(Var(0)).not().or(Formula::var(Var(1)).not());
+    let rep = winslett_bounded(&t, &p);
+    let mut seed = 0x7AB1E1u64;
+    let queries: Vec<Formula> = (0..60)
+        .map(|_| pseudo_random_formula(&mut seed, 3, 12))
+        .collect();
+    let mut pool = SessionPool::with_config(&rep.formula, PoolConfig::default());
+    let answers = pool.par_entails_batch(&queries);
+    assert_eq!(answers.len(), 60);
+    let wall_micros = pool.stats().wall_time_micros.max(FLOOR_MICROS);
+
+    // Real cost of one disabled hook, amortised over a million calls.
+    const CALLS: u64 = 1_000_000;
+    let start = Instant::now();
+    for i in 0..CALLS {
+        PROBE.add(std::hint::black_box(i) & 1);
+    }
+    std::hint::black_box(&PROBE);
+    let per_hook_nanos = start.elapsed().as_nanos() as f64 / CALLS as f64;
+
+    let added_micros = per_hook_nanos * HOOKS_PER_QUERY * queries.len() as f64 / 1_000.0;
+    let budget_micros = 0.05 * wall_micros as f64;
+    assert!(
+        added_micros <= budget_micros,
+        "disabled hooks would add {added_micros:.1}µs to a {wall_micros}µs batch \
+         ({per_hook_nanos:.2}ns/hook); budget is {budget_micros:.1}µs"
+    );
+
+    // Disabled means *disabled*: a million calls left no trace — the
+    // probe never even registered itself.
+    assert_eq!(obs::snapshot().counter("test.overhead.probe"), None);
+}
