@@ -1,0 +1,203 @@
+//! `server_bench` — measure the revision service's artifact cache and
+//! request latency, in process.
+//!
+//! The workload mirrors the multi-client pattern the server exists
+//! for: for each of the eight operators, load a base, revise it (a
+//! cold compile), answer a query batch, then drop the KB and replay
+//! the identical load+revise — which for the model-based operators
+//! must be a pure artifact-cache hit. The cold/warm latency ratio *is*
+//! the cache's value; the report records both, plus the server's own
+//! `stats` counters and a trait-object [`revkb_bench::EngineWorkload`]
+//! cross-check.
+//!
+//! Writes `server_bench_report.json` and prints a summary grid.
+
+use revkb_bench::{json::Value, run_engine_workload, EngineWorkload};
+use revkb_logic::{parse, Signature};
+use revkb_revision::{ModelBasedOp, ReviseBuilder};
+use revkb_server::{Json, Server, ServerConfig};
+use std::time::Instant;
+
+const OPS: [&str; 8] = [
+    "winslett", "borgida", "forbus", "satoh", "dalal", "weber", "gfuv", "widtio",
+];
+
+const THEORY: &str = "a & b; b -> c; c | d";
+const REVISION: &str = "!b | !c";
+const QUERIES: [&str; 4] = ["a", "c | d", "!(b & c)", "a & (c | d)"];
+
+struct OpRun {
+    op: &'static str,
+    cold_revise_micros: u64,
+    warm_revise_micros: u64,
+    warm_cache: String,
+    query_batch_micros: u64,
+    compiled_size: Option<u64>,
+}
+
+fn call(server: &Server, line: &str) -> Json {
+    let response = server.handle_line(line).expect("request line is not blank");
+    let json = Json::parse(&response).expect("response is valid JSON");
+    assert_eq!(
+        json.get("ok").and_then(Json::as_bool),
+        Some(true),
+        "request failed: {line} -> {response}"
+    );
+    json
+}
+
+fn timed(server: &Server, line: &str) -> (Json, u64) {
+    let start = Instant::now();
+    let json = call(server, line);
+    (json, start.elapsed().as_micros() as u64)
+}
+
+fn run_op(server: &Server, op: &'static str) -> OpRun {
+    let kb = format!("bench-{op}");
+    let load = format!(r#"{{"cmd":"load","kb":"{kb}","t":"{THEORY}"}}"#);
+    let revise = format!(r#"{{"cmd":"revise","kb":"{kb}","op":"{op}","p":"{REVISION}"}}"#);
+    let qs: Vec<String> = QUERIES.iter().map(|q| format!("\"{q}\"")).collect();
+    let query = format!(
+        r#"{{"cmd":"query_batch","kb":"{kb}","qs":[{}]}}"#,
+        qs.join(",")
+    );
+
+    call(server, &load);
+    let (cold_resp, cold_revise_micros) = timed(server, &revise);
+    let (_, query_batch_micros) = timed(server, &query);
+    let compiled_size = cold_resp
+        .get("result")
+        .and_then(|r| r.get("compiled_size"))
+        .and_then(Json::as_u64);
+
+    // Drop and replay the identical session: the model-based compile
+    // must now come out of the artifact cache.
+    call(server, &format!(r#"{{"cmd":"drop","kb":"{kb}"}}"#));
+    call(server, &load);
+    let (warm_resp, warm_revise_micros) = timed(server, &revise);
+    let warm_cache = warm_resp
+        .get("result")
+        .and_then(|r| r.get("cache"))
+        .and_then(Json::as_str)
+        .unwrap_or("?")
+        .to_string();
+    call(server, &format!(r#"{{"cmd":"drop","kb":"{kb}"}}"#));
+
+    OpRun {
+        op,
+        cold_revise_micros,
+        warm_revise_micros,
+        warm_cache,
+        query_batch_micros,
+        compiled_size,
+    }
+}
+
+fn trait_dispatch_workload() -> EngineWorkload {
+    let mut sig = Signature::new();
+    let t = parse(&THEORY.replace(';', " & "), &mut sig).expect("bench theory parses");
+    let p = parse(REVISION, &mut sig).expect("bench revision parses");
+    let queries: Vec<_> = QUERIES
+        .iter()
+        .map(|q| parse(q, &mut sig).expect("bench query parses"))
+        .collect();
+    let mut engine = ReviseBuilder::new(ModelBasedOp::Dalal)
+        .engine(&t, std::slice::from_ref(&p))
+        .expect("bench compile succeeds");
+    run_engine_workload(engine.as_mut(), &queries)
+}
+
+fn main() {
+    let server = Server::new(ServerConfig::default());
+    let runs: Vec<OpRun> = OPS.iter().map(|op| run_op(&server, op)).collect();
+
+    let stats = call(&server, r#"{"cmd":"stats"}"#);
+    let result = stats.get("result").expect("stats result");
+    let cache = result.get("cache").expect("stats cache block");
+    let cache_field = |key: &str| -> u64 { cache.get(key).and_then(Json::as_u64).unwrap_or(0) };
+    let requests = result.get("requests").and_then(Json::as_u64).unwrap_or(0);
+
+    let workload = trait_dispatch_workload();
+
+    println!("== server_bench: artifact cache & request latency ==");
+    println!(
+        "{:<10} {:>16} {:>16} {:>10} {:>16} {:>14}",
+        "operator", "cold_revise_us", "warm_revise_us", "cache", "query_batch_us", "compiled_size"
+    );
+    for run in &runs {
+        println!(
+            "{:<10} {:>16} {:>16} {:>10} {:>16} {:>14}",
+            run.op,
+            run.cold_revise_micros,
+            run.warm_revise_micros,
+            run.warm_cache,
+            run.query_batch_micros,
+            run.compiled_size
+                .map_or_else(|| "-".to_string(), |s| s.to_string()),
+        );
+    }
+    println!();
+    println!(
+        "requests={requests} cache: hits={} misses={} evictions={}",
+        cache_field("hits"),
+        cache_field("misses"),
+        cache_field("evictions"),
+    );
+    println!(
+        "trait-object dispatch ({}): single_us={} batch_us={} parallel_us={} answers_match={}",
+        workload.engine,
+        workload.single_wall_micros,
+        workload.batch_wall_micros,
+        workload.parallel_wall_micros,
+        workload.answers_match,
+    );
+
+    let report = Value::object([
+        ("bench", Value::string("server_bench")),
+        (
+            "threads",
+            Value::Number(revkb_sat::default_threads() as f64),
+        ),
+        (
+            "operators",
+            Value::array(runs.iter().map(|run| {
+                Value::object([
+                    ("op", Value::string(run.op)),
+                    (
+                        "cold_revise_micros",
+                        Value::Number(run.cold_revise_micros as f64),
+                    ),
+                    (
+                        "warm_revise_micros",
+                        Value::Number(run.warm_revise_micros as f64),
+                    ),
+                    ("warm_cache", Value::string(&run.warm_cache)),
+                    (
+                        "query_batch_micros",
+                        Value::Number(run.query_batch_micros as f64),
+                    ),
+                    (
+                        "compiled_size",
+                        run.compiled_size
+                            .map_or(Value::Null, |s| Value::Number(s as f64)),
+                    ),
+                ])
+            })),
+        ),
+        (
+            "cache",
+            Value::object([
+                ("hits", Value::Number(cache_field("hits") as f64)),
+                ("misses", Value::Number(cache_field("misses") as f64)),
+                ("evictions", Value::Number(cache_field("evictions") as f64)),
+            ]),
+        ),
+        ("requests", Value::Number(requests as f64)),
+        ("engine_workload", workload.to_json()),
+    ]);
+    if let Err(e) = std::fs::write("server_bench_report.json", report.pretty()) {
+        eprintln!("could not write server_bench_report.json: {e}");
+    } else {
+        println!("(full measurements written to server_bench_report.json)");
+    }
+}

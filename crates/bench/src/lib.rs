@@ -14,6 +14,7 @@
 #![warn(missing_docs)]
 
 use revkb_logic::Formula;
+use revkb_revision::Engine;
 use revkb_sat::{PoolConfig, PoolStats, SessionPool};
 use std::time::Instant;
 
@@ -239,6 +240,77 @@ impl BatchWorkload {
             ),
             ("answers_match", json::Value::Bool(self.answers_match)),
             ("pool_stats", json::Value::Raw(self.pool.to_json())),
+        ])
+    }
+}
+
+/// One engine's workload, measured through trait-object dispatch: the
+/// same queries answered one at a time, as a batch, and through the
+/// parallel path, with the three answer vectors cross-checked.
+#[derive(Debug, Clone)]
+pub struct EngineWorkload {
+    /// `Engine::describe()` of the engine under test.
+    pub engine: String,
+    /// Queries in the workload.
+    pub queries: usize,
+    /// Wall time of the one-at-a-time pass, in microseconds.
+    pub single_wall_micros: u64,
+    /// Wall time of the batch pass, in microseconds.
+    pub batch_wall_micros: u64,
+    /// Wall time of the parallel-batch pass, in microseconds.
+    pub parallel_wall_micros: u64,
+    /// Whether all three passes agreed bit-for-bit (a `false` is a
+    /// correctness bug, and the report says so rather than hiding it).
+    pub answers_match: bool,
+}
+
+/// Run `queries` through any [`Engine`] three ways — single calls,
+/// one batch, one parallel batch — and capture the comparison. This is
+/// the generic analogue of [`run_batch_workload`]: it exercises the
+/// exact dispatch path the `revkb-server` registry uses
+/// (`Box<dyn Engine + Send>`), so a divergence between trait-object
+/// and concrete behaviour shows up here first.
+pub fn run_engine_workload(engine: &mut dyn Engine, queries: &[Formula]) -> EngineWorkload {
+    let start = Instant::now();
+    let single: Vec<bool> = queries.iter().map(|q| engine.entails(q)).collect();
+    let single_wall_micros = start.elapsed().as_micros() as u64;
+    let start = Instant::now();
+    let batch = engine.entails_batch(queries);
+    let batch_wall_micros = start.elapsed().as_micros() as u64;
+    let start = Instant::now();
+    let parallel = engine
+        .par_entails_batch(queries)
+        .expect("parallel batch failed after batch succeeded");
+    let parallel_wall_micros = start.elapsed().as_micros() as u64;
+    EngineWorkload {
+        engine: engine.describe(),
+        queries: queries.len(),
+        single_wall_micros,
+        batch_wall_micros,
+        parallel_wall_micros,
+        answers_match: single == batch && batch == parallel,
+    }
+}
+
+impl EngineWorkload {
+    /// Render as a JSON object.
+    pub fn to_json(&self) -> json::Value {
+        json::Value::object([
+            ("engine", json::Value::string(&self.engine)),
+            ("queries", json::Value::Number(self.queries as f64)),
+            (
+                "single_wall_micros",
+                json::Value::Number(self.single_wall_micros as f64),
+            ),
+            (
+                "batch_wall_micros",
+                json::Value::Number(self.batch_wall_micros as f64),
+            ),
+            (
+                "parallel_wall_micros",
+                json::Value::Number(self.parallel_wall_micros as f64),
+            ),
+            ("answers_match", json::Value::Bool(self.answers_match)),
         ])
     }
 }
@@ -475,6 +547,24 @@ mod tests {
         }
         assert!(matches!(s.growth(), Growth::Polynomial { .. }));
         assert!(s.render().contains("5→25"));
+    }
+
+    #[test]
+    fn engine_workload_through_trait_object() {
+        use revkb_logic::Var;
+        use revkb_revision::{ModelBasedOp, RevisedKb};
+        let v = |i: u32| Formula::var(Var(i));
+        let t = v(0).and(v(1)).and(v(2));
+        let p = v(0).not().or(v(1).not());
+        let mut engine: Box<dyn Engine> =
+            Box::new(RevisedKb::compile(ModelBasedOp::Dalal, &t, &p).unwrap());
+        let queries = vec![v(2), v(0).or(v(1)), v(0).and(v(1)), v(2).not()];
+        let workload = run_engine_workload(engine.as_mut(), &queries);
+        assert!(workload.answers_match);
+        assert_eq!(workload.queries, 4);
+        assert!(workload.engine.contains("Dalal"));
+        let j = format!("{:?}", workload.to_json());
+        assert!(j.contains("answers_match"));
     }
 
     #[test]

@@ -115,14 +115,21 @@ pub struct CompactRep {
     /// Lazily-created sharded pool for batch queries (independent of
     /// the single-query session so mixed workloads keep both warm).
     pool: RefCell<Option<SessionPool>>,
+    /// Configuration the lazy pool is created with; `None` means
+    /// [`PoolConfig::default`] (which honours `REVKB_THREADS`).
+    pool_config: RefCell<Option<PoolConfig>>,
 }
 
 impl Clone for CompactRep {
     fn clone(&self) -> Self {
         // The clone starts with a fresh (unloaded) session rather than
         // a copy of the solver state: cloning is used to build derived
-        // representations, not to share query workloads.
-        Self::new(self.formula.clone(), self.base.clone(), self.logical)
+        // representations, not to share query workloads. The pool
+        // configuration, being a tuning knob rather than state, does
+        // carry over.
+        let rep = Self::new(self.formula.clone(), self.base.clone(), self.logical);
+        *rep.pool_config.borrow_mut() = self.pool_config.borrow().clone();
+        rep
     }
 }
 
@@ -135,7 +142,17 @@ impl CompactRep {
             logical,
             session: RefCell::new(None),
             pool: RefCell::new(None),
+            pool_config: RefCell::new(None),
         }
+    }
+
+    /// Configure the batch pool that [`CompactRep::entails_batch`]
+    /// lazily creates (worker count, sequential threshold). A no-op on
+    /// an already-created pool — call it before the first batch. The
+    /// default (no call) honours `REVKB_THREADS` via
+    /// [`PoolConfig::default`].
+    pub fn set_pool_config(&self, config: PoolConfig) {
+        *self.pool_config.borrow_mut() = Some(config);
     }
 
     /// A query-equivalent representation.
@@ -209,7 +226,8 @@ impl CompactRep {
         let mut slot = self.pool.borrow_mut();
         let pool = slot.get_or_insert_with(|| {
             let num_query_vars = self.base.iter().map(|v| v.0 + 1).max().unwrap_or(0);
-            SessionPool::with_query_alphabet(&self.formula, num_query_vars, PoolConfig::default())
+            let config = self.pool_config.borrow().clone().unwrap_or_default();
+            SessionPool::with_query_alphabet(&self.formula, num_query_vars, config)
         });
         Ok(pool.par_entails_batch(queries))
     }

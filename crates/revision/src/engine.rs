@@ -305,6 +305,12 @@ impl RevisedKb {
     pub fn size(&self) -> usize {
         self.rep.size()
     }
+
+    /// Configure the lazy batch pool (see
+    /// [`crate::compact::CompactRep::set_pool_config`]).
+    pub fn set_pool_config(&self, config: revkb_sat::PoolConfig) {
+        self.rep.set_pool_config(config);
+    }
 }
 
 /// The paper's delayed-incorporation strategy (§6.2 / Conclusions):
@@ -341,6 +347,26 @@ impl DelayedKb {
         &self.ps
     }
 
+    /// The operator every recorded revision will be compiled with.
+    pub fn operator(&self) -> ModelBasedOp {
+        self.op
+    }
+
+    /// The initial knowledge base `T`.
+    pub fn base(&self) -> &Formula {
+        &self.t
+    }
+
+    /// Compile now (if not already compiled) and return the cached
+    /// compilation. [`DelayedKb::entails`] does this implicitly; the
+    /// explicit form lets callers front-load the cost.
+    pub fn force_compile(&mut self) -> Result<&RevisedKb, CompileError> {
+        if self.compiled.is_none() {
+            self.compiled = Some(RevisedKb::compile_iterated(self.op, &self.t, &self.ps)?);
+        }
+        Ok(self.compiled.as_ref().expect("just compiled"))
+    }
+
     /// Answer a query, compiling (and caching) on demand. While no
     /// further revision arrives, every query reuses the cached
     /// compilation's incremental solver session.
@@ -350,10 +376,7 @@ impl DelayedKb {
     /// If `q` mentions letters outside the base alphabet of the
     /// compilation (see [`RevisedKb::entails`]).
     pub fn entails(&mut self, q: &Formula) -> Result<bool, CompileError> {
-        if self.compiled.is_none() {
-            self.compiled = Some(RevisedKb::compile_iterated(self.op, &self.t, &self.ps)?);
-        }
-        Ok(self.compiled.as_ref().expect("just compiled").entails(q))
+        Ok(self.force_compile()?.entails(q))
     }
 
     /// Answer a batch of queries, compiling (and caching) on demand;
@@ -365,14 +388,7 @@ impl DelayedKb {
     /// If any query mentions letters outside the base alphabet of the
     /// compilation (see [`RevisedKb::entails_batch`]).
     pub fn entails_batch(&mut self, queries: &[Formula]) -> Result<Vec<bool>, CompileError> {
-        if self.compiled.is_none() {
-            self.compiled = Some(RevisedKb::compile_iterated(self.op, &self.t, &self.ps)?);
-        }
-        Ok(self
-            .compiled
-            .as_ref()
-            .expect("just compiled")
-            .entails_batch(queries))
+        Ok(self.force_compile()?.entails_batch(queries))
     }
 
     /// Statistics of the cached compilation's query session, if a

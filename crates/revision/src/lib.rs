@@ -38,6 +38,8 @@
 #![warn(missing_docs)]
 
 pub mod advice;
+pub mod api;
+pub mod builder;
 pub mod compact;
 pub mod containment;
 pub mod contraction;
@@ -46,6 +48,7 @@ pub mod distance;
 pub mod engine;
 pub mod engine_formula_based;
 pub mod equivalence;
+pub mod error;
 pub mod formula_based;
 pub mod horn;
 pub mod minimize;
@@ -55,6 +58,8 @@ pub mod postulates;
 pub mod semantic;
 
 pub use advice::{advise, Advice, OperatorKind, Profile};
+pub use api::{Engine, GfuvEngine, WidtioEngine};
+pub use builder::{Backend, ReviseBuilder, CACHE_CAP_ENV, DEFAULT_CACHE_CAPACITY};
 pub use compact::{CompactRep, EngineStats, QueryError};
 pub use containment::{check_containments, containment_matrix, FIGURE1_EDGES};
 pub use contraction::{contract, contract_on};
@@ -65,6 +70,7 @@ pub use equivalence::{
     logically_equivalent, query_equivalent_bdd, query_equivalent_enum,
     query_equivalent_enum_limited,
 };
+pub use error::Error;
 pub use formula_based::{
     gfuv_entails, gfuv_explicit, nebel_entails, nebel_preferred_subtheories, possible_worlds,
     widtio, world_count, Theory,

@@ -66,6 +66,20 @@ impl ModelBasedOp {
         }
     }
 
+    /// Parse an operator name as accepted on the command line and the
+    /// server wire protocol (case-insensitive, common abbreviations).
+    pub fn from_name(name: &str) -> Option<ModelBasedOp> {
+        match name.to_ascii_lowercase().as_str() {
+            "winslett" | "win" => Some(ModelBasedOp::Winslett),
+            "borgida" | "b" => Some(ModelBasedOp::Borgida),
+            "forbus" | "f" => Some(ModelBasedOp::Forbus),
+            "satoh" | "s" => Some(ModelBasedOp::Satoh),
+            "dalal" | "d" => Some(ModelBasedOp::Dalal),
+            "weber" | "web" => Some(ModelBasedOp::Weber),
+            _ => None,
+        }
+    }
+
     /// Is proximity computed pointwise per model of `T` (update-style)
     /// rather than globally (revision-style)?
     pub fn is_pointwise(self) -> bool {

@@ -1,0 +1,125 @@
+//! Standalone entry point for the revision service.
+//!
+//! ```text
+//! revkb-server --stdio                 # serve one NDJSON session on stdin/stdout
+//! revkb-server --listen 127.0.0.1:7878 # serve TCP clients until `shutdown`
+//! ```
+//!
+//! Tuning comes from `REVKB_SERVER_*` environment variables (see
+//! `ServerConfig::from_env`) overridden by the flags below. The same
+//! loops are reachable as `revkb serve` from the main CLI.
+
+use revkb_server::{Server, ServerConfig};
+use std::io::{self, BufReader, Write};
+use std::net::TcpListener;
+use std::process::ExitCode;
+
+const USAGE: &str = "usage: revkb-server (--stdio | --listen ADDR) \
+                     [--threads N] [--queue N] [--deadline-ms N] \
+                     [--compile-timeout-ms N] [--cache-cap N]";
+
+enum Transport {
+    Stdio,
+    Tcp(String),
+}
+
+fn parse_args(args: &[String]) -> Result<(Transport, ServerConfig), String> {
+    let mut transport = None;
+    let mut config = ServerConfig::from_env();
+    let mut iter = args.iter();
+    let value = |iter: &mut std::slice::Iter<String>, flag: &str| {
+        iter.next()
+            .cloned()
+            .ok_or_else(|| format!("{flag} needs a value"))
+    };
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--stdio" => transport = Some(Transport::Stdio),
+            "--listen" => transport = Some(Transport::Tcp(value(&mut iter, "--listen")?)),
+            "--threads" => {
+                config = config.with_threads(
+                    value(&mut iter, "--threads")?
+                        .parse()
+                        .map_err(|_| "--threads needs an integer".to_string())?,
+                );
+            }
+            "--queue" => {
+                config = config.with_queue(
+                    value(&mut iter, "--queue")?
+                        .parse()
+                        .map_err(|_| "--queue needs an integer".to_string())?,
+                );
+            }
+            "--deadline-ms" => {
+                config = config.with_default_deadline_ms(
+                    value(&mut iter, "--deadline-ms")?
+                        .parse()
+                        .map_err(|_| "--deadline-ms needs an integer".to_string())?,
+                );
+            }
+            "--compile-timeout-ms" => {
+                config = config.with_compile_timeout_ms(Some(
+                    value(&mut iter, "--compile-timeout-ms")?
+                        .parse()
+                        .map_err(|_| "--compile-timeout-ms needs an integer".to_string())?,
+                ));
+            }
+            "--cache-cap" => {
+                config = config.with_cache_capacity(
+                    value(&mut iter, "--cache-cap")?
+                        .parse()
+                        .map_err(|_| "--cache-cap needs an integer".to_string())?,
+                );
+            }
+            other => return Err(format!("unknown argument {other:?}")),
+        }
+    }
+    let transport = transport.ok_or_else(|| "pick --stdio or --listen ADDR".to_string())?;
+    Ok((transport, config))
+}
+
+/// Run the server on the chosen transport. Shared with `revkb serve`.
+pub fn run(args: &[String]) -> ExitCode {
+    let (transport, config) = match parse_args(args) {
+        Ok(parsed) => parsed,
+        Err(message) => {
+            eprintln!("revkb-server: {message}\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let server = Server::new(config);
+    let outcome = match transport {
+        Transport::Stdio => {
+            let stdin = io::stdin();
+            let stdout = io::stdout();
+            server.serve_stdio(BufReader::new(stdin.lock()), stdout.lock())
+        }
+        Transport::Tcp(addr) => match TcpListener::bind(&addr) {
+            Ok(listener) => {
+                // Announce the bound address (the OS picks the port
+                // for ":0" binds) so scripts can connect.
+                if let Ok(local) = listener.local_addr() {
+                    println!("listening {local}");
+                    let _ = io::stdout().flush();
+                }
+                server.serve_tcp(listener)
+            }
+            Err(e) => {
+                eprintln!("revkb-server: cannot bind {addr}: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+    };
+    match outcome {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("revkb-server: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    run(&args)
+}

@@ -1,0 +1,40 @@
+//! # revkb-server
+//!
+//! A persistent multi-client revision service over the workspace's
+//! compiled-revision engines — the operational shape the paper's
+//! complexity results suggest: compiling `T * P` is the expensive,
+//! *offline* step, so a long-running process that compiles once and
+//! answers many queries (for many clients, against many named bases)
+//! amortises exactly the cost the compact-representation theorems
+//! bound.
+//!
+//! The pieces:
+//!
+//! - [`json`]: a dependency-free strict JSON parser/emitter (the
+//!   workspace builds offline; no serde);
+//! - [`protocol`]: the NDJSON request/response envelope, command set
+//!   and stable error codes;
+//! - [`registry`]: named [`registry::KbState`]s plus the
+//!   [`registry::ArtifactCache`] — an LRU over canonical
+//!   `(operator, backend, T, P…)` keys so recompiling a base another
+//!   client already compiled is free;
+//! - [`server`]: admission control, per-request deadlines, compile
+//!   degradation, and the stdio/TCP serving loops;
+//! - [`metrics`]: always-on counters for the `stats` command, mirrored
+//!   into `revkb-obs` instruments when tracing is enabled.
+//!
+//! See `crates/server/PROTOCOL.md` for the wire format.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod json;
+pub mod metrics;
+pub mod protocol;
+pub mod registry;
+pub mod server;
+
+pub use json::Json;
+pub use protocol::{Command, OpName, Request};
+pub use registry::{cache_key, Artifact, ArtifactCache, KbKind, KbState};
+pub use server::{Server, ServerConfig};

@@ -1,0 +1,136 @@
+//! Server instrumentation.
+//!
+//! Two layers, on purpose:
+//!
+//! - **`obs` instruments** (this module's statics) feed the workspace
+//!   telemetry registry and show up in `revkb_obs::snapshot()` /
+//!   `drain()` like every other subsystem's — but they are gated on
+//!   `REVKB_TRACE` and silently no-op when tracing is off.
+//! - **[`ServerCounters`]** are plain atomics owned by the server and
+//!   always on, because the wire protocol's `stats` command must
+//!   return real numbers regardless of the trace mode.
+//!
+//! [`ServerCounters`] mirrors every event into the matching `obs`
+//! instrument so the two layers never disagree when tracing *is* on.
+
+use revkb_obs as obs;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Requests fully processed (any outcome).
+pub static REQUESTS: obs::Counter = obs::Counter::new("server.requests");
+/// Requests rejected by admission control.
+pub static OVERLOADED: obs::Counter = obs::Counter::new("server.overloaded");
+/// Requests that exceeded their deadline.
+pub static TIMEOUTS: obs::Counter = obs::Counter::new("server.timeouts");
+/// Requests answered with a protocol-level error.
+pub static ERRORS: obs::Counter = obs::Counter::new("server.errors");
+/// Artifact-cache hits.
+pub static CACHE_HITS: obs::Counter = obs::Counter::new("server.cache.hits");
+/// Artifact-cache misses.
+pub static CACHE_MISSES: obs::Counter = obs::Counter::new("server.cache.misses");
+/// Artifact-cache evictions.
+pub static CACHE_EVICTIONS: obs::Counter = obs::Counter::new("server.cache.evictions");
+/// Compilations that fell back to the degraded profile.
+pub static DEGRADED: obs::Counter = obs::Counter::new("server.degraded");
+/// Knowledge bases currently registered.
+pub static KBS: obs::Gauge = obs::Gauge::new("server.kbs");
+/// High-watermark of concurrently in-flight requests.
+pub static IN_FLIGHT_PEAK: obs::Gauge = obs::Gauge::new("server.in_flight.peak");
+/// End-to-end request latency in microseconds.
+pub static REQUEST_MICROS: obs::Histogram = obs::Histogram::new("server.request.micros");
+/// Compile time (cache misses only) in microseconds.
+pub static COMPILE_MICROS: obs::Histogram = obs::Histogram::new("server.compile.micros");
+
+/// Always-on request accounting backing the `stats` command.
+///
+/// Every increment also feeds the corresponding `obs` instrument, so
+/// `REVKB_TRACE=summary` output and `stats` responses agree.
+#[derive(Debug, Default)]
+pub struct ServerCounters {
+    requests: AtomicU64,
+    overloaded: AtomicU64,
+    timeouts: AtomicU64,
+    errors: AtomicU64,
+    degraded: AtomicU64,
+}
+
+impl ServerCounters {
+    /// One request fully processed, taking `micros` end to end.
+    pub fn request(&self, micros: u64) {
+        self.requests.fetch_add(1, Ordering::Relaxed);
+        REQUESTS.inc();
+        REQUEST_MICROS.record(micros);
+    }
+
+    /// One request rejected by admission control.
+    pub fn overloaded(&self) {
+        self.overloaded.fetch_add(1, Ordering::Relaxed);
+        OVERLOADED.inc();
+    }
+
+    /// One request that blew its deadline.
+    pub fn timeout(&self) {
+        self.timeouts.fetch_add(1, Ordering::Relaxed);
+        TIMEOUTS.inc();
+    }
+
+    /// One request answered with an error response.
+    pub fn error(&self) {
+        self.errors.fetch_add(1, Ordering::Relaxed);
+        ERRORS.inc();
+    }
+
+    /// One compilation that fell back to the degraded profile.
+    pub fn degraded(&self) {
+        self.degraded.fetch_add(1, Ordering::Relaxed);
+        DEGRADED.inc();
+    }
+
+    /// Requests processed so far.
+    pub fn requests_total(&self) -> u64 {
+        self.requests.load(Ordering::Relaxed)
+    }
+
+    /// Admission rejections so far.
+    pub fn overloaded_total(&self) -> u64 {
+        self.overloaded.load(Ordering::Relaxed)
+    }
+
+    /// Deadline misses so far.
+    pub fn timeouts_total(&self) -> u64 {
+        self.timeouts.load(Ordering::Relaxed)
+    }
+
+    /// Error responses so far.
+    pub fn errors_total(&self) -> u64 {
+        self.errors.load(Ordering::Relaxed)
+    }
+
+    /// Degraded compiles so far.
+    pub fn degraded_total(&self) -> u64 {
+        self.degraded.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_count_without_tracing() {
+        // REVKB_TRACE is off in tests: obs instruments no-op, the
+        // plain counters must still move.
+        let c = ServerCounters::default();
+        c.request(10);
+        c.request(20);
+        c.overloaded();
+        c.timeout();
+        c.error();
+        c.degraded();
+        assert_eq!(c.requests_total(), 2);
+        assert_eq!(c.overloaded_total(), 1);
+        assert_eq!(c.timeouts_total(), 1);
+        assert_eq!(c.errors_total(), 1);
+        assert_eq!(c.degraded_total(), 1);
+    }
+}

@@ -1,0 +1,380 @@
+//! The wire protocol: line-delimited JSON requests and responses.
+//!
+//! One request per line, one response per line, matched by the
+//! client-chosen `id` field (echoed verbatim — number or string).
+//! Responses are `{"id":…,"ok":true,"result":{…}}` on success and
+//! `{"id":…,"ok":false,"code":"…","error":"…"}` on failure. The
+//! `code` strings for engine-level failures are exactly
+//! [`revkb_revision::Error::code`]; the protocol adds its own codes
+//! for transport-level conditions ([`codes`]).
+//!
+//! See `crates/server/PROTOCOL.md` for the full command reference with
+//! examples.
+
+use crate::json::Json;
+use revkb_revision::{Backend, ModelBasedOp};
+
+/// Protocol-level error codes (engine-level codes come verbatim from
+/// [`revkb_revision::Error::code`]).
+pub mod codes {
+    /// The request line is not valid JSON or not a valid request.
+    pub const BAD_REQUEST: &str = "bad_request";
+    /// The named knowledge base does not exist.
+    pub const UNKNOWN_KB: &str = "unknown_kb";
+    /// A revise used a different operator than the KB's history; the
+    /// iterated constructions are single-operator chains.
+    pub const OPERATOR_MISMATCH: &str = "operator_mismatch";
+    /// The request was rejected by admission control: too many
+    /// requests already in flight. Back off and retry.
+    pub const OVERLOADED: &str = "overloaded";
+    /// The request's deadline expired before it could be answered.
+    pub const TIMEOUT: &str = "timeout";
+    /// The server is shutting down.
+    pub const SHUTTING_DOWN: &str = "shutting_down";
+    /// The command is valid but not supported for this KB state
+    /// (e.g. a second revision of a GFUV base).
+    pub const UNSUPPORTED: &str = "unsupported";
+}
+
+/// Which revision operator a `revise` request names: one of the six
+/// model-based operators or one of the two formula-based ones.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OpName {
+    /// A model-based operator (Winslett, Borgida, Forbus, Satoh,
+    /// Dalal, Weber).
+    Model(ModelBasedOp),
+    /// GFUV possible-worlds revision.
+    Gfuv,
+    /// When In Doubt Throw It Out.
+    Widtio,
+}
+
+impl OpName {
+    /// Wire tag of the operator.
+    pub fn tag(self) -> &'static str {
+        match self {
+            OpName::Model(op) => match op {
+                ModelBasedOp::Winslett => "winslett",
+                ModelBasedOp::Borgida => "borgida",
+                ModelBasedOp::Forbus => "forbus",
+                ModelBasedOp::Satoh => "satoh",
+                ModelBasedOp::Dalal => "dalal",
+                ModelBasedOp::Weber => "weber",
+            },
+            OpName::Gfuv => "gfuv",
+            OpName::Widtio => "widtio",
+        }
+    }
+
+    /// Parse a wire tag (the same names the CLI accepts).
+    pub fn from_tag(tag: &str) -> Option<OpName> {
+        match tag.to_ascii_lowercase().as_str() {
+            "gfuv" | "nebel" => Some(OpName::Gfuv),
+            "widtio" => Some(OpName::Widtio),
+            other => ModelBasedOp::from_name(other).map(OpName::Model),
+        }
+    }
+
+    /// All eight operators, for sweeps and tests.
+    pub const ALL: [OpName; 8] = [
+        OpName::Model(ModelBasedOp::Winslett),
+        OpName::Model(ModelBasedOp::Borgida),
+        OpName::Model(ModelBasedOp::Forbus),
+        OpName::Model(ModelBasedOp::Satoh),
+        OpName::Model(ModelBasedOp::Dalal),
+        OpName::Model(ModelBasedOp::Weber),
+        OpName::Gfuv,
+        OpName::Widtio,
+    ];
+}
+
+/// A parsed request: the command plus the request-level envelope
+/// fields (`id`, `deadline_ms`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Request {
+    /// Client-chosen correlation id, echoed verbatim in the response.
+    pub id: Option<Json>,
+    /// Per-request deadline in milliseconds (admission + execution
+    /// must start within it). Absent means the server default.
+    pub deadline_ms: Option<u64>,
+    /// The command.
+    pub cmd: Command,
+}
+
+/// Every command the server understands.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// Create (or replace) a named KB from a `;`-separated theory.
+    Load {
+        /// KB name.
+        kb: String,
+        /// Theory text, `;`-separated formulas.
+        t: String,
+    },
+    /// Revise a named KB: `T * P` under the given operator.
+    Revise {
+        /// KB name.
+        kb: String,
+        /// Operator tag.
+        op: OpName,
+        /// Revision formula text.
+        p: String,
+        /// Compilation backend (model-based ops only).
+        backend: Backend,
+    },
+    /// Single entailment query.
+    Query {
+        /// KB name.
+        kb: String,
+        /// Query formula text.
+        q: String,
+    },
+    /// Batch entailment query (answers come back index-aligned).
+    QueryBatch {
+        /// KB name.
+        kb: String,
+        /// Query formula texts.
+        qs: Vec<String>,
+    },
+    /// List the registry.
+    List,
+    /// Server counters and cache statistics.
+    Stats,
+    /// Remove a named KB.
+    Drop {
+        /// KB name.
+        kb: String,
+    },
+    /// Liveness probe.
+    Ping,
+    /// Stop accepting work and shut down cleanly.
+    Shutdown,
+}
+
+/// Why a request line could not be turned into a [`Request`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RequestError {
+    /// The echoable id, if the line parsed far enough to have one.
+    pub id: Option<String>,
+    /// Human-readable description.
+    pub message: String,
+}
+
+fn field<'a>(obj: &'a Json, key: &str) -> Result<&'a str, String> {
+    obj.get(key)
+        .and_then(Json::as_str)
+        .ok_or_else(|| format!("missing or non-string field {key:?}"))
+}
+
+/// Parse one request line. On error, returns the echoable `id` (when
+/// the line was at least a JSON object) plus a message.
+pub fn parse_request(line: &str) -> Result<Request, RequestError> {
+    let value = Json::parse(line).map_err(|e| RequestError {
+        id: None,
+        message: e.to_string(),
+    })?;
+    let id = value.get("id").cloned();
+    let fail = |message: String| RequestError {
+        id: id.as_ref().map(Json::render),
+        message,
+    };
+    if !matches!(value, Json::Obj(_)) {
+        return Err(fail("request must be a JSON object".to_string()));
+    }
+    match &id {
+        None | Some(Json::Num(_)) | Some(Json::Str(_)) => {}
+        Some(_) => return Err(fail("id must be a number or a string".to_string())),
+    }
+    let deadline_ms = match value.get("deadline_ms") {
+        None => None,
+        Some(v) => Some(
+            v.as_u64()
+                .ok_or_else(|| fail("deadline_ms must be a non-negative integer".to_string()))?,
+        ),
+    };
+    let cmd_tag = field(&value, "cmd").map_err(&fail)?;
+    let cmd = match cmd_tag {
+        "load" => Command::Load {
+            kb: field(&value, "kb").map_err(&fail)?.to_string(),
+            t: field(&value, "t").map_err(&fail)?.to_string(),
+        },
+        "revise" => {
+            let op_tag = field(&value, "op").map_err(&fail)?;
+            let op = OpName::from_tag(op_tag)
+                .ok_or_else(|| fail(format!("unknown operator {op_tag:?}")))?;
+            let backend = match value.get("backend") {
+                None => Backend::Direct,
+                Some(v) => {
+                    let tag = v
+                        .as_str()
+                        .ok_or_else(|| fail("backend must be a string".to_string()))?;
+                    Backend::from_tag(tag)
+                        .ok_or_else(|| fail(format!("unknown backend {tag:?}")))?
+                }
+            };
+            Command::Revise {
+                kb: field(&value, "kb").map_err(&fail)?.to_string(),
+                op,
+                p: field(&value, "p").map_err(&fail)?.to_string(),
+                backend,
+            }
+        }
+        "query" => Command::Query {
+            kb: field(&value, "kb").map_err(&fail)?.to_string(),
+            q: field(&value, "q").map_err(&fail)?.to_string(),
+        },
+        "query_batch" => {
+            let qs = value
+                .get("qs")
+                .and_then(Json::as_array)
+                .ok_or_else(|| fail("missing or non-array field \"qs\"".to_string()))?;
+            let qs: Result<Vec<String>, RequestError> = qs
+                .iter()
+                .map(|q| {
+                    q.as_str()
+                        .map(str::to_string)
+                        .ok_or_else(|| fail("qs must contain only strings".to_string()))
+                })
+                .collect();
+            Command::QueryBatch {
+                kb: field(&value, "kb").map_err(&fail)?.to_string(),
+                qs: qs?,
+            }
+        }
+        "list" => Command::List,
+        "stats" => Command::Stats,
+        "drop" => Command::Drop {
+            kb: field(&value, "kb").map_err(&fail)?.to_string(),
+        },
+        "ping" => Command::Ping,
+        "shutdown" => Command::Shutdown,
+        other => return Err(fail(format!("unknown command {other:?}"))),
+    };
+    Ok(Request {
+        id,
+        deadline_ms,
+        cmd,
+    })
+}
+
+/// Render a success response line (no trailing newline).
+pub fn ok_response(id: &Option<Json>, result: Json) -> String {
+    Json::obj([
+        ("id", id.clone().unwrap_or(Json::Null)),
+        ("ok", Json::Bool(true)),
+        ("result", result),
+    ])
+    .render()
+}
+
+/// Render an error response line (no trailing newline).
+pub fn err_response(id: &Option<Json>, code: &str, message: &str) -> String {
+    Json::obj([
+        ("id", id.clone().unwrap_or(Json::Null)),
+        ("ok", Json::Bool(false)),
+        ("code", Json::str(code)),
+        ("error", Json::str(message)),
+    ])
+    .render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_every_command() {
+        let cases = [
+            (r#"{"id":1,"cmd":"load","kb":"k","t":"a & b"}"#, "load"),
+            (
+                r#"{"id":"x","cmd":"revise","kb":"k","op":"dalal","p":"!a"}"#,
+                "revise",
+            ),
+            (r#"{"cmd":"query","kb":"k","q":"b"}"#, "query"),
+            (
+                r#"{"cmd":"query_batch","kb":"k","qs":["a","b"]}"#,
+                "query_batch",
+            ),
+            (r#"{"cmd":"list"}"#, "list"),
+            (r#"{"cmd":"stats"}"#, "stats"),
+            (r#"{"cmd":"drop","kb":"k"}"#, "drop"),
+            (r#"{"cmd":"ping"}"#, "ping"),
+            (r#"{"cmd":"shutdown"}"#, "shutdown"),
+        ];
+        for (line, tag) in cases {
+            let req = parse_request(line).unwrap_or_else(|e| panic!("{line}: {e:?}"));
+            let ok = matches!(
+                (&req.cmd, tag),
+                (Command::Load { .. }, "load")
+                    | (Command::Revise { .. }, "revise")
+                    | (Command::Query { .. }, "query")
+                    | (Command::QueryBatch { .. }, "query_batch")
+                    | (Command::List, "list")
+                    | (Command::Stats, "stats")
+                    | (Command::Drop { .. }, "drop")
+                    | (Command::Ping, "ping")
+                    | (Command::Shutdown, "shutdown")
+            );
+            assert!(ok, "{line} parsed as {:?}", req.cmd);
+        }
+    }
+
+    #[test]
+    fn envelope_fields() {
+        let req = parse_request(r#"{"id":7,"deadline_ms":250,"cmd":"ping"}"#).unwrap();
+        assert_eq!(req.id, Some(Json::Num(7.0)));
+        assert_eq!(req.deadline_ms, Some(250));
+    }
+
+    #[test]
+    fn rejects_malformed_requests() {
+        for line in [
+            "",
+            "garbage",
+            "[]",
+            r#""just a string""#,
+            r#"{"cmd":"load","kb":"k"}"#,
+            r#"{"cmd":"revise","kb":"k","op":"nope","p":"a"}"#,
+            r#"{"cmd":"revise","kb":"k","op":"dalal","p":"a","backend":"qbf"}"#,
+            r#"{"cmd":"frobnicate"}"#,
+            r#"{"cmd":"query_batch","kb":"k","qs":[1]}"#,
+            r#"{"id":[1],"cmd":"ping"}"#,
+            r#"{"cmd":"ping","deadline_ms":-3}"#,
+            r#"{"cmd":"ping","deadline_ms":1.5}"#,
+        ] {
+            assert!(parse_request(line).is_err(), "accepted {line:?}");
+        }
+    }
+
+    #[test]
+    fn error_keeps_echoable_id() {
+        let err = parse_request(r#"{"id":42,"cmd":"nope"}"#).unwrap_err();
+        assert_eq!(err.id.as_deref(), Some("42"));
+        let err = parse_request("not json").unwrap_err();
+        assert_eq!(err.id, None);
+    }
+
+    #[test]
+    fn response_shapes_are_pinned() {
+        assert_eq!(
+            ok_response(
+                &Some(Json::Num(1.0)),
+                Json::obj([("pong", Json::Bool(true))])
+            ),
+            r#"{"id":1,"ok":true,"result":{"pong":true}}"#
+        );
+        assert_eq!(
+            err_response(&None, codes::BAD_REQUEST, "nope"),
+            r#"{"id":null,"ok":false,"code":"bad_request","error":"nope"}"#
+        );
+    }
+
+    #[test]
+    fn op_tags_round_trip() {
+        for op in OpName::ALL {
+            assert_eq!(OpName::from_tag(op.tag()), Some(op), "{}", op.tag());
+        }
+        assert_eq!(OpName::from_tag("nebel"), Some(OpName::Gfuv));
+        assert_eq!(OpName::from_tag("zzz"), None);
+    }
+}

@@ -1,0 +1,372 @@
+//! The named-KB registry and the compiled-artifact cache.
+//!
+//! Compiled revised bases are the expensive artefact the paper is
+//! about — the whole point of a resident service is to keep them warm.
+//! Two layers do that here:
+//!
+//! 1. each [`KbState`] keeps its current engine (and with it the
+//!    incremental solver session) alive across requests, and
+//! 2. the [`ArtifactCache`] remembers compilation *outputs* across
+//!    KB lifetimes, keyed by a canonical encoding of
+//!    `(operator, backend, T, P¹…Pᵐ)`, so re-loading and re-revising
+//!    the same base — a common pattern when many clients mirror one
+//!    upstream KB — skips the compile entirely.
+//!
+//! The cache key is the canonical *encoding*, not just its hash:
+//! a 64-bit fingerprint would make a hash collision silently answer
+//! queries against the wrong knowledge base, which is exactly the
+//! class of bug this workspace refuses to have.
+
+use crate::protocol::OpName;
+use revkb_logic::{Formula, Signature};
+use revkb_revision::api::Engine;
+use revkb_revision::Backend;
+use std::collections::{HashMap, VecDeque};
+
+/// Write a canonical, parse-order-independent encoding of `f` into
+/// `out`. Two structurally equal formulas (same tree, same `Var`
+/// indices) encode identically; nothing else does.
+pub fn canonical_formula(f: &Formula, out: &mut String) {
+    match f {
+        Formula::True => out.push('1'),
+        Formula::False => out.push('0'),
+        Formula::Var(v) => {
+            out.push('v');
+            out.push_str(&v.0.to_string());
+        }
+        Formula::Not(inner) => {
+            out.push('!');
+            canonical_formula(inner, out);
+        }
+        Formula::And(items) => {
+            out.push_str("&(");
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                canonical_formula(item, out);
+            }
+            out.push(')');
+        }
+        Formula::Or(items) => {
+            out.push_str("|(");
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                canonical_formula(item, out);
+            }
+            out.push(')');
+        }
+        Formula::Implies(a, b) => {
+            out.push_str(">(");
+            canonical_formula(a, out);
+            out.push(',');
+            canonical_formula(b, out);
+            out.push(')');
+        }
+        Formula::Iff(a, b) => {
+            out.push_str("=(");
+            canonical_formula(a, out);
+            out.push(',');
+            canonical_formula(b, out);
+            out.push(')');
+        }
+        Formula::Xor(a, b) => {
+            out.push_str("^(");
+            canonical_formula(a, out);
+            out.push(',');
+            canonical_formula(b, out);
+            out.push(')');
+        }
+    }
+}
+
+/// The canonical cache key of a compilation request.
+pub fn cache_key(op: OpName, backend: Backend, t: &[Formula], ps: &[Formula]) -> String {
+    let mut key = String::new();
+    key.push_str(op.tag());
+    key.push('|');
+    key.push_str(backend.tag());
+    key.push('|');
+    for (i, f) in t.iter().enumerate() {
+        if i > 0 {
+            key.push(';');
+        }
+        canonical_formula(f, &mut key);
+    }
+    key.push('|');
+    for (i, p) in ps.iter().enumerate() {
+        if i > 0 {
+            key.push(';');
+        }
+        canonical_formula(p, &mut key);
+    }
+    key
+}
+
+/// A cached compilation output: everything needed to rebuild a fresh
+/// [`revkb_revision::CompactRep`] (solver sessions are per-KB state
+/// and deliberately not cached).
+#[derive(Debug, Clone)]
+pub struct Artifact {
+    /// The compiled representation formula `T'`.
+    pub formula: Formula,
+    /// The base alphabet the guarantee holds on.
+    pub base: Vec<revkb_logic::Var>,
+    /// Whether `T'` is logically equivalent (criterion (2)) rather
+    /// than just query-equivalent (criterion (1)).
+    pub logical: bool,
+}
+
+/// A bounded least-recently-used map from [`cache_key`] strings to
+/// [`Artifact`]s, with hit/miss/eviction counters.
+#[derive(Debug)]
+pub struct ArtifactCache {
+    capacity: usize,
+    map: HashMap<String, Artifact>,
+    /// Recency order, least-recent first.
+    order: VecDeque<String>,
+    /// Lookups that found an artifact.
+    pub hits: u64,
+    /// Lookups that found nothing.
+    pub misses: u64,
+    /// Entries pushed out by the capacity bound.
+    pub evictions: u64,
+}
+
+impl ArtifactCache {
+    /// An empty cache holding at most `capacity` artifacts. Capacity 0
+    /// disables caching (every lookup misses, nothing is stored).
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            capacity,
+            map: HashMap::new(),
+            order: VecDeque::new(),
+            hits: 0,
+            misses: 0,
+            evictions: 0,
+        }
+    }
+
+    /// Artifacts currently held.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Is the cache empty?
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// The capacity bound.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Look up a compilation output, refreshing its recency.
+    pub fn get(&mut self, key: &str) -> Option<Artifact> {
+        match self.map.get(key) {
+            Some(artifact) => {
+                self.hits += 1;
+                let artifact = artifact.clone();
+                if let Some(pos) = self.order.iter().position(|k| k == key) {
+                    self.order.remove(pos);
+                    self.order.push_back(key.to_string());
+                }
+                Some(artifact)
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Store a compilation output, evicting the least recently used
+    /// entry if the cache is full.
+    pub fn insert(&mut self, key: String, artifact: Artifact) {
+        if self.capacity == 0 {
+            return;
+        }
+        if self.map.insert(key.clone(), artifact).is_some() {
+            if let Some(pos) = self.order.iter().position(|k| *k == key) {
+                self.order.remove(pos);
+            }
+        } else if self.map.len() > self.capacity {
+            if let Some(oldest) = self.order.pop_front() {
+                self.map.remove(&oldest);
+                self.evictions += 1;
+            }
+        }
+        self.order.push_back(key);
+    }
+}
+
+/// What kind of engine a KB currently runs (fixed by the first
+/// revision; the iterated constructions are single-operator chains).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KbKind {
+    /// Loaded, never revised: queries go against `T` itself.
+    Unrevised,
+    /// Revised with a model-based operator (possibly iterated).
+    ModelBased(revkb_revision::ModelBasedOp),
+    /// Revised once with GFUV.
+    Gfuv,
+    /// Revised with WIDTIO (possibly iterated).
+    Widtio,
+}
+
+/// One named knowledge base: its parse signature (letter names are
+/// per-KB), the loaded theory, the revision history, and the current
+/// query engine.
+pub struct KbState {
+    /// The KB's name in the registry.
+    pub name: String,
+    /// Letter names for this KB's formulas.
+    pub sig: Signature,
+    /// The loaded theory (`;`-separated formulas at load time).
+    pub theory: Vec<Formula>,
+    /// Applied revision formulas, in order.
+    pub revisions: Vec<Formula>,
+    /// The engine kind (fixed by the first revise).
+    pub kind: KbKind,
+    /// The current query engine.
+    pub engine: Box<dyn Engine + Send>,
+    /// Whether the current engine came from a degraded (fallback)
+    /// compilation after a timed-out preferred backend.
+    pub degraded: bool,
+    /// Queries answered against this KB since it was loaded.
+    pub queries: u64,
+}
+
+impl KbState {
+    /// A freshly loaded, unrevised KB answering queries against `T`.
+    pub fn new(name: String, sig: Signature, theory: Vec<Formula>) -> Self {
+        let t = Formula::and_all(theory.iter().cloned());
+        let base: Vec<_> = t.vars().into_iter().collect();
+        let engine: Box<dyn Engine + Send> = Box::new(revkb_revision::CompactRep::logical(t, base));
+        Self {
+            name,
+            sig,
+            theory,
+            revisions: Vec::new(),
+            kind: KbKind::Unrevised,
+            engine,
+            degraded: false,
+            queries: 0,
+        }
+    }
+
+    /// The conjunction of the loaded theory.
+    pub fn t(&self) -> Formula {
+        Formula::and_all(self.theory.iter().cloned())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use revkb_logic::Var;
+    use revkb_revision::ModelBasedOp;
+
+    fn v(i: u32) -> Formula {
+        Formula::var(Var(i))
+    }
+
+    fn artifact(i: u32) -> Artifact {
+        Artifact {
+            formula: v(i),
+            base: vec![Var(i)],
+            logical: true,
+        }
+    }
+
+    #[test]
+    fn canonical_encoding_distinguishes_structure() {
+        let mut pairs = Vec::new();
+        for f in [
+            v(0),
+            v(1),
+            v(0).not(),
+            v(0).and(v(1)),
+            v(0).or(v(1)),
+            v(1).and(v(0)),
+            v(0).implies(v(1)),
+            v(0).iff(v(1)),
+            v(0).xor(v(1)),
+            Formula::True,
+            Formula::False,
+        ] {
+            let mut enc = String::new();
+            canonical_formula(&f, &mut enc);
+            pairs.push((f, enc));
+        }
+        for (i, (fi, ei)) in pairs.iter().enumerate() {
+            for (j, (fj, ej)) in pairs.iter().enumerate() {
+                assert_eq!(i == j, ei == ej, "{fi:?} vs {fj:?}: {ei} vs {ej}");
+            }
+        }
+    }
+
+    #[test]
+    fn cache_key_separates_operator_backend_and_history() {
+        let t = [v(0).and(v(1))];
+        let p1 = [v(0).not()];
+        let p2 = [v(0).not(), v(1).not()];
+        let k1 = cache_key(OpName::Model(ModelBasedOp::Dalal), Backend::Direct, &t, &p1);
+        let k2 = cache_key(OpName::Model(ModelBasedOp::Weber), Backend::Direct, &t, &p1);
+        let k3 = cache_key(OpName::Model(ModelBasedOp::Dalal), Backend::Bdd, &t, &p1);
+        let k4 = cache_key(OpName::Model(ModelBasedOp::Dalal), Backend::Direct, &t, &p2);
+        let again = cache_key(OpName::Model(ModelBasedOp::Dalal), Backend::Direct, &t, &p1);
+        assert_eq!(k1, again);
+        assert!(k1 != k2 && k1 != k3 && k1 != k4 && k2 != k3);
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        let mut cache = ArtifactCache::new(2);
+        cache.insert("a".into(), artifact(0));
+        cache.insert("b".into(), artifact(1));
+        assert!(cache.get("a").is_some()); // refresh a; b is now LRU
+        cache.insert("c".into(), artifact(2)); // evicts b
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.evictions, 1);
+        assert!(cache.get("b").is_none());
+        assert!(cache.get("a").is_some());
+        assert!(cache.get("c").is_some());
+    }
+
+    #[test]
+    fn reinsert_refreshes_without_eviction() {
+        let mut cache = ArtifactCache::new(2);
+        cache.insert("a".into(), artifact(0));
+        cache.insert("b".into(), artifact(1));
+        cache.insert("a".into(), artifact(5)); // overwrite, no eviction
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.evictions, 0);
+        assert_eq!(cache.get("a").unwrap().formula, v(5));
+        // "b" is LRU now.
+        cache.insert("c".into(), artifact(2));
+        assert!(cache.get("b").is_none());
+    }
+
+    #[test]
+    fn zero_capacity_disables_caching() {
+        let mut cache = ArtifactCache::new(0);
+        cache.insert("a".into(), artifact(0));
+        assert!(cache.is_empty());
+        assert!(cache.get("a").is_none());
+        assert_eq!(cache.misses, 1);
+    }
+
+    #[test]
+    fn fresh_kb_answers_against_t() {
+        let mut sig = Signature::new();
+        let t = revkb_logic::parse("a & b", &mut sig).unwrap();
+        let mut kb = KbState::new("k".into(), sig, vec![t]);
+        assert_eq!(kb.kind, KbKind::Unrevised);
+        assert!(kb.engine.try_entails(&v(0)).unwrap());
+        assert!(!kb.engine.try_entails(&v(0).not()).unwrap());
+    }
+}

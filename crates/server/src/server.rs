@@ -1,0 +1,1149 @@
+//! The server proper: admission control, deadlines, degradation, and
+//! the command dispatcher, plus the stdio and TCP serving loops.
+//!
+//! Concurrency model: any number of connection threads feed
+//! [`Server::handle_line`]. A request is first **admitted** (bounded
+//! in-flight count — beyond it the server answers `overloaded` instead
+//! of queueing unboundedly), then waits for one of a fixed number of
+//! **execution permits** (so at most `threads` requests run engine
+//! work at once), then executes against the named KB's own mutex
+//! (queries to different KBs run in parallel; queries to one KB
+//! serialise, which the incremental-session engines require anyway).
+//!
+//! Deadlines are best-effort, not preemptive: a request's deadline is
+//! checked at admission, after the permit wait, and again after
+//! execution (a result computed too late is discarded and reported as
+//! `timeout` — late answers must not look fast). A `deadline_ms` of 0
+//! therefore deterministically times out, which the tests and the CI
+//! smoke script rely on.
+
+use crate::json::Json;
+use crate::metrics::{self, ServerCounters};
+use crate::protocol::{
+    codes, err_response, ok_response, parse_request, Command, OpName, Request, RequestError,
+};
+use crate::registry::{cache_key, Artifact, ArtifactCache, KbKind, KbState};
+use revkb_logic::{parse as parse_formula, Formula, Signature};
+use revkb_revision::api::Engine;
+use revkb_revision::{
+    widtio, Backend, DelayedKb, Error, GfuvEngine, ModelBasedOp, RevisedKb, Theory, WidtioEngine,
+    CACHE_CAP_ENV, DEFAULT_CACHE_CAPACITY,
+};
+use std::collections::HashMap;
+use std::io::{self, BufRead, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Environment variable bounding concurrent request execution.
+pub const THREADS_ENV: &str = "REVKB_SERVER_THREADS";
+/// Environment variable bounding admitted-but-unfinished requests.
+pub const QUEUE_ENV: &str = "REVKB_SERVER_QUEUE";
+/// Environment variable giving the default per-request deadline (ms).
+pub const DEADLINE_ENV: &str = "REVKB_SERVER_DEADLINE_MS";
+/// Environment variable giving the compile timeout (ms) beyond which a
+/// revision degrades to delayed incorporation.
+pub const COMPILE_TIMEOUT_ENV: &str = "REVKB_SERVER_COMPILE_TIMEOUT_MS";
+/// Environment variable giving the GFUV possible-worlds budget.
+pub const WORLDS_ENV: &str = "REVKB_SERVER_WORLDS";
+
+fn env_usize(name: &str) -> Option<usize> {
+    std::env::var(name).ok()?.trim().parse().ok()
+}
+
+fn env_u64(name: &str) -> Option<u64> {
+    std::env::var(name).ok()?.trim().parse().ok()
+}
+
+/// Server tuning knobs. [`ServerConfig::from_env`] reads the
+/// `REVKB_SERVER_*` variables; the setters override them (explicit
+/// wins, the same precedence rule as `ReviseBuilder`).
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Concurrent execution permits (default: the batch-pool thread
+    /// count, i.e. `REVKB_THREADS` then available parallelism).
+    pub threads: usize,
+    /// Admission bound: requests admitted but not yet finished. Beyond
+    /// it new work is answered `overloaded`. 0 rejects everything but
+    /// the exempt commands (`ping`, `stats`, `shutdown`).
+    pub queue: usize,
+    /// Default per-request deadline in milliseconds when the request
+    /// carries no `deadline_ms`.
+    pub default_deadline_ms: u64,
+    /// Compile budget in milliseconds: a model-based compile that
+    /// exceeds it falls back to delayed incorporation and the revise
+    /// response says `"degraded":true`. `None` disables the budget; 0
+    /// degrades every compile (deterministic, used by tests).
+    pub compile_timeout_ms: Option<u64>,
+    /// Capacity of the compiled-artifact LRU cache.
+    pub cache_capacity: usize,
+    /// GFUV possible-worlds budget (Theorem 3.1 says the world set can
+    /// be exponential; the budget turns that into an error).
+    pub worlds_budget: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            threads: revkb_sat::default_threads(),
+            queue: 64,
+            default_deadline_ms: 30_000,
+            compile_timeout_ms: None,
+            cache_capacity: DEFAULT_CACHE_CAPACITY,
+            worlds_budget: 4096,
+        }
+    }
+}
+
+impl ServerConfig {
+    /// Defaults overridden by any `REVKB_SERVER_*` / `REVKB_CACHE_CAP`
+    /// variables present in the environment.
+    pub fn from_env() -> Self {
+        let mut config = Self::default();
+        if let Some(threads) = env_usize(THREADS_ENV) {
+            config.threads = threads.max(1);
+        }
+        if let Some(queue) = env_usize(QUEUE_ENV) {
+            config.queue = queue;
+        }
+        if let Some(ms) = env_u64(DEADLINE_ENV) {
+            config.default_deadline_ms = ms;
+        }
+        if let Some(ms) = env_u64(COMPILE_TIMEOUT_ENV) {
+            config.compile_timeout_ms = Some(ms);
+        }
+        if let Some(cap) = env_usize(CACHE_CAP_ENV) {
+            config.cache_capacity = cap;
+        }
+        if let Some(budget) = env_usize(WORLDS_ENV) {
+            config.worlds_budget = budget;
+        }
+        config
+    }
+
+    /// Set the execution-permit count.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// Set the admission bound.
+    pub fn with_queue(mut self, queue: usize) -> Self {
+        self.queue = queue;
+        self
+    }
+
+    /// Set the default deadline.
+    pub fn with_default_deadline_ms(mut self, ms: u64) -> Self {
+        self.default_deadline_ms = ms;
+        self
+    }
+
+    /// Set (or clear) the compile budget.
+    pub fn with_compile_timeout_ms(mut self, ms: Option<u64>) -> Self {
+        self.compile_timeout_ms = ms;
+        self
+    }
+
+    /// Set the artifact-cache capacity.
+    pub fn with_cache_capacity(mut self, capacity: usize) -> Self {
+        self.cache_capacity = capacity;
+        self
+    }
+
+    /// Set the GFUV worlds budget.
+    pub fn with_worlds_budget(mut self, budget: usize) -> Self {
+        self.worlds_budget = budget;
+        self
+    }
+}
+
+/// A counting semaphore bounding concurrent execution.
+struct ExecGate {
+    permits: Mutex<usize>,
+    cv: Condvar,
+}
+
+impl ExecGate {
+    fn new(permits: usize) -> Self {
+        Self {
+            permits: Mutex::new(permits),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Take a permit, waiting at most until `deadline`. False means
+    /// the deadline expired first.
+    fn acquire(&self, deadline: Instant) -> bool {
+        let mut permits = self.permits.lock().expect("exec gate poisoned");
+        loop {
+            let now = Instant::now();
+            if now >= deadline {
+                return false;
+            }
+            if *permits > 0 {
+                *permits -= 1;
+                return true;
+            }
+            let (guard, _) = self
+                .cv
+                .wait_timeout(permits, deadline - now)
+                .expect("exec gate poisoned");
+            permits = guard;
+        }
+    }
+
+    fn release(&self) {
+        *self.permits.lock().expect("exec gate poisoned") += 1;
+        self.cv.notify_one();
+    }
+}
+
+struct PermitGuard<'a>(&'a ExecGate);
+
+impl Drop for PermitGuard<'_> {
+    fn drop(&mut self) {
+        self.0.release();
+    }
+}
+
+struct InFlightGuard<'a>(&'a AtomicUsize);
+
+impl Drop for InFlightGuard<'_> {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
+struct Inner {
+    config: ServerConfig,
+    registry: Mutex<HashMap<String, Arc<Mutex<KbState>>>>,
+    cache: Mutex<ArtifactCache>,
+    counters: ServerCounters,
+    in_flight: AtomicUsize,
+    gate: ExecGate,
+    shutdown: AtomicBool,
+}
+
+/// The revision service. Cheap to clone (shared state behind an
+/// [`Arc`]); one instance serves any number of transports at once.
+#[derive(Clone)]
+pub struct Server {
+    inner: Arc<Inner>,
+}
+
+/// Engine-or-protocol failure inside command execution.
+type ExecError = (&'static str, String);
+
+fn engine_err(e: Error) -> ExecError {
+    (e.code(), e.to_string())
+}
+
+fn kind_tag(kind: KbKind) -> &'static str {
+    match kind {
+        KbKind::Unrevised => "unrevised",
+        KbKind::ModelBased(op) => OpName::Model(op).tag(),
+        KbKind::Gfuv => OpName::Gfuv.tag(),
+        KbKind::Widtio => OpName::Widtio.tag(),
+    }
+}
+
+fn num(n: u64) -> Json {
+    Json::Num(n as f64)
+}
+
+/// How a revise obtained its engine (the `cache` field of the
+/// response).
+enum CacheOutcome {
+    Hit,
+    Miss,
+    /// Formula-based operators bypass the artifact cache (WIDTIO's
+    /// output is already small; GFUV's worlds are per-KB state).
+    Bypass,
+    /// The compile budget expired; the engine is a delayed base.
+    Degraded,
+}
+
+impl CacheOutcome {
+    fn tag(&self) -> &'static str {
+        match self {
+            CacheOutcome::Hit => "hit",
+            CacheOutcome::Miss => "miss",
+            CacheOutcome::Bypass => "bypass",
+            CacheOutcome::Degraded => "degraded",
+        }
+    }
+}
+
+impl Server {
+    /// A server with the given configuration and an empty registry.
+    pub fn new(config: ServerConfig) -> Self {
+        let cache = ArtifactCache::new(config.cache_capacity);
+        Self {
+            inner: Arc::new(Inner {
+                gate: ExecGate::new(config.threads.max(1)),
+                config,
+                registry: Mutex::new(HashMap::new()),
+                cache: Mutex::new(cache),
+                counters: ServerCounters::default(),
+                in_flight: AtomicUsize::new(0),
+                shutdown: AtomicBool::new(false),
+            }),
+        }
+    }
+
+    /// Has a `shutdown` command been accepted?
+    pub fn is_shutting_down(&self) -> bool {
+        self.inner.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// Process one request line. `None` means the line was blank
+    /// (keep-alive noise); otherwise exactly one response line (no
+    /// trailing newline) is returned, whatever happened.
+    pub fn handle_line(&self, line: &str) -> Option<String> {
+        let line = line.trim();
+        if line.is_empty() {
+            return None;
+        }
+        let start = Instant::now();
+        let response = self.process(line, start);
+        let micros = u64::try_from(start.elapsed().as_micros()).unwrap_or(u64::MAX);
+        self.inner.counters.request(micros);
+        Some(response)
+    }
+
+    fn process(&self, line: &str, start: Instant) -> String {
+        let req = match parse_request(line) {
+            Ok(req) => req,
+            Err(e) => {
+                self.inner.counters.error();
+                return bad_request_response(&e);
+            }
+        };
+        // Control-plane commands bypass admission: they must answer
+        // even (especially) when the server is saturated.
+        match req.cmd {
+            Command::Ping => {
+                return ok_response(&req.id, Json::obj([("pong", Json::Bool(true))]));
+            }
+            Command::Stats => return self.stats_response(&req),
+            Command::Shutdown => {
+                self.inner.shutdown.store(true, Ordering::SeqCst);
+                return ok_response(&req.id, Json::obj([("shutting_down", Json::Bool(true))]));
+            }
+            _ => {}
+        }
+        if self.is_shutting_down() {
+            self.inner.counters.error();
+            return err_response(&req.id, codes::SHUTTING_DOWN, "server is shutting down");
+        }
+        // Admission control: a bounded number of requests may be in
+        // flight (waiting or executing); the rest are told to back off
+        // rather than queueing without bound.
+        let admitted = self
+            .inner
+            .in_flight
+            .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |n| {
+                (n < self.inner.config.queue).then_some(n + 1)
+            });
+        if admitted.is_err() {
+            self.inner.counters.overloaded();
+            return err_response(
+                &req.id,
+                codes::OVERLOADED,
+                &format!(
+                    "{} requests already in flight (bound {}); retry later",
+                    self.inner.in_flight.load(Ordering::Relaxed),
+                    self.inner.config.queue
+                ),
+            );
+        }
+        let _in_flight = InFlightGuard(&self.inner.in_flight);
+        metrics::IN_FLIGHT_PEAK.set_max(self.inner.in_flight.load(Ordering::Relaxed) as u64);
+
+        let deadline_ms = req
+            .deadline_ms
+            .unwrap_or(self.inner.config.default_deadline_ms);
+        let deadline = start + Duration::from_millis(deadline_ms);
+        if !self.inner.gate.acquire(deadline) {
+            self.inner.counters.timeout();
+            return err_response(
+                &req.id,
+                codes::TIMEOUT,
+                &format!("deadline of {deadline_ms} ms expired before execution started"),
+            );
+        }
+        let _permit = PermitGuard(&self.inner.gate);
+        let result = self.execute(&req.cmd);
+        if Instant::now() > deadline {
+            // The answer arrived after the client's deadline: discard
+            // it so a late answer cannot masquerade as a fast one.
+            self.inner.counters.timeout();
+            return err_response(
+                &req.id,
+                codes::TIMEOUT,
+                &format!("deadline of {deadline_ms} ms expired during execution"),
+            );
+        }
+        match result {
+            Ok(result) => ok_response(&req.id, result),
+            Err((code, message)) => {
+                self.inner.counters.error();
+                err_response(&req.id, code, &message)
+            }
+        }
+    }
+
+    fn execute(&self, cmd: &Command) -> Result<Json, ExecError> {
+        match cmd {
+            Command::Load { kb, t } => self.cmd_load(kb, t),
+            Command::Revise { kb, op, p, backend } => self.cmd_revise(kb, *op, p, *backend),
+            Command::Query { kb, q } => self.cmd_query(kb, q),
+            Command::QueryBatch { kb, qs } => self.cmd_query_batch(kb, qs),
+            Command::List => self.cmd_list(),
+            Command::Drop { kb } => self.cmd_drop(kb),
+            // Handled before admission.
+            Command::Ping | Command::Stats | Command::Shutdown => unreachable!("exempt command"),
+        }
+    }
+
+    fn kb_handle(&self, name: &str) -> Result<Arc<Mutex<KbState>>, ExecError> {
+        self.inner
+            .registry
+            .lock()
+            .expect("registry poisoned")
+            .get(name)
+            .cloned()
+            .ok_or_else(|| {
+                (
+                    codes::UNKNOWN_KB,
+                    format!("no knowledge base named {name:?}"),
+                )
+            })
+    }
+
+    fn cmd_load(&self, name: &str, t: &str) -> Result<Json, ExecError> {
+        let mut sig = Signature::new();
+        let mut theory = Vec::new();
+        for segment in t.split(';') {
+            let segment = segment.trim();
+            if segment.is_empty() {
+                continue;
+            }
+            let f = parse_formula(segment, &mut sig).map_err(|e| engine_err(e.into()))?;
+            theory.push(f);
+        }
+        let formulas = theory.len();
+        let letters = sig.len();
+        let state = KbState::new(name.to_string(), sig, theory);
+        let kbs = {
+            let mut registry = self.inner.registry.lock().expect("registry poisoned");
+            registry.insert(name.to_string(), Arc::new(Mutex::new(state)));
+            registry.len()
+        };
+        metrics::KBS.set(kbs as u64);
+        Ok(Json::obj([
+            ("kb", Json::str(name)),
+            ("formulas", num(formulas as u64)),
+            ("letters", num(letters as u64)),
+        ]))
+    }
+
+    fn cmd_revise(
+        &self,
+        name: &str,
+        op: OpName,
+        p_text: &str,
+        backend: Backend,
+    ) -> Result<Json, ExecError> {
+        let handle = self.kb_handle(name)?;
+        let mut kb = handle.lock().expect("kb poisoned");
+        let p = parse_formula(p_text, &mut kb.sig).map_err(|e| engine_err(e.into()))?;
+        let (engine, kind, outcome): (Box<dyn Engine + Send>, KbKind, CacheOutcome) =
+            match (kb.kind, op) {
+                (KbKind::Gfuv, _) => {
+                    return Err((
+                        codes::UNSUPPORTED,
+                        "a GFUV base cannot be revised again: the possible-worlds \
+                         form has no iterated construction"
+                            .to_string(),
+                    ));
+                }
+                (KbKind::Unrevised | KbKind::ModelBased(_), OpName::Model(m)) => {
+                    if let KbKind::ModelBased(prev) = kb.kind {
+                        if prev != m {
+                            return Err(operator_mismatch(prev, op));
+                        }
+                    }
+                    let mut ps = kb.revisions.clone();
+                    ps.push(p.clone());
+                    let (engine, outcome) = self.model_based_engine(&kb, m, &ps, backend)?;
+                    (engine, KbKind::ModelBased(m), outcome)
+                }
+                (KbKind::Unrevised, OpName::Gfuv) => {
+                    let theory = Theory::new(kb.theory.iter().cloned());
+                    let engine =
+                        GfuvEngine::compile(theory, p.clone(), self.inner.config.worlds_budget)
+                            .map_err(|e| engine_err(e.into()))?;
+                    (Box::new(engine), KbKind::Gfuv, CacheOutcome::Bypass)
+                }
+                (KbKind::Unrevised | KbKind::Widtio, OpName::Widtio) => {
+                    // Iterated WIDTIO: the kept sub-theory of step i is
+                    // the theory revised at step i+1.
+                    let mut theory = Theory::new(kb.theory.iter().cloned());
+                    for prev in &kb.revisions {
+                        theory = widtio(&theory, prev);
+                    }
+                    let engine = WidtioEngine::compile(&theory, &p);
+                    (Box::new(engine), KbKind::Widtio, CacheOutcome::Bypass)
+                }
+                (prev_kind, _) => {
+                    let prev = match prev_kind {
+                        KbKind::ModelBased(prev) => prev,
+                        _ => {
+                            return Err((
+                                codes::OPERATOR_MISMATCH,
+                                format!(
+                                    "KB was revised with {:?} and cannot switch to {:?}",
+                                    kind_tag(prev_kind),
+                                    op.tag()
+                                ),
+                            ));
+                        }
+                    };
+                    return Err(operator_mismatch(prev, op));
+                }
+            };
+        kb.revisions.push(p);
+        kb.kind = kind;
+        kb.degraded = matches!(outcome, CacheOutcome::Degraded);
+        kb.engine = engine;
+        Ok(Json::obj([
+            ("kb", Json::str(name)),
+            ("op", Json::str(op.tag())),
+            ("backend", Json::str(backend.tag())),
+            ("cache", Json::str(outcome.tag())),
+            ("degraded", Json::Bool(kb.degraded)),
+            ("revisions", num(kb.revisions.len() as u64)),
+            (
+                "compiled_size",
+                kb.engine
+                    .compiled_size()
+                    .map_or(Json::Null, |s| num(s as u64)),
+            ),
+            ("engine", Json::str(kb.engine.describe())),
+        ]))
+    }
+
+    /// Compile (or fetch from cache) the engine for a model-based
+    /// revision chain `T * P¹ * … * Pᵐ`.
+    fn model_based_engine(
+        &self,
+        kb: &KbState,
+        op: ModelBasedOp,
+        ps: &[Formula],
+        backend: Backend,
+    ) -> Result<(Box<dyn Engine + Send>, CacheOutcome), ExecError> {
+        let key = cache_key(OpName::Model(op), backend, &kb.theory, ps);
+        {
+            let mut cache = self.inner.cache.lock().expect("cache poisoned");
+            if let Some(artifact) = cache.get(&key) {
+                metrics::CACHE_HITS.inc();
+                let rep = revkb_revision::CompactRep::new(
+                    artifact.formula,
+                    artifact.base,
+                    artifact.logical,
+                );
+                return Ok((Box::new(rep), CacheOutcome::Hit));
+            }
+            metrics::CACHE_MISSES.inc();
+        }
+        let t = kb.t();
+        let compile_start = Instant::now();
+        let compiled = self.compile_budgeted(op, &t, ps, backend);
+        match compiled {
+            Some(Ok(revised)) => {
+                let micros = u64::try_from(compile_start.elapsed().as_micros()).unwrap_or(u64::MAX);
+                metrics::COMPILE_MICROS.record(micros);
+                let rep = revised.representation();
+                let artifact = Artifact {
+                    formula: rep.formula.clone(),
+                    base: rep.base.clone(),
+                    logical: rep.logical,
+                };
+                let mut cache = self.inner.cache.lock().expect("cache poisoned");
+                let evictions_before = cache.evictions;
+                cache.insert(key, artifact);
+                metrics::CACHE_EVICTIONS.add(cache.evictions - evictions_before);
+                Ok((Box::new(revised), CacheOutcome::Miss))
+            }
+            Some(Err(e)) => Err(engine_err(e)),
+            None => {
+                // Compile budget expired: degrade to delayed
+                // incorporation — the revise itself is then O(1) and
+                // the compilation cost moves to the first query.
+                self.inner.counters.degraded();
+                let mut delayed = DelayedKb::new(op, t);
+                for p in ps {
+                    delayed.revise(p.clone());
+                }
+                Ok((Box::new(delayed), CacheOutcome::Degraded))
+            }
+        }
+    }
+
+    /// Run the compile under the configured budget. `None` means the
+    /// budget expired.
+    fn compile_budgeted(
+        &self,
+        op: ModelBasedOp,
+        t: &Formula,
+        ps: &[Formula],
+        backend: Backend,
+    ) -> Option<Result<RevisedKb, Error>> {
+        let compile = {
+            let t = t.clone();
+            let ps = ps.to_vec();
+            move || -> Result<RevisedKb, Error> {
+                match (ps.as_slice(), backend) {
+                    ([p], Backend::Bdd) => Ok(RevisedKb::compile_via_bdd(op, &t, p)?),
+                    // The BDD pipeline has no iterated form; longer
+                    // chains always use the direct constructions.
+                    (ps, _) => Ok(RevisedKb::compile_iterated(op, &t, ps)?),
+                }
+            }
+        };
+        match self.inner.config.compile_timeout_ms {
+            None => Some(compile()),
+            // A zero budget degrades unconditionally — and skips
+            // spawning a compile thread that nobody would wait for.
+            Some(0) => None,
+            Some(ms) => {
+                let (tx, rx) = std::sync::mpsc::channel();
+                std::thread::spawn(move || {
+                    // The receiver may be gone if the budget expired;
+                    // the finished artifact is then simply dropped.
+                    let _ = tx.send(compile());
+                });
+                rx.recv_timeout(Duration::from_millis(ms)).ok()
+            }
+        }
+    }
+
+    fn cmd_query(&self, name: &str, q_text: &str) -> Result<Json, ExecError> {
+        let handle = self.kb_handle(name)?;
+        let mut kb = handle.lock().expect("kb poisoned");
+        let q = parse_formula(q_text, &mut kb.sig).map_err(|e| engine_err(e.into()))?;
+        let answer = kb.engine.try_entails(&q).map_err(engine_err)?;
+        kb.queries += 1;
+        Ok(Json::obj([
+            ("kb", Json::str(name)),
+            ("entails", Json::Bool(answer)),
+        ]))
+    }
+
+    fn cmd_query_batch(&self, name: &str, q_texts: &[String]) -> Result<Json, ExecError> {
+        let handle = self.kb_handle(name)?;
+        let mut kb = handle.lock().expect("kb poisoned");
+        let mut queries = Vec::with_capacity(q_texts.len());
+        for q_text in q_texts {
+            queries.push(parse_formula(q_text, &mut kb.sig).map_err(|e| engine_err(e.into()))?);
+        }
+        let answers = kb.engine.par_entails_batch(&queries).map_err(engine_err)?;
+        kb.queries += answers.len() as u64;
+        Ok(Json::obj([
+            ("kb", Json::str(name)),
+            (
+                "answers",
+                Json::Arr(answers.into_iter().map(Json::Bool).collect()),
+            ),
+        ]))
+    }
+
+    fn cmd_list(&self) -> Result<Json, ExecError> {
+        let handles: Vec<(String, Arc<Mutex<KbState>>)> = {
+            let registry = self.inner.registry.lock().expect("registry poisoned");
+            let mut entries: Vec<_> = registry
+                .iter()
+                .map(|(name, handle)| (name.clone(), Arc::clone(handle)))
+                .collect();
+            entries.sort_by(|a, b| a.0.cmp(&b.0));
+            entries
+        };
+        let mut kbs = Vec::with_capacity(handles.len());
+        for (name, handle) in handles {
+            let kb = handle.lock().expect("kb poisoned");
+            kbs.push(Json::obj([
+                ("name", Json::str(&name)),
+                ("kind", Json::str(kind_tag(kb.kind))),
+                ("revisions", num(kb.revisions.len() as u64)),
+                ("queries", num(kb.queries)),
+                ("degraded", Json::Bool(kb.degraded)),
+                (
+                    "compiled_size",
+                    kb.engine
+                        .compiled_size()
+                        .map_or(Json::Null, |s| num(s as u64)),
+                ),
+                ("engine", Json::str(kb.engine.describe())),
+            ]));
+        }
+        Ok(Json::obj([("kbs", Json::Arr(kbs))]))
+    }
+
+    fn cmd_drop(&self, name: &str) -> Result<Json, ExecError> {
+        let (removed, kbs) = {
+            let mut registry = self.inner.registry.lock().expect("registry poisoned");
+            (registry.remove(name).is_some(), registry.len())
+        };
+        if !removed {
+            return Err((
+                codes::UNKNOWN_KB,
+                format!("no knowledge base named {name:?}"),
+            ));
+        }
+        metrics::KBS.set(kbs as u64);
+        Ok(Json::obj([
+            ("kb", Json::str(name)),
+            ("dropped", Json::Bool(true)),
+        ]))
+    }
+
+    fn stats_response(&self, req: &Request) -> String {
+        let counters = &self.inner.counters;
+        let cache_json = {
+            let cache = self.inner.cache.lock().expect("cache poisoned");
+            Json::obj([
+                ("hits", num(cache.hits)),
+                ("misses", num(cache.misses)),
+                ("evictions", num(cache.evictions)),
+                ("entries", num(cache.len() as u64)),
+                ("capacity", num(cache.capacity() as u64)),
+            ])
+        };
+        let kbs = self.inner.registry.lock().expect("registry poisoned").len();
+        ok_response(
+            &req.id,
+            Json::obj([
+                ("requests", num(counters.requests_total())),
+                ("overloaded", num(counters.overloaded_total())),
+                ("timeouts", num(counters.timeouts_total())),
+                ("errors", num(counters.errors_total())),
+                ("degraded", num(counters.degraded_total())),
+                (
+                    "in_flight",
+                    num(self.inner.in_flight.load(Ordering::Relaxed) as u64),
+                ),
+                ("kbs", num(kbs as u64)),
+                ("cache", cache_json),
+            ]),
+        )
+    }
+
+    /// Serve line-delimited requests from `reader`, writing one
+    /// response line each to `writer`, until EOF or a `shutdown`
+    /// command.
+    pub fn serve_stdio<R: BufRead, W: Write>(&self, reader: R, mut writer: W) -> io::Result<()> {
+        for line in reader.lines() {
+            let line = line?;
+            if let Some(response) = self.handle_line(&line) {
+                writer.write_all(response.as_bytes())?;
+                writer.write_all(b"\n")?;
+                writer.flush()?;
+            }
+            if self.is_shutting_down() {
+                break;
+            }
+        }
+        Ok(())
+    }
+
+    /// Accept TCP connections until a `shutdown` command arrives (from
+    /// any connection), then join every connection thread so no
+    /// response is lost.
+    pub fn serve_tcp(&self, listener: TcpListener) -> io::Result<()> {
+        listener.set_nonblocking(true)?;
+        let mut handles = Vec::new();
+        while !self.is_shutting_down() {
+            match listener.accept() {
+                Ok((stream, _addr)) => {
+                    let server = self.clone();
+                    handles.push(std::thread::spawn(move || server.serve_conn(stream)));
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(20));
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        for handle in handles {
+            let _ = handle.join();
+        }
+        Ok(())
+    }
+
+    /// One connection: manual line buffering on top of short read
+    /// timeouts, so the thread notices a shutdown initiated elsewhere
+    /// instead of blocking in `read` forever. (A `BufReader::read_line`
+    /// would lose buffered partial lines on every timeout.)
+    fn serve_conn(&self, mut stream: TcpStream) {
+        if stream
+            .set_read_timeout(Some(Duration::from_millis(100)))
+            .is_err()
+        {
+            return;
+        }
+        let mut buffer: Vec<u8> = Vec::new();
+        let mut chunk = [0u8; 4096];
+        loop {
+            match stream.read(&mut chunk) {
+                Ok(0) => break,
+                Ok(n) => {
+                    buffer.extend_from_slice(&chunk[..n]);
+                    while let Some(pos) = buffer.iter().position(|&b| b == b'\n') {
+                        let line_bytes: Vec<u8> = buffer.drain(..=pos).collect();
+                        let line = String::from_utf8_lossy(&line_bytes[..pos]);
+                        if let Some(response) = self.handle_line(&line) {
+                            if stream.write_all(response.as_bytes()).is_err()
+                                || stream.write_all(b"\n").is_err()
+                            {
+                                return;
+                            }
+                        }
+                        if self.is_shutting_down() {
+                            let _ = stream.flush();
+                            return;
+                        }
+                    }
+                }
+                Err(e)
+                    if e.kind() == io::ErrorKind::WouldBlock
+                        || e.kind() == io::ErrorKind::TimedOut =>
+                {
+                    if self.is_shutting_down() {
+                        break;
+                    }
+                }
+                Err(_) => break,
+            }
+        }
+    }
+}
+
+fn operator_mismatch(prev: ModelBasedOp, requested: OpName) -> ExecError {
+    (
+        codes::OPERATOR_MISMATCH,
+        format!(
+            "KB was revised with {:?} and the iterated constructions are \
+             single-operator chains; requested {:?}",
+            OpName::Model(prev).tag(),
+            requested.tag()
+        ),
+    )
+}
+
+/// Render a `bad_request` response reusing the already-rendered id
+/// from a [`RequestError`] (the id is valid JSON by construction).
+fn bad_request_response(err: &RequestError) -> String {
+    let id = err.id.clone().unwrap_or_else(|| "null".to_string());
+    format!(
+        "{{\"id\":{id},\"ok\":false,\"code\":\"{}\",\"error\":{}}}",
+        codes::BAD_REQUEST,
+        Json::str(&err.message).render()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::OpName;
+
+    fn server() -> Server {
+        Server::new(ServerConfig::default().with_queue(16).with_threads(2))
+    }
+
+    /// Send a request line and parse the response.
+    fn call(server: &Server, line: &str) -> Json {
+        let response = server.handle_line(line).expect("non-blank line");
+        Json::parse(&response).expect("response is valid JSON")
+    }
+
+    fn assert_ok(resp: &Json) -> &Json {
+        assert_eq!(
+            resp.get("ok").and_then(Json::as_bool),
+            Some(true),
+            "{resp:?}"
+        );
+        resp.get("result").expect("ok response has result")
+    }
+
+    fn assert_err<'a>(resp: &'a Json, code: &str) -> &'a Json {
+        assert_eq!(
+            resp.get("ok").and_then(Json::as_bool),
+            Some(false),
+            "{resp:?}"
+        );
+        assert_eq!(
+            resp.get("code").and_then(Json::as_str),
+            Some(code),
+            "{resp:?}"
+        );
+        resp
+    }
+
+    #[test]
+    fn load_query_roundtrip() {
+        let s = server();
+        let resp = call(&s, r#"{"id":1,"cmd":"load","kb":"k","t":"a & b; a -> c"}"#);
+        let result = assert_ok(&resp);
+        assert_eq!(resp.get("id").and_then(Json::as_f64), Some(1.0));
+        assert_eq!(result.get("formulas").and_then(Json::as_u64), Some(2));
+        assert_eq!(result.get("letters").and_then(Json::as_u64), Some(3));
+        let resp = call(&s, r#"{"cmd":"query","kb":"k","q":"c"}"#);
+        assert_eq!(
+            assert_ok(&resp).get("entails").and_then(Json::as_bool),
+            Some(true)
+        );
+        let resp = call(
+            &s,
+            r#"{"cmd":"query_batch","kb":"k","qs":["a","!a","b & c"]}"#,
+        );
+        let answers = assert_ok(&resp)
+            .get("answers")
+            .and_then(Json::as_array)
+            .unwrap();
+        let answers: Vec<bool> = answers.iter().map(|a| a.as_bool().unwrap()).collect();
+        assert_eq!(answers, vec![true, false, true]);
+    }
+
+    #[test]
+    fn revise_every_operator_and_query() {
+        for op in OpName::ALL {
+            let s = server();
+            call(&s, r#"{"cmd":"load","kb":"k","t":"a; a -> b"}"#);
+            let line = format!(
+                r#"{{"cmd":"revise","kb":"k","op":"{}","p":"!b"}}"#,
+                op.tag()
+            );
+            let resp = call(&s, &line);
+            let result = assert_ok(&resp);
+            assert_eq!(result.get("op").and_then(Json::as_str), Some(op.tag()));
+            assert_eq!(result.get("degraded").and_then(Json::as_bool), Some(false));
+            // Every operator accepts the revision: ¬b holds afterwards.
+            let resp = call(&s, r#"{"cmd":"query","kb":"k","q":"!b"}"#);
+            assert_eq!(
+                assert_ok(&resp).get("entails").and_then(Json::as_bool),
+                Some(true),
+                "{}",
+                op.tag()
+            );
+        }
+    }
+
+    #[test]
+    fn cache_hits_on_identical_revision() {
+        let s = server();
+        call(&s, r#"{"cmd":"load","kb":"k1","t":"a & b"}"#);
+        let resp = call(&s, r#"{"cmd":"revise","kb":"k1","op":"dalal","p":"!a"}"#);
+        assert_eq!(
+            assert_ok(&resp).get("cache").and_then(Json::as_str),
+            Some("miss")
+        );
+        // A second KB with the same theory and revision: pure cache hit.
+        call(&s, r#"{"cmd":"load","kb":"k2","t":"a & b"}"#);
+        let resp = call(&s, r#"{"cmd":"revise","kb":"k2","op":"dalal","p":"!a"}"#);
+        assert_eq!(
+            assert_ok(&resp).get("cache").and_then(Json::as_str),
+            Some("hit")
+        );
+        // The cached engine answers identically.
+        for kb in ["k1", "k2"] {
+            let resp = call(&s, &format!(r#"{{"cmd":"query","kb":"{kb}","q":"b"}}"#));
+            assert_eq!(
+                assert_ok(&resp).get("entails").and_then(Json::as_bool),
+                Some(true)
+            );
+        }
+        let resp = call(&s, r#"{"cmd":"stats"}"#);
+        let cache = assert_ok(&resp).get("cache").unwrap();
+        assert_eq!(cache.get("hits").and_then(Json::as_u64), Some(1));
+        assert_eq!(cache.get("misses").and_then(Json::as_u64), Some(1));
+    }
+
+    #[test]
+    fn operator_rules_are_enforced() {
+        let s = server();
+        call(&s, r#"{"cmd":"load","kb":"k","t":"a"}"#);
+        call(&s, r#"{"cmd":"revise","kb":"k","op":"dalal","p":"!a"}"#);
+        let resp = call(&s, r#"{"cmd":"revise","kb":"k","op":"weber","p":"a"}"#);
+        assert_err(&resp, codes::OPERATOR_MISMATCH);
+        let resp = call(&s, r#"{"cmd":"revise","kb":"k","op":"widtio","p":"a"}"#);
+        assert_err(&resp, codes::OPERATOR_MISMATCH);
+        // Same operator again: fine (iterated chain).
+        let resp = call(&s, r#"{"cmd":"revise","kb":"k","op":"dalal","p":"a"}"#);
+        assert_eq!(
+            assert_ok(&resp).get("revisions").and_then(Json::as_u64),
+            Some(2)
+        );
+        // GFUV refuses any second revision.
+        call(&s, r#"{"cmd":"load","kb":"g","t":"a"}"#);
+        call(&s, r#"{"cmd":"revise","kb":"g","op":"gfuv","p":"!a"}"#);
+        let resp = call(&s, r#"{"cmd":"revise","kb":"g","op":"gfuv","p":"a"}"#);
+        assert_err(&resp, codes::UNSUPPORTED);
+    }
+
+    #[test]
+    fn widtio_iterates_through_kept_theory() {
+        let s = server();
+        call(&s, r#"{"cmd":"load","kb":"w","t":"a; a -> b"}"#);
+        call(&s, r#"{"cmd":"revise","kb":"w","op":"widtio","p":"!b"}"#);
+        // WIDTIO threw out both conflicting formulas; only ¬b remains.
+        let resp = call(&s, r#"{"cmd":"query","kb":"w","q":"!b"}"#);
+        assert_eq!(
+            assert_ok(&resp).get("entails").and_then(Json::as_bool),
+            Some(true)
+        );
+        let resp = call(&s, r#"{"cmd":"revise","kb":"w","op":"widtio","p":"b"}"#);
+        let result = assert_ok(&resp);
+        assert_eq!(result.get("revisions").and_then(Json::as_u64), Some(2));
+        let resp = call(&s, r#"{"cmd":"query","kb":"w","q":"b"}"#);
+        assert_eq!(
+            assert_ok(&resp).get("entails").and_then(Json::as_bool),
+            Some(true)
+        );
+    }
+
+    #[test]
+    fn unknown_kb_and_malformed_requests() {
+        let s = server();
+        let resp = call(&s, r#"{"cmd":"query","kb":"nope","q":"a"}"#);
+        assert_err(&resp, codes::UNKNOWN_KB);
+        let resp = call(&s, r#"{"cmd":"drop","kb":"nope"}"#);
+        assert_err(&resp, codes::UNKNOWN_KB);
+        let resp = call(&s, "this is not json");
+        assert_err(&resp, codes::BAD_REQUEST);
+        // The id survives even when the command is garbage.
+        let resp = call(&s, r#"{"id":"q-7","cmd":"frobnicate"}"#);
+        assert_err(&resp, codes::BAD_REQUEST);
+        assert_eq!(resp.get("id").and_then(Json::as_str), Some("q-7"));
+        // Engine-level codes come through verbatim: parse error…
+        call(&s, r#"{"cmd":"load","kb":"k","t":"a"}"#);
+        let resp = call(&s, r#"{"cmd":"query","kb":"k","q":"a &&& b"}"#);
+        assert_err(&resp, "parse");
+        // …and the out-of-alphabet guard.
+        let resp = call(&s, r#"{"cmd":"query","kb":"k","q":"zebra"}"#);
+        assert_err(&resp, "out_of_alphabet");
+    }
+
+    #[test]
+    fn deadline_zero_times_out_deterministically() {
+        let s = server();
+        call(&s, r#"{"cmd":"load","kb":"k","t":"a"}"#);
+        let resp = call(
+            &s,
+            r#"{"id":9,"deadline_ms":0,"cmd":"query","kb":"k","q":"a"}"#,
+        );
+        assert_err(&resp, codes::TIMEOUT);
+        assert_eq!(resp.get("id").and_then(Json::as_f64), Some(9.0));
+        let resp = call(&s, r#"{"cmd":"stats"}"#);
+        assert_eq!(
+            assert_ok(&resp).get("timeouts").and_then(Json::as_u64),
+            Some(1)
+        );
+    }
+
+    #[test]
+    fn zero_queue_rejects_everything_but_control_plane() {
+        let s = Server::new(ServerConfig::default().with_queue(0));
+        let resp = call(&s, r#"{"cmd":"load","kb":"k","t":"a"}"#);
+        assert_err(&resp, codes::OVERLOADED);
+        let resp = call(&s, r#"{"cmd":"ping"}"#);
+        assert_ok(&resp);
+        let resp = call(&s, r#"{"cmd":"stats"}"#);
+        assert_eq!(
+            assert_ok(&resp).get("overloaded").and_then(Json::as_u64),
+            Some(1)
+        );
+    }
+
+    #[test]
+    fn compile_budget_zero_degrades_but_stays_correct() {
+        let s = Server::new(
+            ServerConfig::default()
+                .with_queue(16)
+                .with_compile_timeout_ms(Some(0)),
+        );
+        call(&s, r#"{"cmd":"load","kb":"k","t":"a & b"}"#);
+        let resp = call(&s, r#"{"cmd":"revise","kb":"k","op":"satoh","p":"!a"}"#);
+        let result = assert_ok(&resp);
+        assert_eq!(result.get("degraded").and_then(Json::as_bool), Some(true));
+        assert_eq!(result.get("cache").and_then(Json::as_str), Some("degraded"));
+        // Delayed incorporation still answers correctly at query time.
+        let resp = call(&s, r#"{"cmd":"query","kb":"k","q":"b"}"#);
+        assert_eq!(
+            assert_ok(&resp).get("entails").and_then(Json::as_bool),
+            Some(true)
+        );
+        let resp = call(&s, r#"{"cmd":"stats"}"#);
+        assert_eq!(
+            assert_ok(&resp).get("degraded").and_then(Json::as_u64),
+            Some(1)
+        );
+    }
+
+    #[test]
+    fn list_drop_and_shutdown() {
+        let s = server();
+        call(&s, r#"{"cmd":"load","kb":"b","t":"x"}"#);
+        call(&s, r#"{"cmd":"load","kb":"a","t":"y"}"#);
+        let resp = call(&s, r#"{"cmd":"list"}"#);
+        let kbs = assert_ok(&resp)
+            .get("kbs")
+            .and_then(Json::as_array)
+            .unwrap();
+        let names: Vec<&str> = kbs
+            .iter()
+            .map(|kb| kb.get("name").and_then(Json::as_str).unwrap())
+            .collect();
+        assert_eq!(names, vec!["a", "b"]); // sorted
+        let resp = call(&s, r#"{"cmd":"drop","kb":"a"}"#);
+        assert_ok(&resp);
+        assert!(!s.is_shutting_down());
+        let resp = call(&s, r#"{"cmd":"shutdown"}"#);
+        assert_ok(&resp);
+        assert!(s.is_shutting_down());
+        // Non-control-plane work is now refused; ping still answers.
+        let resp = call(&s, r#"{"cmd":"list"}"#);
+        assert_err(&resp, codes::SHUTTING_DOWN);
+        let resp = call(&s, r#"{"cmd":"ping"}"#);
+        assert_ok(&resp);
+    }
+
+    #[test]
+    fn stdio_loop_runs_a_scripted_session() {
+        let s = server();
+        let script = concat!(
+            r#"{"id":1,"cmd":"load","kb":"k","t":"a & b"}"#,
+            "\n\n", // blank line is ignored
+            r#"{"id":2,"cmd":"revise","kb":"k","op":"weber","p":"!a"}"#,
+            "\n",
+            r#"{"id":3,"cmd":"query","kb":"k","q":"b"}"#,
+            "\n",
+            r#"{"id":4,"cmd":"shutdown"}"#,
+            "\n",
+            r#"{"id":5,"cmd":"ping"}"#, // after shutdown: loop exited
+            "\n",
+        );
+        let mut out = Vec::new();
+        s.serve_stdio(script.as_bytes(), &mut out).unwrap();
+        let out = String::from_utf8(out).unwrap();
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 4, "{out}");
+        for (i, line) in lines.iter().enumerate() {
+            let resp = Json::parse(line).unwrap();
+            assert_eq!(resp.get("id").and_then(Json::as_f64), Some((i + 1) as f64));
+            assert_eq!(resp.get("ok").and_then(Json::as_bool), Some(true));
+        }
+    }
+}

@@ -1,0 +1,134 @@
+#!/usr/bin/env bash
+# Smoke-test the revision service end to end, the way CI runs it:
+#
+#   1. a scripted stdio session across all eight operators, replayed so
+#      the artifact cache must report hits, including one forced
+#      deadline timeout (deadline_ms: 0) and a malformed line;
+#   2. a REVKB_SERVER_QUEUE=0 run, where every data-plane request must
+#      be shed with `overloaded` while the control plane stays up;
+#   3. a TCP session against `revkb-server --listen 127.0.0.1:0`,
+#      ending in a clean shutdown.
+#
+# Usage: scripts/server_smoke.sh  (from the repo root; builds the
+# release binary if target/release/revkb-server is missing).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BIN="${REVKB_SERVER_BIN:-target/release/revkb-server}"
+if [[ ! -x "$BIN" ]]; then
+    cargo build --release -p revkb-server --bin revkb-server
+fi
+
+BIN="$BIN" python3 - <<'EOF'
+import json, os, socket, subprocess, sys
+
+BIN = os.environ["BIN"]
+OPS = ["winslett", "borgida", "forbus", "satoh", "dalal", "weber",
+       "gfuv", "widtio"]
+THEORY = "a & b; b -> c; c | d"
+REVISION = "!b | !c"
+
+def run_stdio(lines, env=None):
+    """Feed request lines to a fresh --stdio server, return responses."""
+    full_env = dict(os.environ)
+    if env:
+        full_env.update(env)
+    proc = subprocess.run(
+        [BIN, "--stdio"], input="\n".join(lines) + "\n",
+        capture_output=True, text=True, timeout=120, env=full_env)
+    if proc.returncode != 0:
+        sys.exit(f"server exited with {proc.returncode}: {proc.stderr}")
+    return [json.loads(line) for line in proc.stdout.splitlines() if line]
+
+def ok(resp, context):
+    if resp.get("ok") is not True:
+        sys.exit(f"{context}: expected ok, got {resp}")
+    return resp["result"]
+
+def err(resp, code, context):
+    if resp.get("ok") is not False or resp.get("code") != code:
+        sys.exit(f"{context}: expected code {code!r}, got {resp}")
+
+# -- 1. scripted session: all eight operators, replayed for cache hits.
+lines, checks = [], []
+for op in OPS:
+    for kb in (f"{op}-cold", f"{op}-warm"):
+        lines.append(json.dumps(
+            {"cmd": "load", "kb": kb, "t": THEORY}))
+        checks.append(("ok", f"load {kb}"))
+        lines.append(json.dumps(
+            {"cmd": "revise", "kb": kb, "op": op, "p": REVISION}))
+        checks.append(("revise", (op, kb)))
+        lines.append(json.dumps(
+            {"cmd": "query_batch", "kb": kb, "qs": ["a", "c | d"]}))
+        checks.append(("ok", f"query_batch {kb}"))
+lines.append('{"cmd":"query","kb":"dalal-warm","q":"a","deadline_ms":0}')
+checks.append(("err", ("timeout", "forced deadline")))
+lines.append("this line is not a request")
+checks.append(("err", ("bad_request", "malformed line")))
+lines.append('{"cmd":"stats"}')
+checks.append(("stats", None))
+lines.append('{"cmd":"shutdown"}')
+checks.append(("ok", "shutdown"))
+
+responses = run_stdio(lines)
+assert len(responses) == len(checks), (len(responses), len(checks))
+for resp, (kind, detail) in zip(responses, checks):
+    if kind == "ok":
+        ok(resp, detail)
+    elif kind == "err":
+        code, context = detail
+        err(resp, code, context)
+    elif kind == "revise":
+        op, kb = detail
+        result = ok(resp, f"revise {kb}")
+        cache = result["cache"]
+        if op in ("gfuv", "widtio"):
+            assert cache == "bypass", (kb, cache)
+        elif kb.endswith("-warm"):
+            assert cache == "hit", f"{kb}: warm compile must hit, got {cache}"
+    elif kind == "stats":
+        stats = ok(resp, "stats")
+        hits = stats["cache"]["hits"]
+        assert hits >= 6, f"expected >= 6 cache hits, got {hits}"
+        assert stats["timeouts"] >= 1, stats
+print(f"stdio session ok: {len(responses)} responses, "
+      f"cache hits {stats['cache']['hits']}, timeouts {stats['timeouts']}")
+
+# -- 2. zero admission queue: data plane shed, control plane alive.
+responses = run_stdio(
+    ['{"cmd":"load","kb":"k","t":"a"}', '{"cmd":"ping"}',
+     '{"cmd":"shutdown"}'],
+    env={"REVKB_SERVER_QUEUE": "0"})
+err(responses[0], "overloaded", "load under queue=0")
+ok(responses[1], "ping under queue=0")
+ok(responses[2], "shutdown under queue=0")
+print("zero-queue session ok: overloaded shed, control plane answered")
+
+# -- 3. TCP round trip with a clean shutdown.
+proc = subprocess.Popen(
+    [BIN, "--listen", "127.0.0.1:0"],
+    stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True)
+banner = proc.stdout.readline().strip()
+assert banner.startswith("listening "), banner
+host, port = banner.split()[1].rsplit(":", 1)
+
+with socket.create_connection((host, int(port)), timeout=30) as sock:
+    stream = sock.makefile("rw", encoding="utf-8", newline="\n")
+    def call(request):
+        stream.write(json.dumps(request) + "\n")
+        stream.flush()
+        return json.loads(stream.readline())
+    ok(call({"cmd": "load", "kb": "tcp", "t": THEORY}), "tcp load")
+    ok(call({"cmd": "revise", "kb": "tcp", "op": "dalal",
+             "p": REVISION}), "tcp revise")
+    result = ok(call({"cmd": "query", "kb": "tcp", "q": "a"}), "tcp query")
+    assert result["entails"] is True, result
+    ok(call({"cmd": "shutdown"}), "tcp shutdown")
+
+if proc.wait(timeout=30) != 0:
+    sys.exit(f"TCP server exited with {proc.returncode}: "
+             f"{proc.stderr.read()}")
+print(f"tcp session ok: {banner}, server exited cleanly")
+print("server smoke: all three phases passed")
+EOF

@@ -21,6 +21,11 @@ use std::process::ExitCode;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    // `serve` is a long-running loop writing to stdout as it goes; it
+    // cannot go through `run`'s collect-then-print contract.
+    if args.first().map(String::as_str) == Some("serve") {
+        return serve(&args[1..]);
+    }
     match run(&args) {
         Ok(output) => {
             print!("{output}");
@@ -36,7 +41,7 @@ fn main() -> ExitCode {
 }
 
 fn usage() -> &'static str {
-    "usage:\n  revkb-cli revise  --op <operator> -t <formula> -p <formula> [--models]\n  revkb-cli compile --op <operator> -t <formula> -p <formula> -q <query>\n  revkb-cli compile-seq --op <operator> -t <formula> --ps <p1 ; p2 ; …> -q <query>\n  revkb-cli worlds  -t <f1 ; f2 ; …> -p <formula>\n  revkb-cli widtio  -t <f1 ; f2 ; …> -p <formula>\n  revkb-cli check   --op <operator> -t <formula> -p <formula> -m <letters,comma,separated>\n  revkb-cli postulates --op <operator> [--cases <n>]\n  revkb-cli advise  --op <operator|gfuv|widtio> [--bounded] [--new-letters] [--iterated]\n\noperators: winslett borgida forbus satoh dalal weber"
+    "usage:\n  revkb-cli revise  --op <operator> -t <formula> -p <formula> [--models]\n  revkb-cli compile --op <operator> -t <formula> -p <formula> -q <query>\n  revkb-cli compile-seq --op <operator> -t <formula> --ps <p1 ; p2 ; …> -q <query>\n  revkb-cli worlds  -t <f1 ; f2 ; …> -p <formula>\n  revkb-cli widtio  -t <f1 ; f2 ; …> -p <formula>\n  revkb-cli check   --op <operator> -t <formula> -p <formula> -m <letters,comma,separated>\n  revkb-cli postulates --op <operator> [--cases <n>]\n  revkb-cli advise  --op <operator|gfuv|widtio> [--bounded] [--new-letters] [--iterated]\n  revkb-cli serve   [--stdio | --listen ADDR]\n\noperators: winslett borgida forbus satoh dalal weber"
 }
 
 /// Parsed flag map: `--key value` and `-k value` pairs.
@@ -63,15 +68,48 @@ fn parse_flags(args: &[String]) -> Result<std::collections::HashMap<String, Stri
 }
 
 fn operator(name: &str) -> Result<ModelBasedOp, String> {
-    match name.to_ascii_lowercase().as_str() {
-        "winslett" | "win" => Ok(ModelBasedOp::Winslett),
-        "borgida" | "b" => Ok(ModelBasedOp::Borgida),
-        "forbus" | "f" => Ok(ModelBasedOp::Forbus),
-        "satoh" | "s" => Ok(ModelBasedOp::Satoh),
-        "dalal" | "d" => Ok(ModelBasedOp::Dalal),
-        "weber" | "web" => Ok(ModelBasedOp::Weber),
-        other => Err(format!("unknown operator {other:?}")),
+    ModelBasedOp::from_name(name).ok_or_else(|| format!("unknown operator {name:?}"))
+}
+
+/// `revkb-cli serve`: run the NDJSON revision service (stdio by
+/// default, TCP with `--listen ADDR`). Tuning comes from the
+/// `REVKB_SERVER_*` environment variables.
+fn serve(args: &[String]) -> ExitCode {
+    use revkb::server::{Server, ServerConfig};
+    let server = Server::new(ServerConfig::from_env());
+    let outcome = match args {
+        [] => serve_stdio(&server),
+        [flag] if flag == "--stdio" => serve_stdio(&server),
+        [flag, addr] if flag == "--listen" => match std::net::TcpListener::bind(addr) {
+            Ok(listener) => {
+                if let Ok(local) = listener.local_addr() {
+                    println!("listening {local}");
+                }
+                server.serve_tcp(listener)
+            }
+            Err(e) => {
+                eprintln!("error: cannot bind {addr}: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        _ => {
+            eprintln!("usage: revkb-cli serve [--stdio | --listen ADDR]");
+            return ExitCode::FAILURE;
+        }
+    };
+    match outcome {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
     }
+}
+
+fn serve_stdio(server: &revkb::server::Server) -> std::io::Result<()> {
+    let stdin = std::io::stdin();
+    let stdout = std::io::stdout();
+    server.serve_stdio(std::io::BufReader::new(stdin.lock()), stdout.lock())
 }
 
 fn required<'a>(

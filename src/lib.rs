@@ -37,3 +37,29 @@ pub use revkb_obs as obs;
 pub use revkb_qbf as qbf;
 pub use revkb_revision as revision;
 pub use revkb_sat as sat;
+pub use revkb_server as server;
+
+// The unified front door, re-exported at the crate root: one error
+// type, one engine trait, one typed builder — the API the server, the
+// benches, and new callers are expected to use.
+pub use revkb_revision::{Backend, Engine, Error, ReviseBuilder};
+
+/// Everything a typical caller needs, importable in one line:
+///
+/// ```
+/// use revkb::prelude::*;
+///
+/// let mut sig = Signature::new();
+/// let t = parse("george | bill", &mut sig).unwrap();
+/// let p = parse("!george", &mut sig).unwrap();
+/// let kb = ReviseBuilder::new(ModelBasedOp::Dalal).compile(&t, &p).unwrap();
+/// assert!(kb.entails(&parse("bill", &mut sig).unwrap()));
+/// ```
+pub mod prelude {
+    pub use revkb_logic::{parse, render, Formula, Signature, Var};
+    pub use revkb_revision::{
+        Backend, DelayedKb, Engine, Error, GfuvEngine, ModelBasedOp, Profile, ReviseBuilder,
+        RevisedKb, Theory, WidtioEngine,
+    };
+    pub use revkb_server::{Server, ServerConfig};
+}
