@@ -1,0 +1,185 @@
+//! `revkb-bench` — the continuous-performance regression harness.
+//!
+//! ```text
+//! revkb-bench                         # run the suite, write BENCH_PR5.json
+//! revkb-bench --baseline BENCH_PR5.json   # compare; exit 1 on regression
+//! ```
+//!
+//! The suite is fixed and named (see [`revkb_bench::suite`]): eight
+//! per-operator compiles, sequential-vs-parallel batch queries with
+//! histogram percentiles, BDD apply, the Tseitin transform, and
+//! cold-vs-warm server revises over loopback TCP. Instances are
+//! seeded (`REVKB_BENCH_SEED`), trials are medians over
+//! `REVKB_BENCH_TRIALS` runs after `REVKB_BENCH_WARMUP` warmups.
+//!
+//! Also regenerates `server_bench_report.json` (the per-operator
+//! cold/warm grid formerly produced by the separate `server_bench`
+//! binary) unless `--no-server-report` is given.
+
+use revkb_bench::suite::{
+    compare_against_baseline, report_json, run_suite, server_ops_report, SuiteConfig,
+};
+use revkb_bench::RunMeta;
+use std::process::ExitCode;
+
+const USAGE: &str = "usage: revkb-bench [--out FILE] [--baseline FILE] [--warn-only] \
+                     [--seed N] [--trials N] [--warmup N] [--tolerance-pct X] \
+                     [--no-server-report]";
+
+struct Args {
+    out: String,
+    baseline: Option<String>,
+    warn_only: bool,
+    server_report: bool,
+    config: SuiteConfig,
+}
+
+fn parse_args(args: &[String]) -> Result<Args, String> {
+    let mut parsed = Args {
+        out: "BENCH_PR5.json".to_string(),
+        baseline: None,
+        warn_only: false,
+        server_report: true,
+        config: SuiteConfig::from_env(),
+    };
+    let mut iter = args.iter();
+    let value = |iter: &mut std::slice::Iter<String>, flag: &str| {
+        iter.next()
+            .cloned()
+            .ok_or_else(|| format!("{flag} needs a value"))
+    };
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--out" => parsed.out = value(&mut iter, "--out")?,
+            "--baseline" => parsed.baseline = Some(value(&mut iter, "--baseline")?),
+            "--warn-only" => parsed.warn_only = true,
+            "--no-server-report" => parsed.server_report = false,
+            "--seed" => {
+                parsed.config.seed = value(&mut iter, "--seed")?
+                    .parse()
+                    .map_err(|_| "--seed needs an integer".to_string())?;
+            }
+            "--trials" => {
+                parsed.config.trials = value(&mut iter, "--trials")?
+                    .parse::<usize>()
+                    .map_err(|_| "--trials needs an integer".to_string())?
+                    .max(1);
+            }
+            "--warmup" => {
+                parsed.config.warmup = value(&mut iter, "--warmup")?
+                    .parse()
+                    .map_err(|_| "--warmup needs an integer".to_string())?;
+            }
+            "--tolerance-pct" => {
+                parsed.config.tolerance_pct = Some(
+                    value(&mut iter, "--tolerance-pct")?
+                        .parse()
+                        .map_err(|_| "--tolerance-pct needs a number".to_string())?,
+                );
+            }
+            other => return Err(format!("unknown argument {other:?}")),
+        }
+    }
+    Ok(parsed)
+}
+
+fn main() -> ExitCode {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let args = match parse_args(&raw) {
+        Ok(args) => args,
+        Err(message) => {
+            eprintln!("revkb-bench: {message}\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    // Read the baseline up front: `--baseline BENCH_PR5.json --out
+    // BENCH_PR5.json` (the CI shape) must compare against the old
+    // contents, not against the report this run is about to write.
+    let baseline = match &args.baseline {
+        Some(path) => match std::fs::read_to_string(path) {
+            Ok(s) => Some(s),
+            Err(e) => {
+                eprintln!("revkb-bench: cannot read baseline {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => None,
+    };
+
+    let meta = RunMeta::capture();
+    println!(
+        "== revkb-bench: seed={} trials={} warmup={} threads={} ==",
+        args.config.seed, args.config.trials, args.config.warmup, meta.threads
+    );
+    let results = run_suite(&args.config);
+
+    println!(
+        "{:<22} {:>12} {:>10} {:>8}",
+        "benchmark", "median_us", "min_us", "tol_%"
+    );
+    for r in &results {
+        let min = r.trials.iter().cloned().fold(f64::INFINITY, f64::min);
+        println!(
+            "{:<22} {:>12.0} {:>10.0} {:>8.0}",
+            r.name, r.median, min, r.tolerance_pct
+        );
+    }
+    println!();
+
+    let report = report_json(&args.config, &meta, &results);
+    if let Err(e) = std::fs::write(&args.out, &report) {
+        eprintln!("revkb-bench: cannot write {}: {e}", args.out);
+        return ExitCode::FAILURE;
+    }
+    println!("report written to {}", args.out);
+
+    if args.server_report {
+        let (server_report, summary) = server_ops_report(&args.config, &meta);
+        print!("{summary}");
+        if let Err(e) = std::fs::write("server_bench_report.json", server_report) {
+            eprintln!("revkb-bench: cannot write server_bench_report.json: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("(per-operator grid written to server_bench_report.json)\n");
+    }
+
+    if let (Some(path), Some(baseline)) = (&args.baseline, &baseline) {
+        let comparisons = match compare_against_baseline(&results, baseline) {
+            Ok(c) => c,
+            Err(message) => {
+                eprintln!("revkb-bench: {message}");
+                return ExitCode::FAILURE;
+            }
+        };
+        println!(
+            "{:<22} {:>12} {:>12} {:>9} {:>8}  verdict",
+            "benchmark", "baseline_us", "current_us", "delta_%", "tol_%"
+        );
+        let mut regressions = 0usize;
+        for c in &comparisons {
+            let verdict = if c.regressed {
+                regressions += 1;
+                "REGRESSED"
+            } else {
+                "ok"
+            };
+            println!(
+                "{:<22} {:>12.0} {:>12.0} {:>+9.1} {:>8.0}  {verdict}",
+                c.name, c.baseline, c.current, c.delta_pct, c.tolerance_pct
+            );
+        }
+        if regressions > 0 {
+            eprintln!(
+                "revkb-bench: {regressions} regression(s) beyond tolerance vs {path}{}",
+                if args.warn_only { " (warn-only)" } else { "" }
+            );
+            if !args.warn_only {
+                return ExitCode::FAILURE;
+            }
+        } else {
+            println!("no regressions vs {path}");
+        }
+    }
+    ExitCode::SUCCESS
+}

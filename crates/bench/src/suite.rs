@@ -1,0 +1,766 @@
+//! The `revkb-bench` regression suite: a fixed, named set of
+//! benchmarks spanning the whole pipeline — per-operator compile
+//! times, sequential-vs-parallel batch query latency (with percentiles
+//! from the `revkb-obs` histograms), BDD apply throughput, the Tseitin
+//! transform, and cold-vs-warm server revises over a loopback TCP
+//! connection.
+//!
+//! Everything is deterministic modulo wall-clock noise: instance
+//! generation is seeded (`REVKB_BENCH_SEED`), each benchmark runs
+//! `REVKB_BENCH_WARMUP` discarded warmup rounds followed by
+//! `REVKB_BENCH_TRIALS` measured trials, and the reported figure is
+//! the **median** trial. The emitted report (`BENCH_PR5.json`) is
+//! schema-versioned and can be replayed as a `--baseline` to detect
+//! regressions: a benchmark regresses only when it is both relatively
+//! slower than its per-benchmark tolerance *and* absolutely slower by
+//! more than [`MIN_DELTA_MICROS`] (so micro-benchmarks near the timer
+//! floor cannot flap CI).
+
+use crate::json::Value;
+use crate::RunMeta;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use revkb_instances::{random_formula, random_kcnf, random_satisfiable};
+use revkb_logic::{tseitin_auto, Formula};
+use revkb_sat::{PoolConfig, SessionPool};
+use revkb_server::{Json, Server, ServerConfig};
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+use std::time::Instant;
+
+/// Environment variable seeding the deterministic instance generation.
+pub const SEED_ENV: &str = "REVKB_BENCH_SEED";
+/// Environment variable setting the measured trial count.
+pub const TRIALS_ENV: &str = "REVKB_BENCH_TRIALS";
+/// Environment variable setting the discarded warmup round count.
+pub const WARMUP_ENV: &str = "REVKB_BENCH_WARMUP";
+
+/// Schema version of the `BENCH_*.json` report.
+pub const BENCH_SCHEMA_VERSION: u32 = 1;
+/// Default per-benchmark regression tolerance, percent.
+pub const DEFAULT_TOLERANCE_PCT: f64 = 15.0;
+/// Absolute regression floor in microseconds: a benchmark is only a
+/// regression when it is slower by more than this, whatever the
+/// relative delta says. Keeps sub-millisecond benches from flapping.
+pub const MIN_DELTA_MICROS: f64 = 500.0;
+
+/// How the suite runs: seed, trial count, warmup rounds.
+#[derive(Debug, Clone)]
+pub struct SuiteConfig {
+    /// Seed for instance generation (`REVKB_BENCH_SEED`, default 42).
+    pub seed: u64,
+    /// Measured trials per benchmark (`REVKB_BENCH_TRIALS`, default 5).
+    pub trials: usize,
+    /// Discarded warmup rounds (`REVKB_BENCH_WARMUP`, default 1).
+    pub warmup: usize,
+    /// Global tolerance override; `None` keeps the per-benchmark
+    /// defaults.
+    pub tolerance_pct: Option<f64>,
+}
+
+impl Default for SuiteConfig {
+    fn default() -> Self {
+        SuiteConfig {
+            seed: 42,
+            trials: 5,
+            warmup: 1,
+            tolerance_pct: None,
+        }
+    }
+}
+
+impl SuiteConfig {
+    /// Defaults overridden by the `REVKB_BENCH_*` environment.
+    pub fn from_env() -> Self {
+        let mut cfg = Self::default();
+        if let Some(seed) = env_u64(SEED_ENV) {
+            cfg.seed = seed;
+        }
+        if let Some(trials) = env_u64(TRIALS_ENV) {
+            cfg.trials = (trials as usize).max(1);
+        }
+        if let Some(warmup) = env_u64(WARMUP_ENV) {
+            cfg.warmup = warmup as usize;
+        }
+        cfg
+    }
+
+    fn tolerance_for(&self, name: &str) -> f64 {
+        if let Some(t) = self.tolerance_pct {
+            return t;
+        }
+        // Wall-clock-noisy benches (thread pools, TCP round-trips) get
+        // wider bands; pure-compute compile benches keep the default.
+        if name.starts_with("query.") || name.starts_with("server.") {
+            50.0
+        } else {
+            DEFAULT_TOLERANCE_PCT
+        }
+    }
+}
+
+fn env_u64(name: &str) -> Option<u64> {
+    std::env::var(name).ok()?.trim().parse().ok()
+}
+
+/// One benchmark's measurements.
+#[derive(Debug, Clone)]
+pub struct BenchResult {
+    /// Stable benchmark name (`compile.dalal`, `server.revise.warm`…).
+    pub name: String,
+    /// Unit of `median` and `trials` (always microseconds today).
+    pub unit: &'static str,
+    /// Median of the measured trials.
+    pub median: f64,
+    /// Every measured trial, in order.
+    pub trials: Vec<f64>,
+    /// Relative regression tolerance for this benchmark, percent.
+    pub tolerance_pct: f64,
+    /// Benchmark-specific side measurements (percentiles, sizes…).
+    pub extra: Vec<(&'static str, Value)>,
+}
+
+impl BenchResult {
+    fn to_json(&self) -> Value {
+        let mut pairs = vec![
+            ("name", Value::string(&self.name)),
+            ("unit", Value::string(self.unit)),
+            ("median", Value::Number(self.median)),
+            (
+                "trials",
+                Value::Array(self.trials.iter().map(|&t| Value::Number(t)).collect()),
+            ),
+            ("tolerance_pct", Value::Number(self.tolerance_pct)),
+        ];
+        if !self.extra.is_empty() {
+            pairs.push((
+                "extra",
+                Value::Object(
+                    self.extra
+                        .iter()
+                        .map(|(k, v)| (k.to_string(), v.clone()))
+                        .collect(),
+                ),
+            ));
+        }
+        Value::object(pairs)
+    }
+}
+
+fn median_of(xs: &[f64]) -> f64 {
+    let mut sorted = xs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite trial times"));
+    let n = sorted.len();
+    if n == 0 {
+        return 0.0;
+    }
+    if n % 2 == 1 {
+        sorted[n / 2]
+    } else {
+        (sorted[n / 2 - 1] + sorted[n / 2]) / 2.0
+    }
+}
+
+/// Warmup + timed trials of `work`; returns `(median, trials)`.
+fn timed_trials(cfg: &SuiteConfig, mut work: impl FnMut()) -> (f64, Vec<f64>) {
+    for _ in 0..cfg.warmup {
+        work();
+    }
+    let mut trials = Vec::with_capacity(cfg.trials);
+    for _ in 0..cfg.trials {
+        let start = Instant::now();
+        work();
+        trials.push(start.elapsed().as_micros() as f64);
+    }
+    (median_of(&trials), trials)
+}
+
+fn result(cfg: &SuiteConfig, name: String, median: f64, trials: Vec<f64>) -> BenchResult {
+    let tolerance_pct = cfg.tolerance_for(&name);
+    BenchResult {
+        name,
+        unit: "micros",
+        median,
+        trials,
+        tolerance_pct,
+        extra: Vec::new(),
+    }
+}
+
+/// The eight operator tags the suite compiles, in wire order.
+pub const OPERATORS: [&str; 8] = [
+    "winslett", "borgida", "forbus", "satoh", "dalal", "weber", "gfuv", "widtio",
+];
+
+/// `compile.<op>` — one full compile of a fixed seeded scenario per
+/// trial, for each of the eight operators.
+fn compile_benches(cfg: &SuiteConfig) -> Vec<BenchResult> {
+    use revkb_revision::{GfuvEngine, ModelBasedOp, RevisedKb, Theory, WidtioEngine};
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let t = random_satisfiable(&mut rng, 4, 6, 0);
+    let p = random_satisfiable(&mut rng, 3, 4, 0);
+    OPERATORS
+        .iter()
+        .map(|op| {
+            let mut compiled_size: Option<usize> = None;
+            let (median, trials) = timed_trials(cfg, || match ModelBasedOp::from_name(op) {
+                Some(m) => {
+                    let kb = RevisedKb::compile(m, &t, &p).expect("suite scenario compiles");
+                    compiled_size = Some(kb.size());
+                }
+                None if *op == "gfuv" => {
+                    let theory = Theory::new([t.clone()]);
+                    let kb = GfuvEngine::compile(theory, p.clone(), 1 << 16)
+                        .expect("suite worlds fit the budget");
+                    drop(kb);
+                }
+                None => {
+                    let theory = Theory::new([t.clone()]);
+                    let kb = WidtioEngine::compile(&theory, &p);
+                    drop(kb);
+                }
+            });
+            let mut r = result(cfg, format!("compile.{op}"), median, trials);
+            if let Some(size) = compiled_size {
+                r.extra.push(("compiled_size", Value::Number(size as f64)));
+            }
+            r
+        })
+        .collect()
+}
+
+/// `query.sequential` / `query.parallel` — a 64-query batch through
+/// one sharded [`SessionPool`], each way, with per-query latency
+/// percentiles read from the `sat.session.query_micros` histogram
+/// under a temporarily-enabled `Summary` trace mode.
+fn query_benches(cfg: &SuiteConfig) -> Vec<BenchResult> {
+    let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0x5EED_0001);
+    let base = random_satisfiable(&mut rng, 4, 10, 0);
+    // Queries must stay inside the base alphabet — a query letter the
+    // base never mentions would collide with the session's internal
+    // Tseitin variables (and real clients are rejected for it).
+    let alpha = revkb_logic::Alphabet::of_formulas([&base]);
+    let queries: Vec<Formula> = std::iter::from_fn(|| Some(random_formula(&mut rng, 3, 10, 0)))
+        .filter(|q| q.vars().iter().all(|&v| alpha.contains(v)))
+        .take(64)
+        .collect();
+    let mut pool = SessionPool::with_config(
+        &base,
+        PoolConfig {
+            threads: revkb_sat::default_threads(),
+            sequential_threshold: 0,
+        },
+    );
+    let (seq_median, seq_trials) = timed_trials(cfg, || {
+        let _ = pool.entails_batch(&queries);
+    });
+    let (par_median, par_trials) = timed_trials(cfg, || {
+        let _ = pool.par_entails_batch(&queries);
+    });
+
+    // Percentiles: run one instrumented pass of each kind under the
+    // Summary mode, then restore whatever mode the process had. The
+    // suite owns the process-wide registry here, so the reset is safe.
+    let percentiles = |parallel: bool, pool: &mut SessionPool| -> Vec<(&'static str, Value)> {
+        let prev = revkb_obs::mode();
+        revkb_obs::set_mode(revkb_obs::TraceMode::Summary);
+        revkb_obs::reset();
+        if parallel {
+            let _ = pool.par_entails_batch(&queries);
+        } else {
+            let _ = pool.entails_batch(&queries);
+        }
+        let snap = revkb_obs::snapshot();
+        let extra = match snap.histogram("sat.session.query_micros") {
+            Some(h) => vec![
+                ("query_count", Value::Number(h.count as f64)),
+                ("p50_micros", pct(h.percentile(0.50))),
+                ("p95_micros", pct(h.percentile(0.95))),
+                ("p99_micros", pct(h.percentile(0.99))),
+            ],
+            None => Vec::new(),
+        };
+        revkb_obs::reset();
+        revkb_obs::set_mode(prev);
+        extra
+    };
+    let seq_extra = percentiles(false, &mut pool);
+    let par_extra = percentiles(true, &mut pool);
+
+    let mut seq = result(cfg, "query.sequential".into(), seq_median, seq_trials);
+    seq.extra = seq_extra;
+    let mut par = result(cfg, "query.parallel".into(), par_median, par_trials);
+    par.extra
+        .push(("threads", Value::Number(pool.threads() as f64)));
+    par.extra.extend(par_extra);
+    vec![seq, par]
+}
+
+fn pct(v: Option<u64>) -> Value {
+    v.map_or(Value::Null, |v| Value::Number(v as f64))
+}
+
+/// `bdd.apply` — build the BDD of a seeded random 3-CNF from scratch
+/// each trial; the apply/unique-table machinery dominates.
+fn bdd_bench(cfg: &SuiteConfig) -> BenchResult {
+    let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0x5EED_0002);
+    let f = random_kcnf(&mut rng, 12, 30, 3);
+    let mut nodes = 0usize;
+    let mut allocated = 0usize;
+    let (median, trials) = timed_trials(cfg, || {
+        let mut manager = revkb_bdd::BddManager::new();
+        let node = manager.from_formula(&f);
+        nodes = manager.size(node);
+        allocated = manager.allocated();
+    });
+    let mut r = result(cfg, "bdd.apply".into(), median, trials);
+    r.extra.push(("bdd_nodes", Value::Number(nodes as f64)));
+    r.extra
+        .push(("allocated_nodes", Value::Number(allocated as f64)));
+    r
+}
+
+/// `logic.tseitin` — clausify a deep seeded formula each trial.
+fn tseitin_bench(cfg: &SuiteConfig) -> BenchResult {
+    let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0x5EED_0003);
+    let f = random_formula(&mut rng, 12, 16, 0);
+    let mut clauses = 0usize;
+    let (median, trials) = timed_trials(cfg, || {
+        clauses = tseitin_auto(&f).len();
+    });
+    let mut r = result(cfg, "logic.tseitin".into(), median, trials);
+    r.extra.push(("clauses", Value::Number(clauses as f64)));
+    r.extra
+        .push(("formula_size", Value::Number(f.size() as f64)));
+    r
+}
+
+/// One loopback client round-trip: write the line, read one response
+/// line, assert `ok:true`.
+fn roundtrip(writer: &mut TcpStream, reader: &mut BufReader<TcpStream>, line: &str) -> (Json, u64) {
+    // One write per request: a separate write of the newline would
+    // interact with Nagle's algorithm and delayed ACKs, measuring the
+    // kernel's coalescing timer instead of the server.
+    let mut framed = String::with_capacity(line.len() + 1);
+    framed.push_str(line);
+    framed.push('\n');
+    let start = Instant::now();
+    writer.write_all(framed.as_bytes()).expect("loopback write");
+    let mut response = String::new();
+    reader.read_line(&mut response).expect("loopback read");
+    let micros = start.elapsed().as_micros() as u64;
+    let json = Json::parse(response.trim()).expect("server response is JSON");
+    assert_eq!(
+        json.get("ok").and_then(Json::as_bool),
+        Some(true),
+        "server request failed: {line} -> {response}"
+    );
+    (json, micros)
+}
+
+/// Distinct revision formulas of near-identical size: the sign
+/// pattern over four fresh letters tracks the bits of `i`, so every
+/// variant is a different artifact-cache key whose parse tree differs
+/// only in negation nodes.
+fn revision_variant(i: usize) -> String {
+    let sign = |bit: usize| if (i >> bit) & 1 == 0 { "" } else { "!" };
+    format!(
+        "!b | !c | ({}e & {}f & {}g & {}h)",
+        sign(0),
+        sign(1),
+        sign(2),
+        sign(3)
+    )
+}
+
+/// `server.revise.cold` / `server.revise.warm` — a real `revkb-server`
+/// on a loopback TCP socket. Cold trials revise with a fresh formula
+/// each time (guaranteed artifact-cache miss); warm trials replay one
+/// already-compiled revision on fresh KB names (guaranteed hit). The
+/// cold/warm ratio is the artifact cache's value as seen by a client.
+fn server_benches(cfg: &SuiteConfig) -> Vec<BenchResult> {
+    const THEORY: &str = "a & b; b -> c; c | d";
+    let server = Server::new(ServerConfig::default());
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind loopback");
+    let addr = listener.local_addr().expect("local addr");
+    let acceptor = {
+        let server = server.clone();
+        std::thread::spawn(move || {
+            let _ = server.serve_tcp(listener);
+        })
+    };
+    let mut writer = TcpStream::connect(addr).expect("connect loopback");
+    writer.set_nodelay(true).expect("set TCP_NODELAY");
+    let mut reader = BufReader::new(writer.try_clone().expect("clone stream"));
+
+    assert!(
+        cfg.warmup + cfg.trials <= 16,
+        "only 16 distinct revision variants"
+    );
+    let mut kb_seq = 0usize;
+    let mut cold_one = |variant: usize, out: Option<&mut Vec<f64>>| {
+        kb_seq += 1;
+        let kb = format!("cold-{kb_seq}");
+        let load = format!(r#"{{"cmd":"load","kb":"{kb}","t":"{THEORY}"}}"#);
+        roundtrip(&mut writer, &mut reader, &load);
+        let revise = format!(
+            r#"{{"cmd":"revise","kb":"{kb}","op":"dalal","p":"{}"}}"#,
+            revision_variant(variant)
+        );
+        let (resp, micros) = roundtrip(&mut writer, &mut reader, &revise);
+        let cache = resp
+            .get("result")
+            .and_then(|r| r.get("cache"))
+            .and_then(Json::as_str);
+        assert_eq!(cache, Some("miss"), "cold revise must miss the cache");
+        if let Some(out) = out {
+            out.push(micros as f64);
+        }
+    };
+    let mut cold_trials = Vec::with_capacity(cfg.trials);
+    for i in 0..cfg.warmup {
+        cold_one(i, None);
+    }
+    for i in 0..cfg.trials {
+        cold_one(cfg.warmup + i, Some(&mut cold_trials));
+    }
+
+    // Warm: variant 0 was compiled during warmup (or by the first cold
+    // trial when warmup is 0), so replays on fresh KB names must hit.
+    let warm_variant = 0usize;
+    let mut warm_trials = Vec::with_capacity(cfg.trials);
+    for i in 0..cfg.warmup + cfg.trials {
+        let kb = format!("warm-{i}");
+        let load = format!(r#"{{"cmd":"load","kb":"{kb}","t":"{THEORY}"}}"#);
+        roundtrip(&mut writer, &mut reader, &load);
+        let revise = format!(
+            r#"{{"cmd":"revise","kb":"{kb}","op":"dalal","p":"{}"}}"#,
+            revision_variant(warm_variant)
+        );
+        let (resp, micros) = roundtrip(&mut writer, &mut reader, &revise);
+        let cache = resp
+            .get("result")
+            .and_then(|r| r.get("cache"))
+            .and_then(Json::as_str);
+        assert_eq!(cache, Some("hit"), "warm revise must hit the cache");
+        if i >= cfg.warmup {
+            warm_trials.push(micros as f64);
+        }
+    }
+
+    let (_, _) = roundtrip(&mut writer, &mut reader, r#"{"cmd":"shutdown"}"#);
+    let _ = acceptor.join();
+
+    let cold_median = median_of(&cold_trials);
+    let warm_median = median_of(&warm_trials);
+    let mut cold = result(cfg, "server.revise.cold".into(), cold_median, cold_trials);
+    cold.extra.push(("transport", Value::string("tcp")));
+    let mut warm = result(cfg, "server.revise.warm".into(), warm_median, warm_trials);
+    warm.extra.push(("transport", Value::string("tcp")));
+    if warm_median > 0.0 {
+        warm.extra
+            .push(("cold_over_warm", Value::Number(cold_median / warm_median)));
+    }
+    vec![cold, warm]
+}
+
+/// Run the whole fixed suite in order.
+pub fn run_suite(cfg: &SuiteConfig) -> Vec<BenchResult> {
+    let mut results = compile_benches(cfg);
+    results.extend(query_benches(cfg));
+    results.push(bdd_bench(cfg));
+    results.push(tseitin_bench(cfg));
+    results.extend(server_benches(cfg));
+    results
+}
+
+/// Render the schema-versioned `BENCH_*.json` report.
+pub fn report_json(cfg: &SuiteConfig, meta: &RunMeta, results: &[BenchResult]) -> String {
+    Value::object([
+        ("bench", Value::string("revkb-bench")),
+        ("schema_version", Value::Number(BENCH_SCHEMA_VERSION as f64)),
+        ("run_meta", run_meta_json(cfg, meta)),
+        (
+            "benchmarks",
+            Value::array(results.iter().map(BenchResult::to_json)),
+        ),
+    ])
+    .pretty()
+}
+
+fn run_meta_json(cfg: &SuiteConfig, meta: &RunMeta) -> Value {
+    Value::object([
+        ("threads", Value::Number(meta.threads as f64)),
+        ("trace_mode", Value::string(meta.trace_mode)),
+        (
+            "git_describe",
+            meta.git_describe
+                .as_deref()
+                .map_or(Value::Null, Value::string),
+        ),
+        (
+            "cpu_count",
+            Value::Number(std::thread::available_parallelism().map_or(0, |n| n.get()) as f64),
+        ),
+        ("seed", Value::Number(cfg.seed as f64)),
+        ("trials", Value::Number(cfg.trials as f64)),
+        ("warmup", Value::Number(cfg.warmup as f64)),
+    ])
+}
+
+/// One benchmark's baseline-vs-current comparison.
+#[derive(Debug, Clone)]
+pub struct Comparison {
+    /// Benchmark name.
+    pub name: String,
+    /// Baseline median, microseconds.
+    pub baseline: f64,
+    /// Current median, microseconds.
+    pub current: f64,
+    /// Relative change, percent (positive = slower).
+    pub delta_pct: f64,
+    /// Tolerance applied, percent.
+    pub tolerance_pct: f64,
+    /// Regression verdict: relatively beyond tolerance *and*
+    /// absolutely beyond [`MIN_DELTA_MICROS`].
+    pub regressed: bool,
+}
+
+/// Compare current results against a baseline `BENCH_*.json`.
+///
+/// Benchmarks present only on one side are skipped (a new benchmark is
+/// not a regression; a removed one is a review question, not a CI
+/// failure). Errors only on unparseable or wrong-schema baselines.
+pub fn compare_against_baseline(
+    results: &[BenchResult],
+    baseline_json: &str,
+) -> Result<Vec<Comparison>, String> {
+    let baseline =
+        Json::parse(baseline_json).map_err(|e| format!("baseline is not valid JSON: {e}"))?;
+    let version = baseline
+        .get("schema_version")
+        .and_then(Json::as_u64)
+        .ok_or("baseline has no schema_version")?;
+    if version != BENCH_SCHEMA_VERSION as u64 {
+        return Err(format!(
+            "baseline schema_version {version} != supported {BENCH_SCHEMA_VERSION}"
+        ));
+    }
+    let benchmarks = baseline
+        .get("benchmarks")
+        .and_then(Json::as_array)
+        .ok_or("baseline has no benchmarks array")?;
+    let mut comparisons = Vec::new();
+    for r in results {
+        let Some(base) = benchmarks
+            .iter()
+            .find(|b| b.get("name").and_then(Json::as_str) == Some(r.name.as_str()))
+        else {
+            continue;
+        };
+        let Some(base_median) = base.get("median").and_then(Json::as_f64) else {
+            continue;
+        };
+        let delta = r.median - base_median;
+        let delta_pct = if base_median > 0.0 {
+            delta / base_median * 100.0
+        } else {
+            0.0
+        };
+        let regressed = delta_pct > r.tolerance_pct && delta > MIN_DELTA_MICROS;
+        comparisons.push(Comparison {
+            name: r.name.clone(),
+            baseline: base_median,
+            current: r.median,
+            delta_pct,
+            tolerance_pct: r.tolerance_pct,
+            regressed,
+        });
+    }
+    Ok(comparisons)
+}
+
+/// The folded-in `server_bench` workload: per-operator cold/warm
+/// revise through an in-process server, reported with the same
+/// schema-versioned envelope. Returns the rendered
+/// `server_bench_report.json` contents and a printable summary.
+pub fn server_ops_report(cfg: &SuiteConfig, meta: &RunMeta) -> (String, String) {
+    const THEORY: &str = "a & b; b -> c; c | d";
+    const REVISION: &str = "!b | !c";
+    const QUERIES: [&str; 4] = ["a", "c | d", "!(b & c)", "a & (c | d)"];
+    let server = Server::new(ServerConfig::default());
+    let call = |line: &str| -> (Json, u64) {
+        let start = Instant::now();
+        let response = server.handle_line(line).expect("non-blank line");
+        let micros = start.elapsed().as_micros() as u64;
+        let json = Json::parse(&response).expect("response is valid JSON");
+        assert_eq!(
+            json.get("ok").and_then(Json::as_bool),
+            Some(true),
+            "request failed: {line} -> {response}"
+        );
+        (json, micros)
+    };
+    let mut rows = Vec::new();
+    let mut summary =
+        String::from("== server ops: artifact cache & request latency (in-process) ==\n");
+    summary.push_str(&format!(
+        "{:<10} {:>16} {:>16} {:>10} {:>16} {:>14}\n",
+        "operator", "cold_revise_us", "warm_revise_us", "cache", "query_batch_us", "compiled_size"
+    ));
+    for op in OPERATORS {
+        let kb = format!("bench-{op}");
+        let load = format!(r#"{{"cmd":"load","kb":"{kb}","t":"{THEORY}"}}"#);
+        let revise = format!(r#"{{"cmd":"revise","kb":"{kb}","op":"{op}","p":"{REVISION}"}}"#);
+        let qs: Vec<String> = QUERIES.iter().map(|q| format!("\"{q}\"")).collect();
+        let query = format!(
+            r#"{{"cmd":"query_batch","kb":"{kb}","qs":[{}]}}"#,
+            qs.join(",")
+        );
+        call(&load);
+        let (cold_resp, cold_micros) = call(&revise);
+        let (_, query_micros) = call(&query);
+        let compiled_size = cold_resp
+            .get("result")
+            .and_then(|r| r.get("compiled_size"))
+            .and_then(Json::as_u64);
+        call(&format!(r#"{{"cmd":"drop","kb":"{kb}"}}"#));
+        call(&load);
+        let (warm_resp, warm_micros) = call(&revise);
+        let warm_cache = warm_resp
+            .get("result")
+            .and_then(|r| r.get("cache"))
+            .and_then(Json::as_str)
+            .unwrap_or("?")
+            .to_string();
+        call(&format!(r#"{{"cmd":"drop","kb":"{kb}"}}"#));
+        summary.push_str(&format!(
+            "{:<10} {:>16} {:>16} {:>10} {:>16} {:>14}\n",
+            op,
+            cold_micros,
+            warm_micros,
+            warm_cache,
+            query_micros,
+            compiled_size.map_or_else(|| "-".to_string(), |s| s.to_string()),
+        ));
+        rows.push(Value::object([
+            ("op", Value::string(op)),
+            ("cold_revise_micros", Value::Number(cold_micros as f64)),
+            ("warm_revise_micros", Value::Number(warm_micros as f64)),
+            ("warm_cache", Value::string(&warm_cache)),
+            ("query_batch_micros", Value::Number(query_micros as f64)),
+            (
+                "compiled_size",
+                compiled_size.map_or(Value::Null, |s| Value::Number(s as f64)),
+            ),
+        ]));
+    }
+    let (stats, _) = call(r#"{"cmd":"stats"}"#);
+    let stats_result = stats.get("result").expect("stats result");
+    let cache = stats_result.get("cache").expect("stats cache block");
+    let cache_field = |key: &str| cache.get(key).and_then(Json::as_u64).unwrap_or(0);
+    let report = Value::object([
+        ("bench", Value::string("server_bench")),
+        ("schema_version", Value::Number(BENCH_SCHEMA_VERSION as f64)),
+        ("run_meta", run_meta_json(cfg, meta)),
+        ("operators", Value::Array(rows)),
+        (
+            "cache",
+            Value::object([
+                ("hits", Value::Number(cache_field("hits") as f64)),
+                ("misses", Value::Number(cache_field("misses") as f64)),
+                ("evictions", Value::Number(cache_field("evictions") as f64)),
+            ]),
+        ),
+        (
+            "requests",
+            Value::Number(
+                stats_result
+                    .get("requests")
+                    .and_then(Json::as_u64)
+                    .unwrap_or(0) as f64,
+            ),
+        ),
+    ])
+    .pretty();
+    (report, summary)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn median_is_robust() {
+        assert_eq!(median_of(&[3.0, 1.0, 2.0]), 2.0);
+        assert_eq!(median_of(&[4.0, 1.0, 2.0, 3.0]), 2.5);
+        assert_eq!(median_of(&[]), 0.0);
+        assert_eq!(median_of(&[7.0]), 7.0);
+    }
+
+    #[test]
+    fn revision_variants_are_distinct_and_near_equal_size() {
+        let all: Vec<String> = (0..16).map(revision_variant).collect();
+        for (i, a) in all.iter().enumerate() {
+            // Variants differ only in negation signs: at most four
+            // extra `!` characters over the all-positive variant.
+            assert!(
+                a.len() >= all[0].len() && a.len() <= all[0].len() + 4,
+                "variant {i} changed shape: {a}"
+            );
+            for b in &all[..i] {
+                assert_ne!(a, b, "variant {i} collided");
+            }
+        }
+    }
+
+    #[test]
+    fn baseline_comparison_flags_real_regressions_only() {
+        let results = vec![
+            BenchResult {
+                name: "compile.dalal".into(),
+                unit: "micros",
+                median: 1000.0,
+                trials: vec![1000.0],
+                tolerance_pct: 15.0,
+                extra: vec![],
+            },
+            BenchResult {
+                name: "server.revise.cold".into(),
+                unit: "micros",
+                median: 10_000.0,
+                trials: vec![10_000.0],
+                tolerance_pct: 50.0,
+                extra: vec![],
+            },
+        ];
+        let cfg = SuiteConfig::default();
+        let meta = RunMeta::capture();
+        // Self-comparison: identical medians, zero regressions.
+        let baseline = report_json(&cfg, &meta, &results);
+        let comparisons = compare_against_baseline(&results, &baseline).unwrap();
+        assert_eq!(comparisons.len(), 2);
+        assert!(comparisons.iter().all(|c| !c.regressed));
+        // A big relative slip that is also absolutely large regresses…
+        let mut slower = results.clone();
+        slower[1].median = 20_000.0;
+        let comparisons = compare_against_baseline(&slower, &baseline).unwrap();
+        assert!(comparisons.iter().any(|c| c.regressed));
+        // …but a big relative slip under the absolute floor does not.
+        let mut tiny = results.clone();
+        tiny[0].median = 1400.0; // +40% but only +400us < 500us floor
+        let comparisons = compare_against_baseline(&tiny, &baseline).unwrap();
+        assert!(comparisons.iter().all(|c| !c.regressed));
+    }
+
+    #[test]
+    fn baseline_schema_is_checked() {
+        let results: Vec<BenchResult> = Vec::new();
+        assert!(compare_against_baseline(&results, "not json").is_err());
+        assert!(compare_against_baseline(&results, r#"{"benchmarks":[]}"#).is_err());
+        assert!(
+            compare_against_baseline(&results, r#"{"schema_version":999,"benchmarks":[]}"#)
+                .is_err()
+        );
+    }
+}

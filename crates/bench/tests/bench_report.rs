@@ -1,0 +1,139 @@
+//! The `BENCH_*.json` contract: the report the harness writes must be
+//! valid JSON by the workspace's own checker, parse into the schema
+//! the baseline comparator expects, round-trip through a
+//! self-comparison with zero regressions, and still catch a genuine
+//! slowdown when one is injected.
+
+use revkb_bench::suite::{
+    compare_against_baseline, report_json, run_suite, SuiteConfig, BENCH_SCHEMA_VERSION,
+};
+use revkb_bench::RunMeta;
+use revkb_server::Json;
+
+/// One tiny suite run shared by every assertion: the suite toggles
+/// process-global telemetry state and binds loopback sockets, so it
+/// runs once, not once per test.
+fn tiny_run() -> (SuiteConfig, RunMeta, Vec<revkb_bench::suite::BenchResult>) {
+    let cfg = SuiteConfig {
+        seed: 7,
+        trials: 1,
+        warmup: 0,
+        tolerance_pct: None,
+    };
+    let meta = RunMeta::capture();
+    let results = run_suite(&cfg);
+    (cfg, meta, results)
+}
+
+#[test]
+fn report_round_trips_schema_and_detects_injected_regression() {
+    let (cfg, meta, results) = tiny_run();
+    assert!(!results.is_empty());
+    let report = report_json(&cfg, &meta, &results);
+
+    // Valid by the workspace's own strict JSON checker...
+    assert!(
+        revkb_obs::validate_json(&report),
+        "report is not valid JSON"
+    );
+    // ...and by the server's parser, which is what --baseline uses.
+    let parsed = Json::parse(&report).expect("report parses");
+    assert_eq!(
+        parsed.get("bench").and_then(Json::as_str),
+        Some("revkb-bench")
+    );
+    assert_eq!(
+        parsed.get("schema_version").and_then(Json::as_u64),
+        Some(BENCH_SCHEMA_VERSION as u64)
+    );
+    let run_meta = parsed.get("run_meta").expect("report carries run_meta");
+    for key in [
+        "threads",
+        "trace_mode",
+        "cpu_count",
+        "seed",
+        "trials",
+        "warmup",
+    ] {
+        assert!(run_meta.get(key).is_some(), "run_meta is missing {key}");
+    }
+    let benchmarks = parsed
+        .get("benchmarks")
+        .and_then(Json::as_array)
+        .expect("benchmarks array");
+    assert_eq!(benchmarks.len(), results.len());
+    for b in benchmarks {
+        for key in ["name", "unit", "median", "trials", "tolerance_pct"] {
+            assert!(b.get(key).is_some(), "benchmark entry is missing {key}");
+        }
+        assert_eq!(b.get("unit").and_then(Json::as_str), Some("micros"));
+    }
+
+    // Self-comparison: the very report we just wrote is a clean
+    // baseline for the run that produced it.
+    let comparisons = compare_against_baseline(&results, &report).expect("self-compare");
+    assert_eq!(comparisons.len(), results.len());
+    assert!(
+        comparisons.iter().all(|c| !c.regressed),
+        "a run must never regress against itself"
+    );
+
+    // Inject a genuine slowdown — far beyond both the relative
+    // tolerance and the absolute floor — into one benchmark and the
+    // comparator must flag exactly that one.
+    let mut slowed = results.clone();
+    slowed[0].median += 100_000.0;
+    let comparisons = compare_against_baseline(&slowed, &report).expect("compare slowed");
+    let flagged: Vec<&str> = comparisons
+        .iter()
+        .filter(|c| c.regressed)
+        .map(|c| c.name.as_str())
+        .collect();
+    assert_eq!(flagged, vec![results[0].name.as_str()]);
+
+    // A baseline from a different schema epoch is refused, not
+    // silently misread.
+    let future = report.replacen(
+        &format!("\"schema_version\": {BENCH_SCHEMA_VERSION}"),
+        &format!("\"schema_version\": {}", BENCH_SCHEMA_VERSION + 1),
+        1,
+    );
+    assert!(compare_against_baseline(&results, &future).is_err());
+}
+
+/// The committed `BENCH_PR5.json` at the repo root is the golden
+/// baseline CI compares against: it must stay valid and parseable
+/// with the schema this build supports.
+#[test]
+fn committed_baseline_is_a_valid_schema_v1_report() {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_PR5.json");
+    let baseline = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("cannot read committed baseline {path}: {e}"));
+    assert!(revkb_obs::validate_json(&baseline));
+    let parsed = Json::parse(&baseline).expect("baseline parses");
+    assert_eq!(
+        parsed.get("schema_version").and_then(Json::as_u64),
+        Some(BENCH_SCHEMA_VERSION as u64)
+    );
+    let names: Vec<&str> = parsed
+        .get("benchmarks")
+        .and_then(Json::as_array)
+        .expect("benchmarks array")
+        .iter()
+        .map(|b| b.get("name").and_then(Json::as_str).expect("name"))
+        .collect();
+    // The fixed named suite: the baseline covers every benchmark the
+    // harness runs today.
+    for name in [
+        "compile.dalal",
+        "compile.winslett",
+        "query.sequential",
+        "query.parallel",
+        "bdd.apply",
+        "logic.tseitin",
+        "server.revise.cold",
+        "server.revise.warm",
+    ] {
+        assert!(names.contains(&name), "baseline is missing {name}");
+    }
+}

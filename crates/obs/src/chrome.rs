@@ -33,13 +33,17 @@ pub fn chrome_trace(snap: &Snapshot) -> String {
         first = false;
         // ts/dur are microseconds (floats allowed; we emit integers).
         out.push_str(&format!(
-            "{{\"name\":{},\"ph\":\"X\",\"pid\":1,\"tid\":{},\"ts\":{},\"dur\":{},\"args\":{{\"depth\":{}}}}}",
+            "{{\"name\":{},\"ph\":\"X\",\"pid\":1,\"tid\":{},\"ts\":{},\"dur\":{},\"args\":{{\"depth\":{}",
             json_str(s.name),
             s.thread,
             s.start_ns / 1_000,
             (s.dur_ns / 1_000).max(1),
             s.depth
         ));
+        for (k, v) in &s.attrs {
+            out.push_str(&format!(",{}:{}", json_str(k), v));
+        }
+        out.push_str("}}");
     }
     if !snap.counters.is_empty() {
         let ts = snap

@@ -66,9 +66,9 @@ pub mod span;
 
 pub use check::validate_json;
 pub use chrome::{chrome_trace, trace_file_path, write_chrome_trace, TRACE_FILE_ENV};
-pub use metrics::{Counter, Gauge, Histogram, HIST_BUCKETS};
+pub use metrics::{estimate_percentile, Counter, Gauge, Histogram, LocalHistogram, HIST_BUCKETS};
 pub use snapshot::{drain, reset, snapshot, HistogramSnapshot, Snapshot, SpanAggregate};
-pub use span::{span, SpanEvent, SpanGuard};
+pub use span::{span, span_with, SpanEvent, SpanGuard};
 
 use std::sync::atomic::{AtomicU8, Ordering};
 

@@ -226,6 +226,18 @@ impl Histogram {
         self.buckets[b].load(Ordering::Relaxed)
     }
 
+    /// Estimate the `p`-quantile (`p` in `[0, 1]`) of the recorded
+    /// distribution. `None` when the histogram is empty. See
+    /// [`estimate_percentile`] for the estimator's contract.
+    pub fn percentile(&self, p: f64) -> Option<u64> {
+        estimate_percentile(
+            self.count(),
+            self.max(),
+            (0..HIST_BUCKETS).map(|b| (b, self.bucket(b))),
+            p,
+        )
+    }
+
     pub(crate) fn reset(&self) {
         self.count.store(0, Ordering::Relaxed);
         self.sum.store(0, Ordering::Relaxed);
@@ -233,6 +245,126 @@ impl Histogram {
         for b in &self.buckets {
             b.store(0, Ordering::Relaxed);
         }
+    }
+}
+
+/// Estimate a quantile from log₂ bucket occupancies.
+///
+/// `buckets` yields `(bucket index, occupancy)` pairs in ascending
+/// index order (zero-occupancy pairs are allowed and skipped). The
+/// target rank is `ceil(p·count)` clamped to `[1, count]`; inside the
+/// hit bucket the estimate interpolates linearly across the bucket's
+/// value range `[2^(b-1), 2^b)` — so single-value buckets (0 and 1)
+/// are exact, and the estimate is monotonically non-decreasing in `p`.
+/// The result is additionally clamped to the recorded maximum, which
+/// keeps high quantiles honest when the top bucket is much wider than
+/// the data in it. Returns `None` when `count` is zero.
+pub fn estimate_percentile(
+    count: u64,
+    max: u64,
+    buckets: impl IntoIterator<Item = (usize, u64)>,
+    p: f64,
+) -> Option<u64> {
+    if count == 0 {
+        return None;
+    }
+    let p = p.clamp(0.0, 1.0);
+    let rank = ((p * count as f64).ceil() as u64).clamp(1, count);
+    let mut seen = 0u64;
+    for (b, n) in buckets {
+        if n == 0 {
+            continue;
+        }
+        if seen + n >= rank {
+            if b == 0 {
+                return Some(0);
+            }
+            // Bucket b ≥ 1 spans [2^(b-1), 2^b): lo == width.
+            let lo = 1u128 << (b - 1);
+            let width = lo;
+            let into = (rank - seen) as u128; // in [1, n]
+            let est = lo + width * into / n as u128;
+            let est = est.min(lo + width - 1) as u64;
+            return Some(est.min(max));
+        }
+        seen += n;
+    }
+    // All occupancies exhausted below the rank (racy concurrent
+    // snapshot): fall back to the recorded maximum.
+    Some(max)
+}
+
+/// An owned, always-on histogram with the same log₂ buckets as
+/// [`Histogram`].
+///
+/// Unlike the `static` instruments, a `LocalHistogram` is *not* gated
+/// on the trace mode and never touches the global registry: it belongs
+/// to whoever constructed it. The server uses these for the per-request
+/// latency distributions its `stats` command must report regardless of
+/// `REVKB_TRACE`, without draining (or perturbing) the shared
+/// telemetry that table1/table2 runs rely on.
+#[derive(Debug)]
+pub struct LocalHistogram {
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+    buckets: [AtomicU64; HIST_BUCKETS],
+}
+
+impl Default for LocalHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LocalHistogram {
+    /// An empty histogram.
+    pub const fn new() -> Self {
+        Self {
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+            buckets: [BUCKET_ZERO; HIST_BUCKETS],
+        }
+    }
+
+    /// Record one observation (always on).
+    pub fn record(&self, v: u64) {
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+        self.buckets[bucket_of(v)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of observations.
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Largest observation.
+    pub fn max(&self) -> u64 {
+        self.max.load(Ordering::Relaxed)
+    }
+
+    /// Occupancy of bucket `b` (see [`HIST_BUCKETS`]).
+    pub fn bucket(&self, b: usize) -> u64 {
+        self.buckets[b].load(Ordering::Relaxed)
+    }
+
+    /// Estimate the `p`-quantile; `None` when empty. Same estimator as
+    /// [`Histogram::percentile`].
+    pub fn percentile(&self, p: f64) -> Option<u64> {
+        estimate_percentile(
+            self.count(),
+            self.max(),
+            (0..HIST_BUCKETS).map(|b| (b, self.bucket(b))),
+            p,
+        )
     }
 }
 
@@ -259,6 +391,85 @@ mod tests {
         assert_eq!(bucket_of(1024), 11);
         assert_eq!(bucket_of(u64::MAX), 64);
         assert!(bucket_of(u64::MAX) < HIST_BUCKETS);
+    }
+
+    #[test]
+    fn percentile_exact_on_hand_built_distributions() {
+        // All zeros: every quantile is exactly 0.
+        let h = LocalHistogram::new();
+        for _ in 0..100 {
+            h.record(0);
+        }
+        for p in [0.0, 0.5, 0.95, 0.99, 1.0] {
+            assert_eq!(h.percentile(p), Some(0), "p={p}");
+        }
+        // All ones: bucket 1 holds exactly the value 1.
+        let h = LocalHistogram::new();
+        for _ in 0..7 {
+            h.record(1);
+        }
+        for p in [0.01, 0.5, 0.99] {
+            assert_eq!(h.percentile(p), Some(1), "p={p}");
+        }
+        // 90 fast (value 1) + 10 slow (value 1000): the p50 sits in the
+        // fast bucket exactly, the p95+ in the slow one — and the slow
+        // estimate is clamped to the recorded max.
+        let h = LocalHistogram::new();
+        for _ in 0..90 {
+            h.record(1);
+        }
+        for _ in 0..10 {
+            h.record(1000);
+        }
+        assert_eq!(h.percentile(0.5), Some(1));
+        let p95 = h.percentile(0.95).unwrap();
+        assert!((512..=1000).contains(&p95), "p95={p95}");
+        assert_eq!(h.percentile(1.0), Some(1000));
+    }
+
+    #[test]
+    fn percentile_interpolates_within_a_bucket() {
+        // 4 values in bucket 3 ([4, 8)): interpolation steps through
+        // the bucket's range monotonically and stays inside it.
+        let h = LocalHistogram::new();
+        for v in [4, 5, 6, 7] {
+            h.record(v);
+        }
+        let q25 = h.percentile(0.25).unwrap();
+        let q50 = h.percentile(0.5).unwrap();
+        let q100 = h.percentile(1.0).unwrap();
+        assert!((4..=7).contains(&q25), "q25={q25}");
+        assert!(q25 <= q50 && q50 <= q100, "{q25} {q50} {q100}");
+        assert_eq!(q100, 7);
+    }
+
+    #[test]
+    fn percentile_is_monotone_and_none_when_empty() {
+        let h = LocalHistogram::new();
+        assert_eq!(h.percentile(0.5), None);
+        for v in [0, 1, 3, 17, 400, 90_000, 12, 7, 7, 2_000_000] {
+            h.record(v);
+        }
+        let p50 = h.percentile(0.50).unwrap();
+        let p95 = h.percentile(0.95).unwrap();
+        let p99 = h.percentile(0.99).unwrap();
+        assert!(p50 <= p95, "p50={p50} p95={p95}");
+        assert!(p95 <= p99, "p95={p95} p99={p99}");
+        assert!(p99 <= h.max());
+        // Out-of-range p clamps instead of panicking.
+        assert_eq!(h.percentile(-1.0), h.percentile(0.0));
+        assert_eq!(h.percentile(2.0), h.percentile(1.0));
+    }
+
+    #[test]
+    fn percentile_top_bucket_does_not_overflow() {
+        let h = LocalHistogram::new();
+        h.record(u64::MAX);
+        h.record(u64::MAX - 1);
+        let p50 = h.percentile(0.5).unwrap();
+        let p100 = h.percentile(1.0).unwrap();
+        assert!(p50 <= p100, "{p50} {p100}");
+        assert_eq!(p100, u64::MAX);
     }
 
     #[test]

@@ -20,6 +20,15 @@ pub struct HistogramSnapshot {
     pub buckets: Vec<(usize, u64)>,
 }
 
+impl HistogramSnapshot {
+    /// Estimate the `p`-quantile of the captured distribution; `None`
+    /// when the histogram was empty. Same estimator as
+    /// [`crate::Histogram::percentile`].
+    pub fn percentile(&self, p: f64) -> Option<u64> {
+        crate::metrics::estimate_percentile(self.count, self.max, self.buckets.iter().copied(), p)
+    }
+}
+
 /// Per-name span aggregate (kept in every enabled mode).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SpanAggregate {
@@ -119,8 +128,13 @@ impl Snapshot {
                 out.push(',');
             }
             push_json_str(&mut out, h.name);
+            let (p50, p95, p99) = (
+                h.percentile(0.50).unwrap_or(0),
+                h.percentile(0.95).unwrap_or(0),
+                h.percentile(0.99).unwrap_or(0),
+            );
             out.push_str(&format!(
-                ":{{\"count\":{},\"sum\":{},\"max\":{},\"buckets\":{{",
+                ":{{\"count\":{},\"sum\":{},\"max\":{},\"p50\":{p50},\"p95\":{p95},\"p99\":{p99},\"buckets\":{{",
                 h.count, h.sum, h.max
             ));
             for (j, (b, n)) in h.buckets.iter().enumerate() {
@@ -175,9 +189,22 @@ impl Snapshot {
         out.push_str("{\"name\":");
         push_json_str(out, s.name);
         out.push_str(&format!(
-            ",\"thread\":{},\"start_ns\":{},\"dur_ns\":{},\"children\":[",
+            ",\"thread\":{},\"start_ns\":{},\"dur_ns\":{}",
             s.thread, s.start_ns, s.dur_ns
         ));
+        if !s.attrs.is_empty() {
+            out.push_str(",\"attrs\":{");
+            for (i, (k, v)) in s.attrs.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                push_json_str(out, k);
+                out.push(':');
+                out.push_str(&v.to_string());
+            }
+            out.push('}');
+        }
+        out.push_str(",\"children\":[");
         let mut first = true;
         for (j, c) in self.spans.iter().enumerate() {
             if c.thread == s.thread && c.parent == Some(s.id) {

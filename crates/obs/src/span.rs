@@ -29,6 +29,17 @@ pub struct SpanEvent {
     pub start_ns: u64,
     /// Wall-clock duration in nanoseconds.
     pub dur_ns: u64,
+    /// Numeric attributes attached at open time (see [`span_with`]),
+    /// e.g. `("req", 17)` for per-request correlation. Empty for spans
+    /// opened with plain [`span`].
+    pub attrs: Vec<(&'static str, u64)>,
+}
+
+impl SpanEvent {
+    /// Value of the named attribute, if present.
+    pub fn attr(&self, name: &str) -> Option<u64> {
+        self.attrs.iter().find(|(n, _)| *n == name).map(|(_, v)| *v)
+    }
 }
 
 /// Per-name aggregate kept in every enabled mode.
@@ -55,6 +66,7 @@ struct ActiveSpan {
     parent: Option<u64>,
     depth: u32,
     start_ns: u64,
+    attrs: Vec<(&'static str, u64)>,
 }
 
 struct ThreadSpans {
@@ -112,6 +124,15 @@ pub struct SpanGuard {
 /// `chrome` modes.
 #[inline]
 pub fn span(name: &'static str) -> SpanGuard {
+    span_with(name, &[])
+}
+
+/// Open a span named `name` carrying numeric attributes (retained on
+/// the [`SpanEvent`] in `spans`/`chrome` modes; aggregates ignore
+/// them). The server uses this to stamp every `server.*` span with the
+/// request id so a Chrome trace is correlatable per request.
+#[inline]
+pub fn span_with(name: &'static str, attrs: &[(&'static str, u64)]) -> SpanGuard {
     let mode = crate::mode();
     if mode == crate::TraceMode::Off {
         return SpanGuard {
@@ -119,7 +140,7 @@ pub fn span(name: &'static str) -> SpanGuard {
             _not_send: PhantomData,
         };
     }
-    open_span(name);
+    open_span(name, attrs);
     SpanGuard {
         armed: true,
         _not_send: PhantomData,
@@ -127,8 +148,15 @@ pub fn span(name: &'static str) -> SpanGuard {
 }
 
 #[cold]
-fn open_span(name: &'static str) {
+fn open_span(name: &'static str, attrs: &[(&'static str, u64)]) {
     let start_ns = epoch().elapsed().as_nanos() as u64;
+    // Attributes only matter on retained events; skip the allocation
+    // in summary mode.
+    let attrs = if crate::mode().spans_enabled() {
+        attrs.to_vec()
+    } else {
+        Vec::new()
+    };
     THREAD_SPANS.with(|ts| {
         let mut ts = ts.borrow_mut();
         let id = ts.next_id;
@@ -141,6 +169,7 @@ fn open_span(name: &'static str) {
             parent,
             depth,
             start_ns,
+            attrs,
         });
     });
 }
@@ -180,6 +209,7 @@ fn close_span() {
                 depth: active.depth,
                 start_ns: active.start_ns,
                 dur_ns,
+                attrs: active.attrs,
             });
         }
         if ts.stack.is_empty() {
@@ -217,6 +247,29 @@ mod tests {
         assert_eq!(inner.depth, 1);
         assert!(inner.dur_ns <= outer.dur_ns);
         assert!(inner.start_ns >= outer.start_ns);
+    }
+
+    #[test]
+    fn span_attributes_are_retained_on_events() {
+        let _g = crate::testutil::TEST_LOCK.lock().unwrap();
+        crate::set_mode(TraceMode::Spans);
+        crate::reset();
+        {
+            let _s = span_with("test.attr", &[("req", 42), ("shard", 3)]);
+            let _plain = span("test.attr.child");
+        }
+        let snap = crate::drain();
+        crate::set_mode(TraceMode::Off);
+        let tagged = snap.spans.iter().find(|s| s.name == "test.attr").unwrap();
+        assert_eq!(tagged.attr("req"), Some(42));
+        assert_eq!(tagged.attr("shard"), Some(3));
+        assert_eq!(tagged.attr("missing"), None);
+        let plain = snap
+            .spans
+            .iter()
+            .find(|s| s.name == "test.attr.child")
+            .unwrap();
+        assert!(plain.attrs.is_empty());
     }
 
     #[test]

@@ -16,7 +16,8 @@ use std::process::ExitCode;
 
 const USAGE: &str = "usage: revkb-server (--stdio | --listen ADDR) \
                      [--threads N] [--queue N] [--deadline-ms N] \
-                     [--compile-timeout-ms N] [--cache-cap N]";
+                     [--compile-timeout-ms N] [--cache-cap N] \
+                     [--slow-ms N]";
 
 enum Transport {
     Stdio,
@@ -71,6 +72,13 @@ fn parse_args(args: &[String]) -> Result<(Transport, ServerConfig), String> {
                         .map_err(|_| "--cache-cap needs an integer".to_string())?,
                 );
             }
+            "--slow-ms" => {
+                config = config.with_slow_ms(
+                    value(&mut iter, "--slow-ms")?
+                        .parse()
+                        .map_err(|_| "--slow-ms needs an integer".to_string())?,
+                );
+            }
             other => return Err(format!("unknown argument {other:?}")),
         }
     }
@@ -110,12 +118,33 @@ pub fn run(args: &[String]) -> ExitCode {
             }
         },
     };
+    write_trace_if_requested();
     match outcome {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
             eprintln!("revkb-server: {e}");
             ExitCode::FAILURE
         }
+    }
+}
+
+/// Under `REVKB_TRACE=chrome`, drain the telemetry accumulated over
+/// the server's lifetime and write the trace file at exit — every
+/// `server.*` span carries the `req` attribute, so the trace lines up
+/// with the wire log's `req` fields.
+fn write_trace_if_requested() {
+    use revkb_obs as obs;
+    if obs::mode() != obs::TraceMode::Chrome {
+        return;
+    }
+    let snap = obs::drain();
+    let path = obs::trace_file_path();
+    match obs::write_chrome_trace(&path, &snap) {
+        Ok(()) => eprintln!("revkb-server: wrote chrome trace to {}", path.display()),
+        Err(e) => eprintln!(
+            "revkb-server: cannot write chrome trace to {}: {e}",
+            path.display()
+        ),
     }
 }
 

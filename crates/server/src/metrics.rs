@@ -41,23 +41,66 @@ pub static REQUEST_MICROS: obs::Histogram = obs::Histogram::new("server.request.
 /// Compile time (cache misses only) in microseconds.
 pub static COMPILE_MICROS: obs::Histogram = obs::Histogram::new("server.compile.micros");
 
+/// Request-type buckets for per-type latency in `stats`: the nine
+/// command tags ([`crate::protocol::Command::tag`]) plus a catch-all
+/// for lines that never parsed into a command.
+pub const REQUEST_KINDS: [&str; 10] = [
+    "load",
+    "revise",
+    "query",
+    "query_batch",
+    "list",
+    "stats",
+    "drop",
+    "ping",
+    "shutdown",
+    "bad_request",
+];
+
+fn kind_index(kind: &str) -> usize {
+    REQUEST_KINDS
+        .iter()
+        .position(|k| *k == kind)
+        .unwrap_or(REQUEST_KINDS.len() - 1)
+}
+
 /// Always-on request accounting backing the `stats` command.
 ///
 /// Every increment also feeds the corresponding `obs` instrument, so
-/// `REVKB_TRACE=summary` output and `stats` responses agree.
-#[derive(Debug, Default)]
+/// `REVKB_TRACE=summary` output and `stats` responses agree. The
+/// per-type latency histograms are [`obs::LocalHistogram`]s — owned,
+/// always-on, and *not* part of the global registry — so reading them
+/// for a `stats` response never resets or perturbs the telemetry
+/// other consumers drain.
+#[derive(Debug)]
 pub struct ServerCounters {
     requests: AtomicU64,
     overloaded: AtomicU64,
     timeouts: AtomicU64,
     errors: AtomicU64,
     degraded: AtomicU64,
+    latency: [obs::LocalHistogram; REQUEST_KINDS.len()],
+}
+
+impl Default for ServerCounters {
+    fn default() -> Self {
+        ServerCounters {
+            requests: AtomicU64::new(0),
+            overloaded: AtomicU64::new(0),
+            timeouts: AtomicU64::new(0),
+            errors: AtomicU64::new(0),
+            degraded: AtomicU64::new(0),
+            latency: std::array::from_fn(|_| obs::LocalHistogram::new()),
+        }
+    }
 }
 
 impl ServerCounters {
     /// One request fully processed, taking `micros` end to end.
-    pub fn request(&self, micros: u64) {
+    /// `kind` is the command tag (or `"bad_request"`).
+    pub fn request(&self, kind: &str, micros: u64) {
         self.requests.fetch_add(1, Ordering::Relaxed);
+        self.latency[kind_index(kind)].record(micros);
         REQUESTS.inc();
         REQUEST_MICROS.record(micros);
     }
@@ -110,6 +153,22 @@ impl ServerCounters {
     pub fn degraded_total(&self) -> u64 {
         self.degraded.load(Ordering::Relaxed)
     }
+
+    /// The latency histogram for one request kind (read-only view;
+    /// reading never resets anything).
+    pub fn latency(&self, kind: &str) -> &obs::LocalHistogram {
+        &self.latency[kind_index(kind)]
+    }
+
+    /// Iterate `(kind, histogram)` over the kinds that have recorded
+    /// at least one request, in [`REQUEST_KINDS`] order.
+    pub fn latencies(&self) -> impl Iterator<Item = (&'static str, &obs::LocalHistogram)> {
+        REQUEST_KINDS
+            .iter()
+            .zip(self.latency.iter())
+            .filter(|(_, h)| h.count() > 0)
+            .map(|(k, h)| (*k, h))
+    }
 }
 
 #[cfg(test)]
@@ -121,8 +180,8 @@ mod tests {
         // REVKB_TRACE is off in tests: obs instruments no-op, the
         // plain counters must still move.
         let c = ServerCounters::default();
-        c.request(10);
-        c.request(20);
+        c.request("ping", 10);
+        c.request("query", 20);
         c.overloaded();
         c.timeout();
         c.error();
@@ -132,5 +191,24 @@ mod tests {
         assert_eq!(c.timeouts_total(), 1);
         assert_eq!(c.errors_total(), 1);
         assert_eq!(c.degraded_total(), 1);
+    }
+
+    #[test]
+    fn per_kind_latency_is_bucketed_and_nondestructive() {
+        let c = ServerCounters::default();
+        c.request("query", 10);
+        c.request("query", 30);
+        c.request("revise", 1000);
+        c.request("no-such-kind", 7); // falls into the bad_request bucket
+        assert_eq!(c.latency("query").count(), 2);
+        assert_eq!(c.latency("query").max(), 30);
+        assert_eq!(c.latency("revise").count(), 1);
+        assert_eq!(c.latency("bad_request").count(), 1);
+        assert_eq!(c.latency("ping").count(), 0);
+        // Reading twice gives identical answers: snapshots don't drain.
+        let first: Vec<_> = c.latencies().map(|(k, h)| (k, h.count())).collect();
+        let second: Vec<_> = c.latencies().map(|(k, h)| (k, h.count())).collect();
+        assert_eq!(first, second);
+        assert_eq!(first, vec![("revise", 1), ("query", 2), ("bad_request", 1)]);
     }
 }

@@ -2,8 +2,12 @@
 //!
 //! One request per line, one response per line, matched by the
 //! client-chosen `id` field (echoed verbatim — number or string).
-//! Responses are `{"id":…,"ok":true,"result":{…}}` on success and
-//! `{"id":…,"ok":false,"code":"…","error":"…"}` on failure. The
+//! Responses are `{"id":…,"req":N,"ok":true,"result":{…}}` on success
+//! and `{"id":…,"req":N,"ok":false,"code":"…","error":"…"}` on
+//! failure, where `req` is the server-assigned monotonic request id —
+//! the same number every `server.*` telemetry span and `slow_log`
+//! entry for that request carries, so wire lines and traces
+//! correlate. The
 //! `code` strings for engine-level failures are exactly
 //! [`revkb_revision::Error::code`]; the protocol adds its own codes
 //! for transport-level conditions ([`codes`]).
@@ -151,6 +155,25 @@ pub enum Command {
     Shutdown,
 }
 
+impl Command {
+    /// The wire tag of the command — the key under which the server
+    /// buckets per-request-type latency in `stats`, and the `cmd`
+    /// field of `slow_log` entries.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            Command::Load { .. } => "load",
+            Command::Revise { .. } => "revise",
+            Command::Query { .. } => "query",
+            Command::QueryBatch { .. } => "query_batch",
+            Command::List => "list",
+            Command::Stats => "stats",
+            Command::Drop { .. } => "drop",
+            Command::Ping => "ping",
+            Command::Shutdown => "shutdown",
+        }
+    }
+}
+
 /// Why a request line could not be turned into a [`Request`].
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RequestError {
@@ -257,20 +280,24 @@ pub fn parse_request(line: &str) -> Result<Request, RequestError> {
     })
 }
 
-/// Render a success response line (no trailing newline).
-pub fn ok_response(id: &Option<Json>, result: Json) -> String {
+/// Render a success response line (no trailing newline). `req` is the
+/// server-assigned monotonic request id echoed for trace correlation.
+pub fn ok_response(id: &Option<Json>, req: u64, result: Json) -> String {
     Json::obj([
         ("id", id.clone().unwrap_or(Json::Null)),
+        ("req", Json::Num(req as f64)),
         ("ok", Json::Bool(true)),
         ("result", result),
     ])
     .render()
 }
 
-/// Render an error response line (no trailing newline).
-pub fn err_response(id: &Option<Json>, code: &str, message: &str) -> String {
+/// Render an error response line (no trailing newline). `req` is the
+/// server-assigned monotonic request id echoed for trace correlation.
+pub fn err_response(id: &Option<Json>, req: u64, code: &str, message: &str) -> String {
     Json::obj([
         ("id", id.clone().unwrap_or(Json::Null)),
+        ("req", Json::Num(req as f64)),
         ("ok", Json::Bool(false)),
         ("code", Json::str(code)),
         ("error", Json::str(message)),
@@ -359,14 +386,59 @@ mod tests {
         assert_eq!(
             ok_response(
                 &Some(Json::Num(1.0)),
+                3,
                 Json::obj([("pong", Json::Bool(true))])
             ),
-            r#"{"id":1,"ok":true,"result":{"pong":true}}"#
+            r#"{"id":1,"req":3,"ok":true,"result":{"pong":true}}"#
         );
         assert_eq!(
-            err_response(&None, codes::BAD_REQUEST, "nope"),
-            r#"{"id":null,"ok":false,"code":"bad_request","error":"nope"}"#
+            err_response(&None, 4, codes::BAD_REQUEST, "nope"),
+            r#"{"id":null,"req":4,"ok":false,"code":"bad_request","error":"nope"}"#
         );
+    }
+
+    #[test]
+    fn command_tags_cover_every_command() {
+        let cases: [(Command, &str); 9] = [
+            (
+                Command::Load {
+                    kb: "k".into(),
+                    t: "a".into(),
+                },
+                "load",
+            ),
+            (
+                Command::Revise {
+                    kb: "k".into(),
+                    op: OpName::Model(ModelBasedOp::Dalal),
+                    p: "a".into(),
+                    backend: Backend::Direct,
+                },
+                "revise",
+            ),
+            (
+                Command::Query {
+                    kb: "k".into(),
+                    q: "a".into(),
+                },
+                "query",
+            ),
+            (
+                Command::QueryBatch {
+                    kb: "k".into(),
+                    qs: vec![],
+                },
+                "query_batch",
+            ),
+            (Command::List, "list"),
+            (Command::Stats, "stats"),
+            (Command::Drop { kb: "k".into() }, "drop"),
+            (Command::Ping, "ping"),
+            (Command::Shutdown, "shutdown"),
+        ];
+        for (cmd, tag) in cases {
+            assert_eq!(cmd.tag(), tag);
+        }
     }
 
     #[test]

@@ -16,6 +16,13 @@
 //! `timeout` — late answers must not look fast). A `deadline_ms` of 0
 //! therefore deterministically times out, which the tests and the CI
 //! smoke script rely on.
+//!
+//! Every request gets a server-assigned monotonic id (`req`), echoed
+//! in the response envelope and attached as an attribute to every
+//! `server.*` telemetry span, so a Chrome trace (`REVKB_TRACE=chrome`)
+//! correlates span-for-line with the wire log. Requests slower than
+//! `REVKB_SERVER_SLOW_MS` land in a bounded `slow_log` ring buffer
+//! returned by `stats`.
 
 use crate::json::Json;
 use crate::metrics::{self, ServerCounters};
@@ -24,15 +31,16 @@ use crate::protocol::{
 };
 use crate::registry::{cache_key, Artifact, ArtifactCache, KbKind, KbState};
 use revkb_logic::{parse as parse_formula, Formula, Signature};
+use revkb_obs as obs;
 use revkb_revision::api::Engine;
 use revkb_revision::{
     widtio, Backend, DelayedKb, Error, GfuvEngine, ModelBasedOp, RevisedKb, Theory, WidtioEngine,
     CACHE_CAP_ENV, DEFAULT_CACHE_CAPACITY,
 };
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::io::{self, BufRead, Read, Write};
 use std::net::{TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
@@ -47,6 +55,12 @@ pub const DEADLINE_ENV: &str = "REVKB_SERVER_DEADLINE_MS";
 pub const COMPILE_TIMEOUT_ENV: &str = "REVKB_SERVER_COMPILE_TIMEOUT_MS";
 /// Environment variable giving the GFUV possible-worlds budget.
 pub const WORLDS_ENV: &str = "REVKB_SERVER_WORLDS";
+/// Environment variable giving the slow-request threshold (ms): any
+/// request at least this slow end-to-end is recorded in the `slow_log`
+/// ring buffer returned by `stats`. 0 records every request.
+pub const SLOW_MS_ENV: &str = "REVKB_SERVER_SLOW_MS";
+/// Environment variable giving the slow-log ring-buffer capacity.
+pub const SLOW_LOG_ENV: &str = "REVKB_SERVER_SLOW_LOG";
 
 fn env_usize(name: &str) -> Option<usize> {
     std::env::var(name).ok()?.trim().parse().ok()
@@ -81,6 +95,13 @@ pub struct ServerConfig {
     /// GFUV possible-worlds budget (Theorem 3.1 says the world set can
     /// be exponential; the budget turns that into an error).
     pub worlds_budget: usize,
+    /// Slow-request threshold in milliseconds: a request at least this
+    /// slow end-to-end is recorded in the `slow_log` ring buffer.
+    /// 0 records every request (useful in tests).
+    pub slow_ms: u64,
+    /// Capacity of the `slow_log` ring buffer (oldest entries are
+    /// evicted first). 0 disables the log.
+    pub slow_log_cap: usize,
 }
 
 impl Default for ServerConfig {
@@ -92,6 +113,8 @@ impl Default for ServerConfig {
             compile_timeout_ms: None,
             cache_capacity: DEFAULT_CACHE_CAPACITY,
             worlds_budget: 4096,
+            slow_ms: 1000,
+            slow_log_cap: 32,
         }
     }
 }
@@ -118,6 +141,12 @@ impl ServerConfig {
         }
         if let Some(budget) = env_usize(WORLDS_ENV) {
             config.worlds_budget = budget;
+        }
+        if let Some(ms) = env_u64(SLOW_MS_ENV) {
+            config.slow_ms = ms;
+        }
+        if let Some(cap) = env_usize(SLOW_LOG_ENV) {
+            config.slow_log_cap = cap;
         }
         config
     }
@@ -155,6 +184,18 @@ impl ServerConfig {
     /// Set the GFUV worlds budget.
     pub fn with_worlds_budget(mut self, budget: usize) -> Self {
         self.worlds_budget = budget;
+        self
+    }
+
+    /// Set the slow-request threshold (ms). 0 logs every request.
+    pub fn with_slow_ms(mut self, ms: u64) -> Self {
+        self.slow_ms = ms;
+        self
+    }
+
+    /// Set the slow-log ring-buffer capacity. 0 disables the log.
+    pub fn with_slow_log_cap(mut self, cap: usize) -> Self {
+        self.slow_log_cap = cap;
         self
     }
 }
@@ -216,6 +257,19 @@ impl Drop for InFlightGuard<'_> {
     }
 }
 
+/// One `slow_log` entry: a request whose end-to-end latency was at
+/// least the configured threshold.
+#[derive(Debug, Clone, Copy)]
+struct SlowEntry {
+    /// Server-assigned monotonic request id (matches the response
+    /// envelope's `req` field and the span attribute).
+    req: u64,
+    /// Command tag (or `"bad_request"`).
+    cmd: &'static str,
+    /// End-to-end latency in microseconds.
+    micros: u64,
+}
+
 struct Inner {
     config: ServerConfig,
     registry: Mutex<HashMap<String, Arc<Mutex<KbState>>>>,
@@ -224,6 +278,10 @@ struct Inner {
     in_flight: AtomicUsize,
     gate: ExecGate,
     shutdown: AtomicBool,
+    /// Monotonic request-id source (first request is 1).
+    seq: AtomicU64,
+    /// Ring buffer of the last `slow_log_cap` slow requests.
+    slow_log: Mutex<VecDeque<SlowEntry>>,
 }
 
 /// The revision service. Cheap to clone (shared state behind an
@@ -289,6 +347,8 @@ impl Server {
                 counters: ServerCounters::default(),
                 in_flight: AtomicUsize::new(0),
                 shutdown: AtomicBool::new(false),
+                seq: AtomicU64::new(0),
+                slow_log: Mutex::new(VecDeque::new()),
             }),
         }
     }
@@ -307,36 +367,71 @@ impl Server {
             return None;
         }
         let start = Instant::now();
-        let response = self.process(line, start);
+        let req = self.inner.seq.fetch_add(1, Ordering::Relaxed) + 1;
+        let (response, kind) = {
+            let _span = obs::span_with("server.request", &[("req", req)]);
+            self.process(line, start, req)
+        };
         let micros = u64::try_from(start.elapsed().as_micros()).unwrap_or(u64::MAX);
-        self.inner.counters.request(micros);
+        self.inner.counters.request(kind, micros);
+        let cap = self.inner.config.slow_log_cap;
+        if cap > 0 && micros >= self.inner.config.slow_ms.saturating_mul(1000) {
+            let mut log = self.inner.slow_log.lock().expect("slow log poisoned");
+            while log.len() >= cap {
+                log.pop_front();
+            }
+            log.push_back(SlowEntry {
+                req,
+                cmd: kind,
+                micros,
+            });
+        }
         Some(response)
     }
 
-    fn process(&self, line: &str, start: Instant) -> String {
-        let req = match parse_request(line) {
-            Ok(req) => req,
+    fn process(&self, line: &str, start: Instant, req: u64) -> (String, &'static str) {
+        let request = match parse_request(line) {
+            Ok(request) => request,
             Err(e) => {
                 self.inner.counters.error();
-                return bad_request_response(&e);
+                return (bad_request_response(&e, req), "bad_request");
             }
         };
+        let kind = request.cmd.tag();
         // Control-plane commands bypass admission: they must answer
         // even (especially) when the server is saturated.
-        match req.cmd {
+        match request.cmd {
             Command::Ping => {
-                return ok_response(&req.id, Json::obj([("pong", Json::Bool(true))]));
+                return (
+                    ok_response(&request.id, req, Json::obj([("pong", Json::Bool(true))])),
+                    kind,
+                );
             }
-            Command::Stats => return self.stats_response(&req),
+            Command::Stats => return (self.stats_response(&request, req), kind),
             Command::Shutdown => {
                 self.inner.shutdown.store(true, Ordering::SeqCst);
-                return ok_response(&req.id, Json::obj([("shutting_down", Json::Bool(true))]));
+                return (
+                    ok_response(
+                        &request.id,
+                        req,
+                        Json::obj([("shutting_down", Json::Bool(true))]),
+                    ),
+                    kind,
+                );
             }
             _ => {}
         }
         if self.is_shutting_down() {
             self.inner.counters.error();
-            return err_response(&req.id, codes::SHUTTING_DOWN, "server is shutting down");
+            return (
+                err_response(
+                    &request.id,
+                    req,
+                    codes::SHUTTING_DOWN,
+                    "server is shutting down",
+                ),
+                kind,
+            );
         }
         // Admission control: a bounded number of requests may be in
         // flight (waiting or executing); the rest are told to back off
@@ -349,56 +444,79 @@ impl Server {
             });
         if admitted.is_err() {
             self.inner.counters.overloaded();
-            return err_response(
-                &req.id,
-                codes::OVERLOADED,
-                &format!(
-                    "{} requests already in flight (bound {}); retry later",
-                    self.inner.in_flight.load(Ordering::Relaxed),
-                    self.inner.config.queue
+            return (
+                err_response(
+                    &request.id,
+                    req,
+                    codes::OVERLOADED,
+                    &format!(
+                        "{} requests already in flight (bound {}); retry later",
+                        self.inner.in_flight.load(Ordering::Relaxed),
+                        self.inner.config.queue
+                    ),
                 ),
+                kind,
             );
         }
         let _in_flight = InFlightGuard(&self.inner.in_flight);
         metrics::IN_FLIGHT_PEAK.set_max(self.inner.in_flight.load(Ordering::Relaxed) as u64);
 
-        let deadline_ms = req
+        let deadline_ms = request
             .deadline_ms
             .unwrap_or(self.inner.config.default_deadline_ms);
         let deadline = start + Duration::from_millis(deadline_ms);
         if !self.inner.gate.acquire(deadline) {
             self.inner.counters.timeout();
-            return err_response(
-                &req.id,
-                codes::TIMEOUT,
-                &format!("deadline of {deadline_ms} ms expired before execution started"),
+            return (
+                err_response(
+                    &request.id,
+                    req,
+                    codes::TIMEOUT,
+                    &format!("deadline of {deadline_ms} ms expired before execution started"),
+                ),
+                kind,
             );
         }
         let _permit = PermitGuard(&self.inner.gate);
-        let result = self.execute(&req.cmd);
+        let result = self.execute(&request.cmd, req);
         if Instant::now() > deadline {
             // The answer arrived after the client's deadline: discard
             // it so a late answer cannot masquerade as a fast one.
             self.inner.counters.timeout();
-            return err_response(
-                &req.id,
-                codes::TIMEOUT,
-                &format!("deadline of {deadline_ms} ms expired during execution"),
+            return (
+                err_response(
+                    &request.id,
+                    req,
+                    codes::TIMEOUT,
+                    &format!("deadline of {deadline_ms} ms expired during execution"),
+                ),
+                kind,
             );
         }
-        match result {
-            Ok(result) => ok_response(&req.id, result),
+        let response = match result {
+            Ok(result) => ok_response(&request.id, req, result),
             Err((code, message)) => {
                 self.inner.counters.error();
-                err_response(&req.id, code, &message)
+                err_response(&request.id, req, code, &message)
             }
-        }
+        };
+        (response, kind)
     }
 
-    fn execute(&self, cmd: &Command) -> Result<Json, ExecError> {
+    fn execute(&self, cmd: &Command, req: u64) -> Result<Json, ExecError> {
+        let span_name = match cmd {
+            Command::Load { .. } => "server.cmd.load",
+            Command::Revise { .. } => "server.cmd.revise",
+            Command::Query { .. } => "server.cmd.query",
+            Command::QueryBatch { .. } => "server.cmd.query_batch",
+            Command::List => "server.cmd.list",
+            Command::Drop { .. } => "server.cmd.drop",
+            Command::Ping | Command::Stats | Command::Shutdown => "server.cmd.control",
+        };
+        let _span = obs::span_with(span_name, &[("req", req)]);
         match cmd {
             Command::Load { kb, t } => self.cmd_load(kb, t),
-            Command::Revise { kb, op, p, backend } => self.cmd_revise(kb, *op, p, *backend),
+            Command::Revise { kb, op, p, backend } => self.cmd_revise(kb, *op, p, *backend, req),
             Command::Query { kb, q } => self.cmd_query(kb, q),
             Command::QueryBatch { kb, qs } => self.cmd_query_batch(kb, qs),
             Command::List => self.cmd_list(),
@@ -456,6 +574,7 @@ impl Server {
         op: OpName,
         p_text: &str,
         backend: Backend,
+        req: u64,
     ) -> Result<Json, ExecError> {
         let handle = self.kb_handle(name)?;
         let mut kb = handle.lock().expect("kb poisoned");
@@ -478,7 +597,7 @@ impl Server {
                     }
                     let mut ps = kb.revisions.clone();
                     ps.push(p.clone());
-                    let (engine, outcome) = self.model_based_engine(&kb, m, &ps, backend)?;
+                    let (engine, outcome) = self.model_based_engine(&kb, m, &ps, backend, req)?;
                     (engine, KbKind::ModelBased(m), outcome)
                 }
                 (KbKind::Unrevised, OpName::Gfuv) => {
@@ -544,6 +663,7 @@ impl Server {
         op: ModelBasedOp,
         ps: &[Formula],
         backend: Backend,
+        req: u64,
     ) -> Result<(Box<dyn Engine + Send>, CacheOutcome), ExecError> {
         let key = cache_key(OpName::Model(op), backend, &kb.theory, ps);
         {
@@ -561,7 +681,10 @@ impl Server {
         }
         let t = kb.t();
         let compile_start = Instant::now();
-        let compiled = self.compile_budgeted(op, &t, ps, backend);
+        let compiled = {
+            let _span = obs::span_with("server.compile", &[("req", req)]);
+            self.compile_budgeted(op, &t, ps, backend)
+        };
         match compiled {
             Some(Ok(revised)) => {
                 let micros = u64::try_from(compile_start.elapsed().as_micros()).unwrap_or(u64::MAX);
@@ -710,7 +833,7 @@ impl Server {
         ]))
     }
 
-    fn stats_response(&self, req: &Request) -> String {
+    fn stats_response(&self, request: &Request, req: u64) -> String {
         let counters = &self.inner.counters;
         let cache_json = {
             let cache = self.inner.cache.lock().expect("cache poisoned");
@@ -723,8 +846,43 @@ impl Server {
             ])
         };
         let kbs = self.inner.registry.lock().expect("registry poisoned").len();
+        // Per-request-type latency from the always-on local histograms;
+        // reading them is non-destructive, so repeated `stats` calls
+        // (and any telemetry drain) see consistent numbers.
+        let latency_json = Json::obj(
+            counters
+                .latencies()
+                .map(|(kind, h)| {
+                    (
+                        kind,
+                        Json::obj([
+                            ("count", num(h.count())),
+                            ("max", num(h.max())),
+                            ("p50", num(h.percentile(0.50).unwrap_or(0))),
+                            ("p95", num(h.percentile(0.95).unwrap_or(0))),
+                            ("p99", num(h.percentile(0.99).unwrap_or(0))),
+                        ]),
+                    )
+                })
+                .collect::<Vec<_>>(),
+        );
+        let slow_json = {
+            let log = self.inner.slow_log.lock().expect("slow log poisoned");
+            Json::Arr(
+                log.iter()
+                    .map(|e| {
+                        Json::obj([
+                            ("req", num(e.req)),
+                            ("cmd", Json::str(e.cmd)),
+                            ("micros", num(e.micros)),
+                        ])
+                    })
+                    .collect(),
+            )
+        };
         ok_response(
-            &req.id,
+            &request.id,
+            req,
             Json::obj([
                 ("requests", num(counters.requests_total())),
                 ("overloaded", num(counters.overloaded_total())),
@@ -737,6 +895,9 @@ impl Server {
                 ),
                 ("kbs", num(kbs as u64)),
                 ("cache", cache_json),
+                ("request_latency", latency_json),
+                ("slow_ms", num(self.inner.config.slow_ms)),
+                ("slow_log", slow_json),
             ]),
         )
     }
@@ -794,6 +955,10 @@ impl Server {
         {
             return;
         }
+        // Each response is a single small segment; without TCP_NODELAY,
+        // Nagle's algorithm holds it back waiting for the peer's delayed
+        // ACK, adding tens of milliseconds to every round trip.
+        let _ = stream.set_nodelay(true);
         let mut buffer: Vec<u8> = Vec::new();
         let mut chunk = [0u8; 4096];
         loop {
@@ -804,10 +969,9 @@ impl Server {
                     while let Some(pos) = buffer.iter().position(|&b| b == b'\n') {
                         let line_bytes: Vec<u8> = buffer.drain(..=pos).collect();
                         let line = String::from_utf8_lossy(&line_bytes[..pos]);
-                        if let Some(response) = self.handle_line(&line) {
-                            if stream.write_all(response.as_bytes()).is_err()
-                                || stream.write_all(b"\n").is_err()
-                            {
+                        if let Some(mut response) = self.handle_line(&line) {
+                            response.push('\n');
+                            if stream.write_all(response.as_bytes()).is_err() {
                                 return;
                             }
                         }
@@ -845,10 +1009,10 @@ fn operator_mismatch(prev: ModelBasedOp, requested: OpName) -> ExecError {
 
 /// Render a `bad_request` response reusing the already-rendered id
 /// from a [`RequestError`] (the id is valid JSON by construction).
-fn bad_request_response(err: &RequestError) -> String {
+fn bad_request_response(err: &RequestError, req: u64) -> String {
     let id = err.id.clone().unwrap_or_else(|| "null".to_string());
     format!(
-        "{{\"id\":{id},\"ok\":false,\"code\":\"{}\",\"error\":{}}}",
+        "{{\"id\":{id},\"req\":{req},\"ok\":false,\"code\":\"{}\",\"error\":{}}}",
         codes::BAD_REQUEST,
         Json::str(&err.message).render()
     )
@@ -1118,6 +1282,99 @@ mod tests {
         assert_err(&resp, codes::SHUTTING_DOWN);
         let resp = call(&s, r#"{"cmd":"ping"}"#);
         assert_ok(&resp);
+    }
+
+    #[test]
+    fn req_ids_are_monotonic_from_one() {
+        let s = server();
+        for expect in 1..=4u64 {
+            let resp = call(&s, r#"{"cmd":"ping"}"#);
+            assert_eq!(
+                resp.get("req").and_then(Json::as_u64),
+                Some(expect),
+                "{resp:?}"
+            );
+        }
+        // Bad requests consume an id too — every line gets one.
+        let resp = call(&s, "not json");
+        assert_eq!(resp.get("req").and_then(Json::as_u64), Some(5));
+        let resp = call(&s, r#"{"cmd":"ping"}"#);
+        assert_eq!(resp.get("req").and_then(Json::as_u64), Some(6));
+    }
+
+    #[test]
+    fn stats_reports_per_type_latency_without_draining() {
+        let s = server();
+        call(&s, r#"{"cmd":"load","kb":"k","t":"a & b"}"#);
+        call(&s, r#"{"cmd":"query","kb":"k","q":"a"}"#);
+        call(&s, r#"{"cmd":"query","kb":"k","q":"b"}"#);
+        let resp = call(&s, r#"{"cmd":"stats"}"#);
+        let latency = assert_ok(&resp).get("request_latency").unwrap();
+        let query = latency.get("query").expect("query bucket present");
+        assert_eq!(query.get("count").and_then(Json::as_u64), Some(2));
+        let p50 = query.get("p50").and_then(Json::as_u64).unwrap();
+        let p95 = query.get("p95").and_then(Json::as_u64).unwrap();
+        let p99 = query.get("p99").and_then(Json::as_u64).unwrap();
+        let max = query.get("max").and_then(Json::as_u64).unwrap();
+        assert!(p50 <= p95 && p95 <= p99 && p99 <= max);
+        assert_eq!(
+            latency
+                .get("load")
+                .unwrap()
+                .get("count")
+                .and_then(Json::as_u64),
+            Some(1)
+        );
+        // A second stats call sees the same history plus the first
+        // stats request itself: nothing was drained or reset.
+        let resp = call(&s, r#"{"cmd":"stats"}"#);
+        let latency = assert_ok(&resp).get("request_latency").unwrap();
+        let query = latency.get("query").unwrap();
+        assert_eq!(query.get("count").and_then(Json::as_u64), Some(2));
+        assert_eq!(
+            latency
+                .get("stats")
+                .unwrap()
+                .get("count")
+                .and_then(Json::as_u64),
+            Some(1)
+        );
+    }
+
+    #[test]
+    fn slow_log_records_over_threshold_and_is_bounded() {
+        // Threshold 0: every request is "slow". Capacity 2: ring.
+        let s = Server::new(
+            ServerConfig::default()
+                .with_queue(16)
+                .with_slow_ms(0)
+                .with_slow_log_cap(2),
+        );
+        call(&s, r#"{"cmd":"ping"}"#); // req 1 — evicted
+        call(&s, r#"{"cmd":"load","kb":"k","t":"a"}"#); // req 2
+        call(&s, r#"{"cmd":"query","kb":"k","q":"a"}"#); // req 3
+        let resp = call(&s, r#"{"cmd":"stats"}"#);
+        let slow = assert_ok(&resp)
+            .get("slow_log")
+            .and_then(Json::as_array)
+            .unwrap();
+        assert_eq!(slow.len(), 2, "{slow:?}");
+        let reqs: Vec<u64> = slow
+            .iter()
+            .map(|e| e.get("req").and_then(Json::as_u64).unwrap())
+            .collect();
+        assert_eq!(reqs, vec![2, 3]); // oldest evicted, order kept
+        assert_eq!(slow[0].get("cmd").and_then(Json::as_str), Some("load"));
+        assert_eq!(slow[1].get("cmd").and_then(Json::as_str), Some("query"));
+        // Default threshold (1s): nothing here is slow.
+        let s = server();
+        call(&s, r#"{"cmd":"ping"}"#);
+        let resp = call(&s, r#"{"cmd":"stats"}"#);
+        let slow = assert_ok(&resp)
+            .get("slow_log")
+            .and_then(Json::as_array)
+            .unwrap();
+        assert!(slow.is_empty(), "{slow:?}");
     }
 
     #[test]

@@ -1,0 +1,228 @@
+//! Per-request observability contract of the revision service: every
+//! `server.*` span carries the same monotonic request id that the wire
+//! response reports (so a Chrome trace can be joined against a client
+//! log), the `slow_log` ring buffer captures slow degraded compiles,
+//! and reading `stats` never perturbs the telemetry it reports.
+
+use revkb::obs;
+use revkb::server::{Json, Server, ServerConfig};
+use std::sync::Mutex;
+
+/// The trace mode and span buffers are process-global; tests that
+/// touch them must not interleave.
+static OBS_LOCK: Mutex<()> = Mutex::new(());
+
+fn call(server: &Server, line: &str) -> Json {
+    let response = server.handle_line(line).expect("request line is not blank");
+    Json::parse(&response).unwrap_or_else(|e| panic!("response not JSON ({e}): {response}"))
+}
+
+fn req_of(resp: &Json) -> u64 {
+    resp.get("req")
+        .and_then(Json::as_u64)
+        .expect("every response envelope carries a req id")
+}
+
+/// A scripted session under `chrome` mode: every `server.*` span must
+/// carry a `req` attribute naming a request the wire log actually
+/// answered, and the rendered Chrome trace must expose the same ids
+/// under `args` so the export stays correlatable in a trace viewer.
+#[test]
+fn chrome_spans_correlate_with_wire_request_ids() {
+    let _guard = OBS_LOCK.lock().unwrap();
+    let prev = obs::mode();
+    obs::set_mode(obs::TraceMode::Chrome);
+    obs::reset();
+
+    let server = Server::new(ServerConfig::default());
+    let script = [
+        r#"{"cmd":"load","kb":"k","t":"a & b; b -> c"}"#,
+        r#"{"cmd":"revise","kb":"k","op":"dalal","p":"!b"}"#,
+        r#"{"cmd":"query","kb":"k","q":"a"}"#,
+        r#"{"cmd":"query_batch","kb":"k","qs":["a","!b"]}"#,
+        "definitely not json",
+        r#"{"cmd":"stats"}"#,
+        r#"{"cmd":"ping"}"#,
+    ];
+    let mut wire_reqs = Vec::new();
+    for line in script {
+        wire_reqs.push(req_of(&call(&server, line)));
+    }
+    assert_eq!(wire_reqs, vec![1, 2, 3, 4, 5, 6, 7], "fresh server ids");
+
+    let snap = obs::drain();
+    obs::set_mode(prev);
+
+    let server_spans: Vec<&obs::SpanEvent> = snap
+        .spans
+        .iter()
+        .filter(|s| s.name.starts_with("server."))
+        .collect();
+    assert_eq!(
+        server_spans
+            .iter()
+            .filter(|s| s.name == "server.request")
+            .count(),
+        script.len(),
+        "one server.request span per answered line"
+    );
+    for span in &server_spans {
+        let req = span
+            .attr("req")
+            .unwrap_or_else(|| panic!("span {} has no req attribute", span.name));
+        assert!(
+            wire_reqs.contains(&req),
+            "span {} carries req {req}, which no wire response reported",
+            span.name
+        );
+    }
+    // The command and compile layers are annotated too, not just the
+    // envelope: the revise (req 2) must show up in all three.
+    for name in ["server.request", "server.cmd.revise", "server.compile"] {
+        assert!(
+            server_spans
+                .iter()
+                .any(|s| s.name == name && s.attr("req") == Some(2)),
+            "no {name} span for the revise request"
+        );
+    }
+
+    // The Chrome export keeps the correlation: every server.* trace
+    // event exposes the id under args.req.
+    let trace = obs::chrome_trace(&snap);
+    assert!(obs::validate_json(&trace), "chrome trace is valid JSON");
+    let parsed = Json::parse(&trace).expect("chrome trace parses");
+    let events = parsed
+        .get("traceEvents")
+        .and_then(Json::as_array)
+        .expect("traceEvents array");
+    let mut correlated = 0usize;
+    for event in events {
+        let name = event.get("name").and_then(Json::as_str).unwrap_or("");
+        if !name.starts_with("server.") {
+            continue;
+        }
+        let req = event
+            .get("args")
+            .and_then(|a| a.get("req"))
+            .and_then(Json::as_u64)
+            .unwrap_or_else(|| panic!("chrome event {name} has no args.req"));
+        assert!(wire_reqs.contains(&req), "chrome event {name} req {req}");
+        correlated += 1;
+    }
+    assert_eq!(correlated, server_spans.len());
+}
+
+/// With the compile budget forced to zero, a revise degrades to
+/// delayed incorporation; with `slow_ms` at zero every request
+/// qualifies as slow, so the degraded compile must land in the
+/// `slow_log` with its request id and command tag.
+#[test]
+fn slow_log_captures_a_degraded_compile() {
+    let server = Server::new(
+        ServerConfig::default()
+            .with_compile_timeout_ms(Some(0))
+            .with_slow_ms(0)
+            .with_slow_log_cap(8),
+    );
+    call(&server, r#"{"cmd":"load","kb":"k","t":"a & b"}"#);
+    let resp = call(
+        &server,
+        r#"{"cmd":"revise","kb":"k","op":"satoh","p":"!a"}"#,
+    );
+    let revise_req = req_of(&resp);
+    let result = resp.get("result").expect("revise succeeds");
+    assert_eq!(
+        result.get("degraded").and_then(Json::as_bool),
+        Some(true),
+        "zero budget must degrade the compile"
+    );
+
+    let stats = call(&server, r#"{"cmd":"stats"}"#);
+    let slow_log = stats
+        .get("result")
+        .and_then(|r| r.get("slow_log"))
+        .and_then(Json::as_array)
+        .expect("stats carries slow_log");
+    let entry = slow_log
+        .iter()
+        .find(|e| e.get("req").and_then(Json::as_u64) == Some(revise_req))
+        .expect("degraded revise is in the slow_log");
+    assert_eq!(entry.get("cmd").and_then(Json::as_str), Some("revise"));
+    assert!(entry.get("micros").and_then(Json::as_u64).is_some());
+}
+
+/// `stats` is a read-only probe: asking twice reports the same
+/// request-latency counts (the stats request itself is only recorded
+/// after its response is rendered), and the global telemetry registry
+/// is left exactly as it was — no drain, no reset.
+#[test]
+fn stats_does_not_perturb_telemetry() {
+    let _guard = OBS_LOCK.lock().unwrap();
+    let prev = obs::mode();
+    obs::set_mode(obs::TraceMode::Summary);
+    obs::reset();
+
+    let server = Server::new(ServerConfig::default());
+    call(&server, r#"{"cmd":"load","kb":"k","t":"a & b"}"#);
+    call(&server, r#"{"cmd":"query","kb":"k","q":"a"}"#);
+    call(&server, r#"{"cmd":"query","kb":"k","q":"b"}"#);
+
+    let before = obs::snapshot();
+    let query_count = |stats: &Json| {
+        stats
+            .get("result")
+            .and_then(|r| r.get("request_latency"))
+            .and_then(|l| l.get("query"))
+            .and_then(|q| q.get("count"))
+            .and_then(Json::as_u64)
+            .expect("stats reports query latency")
+    };
+    let first = call(&server, r#"{"cmd":"stats"}"#);
+    let second = call(&server, r#"{"cmd":"stats"}"#);
+    assert_eq!(query_count(&first), 2);
+    assert_eq!(
+        query_count(&first),
+        query_count(&second),
+        "a stats read must not consume the latency histograms"
+    );
+    // Percentile fields are present and ordered.
+    let latency = first
+        .get("result")
+        .and_then(|r| r.get("request_latency"))
+        .and_then(|l| l.get("query"))
+        .expect("query latency block");
+    let pct = |k: &str| latency.get(k).and_then(Json::as_u64).unwrap();
+    assert!(pct("p50") <= pct("p95"));
+    assert!(pct("p95") <= pct("p99"));
+    assert!(pct("p99") <= pct("max"));
+
+    // The process-global registry was not drained by stats: every
+    // aggregate that existed before is still there afterwards (the
+    // stats requests themselves may bump counters, never reset them).
+    let after = obs::snapshot();
+    for (name, value) in &before.counters {
+        let now = after
+            .counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| *v)
+            .unwrap_or_else(|| panic!("stats dropped counter {name}"));
+        assert!(now >= *value, "stats rewound counter {name}");
+    }
+    for h in &before.histograms {
+        let now = after
+            .histograms
+            .iter()
+            .find(|a| a.name == h.name)
+            .unwrap_or_else(|| panic!("stats dropped histogram {}", h.name));
+        assert!(now.count >= h.count, "stats rewound histogram {}", h.name);
+    }
+    assert!(
+        after.span_aggregates.len() >= before.span_aggregates.len(),
+        "span aggregates reset by stats"
+    );
+
+    obs::reset();
+    obs::set_mode(prev);
+}
