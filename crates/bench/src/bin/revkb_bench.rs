@@ -1,15 +1,16 @@
 //! `revkb-bench` — the continuous-performance regression harness.
 //!
 //! ```text
-//! revkb-bench                         # run the suite, write BENCH_PR5.json
+//! revkb-bench                         # run the suite, write BENCH_PR6.json
 //! revkb-bench --baseline BENCH_PR5.json   # compare; exit 1 on regression
 //! ```
 //!
 //! The suite is fixed and named (see [`revkb_bench::suite`]): eight
 //! per-operator compiles, sequential-vs-parallel batch queries with
-//! histogram percentiles, BDD apply, the Tseitin transform, and
-//! cold-vs-warm server revises over loopback TCP. Instances are
-//! seeded (`REVKB_BENCH_SEED`), trials are medians over
+//! histogram percentiles, BDD apply, the Tseitin transform, the
+//! artifact-cache touch cost, cold-vs-warm server revises over
+//! loopback TCP, and cold-boot recovery from a WAL data directory.
+//! Instances are seeded (`REVKB_BENCH_SEED`), trials are medians over
 //! `REVKB_BENCH_TRIALS` runs after `REVKB_BENCH_WARMUP` warmups.
 //!
 //! Also regenerates `server_bench_report.json` (the per-operator
@@ -36,7 +37,7 @@ struct Args {
 
 fn parse_args(args: &[String]) -> Result<Args, String> {
     let mut parsed = Args {
-        out: "BENCH_PR5.json".to_string(),
+        out: "BENCH_PR6.json".to_string(),
         baseline: None,
         warn_only: false,
         server_report: true,
@@ -93,9 +94,9 @@ fn main() -> ExitCode {
         }
     };
 
-    // Read the baseline up front: `--baseline BENCH_PR5.json --out
-    // BENCH_PR5.json` (the CI shape) must compare against the old
-    // contents, not against the report this run is about to write.
+    // Read the baseline up front: when `--baseline` and `--out` name
+    // the same file, the comparison must use the old contents, not the
+    // report this run is about to write.
     let baseline = match &args.baseline {
         Some(path) => match std::fs::read_to_string(path) {
             Ok(s) => Some(s),

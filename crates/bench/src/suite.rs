@@ -2,14 +2,16 @@
 //! benchmarks spanning the whole pipeline — per-operator compile
 //! times, sequential-vs-parallel batch query latency (with percentiles
 //! from the `revkb-obs` histograms), BDD apply throughput, the Tseitin
-//! transform, and cold-vs-warm server revises over a loopback TCP
-//! connection.
+//! transform, artifact-cache touch cost at large capacity,
+//! cold-vs-warm server revises over a loopback TCP connection, and
+//! cold-boot recovery from a write-ahead-log data directory (with and
+//! without artifact snapshots).
 //!
 //! Everything is deterministic modulo wall-clock noise: instance
 //! generation is seeded (`REVKB_BENCH_SEED`), each benchmark runs
 //! `REVKB_BENCH_WARMUP` discarded warmup rounds followed by
 //! `REVKB_BENCH_TRIALS` measured trials, and the reported figure is
-//! the **median** trial. The emitted report (`BENCH_PR5.json`) is
+//! the **median** trial. The emitted report (`BENCH_PR6.json`) is
 //! schema-versioned and can be replayed as a `--baseline` to detect
 //! regressions: a benchmark regresses only when it is both relatively
 //! slower than its per-benchmark tolerance *and* absolutely slower by
@@ -23,7 +25,7 @@ use rand::SeedableRng;
 use revkb_instances::{random_formula, random_kcnf, random_satisfiable};
 use revkb_logic::{tseitin_auto, Formula};
 use revkb_sat::{PoolConfig, SessionPool};
-use revkb_server::{Json, Server, ServerConfig};
+use revkb_server::{Artifact, ArtifactCache, Json, Server, ServerConfig, SyncMode};
 use std::io::{BufRead, BufReader, Write};
 use std::net::{TcpListener, TcpStream};
 use std::time::Instant;
@@ -464,13 +466,157 @@ fn server_benches(cfg: &SuiteConfig) -> Vec<BenchResult> {
     vec![cold, warm]
 }
 
+/// `cache.touch` — warm-hit cost of the artifact cache at a large
+/// capacity: 10 000 strided `get`s against 4 096 resident entries.
+/// Guards the O(1)-amortized recency bookkeeping (the previous
+/// `VecDeque::position` scan made this workload quadratic).
+fn cache_touch_bench(cfg: &SuiteConfig) -> BenchResult {
+    use revkb_logic::Var;
+    const ENTRIES: usize = 4096;
+    const TOUCHES: usize = 10_000;
+    let mut cache = ArtifactCache::new(ENTRIES);
+    for i in 0..ENTRIES {
+        cache.insert(
+            format!("key-{i}"),
+            Artifact {
+                formula: Formula::var(Var(i as u32)),
+                base: vec![Var(i as u32)],
+                logical: true,
+            },
+        );
+    }
+    // A prime stride visits every entry in a shuffled-looking order.
+    let keys: Vec<String> = (0..ENTRIES)
+        .map(|i| format!("key-{}", (i * 7919) % ENTRIES))
+        .collect();
+    let (median, trials) = timed_trials(cfg, || {
+        for t in 0..TOUCHES {
+            assert!(cache.get(&keys[t % ENTRIES]).is_some());
+        }
+    });
+    let mut r = result(cfg, "cache.touch".into(), median, trials);
+    r.extra.push(("entries", Value::Number(ENTRIES as f64)));
+    r.extra.push(("touches", Value::Number(TOUCHES as f64)));
+    r
+}
+
+fn copy_data_dir(from: &std::path::Path, to: &std::path::Path) {
+    std::fs::create_dir_all(to).expect("create bench run dir");
+    for entry in std::fs::read_dir(from).expect("read bench seed dir") {
+        let entry = entry.expect("seed dir entry");
+        std::fs::copy(entry.path(), to.join(entry.file_name())).expect("copy wal file");
+    }
+}
+
+/// `server.boot.snapshot` / `server.boot.replay` — cold-boot recovery:
+/// the time from `Server::open` on a populated data directory to the
+/// first warm answer (a fresh KB revised with an already-compiled
+/// revision, asserted to be a cache *hit*). The `snapshot` variant
+/// boots from an artifact snapshot (replay hits the pre-warmed cache);
+/// the `replay` variant has no snapshot and recompiles during replay.
+/// Their ratio is what snapshots buy.
+fn wal_boot_benches(cfg: &SuiteConfig) -> Vec<BenchResult> {
+    const THEORY: &str = "a & b; b -> c; c | d";
+    let base = std::env::temp_dir().join(format!("revkb-bench-wal-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&base);
+    let durable = |dir: &std::path::Path, snapshot_every: usize| {
+        ServerConfig::default()
+            .with_data_dir(Some(dir.to_path_buf()))
+            .with_wal_sync(SyncMode::Off)
+            .with_snapshot_every(snapshot_every)
+    };
+    let call = |server: &Server, line: &str| -> Json {
+        let response = server.handle_line(line).expect("non-blank line");
+        let json = Json::parse(&response).expect("response is valid JSON");
+        assert_eq!(
+            json.get("ok").and_then(Json::as_bool),
+            Some(true),
+            "bench request failed: {line} -> {response}"
+        );
+        json
+    };
+    let mut results = Vec::new();
+    for (name, snapshot_every) in [("server.boot.snapshot", 1usize), ("server.boot.replay", 0)] {
+        // Seed one data directory per variant: eight KBs, each loaded
+        // and revised once (eight distinct compiled artifacts).
+        let seed_dir = base.join(format!("seed-{snapshot_every}"));
+        {
+            let server = Server::open(durable(&seed_dir, snapshot_every)).expect("seed data dir");
+            for i in 0..8usize {
+                call(
+                    &server,
+                    &format!(r#"{{"cmd":"load","kb":"kb{i}","t":"{THEORY}"}}"#),
+                );
+                call(
+                    &server,
+                    &format!(
+                        r#"{{"cmd":"revise","kb":"kb{i}","op":"dalal","p":"{}"}}"#,
+                        revision_variant(i)
+                    ),
+                );
+            }
+        }
+        let mut trials = Vec::with_capacity(cfg.trials);
+        let mut replayed = 0u64;
+        for t in 0..cfg.warmup + cfg.trials {
+            // Per-trial copy: recovery truncation and appends must not
+            // let one trial contaminate the next.
+            let run_dir = base.join(format!("run-{snapshot_every}-{t}"));
+            copy_data_dir(&seed_dir, &run_dir);
+            let start = Instant::now();
+            let server = Server::open(durable(&run_dir, snapshot_every)).expect("boot bench dir");
+            call(
+                &server,
+                &format!(r#"{{"cmd":"load","kb":"fresh","t":"{THEORY}"}}"#),
+            );
+            let resp = call(
+                &server,
+                &format!(
+                    r#"{{"cmd":"revise","kb":"fresh","op":"dalal","p":"{}"}}"#,
+                    revision_variant(0)
+                ),
+            );
+            let micros = start.elapsed().as_micros() as f64;
+            // The whole point of recovery: the first warm answer after
+            // a cold boot comes from the cache, never a recompile.
+            assert_eq!(
+                resp.get("result")
+                    .and_then(|r| r.get("cache"))
+                    .and_then(Json::as_str),
+                Some("hit"),
+                "{name}: first post-boot revise must hit the cache"
+            );
+            replayed = server
+                .recovery_report()
+                .expect("durable server has a report")
+                .replayed;
+            drop(server);
+            let _ = std::fs::remove_dir_all(&run_dir);
+            if t >= cfg.warmup {
+                trials.push(micros);
+            }
+        }
+        let median = median_of(&trials);
+        let mut r = result(cfg, name.into(), median, trials);
+        r.extra
+            .push(("replayed_records", Value::Number(replayed as f64)));
+        r.extra
+            .push(("snapshot_every", Value::Number(snapshot_every as f64)));
+        results.push(r);
+    }
+    let _ = std::fs::remove_dir_all(&base);
+    results
+}
+
 /// Run the whole fixed suite in order.
 pub fn run_suite(cfg: &SuiteConfig) -> Vec<BenchResult> {
     let mut results = compile_benches(cfg);
     results.extend(query_benches(cfg));
     results.push(bdd_bench(cfg));
     results.push(tseitin_bench(cfg));
+    results.push(cache_touch_bench(cfg));
     results.extend(server_benches(cfg));
+    results.extend(wal_boot_benches(cfg));
     results
 }
 

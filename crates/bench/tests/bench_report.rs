@@ -101,29 +101,33 @@ fn report_round_trips_schema_and_detects_injected_regression() {
     assert!(compare_against_baseline(&results, &future).is_err());
 }
 
-/// The committed `BENCH_PR5.json` at the repo root is the golden
-/// baseline CI compares against: it must stay valid and parseable
-/// with the schema this build supports.
-#[test]
-fn committed_baseline_is_a_valid_schema_v1_report() {
-    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_PR5.json");
-    let baseline = std::fs::read_to_string(path)
-        .unwrap_or_else(|e| panic!("cannot read committed baseline {path}: {e}"));
-    assert!(revkb_obs::validate_json(&baseline));
-    let parsed = Json::parse(&baseline).expect("baseline parses");
+fn committed_report_names(file: &str) -> Vec<String> {
+    let path = format!("{}/../../{file}", env!("CARGO_MANIFEST_DIR"));
+    let report = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("cannot read committed report {path}: {e}"));
+    assert!(revkb_obs::validate_json(&report));
+    let parsed = Json::parse(&report).expect("report parses");
     assert_eq!(
         parsed.get("schema_version").and_then(Json::as_u64),
-        Some(BENCH_SCHEMA_VERSION as u64)
+        Some(BENCH_SCHEMA_VERSION as u64),
+        "{file}"
     );
-    let names: Vec<&str> = parsed
+    parsed
         .get("benchmarks")
         .and_then(Json::as_array)
         .expect("benchmarks array")
         .iter()
-        .map(|b| b.get("name").and_then(Json::as_str).expect("name"))
-        .collect();
-    // The fixed named suite: the baseline covers every benchmark the
-    // harness runs today.
+        .map(|b| b.get("name").and_then(Json::as_str).expect("name").into())
+        .collect()
+}
+
+/// The committed `BENCH_PR5.json` is the baseline CI compares against
+/// and `BENCH_PR6.json` is the current report: both must stay valid
+/// and parseable with the schema this build supports, and the current
+/// report must cover the full named suite the harness runs today.
+#[test]
+fn committed_reports_are_valid_schema_v1() {
+    let baseline = committed_report_names("BENCH_PR5.json");
     for name in [
         "compile.dalal",
         "compile.winslett",
@@ -134,6 +138,28 @@ fn committed_baseline_is_a_valid_schema_v1_report() {
         "server.revise.cold",
         "server.revise.warm",
     ] {
-        assert!(names.contains(&name), "baseline is missing {name}");
+        assert!(
+            baseline.iter().any(|n| n == name),
+            "baseline is missing {name}"
+        );
+    }
+    let current = committed_report_names("BENCH_PR6.json");
+    for name in [
+        "compile.dalal",
+        "compile.winslett",
+        "query.sequential",
+        "query.parallel",
+        "bdd.apply",
+        "logic.tseitin",
+        "cache.touch",
+        "server.revise.cold",
+        "server.revise.warm",
+        "server.boot.snapshot",
+        "server.boot.replay",
+    ] {
+        assert!(
+            current.iter().any(|n| n == name),
+            "current report is missing {name}"
+        );
     }
 }

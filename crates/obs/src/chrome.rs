@@ -70,10 +70,14 @@ pub fn chrome_trace(snap: &Snapshot) -> String {
     out
 }
 
-/// Write the Chrome trace for `snap` to `path`.
+/// Write the Chrome trace for `snap` to `path`, durably: the file is
+/// `sync_all`ed before close so a crash or hard kill right after the
+/// server exits cannot leave a truncated trace, and any sync error is
+/// returned instead of being swallowed by the implicit close.
 pub fn write_chrome_trace(path: &Path, snap: &Snapshot) -> std::io::Result<()> {
     let mut f = std::fs::File::create(path)?;
-    f.write_all(chrome_trace(snap).as_bytes())
+    f.write_all(chrome_trace(snap).as_bytes())?;
+    f.sync_all()
 }
 
 fn json_str(s: &str) -> String {
@@ -116,6 +120,24 @@ mod tests {
         assert!(trace.contains("\"chrome.test.child\""));
         assert!(trace.contains("\"ph\":\"X\""));
         assert!(trace.contains("\"chrome.test.counter\":1"));
+    }
+
+    #[test]
+    fn write_chrome_trace_lands_complete_on_disk() {
+        let _g = crate::testutil::TEST_LOCK.lock().unwrap();
+        crate::set_mode(TraceMode::Chrome);
+        crate::reset();
+        {
+            let _s = crate::span("chrome.test.disk");
+        }
+        let snap = crate::drain();
+        crate::set_mode(TraceMode::Off);
+        let path = std::env::temp_dir().join(format!("revkb-trace-{}.json", std::process::id()));
+        super::write_chrome_trace(&path, &snap).unwrap();
+        let on_disk = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(on_disk, super::chrome_trace(&snap));
+        assert!(crate::validate_json(&on_disk));
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]

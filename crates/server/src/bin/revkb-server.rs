@@ -9,7 +9,7 @@
 //! `ServerConfig::from_env`) overridden by the flags below. The same
 //! loops are reachable as `revkb serve` from the main CLI.
 
-use revkb_server::{Server, ServerConfig};
+use revkb_server::{Server, ServerConfig, SyncMode};
 use std::io::{self, BufReader, Write};
 use std::net::TcpListener;
 use std::process::ExitCode;
@@ -17,7 +17,8 @@ use std::process::ExitCode;
 const USAGE: &str = "usage: revkb-server (--stdio | --listen ADDR) \
                      [--threads N] [--queue N] [--deadline-ms N] \
                      [--compile-timeout-ms N] [--cache-cap N] \
-                     [--slow-ms N]";
+                     [--slow-ms N] [--data-dir DIR] \
+                     [--wal-sync always|batch|off] [--snapshot-every N]";
 
 enum Transport {
     Stdio,
@@ -79,6 +80,23 @@ fn parse_args(args: &[String]) -> Result<(Transport, ServerConfig), String> {
                         .map_err(|_| "--slow-ms needs an integer".to_string())?,
                 );
             }
+            "--data-dir" => {
+                config = config.with_data_dir(Some(value(&mut iter, "--data-dir")?.into()));
+            }
+            "--wal-sync" => {
+                let raw = value(&mut iter, "--wal-sync")?;
+                config = config.with_wal_sync(
+                    SyncMode::parse(&raw)
+                        .ok_or_else(|| "--wal-sync needs always|batch|off".to_string())?,
+                );
+            }
+            "--snapshot-every" => {
+                config = config.with_snapshot_every(
+                    value(&mut iter, "--snapshot-every")?
+                        .parse()
+                        .map_err(|_| "--snapshot-every needs an integer".to_string())?,
+                );
+            }
             other => return Err(format!("unknown argument {other:?}")),
         }
     }
@@ -95,7 +113,26 @@ pub fn run(args: &[String]) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let server = Server::new(config);
+    let data_dir = config.data_dir.clone();
+    let server = match Server::open(config) {
+        Ok(server) => server,
+        Err(e) => {
+            let dir = data_dir.as_deref().unwrap_or(std::path::Path::new("?"));
+            eprintln!("revkb-server: cannot open data dir {}: {e}", dir.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    if let Some(report) = server.recovery_report() {
+        eprintln!(
+            "revkb-server: recovered {} op(s) ({} skipped, {} snapshot artifact(s), \
+             {} torn byte(s) truncated) in {} us",
+            report.replayed,
+            report.replay_errors,
+            report.snapshot_artifacts,
+            report.truncated_bytes,
+            report.boot_micros
+        );
+    }
     let outcome = match transport {
         Transport::Stdio => {
             let stdin = io::stdin();

@@ -20,6 +20,10 @@
 //!   client already compiled is free;
 //! - [`server`]: admission control, per-request deadlines, compile
 //!   degradation, and the stdio/TCP serving loops;
+//! - [`wal`]: the durable store — an append-only, checksummed
+//!   write-ahead log of committed mutations plus periodic artifact
+//!   snapshots, replayed on boot so a restarted server serves warm
+//!   answers immediately;
 //! - [`metrics`]: always-on counters for the `stats` command, mirrored
 //!   into `revkb-obs` instruments when tracing is enabled.
 //!
@@ -33,8 +37,10 @@ pub mod metrics;
 pub mod protocol;
 pub mod registry;
 pub mod server;
+pub mod wal;
 
 pub use json::Json;
 pub use protocol::{Command, OpName, Request};
-pub use registry::{cache_key, Artifact, ArtifactCache, KbKind, KbState};
+pub use registry::{cache_key, parse_canonical, Artifact, ArtifactCache, KbKind, KbState};
 pub use server::{Server, ServerConfig};
+pub use wal::{RecoveryReport, SyncMode, WalOp};

@@ -40,6 +40,24 @@ pub static IN_FLIGHT_PEAK: obs::Gauge = obs::Gauge::new("server.in_flight.peak")
 pub static REQUEST_MICROS: obs::Histogram = obs::Histogram::new("server.request.micros");
 /// Compile time (cache misses only) in microseconds.
 pub static COMPILE_MICROS: obs::Histogram = obs::Histogram::new("server.compile.micros");
+/// WAL records appended.
+pub static WAL_APPENDS: obs::Counter = obs::Counter::new("wal.appends");
+/// WAL bytes appended.
+pub static WAL_APPEND_BYTES: obs::Counter = obs::Counter::new("wal.append.bytes");
+/// WAL appends that failed with an I/O error.
+pub static WAL_APPEND_ERRORS: obs::Counter = obs::Counter::new("wal.append.errors");
+/// `sync_all` calls issued on the WAL.
+pub static WAL_FSYNCS: obs::Counter = obs::Counter::new("wal.fsyncs");
+/// Artifact snapshots written.
+pub static WAL_SNAPSHOTS: obs::Counter = obs::Counter::new("wal.snapshots");
+/// Log records replayed at boot.
+pub static WAL_REPLAYED: obs::Counter = obs::Counter::new("wal.replayed");
+/// Log records that failed to re-apply at boot.
+pub static WAL_REPLAY_ERRORS: obs::Counter = obs::Counter::new("wal.replay.errors");
+/// Torn-tail bytes truncated from the log at boot.
+pub static WAL_TRUNCATED_BYTES: obs::Counter = obs::Counter::new("wal.truncated.bytes");
+/// Per-append latency in microseconds (write + any fsync).
+pub static WAL_APPEND_MICROS: obs::Histogram = obs::Histogram::new("wal.append.micros");
 
 /// Request-type buckets for per-type latency in `stats`: the nine
 /// command tags ([`crate::protocol::Command::tag`]) plus a catch-all

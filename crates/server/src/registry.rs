@@ -82,6 +82,87 @@ pub fn canonical_formula(f: &Formula, out: &mut String) {
     }
 }
 
+/// Parse a string produced by [`canonical_formula`] back into the
+/// formula it encodes. Returns `None` on anything that is not a
+/// complete, well-formed encoding. This is the inverse the snapshot
+/// file format relies on: artifacts persist as their canonical
+/// encodings, so the bytes on disk are the same bytes the cache keys
+/// are made of.
+pub fn parse_canonical(s: &str) -> Option<Formula> {
+    fn parse(bytes: &[u8], pos: &mut usize) -> Option<Formula> {
+        let head = *bytes.get(*pos)?;
+        *pos += 1;
+        match head {
+            b'1' => Some(Formula::True),
+            b'0' => Some(Formula::False),
+            b'v' => {
+                let start = *pos;
+                while bytes.get(*pos).is_some_and(u8::is_ascii_digit) {
+                    *pos += 1;
+                }
+                let n: u32 = std::str::from_utf8(&bytes[start..*pos])
+                    .ok()?
+                    .parse()
+                    .ok()?;
+                Some(Formula::var(revkb_logic::Var(n)))
+            }
+            b'!' => Some(parse(bytes, pos)?.not()),
+            b'&' | b'|' => {
+                let items = parse_list(bytes, pos)?;
+                Some(if head == b'&' {
+                    Formula::And(items)
+                } else {
+                    Formula::Or(items)
+                })
+            }
+            b'>' | b'=' | b'^' => {
+                let mut items = parse_list(bytes, pos)?;
+                if items.len() != 2 {
+                    return None;
+                }
+                let b = items.pop()?;
+                let a = items.pop()?;
+                Some(match head {
+                    b'>' => a.implies(b),
+                    b'=' => a.iff(b),
+                    _ => a.xor(b),
+                })
+            }
+            _ => None,
+        }
+    }
+
+    // `(` items `)` — comma-separated, possibly empty (`&()` is ⊤,
+    // `|()` is ⊥, exactly as the encoder renders them).
+    fn parse_list(bytes: &[u8], pos: &mut usize) -> Option<Vec<Formula>> {
+        if bytes.get(*pos) != Some(&b'(') {
+            return None;
+        }
+        *pos += 1;
+        let mut items = Vec::new();
+        if bytes.get(*pos) == Some(&b')') {
+            *pos += 1;
+            return Some(items);
+        }
+        loop {
+            items.push(parse(bytes, pos)?);
+            match bytes.get(*pos)? {
+                b',' => *pos += 1,
+                b')' => {
+                    *pos += 1;
+                    return Some(items);
+                }
+                _ => return None,
+            }
+        }
+    }
+
+    let bytes = s.as_bytes();
+    let mut pos = 0usize;
+    let f = parse(bytes, &mut pos)?;
+    (pos == bytes.len()).then_some(f)
+}
+
 /// The canonical cache key of a compilation request.
 pub fn cache_key(op: OpName, backend: Backend, t: &[Formula], ps: &[Formula]) -> String {
     let mut key = String::new();
@@ -119,14 +200,33 @@ pub struct Artifact {
     pub logical: bool,
 }
 
+/// One cache slot: the artifact plus the sequence number of its most
+/// recent touch.
+#[derive(Debug)]
+struct CacheEntry {
+    artifact: Artifact,
+    seq: u64,
+}
+
 /// A bounded least-recently-used map from [`cache_key`] strings to
 /// [`Artifact`]s, with hit/miss/eviction counters.
+///
+/// Recency is O(1) amortized: every touch stamps the entry with a
+/// fresh monotonic sequence number and pushes `(seq, key)` onto the
+/// back of a queue, without removing the key's earlier queue entries.
+/// Eviction pops from the front, skipping pairs whose sequence number
+/// is stale (the key was touched again later, or removed). The queue
+/// is compacted whenever it grows past twice the live entry count, so
+/// its size stays O(len) and each queue slot is pushed and popped at
+/// most once — unlike the previous implementation, whose
+/// `VecDeque::position` scan made every warm hit O(capacity).
 #[derive(Debug)]
 pub struct ArtifactCache {
     capacity: usize,
-    map: HashMap<String, Artifact>,
-    /// Recency order, least-recent first.
-    order: VecDeque<String>,
+    map: HashMap<String, CacheEntry>,
+    /// Touch queue, oldest first; entries may be stale.
+    order: VecDeque<(u64, String)>,
+    next_seq: u64,
     /// Lookups that found an artifact.
     pub hits: u64,
     /// Lookups that found nothing.
@@ -143,6 +243,7 @@ impl ArtifactCache {
             capacity,
             map: HashMap::new(),
             order: VecDeque::new(),
+            next_seq: 0,
             hits: 0,
             misses: 0,
             evictions: 0,
@@ -164,16 +265,36 @@ impl ArtifactCache {
         self.capacity
     }
 
+    /// Iterate the cached `(key, artifact)` pairs in unspecified
+    /// order (used by WAL snapshots).
+    pub fn entries(&self) -> impl Iterator<Item = (&String, &Artifact)> {
+        self.map.iter().map(|(k, e)| (k, &e.artifact))
+    }
+
+    fn touch(&mut self, key: &str) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        if let Some(entry) = self.map.get_mut(key) {
+            entry.seq = seq;
+        }
+        self.order.push_back((seq, key.to_string()));
+        // Stale pairs accumulate one per touch; compacting when they
+        // outnumber live entries keeps the queue O(len) while doing
+        // O(1) amortized work per touch.
+        if self.order.len() > 2 * self.map.len() + 8 {
+            let map = &self.map;
+            self.order
+                .retain(|(seq, key)| map.get(key).is_some_and(|e| e.seq == *seq));
+        }
+    }
+
     /// Look up a compilation output, refreshing its recency.
     pub fn get(&mut self, key: &str) -> Option<Artifact> {
         match self.map.get(key) {
-            Some(artifact) => {
+            Some(entry) => {
                 self.hits += 1;
-                let artifact = artifact.clone();
-                if let Some(pos) = self.order.iter().position(|k| k == key) {
-                    self.order.remove(pos);
-                    self.order.push_back(key.to_string());
-                }
+                let artifact = entry.artifact.clone();
+                self.touch(key);
                 Some(artifact)
             }
             None => {
@@ -189,17 +310,21 @@ impl ArtifactCache {
         if self.capacity == 0 {
             return;
         }
-        if self.map.insert(key.clone(), artifact).is_some() {
-            if let Some(pos) = self.order.iter().position(|k| *k == key) {
-                self.order.remove(pos);
-            }
-        } else if self.map.len() > self.capacity {
-            if let Some(oldest) = self.order.pop_front() {
-                self.map.remove(&oldest);
-                self.evictions += 1;
+        let replaced = self
+            .map
+            .insert(key.clone(), CacheEntry { artifact, seq: 0 })
+            .is_some();
+        self.touch(&key);
+        if !replaced && self.map.len() > self.capacity {
+            // Pop stale pairs until the front is a live LRU entry.
+            while let Some((seq, oldest)) = self.order.pop_front() {
+                if self.map.get(&oldest).is_some_and(|e| e.seq == seq) {
+                    self.map.remove(&oldest);
+                    self.evictions += 1;
+                    break;
+                }
             }
         }
-        self.order.push_back(key);
     }
 }
 
@@ -358,6 +483,98 @@ mod tests {
         assert!(cache.is_empty());
         assert!(cache.get("a").is_none());
         assert_eq!(cache.misses, 1);
+    }
+
+    #[test]
+    fn canonical_encoding_round_trips_through_parse() {
+        let cases = [
+            Formula::True,
+            Formula::False,
+            v(0),
+            v(123),
+            v(0).not(),
+            v(0).and(v(1)).not(),
+            Formula::And(vec![]),
+            Formula::Or(vec![]),
+            Formula::And(vec![v(0), v(1), v(2)]),
+            Formula::Or(vec![v(0).not(), v(1).and(v(2))]),
+            v(0).implies(v(1)),
+            v(0).iff(v(1).xor(v(2))),
+            v(3).xor(v(4).implies(Formula::True)),
+        ];
+        for f in cases {
+            let mut enc = String::new();
+            canonical_formula(&f, &mut enc);
+            let parsed = parse_canonical(&enc).unwrap_or_else(|| panic!("parse {enc}"));
+            assert_eq!(parsed, f, "round trip of {enc}");
+            let mut re = String::new();
+            canonical_formula(&parsed, &mut re);
+            assert_eq!(re, enc);
+        }
+    }
+
+    #[test]
+    fn parse_canonical_rejects_malformed_encodings() {
+        for bad in [
+            "",
+            "v",
+            "vx",
+            "2",
+            "&",
+            "&(",
+            "&(v0",
+            "&(v0,)",
+            ">(v0)",
+            ">(v0,v1,v2)",
+            "v0v1",
+            "v0 ",
+            "!(",
+            "=(,v0)",
+        ] {
+            assert!(parse_canonical(bad).is_none(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn large_cache_keeps_exact_lru_order_under_heavy_touching() {
+        // Regression for the O(capacity) recency scan: at this size
+        // the old implementation made the loop below take quadratic
+        // time, and any recency bug shows up as a wrong eviction.
+        let n = 4096usize;
+        let mut cache = ArtifactCache::new(n);
+        for i in 0..n {
+            cache.insert(format!("k{i}"), artifact(i as u32));
+        }
+        // Touch every entry except k0 several times, in a stride that
+        // interleaves touches; k0 must stay the exact LRU victim.
+        for round in 0..4u32 {
+            for i in 1..n {
+                let i = (i * 7919) % n;
+                if i != 0 {
+                    assert!(cache.get(&format!("k{i}")).is_some(), "round {round} k{i}");
+                }
+            }
+        }
+        assert_eq!(cache.len(), n);
+        assert_eq!(cache.evictions, 0);
+        cache.insert("straw".into(), artifact(9999));
+        assert_eq!(cache.evictions, 1);
+        assert!(cache.get("k0").is_none(), "k0 was the LRU victim");
+        assert!(cache.get("k1").is_some());
+        assert_eq!(cache.len(), n);
+        // The touch queue stays bounded by the compaction rule.
+        assert!(cache.order.len() <= 2 * cache.len() + 8);
+    }
+
+    #[test]
+    fn entries_iterates_live_artifacts_only() {
+        let mut cache = ArtifactCache::new(2);
+        cache.insert("a".into(), artifact(0));
+        cache.insert("b".into(), artifact(1));
+        cache.insert("c".into(), artifact(2)); // evicts a
+        let mut keys: Vec<_> = cache.entries().map(|(k, _)| k.clone()).collect();
+        keys.sort();
+        assert_eq!(keys, ["b", "c"]);
     }
 
     #[test]

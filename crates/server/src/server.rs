@@ -30,6 +30,7 @@ use crate::protocol::{
     codes, err_response, ok_response, parse_request, Command, OpName, Request, RequestError,
 };
 use crate::registry::{cache_key, Artifact, ArtifactCache, KbKind, KbState};
+use crate::wal::{RecoveryReport, SyncMode, Wal, WalOp};
 use revkb_logic::{parse as parse_formula, Formula, Signature};
 use revkb_obs as obs;
 use revkb_revision::api::Engine;
@@ -40,6 +41,7 @@ use revkb_revision::{
 use std::collections::{HashMap, VecDeque};
 use std::io::{self, BufRead, Read, Write};
 use std::net::{TcpListener, TcpStream};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
@@ -102,6 +104,15 @@ pub struct ServerConfig {
     /// Capacity of the `slow_log` ring buffer (oldest entries are
     /// evicted first). 0 disables the log.
     pub slow_log_cap: usize,
+    /// Durable data directory for the write-ahead revision log and
+    /// artifact snapshots. `None` (the default) keeps the server fully
+    /// in-memory, exactly as before persistence existed.
+    pub data_dir: Option<PathBuf>,
+    /// WAL fsync discipline (only meaningful with a `data_dir`).
+    pub wal_sync: SyncMode,
+    /// Logged revises between artifact snapshots; 0 disables
+    /// snapshots (replay then recompiles everything).
+    pub snapshot_every: usize,
 }
 
 impl Default for ServerConfig {
@@ -115,6 +126,9 @@ impl Default for ServerConfig {
             worlds_budget: 4096,
             slow_ms: 1000,
             slow_log_cap: 32,
+            data_dir: None,
+            wal_sync: SyncMode::Always,
+            snapshot_every: crate::wal::DEFAULT_SNAPSHOT_EVERY,
         }
     }
 }
@@ -147,6 +161,20 @@ impl ServerConfig {
         }
         if let Some(cap) = env_usize(SLOW_LOG_ENV) {
             config.slow_log_cap = cap;
+        }
+        if let Ok(dir) = std::env::var(crate::wal::DATA_DIR_ENV) {
+            if !dir.trim().is_empty() {
+                config.data_dir = Some(PathBuf::from(dir));
+            }
+        }
+        if let Some(mode) = std::env::var(crate::wal::SYNC_ENV)
+            .ok()
+            .and_then(|s| SyncMode::parse(&s))
+        {
+            config.wal_sync = mode;
+        }
+        if let Some(every) = env_usize(crate::wal::SNAPSHOT_EVERY_ENV) {
+            config.snapshot_every = every;
         }
         config
     }
@@ -196,6 +224,24 @@ impl ServerConfig {
     /// Set the slow-log ring-buffer capacity. 0 disables the log.
     pub fn with_slow_log_cap(mut self, cap: usize) -> Self {
         self.slow_log_cap = cap;
+        self
+    }
+
+    /// Set (or clear) the durable data directory.
+    pub fn with_data_dir(mut self, dir: Option<PathBuf>) -> Self {
+        self.data_dir = dir;
+        self
+    }
+
+    /// Set the WAL fsync discipline.
+    pub fn with_wal_sync(mut self, sync: SyncMode) -> Self {
+        self.wal_sync = sync;
+        self
+    }
+
+    /// Set the revises-between-snapshots interval (0 disables).
+    pub fn with_snapshot_every(mut self, every: usize) -> Self {
+        self.snapshot_every = every;
         self
     }
 }
@@ -282,6 +328,14 @@ struct Inner {
     seq: AtomicU64,
     /// Ring buffer of the last `slow_log_cap` slow requests.
     slow_log: Mutex<VecDeque<SlowEntry>>,
+    /// The write-ahead log, when a data directory is configured.
+    /// Lock order: registry/KB lock → `wal` → `cache`.
+    wal: Option<Mutex<Wal>>,
+    /// True while boot replay re-applies logged operations (appends
+    /// are suppressed: replayed operations are already in the log).
+    replaying: AtomicBool,
+    /// Boot recovery summary, surfaced in `stats`.
+    recovery: Mutex<Option<RecoveryReport>>,
 }
 
 /// The revision service. Cheap to clone (shared state behind an
@@ -336,7 +390,70 @@ impl CacheOutcome {
 
 impl Server {
     /// A server with the given configuration and an empty registry.
-    pub fn new(config: ServerConfig) -> Self {
+    /// Any configured `data_dir` is ignored — use [`Server::open`] for
+    /// persistence (this constructor stays infallible for callers that
+    /// never persist, which is every pre-existing test and transport).
+    pub fn new(mut config: ServerConfig) -> Self {
+        config.data_dir = None;
+        Self::build(config, None)
+    }
+
+    /// A server with the given configuration, recovered from its
+    /// `data_dir` if one is configured: the artifact snapshot pre-warms
+    /// the cache, then the write-ahead log replays in commit order, so
+    /// every surviving KB answers exactly as it did before the restart
+    /// — and model-based revises replay as cache hits, not recompiles.
+    ///
+    /// Errors only on real I/O failure (unreadable/uncreatable data
+    /// directory). Corrupt log tails and snapshots are tolerated by
+    /// construction: the log truncates at the first bad record, a bad
+    /// snapshot is ignored.
+    pub fn open(config: ServerConfig) -> io::Result<Self> {
+        let Some(dir) = config.data_dir.clone() else {
+            return Ok(Self::build(config, None));
+        };
+        let boot = Instant::now();
+        let recovered = Wal::open(&dir, config.wal_sync, config.snapshot_every)?;
+        let server = Self::build(config, Some(recovered.wal));
+        let mut report = RecoveryReport {
+            truncated_bytes: recovered.truncated_bytes,
+            snapshot_artifacts: recovered.snapshot.len() as u64,
+            ..RecoveryReport::default()
+        };
+        {
+            let _span = obs::span_with("wal.replay", &[("records", recovered.ops.len() as u64)]);
+            server.inner.replaying.store(true, Ordering::SeqCst);
+            {
+                let mut cache = server.inner.cache.lock().expect("cache poisoned");
+                for (key, artifact) in recovered.snapshot {
+                    cache.insert(key, artifact);
+                }
+                // Pre-warming is not demand traffic: boot must not
+                // skew the hit/miss counters clients reason about.
+                cache.hits = 0;
+                cache.misses = 0;
+                cache.evictions = 0;
+            }
+            for op in &recovered.ops {
+                match server.replay_op(op) {
+                    Ok(()) => report.replayed += 1,
+                    Err(message) => {
+                        report.replay_errors += 1;
+                        eprintln!("revkb-server: wal replay skipped a record: {message}");
+                    }
+                }
+            }
+            server.inner.replaying.store(false, Ordering::SeqCst);
+        }
+        report.boot_micros = u64::try_from(boot.elapsed().as_micros()).unwrap_or(u64::MAX);
+        metrics::WAL_REPLAYED.add(report.replayed);
+        metrics::WAL_REPLAY_ERRORS.add(report.replay_errors);
+        metrics::WAL_TRUNCATED_BYTES.add(report.truncated_bytes);
+        *server.inner.recovery.lock().expect("recovery poisoned") = Some(report);
+        Ok(server)
+    }
+
+    fn build(config: ServerConfig, wal: Option<Wal>) -> Self {
         let cache = ArtifactCache::new(config.cache_capacity);
         Self {
             inner: Arc::new(Inner {
@@ -349,7 +466,75 @@ impl Server {
                 shutdown: AtomicBool::new(false),
                 seq: AtomicU64::new(0),
                 slow_log: Mutex::new(VecDeque::new()),
+                wal: wal.map(Mutex::new),
+                replaying: AtomicBool::new(false),
+                recovery: Mutex::new(None),
             }),
+        }
+    }
+
+    /// Re-apply one logged operation through the normal command paths
+    /// (so replay enforces exactly the rules the original commit did).
+    fn replay_op(&self, op: &WalOp) -> Result<(), String> {
+        match op {
+            WalOp::Load { kb, t } => self
+                .cmd_load(kb, t)
+                .map(drop)
+                .map_err(|(code, m)| format!("load {kb:?}: {code}: {m}")),
+            WalOp::Revise { kb, op, p, backend } => {
+                let op_name = OpName::from_tag(op).ok_or_else(|| format!("unknown op {op:?}"))?;
+                let be = Backend::from_tag(backend)
+                    .ok_or_else(|| format!("unknown backend {backend:?}"))?;
+                self.cmd_revise(kb, op_name, p, be, 0)
+                    .map(drop)
+                    .map_err(|(code, m)| format!("revise {kb:?}: {code}: {m}"))
+            }
+            WalOp::Drop { kb } => self
+                .cmd_drop(kb)
+                .map(drop)
+                .map_err(|(code, m)| format!("drop {kb:?}: {code}: {m}")),
+        }
+    }
+
+    /// Log one committed mutation. Called with the relevant KB or
+    /// registry lock held, so log order matches apply order; no-op
+    /// without a data directory and during boot replay. An append
+    /// failure is counted and reported on stderr but does not fail the
+    /// request — the operation already succeeded in memory, and
+    /// refusing to answer would not make the disk healthier.
+    fn wal_append(&self, op: WalOp) {
+        let Some(wal) = &self.inner.wal else {
+            return;
+        };
+        if self.inner.replaying.load(Ordering::SeqCst) {
+            return;
+        }
+        let _span = obs::span("wal.append");
+        let start = Instant::now();
+        let mut wal = wal.lock().expect("wal poisoned");
+        let fsyncs_before = wal.fsyncs;
+        match wal.append(&op) {
+            Ok(bytes) => {
+                metrics::WAL_APPENDS.inc();
+                metrics::WAL_APPEND_BYTES.add(bytes);
+                metrics::WAL_FSYNCS.add(wal.fsyncs - fsyncs_before);
+                metrics::WAL_APPEND_MICROS
+                    .record(u64::try_from(start.elapsed().as_micros()).unwrap_or(u64::MAX));
+            }
+            Err(e) => {
+                wal.append_errors += 1;
+                metrics::WAL_APPEND_ERRORS.inc();
+                eprintln!("revkb-server: wal append failed: {e}");
+                return;
+            }
+        }
+        if wal.snapshot_due() {
+            let _span = obs::span("wal.snapshot");
+            let cache = self.inner.cache.lock().expect("cache poisoned");
+            match wal.write_snapshot(cache.entries()) {
+                Ok(()) => metrics::WAL_SNAPSHOTS.inc(),
+                Err(e) => eprintln!("revkb-server: wal snapshot failed: {e}"),
+            }
         }
     }
 
@@ -558,6 +743,11 @@ impl Server {
         let kbs = {
             let mut registry = self.inner.registry.lock().expect("registry poisoned");
             registry.insert(name.to_string(), Arc::new(Mutex::new(state)));
+            // Logged under the registry lock so log order is apply order.
+            self.wal_append(WalOp::Load {
+                kb: name.to_string(),
+                t: t.to_string(),
+            });
             registry.len()
         };
         metrics::KBS.set(kbs as u64);
@@ -638,6 +828,15 @@ impl Server {
         kb.kind = kind;
         kb.degraded = matches!(outcome, CacheOutcome::Degraded);
         kb.engine = engine;
+        // Logged under the KB lock, after the revise took effect: a
+        // record in the log is a revise the client was (about to be)
+        // told succeeded, never a partially applied one.
+        self.wal_append(WalOp::Revise {
+            kb: name.to_string(),
+            op: op.tag().to_string(),
+            p: p_text.to_string(),
+            backend: backend.tag().to_string(),
+        });
         Ok(Json::obj([
             ("kb", Json::str(name)),
             ("op", Json::str(op.tag())),
@@ -818,7 +1017,13 @@ impl Server {
     fn cmd_drop(&self, name: &str) -> Result<Json, ExecError> {
         let (removed, kbs) = {
             let mut registry = self.inner.registry.lock().expect("registry poisoned");
-            (registry.remove(name).is_some(), registry.len())
+            let removed = registry.remove(name).is_some();
+            if removed {
+                self.wal_append(WalOp::Drop {
+                    kb: name.to_string(),
+                });
+            }
+            (removed, registry.len())
         };
         if !removed {
             return Err((
@@ -880,6 +1085,38 @@ impl Server {
                     .collect(),
             )
         };
+        let wal_json = match &self.inner.wal {
+            None => Json::obj([("enabled", Json::Bool(false))]),
+            Some(wal) => {
+                let recovery = self
+                    .inner
+                    .recovery
+                    .lock()
+                    .expect("recovery poisoned")
+                    .unwrap_or_default();
+                let wal = wal.lock().expect("wal poisoned");
+                Json::obj([
+                    ("enabled", Json::Bool(true)),
+                    ("sync", Json::str(wal.sync_tag())),
+                    ("records", num(wal.records)),
+                    ("bytes", num(wal.bytes)),
+                    ("appends", num(wal.appends)),
+                    ("append_errors", num(wal.append_errors)),
+                    ("fsyncs", num(wal.fsyncs)),
+                    ("snapshots", num(wal.snapshots)),
+                    (
+                        "recovery",
+                        Json::obj([
+                            ("replayed", num(recovery.replayed)),
+                            ("replay_errors", num(recovery.replay_errors)),
+                            ("snapshot_artifacts", num(recovery.snapshot_artifacts)),
+                            ("truncated_bytes", num(recovery.truncated_bytes)),
+                            ("boot_micros", num(recovery.boot_micros)),
+                        ]),
+                    ),
+                ])
+            }
+        };
         ok_response(
             &request.id,
             req,
@@ -898,8 +1135,15 @@ impl Server {
                 ("request_latency", latency_json),
                 ("slow_ms", num(self.inner.config.slow_ms)),
                 ("slow_log", slow_json),
+                ("wal", wal_json),
             ]),
         )
+    }
+
+    /// The boot recovery summary, when this server was opened from a
+    /// data directory (also surfaced in the `stats` response).
+    pub fn recovery_report(&self) -> Option<RecoveryReport> {
+        *self.inner.recovery.lock().expect("recovery poisoned")
     }
 
     /// Serve line-delimited requests from `reader`, writing one
@@ -909,8 +1153,7 @@ impl Server {
         for line in reader.lines() {
             let line = line?;
             if let Some(response) = self.handle_line(&line) {
-                writer.write_all(response.as_bytes())?;
-                writer.write_all(b"\n")?;
+                write_framed(&mut writer, response)?;
                 writer.flush()?;
             }
             if self.is_shutting_down() {
@@ -969,9 +1212,8 @@ impl Server {
                     while let Some(pos) = buffer.iter().position(|&b| b == b'\n') {
                         let line_bytes: Vec<u8> = buffer.drain(..=pos).collect();
                         let line = String::from_utf8_lossy(&line_bytes[..pos]);
-                        if let Some(mut response) = self.handle_line(&line) {
-                            response.push('\n');
-                            if stream.write_all(response.as_bytes()).is_err() {
+                        if let Some(response) = self.handle_line(&line) {
+                            if write_framed(&mut stream, response).is_err() {
                                 return;
                             }
                         }
@@ -993,6 +1235,15 @@ impl Server {
             }
         }
     }
+}
+
+/// Write one response as a single framed segment (payload + trailing
+/// newline in one `write_all`). Shared by every transport: a two-write
+/// frame can interleave with another thread's response on a shared
+/// stream, and on stdio it doubled syscalls per response.
+fn write_framed<W: Write>(writer: &mut W, mut response: String) -> io::Result<()> {
+    response.push('\n');
+    writer.write_all(response.as_bytes())
 }
 
 fn operator_mismatch(prev: ModelBasedOp, requested: OpName) -> ExecError {
@@ -1375,6 +1626,37 @@ mod tests {
             .and_then(Json::as_array)
             .unwrap();
         assert!(slow.is_empty(), "{slow:?}");
+    }
+
+    /// A writer that records each `write` call as its own segment.
+    struct SegmentWriter(Vec<Vec<u8>>);
+
+    impl Write for SegmentWriter {
+        fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+            self.0.push(buf.to_vec());
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn every_response_is_one_framed_write() {
+        let s = server();
+        let script = concat!(
+            r#"{"id":1,"cmd":"ping"}"#,
+            "\n",
+            r#"{"id":2,"cmd":"load","kb":"k","t":"a"}"#,
+            "\n",
+        );
+        let mut out = SegmentWriter(Vec::new());
+        s.serve_stdio(script.as_bytes(), &mut out).unwrap();
+        assert_eq!(out.0.len(), 2, "one write per response, newline included");
+        for segment in &out.0 {
+            assert_eq!(segment.last(), Some(&b'\n'));
+            assert!(Json::parse(&String::from_utf8_lossy(&segment[..segment.len() - 1])).is_ok());
+        }
     }
 
     #[test]

@@ -7,7 +7,10 @@
 #   2. a REVKB_SERVER_QUEUE=0 run, where every data-plane request must
 #      be shed with `overloaded` while the control plane stays up;
 #   3. a TCP session against `revkb-server --listen 127.0.0.1:0`,
-#      ending in a clean shutdown.
+#      ending in a clean shutdown;
+#   4. a restart-recovery round: a `--data-dir` server is SIGKILLed
+#      mid-workload, restarted on the same directory, and must serve
+#      the revised KB warm (replayed log, artifact-cache hit).
 #
 # Usage: scripts/server_smoke.sh  (from the repo root; builds the
 # release binary if target/release/revkb-server is missing).
@@ -20,7 +23,7 @@ if [[ ! -x "$BIN" ]]; then
 fi
 
 BIN="$BIN" python3 - <<'EOF'
-import json, os, socket, subprocess, sys
+import json, os, shutil, socket, subprocess, sys, tempfile
 
 BIN = os.environ["BIN"]
 OPS = ["winslett", "borgida", "forbus", "satoh", "dalal", "weber",
@@ -130,5 +133,69 @@ if proc.wait(timeout=30) != 0:
     sys.exit(f"TCP server exited with {proc.returncode}: "
              f"{proc.stderr.read()}")
 print(f"tcp session ok: {banner}, server exited cleanly")
-print("server smoke: all three phases passed")
+
+# -- 4. restart recovery: SIGKILL a --data-dir server mid-workload,
+#       restart it on the same directory, and demand warm answers.
+data_dir = tempfile.mkdtemp(prefix="revkb-smoke-wal-")
+
+def start_durable():
+    p = subprocess.Popen(
+        [BIN, "--listen", "127.0.0.1:0", "--data-dir", data_dir,
+         "--snapshot-every", "1"],
+        stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True)
+    b = p.stdout.readline().strip()
+    assert b.startswith("listening "), b
+    h, pt = b.split()[1].rsplit(":", 1)
+    return p, h, int(pt)
+
+def session(host, port):
+    sock = socket.create_connection((host, port), timeout=30)
+    stream = sock.makefile("rw", encoding="utf-8", newline="\n")
+    def call(request):
+        stream.write(json.dumps(request) + "\n")
+        stream.flush()
+        return json.loads(stream.readline())
+    return sock, call
+
+proc, host, port = start_durable()
+sock, call = session(host, port)
+ok(call({"cmd": "load", "kb": "wal", "t": THEORY}), "durable load")
+ok(call({"cmd": "revise", "kb": "wal", "op": "dalal", "p": REVISION}),
+   "durable revise")
+result = ok(call({"cmd": "query", "kb": "wal", "q": "a"}), "durable query")
+assert result["entails"] is True, result
+sock.close()
+proc.kill()          # SIGKILL: no shutdown handshake, no flush
+proc.wait(timeout=30)
+
+proc, host, port = start_durable()
+sock, call = session(host, port)
+stats = ok(call({"cmd": "stats"}), "post-restart stats")
+wal = stats["wal"]
+assert wal["enabled"] is True, wal
+recovery = wal["recovery"]
+assert recovery["replayed"] >= 2, recovery
+assert recovery["replay_errors"] == 0, recovery
+# The snapshot pre-warmed the cache, so replay itself hit it:
+# recovery recompiled nothing.
+assert stats["cache"]["hits"] >= 1, stats["cache"]
+# The KB survived the SIGKILL with its revision intact…
+result = ok(call({"cmd": "query", "kb": "wal", "q": "a"}),
+            "post-restart query")
+assert result["entails"] is True, result
+# …and the compiled artifact is warm: an identical revise on a fresh
+# KB is a pure cache hit, no recompilation.
+ok(call({"cmd": "load", "kb": "wal2", "t": THEORY}), "post-restart load")
+result = ok(call({"cmd": "revise", "kb": "wal2", "op": "dalal",
+                  "p": REVISION}), "post-restart revise")
+assert result["cache"] == "hit", result
+ok(call({"cmd": "shutdown"}), "durable shutdown")
+sock.close()
+if proc.wait(timeout=30) != 0:
+    sys.exit(f"durable server exited with {proc.returncode}: "
+             f"{proc.stderr.read()}")
+shutil.rmtree(data_dir, ignore_errors=True)
+print(f"restart-recovery ok: replayed {recovery['replayed']} op(s), "
+      f"cache hits {stats['cache']['hits']}, warm revise hit")
+print("server smoke: all four phases passed")
 EOF

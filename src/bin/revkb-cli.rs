@@ -76,7 +76,15 @@ fn operator(name: &str) -> Result<ModelBasedOp, String> {
 /// `REVKB_SERVER_*` environment variables.
 fn serve(args: &[String]) -> ExitCode {
     use revkb::server::{Server, ServerConfig};
-    let server = Server::new(ServerConfig::from_env());
+    // `Server::open` honours REVKB_SERVER_DATA_DIR; without it this is
+    // exactly the old in-memory `Server::new`.
+    let server = match Server::open(ServerConfig::from_env()) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("revkb: cannot open server data dir: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
     let outcome = match args {
         [] => serve_stdio(&server),
         [flag] if flag == "--stdio" => serve_stdio(&server),
