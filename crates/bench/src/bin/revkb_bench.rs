@@ -1,15 +1,16 @@
 //! `revkb-bench` — the continuous-performance regression harness.
 //!
 //! ```text
-//! revkb-bench                         # run the suite, write BENCH_PR6.json
-//! revkb-bench --baseline BENCH_PR5.json   # compare; exit 1 on regression
+//! revkb-bench                         # run the suite, write BENCH_PR7.json
+//! revkb-bench --baseline BENCH_PR6.json   # compare; exit 1 on regression
 //! ```
 //!
 //! The suite is fixed and named (see [`revkb_bench::suite`]): eight
 //! per-operator compiles, sequential-vs-parallel batch queries with
 //! histogram percentiles, BDD apply, the Tseitin transform, the
 //! artifact-cache touch cost, cold-vs-warm server revises over
-//! loopback TCP, and cold-boot recovery from a WAL data directory.
+//! loopback TCP, cold-boot recovery from a WAL data directory, and
+//! replication (replica catch-up and read fan-out across replicas).
 //! Instances are seeded (`REVKB_BENCH_SEED`), trials are medians over
 //! `REVKB_BENCH_TRIALS` runs after `REVKB_BENCH_WARMUP` warmups.
 //!
@@ -37,7 +38,7 @@ struct Args {
 
 fn parse_args(args: &[String]) -> Result<Args, String> {
     let mut parsed = Args {
-        out: "BENCH_PR6.json".to_string(),
+        out: "BENCH_PR7.json".to_string(),
         baseline: None,
         warn_only: false,
         server_report: true,

@@ -3,15 +3,16 @@
 //! times, sequential-vs-parallel batch query latency (with percentiles
 //! from the `revkb-obs` histograms), BDD apply throughput, the Tseitin
 //! transform, artifact-cache touch cost at large capacity,
-//! cold-vs-warm server revises over a loopback TCP connection, and
+//! cold-vs-warm server revises over a loopback TCP connection,
 //! cold-boot recovery from a write-ahead-log data directory (with and
-//! without artifact snapshots).
+//! without artifact snapshots), and replication — replica catch-up
+//! from a seeded primary and query fan-out across read replicas.
 //!
 //! Everything is deterministic modulo wall-clock noise: instance
 //! generation is seeded (`REVKB_BENCH_SEED`), each benchmark runs
 //! `REVKB_BENCH_WARMUP` discarded warmup rounds followed by
 //! `REVKB_BENCH_TRIALS` measured trials, and the reported figure is
-//! the **median** trial. The emitted report (`BENCH_PR6.json`) is
+//! the **median** trial. The emitted report (`BENCH_PR7.json`) is
 //! schema-versioned and can be replayed as a `--baseline` to detect
 //! regressions: a benchmark regresses only when it is both relatively
 //! slower than its per-benchmark tolerance *and* absolutely slower by
@@ -91,9 +92,10 @@ impl SuiteConfig {
         if let Some(t) = self.tolerance_pct {
             return t;
         }
-        // Wall-clock-noisy benches (thread pools, TCP round-trips) get
-        // wider bands; pure-compute compile benches keep the default.
-        if name.starts_with("query.") || name.starts_with("server.") {
+        // Wall-clock-noisy benches (thread pools, TCP round-trips,
+        // replication tail-polling) get wider bands; pure-compute
+        // compile benches keep the default.
+        if name.starts_with("query.") || name.starts_with("server.") || name.starts_with("repl.") {
             50.0
         } else {
             DEFAULT_TOLERANCE_PCT
@@ -608,6 +610,160 @@ fn wal_boot_benches(cfg: &SuiteConfig) -> Vec<BenchResult> {
     results
 }
 
+/// `repl.catchup` / `repl.read_fanout` — WAL replication. `catchup`
+/// times a fresh replica from connect to fully drained against a
+/// seeded primary (snapshot bootstrap + log suffix). `read_fanout`
+/// times three concurrent clients reading through a
+/// primary-plus-two-replicas fan-out, with the same load against the
+/// primary alone recorded as `single_node_micros` — the ratio is the
+/// read scale-out replication buys on this machine.
+fn repl_benches(cfg: &SuiteConfig) -> Vec<BenchResult> {
+    const THEORY: &str = "a & b; b -> c; c | d";
+    const KBS: usize = 12;
+    let base = std::env::temp_dir().join(format!("revkb-bench-repl-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&base);
+    let primary = Server::open(
+        ServerConfig::default()
+            .with_data_dir(Some(base.clone()))
+            .with_wal_sync(SyncMode::Off)
+            .with_snapshot_every(1),
+    )
+    .expect("seed replication primary");
+    let call = |server: &Server, line: &str| {
+        let response = server.handle_line(line).expect("non-blank line");
+        let json = Json::parse(&response).expect("response is valid JSON");
+        assert_eq!(
+            json.get("ok").and_then(Json::as_bool),
+            Some(true),
+            "bench request failed: {line} -> {response}"
+        );
+    };
+    for i in 0..KBS {
+        call(
+            &primary,
+            &format!(r#"{{"cmd":"load","kb":"kb{i}","t":"{THEORY}"}}"#),
+        );
+        call(
+            &primary,
+            &format!(
+                r#"{{"cmd":"revise","kb":"kb{i}","op":"dalal","p":"{}"}}"#,
+                revision_variant(i % 16)
+            ),
+        );
+    }
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind primary");
+    let addr = listener.local_addr().expect("primary addr");
+    let acceptor = {
+        let server = primary.clone();
+        std::thread::spawn(move || {
+            let _ = server.serve_tcp(listener);
+        })
+    };
+    let committed = primary.wal_committed_bytes().expect("durable primary");
+
+    let wait_caught_up = |replica: &Server| {
+        while replica.replication_status().expect("replica status").offset < committed {
+            std::thread::sleep(std::time::Duration::from_micros(200));
+        }
+    };
+    // Shutdown is cleanup, not catch-up: joining the replication
+    // thread waits out its socket read timeout, so it happens outside
+    // the timed region.
+    let mut records = 0u64;
+    let mut spent = Vec::new();
+    let (median, trials) = timed_trials(cfg, || {
+        let replica = Server::new(ServerConfig::default().with_replica_of(Some(addr.to_string())));
+        let thread = replica.start_replication().expect("replica replicates");
+        wait_caught_up(&replica);
+        records = replica
+            .replication_status()
+            .expect("replica status")
+            .records_applied;
+        spent.push((replica, thread));
+    });
+    for (replica, thread) in spent.drain(..) {
+        replica.begin_shutdown();
+        thread.join().expect("replication thread joins");
+    }
+    let mut catchup = result(cfg, "repl.catchup".into(), median, trials);
+    catchup
+        .extra
+        .push(("log_bytes", Value::Number(committed as f64)));
+    catchup
+        .extra
+        .push(("records_applied", Value::Number(records as f64)));
+
+    // Two standing replicas serving TCP for the fan-out measurement.
+    let mut replicas = Vec::new();
+    for _ in 0..2 {
+        let replica = Server::new(ServerConfig::default().with_replica_of(Some(addr.to_string())));
+        let repl_thread = replica.start_replication().expect("replica replicates");
+        wait_caught_up(&replica);
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind replica");
+        let raddr = listener.local_addr().expect("replica addr");
+        let serve_thread = {
+            let server = replica.clone();
+            std::thread::spawn(move || {
+                let _ = server.serve_tcp(listener);
+            })
+        };
+        replicas.push((replica, raddr, repl_thread, serve_thread));
+    }
+    let endpoints: Vec<std::net::SocketAddr> = std::iter::once(addr)
+        .chain(replicas.iter().map(|(_, raddr, _, _)| *raddr))
+        .collect();
+    const CLIENTS: usize = 3;
+    const QUERIES_PER_CLIENT: usize = 30;
+    let run_round = |targets: &[std::net::SocketAddr]| {
+        let workers: Vec<_> = (0..CLIENTS)
+            .map(|c| {
+                let target = targets[c % targets.len()];
+                std::thread::spawn(move || {
+                    let mut writer = TcpStream::connect(target).expect("connect endpoint");
+                    writer.set_nodelay(true).expect("set TCP_NODELAY");
+                    let mut reader = BufReader::new(writer.try_clone().expect("clone stream"));
+                    for q in 0..QUERIES_PER_CLIENT {
+                        let kb = (c * QUERIES_PER_CLIENT + q) % KBS;
+                        let line = format!(r#"{{"cmd":"query","kb":"kb{kb}","q":"a | e"}}"#);
+                        let _ = roundtrip(&mut writer, &mut reader, &line);
+                    }
+                })
+            })
+            .collect();
+        for worker in workers {
+            worker.join().expect("client thread");
+        }
+    };
+    let (fanout_median, fanout_trials) = timed_trials(cfg, || run_round(&endpoints));
+    let (single_median, _) = timed_trials(cfg, || run_round(&endpoints[..1]));
+    let mut fanout = result(cfg, "repl.read_fanout".into(), fanout_median, fanout_trials);
+    fanout
+        .extra
+        .push(("replicas", Value::Number(replicas.len() as f64)));
+    fanout.extra.push((
+        "queries",
+        Value::Number((CLIENTS * QUERIES_PER_CLIENT) as f64),
+    ));
+    fanout
+        .extra
+        .push(("single_node_micros", Value::Number(single_median)));
+    if fanout_median > 0.0 {
+        fanout
+            .extra
+            .push(("speedup", Value::Number(single_median / fanout_median)));
+    }
+
+    for (replica, _, repl_thread, serve_thread) in replicas {
+        replica.begin_shutdown();
+        repl_thread.join().expect("replication thread joins");
+        serve_thread.join().expect("replica serve thread joins");
+    }
+    primary.begin_shutdown();
+    let _ = acceptor.join();
+    let _ = std::fs::remove_dir_all(&base);
+    vec![catchup, fanout]
+}
+
 /// Run the whole fixed suite in order.
 pub fn run_suite(cfg: &SuiteConfig) -> Vec<BenchResult> {
     let mut results = compile_benches(cfg);
@@ -617,6 +773,7 @@ pub fn run_suite(cfg: &SuiteConfig) -> Vec<BenchResult> {
     results.push(cache_touch_bench(cfg));
     results.extend(server_benches(cfg));
     results.extend(wal_boot_benches(cfg));
+    results.extend(repl_benches(cfg));
     results
 }
 

@@ -121,29 +121,13 @@ fn committed_report_names(file: &str) -> Vec<String> {
         .collect()
 }
 
-/// The committed `BENCH_PR5.json` is the baseline CI compares against
-/// and `BENCH_PR6.json` is the current report: both must stay valid
+/// The committed `BENCH_PR6.json` is the baseline CI compares against
+/// and `BENCH_PR7.json` is the current report: both must stay valid
 /// and parseable with the schema this build supports, and the current
 /// report must cover the full named suite the harness runs today.
 #[test]
 fn committed_reports_are_valid_schema_v1() {
-    let baseline = committed_report_names("BENCH_PR5.json");
-    for name in [
-        "compile.dalal",
-        "compile.winslett",
-        "query.sequential",
-        "query.parallel",
-        "bdd.apply",
-        "logic.tseitin",
-        "server.revise.cold",
-        "server.revise.warm",
-    ] {
-        assert!(
-            baseline.iter().any(|n| n == name),
-            "baseline is missing {name}"
-        );
-    }
-    let current = committed_report_names("BENCH_PR6.json");
+    let baseline = committed_report_names("BENCH_PR6.json");
     for name in [
         "compile.dalal",
         "compile.winslett",
@@ -156,6 +140,27 @@ fn committed_reports_are_valid_schema_v1() {
         "server.revise.warm",
         "server.boot.snapshot",
         "server.boot.replay",
+    ] {
+        assert!(
+            baseline.iter().any(|n| n == name),
+            "baseline is missing {name}"
+        );
+    }
+    let current = committed_report_names("BENCH_PR7.json");
+    for name in [
+        "compile.dalal",
+        "compile.winslett",
+        "query.sequential",
+        "query.parallel",
+        "bdd.apply",
+        "logic.tseitin",
+        "cache.touch",
+        "server.revise.cold",
+        "server.revise.warm",
+        "server.boot.snapshot",
+        "server.boot.replay",
+        "repl.catchup",
+        "repl.read_fanout",
     ] {
         assert!(
             current.iter().any(|n| n == name),

@@ -18,7 +18,8 @@ const USAGE: &str = "usage: revkb-server (--stdio | --listen ADDR) \
                      [--threads N] [--queue N] [--deadline-ms N] \
                      [--compile-timeout-ms N] [--cache-cap N] \
                      [--slow-ms N] [--data-dir DIR] \
-                     [--wal-sync always|batch|off] [--snapshot-every N]";
+                     [--wal-sync always|batch|off] [--snapshot-every N] \
+                     [--replica-of HOST:PORT]";
 
 enum Transport {
     Stdio,
@@ -97,6 +98,9 @@ fn parse_args(args: &[String]) -> Result<(Transport, ServerConfig), String> {
                         .map_err(|_| "--snapshot-every needs an integer".to_string())?,
                 );
             }
+            "--replica-of" => {
+                config = config.with_replica_of(Some(value(&mut iter, "--replica-of")?));
+            }
             other => return Err(format!("unknown argument {other:?}")),
         }
     }
@@ -133,6 +137,15 @@ pub fn run(args: &[String]) -> ExitCode {
             report.boot_micros
         );
     }
+    // Replica mode: the apply loop runs alongside the serving loop
+    // and drains on `shutdown` like every connection thread.
+    let replication = server.start_replication();
+    if let Some(status) = server.replication_status() {
+        eprintln!(
+            "revkb-server: replicating from {} (resume offset {})",
+            status.primary, status.offset
+        );
+    }
     let outcome = match transport {
         Transport::Stdio => {
             let stdin = io::stdin();
@@ -155,6 +168,12 @@ pub fn run(args: &[String]) -> ExitCode {
             }
         },
     };
+    if let Some(handle) = replication {
+        // A stdio session can end at EOF without a `shutdown` command;
+        // make sure the apply loop drains either way.
+        server.begin_shutdown();
+        let _ = handle.join();
+    }
     write_trace_if_requested();
     match outcome {
         Ok(()) => ExitCode::SUCCESS,

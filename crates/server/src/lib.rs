@@ -24,6 +24,9 @@
 //!   write-ahead log of committed mutations plus periodic artifact
 //!   snapshots, replayed on boot so a restarted server serves warm
 //!   answers immediately;
+//! - [`replica`]: the building blocks for WAL replication — the
+//!   record splitter that reassembles shipped frames, reconnect
+//!   backoff, and the replica's durable-offset state machine;
 //! - [`metrics`]: always-on counters for the `stats` command, mirrored
 //!   into `revkb-obs` instruments when tracing is enabled.
 //!
@@ -36,11 +39,13 @@ pub mod json;
 pub mod metrics;
 pub mod protocol;
 pub mod registry;
+pub mod replica;
 pub mod server;
 pub mod wal;
 
 pub use json::Json;
 pub use protocol::{Command, OpName, Request};
 pub use registry::{cache_key, parse_canonical, Artifact, ArtifactCache, KbKind, KbState};
+pub use replica::ReplStatus;
 pub use server::{Server, ServerConfig};
 pub use wal::{RecoveryReport, SyncMode, WalOp};

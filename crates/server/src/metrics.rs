@@ -58,11 +58,29 @@ pub static WAL_REPLAY_ERRORS: obs::Counter = obs::Counter::new("wal.replay.error
 pub static WAL_TRUNCATED_BYTES: obs::Counter = obs::Counter::new("wal.truncated.bytes");
 /// Per-append latency in microseconds (write + any fsync).
 pub static WAL_APPEND_MICROS: obs::Histogram = obs::Histogram::new("wal.append.micros");
+/// Replication streams served by this primary (lifetime).
+pub static REPL_STREAMS: obs::Counter = obs::Counter::new("repl.streams");
+/// Raw WAL bytes shipped to replicas.
+pub static REPL_SHIPPED_BYTES: obs::Counter = obs::Counter::new("repl.shipped.bytes");
+/// Replication handshakes accepted by this primary.
+pub static REPL_HANDSHAKES: obs::Counter = obs::Counter::new("repl.handshakes");
+/// Handshakes refused because the resume checksums diverged.
+pub static REPL_REFUSALS: obs::Counter = obs::Counter::new("repl.refusals");
+/// Shipped records applied by this replica.
+pub static REPL_APPLIED: obs::Counter = obs::Counter::new("repl.applied");
+/// Shipped records that failed to re-apply and were skipped.
+pub static REPL_APPLY_ERRORS: obs::Counter = obs::Counter::new("repl.apply.errors");
+/// Replication sessions established by this replica.
+pub static REPL_SESSIONS: obs::Counter = obs::Counter::new("repl.sessions");
+/// Divergence detections (replica side; the stream stops).
+pub static REPL_DIVERGENCE: obs::Counter = obs::Counter::new("repl.divergence");
+/// Replication lag in bytes (replica side; 0 when caught up).
+pub static REPL_LAG_BYTES: obs::Gauge = obs::Gauge::new("repl.lag.bytes");
 
-/// Request-type buckets for per-type latency in `stats`: the nine
+/// Request-type buckets for per-type latency in `stats`: the ten
 /// command tags ([`crate::protocol::Command::tag`]) plus a catch-all
 /// for lines that never parsed into a command.
-pub const REQUEST_KINDS: [&str; 10] = [
+pub const REQUEST_KINDS: [&str; 11] = [
     "load",
     "revise",
     "query",
@@ -72,6 +90,7 @@ pub const REQUEST_KINDS: [&str; 10] = [
     "drop",
     "ping",
     "shutdown",
+    "replicate",
     "bad_request",
 ];
 

@@ -38,6 +38,14 @@ pub mod codes {
     /// The command is valid but not supported for this KB state
     /// (e.g. a second revision of a GFUV base).
     pub const UNSUPPORTED: &str = "unsupported";
+    /// The server is a replica (`--replica-of`): it serves reads and
+    /// control plane only; writes belong on the primary.
+    pub const READ_ONLY: &str = "read_only";
+    /// Replication divergence: the record checksums at the resume
+    /// offset disagree, so one side's log is not a prefix of the
+    /// other's. A diverged replica refuses to serve rather than
+    /// answer from a history that is not the primary's.
+    pub const DIVERGED: &str = "diverged";
 }
 
 /// Which revision operator a `revise` request names: one of the six
@@ -153,6 +161,25 @@ pub enum Command {
     Ping,
     /// Stop accepting work and shut down cleanly.
     Shutdown,
+    /// Switch this TCP connection into a replication stream: after a
+    /// JSON handshake response, the primary ships raw committed WAL
+    /// records (v1 framing) from `offset` and tails the log until the
+    /// replica disconnects. Only meaningful on a TCP connection.
+    Replicate {
+        /// Byte offset into the primary's `wal.log` (including the
+        /// 8-byte magic) to resume from. Anything below the magic
+        /// length means "from the beginning".
+        offset: u64,
+        /// Payload length of the replica's last durable record
+        /// (0 when resuming from the beginning).
+        last_len: u32,
+        /// CRC-32 of the replica's last durable record's payload.
+        last_crc: u32,
+        /// Ship the primary's current artifact snapshot in the
+        /// handshake response (hex-encoded), to pre-warm the
+        /// replica's cache on bootstrap.
+        snapshot: bool,
+    },
 }
 
 impl Command {
@@ -170,6 +197,7 @@ impl Command {
             Command::Drop { .. } => "drop",
             Command::Ping => "ping",
             Command::Shutdown => "shutdown",
+            Command::Replicate { .. } => "replicate",
         }
     }
 }
@@ -271,6 +299,36 @@ pub fn parse_request(line: &str) -> Result<Request, RequestError> {
         },
         "ping" => Command::Ping,
         "shutdown" => Command::Shutdown,
+        "replicate" => {
+            let offset = match value.get("offset") {
+                None => 0,
+                Some(v) => v
+                    .as_u64()
+                    .ok_or_else(|| fail("offset must be a non-negative integer".to_string()))?,
+            };
+            let small_u32 = |key: &str| -> Result<u32, RequestError> {
+                match value.get(key) {
+                    None => Ok(0),
+                    Some(v) => v
+                        .as_u64()
+                        .and_then(|n| u32::try_from(n).ok())
+                        .ok_or_else(|| fail(format!("{key} must be a u32"))),
+                }
+            };
+            Command::Replicate {
+                offset,
+                last_len: small_u32("last_len")?,
+                last_crc: small_u32("last_crc")?,
+                snapshot: value
+                    .get("snapshot")
+                    .map(|v| {
+                        v.as_bool()
+                            .ok_or_else(|| fail("snapshot must be a boolean".to_string()))
+                    })
+                    .transpose()?
+                    .unwrap_or(false),
+            }
+        }
         other => return Err(fail(format!("unknown command {other:?}"))),
     };
     Ok(Request {
@@ -327,6 +385,10 @@ mod tests {
             (r#"{"cmd":"drop","kb":"k"}"#, "drop"),
             (r#"{"cmd":"ping"}"#, "ping"),
             (r#"{"cmd":"shutdown"}"#, "shutdown"),
+            (
+                r#"{"cmd":"replicate","offset":8,"last_len":0,"last_crc":0,"snapshot":true}"#,
+                "replicate",
+            ),
         ];
         for (line, tag) in cases {
             let req = parse_request(line).unwrap_or_else(|e| panic!("{line}: {e:?}"));
@@ -341,8 +403,44 @@ mod tests {
                     | (Command::Drop { .. }, "drop")
                     | (Command::Ping, "ping")
                     | (Command::Shutdown, "shutdown")
+                    | (Command::Replicate { .. }, "replicate")
             );
             assert!(ok, "{line} parsed as {:?}", req.cmd);
+        }
+    }
+
+    #[test]
+    fn replicate_fields_parse_and_default() {
+        let req = parse_request(
+            r#"{"cmd":"replicate","offset":123,"last_len":17,"last_crc":4042322160,"snapshot":true}"#,
+        )
+        .unwrap();
+        assert_eq!(
+            req.cmd,
+            Command::Replicate {
+                offset: 123,
+                last_len: 17,
+                last_crc: 0xF0F0_F0F0,
+                snapshot: true,
+            }
+        );
+        // Everything defaults to "bootstrap from the beginning".
+        let req = parse_request(r#"{"cmd":"replicate"}"#).unwrap();
+        assert_eq!(
+            req.cmd,
+            Command::Replicate {
+                offset: 0,
+                last_len: 0,
+                last_crc: 0,
+                snapshot: false,
+            }
+        );
+        for bad in [
+            r#"{"cmd":"replicate","offset":-1}"#,
+            r#"{"cmd":"replicate","last_len":5000000000}"#,
+            r#"{"cmd":"replicate","snapshot":"yes"}"#,
+        ] {
+            assert!(parse_request(bad).is_err(), "accepted {bad:?}");
         }
     }
 
@@ -399,7 +497,7 @@ mod tests {
 
     #[test]
     fn command_tags_cover_every_command() {
-        let cases: [(Command, &str); 9] = [
+        let cases: [(Command, &str); 10] = [
             (
                 Command::Load {
                     kb: "k".into(),
@@ -435,6 +533,15 @@ mod tests {
             (Command::Drop { kb: "k".into() }, "drop"),
             (Command::Ping, "ping"),
             (Command::Shutdown, "shutdown"),
+            (
+                Command::Replicate {
+                    offset: 8,
+                    last_len: 0,
+                    last_crc: 0,
+                    snapshot: false,
+                },
+                "replicate",
+            ),
         ];
         for (cmd, tag) in cases {
             assert_eq!(cmd.tag(), tag);

@@ -1,0 +1,397 @@
+//! Replication machinery shared by the primary's streaming side and
+//! the replica's apply loop: an incremental splitter that cuts the
+//! shipped byte stream back into verified WAL records, the replica's
+//! state block surfaced by `stats`, reconnect backoff, and the hex
+//! codec the handshake uses to ship the artifact snapshot.
+//!
+//! The design premise comes straight from the paper: the *revised* KB
+//! is the artifact that can blow up in size, while the revision
+//! history — the raw `load`/`revise`/`drop` texts the WAL already
+//! stores — stays small. So replication ships the log, never the
+//! compiled bases: a replica replays the same records through the
+//! same handlers recovery uses and re-derives every compiled artifact
+//! locally (warm, when the bootstrap snapshot pre-warmed its cache).
+//!
+//! Stream framing is exactly the on-disk v1 record format
+//! (`len:u32le crc:u32le payload`, pinned by `tests/golden/wal_v1.log`)
+//! — a replica's log is therefore byte-for-byte a prefix of the
+//! primary's, which is what makes resume offsets directly comparable
+//! across nodes and lets the divergence check reuse the torn-tail CRC
+//! machinery verbatim.
+
+use crate::wal::{crc32, MAX_RECORD_LEN};
+
+/// One step of pulling a record out of the replication stream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Shipped {
+    /// A complete, checksum-verified record: the raw frame bytes
+    /// (header + payload), ready to apply and append verbatim.
+    Record(Vec<u8>),
+    /// The buffered bytes end mid-record; read more from the socket.
+    /// (On disconnect these bytes are dropped — they re-ship on
+    /// resume, exactly like a torn tail truncates on recovery.)
+    NeedMore,
+    /// A complete record arrived but its checksum or framing is
+    /// wrong. The stream position is exact (it advanced record by
+    /// record from a verified offset), so this is divergence or
+    /// corruption, never a framing guess gone wrong.
+    Corrupt(String),
+}
+
+/// Incremental record splitter over the shipped byte stream.
+///
+/// Unlike `decode_records` (which scans a file already on disk), the
+/// splitter must distinguish "incomplete" from "corrupt": a short
+/// record means *wait*, a checksum mismatch on a complete record
+/// means *refuse to serve*.
+#[derive(Debug, Default)]
+pub struct RecordSplitter {
+    buf: Vec<u8>,
+    start: usize,
+}
+
+impl RecordSplitter {
+    /// An empty splitter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Feed bytes read from the socket.
+    pub fn extend(&mut self, bytes: &[u8]) {
+        // Compact lazily so long sessions don't grow without bound.
+        if self.start > 4096 && self.start * 2 > self.buf.len() {
+            self.buf.drain(..self.start);
+            self.start = 0;
+        }
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Bytes buffered but not yet returned as records.
+    pub fn pending(&self) -> u64 {
+        (self.buf.len() - self.start) as u64
+    }
+
+    /// Try to pull the next complete record off the front.
+    pub fn next_record(&mut self) -> Shipped {
+        let bytes = &self.buf[self.start..];
+        let Some(header) = bytes.get(..8) else {
+            return Shipped::NeedMore;
+        };
+        let len = u32::from_le_bytes(header[..4].try_into().expect("4 bytes"));
+        let crc = u32::from_le_bytes(header[4..].try_into().expect("4 bytes"));
+        if len > MAX_RECORD_LEN {
+            return Shipped::Corrupt(format!(
+                "record header claims {len} payload bytes (bound {MAX_RECORD_LEN}): \
+                 stream is corrupt or desynchronised"
+            ));
+        }
+        let total = 8 + len as usize;
+        let Some(frame) = bytes.get(..total) else {
+            return Shipped::NeedMore;
+        };
+        let actual = crc32(&frame[8..]);
+        if actual != crc {
+            return Shipped::Corrupt(format!(
+                "record checksum mismatch: header says {crc:#010x}, payload hashes to \
+                 {actual:#010x}"
+            ));
+        }
+        let record = frame.to_vec();
+        self.start += total;
+        Shipped::Record(record)
+    }
+
+    /// Drop everything buffered (a disconnect mid-record: the partial
+    /// tail re-ships when the stream resumes from the last applied
+    /// record boundary).
+    pub fn clear(&mut self) {
+        self.buf.clear();
+        self.start = 0;
+    }
+}
+
+/// Exponential reconnect backoff: 50 ms doubling to a 1 s cap, reset
+/// on every successful handshake. Deliberately short at the cap so a
+/// replica notices a restarted primary (and its own shutdown flag)
+/// promptly.
+#[derive(Debug)]
+pub struct Backoff {
+    next_ms: u64,
+}
+
+/// First reconnect delay in milliseconds.
+pub const BACKOFF_START_MS: u64 = 50;
+/// Reconnect delay cap in milliseconds.
+pub const BACKOFF_CAP_MS: u64 = 1000;
+
+impl Default for Backoff {
+    fn default() -> Self {
+        Backoff {
+            next_ms: BACKOFF_START_MS,
+        }
+    }
+}
+
+impl Backoff {
+    /// A backoff at the starting delay.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The delay to sleep before the next attempt; doubles up to the
+    /// cap.
+    pub fn delay_ms(&mut self) -> u64 {
+        let delay = self.next_ms;
+        self.next_ms = (self.next_ms * 2).min(BACKOFF_CAP_MS);
+        delay
+    }
+
+    /// A connection succeeded: the next failure starts over.
+    pub fn reset(&mut self) {
+        self.next_ms = BACKOFF_START_MS;
+    }
+}
+
+/// Replica-side replication state, behind a mutex on the server and
+/// surfaced in the `stats` response's `repl` block.
+#[derive(Debug, Clone)]
+pub struct ReplState {
+    /// `HOST:PORT` of the primary being followed.
+    pub primary: String,
+    /// Is the stream currently connected (handshake accepted)?
+    pub connected: bool,
+    /// Did the divergence detector fire? Once true the replica stops
+    /// replicating and refuses to answer queries.
+    pub diverged: bool,
+    /// Byte offset into the (shared) log that has been fully applied
+    /// — with a data dir this equals the replica's own `wal.bytes`.
+    pub offset: u64,
+    /// The primary's committed log length as of the last handshake or
+    /// shipped byte, so `target - offset` is the lag gauge.
+    pub target: u64,
+    /// `(len, crc)` of the last applied record, proving the prefix on
+    /// the next handshake.
+    pub last_record: Option<(u32, u32)>,
+    /// Records applied by the replication loop (lifetime).
+    pub records_applied: u64,
+    /// Shipped records that failed to re-apply and were skipped.
+    pub apply_errors: u64,
+    /// Successful handshakes (so reconnects = sessions - 1).
+    pub sessions: u64,
+    /// Artifacts pre-warmed from the bootstrap snapshot.
+    pub snapshot_artifacts: u64,
+}
+
+impl ReplState {
+    /// Fresh state following `primary` with `offset` bytes already
+    /// durable locally.
+    pub fn new(primary: String, offset: u64, last_record: Option<(u32, u32)>) -> Self {
+        ReplState {
+            primary,
+            connected: false,
+            diverged: false,
+            offset,
+            target: offset,
+            last_record,
+            records_applied: 0,
+            apply_errors: 0,
+            sessions: 0,
+            snapshot_artifacts: 0,
+        }
+    }
+
+    /// Replication lag in bytes (0 when caught up).
+    pub fn lag_bytes(&self) -> u64 {
+        self.target.saturating_sub(self.offset)
+    }
+}
+
+/// A read-only snapshot of [`ReplState`] for programmatic callers
+/// (benchmarks poll it for catch-up completion).
+#[derive(Debug, Clone)]
+pub struct ReplStatus {
+    /// See [`ReplState::primary`].
+    pub primary: String,
+    /// See [`ReplState::connected`].
+    pub connected: bool,
+    /// See [`ReplState::diverged`].
+    pub diverged: bool,
+    /// See [`ReplState::offset`].
+    pub offset: u64,
+    /// See [`ReplState::target`].
+    pub target: u64,
+    /// See [`ReplState::records_applied`].
+    pub records_applied: u64,
+    /// See [`ReplState::apply_errors`].
+    pub apply_errors: u64,
+    /// See [`ReplState::sessions`].
+    pub sessions: u64,
+    /// See [`ReplState::lag_bytes`].
+    pub lag_bytes: u64,
+}
+
+impl From<&ReplState> for ReplStatus {
+    fn from(s: &ReplState) -> Self {
+        ReplStatus {
+            primary: s.primary.clone(),
+            connected: s.connected,
+            diverged: s.diverged,
+            offset: s.offset,
+            target: s.target,
+            records_applied: s.records_applied,
+            apply_errors: s.apply_errors,
+            sessions: s.sessions,
+            lag_bytes: s.lag_bytes(),
+        }
+    }
+}
+
+/// Hex-encode `bytes` (lowercase), for shipping the bootstrap
+/// snapshot inside the JSON handshake response.
+pub fn to_hex(bytes: &[u8]) -> String {
+    const DIGITS: &[u8; 16] = b"0123456789abcdef";
+    let mut out = String::with_capacity(bytes.len() * 2);
+    for &b in bytes {
+        out.push(DIGITS[(b >> 4) as usize] as char);
+        out.push(DIGITS[(b & 0xF) as usize] as char);
+    }
+    out
+}
+
+/// Decode [`to_hex`] output; `None` on odd length or a non-hex digit.
+pub fn from_hex(s: &str) -> Option<Vec<u8>> {
+    if !s.len().is_multiple_of(2) {
+        return None;
+    }
+    let digit = |c: u8| -> Option<u8> {
+        match c {
+            b'0'..=b'9' => Some(c - b'0'),
+            b'a'..=b'f' => Some(c - b'a' + 10),
+            b'A'..=b'F' => Some(c - b'A' + 10),
+            _ => None,
+        }
+    };
+    let raw = s.as_bytes();
+    let mut out = Vec::with_capacity(raw.len() / 2);
+    for pair in raw.chunks_exact(2) {
+        out.push(digit(pair[0])? << 4 | digit(pair[1])?);
+    }
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wal::{encode_record, WalOp};
+
+    fn records() -> Vec<Vec<u8>> {
+        [
+            WalOp::Load {
+                kb: "k".into(),
+                t: "a & b".into(),
+            },
+            WalOp::Revise {
+                kb: "k".into(),
+                op: "dalal".into(),
+                p: "!a".into(),
+                backend: "direct".into(),
+            },
+            WalOp::Drop { kb: "k".into() },
+        ]
+        .iter()
+        .map(encode_record)
+        .collect()
+    }
+
+    #[test]
+    fn splitter_reassembles_records_fed_byte_by_byte() {
+        let stream: Vec<u8> = records().concat();
+        let mut splitter = RecordSplitter::new();
+        let mut out = Vec::new();
+        for &b in &stream {
+            splitter.extend(&[b]);
+            loop {
+                match splitter.next_record() {
+                    Shipped::Record(r) => out.push(r),
+                    Shipped::NeedMore => break,
+                    Shipped::Corrupt(m) => panic!("corrupt: {m}"),
+                }
+            }
+        }
+        assert_eq!(out, records());
+        assert_eq!(splitter.pending(), 0);
+    }
+
+    #[test]
+    fn splitter_flags_a_corrupt_complete_record_but_waits_on_a_short_one() {
+        let mut frame = records()[1].clone();
+        let mut splitter = RecordSplitter::new();
+        // All but the last byte: incomplete, not corrupt.
+        splitter.extend(&frame[..frame.len() - 1]);
+        assert_eq!(splitter.next_record(), Shipped::NeedMore);
+        // Flip a payload byte, then complete the record: corrupt.
+        frame[10] ^= 0x20;
+        let mut splitter = RecordSplitter::new();
+        splitter.extend(&frame);
+        assert!(matches!(splitter.next_record(), Shipped::Corrupt(_)));
+        // An insane length header is corruption, not a record to wait
+        // for.
+        let mut splitter = RecordSplitter::new();
+        let mut huge = (MAX_RECORD_LEN + 1).to_le_bytes().to_vec();
+        huge.extend_from_slice(&[0; 4]);
+        splitter.extend(&huge);
+        assert!(matches!(splitter.next_record(), Shipped::Corrupt(_)));
+    }
+
+    #[test]
+    fn splitter_clear_drops_a_partial_tail() {
+        let mut splitter = RecordSplitter::new();
+        splitter.extend(&records()[0][..5]);
+        assert_eq!(splitter.pending(), 5);
+        splitter.clear();
+        assert_eq!(splitter.pending(), 0);
+        // Resuming re-ships the whole record.
+        splitter.extend(&records()[0]);
+        assert_eq!(
+            splitter.next_record(),
+            Shipped::Record(records()[0].clone())
+        );
+    }
+
+    #[test]
+    fn backoff_doubles_to_the_cap_and_resets() {
+        let mut b = Backoff::new();
+        assert_eq!(b.delay_ms(), 50);
+        assert_eq!(b.delay_ms(), 100);
+        assert_eq!(b.delay_ms(), 200);
+        assert_eq!(b.delay_ms(), 400);
+        assert_eq!(b.delay_ms(), 800);
+        assert_eq!(b.delay_ms(), 1000);
+        assert_eq!(b.delay_ms(), 1000);
+        b.reset();
+        assert_eq!(b.delay_ms(), 50);
+    }
+
+    #[test]
+    fn hex_round_trips() {
+        let bytes: Vec<u8> = (0..=255).collect();
+        assert_eq!(from_hex(&to_hex(&bytes)), Some(bytes));
+        assert_eq!(to_hex(&[0xDE, 0xAD]), "dead");
+        assert_eq!(from_hex("DEad"), Some(vec![0xDE, 0xAD]));
+        assert_eq!(from_hex("abc"), None);
+        assert_eq!(from_hex("zz"), None);
+    }
+
+    #[test]
+    fn lag_gauge_tracks_target_minus_offset() {
+        let mut s = ReplState::new("127.0.0.1:1".into(), 8, None);
+        assert_eq!(s.lag_bytes(), 0);
+        s.target = 100;
+        assert_eq!(s.lag_bytes(), 92);
+        s.offset = 100;
+        assert_eq!(s.lag_bytes(), 0);
+        // A stale target never yields an underflowed gauge.
+        s.offset = 120;
+        assert_eq!(s.lag_bytes(), 0);
+    }
+}

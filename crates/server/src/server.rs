@@ -30,7 +30,8 @@ use crate::protocol::{
     codes, err_response, ok_response, parse_request, Command, OpName, Request, RequestError,
 };
 use crate::registry::{cache_key, Artifact, ArtifactCache, KbKind, KbState};
-use crate::wal::{RecoveryReport, SyncMode, Wal, WalOp};
+use crate::replica::{from_hex, to_hex, Backoff, RecordSplitter, ReplState, ReplStatus, Shipped};
+use crate::wal::{decode_records, RecoveryReport, SyncMode, Wal, WalOp, LOG_MAGIC, SNAPSHOT_FILE};
 use revkb_logic::{parse as parse_formula, Formula, Signature};
 use revkb_obs as obs;
 use revkb_revision::api::Engine;
@@ -39,7 +40,8 @@ use revkb_revision::{
     CACHE_CAP_ENV, DEFAULT_CACHE_CAPACITY,
 };
 use std::collections::{HashMap, VecDeque};
-use std::io::{self, BufRead, Read, Write};
+use std::fs::File;
+use std::io::{self, BufRead, Read, Seek, SeekFrom, Write};
 use std::net::{TcpListener, TcpStream};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
@@ -63,6 +65,14 @@ pub const WORLDS_ENV: &str = "REVKB_SERVER_WORLDS";
 pub const SLOW_MS_ENV: &str = "REVKB_SERVER_SLOW_MS";
 /// Environment variable giving the slow-log ring-buffer capacity.
 pub const SLOW_LOG_ENV: &str = "REVKB_SERVER_SLOW_LOG";
+/// Environment variable naming the primary to replicate from
+/// (equivalent to `--replica-of HOST:PORT`). Set, the server is a
+/// read-only replica.
+pub const REPLICA_OF_ENV: &str = "REVKB_REPLICA_OF";
+
+/// How long the replication stream sleeps between tail polls when it
+/// has caught up with the primary's committed bytes.
+const TAIL_POLL: Duration = Duration::from_millis(15);
 
 fn env_usize(name: &str) -> Option<usize> {
     std::env::var(name).ok()?.trim().parse().ok()
@@ -113,6 +123,12 @@ pub struct ServerConfig {
     /// Logged revises between artifact snapshots; 0 disables
     /// snapshots (replay then recompiles everything).
     pub snapshot_every: usize,
+    /// `HOST:PORT` of a primary to replicate from. Set, this server
+    /// is a **read-only replica**: it bootstraps from the primary's
+    /// snapshot and log, applies shipped records through the same
+    /// handlers recovery uses, serves `query`/`query_batch`/`stats`,
+    /// and rejects writes with the stable `read_only` code.
+    pub replica_of: Option<String>,
 }
 
 impl Default for ServerConfig {
@@ -129,6 +145,7 @@ impl Default for ServerConfig {
             data_dir: None,
             wal_sync: SyncMode::Always,
             snapshot_every: crate::wal::DEFAULT_SNAPSHOT_EVERY,
+            replica_of: None,
         }
     }
 }
@@ -175,6 +192,11 @@ impl ServerConfig {
         }
         if let Some(every) = env_usize(crate::wal::SNAPSHOT_EVERY_ENV) {
             config.snapshot_every = every;
+        }
+        if let Ok(primary) = std::env::var(REPLICA_OF_ENV) {
+            if !primary.trim().is_empty() {
+                config.replica_of = Some(primary.trim().to_string());
+            }
         }
         config
     }
@@ -242,6 +264,13 @@ impl ServerConfig {
     /// Set the revises-between-snapshots interval (0 disables).
     pub fn with_snapshot_every(mut self, every: usize) -> Self {
         self.snapshot_every = every;
+        self
+    }
+
+    /// Set (or clear) the primary to replicate from. Set, the server
+    /// becomes a read-only replica.
+    pub fn with_replica_of(mut self, primary: Option<String>) -> Self {
+        self.replica_of = primary;
         self
     }
 }
@@ -336,6 +365,19 @@ struct Inner {
     replaying: AtomicBool,
     /// Boot recovery summary, surfaced in `stats`.
     recovery: Mutex<Option<RecoveryReport>>,
+    /// Replica-side replication state; `Some` iff `replica_of` is
+    /// configured (the server is then read-only).
+    repl: Option<Mutex<ReplState>>,
+    /// Primary-side: replication streams currently being served.
+    repl_streams: AtomicU64,
+    /// Primary-side: replication streams served, lifetime.
+    repl_streams_total: AtomicU64,
+    /// Primary-side: raw WAL bytes shipped to replicas.
+    repl_shipped_bytes: AtomicU64,
+    /// Primary-side: replication handshakes accepted.
+    repl_handshakes: AtomicU64,
+    /// Primary-side: handshakes refused for divergence.
+    repl_refusals: AtomicU64,
 }
 
 /// The revision service. Cheap to clone (shared state behind an
@@ -395,7 +437,7 @@ impl Server {
     /// never persist, which is every pre-existing test and transport).
     pub fn new(mut config: ServerConfig) -> Self {
         config.data_dir = None;
-        Self::build(config, None)
+        Self::build(config, None, None)
     }
 
     /// A server with the given configuration, recovered from its
@@ -410,11 +452,12 @@ impl Server {
     /// snapshot is ignored.
     pub fn open(config: ServerConfig) -> io::Result<Self> {
         let Some(dir) = config.data_dir.clone() else {
-            return Ok(Self::build(config, None));
+            return Ok(Self::build(config, None, None));
         };
         let boot = Instant::now();
         let recovered = Wal::open(&dir, config.wal_sync, config.snapshot_every)?;
-        let server = Self::build(config, Some(recovered.wal));
+        let last_record = recovered.last_record;
+        let server = Self::build(config, Some(recovered.wal), last_record);
         let mut report = RecoveryReport {
             truncated_bytes: recovered.truncated_bytes,
             snapshot_artifacts: recovered.snapshot.len() as u64,
@@ -453,8 +496,15 @@ impl Server {
         Ok(server)
     }
 
-    fn build(config: ServerConfig, wal: Option<Wal>) -> Self {
+    fn build(config: ServerConfig, wal: Option<Wal>, last_record: Option<(u32, u32)>) -> Self {
         let cache = ArtifactCache::new(config.cache_capacity);
+        // A replica resumes from whatever its own log already holds:
+        // the log is byte-for-byte a prefix of the primary's, so the
+        // local length *is* the resume offset.
+        let repl = config.replica_of.clone().map(|primary| {
+            let offset = wal.as_ref().map_or(LOG_MAGIC.len() as u64, |wal| wal.bytes);
+            Mutex::new(ReplState::new(primary, offset, last_record))
+        });
         Self {
             inner: Arc::new(Inner {
                 gate: ExecGate::new(config.threads.max(1)),
@@ -469,6 +519,12 @@ impl Server {
                 wal: wal.map(Mutex::new),
                 replaying: AtomicBool::new(false),
                 recovery: Mutex::new(None),
+                repl,
+                repl_streams: AtomicU64::new(0),
+                repl_streams_total: AtomicU64::new(0),
+                repl_shipped_bytes: AtomicU64::new(0),
+                repl_handshakes: AtomicU64::new(0),
+                repl_refusals: AtomicU64::new(0),
             }),
         }
     }
@@ -543,6 +599,14 @@ impl Server {
         self.inner.shutdown.load(Ordering::SeqCst)
     }
 
+    /// Ask every serving and replication loop to drain, exactly as an
+    /// accepted `shutdown` command would. Embedders (and the binary,
+    /// after a stdio session hits EOF) use this to stop the
+    /// replication thread without a wire round trip.
+    pub fn begin_shutdown(&self) {
+        self.inner.shutdown.store(true, Ordering::SeqCst);
+    }
+
     /// Process one request line. `None` means the line was blank
     /// (keep-alive noise); otherwise exactly one response line (no
     /// trailing newline) is returned, whatever happened.
@@ -604,6 +668,21 @@ impl Server {
                     kind,
                 );
             }
+            Command::Replicate { .. } => {
+                // The TCP loop intercepts `replicate` before line
+                // dispatch and switches the connection to a raw
+                // record stream; reaching here means stdio.
+                self.inner.counters.error();
+                return (
+                    err_response(
+                        &request.id,
+                        req,
+                        codes::UNSUPPORTED,
+                        "replicate requires a dedicated TCP connection",
+                    ),
+                    kind,
+                );
+            }
             _ => {}
         }
         if self.is_shutting_down() {
@@ -617,6 +696,39 @@ impl Server {
                 ),
                 kind,
             );
+        }
+        // A replica serves reads only — and once its divergence
+        // detector has fired, not even those: answers would come from
+        // a history that is not the primary's.
+        if let Some(repl) = &self.inner.repl {
+            let diverged = repl.lock().expect("repl poisoned").diverged;
+            if diverged {
+                self.inner.counters.error();
+                return (
+                    err_response(
+                        &request.id,
+                        req,
+                        codes::DIVERGED,
+                        "replica log diverged from its primary; refusing to serve",
+                    ),
+                    kind,
+                );
+            }
+            if matches!(
+                request.cmd,
+                Command::Load { .. } | Command::Revise { .. } | Command::Drop { .. }
+            ) {
+                self.inner.counters.error();
+                return (
+                    err_response(
+                        &request.id,
+                        req,
+                        codes::READ_ONLY,
+                        "this server is a read-only replica; send writes to the primary",
+                    ),
+                    kind,
+                );
+            }
         }
         // Admission control: a bounded number of requests may be in
         // flight (waiting or executing); the rest are told to back off
@@ -696,7 +808,9 @@ impl Server {
             Command::QueryBatch { .. } => "server.cmd.query_batch",
             Command::List => "server.cmd.list",
             Command::Drop { .. } => "server.cmd.drop",
-            Command::Ping | Command::Stats | Command::Shutdown => "server.cmd.control",
+            Command::Ping | Command::Stats | Command::Shutdown | Command::Replicate { .. } => {
+                "server.cmd.control"
+            }
         };
         let _span = obs::span_with(span_name, &[("req", req)]);
         match cmd {
@@ -707,7 +821,9 @@ impl Server {
             Command::List => self.cmd_list(),
             Command::Drop { kb } => self.cmd_drop(kb),
             // Handled before admission.
-            Command::Ping | Command::Stats | Command::Shutdown => unreachable!("exempt command"),
+            Command::Ping | Command::Stats | Command::Shutdown | Command::Replicate { .. } => {
+                unreachable!("exempt command")
+            }
         }
     }
 
@@ -1117,6 +1233,48 @@ impl Server {
                 ])
             }
         };
+        let repl_json = match &self.inner.repl {
+            Some(repl) => {
+                let s = repl.lock().expect("repl poisoned");
+                metrics::REPL_LAG_BYTES.set(s.lag_bytes());
+                Json::obj([
+                    ("role", Json::str("replica")),
+                    ("primary", Json::str(&s.primary)),
+                    ("connected", Json::Bool(s.connected)),
+                    ("diverged", Json::Bool(s.diverged)),
+                    ("offset", num(s.offset)),
+                    ("target", num(s.target)),
+                    ("lag_bytes", num(s.lag_bytes())),
+                    ("records_applied", num(s.records_applied)),
+                    ("apply_errors", num(s.apply_errors)),
+                    ("sessions", num(s.sessions)),
+                    ("snapshot_artifacts", num(s.snapshot_artifacts)),
+                ])
+            }
+            None => Json::obj([
+                ("role", Json::str("primary")),
+                (
+                    "streams",
+                    num(self.inner.repl_streams.load(Ordering::Relaxed)),
+                ),
+                (
+                    "streams_total",
+                    num(self.inner.repl_streams_total.load(Ordering::Relaxed)),
+                ),
+                (
+                    "shipped_bytes",
+                    num(self.inner.repl_shipped_bytes.load(Ordering::Relaxed)),
+                ),
+                (
+                    "handshakes",
+                    num(self.inner.repl_handshakes.load(Ordering::Relaxed)),
+                ),
+                (
+                    "refusals",
+                    num(self.inner.repl_refusals.load(Ordering::Relaxed)),
+                ),
+            ]),
+        };
         ok_response(
             &request.id,
             req,
@@ -1136,6 +1294,7 @@ impl Server {
                 ("slow_ms", num(self.inner.config.slow_ms)),
                 ("slow_log", slow_json),
                 ("wal", wal_json),
+                ("repl", repl_json),
             ]),
         )
     }
@@ -1144,6 +1303,490 @@ impl Server {
     /// data directory (also surfaced in the `stats` response).
     pub fn recovery_report(&self) -> Option<RecoveryReport> {
         *self.inner.recovery.lock().expect("recovery poisoned")
+    }
+
+    /// A snapshot of this replica's replication state (`None` on a
+    /// primary). Benchmarks and tests poll it for catch-up:
+    /// `lag_bytes == 0 && connected` means the replica has applied
+    /// every record the primary had committed at the last poll.
+    pub fn replication_status(&self) -> Option<ReplStatus> {
+        self.inner
+            .repl
+            .as_ref()
+            .map(|repl| ReplStatus::from(&*repl.lock().expect("repl poisoned")))
+    }
+
+    /// Committed log length in bytes (`None` without a data dir).
+    /// Comparing a replica's `replication_status().offset` against
+    /// the primary's committed bytes decides convergence.
+    pub fn wal_committed_bytes(&self) -> Option<u64> {
+        self.inner
+            .wal
+            .as_ref()
+            .map(|wal| wal.lock().expect("wal poisoned").bytes)
+    }
+
+    // ------------------------------------------------ replication: primary
+
+    /// Serve one `replicate` request: validate the resume position
+    /// against this primary's log (the divergence check), answer the
+    /// JSON handshake, then switch the connection to a raw stream of
+    /// committed WAL records, tailing the log until the replica
+    /// disconnects or the server shuts down.
+    fn handle_replicate(&self, stream: &mut TcpStream, req: u64, request: &Request) {
+        let id = &request.id;
+        let Command::Replicate {
+            offset,
+            last_len,
+            last_crc,
+            snapshot: want_snapshot,
+        } = request.cmd
+        else {
+            return;
+        };
+        let start = Instant::now();
+        let _span = obs::span_with("server.cmd.replicate", &[("req", req)]);
+        let magic_len = LOG_MAGIC.len() as u64;
+        let handshake = self.replicate_handshake(offset, last_len, last_crc);
+        let micros = u64::try_from(start.elapsed().as_micros()).unwrap_or(u64::MAX);
+        self.inner.counters.request("replicate", micros);
+        let (resume, log_path) = match handshake {
+            Ok(accepted) => accepted,
+            Err((code, message)) => {
+                self.inner.counters.error();
+                let _ = write_framed(stream, err_response(id, req, code, &message));
+                return;
+            }
+        };
+        let committed = self.wal_committed_bytes().unwrap_or(magic_len);
+        let mut result = vec![("offset", num(resume)), ("log_bytes", num(committed))];
+        let snapshot_hex = want_snapshot
+            .then(|| {
+                std::fs::read(log_path.with_file_name(SNAPSHOT_FILE))
+                    .ok()
+                    .map(|bytes| to_hex(&bytes))
+            })
+            .flatten();
+        if let Some(hex) = &snapshot_hex {
+            result.push(("snapshot_hex", Json::str(hex)));
+        }
+        if write_framed(stream, ok_response(id, req, Json::obj(result))).is_err() {
+            return;
+        }
+        self.inner.repl_handshakes.fetch_add(1, Ordering::Relaxed);
+        metrics::REPL_HANDSHAKES.inc();
+        self.inner
+            .repl_streams_total
+            .fetch_add(1, Ordering::Relaxed);
+        metrics::REPL_STREAMS.inc();
+        self.inner.repl_streams.fetch_add(1, Ordering::Relaxed);
+        let _active = StreamGuard(&self.inner.repl_streams);
+        // A stuck replica must not pin this thread past shutdown.
+        let _ = stream.set_write_timeout(Some(Duration::from_secs(5)));
+        let mut file = match File::open(&log_path) {
+            Ok(file) => file,
+            Err(_) => return,
+        };
+        if file.seek(SeekFrom::Start(resume)).is_err() {
+            return;
+        }
+        let mut pos = resume;
+        let mut chunk = vec![0u8; 64 * 1024];
+        while !self.is_shutting_down() {
+            let committed = self.wal_committed_bytes().unwrap_or(pos);
+            if pos >= committed {
+                std::thread::sleep(TAIL_POLL);
+                continue;
+            }
+            // Committed bytes are fully written before the counter
+            // moves (both happen under the wal lock), so this read
+            // can never see a torn record.
+            let want = usize::try_from(committed - pos)
+                .unwrap_or(usize::MAX)
+                .min(chunk.len());
+            if file.read_exact(&mut chunk[..want]).is_err() {
+                return;
+            }
+            if stream.write_all(&chunk[..want]).is_err() {
+                return;
+            }
+            pos += want as u64;
+            self.inner
+                .repl_shipped_bytes
+                .fetch_add(want as u64, Ordering::Relaxed);
+            metrics::REPL_SHIPPED_BYTES.add(want as u64);
+        }
+    }
+
+    /// Validate a `replicate` handshake: the server must have a log,
+    /// the offset must be within it, and — the divergence detector —
+    /// when the replica resumes mid-log, the record *ending* at the
+    /// resume offset must carry exactly the `(len, crc)` header the
+    /// replica holds, proving its log is a byte-for-byte prefix.
+    /// Returns the clamped resume offset and the log path.
+    fn replicate_handshake(
+        &self,
+        offset: u64,
+        last_len: u32,
+        last_crc: u32,
+    ) -> Result<(u64, PathBuf), (&'static str, String)> {
+        let magic_len = LOG_MAGIC.len() as u64;
+        let Some(wal) = &self.inner.wal else {
+            return Err((
+                codes::UNSUPPORTED,
+                "replication needs a durable primary: run it with --data-dir".to_string(),
+            ));
+        };
+        let (log_path, committed) = {
+            let wal = wal.lock().expect("wal poisoned");
+            (wal.log_path(), wal.bytes)
+        };
+        let resume = offset.max(magic_len);
+        if resume > committed {
+            self.refuse_handshake();
+            return Err((
+                codes::DIVERGED,
+                format!(
+                    "resume offset {resume} is past this primary's committed log \
+                     ({committed} bytes): the replica followed a different history"
+                ),
+            ));
+        }
+        if resume > magic_len {
+            if last_len == 0 {
+                return Err((
+                    codes::BAD_REQUEST,
+                    "resuming past the log head needs the replica's last record \
+                     (last_len / last_crc)"
+                        .to_string(),
+                ));
+            }
+            let header_pos = resume
+                .checked_sub(8 + last_len as u64)
+                .filter(|&p| p >= magic_len)
+                .ok_or_else(|| {
+                    self.refuse_handshake();
+                    (
+                        codes::DIVERGED,
+                        format!(
+                            "no record of payload length {last_len} can end at \
+                             offset {resume}"
+                        ),
+                    )
+                })?;
+            let mut header = [0u8; 8];
+            let matches = File::open(&log_path)
+                .and_then(|mut file| {
+                    file.seek(SeekFrom::Start(header_pos))?;
+                    file.read_exact(&mut header)?;
+                    Ok(())
+                })
+                .is_ok()
+                && u32::from_le_bytes(header[..4].try_into().expect("4 bytes")) == last_len
+                && u32::from_le_bytes(header[4..].try_into().expect("4 bytes")) == last_crc;
+            if !matches {
+                self.refuse_handshake();
+                return Err((
+                    codes::DIVERGED,
+                    format!(
+                        "record checksums disagree at resume offset {resume}: the \
+                         replica's log is not a prefix of this primary's"
+                    ),
+                ));
+            }
+        }
+        Ok((resume, log_path))
+    }
+
+    fn refuse_handshake(&self) {
+        self.inner.repl_refusals.fetch_add(1, Ordering::Relaxed);
+        metrics::REPL_REFUSALS.inc();
+    }
+
+    // ------------------------------------------------ replication: replica
+
+    /// Start the replication apply loop (replica mode only; `None` on
+    /// a primary). The returned thread connects to the primary with
+    /// exponential backoff, bootstraps or resumes from the durable
+    /// offset, applies shipped records through the same handlers boot
+    /// replay uses, and exits on `shutdown` or divergence.
+    pub fn start_replication(&self) -> Option<std::thread::JoinHandle<()>> {
+        self.inner.repl.as_ref()?;
+        let server = self.clone();
+        Some(
+            std::thread::Builder::new()
+                .name("revkb-replication".to_string())
+                .spawn(move || server.replication_loop())
+                .expect("spawn replication thread"),
+        )
+    }
+
+    fn replication_loop(&self) {
+        let repl = self.inner.repl.as_ref().expect("replica state");
+        let mut backoff = Backoff::new();
+        while !self.is_shutting_down() {
+            if repl.lock().expect("repl poisoned").diverged {
+                return;
+            }
+            let (primary, offset, last) = {
+                let s = repl.lock().expect("repl poisoned");
+                (s.primary.clone(), s.offset, s.last_record)
+            };
+            match self.replication_session(&primary, offset, last) {
+                SessionEnd::Disconnected => {
+                    let mut s = repl.lock().expect("repl poisoned");
+                    s.connected = false;
+                }
+                SessionEnd::NeverConnected => {
+                    self.backoff_sleep(&mut backoff);
+                    continue;
+                }
+                SessionEnd::Fatal => return,
+            }
+            backoff.reset();
+        }
+    }
+
+    /// Sleep one backoff step in shutdown-sized slices so a draining
+    /// replica never waits out the full delay.
+    fn backoff_sleep(&self, backoff: &mut Backoff) {
+        let mut remaining = backoff.delay_ms();
+        while remaining > 0 && !self.is_shutting_down() {
+            let slice = remaining.min(50);
+            std::thread::sleep(Duration::from_millis(slice));
+            remaining -= slice;
+        }
+    }
+
+    /// One connect → handshake → apply session against the primary.
+    fn replication_session(
+        &self,
+        primary: &str,
+        offset: u64,
+        last: Option<(u32, u32)>,
+    ) -> SessionEnd {
+        let repl = self.inner.repl.as_ref().expect("replica state");
+        let magic_len = LOG_MAGIC.len() as u64;
+        let mut stream = match TcpStream::connect(primary) {
+            Ok(stream) => stream,
+            Err(_) => return SessionEnd::NeverConnected,
+        };
+        let _ = stream.set_nodelay(true);
+        if stream
+            .set_read_timeout(Some(Duration::from_millis(100)))
+            .is_err()
+        {
+            return SessionEnd::NeverConnected;
+        }
+        // Bootstrap (nothing durable yet) also asks for the
+        // primary's artifact snapshot to pre-warm the cache, so
+        // replayed revises are hits, exactly like boot recovery.
+        let fresh = offset <= magic_len;
+        let (last_len, last_crc) = last.unwrap_or((0, 0));
+        let handshake = format!(
+            "{{\"cmd\":\"replicate\",\"offset\":{offset},\"last_len\":{last_len},\
+             \"last_crc\":{last_crc},\"snapshot\":{fresh}}}\n"
+        );
+        if stream.write_all(handshake.as_bytes()).is_err() {
+            return SessionEnd::NeverConnected;
+        }
+        let mut splitter = RecordSplitter::new();
+        let response = match self.read_handshake_line(&mut stream, &mut splitter) {
+            Some(line) => line,
+            None => return SessionEnd::NeverConnected,
+        };
+        let Ok(response) = Json::parse(&response) else {
+            return SessionEnd::NeverConnected;
+        };
+        if response.get("ok").and_then(Json::as_bool) != Some(true) {
+            let code = response.get("code").and_then(Json::as_str).unwrap_or("?");
+            if code == codes::DIVERGED {
+                self.mark_diverged(&format!(
+                    "primary {primary} refused the resume handshake: {}",
+                    response
+                        .get("error")
+                        .and_then(Json::as_str)
+                        .unwrap_or("checksum mismatch")
+                ));
+                return SessionEnd::Fatal;
+            }
+            // Anything else (primary without a log, mid-boot, …):
+            // keep retrying with backoff.
+            return SessionEnd::NeverConnected;
+        }
+        let result = response.get("result").cloned().unwrap_or(Json::Null);
+        {
+            let mut s = repl.lock().expect("repl poisoned");
+            s.connected = true;
+            s.sessions += 1;
+            if let Some(target) = result.get("log_bytes").and_then(Json::as_u64) {
+                s.target = s.target.max(target);
+            }
+            metrics::REPL_LAG_BYTES.set(s.lag_bytes());
+        }
+        metrics::REPL_SESSIONS.inc();
+        if fresh {
+            if let Some(hex) = result.get("snapshot_hex").and_then(Json::as_str) {
+                self.prewarm_from_snapshot(hex);
+            }
+        }
+        // The handshake may have read past the response line; those
+        // bytes are already stream bytes and sit in the splitter.
+        let mut chunk = [0u8; 16 * 1024];
+        loop {
+            loop {
+                match splitter.next_record() {
+                    Shipped::Record(frame) => {
+                        if !self.apply_replicated(&frame) {
+                            return SessionEnd::Fatal;
+                        }
+                    }
+                    Shipped::NeedMore => break,
+                    Shipped::Corrupt(message) => {
+                        self.mark_diverged(&format!("corrupt shipped record: {message}"));
+                        return SessionEnd::Fatal;
+                    }
+                }
+            }
+            {
+                let mut s = repl.lock().expect("repl poisoned");
+                let received = s.offset + splitter.pending();
+                s.target = s.target.max(received);
+                metrics::REPL_LAG_BYTES.set(s.lag_bytes());
+            }
+            if self.is_shutting_down() {
+                return SessionEnd::Fatal;
+            }
+            match stream.read(&mut chunk) {
+                Ok(0) => return SessionEnd::Disconnected,
+                Ok(n) => splitter.extend(&chunk[..n]),
+                Err(e)
+                    if e.kind() == io::ErrorKind::WouldBlock
+                        || e.kind() == io::ErrorKind::TimedOut => {}
+                Err(_) => return SessionEnd::Disconnected,
+            }
+        }
+    }
+
+    /// Read the newline-terminated handshake response; any bytes past
+    /// the newline are the start of the record stream and go into
+    /// `splitter`.
+    fn read_handshake_line(
+        &self,
+        stream: &mut TcpStream,
+        splitter: &mut RecordSplitter,
+    ) -> Option<String> {
+        let mut buffer: Vec<u8> = Vec::new();
+        let mut chunk = [0u8; 4096];
+        let deadline = Instant::now() + Duration::from_secs(10);
+        loop {
+            if self.is_shutting_down() || Instant::now() > deadline {
+                return None;
+            }
+            match stream.read(&mut chunk) {
+                Ok(0) => return None,
+                Ok(n) => {
+                    buffer.extend_from_slice(&chunk[..n]);
+                    if let Some(pos) = buffer.iter().position(|&b| b == b'\n') {
+                        let line = String::from_utf8_lossy(&buffer[..pos]).into_owned();
+                        splitter.extend(&buffer[pos + 1..]);
+                        return Some(line);
+                    }
+                }
+                Err(e)
+                    if e.kind() == io::ErrorKind::WouldBlock
+                        || e.kind() == io::ErrorKind::TimedOut => {}
+                Err(_) => return None,
+            }
+        }
+    }
+
+    /// Pre-warm the artifact cache from the primary's hex-shipped
+    /// snapshot (bootstrap only). Mirrors boot recovery: pre-warming
+    /// is not demand traffic, so the hit/miss counters reset.
+    fn prewarm_from_snapshot(&self, hex: &str) {
+        let Some(bytes) = from_hex(hex) else {
+            return;
+        };
+        let entries = crate::wal::decode_snapshot(&bytes);
+        let count = entries.len() as u64;
+        {
+            let mut cache = self.inner.cache.lock().expect("cache poisoned");
+            for (key, artifact) in entries {
+                cache.insert(key, artifact);
+            }
+            cache.hits = 0;
+            cache.misses = 0;
+            cache.evictions = 0;
+        }
+        if let Some(repl) = &self.inner.repl {
+            repl.lock().expect("repl poisoned").snapshot_artifacts = count;
+        }
+    }
+
+    /// Apply one checksum-verified shipped frame: decode it as a v1
+    /// record, replay it through the normal handlers (the `replaying`
+    /// flag suppresses re-logging), append the raw bytes to the
+    /// replica's own log, and advance the durable offset. Returns
+    /// `false` on divergence (an undecodable payload behind a valid
+    /// checksum can only mean the stream is not this log's history).
+    fn apply_replicated(&self, frame: &[u8]) -> bool {
+        let (ops, good) = decode_records(frame);
+        if ops.len() != 1 || good != frame.len() {
+            self.mark_diverged("shipped record does not decode as a v1 operation");
+            return false;
+        }
+        self.inner.replaying.store(true, Ordering::SeqCst);
+        let applied = self.replay_op(&ops[0]);
+        self.inner.replaying.store(false, Ordering::SeqCst);
+        match applied {
+            Ok(()) => metrics::REPL_APPLIED.inc(),
+            Err(ref message) => {
+                metrics::REPL_APPLY_ERRORS.inc();
+                eprintln!("revkb-server: replication skipped a record: {message}");
+            }
+        }
+        if let Some(wal) = &self.inner.wal {
+            let mut wal = wal.lock().expect("wal poisoned");
+            match wal.append_raw(frame) {
+                Ok(()) => {
+                    metrics::WAL_APPENDS.inc();
+                    metrics::WAL_APPEND_BYTES.add(frame.len() as u64);
+                }
+                Err(e) => {
+                    wal.append_errors += 1;
+                    metrics::WAL_APPEND_ERRORS.inc();
+                    eprintln!("revkb-server: replica wal append failed: {e}");
+                }
+            }
+        }
+        if let Some(repl) = &self.inner.repl {
+            let mut s = repl.lock().expect("repl poisoned");
+            s.offset += frame.len() as u64;
+            s.target = s.target.max(s.offset);
+            s.last_record = Some((
+                u32::from_le_bytes(frame[..4].try_into().expect("4 bytes")),
+                u32::from_le_bytes(frame[4..8].try_into().expect("4 bytes")),
+            ));
+            match applied {
+                Ok(()) => s.records_applied += 1,
+                Err(_) => s.apply_errors += 1,
+            }
+            metrics::REPL_LAG_BYTES.set(s.lag_bytes());
+        }
+        true
+    }
+
+    /// The divergence detector fired: remember why, stop replicating,
+    /// and make the data plane refuse to serve.
+    fn mark_diverged(&self, why: &str) {
+        if let Some(repl) = &self.inner.repl {
+            let mut s = repl.lock().expect("repl poisoned");
+            s.diverged = true;
+            s.connected = false;
+        }
+        metrics::REPL_DIVERGENCE.inc();
+        eprintln!("revkb-server: replication diverged: {why}");
     }
 
     /// Serve line-delimited requests from `reader`, writing one
@@ -1212,6 +1855,18 @@ impl Server {
                     while let Some(pos) = buffer.iter().position(|&b| b == b'\n') {
                         let line_bytes: Vec<u8> = buffer.drain(..=pos).collect();
                         let line = String::from_utf8_lossy(&line_bytes[..pos]);
+                        // `replicate` consumes the whole connection:
+                        // after the handshake response, the socket
+                        // carries a raw record stream, not lines.
+                        if line.contains("\"replicate\"") {
+                            if let Ok(request) = parse_request(&line) {
+                                if matches!(request.cmd, Command::Replicate { .. }) {
+                                    let req = self.inner.seq.fetch_add(1, Ordering::Relaxed) + 1;
+                                    self.handle_replicate(&mut stream, req, &request);
+                                    return;
+                                }
+                            }
+                        }
                         if let Some(response) = self.handle_line(&line) {
                             if write_framed(&mut stream, response).is_err() {
                                 return;
@@ -1234,6 +1889,28 @@ impl Server {
                 Err(_) => break,
             }
         }
+    }
+}
+
+/// How one replication session against the primary ended.
+enum SessionEnd {
+    /// Connected and streamed, then lost the connection: reconnect
+    /// immediately (backoff resets on a successful session).
+    Disconnected,
+    /// Never got a stream going (connect refused, handshake retry):
+    /// back off before trying again.
+    NeverConnected,
+    /// Shutdown or divergence: stop replicating for good.
+    Fatal,
+}
+
+/// Decrements the active-streams gauge when a primary-side
+/// replication stream ends, however it ends.
+struct StreamGuard<'a>(&'a AtomicU64);
+
+impl Drop for StreamGuard<'_> {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, Ordering::Relaxed);
     }
 }
 
@@ -1684,5 +2361,89 @@ mod tests {
             assert_eq!(resp.get("id").and_then(Json::as_f64), Some((i + 1) as f64));
             assert_eq!(resp.get("ok").and_then(Json::as_bool), Some(true));
         }
+    }
+
+    fn replica_server() -> Server {
+        Server::new(
+            ServerConfig::default()
+                .with_queue(16)
+                .with_threads(2)
+                .with_replica_of(Some("127.0.0.1:1".to_string())),
+        )
+    }
+
+    #[test]
+    fn replica_rejects_writes_with_read_only() {
+        let s = replica_server();
+        for line in [
+            r#"{"cmd":"load","kb":"k","t":"a & b"}"#,
+            r#"{"cmd":"revise","kb":"k","op":"dalal","p":"!a"}"#,
+            r#"{"cmd":"drop","kb":"k"}"#,
+        ] {
+            assert_err(&call(&s, line), codes::READ_ONLY);
+        }
+        // Reads and the control plane still answer.
+        assert_ok(&call(&s, r#"{"cmd":"ping"}"#));
+        assert_ok(&call(&s, r#"{"cmd":"list"}"#));
+        assert_err(
+            &call(&s, r#"{"cmd":"query","kb":"k","q":"a"}"#),
+            codes::UNKNOWN_KB,
+        );
+    }
+
+    #[test]
+    fn diverged_replica_refuses_all_data_plane_commands() {
+        let s = replica_server();
+        s.mark_diverged("test: forced divergence");
+        for line in [
+            r#"{"cmd":"query","kb":"k","q":"a"}"#,
+            r#"{"cmd":"list"}"#,
+            r#"{"cmd":"load","kb":"k","t":"a"}"#,
+        ] {
+            assert_err(&call(&s, line), codes::DIVERGED);
+        }
+        // The control plane must stay reachable for diagnosis.
+        assert_ok(&call(&s, r#"{"cmd":"ping"}"#));
+        let stats = call(&s, r#"{"cmd":"stats"}"#);
+        let repl = assert_ok(&stats).get("repl").expect("repl block").clone();
+        assert_eq!(repl.get("role").and_then(Json::as_str), Some("replica"));
+        assert_eq!(repl.get("diverged").and_then(Json::as_bool), Some(true));
+        let status = s.replication_status().expect("replica has status");
+        assert!(status.diverged);
+        assert!(!status.connected);
+    }
+
+    #[test]
+    fn stats_reports_replication_role_on_both_sides() {
+        let primary = server();
+        let stats = call(&primary, r#"{"cmd":"stats"}"#);
+        let repl = assert_ok(&stats).get("repl").expect("repl block").clone();
+        assert_eq!(repl.get("role").and_then(Json::as_str), Some("primary"));
+        assert_eq!(repl.get("streams").and_then(Json::as_u64), Some(0));
+        assert!(primary.replication_status().is_none());
+
+        let replica = replica_server();
+        let stats = call(&replica, r#"{"cmd":"stats"}"#);
+        let repl = assert_ok(&stats).get("repl").expect("repl block").clone();
+        assert_eq!(repl.get("role").and_then(Json::as_str), Some("replica"));
+        assert_eq!(
+            repl.get("primary").and_then(Json::as_str),
+            Some("127.0.0.1:1")
+        );
+        assert_eq!(repl.get("connected").and_then(Json::as_bool), Some(false));
+        // No wal: the in-memory replica starts at the log-head offset.
+        assert_eq!(
+            repl.get("offset").and_then(Json::as_u64),
+            Some(crate::wal::LOG_MAGIC.len() as u64)
+        );
+    }
+
+    #[test]
+    fn replicate_over_stdio_is_unsupported() {
+        let s = server();
+        assert_err(
+            &call(&s, r#"{"cmd":"replicate","offset":0}"#),
+            codes::UNSUPPORTED,
+        );
     }
 }

@@ -74,6 +74,11 @@ pub const SNAPSHOT_MAGIC: &[u8; 8] = b"REVKBS1\n";
 /// Under `SyncMode::Batch`, `sync_all` runs every this many appends
 /// (and at every snapshot), bounding the crash-loss window.
 pub const BATCH_SYNC_APPENDS: u64 = 16;
+/// Upper bound on a single record's payload length. Nothing the
+/// server logs comes close; a replicated header claiming more than
+/// this is corruption (or a desynchronised stream), not a record to
+/// wait for.
+pub const MAX_RECORD_LEN: u32 = 16 * 1024 * 1024;
 /// Default revises-between-snapshots when the knob is unset.
 pub const DEFAULT_SNAPSHOT_EVERY: usize = 8;
 
@@ -271,6 +276,22 @@ pub fn decode_records(bytes: &[u8]) -> (Vec<WalOp>, usize) {
     (ops, pos)
 }
 
+/// Walk framed records from the front of `bytes` (the log body,
+/// *after* the magic) and return the `(len, crc)` header of the last
+/// complete record, or `None` when there is no complete record. The
+/// replication handshake uses this to cross-check that a replica's
+/// final durable record matches the primary's record at the same
+/// offset before resuming the stream.
+pub fn last_frame_info(bytes: &[u8]) -> Option<(u32, u32)> {
+    let mut pos = 0usize;
+    let mut last = None;
+    while let Some((payload, next)) = next_frame(bytes, pos) {
+        last = Some((payload.len() as u32, crc32(payload)));
+        pos = next;
+    }
+    last
+}
+
 /// Read the framed record starting at `pos`: returns its payload and
 /// the offset just past it, or `None` when the record is short,
 /// fails its checksum, or `pos` is at (or inside) a torn tail.
@@ -365,6 +386,10 @@ pub struct Recovered {
     pub snapshot: Vec<(String, Artifact)>,
     /// Bytes discarded from the log's torn tail (0 on a clean boot).
     pub truncated_bytes: u64,
+    /// `(len, crc)` header of the last committed record, used by a
+    /// replica to prove its log is a prefix of the primary's when it
+    /// resumes replication. `None` when the log is empty.
+    pub last_record: Option<(u32, u32)>,
 }
 
 /// Post-replay recovery summary, surfaced in `stats`.
@@ -451,6 +476,11 @@ impl Wal {
             Err(_) => Vec::new(),
         };
         let records = ops.len() as u64;
+        let last_record = if good_len > LOG_MAGIC.len() {
+            last_frame_info(&existing[LOG_MAGIC.len()..good_len])
+        } else {
+            None
+        };
         Ok(Recovered {
             wal: Wal {
                 dir: dir.to_path_buf(),
@@ -469,12 +499,20 @@ impl Wal {
             ops,
             snapshot,
             truncated_bytes,
+            last_record,
         })
     }
 
     /// The fsync discipline tag for `stats`.
     pub fn sync_tag(&self) -> &'static str {
         self.sync.tag()
+    }
+
+    /// Path of the log file this WAL appends to. Replication streams
+    /// read committed bytes through an independent handle on this
+    /// path, so tailing never contends with the append lock.
+    pub fn log_path(&self) -> PathBuf {
+        self.dir.join(LOG_FILE)
     }
 
     /// Append one committed operation, honouring the sync discipline.
@@ -504,6 +542,35 @@ impl Wal {
             SyncMode::Off => {}
         }
         Ok(record.len() as u64)
+    }
+
+    /// Append one already-framed record exactly as received — the
+    /// replication path: record encoding is canonical, so a replica
+    /// that appends the shipped bytes verbatim keeps a log that is
+    /// byte-for-byte a prefix of the primary's, which is what makes
+    /// resume offsets directly comparable across nodes. The caller
+    /// has already verified the frame's checksum.
+    pub fn append_raw(&mut self, record: &[u8]) -> io::Result<()> {
+        self.file.write_all(record)?;
+        self.records += 1;
+        self.appends += 1;
+        self.bytes += record.len() as u64;
+        match self.sync {
+            SyncMode::Always => {
+                self.file.sync_all()?;
+                self.fsyncs += 1;
+            }
+            SyncMode::Batch => {
+                self.appends_since_sync += 1;
+                if self.appends_since_sync >= BATCH_SYNC_APPENDS {
+                    self.file.sync_all()?;
+                    self.fsyncs += 1;
+                    self.appends_since_sync = 0;
+                }
+            }
+            SyncMode::Off => {}
+        }
+        Ok(())
     }
 
     /// Is a snapshot due (enough revises logged since the last one)?
@@ -700,6 +767,64 @@ mod tests {
         drop(recovered);
         let after = std::fs::read(&log_path).unwrap();
         assert_eq!(after.len(), full.len() - encode_record(&ops()[2]).len());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn last_frame_info_tracks_the_final_complete_record() {
+        assert_eq!(last_frame_info(&[]), None);
+        let mut log = Vec::new();
+        for op in ops() {
+            log.extend_from_slice(&encode_record(&op));
+            let record = encode_record(&op);
+            let expected = (
+                (record.len() - 8) as u32,
+                u32::from_le_bytes(record[4..8].try_into().unwrap()),
+            );
+            assert_eq!(last_frame_info(&log), Some(expected));
+        }
+        // A torn tail does not change the answer.
+        log.extend_from_slice(&[0x07, 0x00, 0x00]);
+        let record = encode_record(&ops()[2]);
+        assert_eq!(
+            last_frame_info(&log),
+            Some((
+                (record.len() - 8) as u32,
+                u32::from_le_bytes(record[4..8].try_into().unwrap()),
+            ))
+        );
+    }
+
+    #[test]
+    fn raw_appends_recover_identically_to_encoded_ones() {
+        let dir = std::env::temp_dir().join(format!("revkb-wal-raw-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        {
+            let mut recovered = Wal::open(&dir, SyncMode::Always, 0).unwrap();
+            assert_eq!(recovered.last_record, None);
+            for op in ops() {
+                recovered.wal.append_raw(&encode_record(&op)).unwrap();
+            }
+            assert_eq!(recovered.wal.records, 3);
+            assert_eq!(
+                recovered.wal.bytes,
+                LOG_MAGIC.len() as u64
+                    + ops()
+                        .iter()
+                        .map(|op| encode_record(op).len() as u64)
+                        .sum::<u64>()
+            );
+        }
+        let recovered = Wal::open(&dir, SyncMode::Always, 0).unwrap();
+        assert_eq!(recovered.ops, ops());
+        let record = encode_record(&ops()[2]);
+        assert_eq!(
+            recovered.last_record,
+            Some((
+                (record.len() - 8) as u32,
+                u32::from_le_bytes(record[4..8].try_into().unwrap()),
+            ))
+        );
         let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -10,7 +10,12 @@
 #      ending in a clean shutdown;
 #   4. a restart-recovery round: a `--data-dir` server is SIGKILLed
 #      mid-workload, restarted on the same directory, and must serve
-#      the revised KB warm (replayed log, artifact-cache hit).
+#      the revised KB warm (replayed log, artifact-cache hit);
+#   5. a replication round: a `--replica-of` follower streams the
+#      primary's WAL, serves read-only queries, survives a SIGKILL of
+#      the primary (which restarts from its own log on the same port),
+#      reconnects, catches up, and applies replicated revises warm
+#      (artifact-cache hits on the replica).
 #
 # Usage: scripts/server_smoke.sh  (from the repo root; builds the
 # release binary if target/release/revkb-server is missing).
@@ -197,5 +202,93 @@ if proc.wait(timeout=30) != 0:
 shutil.rmtree(data_dir, ignore_errors=True)
 print(f"restart-recovery ok: replayed {recovery['replayed']} op(s), "
       f"cache hits {stats['cache']['hits']}, warm revise hit")
-print("server smoke: all four phases passed")
+
+# -- 5. replication: primary + replica, SIGKILL the primary
+#       mid-stream, restart it on the same port, demand catch-up and
+#       warm replicated reads.
+import time
+
+primary_dir = tempfile.mkdtemp(prefix="revkb-smoke-repl-p-")
+replica_dir = tempfile.mkdtemp(prefix="revkb-smoke-repl-r-")
+
+def start_server(args):
+    p = subprocess.Popen(
+        [BIN] + args,
+        stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True)
+    b = p.stdout.readline().strip()
+    assert b.startswith("listening "), b
+    h, pt = b.split()[1].rsplit(":", 1)
+    return p, h, int(pt)
+
+primary, phost, pport = start_server(
+    ["--listen", "127.0.0.1:0", "--data-dir", primary_dir,
+     "--snapshot-every", "1"])
+psock, pcall = session(phost, pport)
+ok(pcall({"cmd": "load", "kb": "repl", "t": THEORY}), "primary load")
+ok(pcall({"cmd": "revise", "kb": "repl", "op": "dalal", "p": REVISION}),
+   "primary revise")
+
+replica, rhost, rport = start_server(
+    ["--listen", "127.0.0.1:0", "--data-dir", replica_dir,
+     "--replica-of", f"{phost}:{pport}"])
+rsock, rcall = session(rhost, rport)
+
+def wait_replica(predicate, context, timeout=30.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        repl = ok(rcall({"cmd": "stats"}), "replica stats")["repl"]
+        if predicate(repl):
+            return repl
+        time.sleep(0.05)
+    sys.exit(f"{context}: timed out; last repl stats {repl}")
+
+repl = wait_replica(
+    lambda r: r["connected"] and r["lag_bytes"] == 0 and r["offset"] > 8,
+    "replica catch-up")
+result = ok(rcall({"cmd": "query", "kb": "repl", "q": "a"}),
+            "replicated query")
+assert result["entails"] is True, result
+err(rcall({"cmd": "load", "kb": "nope", "t": "a"}), "read_only",
+    "write on replica")
+
+primary.kill()       # SIGKILL mid-stream: no handshake, no flush
+primary.wait(timeout=30)
+primary, phost2, pport2 = start_server(
+    ["--listen", f"{phost}:{pport}", "--data-dir", primary_dir,
+     "--snapshot-every", "1"])
+assert pport2 == pport, (pport2, pport)
+psock, pcall = session(phost, pport)
+# A fresh KB revised with the already-compiled revision: the replica
+# must apply it from its pre-warmed artifact cache — a hit, not a
+# recompile.
+ok(pcall({"cmd": "load", "kb": "repl2", "t": THEORY}), "post-kill load")
+ok(pcall({"cmd": "revise", "kb": "repl2", "op": "dalal", "p": REVISION}),
+   "post-kill revise")
+
+repl = wait_replica(
+    lambda r: r["connected"] and r["lag_bytes"] == 0 and r["sessions"] >= 2,
+    "replica reconnect")
+assert repl["diverged"] is False, repl
+result = ok(rcall({"cmd": "query", "kb": "repl2", "q": "a"}),
+            "post-reconnect replicated query")
+assert result["entails"] is True, result
+rstats = ok(rcall({"cmd": "stats"}), "replica stats")
+assert rstats["cache"]["hits"] >= 1, rstats["cache"]
+
+ok(rcall({"cmd": "shutdown"}), "replica shutdown")
+rsock.close()
+if replica.wait(timeout=30) != 0:
+    sys.exit(f"replica exited with {replica.returncode}: "
+             f"{replica.stderr.read()}")
+ok(pcall({"cmd": "shutdown"}), "primary shutdown")
+psock.close()
+if primary.wait(timeout=30) != 0:
+    sys.exit(f"primary exited with {primary.returncode}: "
+             f"{primary.stderr.read()}")
+shutil.rmtree(primary_dir, ignore_errors=True)
+shutil.rmtree(replica_dir, ignore_errors=True)
+print(f"replication ok: offset {repl['offset']}, "
+      f"{repl['sessions']} session(s), replica cache hits "
+      f"{rstats['cache']['hits']}")
+print("server smoke: all five phases passed")
 EOF

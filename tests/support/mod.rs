@@ -1,0 +1,297 @@
+//! Deterministic fault injection for replication tests.
+//!
+//! [`FaultProxy`] is a loopback TCP relay that sits between a replica
+//! and its primary and misbehaves on cue: it can cut a connection
+//! after relaying an exact number of shipped bytes, or flip one bit
+//! at an exact stream offset. Offsets are counted on the
+//! upstream→downstream direction starting *after* the first newline —
+//! i.e. after the `replicate` handshake response — so a fault offset
+//! maps 1:1 onto a position in the raw record stream regardless of
+//! how the kernel chunks the bytes.
+//!
+//! Faults are queued per connection: the first accepted connection
+//! pops the first fault, the second the next, and connections beyond
+//! the queue relay cleanly. That makes a scripted
+//! cut/reconnect/converge sequence fully deterministic.
+//!
+//! Extra fault offsets in tests come from [`Lcg`], seeded by
+//! `REVKB_FAULT_SEED` (pinned in CI), so a failing run reproduces
+//! with the seed it prints.
+
+use std::collections::VecDeque;
+use std::io::{Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Environment variable overriding the fault-offset seed.
+pub const FAULT_SEED_ENV: &str = "REVKB_FAULT_SEED";
+
+/// Seed used when `REVKB_FAULT_SEED` is unset (CI pins it explicitly).
+pub const DEFAULT_FAULT_SEED: u64 = 0x5EED_CAFE;
+
+/// The seed for this run: `REVKB_FAULT_SEED` or the default.
+pub fn fault_seed() -> u64 {
+    std::env::var(FAULT_SEED_ENV)
+        .ok()
+        .and_then(|raw| raw.trim().parse().ok())
+        .unwrap_or(DEFAULT_FAULT_SEED)
+}
+
+/// A tiny deterministic generator (Knuth's MMIX LCG) for picking
+/// fault offsets. Not statistical quality — just reproducible.
+pub struct Lcg(u64);
+
+impl Lcg {
+    pub fn new(seed: u64) -> Lcg {
+        Lcg(seed)
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self
+            .0
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        self.0 >> 11
+    }
+
+    /// A value in `[lo, hi)`; `lo` when the range is empty.
+    pub fn in_range(&mut self, lo: u64, hi: u64) -> u64 {
+        if hi <= lo {
+            return lo;
+        }
+        lo + self.next_u64() % (hi - lo)
+    }
+}
+
+/// One scripted misbehaviour for one proxied connection.
+#[derive(Debug, Clone, Copy)]
+pub enum Fault {
+    /// Relay everything faithfully.
+    Clean,
+    /// Sever the connection (both directions) once `n` post-handshake
+    /// upstream→downstream bytes have been relayed.
+    CutAfter(u64),
+    /// Flip one bit in post-handshake byte `n`, keep relaying.
+    CorruptAt(u64),
+}
+
+struct Shared {
+    upstream: SocketAddr,
+    stop: AtomicBool,
+    block_new: AtomicBool,
+    faults: Mutex<VecDeque<Fault>>,
+    conns: Mutex<Vec<TcpStream>>,
+}
+
+/// The relay. Dropping it stops the accept loop and severs every
+/// tracked connection.
+pub struct FaultProxy {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    accept: Option<JoinHandle<()>>,
+}
+
+impl FaultProxy {
+    /// Bind an ephemeral loopback port relaying to `upstream`.
+    pub fn start(upstream: SocketAddr) -> FaultProxy {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind proxy port");
+        listener.set_nonblocking(true).expect("nonblocking accept");
+        let addr = listener.local_addr().expect("proxy addr");
+        let shared = Arc::new(Shared {
+            upstream,
+            stop: AtomicBool::new(false),
+            block_new: AtomicBool::new(false),
+            faults: Mutex::new(VecDeque::new()),
+            conns: Mutex::new(Vec::new()),
+        });
+        let accept = {
+            let shared = Arc::clone(&shared);
+            std::thread::spawn(move || accept_loop(&listener, &shared))
+        };
+        FaultProxy {
+            addr,
+            shared,
+            accept: Some(accept),
+        }
+    }
+
+    /// Where the replica should connect.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Queue the fault for the next yet-unscripted connection.
+    pub fn push_fault(&self, fault: Fault) {
+        self.shared
+            .faults
+            .lock()
+            .expect("faults poisoned")
+            .push_back(fault);
+    }
+
+    /// When `true`, accepted connections are closed immediately —
+    /// the primary becomes unreachable without touching it.
+    pub fn block_new(&self, block: bool) {
+        self.shared.block_new.store(block, Ordering::SeqCst);
+    }
+
+    /// Sever every live proxied connection right now (both ways).
+    pub fn cut_all(&self) {
+        let mut conns = self.shared.conns.lock().expect("conns poisoned");
+        for conn in conns.drain(..) {
+            let _ = conn.shutdown(Shutdown::Both);
+        }
+    }
+}
+
+impl Drop for FaultProxy {
+    fn drop(&mut self) {
+        self.shared.stop.store(true, Ordering::SeqCst);
+        self.cut_all();
+        if let Some(handle) = self.accept.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
+    while !shared.stop.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((client, _)) => {
+                if shared.block_new.load(Ordering::SeqCst) {
+                    drop(client); // refused: close without a byte
+                    continue;
+                }
+                let fault = shared
+                    .faults
+                    .lock()
+                    .expect("faults poisoned")
+                    .pop_front()
+                    .unwrap_or(Fault::Clean);
+                let Ok(upstream) = TcpStream::connect(shared.upstream) else {
+                    drop(client);
+                    continue;
+                };
+                spawn_relay(client, upstream, fault, shared);
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            Err(_) => return,
+        }
+    }
+}
+
+fn track(shared: &Arc<Shared>, stream: &TcpStream) {
+    if let Ok(clone) = stream.try_clone() {
+        shared.conns.lock().expect("conns poisoned").push(clone);
+    }
+}
+
+fn spawn_relay(client: TcpStream, upstream: TcpStream, fault: Fault, shared: &Arc<Shared>) {
+    track(shared, &client);
+    track(shared, &upstream);
+    // Downstream (replica → primary): requests relay untouched.
+    {
+        let (from, to) = (
+            client.try_clone().expect("clone client"),
+            upstream.try_clone().expect("clone upstream"),
+        );
+        let shared = Arc::clone(shared);
+        std::thread::spawn(move || relay_plain(from, to, &shared));
+    }
+    // Upstream (primary → replica): the shipped stream, where the
+    // scripted fault applies.
+    let shared = Arc::clone(shared);
+    std::thread::spawn(move || relay_faulty(upstream, client, fault, &shared));
+}
+
+fn sever(a: &TcpStream, b: &TcpStream) {
+    let _ = a.shutdown(Shutdown::Both);
+    let _ = b.shutdown(Shutdown::Both);
+}
+
+fn relay_plain(mut from: TcpStream, mut to: TcpStream, shared: &Arc<Shared>) {
+    let _ = from.set_read_timeout(Some(Duration::from_millis(50)));
+    let mut chunk = [0u8; 4096];
+    loop {
+        if shared.stop.load(Ordering::SeqCst) {
+            return sever(&from, &to);
+        }
+        match from.read(&mut chunk) {
+            Ok(0) => return sever(&from, &to),
+            Ok(n) => {
+                if to.write_all(&chunk[..n]).is_err() {
+                    return sever(&from, &to);
+                }
+            }
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut => {}
+            Err(_) => return sever(&from, &to),
+        }
+    }
+}
+
+fn relay_faulty(mut from: TcpStream, mut to: TcpStream, fault: Fault, shared: &Arc<Shared>) {
+    let _ = from.set_read_timeout(Some(Duration::from_millis(50)));
+    let mut chunk = [0u8; 4096];
+    // Post-handshake bytes relayed so far; `None` until the
+    // handshake's terminating newline has passed through.
+    let mut counted: Option<u64> = None;
+    loop {
+        if shared.stop.load(Ordering::SeqCst) {
+            return sever(&from, &to);
+        }
+        let n = match from.read(&mut chunk) {
+            Ok(0) => return sever(&from, &to),
+            Ok(n) => n,
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                continue;
+            }
+            Err(_) => return sever(&from, &to),
+        };
+        let buf = &mut chunk[..n];
+        // Split the chunk at the handshake newline if it is in here.
+        let stream_start = match counted {
+            Some(_) => 0,
+            None => match buf.iter().position(|&b| b == b'\n') {
+                Some(pos) => {
+                    counted = Some(0);
+                    pos + 1
+                }
+                None => buf.len(), // all handshake bytes
+            },
+        };
+        let already = counted.unwrap_or(0);
+        let stream_len = (buf.len() - stream_start) as u64;
+        let mut send_to = buf.len();
+        let mut cut = false;
+        match fault {
+            Fault::Clean => {}
+            Fault::CutAfter(limit) if counted.is_some() && already + stream_len >= limit => {
+                send_to = stream_start + usize::try_from(limit - already).unwrap();
+                cut = true;
+            }
+            Fault::CorruptAt(target)
+                if counted.is_some() && target >= already && target < already + stream_len =>
+            {
+                let victim = stream_start + usize::try_from(target - already).unwrap();
+                buf[victim] ^= 0x01;
+            }
+            _ => {}
+        }
+        if let Some(c) = counted.as_mut() {
+            *c += (send_to - stream_start) as u64;
+        }
+        if to.write_all(&buf[..send_to]).is_err() || cut {
+            return sever(&from, &to);
+        }
+    }
+}
