@@ -1,8 +1,8 @@
 //! `revkb-bench` — the continuous-performance regression harness.
 //!
 //! ```text
-//! revkb-bench                         # run the suite, write BENCH_PR7.json
-//! revkb-bench --baseline BENCH_PR6.json   # compare; exit 1 on regression
+//! revkb-bench                         # run the suite, write BENCH_PR8.json
+//! revkb-bench --baseline BENCH_PR7.json   # compare; exit 1 on regression
 //! ```
 //!
 //! The suite is fixed and named (see [`revkb_bench::suite`]): eight
@@ -38,7 +38,7 @@ struct Args {
 
 fn parse_args(args: &[String]) -> Result<Args, String> {
     let mut parsed = Args {
-        out: "BENCH_PR7.json".to_string(),
+        out: "BENCH_PR8.json".to_string(),
         baseline: None,
         warn_only: false,
         server_report: true,

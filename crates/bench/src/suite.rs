@@ -5,14 +5,15 @@
 //! transform, artifact-cache touch cost at large capacity,
 //! cold-vs-warm server revises over a loopback TCP connection,
 //! cold-boot recovery from a write-ahead-log data directory (with and
-//! without artifact snapshots), and replication — replica catch-up
-//! from a seeded primary and query fan-out across read replicas.
+//! without artifact snapshots), replication — replica catch-up
+//! from a seeded primary and query fan-out across read replicas — and
+//! the metrics plane (one Prometheus scrape, one sampler tick).
 //!
 //! Everything is deterministic modulo wall-clock noise: instance
 //! generation is seeded (`REVKB_BENCH_SEED`), each benchmark runs
 //! `REVKB_BENCH_WARMUP` discarded warmup rounds followed by
 //! `REVKB_BENCH_TRIALS` measured trials, and the reported figure is
-//! the **median** trial. The emitted report (`BENCH_PR7.json`) is
+//! the **median** trial. The emitted report (`BENCH_PR8.json`) is
 //! schema-versioned and can be replayed as a `--baseline` to detect
 //! regressions: a benchmark regresses only when it is both relatively
 //! slower than its per-benchmark tolerance *and* absolutely slower by
@@ -764,6 +765,70 @@ fn repl_benches(cfg: &SuiteConfig) -> Vec<BenchResult> {
     vec![catchup, fanout]
 }
 
+/// `obs.scrape` / `obs.sample_tick` — the metrics plane. `scrape`
+/// times one full Prometheus text exposition (`Server::metrics_text`)
+/// on a server warmed with a multi-KB workload — the cost an external
+/// scraper imposes per poll. `sample_tick` times one
+/// [`revkb_obs::timeseries::SeriesStore::tick`] folding a
+/// server-sized observation set into the ring buffers — the cost the
+/// background sampler imposes per interval.
+fn obs_benches(cfg: &SuiteConfig) -> Vec<BenchResult> {
+    use revkb_obs::timeseries::{Observation, SeriesStore, DEFAULT_SERIES_CAPACITY};
+
+    const THEORY: &str = "a & b; b -> c; c | d";
+    let server = Server::new(ServerConfig::default());
+    let call = |line: &str| {
+        let response = server.handle_line(line).expect("non-blank line");
+        let json = Json::parse(&response).expect("response is valid JSON");
+        assert_eq!(
+            json.get("ok").and_then(Json::as_bool),
+            Some(true),
+            "bench request failed: {line} -> {response}"
+        );
+    };
+    for i in 0..8 {
+        call(&format!(r#"{{"cmd":"load","kb":"kb{i}","t":"{THEORY}"}}"#));
+        call(&format!(
+            r#"{{"cmd":"revise","kb":"kb{i}","op":"dalal","p":"{}"}}"#,
+            revision_variant(i % 16)
+        ));
+        call(&format!(r#"{{"cmd":"query","kb":"kb{i}","q":"a | e"}}"#));
+    }
+    let mut page_bytes = 0u64;
+    let (median, trials) = timed_trials(cfg, || {
+        // 50 scrapes per trial lift the figure off the timer floor.
+        for _ in 0..50 {
+            page_bytes = std::hint::black_box(server.metrics_text()).len() as u64;
+        }
+    });
+    let mut scrape = result(cfg, "obs.scrape".into(), median, trials);
+    scrape.extra.push(("scrapes", Value::Number(50.0)));
+    scrape
+        .extra
+        .push(("page_bytes", Value::Number(page_bytes as f64)));
+
+    let observations: Vec<Observation> = (0..32)
+        .map(|i| Observation::counter(format!("bench.counter.{i}"), 0))
+        .chain((0..8).map(|i| Observation::gauge(format!("bench.gauge.{i}"), 0)))
+        .collect();
+    let mut store = SeriesStore::new(DEFAULT_SERIES_CAPACITY);
+    let mut at = 0u64;
+    store.tick(at, &observations); // ring creation off the clock
+    let (tick_median, tick_trials) = timed_trials(cfg, || {
+        // 1000 ticks per trial ≈ 16 minutes of sampling at the
+        // default interval, enough to wrap nothing and time plenty.
+        for _ in 0..1000 {
+            at += 1;
+            store.tick(at, std::hint::black_box(&observations));
+        }
+    });
+    let mut tick = result(cfg, "obs.sample_tick".into(), tick_median, tick_trials);
+    tick.extra.push(("ticks", Value::Number(1000.0)));
+    tick.extra
+        .push(("series", Value::Number(observations.len() as f64)));
+    vec![scrape, tick]
+}
+
 /// Run the whole fixed suite in order.
 pub fn run_suite(cfg: &SuiteConfig) -> Vec<BenchResult> {
     let mut results = compile_benches(cfg);
@@ -774,6 +839,7 @@ pub fn run_suite(cfg: &SuiteConfig) -> Vec<BenchResult> {
     results.extend(server_benches(cfg));
     results.extend(wal_boot_benches(cfg));
     results.extend(repl_benches(cfg));
+    results.extend(obs_benches(cfg));
     results
 }
 

@@ -63,12 +63,17 @@ pub mod chrome;
 pub mod metrics;
 pub mod snapshot;
 pub mod span;
+pub mod timeseries;
 
 pub use check::validate_json;
 pub use chrome::{chrome_trace, trace_file_path, write_chrome_trace, TRACE_FILE_ENV};
 pub use metrics::{estimate_percentile, Counter, Gauge, Histogram, LocalHistogram, HIST_BUCKETS};
 pub use snapshot::{drain, reset, snapshot, HistogramSnapshot, Snapshot, SpanAggregate};
 pub use span::{span, span_with, SpanEvent, SpanGuard};
+pub use timeseries::{
+    sample_interval, Observation, Sampler, SeriesKind, SeriesSnapshot, SeriesStore,
+    DEFAULT_SAMPLE_MS, DEFAULT_SERIES_CAPACITY, SAMPLE_MS_ENV,
+};
 
 use std::sync::atomic::{AtomicU8, Ordering};
 

@@ -19,7 +19,7 @@ const USAGE: &str = "usage: revkb-server (--stdio | --listen ADDR) \
                      [--compile-timeout-ms N] [--cache-cap N] \
                      [--slow-ms N] [--data-dir DIR] \
                      [--wal-sync always|batch|off] [--snapshot-every N] \
-                     [--replica-of HOST:PORT]";
+                     [--replica-of HOST:PORT] [--metrics-addr HOST:PORT]";
 
 enum Transport {
     Stdio,
@@ -101,6 +101,9 @@ fn parse_args(args: &[String]) -> Result<(Transport, ServerConfig), String> {
             "--replica-of" => {
                 config = config.with_replica_of(Some(value(&mut iter, "--replica-of")?));
             }
+            "--metrics-addr" => {
+                config = config.with_metrics_addr(Some(value(&mut iter, "--metrics-addr")?));
+            }
             other => return Err(format!("unknown argument {other:?}")),
         }
     }
@@ -146,6 +149,20 @@ pub fn run(args: &[String]) -> ExitCode {
             status.primary, status.offset
         );
     }
+    // The metrics plane is a sidecar listener: it must not collide
+    // with the stdio data plane, so the banner goes to stderr.
+    let metrics = match server.start_metrics_listener() {
+        Ok(handle) => {
+            if let Some((addr, _)) = &handle {
+                eprintln!("revkb-server: metrics listening {addr}");
+            }
+            handle
+        }
+        Err(e) => {
+            eprintln!("revkb-server: cannot bind metrics listener: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
     let outcome = match transport {
         Transport::Stdio => {
             let stdin = io::stdin();
@@ -171,6 +188,10 @@ pub fn run(args: &[String]) -> ExitCode {
     if let Some(handle) = replication {
         // A stdio session can end at EOF without a `shutdown` command;
         // make sure the apply loop drains either way.
+        server.begin_shutdown();
+        let _ = handle.join();
+    }
+    if let Some((_, handle)) = metrics {
         server.begin_shutdown();
         let _ = handle.join();
     }

@@ -1,0 +1,486 @@
+//! The sidecar metrics plane: a hand-rolled, zero-dependency HTTP/1.1
+//! responder plus the Prometheus text-exposition renderer behind
+//! `revkb-server --metrics-addr`.
+//!
+//! Deliberately **out of band** from the data plane: the NDJSON
+//! protocol keeps its own listener, admission control, and deadlines,
+//! while this listener is GET-only, unauthenticated, answers every
+//! request from in-memory state (no engine work, no KB locks held
+//! across I/O), and closes the connection after one response. A stuck
+//! scraper can therefore never wedge a revision.
+//!
+//! The exposition format is Prometheus text v0.0.4: `# HELP` /
+//! `# TYPE` headers once per metric family, label values escaped
+//! (`\\`, `\"`, `\n`), histograms as cumulative `le` buckets derived
+//! from the workspace's log₂ buckets (bucket *b* ≥ 1 covers
+//! `[2^(b-1), 2^b)`, so its inclusive upper bound is `2^b − 1`).
+
+use std::io::{self, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::time::{Duration, Instant};
+
+/// Environment variable giving the metrics listener address
+/// (equivalent to `--metrics-addr HOST:PORT`).
+pub const METRICS_ADDR_ENV: &str = "REVKB_SERVER_METRICS_ADDR";
+
+/// Content type of `/metrics` responses.
+pub const PROM_CONTENT_TYPE: &str = "text/plain; version=0.0.4; charset=utf-8";
+
+/// Content type of the JSON endpoints.
+pub const JSON_CONTENT_TYPE: &str = "application/json";
+
+/// Prefix every exported metric name carries.
+pub const METRIC_PREFIX: &str = "revkb_";
+
+/// One HTTP response, ready to serialise. Every response closes the
+/// connection (`Connection: close`), so there is no keep-alive state
+/// to manage.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Response {
+    /// HTTP status code (200, 404, 405, 503, …).
+    pub status: u16,
+    /// `Content-Type` header value.
+    pub content_type: &'static str,
+    /// Response body.
+    pub body: String,
+}
+
+impl Response {
+    /// A `200 OK` response.
+    pub fn ok(content_type: &'static str, body: String) -> Self {
+        Response {
+            status: 200,
+            content_type,
+            body,
+        }
+    }
+
+    /// A `404 Not Found` for an unknown path.
+    pub fn not_found(path: &str) -> Self {
+        Response {
+            status: 404,
+            content_type: "text/plain; charset=utf-8",
+            body: format!(
+                "no such endpoint {path}\ntry /metrics /stats.json /series.json /healthz /readyz\n"
+            ),
+        }
+    }
+
+    /// A `405 Method Not Allowed` — this listener is GET-only.
+    pub fn method_not_allowed() -> Self {
+        Response {
+            status: 405,
+            content_type: "text/plain; charset=utf-8",
+            body: "metrics listener is GET-only\n".to_string(),
+        }
+    }
+
+    /// A `400 Bad Request` for an unparseable request line.
+    pub fn bad_request() -> Self {
+        Response {
+            status: 400,
+            content_type: "text/plain; charset=utf-8",
+            body: "malformed HTTP request\n".to_string(),
+        }
+    }
+
+    /// The full wire form: status line, headers, blank line, body.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let reason = match self.status {
+            200 => "OK",
+            400 => "Bad Request",
+            404 => "Not Found",
+            405 => "Method Not Allowed",
+            503 => "Service Unavailable",
+            _ => "Unknown",
+        };
+        let mut out = format!(
+            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+            self.status,
+            reason,
+            self.content_type,
+            self.body.len()
+        )
+        .into_bytes();
+        out.extend_from_slice(self.body.as_bytes());
+        out
+    }
+}
+
+/// Parse an HTTP request head down to the path this listener routes
+/// on: GET-only, query strings stripped. `Err` carries the error
+/// response to send instead.
+pub fn parse_request_head(head: &str) -> Result<String, Response> {
+    let line = head.lines().next().unwrap_or("");
+    let mut parts = line.split_whitespace();
+    let (Some(method), Some(target), Some(version)) = (parts.next(), parts.next(), parts.next())
+    else {
+        return Err(Response::bad_request());
+    };
+    if !version.starts_with("HTTP/") {
+        return Err(Response::bad_request());
+    }
+    if method != "GET" {
+        return Err(Response::method_not_allowed());
+    }
+    let path = target
+        .split(['?', '#'])
+        .next()
+        .unwrap_or_default()
+        .to_string();
+    if !path.starts_with('/') {
+        return Err(Response::bad_request());
+    }
+    Ok(path)
+}
+
+/// Serve HTTP on `listener` until `stop` returns true: accept
+/// nonblocking, one thread per connection (scrapes are cheap, but a
+/// slow reader must not block the next one), every thread joined on
+/// the way out. Mirrors the data plane's accept loop so shutdown
+/// semantics match.
+pub fn serve<S, H>(listener: TcpListener, stop: S, handler: H) -> io::Result<()>
+where
+    S: Fn() -> bool + Clone + Send + Sync + 'static,
+    H: Fn(&str) -> Response + Clone + Send + Sync + 'static,
+{
+    listener.set_nonblocking(true)?;
+    let mut handles = Vec::new();
+    while !stop() {
+        match listener.accept() {
+            Ok((stream, _addr)) => {
+                let stop = stop.clone();
+                let handler = handler.clone();
+                handles.push(std::thread::spawn(move || {
+                    serve_conn(stream, &stop, &handler);
+                }));
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(20));
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    for handle in handles {
+        let _ = handle.join();
+    }
+    Ok(())
+}
+
+/// One connection: read the request head (2 s budget, 8 KiB cap),
+/// route, answer, close.
+fn serve_conn(mut stream: TcpStream, stop: &dyn Fn() -> bool, handler: &dyn Fn(&str) -> Response) {
+    if stream
+        .set_read_timeout(Some(Duration::from_millis(100)))
+        .is_err()
+    {
+        return;
+    }
+    let _ = stream.set_nodelay(true);
+    let mut head = Vec::new();
+    let mut chunk = [0u8; 1024];
+    let deadline = Instant::now() + Duration::from_secs(2);
+    let complete = loop {
+        if stop() || Instant::now() > deadline || head.len() > 8 * 1024 {
+            break false;
+        }
+        match stream.read(&mut chunk) {
+            Ok(0) => break false,
+            Ok(n) => {
+                head.extend_from_slice(&chunk[..n]);
+                if head.windows(4).any(|w| w == b"\r\n\r\n")
+                    || head.windows(2).any(|w| w == b"\n\n")
+                {
+                    break true;
+                }
+            }
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut => {
+            }
+            Err(_) => break false,
+        }
+    };
+    if !complete {
+        return;
+    }
+    let head = String::from_utf8_lossy(&head);
+    let response = match parse_request_head(&head) {
+        Ok(path) => handler(&path),
+        Err(error) => error,
+    };
+    let _ = stream.write_all(&response.to_bytes());
+    let _ = stream.flush();
+}
+
+// ------------------------------------------------------- exposition
+
+/// Map an internal dotted instrument name onto a Prometheus metric
+/// name: `revkb_` prefix, every character outside `[a-zA-Z0-9_:]`
+/// replaced with `_`.
+pub fn metric_name(raw: &str) -> String {
+    let mut out = String::with_capacity(METRIC_PREFIX.len() + raw.len());
+    out.push_str(METRIC_PREFIX);
+    for c in raw.chars() {
+        if c.is_ascii_alphanumeric() || c == '_' || c == ':' {
+            out.push(c);
+        } else {
+            out.push('_');
+        }
+    }
+    out
+}
+
+/// Escape a label value per the text format: backslash, double quote,
+/// and newline.
+pub fn escape_label_value(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// The inclusive upper bound (`le` label) of log₂ bucket `b`: bucket 0
+/// holds only the value 0; bucket `b` ≥ 1 holds `[2^(b-1), 2^b)`,
+/// whose largest integer is `2^b − 1`.
+pub fn le_bound(bucket: usize) -> String {
+    if bucket == 0 {
+        "0".to_string()
+    } else {
+        ((1u128 << bucket) - 1).to_string()
+    }
+}
+
+/// Incremental builder for a Prometheus text-exposition page.
+///
+/// The caller drives family order: one [`PromText::header`] per
+/// family, then any number of [`PromText::sample`] /
+/// [`PromText::histogram`] lines for it.
+#[derive(Debug, Default)]
+pub struct PromText {
+    out: String,
+}
+
+impl PromText {
+    /// An empty page.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Write the `# HELP` / `# TYPE` pair for a family. `raw` is the
+    /// internal name ([`metric_name`] maps it); `kind` is `counter`,
+    /// `gauge`, or `histogram`.
+    pub fn header(&mut self, raw: &str, kind: &str, help: &str) {
+        let name = metric_name(raw);
+        self.out.push_str("# HELP ");
+        self.out.push_str(&name);
+        self.out.push(' ');
+        self.out.push_str(help);
+        self.out.push_str("\n# TYPE ");
+        self.out.push_str(&name);
+        self.out.push(' ');
+        self.out.push_str(kind);
+        self.out.push('\n');
+    }
+
+    /// One sample line: `name{labels} value`.
+    pub fn sample(&mut self, raw: &str, labels: &[(&str, &str)], value: u64) {
+        self.sample_line(&metric_name(raw), labels, &value.to_string());
+    }
+
+    fn sample_line(&mut self, name: &str, labels: &[(&str, &str)], value: &str) {
+        self.out.push_str(name);
+        if !labels.is_empty() {
+            self.out.push('{');
+            for (i, (k, v)) in labels.iter().enumerate() {
+                if i > 0 {
+                    self.out.push(',');
+                }
+                self.out.push_str(k);
+                self.out.push_str("=\"");
+                self.out.push_str(&escape_label_value(v));
+                self.out.push('"');
+            }
+            self.out.push('}');
+        }
+        self.out.push(' ');
+        self.out.push_str(value);
+        self.out.push('\n');
+    }
+
+    /// Render one histogram series (sparse log₂ `buckets`, ascending
+    /// bucket index) as cumulative `le` buckets plus `+Inf`, `_sum`,
+    /// and `_count`. The caller writes the family header once;
+    /// `labels` distinguish series within the family.
+    pub fn histogram(
+        &mut self,
+        raw: &str,
+        labels: &[(&str, &str)],
+        count: u64,
+        sum: u64,
+        buckets: &[(usize, u64)],
+    ) {
+        let name = metric_name(raw);
+        let bucket_name = format!("{name}_bucket");
+        let mut cumulative = 0u64;
+        for (b, c) in buckets {
+            cumulative += c;
+            let le = le_bound(*b);
+            let mut with_le: Vec<(&str, &str)> = Vec::with_capacity(labels.len() + 1);
+            with_le.extend_from_slice(labels);
+            with_le.push(("le", &le));
+            self.sample_line(&bucket_name, &with_le, &cumulative.to_string());
+        }
+        let mut with_le: Vec<(&str, &str)> = Vec::with_capacity(labels.len() + 1);
+        with_le.extend_from_slice(labels);
+        with_le.push(("le", "+Inf"));
+        self.sample_line(&bucket_name, &with_le, &count.to_string());
+        self.sample_line(&format!("{name}_sum"), labels, &sum.to_string());
+        self.sample_line(&format!("{name}_count"), labels, &count.to_string());
+    }
+
+    /// The finished page.
+    pub fn finish(self) -> String {
+        self.out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn metric_names_are_prefixed_and_sanitised() {
+        assert_eq!(metric_name("server.cache.hits"), "revkb_server_cache_hits");
+        assert_eq!(metric_name("wal.append.bytes"), "revkb_wal_append_bytes");
+        assert_eq!(metric_name("weird-name +x"), "revkb_weird_name__x");
+        assert_eq!(metric_name("ok_name:sub"), "revkb_ok_name:sub");
+    }
+
+    #[test]
+    fn label_values_escape_backslash_quote_newline() {
+        assert_eq!(escape_label_value("plain"), "plain");
+        assert_eq!(escape_label_value(r#"a"b"#), r#"a\"b"#);
+        assert_eq!(escape_label_value(r"a\b"), r"a\\b");
+        assert_eq!(escape_label_value("a\nb"), r"a\nb");
+    }
+
+    #[test]
+    fn le_bounds_follow_log2_buckets() {
+        assert_eq!(le_bound(0), "0");
+        assert_eq!(le_bound(1), "1");
+        assert_eq!(le_bound(2), "3");
+        assert_eq!(le_bound(3), "7");
+        assert_eq!(le_bound(10), "1023");
+        assert_eq!(le_bound(64), u64::MAX.to_string());
+    }
+
+    /// The golden pin for the text format: fixed synthetic input,
+    /// exact expected page.
+    #[test]
+    fn golden_exposition_page() {
+        let mut page = PromText::new();
+        page.header("server.requests", "counter", "Requests fully processed.");
+        page.sample("server.requests", &[], 42);
+        page.header("server.kbs", "gauge", "Knowledge bases registered.");
+        page.sample("server.kbs", &[], 3);
+        page.header("kb.queries", "counter", "Queries answered per KB.");
+        page.sample("kb.queries", &[("kb", "plain")], 7);
+        page.sample("kb.queries", &[("kb", "we\"ird\\kb\n")], 1);
+        page.header("server.request.micros", "histogram", "Request latency.");
+        page.histogram(
+            "server.request.micros",
+            &[("cmd", "query")],
+            6,
+            900,
+            &[(0, 1), (3, 2), (8, 3)],
+        );
+        let expected = "\
+# HELP revkb_server_requests Requests fully processed.
+# TYPE revkb_server_requests counter
+revkb_server_requests 42
+# HELP revkb_server_kbs Knowledge bases registered.
+# TYPE revkb_server_kbs gauge
+revkb_server_kbs 3
+# HELP revkb_kb_queries Queries answered per KB.
+# TYPE revkb_kb_queries counter
+revkb_kb_queries{kb=\"plain\"} 7
+revkb_kb_queries{kb=\"we\\\"ird\\\\kb\\n\"} 1
+# HELP revkb_server_request_micros Request latency.
+# TYPE revkb_server_request_micros histogram
+revkb_server_request_micros_bucket{cmd=\"query\",le=\"0\"} 1
+revkb_server_request_micros_bucket{cmd=\"query\",le=\"7\"} 3
+revkb_server_request_micros_bucket{cmd=\"query\",le=\"255\"} 6
+revkb_server_request_micros_bucket{cmd=\"query\",le=\"+Inf\"} 6
+revkb_server_request_micros_sum{cmd=\"query\"} 900
+revkb_server_request_micros_count{cmd=\"query\"} 6
+";
+        assert_eq!(page.finish(), expected);
+    }
+
+    #[test]
+    fn histogram_buckets_are_cumulative_and_bounded_by_count() {
+        let mut page = PromText::new();
+        page.header("h", "histogram", "x");
+        page.histogram("h", &[], 10, 123, &[(1, 4), (2, 3), (5, 3)]);
+        let text = page.finish();
+        let mut last = 0u64;
+        let mut bucket_lines = 0;
+        for line in text.lines().filter(|l| l.starts_with("revkb_h_bucket")) {
+            bucket_lines += 1;
+            let value: u64 = line.rsplit(' ').next().unwrap().parse().unwrap();
+            assert!(value >= last, "bucket counts must be cumulative: {text}");
+            assert!(value <= 10, "no bucket may exceed the count: {text}");
+            last = value;
+        }
+        assert_eq!(bucket_lines, 4); // 3 finite + +Inf
+        assert_eq!(last, 10, "+Inf bucket equals the count");
+    }
+
+    #[test]
+    fn request_head_routing() {
+        assert_eq!(
+            parse_request_head("GET /metrics HTTP/1.1\r\nHost: x\r\n\r\n"),
+            Ok("/metrics".to_string())
+        );
+        assert_eq!(
+            parse_request_head("GET /stats.json?pretty=1 HTTP/1.0\r\n\r\n"),
+            Ok("/stats.json".to_string())
+        );
+        assert_eq!(
+            parse_request_head("POST /metrics HTTP/1.1\r\n\r\n")
+                .unwrap_err()
+                .status,
+            405
+        );
+        assert_eq!(parse_request_head("garbage").unwrap_err().status, 400);
+        assert_eq!(
+            parse_request_head("GET metrics HTTP/1.1")
+                .unwrap_err()
+                .status,
+            400
+        );
+        assert_eq!(
+            parse_request_head("GET /x NOTHTTP").unwrap_err().status,
+            400
+        );
+    }
+
+    #[test]
+    fn responses_serialise_with_content_length_and_close() {
+        let bytes = Response::ok(PROM_CONTENT_TYPE, "abc\n".to_string()).to_bytes();
+        let text = String::from_utf8(bytes).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"), "{text}");
+        assert!(text.contains("Content-Length: 4\r\n"), "{text}");
+        assert!(text.contains("Connection: close\r\n"), "{text}");
+        assert!(text.contains("version=0.0.4"), "{text}");
+        assert!(text.ends_with("\r\n\r\nabc\n"), "{text}");
+        let nf = Response::not_found("/nope").to_bytes();
+        assert!(String::from_utf8(nf).unwrap().starts_with("HTTP/1.1 404"));
+    }
+}

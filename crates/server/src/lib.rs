@@ -28,13 +28,18 @@
 //!   record splitter that reassembles shipped frames, reconnect
 //!   backoff, and the replica's durable-offset state machine;
 //! - [`metrics`]: always-on counters for the `stats` command, mirrored
-//!   into `revkb-obs` instruments when tracing is enabled.
+//!   into `revkb-obs` instruments when tracing is enabled;
+//! - [`http`]: the sidecar metrics plane behind `--metrics-addr` — a
+//!   zero-dependency GET-only HTTP responder serving Prometheus text
+//!   exposition (`/metrics`), JSON state (`/stats.json`,
+//!   `/series.json`), and probes (`/healthz`, `/readyz`).
 //!
 //! See `crates/server/PROTOCOL.md` for the wire format.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod http;
 pub mod json;
 pub mod metrics;
 pub mod protocol;
@@ -43,6 +48,7 @@ pub mod replica;
 pub mod server;
 pub mod wal;
 
+pub use http::METRICS_ADDR_ENV;
 pub use json::Json;
 pub use protocol::{Command, OpName, Request};
 pub use registry::{cache_key, parse_canonical, Artifact, ArtifactCache, KbKind, KbState};

@@ -76,6 +76,12 @@ pub static REPL_SESSIONS: obs::Counter = obs::Counter::new("repl.sessions");
 pub static REPL_DIVERGENCE: obs::Counter = obs::Counter::new("repl.divergence");
 /// Replication lag in bytes (replica side; 0 when caught up).
 pub static REPL_LAG_BYTES: obs::Gauge = obs::Gauge::new("repl.lag.bytes");
+/// Primary wall-clock heartbeats received (replica side).
+pub static REPL_HEARTBEATS: obs::Counter = obs::Counter::new("repl.heartbeats");
+/// Time-based replication lag in milliseconds (replica side): local
+/// clock minus the newest primary clock seen. Keeps growing while
+/// disconnected.
+pub static REPL_LAG_MILLIS: obs::Gauge = obs::Gauge::new("repl.lag.millis");
 
 /// Request-type buckets for per-type latency in `stats`: the ten
 /// command tags ([`crate::protocol::Command::tag`]) plus a catch-all

@@ -328,6 +328,108 @@ impl ArtifactCache {
     }
 }
 
+/// Node count of a formula tree — the size measure the workload
+/// profiles use for revision and query inputs (connectives and leaves
+/// both count one, matching the paper's formula-length measure up to a
+/// constant factor).
+pub fn formula_size(f: &Formula) -> u64 {
+    match f {
+        Formula::True | Formula::False | Formula::Var(_) => 1,
+        Formula::Not(inner) => 1 + formula_size(inner),
+        Formula::And(items) | Formula::Or(items) => 1 + items.iter().map(formula_size).sum::<u64>(),
+        Formula::Implies(a, b) | Formula::Iff(a, b) | Formula::Xor(a, b) => {
+            1 + formula_size(a) + formula_size(b)
+        }
+    }
+}
+
+/// Per-operator revise statistics inside a [`KbProfile`].
+#[derive(Debug, Default, Clone, Copy)]
+pub struct OpProfile {
+    /// Revise commands accepted with this operator.
+    pub revises: u64,
+    /// Total node size of the revision input formulas.
+    pub input_nodes_total: u64,
+    /// Largest single revision input, in nodes.
+    pub input_nodes_max: u64,
+    /// Fresh compiles (cache misses that actually compiled).
+    pub compiles: u64,
+    /// Total compile latency across those compiles, in microseconds.
+    pub compile_micros_total: u64,
+    /// Slowest single compile, in microseconds.
+    pub compile_micros_max: u64,
+}
+
+/// Rolling workload profile of one named KB: its query/revise mix,
+/// input sizes, per-operator compile latencies, and cache behaviour.
+/// Updated under the KB's own mutex on the hot paths (plain counter
+/// bumps, no allocation beyond the first use of an operator) and
+/// surfaced through `stats` and `/metrics` with a `kb` label — the
+/// measured input a future cost-based planner chooses representations
+/// from.
+#[derive(Debug, Default, Clone)]
+pub struct KbProfile {
+    /// `query` / `query_batch` commands served.
+    pub query_commands: u64,
+    /// Individual query formulas answered (each batch member counts).
+    pub queries: u64,
+    /// Total node size of query formulas.
+    pub query_nodes_total: u64,
+    /// Largest single query formula, in nodes.
+    pub query_nodes_max: u64,
+    /// Artifact-cache hits attributable to this KB's revises.
+    pub cache_hits: u64,
+    /// Artifact-cache misses attributable to this KB's revises.
+    pub cache_misses: u64,
+    /// Per-operator revise statistics, in first-use order (tags are
+    /// `OpName` tags, so the set is small and a Vec beats a map).
+    pub ops: Vec<(&'static str, OpProfile)>,
+}
+
+impl KbProfile {
+    /// The profile bucket for operator `tag`, created on first use.
+    pub fn op_mut(&mut self, tag: &'static str) -> &mut OpProfile {
+        if let Some(idx) = self.ops.iter().position(|(t, _)| *t == tag) {
+            return &mut self.ops[idx].1;
+        }
+        self.ops.push((tag, OpProfile::default()));
+        &mut self.ops.last_mut().expect("just pushed").1
+    }
+
+    /// Record one query command answering `count` formulas whose node
+    /// sizes total `nodes_total` with maximum `nodes_max`.
+    pub fn note_queries(&mut self, count: u64, nodes_total: u64, nodes_max: u64) {
+        self.query_commands += 1;
+        self.queries += count;
+        self.query_nodes_total += nodes_total;
+        self.query_nodes_max = self.query_nodes_max.max(nodes_max);
+    }
+
+    /// Record one accepted revise with operator `tag` whose input
+    /// formula has `input_nodes` nodes.
+    pub fn note_revise(&mut self, tag: &'static str, input_nodes: u64) {
+        let op = self.op_mut(tag);
+        op.revises += 1;
+        op.input_nodes_total += input_nodes;
+        op.input_nodes_max = op.input_nodes_max.max(input_nodes);
+    }
+
+    /// Record one fresh compile for operator `tag` taking `micros`.
+    pub fn note_compile(&mut self, tag: &'static str, micros: u64) {
+        let op = self.op_mut(tag);
+        op.compiles += 1;
+        op.compile_micros_total += micros;
+        op.compile_micros_max = op.compile_micros_max.max(micros);
+    }
+
+    /// Artifact-cache hit ratio over this KB's revises, `None` before
+    /// the cache was ever consulted for it.
+    pub fn hit_ratio(&self) -> Option<f64> {
+        let total = self.cache_hits + self.cache_misses;
+        (total > 0).then(|| self.cache_hits as f64 / total as f64)
+    }
+}
+
 /// What kind of engine a KB currently runs (fixed by the first
 /// revision; the iterated constructions are single-operator chains).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -363,6 +465,9 @@ pub struct KbState {
     pub degraded: bool,
     /// Queries answered against this KB since it was loaded.
     pub queries: u64,
+    /// Rolling workload profile (query/revise mix, input sizes,
+    /// compile latencies) surfaced by `stats` and `/metrics`.
+    pub profile: KbProfile,
 }
 
 impl KbState {
@@ -380,6 +485,7 @@ impl KbState {
             engine,
             degraded: false,
             queries: 0,
+            profile: KbProfile::default(),
         }
     }
 
@@ -575,6 +681,45 @@ mod tests {
         let mut keys: Vec<_> = cache.entries().map(|(k, _)| k.clone()).collect();
         keys.sort();
         assert_eq!(keys, ["b", "c"]);
+    }
+
+    #[test]
+    fn formula_size_counts_nodes() {
+        assert_eq!(formula_size(&Formula::True), 1);
+        assert_eq!(formula_size(&v(0)), 1);
+        assert_eq!(formula_size(&v(0).not()), 2);
+        assert_eq!(formula_size(&v(0).and(v(1))), 3);
+        assert_eq!(formula_size(&Formula::And(vec![v(0), v(1), v(2)])), 4);
+        assert_eq!(formula_size(&v(0).implies(v(1).xor(v(2)))), 5);
+    }
+
+    #[test]
+    fn kb_profile_accumulates_workload_statistics() {
+        let mut p = KbProfile::default();
+        assert_eq!(p.hit_ratio(), None);
+        p.note_queries(3, 12, 6);
+        p.note_queries(1, 2, 2);
+        assert_eq!(p.query_commands, 2);
+        assert_eq!(p.queries, 4);
+        assert_eq!(p.query_nodes_total, 14);
+        assert_eq!(p.query_nodes_max, 6);
+        p.note_revise("dalal", 5);
+        p.note_revise("dalal", 9);
+        p.note_revise("widtio", 2);
+        p.note_compile("dalal", 100);
+        p.note_compile("dalal", 40);
+        p.cache_hits += 3;
+        p.cache_misses += 1;
+        let dalal = p.op_mut("dalal");
+        assert_eq!(dalal.revises, 2);
+        assert_eq!(dalal.input_nodes_total, 14);
+        assert_eq!(dalal.input_nodes_max, 9);
+        assert_eq!(dalal.compiles, 2);
+        assert_eq!(dalal.compile_micros_total, 140);
+        assert_eq!(dalal.compile_micros_max, 100);
+        assert_eq!(p.op_mut("widtio").revises, 1);
+        assert_eq!(p.ops.len(), 2);
+        assert_eq!(p.hit_ratio(), Some(0.75));
     }
 
     #[test]

@@ -27,6 +27,17 @@ pub enum Shipped {
     /// A complete, checksum-verified record: the raw frame bytes
     /// (header + payload), ready to apply and append verbatim.
     Record(Vec<u8>),
+    /// A keepalive from the primary: its wall clock and committed log
+    /// length at send time. Heartbeats live only on the wire — they
+    /// are never appended to either log and never advance the resume
+    /// offset.
+    Heartbeat {
+        /// The primary's epoch milliseconds when the frame was sent.
+        epoch_millis: u64,
+        /// The primary's committed log length in bytes (the replica's
+        /// lag target).
+        committed: u64,
+    },
     /// The buffered bytes end mid-record; read more from the socket.
     /// (On disconnect these bytes are dropped — they re-ship on
     /// resume, exactly like a torn tail truncates on recovery.)
@@ -36,6 +47,40 @@ pub enum Shipped {
     /// record from a verified offset), so this is divergence or
     /// corruption, never a framing guess gone wrong.
     Corrupt(String),
+}
+
+/// `len` header value marking a heartbeat frame. Real records are
+/// bounded by `MAX_RECORD_LEN` (16 MiB), so the all-ones length can
+/// never collide with on-disk framing — which is exactly why
+/// heartbeats may share the wire with WAL records without ever
+/// touching the log itself.
+pub const HEARTBEAT_SENTINEL: u32 = u32::MAX;
+
+/// Total bytes in a heartbeat frame: 8-byte header + 16-byte payload.
+pub const HEARTBEAT_FRAME_LEN: usize = 24;
+
+/// Encode a heartbeat frame carrying the primary's wall clock and
+/// committed log length:
+/// `[sentinel:u32le][crc:u32le][epoch_millis:u64le][committed:u64le]`,
+/// checksummed with the same CRC as record payloads so line noise
+/// cannot fake one.
+pub fn encode_heartbeat(epoch_millis: u64, committed: u64) -> [u8; HEARTBEAT_FRAME_LEN] {
+    let mut payload = [0u8; 16];
+    payload[..8].copy_from_slice(&epoch_millis.to_le_bytes());
+    payload[8..].copy_from_slice(&committed.to_le_bytes());
+    let mut frame = [0u8; HEARTBEAT_FRAME_LEN];
+    frame[..4].copy_from_slice(&HEARTBEAT_SENTINEL.to_le_bytes());
+    frame[4..8].copy_from_slice(&crc32(&payload).to_le_bytes());
+    frame[8..].copy_from_slice(&payload);
+    frame
+}
+
+/// Milliseconds since the Unix epoch (0 if the clock is before it).
+pub fn epoch_millis() -> u64 {
+    std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| u64::try_from(d.as_millis()).unwrap_or(u64::MAX))
+        .unwrap_or(0)
 }
 
 /// Incremental record splitter over the shipped byte stream.
@@ -79,6 +124,26 @@ impl RecordSplitter {
         };
         let len = u32::from_le_bytes(header[..4].try_into().expect("4 bytes"));
         let crc = u32::from_le_bytes(header[4..].try_into().expect("4 bytes"));
+        if len == HEARTBEAT_SENTINEL {
+            let Some(frame) = bytes.get(..HEARTBEAT_FRAME_LEN) else {
+                return Shipped::NeedMore;
+            };
+            let payload = &frame[8..];
+            let actual = crc32(payload);
+            if actual != crc {
+                return Shipped::Corrupt(format!(
+                    "heartbeat checksum mismatch: header says {crc:#010x}, payload hashes \
+                     to {actual:#010x}"
+                ));
+            }
+            let epoch_millis = u64::from_le_bytes(payload[..8].try_into().expect("8 bytes"));
+            let committed = u64::from_le_bytes(payload[8..].try_into().expect("8 bytes"));
+            self.start += HEARTBEAT_FRAME_LEN;
+            return Shipped::Heartbeat {
+                epoch_millis,
+                committed,
+            };
+        }
         if len > MAX_RECORD_LEN {
             return Shipped::Corrupt(format!(
                 "record header claims {len} payload bytes (bound {MAX_RECORD_LEN}): \
@@ -180,6 +245,12 @@ pub struct ReplState {
     pub sessions: u64,
     /// Artifacts pre-warmed from the bootstrap snapshot.
     pub snapshot_artifacts: u64,
+    /// The primary's wall clock (epoch millis) from the newest
+    /// heartbeat, `None` before the first one arrives.
+    pub primary_clock_millis: Option<u64>,
+    /// Local wall clock (epoch millis) when the last record was
+    /// applied or heartbeat received — the freshness anchor.
+    pub last_record_at_millis: Option<u64>,
 }
 
 impl ReplState {
@@ -197,12 +268,39 @@ impl ReplState {
             apply_errors: 0,
             sessions: 0,
             snapshot_artifacts: 0,
+            primary_clock_millis: None,
+            last_record_at_millis: None,
         }
     }
 
     /// Replication lag in bytes (0 when caught up).
     pub fn lag_bytes(&self) -> u64 {
         self.target.saturating_sub(self.offset)
+    }
+
+    /// Note a heartbeat (or record) carrying the primary's wall clock,
+    /// received at local time `now_millis`.
+    pub fn observe_heartbeat(&mut self, primary_millis: u64, now_millis: u64) {
+        self.primary_clock_millis = Some(primary_millis);
+        self.last_record_at_millis = Some(now_millis);
+    }
+
+    /// Time-based replication lag: local wall clock minus the newest
+    /// primary clock seen. Keeps *growing* while disconnected (the
+    /// primary clock sample ages), so a dead stream reads as rising
+    /// lag rather than a frozen byte count. `None` before the first
+    /// heartbeat, and clamped at 0 against clock skew.
+    pub fn lag_millis(&self, now_millis: u64) -> Option<u64> {
+        self.primary_clock_millis
+            .map(|p| now_millis.saturating_sub(p))
+    }
+
+    /// Milliseconds since the replica last heard from the primary
+    /// (records or heartbeats). Pure local-clock staleness — immune to
+    /// primary/replica skew.
+    pub fn stale_millis(&self, now_millis: u64) -> Option<u64> {
+        self.last_record_at_millis
+            .map(|t| now_millis.saturating_sub(t))
     }
 }
 
@@ -228,10 +326,17 @@ pub struct ReplStatus {
     pub sessions: u64,
     /// See [`ReplState::lag_bytes`].
     pub lag_bytes: u64,
+    /// See [`ReplState::lag_millis`] (evaluated at snapshot time).
+    pub lag_millis: Option<u64>,
+    /// See [`ReplState::last_record_at_millis`].
+    pub last_record_at_millis: Option<u64>,
+    /// See [`ReplState::stale_millis`] (evaluated at snapshot time).
+    pub stale_millis: Option<u64>,
 }
 
 impl From<&ReplState> for ReplStatus {
     fn from(s: &ReplState) -> Self {
+        let now = epoch_millis();
         ReplStatus {
             primary: s.primary.clone(),
             connected: s.connected,
@@ -242,6 +347,9 @@ impl From<&ReplState> for ReplStatus {
             apply_errors: s.apply_errors,
             sessions: s.sessions,
             lag_bytes: s.lag_bytes(),
+            lag_millis: s.lag_millis(now),
+            last_record_at_millis: s.last_record_at_millis,
+            stale_millis: s.stale_millis(now),
         }
     }
 }
@@ -315,6 +423,7 @@ mod tests {
                     Shipped::Record(r) => out.push(r),
                     Shipped::NeedMore => break,
                     Shipped::Corrupt(m) => panic!("corrupt: {m}"),
+                    Shipped::Heartbeat { .. } => panic!("no heartbeats in this stream"),
                 }
             }
         }
@@ -380,6 +489,73 @@ mod tests {
         assert_eq!(from_hex("DEad"), Some(vec![0xDE, 0xAD]));
         assert_eq!(from_hex("abc"), None);
         assert_eq!(from_hex("zz"), None);
+    }
+
+    #[test]
+    fn splitter_passes_heartbeats_through_without_consuming_offset() {
+        // Interleave: record, heartbeat, record — the heartbeat rides
+        // the wire between records and never shows up as a record.
+        let mut stream = records()[0].clone();
+        stream.extend_from_slice(&encode_heartbeat(1_700_000_000_123, 4096));
+        stream.extend_from_slice(&records()[1]);
+        let mut splitter = RecordSplitter::new();
+        splitter.extend(&stream);
+        assert_eq!(
+            splitter.next_record(),
+            Shipped::Record(records()[0].clone())
+        );
+        assert_eq!(
+            splitter.next_record(),
+            Shipped::Heartbeat {
+                epoch_millis: 1_700_000_000_123,
+                committed: 4096
+            }
+        );
+        assert_eq!(
+            splitter.next_record(),
+            Shipped::Record(records()[1].clone())
+        );
+        assert_eq!(splitter.next_record(), Shipped::NeedMore);
+    }
+
+    #[test]
+    fn partial_or_corrupt_heartbeats_are_handled_like_records() {
+        let frame = encode_heartbeat(42, 99);
+        // Short: wait for the rest.
+        let mut splitter = RecordSplitter::new();
+        splitter.extend(&frame[..HEARTBEAT_FRAME_LEN - 1]);
+        assert_eq!(splitter.next_record(), Shipped::NeedMore);
+        splitter.extend(&frame[HEARTBEAT_FRAME_LEN - 1..]);
+        assert_eq!(
+            splitter.next_record(),
+            Shipped::Heartbeat {
+                epoch_millis: 42,
+                committed: 99
+            }
+        );
+        // Flipped payload byte: corrupt, not a bogus timestamp.
+        let mut bad = frame;
+        bad[9] ^= 0x01;
+        let mut splitter = RecordSplitter::new();
+        splitter.extend(&bad);
+        assert!(matches!(splitter.next_record(), Shipped::Corrupt(_)));
+    }
+
+    #[test]
+    fn time_lag_grows_from_the_last_heartbeat_and_clamps_on_skew() {
+        let mut s = ReplState::new("127.0.0.1:1".into(), 8, None);
+        assert_eq!(s.lag_millis(5_000), None);
+        assert_eq!(s.stale_millis(5_000), None);
+        s.observe_heartbeat(4_900, 5_000);
+        assert_eq!(s.lag_millis(5_000), Some(100));
+        assert_eq!(s.stale_millis(5_000), Some(0));
+        // Disconnected: the same sample keeps aging instead of
+        // freezing.
+        assert_eq!(s.lag_millis(12_000), Some(7_100));
+        assert_eq!(s.stale_millis(12_000), Some(7_000));
+        // A primary clock ahead of ours clamps to zero, no underflow.
+        s.observe_heartbeat(20_000, 12_500);
+        assert_eq!(s.lag_millis(12_500), Some(0));
     }
 
     #[test]

@@ -24,13 +24,19 @@
 //! `REVKB_SERVER_SLOW_MS` land in a bounded `slow_log` ring buffer
 //! returned by `stats`.
 
+use crate::http;
 use crate::json::Json;
 use crate::metrics::{self, ServerCounters};
 use crate::protocol::{
     codes, err_response, ok_response, parse_request, Command, OpName, Request, RequestError,
 };
-use crate::registry::{cache_key, Artifact, ArtifactCache, KbKind, KbState};
-use crate::replica::{from_hex, to_hex, Backoff, RecordSplitter, ReplState, ReplStatus, Shipped};
+use crate::registry::{
+    cache_key, formula_size, Artifact, ArtifactCache, KbKind, KbProfile, KbState,
+};
+use crate::replica::{
+    encode_heartbeat, epoch_millis, from_hex, to_hex, Backoff, RecordSplitter, ReplState,
+    ReplStatus, Shipped,
+};
 use crate::wal::{decode_records, RecoveryReport, SyncMode, Wal, WalOp, LOG_MAGIC, SNAPSHOT_FILE};
 use revkb_logic::{parse as parse_formula, Formula, Signature};
 use revkb_obs as obs;
@@ -42,7 +48,7 @@ use revkb_revision::{
 use std::collections::{HashMap, VecDeque};
 use std::fs::File;
 use std::io::{self, BufRead, Read, Seek, SeekFrom, Write};
-use std::net::{TcpListener, TcpStream};
+use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
@@ -73,6 +79,19 @@ pub const REPLICA_OF_ENV: &str = "REVKB_REPLICA_OF";
 /// How long the replication stream sleeps between tail polls when it
 /// has caught up with the primary's committed bytes.
 const TAIL_POLL: Duration = Duration::from_millis(15);
+
+/// How often a caught-up primary sends a wall-clock heartbeat down
+/// each replication stream (the replica's `repl.lag.millis` source).
+const HEARTBEAT_MS: u64 = 500;
+
+/// A disconnected replica that has not heard from its primary for
+/// this long stops reporting ready on `/readyz`.
+pub const READY_STALE_MS: u64 = 10_000;
+
+/// How many sampler ticks between incremental Chrome-trace flushes
+/// (`REVKB_TRACE=chrome` only): at the default 1 s interval a
+/// SIGKILL'd server loses at most ~5 s of trace.
+const CHROME_FLUSH_TICKS: u64 = 5;
 
 fn env_usize(name: &str) -> Option<usize> {
     std::env::var(name).ok()?.trim().parse().ok()
@@ -129,6 +148,10 @@ pub struct ServerConfig {
     /// handlers recovery uses, serves `query`/`query_batch`/`stats`,
     /// and rejects writes with the stable `read_only` code.
     pub replica_of: Option<String>,
+    /// `HOST:PORT` for the sidecar metrics listener (`/metrics`,
+    /// `/stats.json`, `/series.json`, `/healthz`, `/readyz`). `None`
+    /// (the default) serves no metrics plane.
+    pub metrics_addr: Option<String>,
 }
 
 impl Default for ServerConfig {
@@ -146,6 +169,7 @@ impl Default for ServerConfig {
             wal_sync: SyncMode::Always,
             snapshot_every: crate::wal::DEFAULT_SNAPSHOT_EVERY,
             replica_of: None,
+            metrics_addr: None,
         }
     }
 }
@@ -196,6 +220,11 @@ impl ServerConfig {
         if let Ok(primary) = std::env::var(REPLICA_OF_ENV) {
             if !primary.trim().is_empty() {
                 config.replica_of = Some(primary.trim().to_string());
+            }
+        }
+        if let Ok(addr) = std::env::var(http::METRICS_ADDR_ENV) {
+            if !addr.trim().is_empty() {
+                config.metrics_addr = Some(addr.trim().to_string());
             }
         }
         config
@@ -271,6 +300,12 @@ impl ServerConfig {
     /// becomes a read-only replica.
     pub fn with_replica_of(mut self, primary: Option<String>) -> Self {
         self.replica_of = primary;
+        self
+    }
+
+    /// Set (or clear) the sidecar metrics listener address.
+    pub fn with_metrics_addr(mut self, addr: Option<String>) -> Self {
+        self.metrics_addr = addr;
         self
     }
 }
@@ -378,6 +413,10 @@ struct Inner {
     repl_handshakes: AtomicU64,
     /// Primary-side: handshakes refused for divergence.
     repl_refusals: AtomicU64,
+    /// Background time-series sampler feeding `/series.json` and the
+    /// `series` section of `stats` (populated right after
+    /// construction; `None` only mid-build).
+    sampler: Mutex<Option<obs::Sampler>>,
 }
 
 /// The revision service. Cheap to clone (shared state behind an
@@ -505,7 +544,7 @@ impl Server {
             let offset = wal.as_ref().map_or(LOG_MAGIC.len() as u64, |wal| wal.bytes);
             Mutex::new(ReplState::new(primary, offset, last_record))
         });
-        Self {
+        let server = Self {
             inner: Arc::new(Inner {
                 gate: ExecGate::new(config.threads.max(1)),
                 config,
@@ -525,8 +564,46 @@ impl Server {
                 repl_shipped_bytes: AtomicU64::new(0),
                 repl_handshakes: AtomicU64::new(0),
                 repl_refusals: AtomicU64::new(0),
+                sampler: Mutex::new(None),
             }),
-        }
+        };
+        server.start_sampler();
+        server
+    }
+
+    /// Spawn the background time-series sampler. The source closure
+    /// holds only a `Weak` on the server state (a strong reference
+    /// would keep `Inner` alive forever) and returns `None` — stopping
+    /// the thread — once the server is dropped or shutting down.
+    fn start_sampler(&self) {
+        let weak = Arc::downgrade(&self.inner);
+        let mut ticks = 0u64;
+        let sampler = obs::Sampler::start(
+            obs::sample_interval(),
+            obs::DEFAULT_SERIES_CAPACITY,
+            move || {
+                let inner = weak.upgrade()?;
+                if inner.shutdown.load(Ordering::SeqCst) {
+                    return None;
+                }
+                ticks += 1;
+                // Piggyback the incremental Chrome-trace flush on the
+                // sampling cadence: under REVKB_TRACE=chrome the trace
+                // file is rewritten every few ticks (non-destructive
+                // snapshot, full rewrite), so a SIGKILL'd server still
+                // leaves a usable trace prefix. The clean-exit drain
+                // in the binary supersedes the last flush.
+                if ticks.is_multiple_of(CHROME_FLUSH_TICKS) && obs::mode() == obs::TraceMode::Chrome
+                {
+                    let snap = obs::snapshot();
+                    if !snap.is_empty() {
+                        let _ = obs::write_chrome_trace(&obs::trace_file_path(), &snap);
+                    }
+                }
+                Some(sample_observations(&inner))
+            },
+        );
+        *self.inner.sampler.lock().expect("sampler poisoned") = Some(sampler);
     }
 
     /// Re-apply one logged operation through the normal command paths
@@ -885,65 +962,95 @@ impl Server {
         let handle = self.kb_handle(name)?;
         let mut kb = handle.lock().expect("kb poisoned");
         let p = parse_formula(p_text, &mut kb.sig).map_err(|e| engine_err(e.into()))?;
-        let (engine, kind, outcome): (Box<dyn Engine + Send>, KbKind, CacheOutcome) =
-            match (kb.kind, op) {
-                (KbKind::Gfuv, _) => {
-                    return Err((
-                        codes::UNSUPPORTED,
-                        "a GFUV base cannot be revised again: the possible-worlds \
+        let p_nodes = formula_size(&p);
+        #[allow(clippy::type_complexity)]
+        let (engine, kind, outcome, compile_micros): (
+            Box<dyn Engine + Send>,
+            KbKind,
+            CacheOutcome,
+            Option<u64>,
+        ) = match (kb.kind, op) {
+            (KbKind::Gfuv, _) => {
+                return Err((
+                    codes::UNSUPPORTED,
+                    "a GFUV base cannot be revised again: the possible-worlds \
                          form has no iterated construction"
-                            .to_string(),
-                    ));
-                }
-                (KbKind::Unrevised | KbKind::ModelBased(_), OpName::Model(m)) => {
-                    if let KbKind::ModelBased(prev) = kb.kind {
-                        if prev != m {
-                            return Err(operator_mismatch(prev, op));
-                        }
+                        .to_string(),
+                ));
+            }
+            (KbKind::Unrevised | KbKind::ModelBased(_), OpName::Model(m)) => {
+                if let KbKind::ModelBased(prev) = kb.kind {
+                    if prev != m {
+                        return Err(operator_mismatch(prev, op));
                     }
-                    let mut ps = kb.revisions.clone();
-                    ps.push(p.clone());
-                    let (engine, outcome) = self.model_based_engine(&kb, m, &ps, backend, req)?;
-                    (engine, KbKind::ModelBased(m), outcome)
                 }
-                (KbKind::Unrevised, OpName::Gfuv) => {
-                    let theory = Theory::new(kb.theory.iter().cloned());
-                    let engine =
-                        GfuvEngine::compile(theory, p.clone(), self.inner.config.worlds_budget)
-                            .map_err(|e| engine_err(e.into()))?;
-                    (Box::new(engine), KbKind::Gfuv, CacheOutcome::Bypass)
+                let mut ps = kb.revisions.clone();
+                ps.push(p.clone());
+                let (engine, outcome, micros) =
+                    self.model_based_engine(&kb, m, &ps, backend, req)?;
+                (engine, KbKind::ModelBased(m), outcome, micros)
+            }
+            (KbKind::Unrevised, OpName::Gfuv) => {
+                let theory = Theory::new(kb.theory.iter().cloned());
+                let compile_start = Instant::now();
+                let engine =
+                    GfuvEngine::compile(theory, p.clone(), self.inner.config.worlds_budget)
+                        .map_err(|e| engine_err(e.into()))?;
+                let micros = u64::try_from(compile_start.elapsed().as_micros()).unwrap_or(u64::MAX);
+                (
+                    Box::new(engine),
+                    KbKind::Gfuv,
+                    CacheOutcome::Bypass,
+                    Some(micros),
+                )
+            }
+            (KbKind::Unrevised | KbKind::Widtio, OpName::Widtio) => {
+                // Iterated WIDTIO: the kept sub-theory of step i is
+                // the theory revised at step i+1.
+                let mut theory = Theory::new(kb.theory.iter().cloned());
+                for prev in &kb.revisions {
+                    theory = widtio(&theory, prev);
                 }
-                (KbKind::Unrevised | KbKind::Widtio, OpName::Widtio) => {
-                    // Iterated WIDTIO: the kept sub-theory of step i is
-                    // the theory revised at step i+1.
-                    let mut theory = Theory::new(kb.theory.iter().cloned());
-                    for prev in &kb.revisions {
-                        theory = widtio(&theory, prev);
+                let compile_start = Instant::now();
+                let engine = WidtioEngine::compile(&theory, &p);
+                let micros = u64::try_from(compile_start.elapsed().as_micros()).unwrap_or(u64::MAX);
+                (
+                    Box::new(engine),
+                    KbKind::Widtio,
+                    CacheOutcome::Bypass,
+                    Some(micros),
+                )
+            }
+            (prev_kind, _) => {
+                let prev = match prev_kind {
+                    KbKind::ModelBased(prev) => prev,
+                    _ => {
+                        return Err((
+                            codes::OPERATOR_MISMATCH,
+                            format!(
+                                "KB was revised with {:?} and cannot switch to {:?}",
+                                kind_tag(prev_kind),
+                                op.tag()
+                            ),
+                        ));
                     }
-                    let engine = WidtioEngine::compile(&theory, &p);
-                    (Box::new(engine), KbKind::Widtio, CacheOutcome::Bypass)
-                }
-                (prev_kind, _) => {
-                    let prev = match prev_kind {
-                        KbKind::ModelBased(prev) => prev,
-                        _ => {
-                            return Err((
-                                codes::OPERATOR_MISMATCH,
-                                format!(
-                                    "KB was revised with {:?} and cannot switch to {:?}",
-                                    kind_tag(prev_kind),
-                                    op.tag()
-                                ),
-                            ));
-                        }
-                    };
-                    return Err(operator_mismatch(prev, op));
-                }
-            };
+                };
+                return Err(operator_mismatch(prev, op));
+            }
+        };
         kb.revisions.push(p);
         kb.kind = kind;
         kb.degraded = matches!(outcome, CacheOutcome::Degraded);
         kb.engine = engine;
+        kb.profile.note_revise(op.tag(), p_nodes);
+        match outcome {
+            CacheOutcome::Hit => kb.profile.cache_hits += 1,
+            CacheOutcome::Miss => kb.profile.cache_misses += 1,
+            CacheOutcome::Bypass | CacheOutcome::Degraded => {}
+        }
+        if let Some(micros) = compile_micros {
+            kb.profile.note_compile(op.tag(), micros);
+        }
         // Logged under the KB lock, after the revise took effect: a
         // record in the log is a revise the client was (about to be)
         // told succeeded, never a partially applied one.
@@ -971,7 +1078,10 @@ impl Server {
     }
 
     /// Compile (or fetch from cache) the engine for a model-based
-    /// revision chain `T * P¹ * … * Pᵐ`.
+    /// revision chain `T * P¹ * … * Pᵐ`. The third element is the
+    /// compile latency in microseconds (`None` on a cache hit or a
+    /// degraded fallback, where no compile finished).
+    #[allow(clippy::type_complexity)]
     fn model_based_engine(
         &self,
         kb: &KbState,
@@ -979,7 +1089,7 @@ impl Server {
         ps: &[Formula],
         backend: Backend,
         req: u64,
-    ) -> Result<(Box<dyn Engine + Send>, CacheOutcome), ExecError> {
+    ) -> Result<(Box<dyn Engine + Send>, CacheOutcome, Option<u64>), ExecError> {
         let key = cache_key(OpName::Model(op), backend, &kb.theory, ps);
         {
             let mut cache = self.inner.cache.lock().expect("cache poisoned");
@@ -990,7 +1100,7 @@ impl Server {
                     artifact.base,
                     artifact.logical,
                 );
-                return Ok((Box::new(rep), CacheOutcome::Hit));
+                return Ok((Box::new(rep), CacheOutcome::Hit, None));
             }
             metrics::CACHE_MISSES.inc();
         }
@@ -1014,7 +1124,7 @@ impl Server {
                 let evictions_before = cache.evictions;
                 cache.insert(key, artifact);
                 metrics::CACHE_EVICTIONS.add(cache.evictions - evictions_before);
-                Ok((Box::new(revised), CacheOutcome::Miss))
+                Ok((Box::new(revised), CacheOutcome::Miss, Some(micros)))
             }
             Some(Err(e)) => Err(engine_err(e)),
             None => {
@@ -1026,7 +1136,7 @@ impl Server {
                 for p in ps {
                     delayed.revise(p.clone());
                 }
-                Ok((Box::new(delayed), CacheOutcome::Degraded))
+                Ok((Box::new(delayed), CacheOutcome::Degraded, None))
             }
         }
     }
@@ -1075,6 +1185,8 @@ impl Server {
         let q = parse_formula(q_text, &mut kb.sig).map_err(|e| engine_err(e.into()))?;
         let answer = kb.engine.try_entails(&q).map_err(engine_err)?;
         kb.queries += 1;
+        let nodes = formula_size(&q);
+        kb.profile.note_queries(1, nodes, nodes);
         Ok(Json::obj([
             ("kb", Json::str(name)),
             ("entails", Json::Bool(answer)),
@@ -1090,6 +1202,12 @@ impl Server {
         }
         let answers = kb.engine.par_entails_batch(&queries).map_err(engine_err)?;
         kb.queries += answers.len() as u64;
+        let sizes = queries.iter().map(formula_size);
+        kb.profile.note_queries(
+            answers.len() as u64,
+            sizes.clone().sum(),
+            sizes.max().unwrap_or(0),
+        );
         Ok(Json::obj([
             ("kb", Json::str(name)),
             (
@@ -1155,6 +1273,13 @@ impl Server {
     }
 
     fn stats_response(&self, request: &Request, req: u64) -> String {
+        ok_response(&request.id, req, self.stats_json())
+    }
+
+    /// The full `stats` payload as a JSON object — the body of the
+    /// wire `stats` response and of the HTTP `/stats.json` endpoint,
+    /// byte-identical between the two so dashboards can use either.
+    pub fn stats_json(&self) -> Json {
         let counters = &self.inner.counters;
         let cache_json = {
             let cache = self.inner.cache.lock().expect("cache poisoned");
@@ -1237,6 +1362,10 @@ impl Server {
             Some(repl) => {
                 let s = repl.lock().expect("repl poisoned");
                 metrics::REPL_LAG_BYTES.set(s.lag_bytes());
+                let now = epoch_millis();
+                if let Some(lag) = s.lag_millis(now) {
+                    metrics::REPL_LAG_MILLIS.set(lag);
+                }
                 Json::obj([
                     ("role", Json::str("replica")),
                     ("primary", Json::str(&s.primary)),
@@ -1245,6 +1374,12 @@ impl Server {
                     ("offset", num(s.offset)),
                     ("target", num(s.target)),
                     ("lag_bytes", num(s.lag_bytes())),
+                    ("lag_millis", s.lag_millis(now).map_or(Json::Null, num)),
+                    (
+                        "last_record_at_millis",
+                        s.last_record_at_millis.map_or(Json::Null, num),
+                    ),
+                    ("stale_millis", s.stale_millis(now).map_or(Json::Null, num)),
                     ("records_applied", num(s.records_applied)),
                     ("apply_errors", num(s.apply_errors)),
                     ("sessions", num(s.sessions)),
@@ -1275,28 +1410,128 @@ impl Server {
                 ),
             ]),
         };
-        ok_response(
-            &request.id,
-            req,
-            Json::obj([
-                ("requests", num(counters.requests_total())),
-                ("overloaded", num(counters.overloaded_total())),
-                ("timeouts", num(counters.timeouts_total())),
-                ("errors", num(counters.errors_total())),
-                ("degraded", num(counters.degraded_total())),
+        Json::obj([
+            ("requests", num(counters.requests_total())),
+            ("overloaded", num(counters.overloaded_total())),
+            ("timeouts", num(counters.timeouts_total())),
+            ("errors", num(counters.errors_total())),
+            ("degraded", num(counters.degraded_total())),
+            (
+                "in_flight",
+                num(self.inner.in_flight.load(Ordering::Relaxed) as u64),
+            ),
+            ("kbs", num(kbs as u64)),
+            ("cache", cache_json),
+            ("request_latency", latency_json),
+            ("slow_ms", num(self.inner.config.slow_ms)),
+            ("slow_log", slow_json),
+            ("wal", wal_json),
+            ("repl", repl_json),
+            ("kb_profiles", self.kb_profiles_json()),
+            ("series", self.series_json()),
+        ])
+    }
+
+    /// Per-KB workload profiles as a JSON array (sorted by KB name) —
+    /// the `kb_profiles` section of `stats`. Rolling counts of the
+    /// query/revise mix, formula sizes, per-operator compile
+    /// latencies, and cache behaviour, per named KB.
+    pub fn kb_profiles_json(&self) -> Json {
+        let handles: Vec<(String, Arc<Mutex<KbState>>)> = {
+            let registry = self.inner.registry.lock().expect("registry poisoned");
+            let mut entries: Vec<_> = registry
+                .iter()
+                .map(|(name, handle)| (name.clone(), Arc::clone(handle)))
+                .collect();
+            entries.sort_by(|a, b| a.0.cmp(&b.0));
+            entries
+        };
+        let mut profiles = Vec::with_capacity(handles.len());
+        for (name, handle) in handles {
+            let kb = handle.lock().expect("kb poisoned");
+            let ops = kb
+                .profile
+                .ops
+                .iter()
+                .map(|(tag, op)| {
+                    Json::obj([
+                        ("op", Json::str(*tag)),
+                        ("revises", num(op.revises)),
+                        ("input_nodes_total", num(op.input_nodes_total)),
+                        ("input_nodes_max", num(op.input_nodes_max)),
+                        ("compiles", num(op.compiles)),
+                        ("compile_micros_total", num(op.compile_micros_total)),
+                        ("compile_micros_max", num(op.compile_micros_max)),
+                    ])
+                })
+                .collect();
+            profiles.push(Json::obj([
+                ("kb", Json::str(&name)),
+                ("kind", Json::str(kind_tag(kb.kind))),
+                ("letters", num(kb.sig.len() as u64)),
+                ("revisions", num(kb.revisions.len() as u64)),
+                ("query_commands", num(kb.profile.query_commands)),
+                ("queries", num(kb.profile.queries)),
+                ("query_nodes_total", num(kb.profile.query_nodes_total)),
+                ("query_nodes_max", num(kb.profile.query_nodes_max)),
+                ("cache_hits", num(kb.profile.cache_hits)),
+                ("cache_misses", num(kb.profile.cache_misses)),
                 (
-                    "in_flight",
-                    num(self.inner.in_flight.load(Ordering::Relaxed) as u64),
+                    "cache_hit_ratio",
+                    kb.profile.hit_ratio().map_or(Json::Null, Json::Num),
                 ),
-                ("kbs", num(kbs as u64)),
-                ("cache", cache_json),
-                ("request_latency", latency_json),
-                ("slow_ms", num(self.inner.config.slow_ms)),
-                ("slow_log", slow_json),
-                ("wal", wal_json),
-                ("repl", repl_json),
-            ]),
-        )
+                ("ops", Json::Arr(ops)),
+                (
+                    "compiled_size",
+                    kb.engine
+                        .compiled_size()
+                        .map_or(Json::Null, |s| num(s as u64)),
+                ),
+            ]));
+        }
+        Json::Arr(profiles)
+    }
+
+    /// The sampler's ring buffers as a JSON object — the body of the
+    /// HTTP `/series.json` endpoint and the `series` section of
+    /// `stats`. Counter series hold per-tick deltas, gauge series raw
+    /// values; timestamps are milliseconds since the sampler started.
+    pub fn series_json(&self) -> Json {
+        let sampler = self.inner.sampler.lock().expect("sampler poisoned");
+        let (interval_ms, capacity, series) = match sampler.as_ref() {
+            Some(s) => {
+                let interval_ms = s.interval().as_millis() as u64;
+                // One store lock at a time: a guard held across a
+                // second `lock()` of the same mutex would self-deadlock.
+                let capacity = {
+                    let store = s.store();
+                    let store = store.lock().expect("series store poisoned");
+                    store.capacity()
+                };
+                (interval_ms, capacity, s.series())
+            }
+            None => (obs::sample_interval().as_millis() as u64, 0, Vec::new()),
+        };
+        let arr = series
+            .into_iter()
+            .map(|s| {
+                let points = s
+                    .points
+                    .iter()
+                    .map(|(at, v)| Json::Arr(vec![num(*at), num(*v)]))
+                    .collect();
+                Json::obj([
+                    ("name", Json::str(&s.name)),
+                    ("kind", Json::str(s.kind.tag())),
+                    ("points", Json::Arr(points)),
+                ])
+            })
+            .collect();
+        Json::obj([
+            ("interval_ms", num(interval_ms)),
+            ("capacity", num(capacity as u64)),
+            ("series", Json::Arr(arr)),
+        ])
     }
 
     /// The boot recovery summary, when this server was opened from a
@@ -1390,11 +1625,29 @@ impl Server {
         if file.seek(SeekFrom::Start(resume)).is_err() {
             return;
         }
+        // Heartbeats start only once the replica is caught up, so
+        // the pending-record region of the stream stays byte-for-byte
+        // identical to the log: replicas (and fault harnesses) see
+        // record bytes at their exact log offsets.
+        let mut last_beat: Option<Instant> = None;
         let mut pos = resume;
         let mut chunk = vec![0u8; 64 * 1024];
         while !self.is_shutting_down() {
             let committed = self.wal_committed_bytes().unwrap_or(pos);
             if pos >= committed {
+                // Caught up: keep the replica's clock-lag estimate
+                // fresh. Heartbeats are stream-only frames — never
+                // appended to a log, never advancing the offset. The
+                // first one goes out immediately on catch-up.
+                if last_beat.is_none_or(|t| t.elapsed() >= Duration::from_millis(HEARTBEAT_MS)) {
+                    if stream
+                        .write_all(&encode_heartbeat(epoch_millis(), committed))
+                        .is_err()
+                    {
+                        return;
+                    }
+                    last_beat = Some(Instant::now());
+                }
                 std::thread::sleep(TAIL_POLL);
                 continue;
             }
@@ -1641,18 +1894,28 @@ impl Server {
                             return SessionEnd::Fatal;
                         }
                     }
+                    Shipped::Heartbeat {
+                        epoch_millis: primary_millis,
+                        committed,
+                    } => {
+                        let mut s = repl.lock().expect("repl poisoned");
+                        s.observe_heartbeat(primary_millis, epoch_millis());
+                        // The heartbeat carries the primary's committed
+                        // log length, so the byte-lag target advances
+                        // even while no records ship.
+                        s.target = s.target.max(committed);
+                        metrics::REPL_HEARTBEATS.inc();
+                        metrics::REPL_LAG_BYTES.set(s.lag_bytes());
+                        if let Some(lag) = s.lag_millis(epoch_millis()) {
+                            metrics::REPL_LAG_MILLIS.set(lag);
+                        }
+                    }
                     Shipped::NeedMore => break,
                     Shipped::Corrupt(message) => {
                         self.mark_diverged(&format!("corrupt shipped record: {message}"));
                         return SessionEnd::Fatal;
                     }
                 }
-            }
-            {
-                let mut s = repl.lock().expect("repl poisoned");
-                let received = s.offset + splitter.pending();
-                s.target = s.target.max(received);
-                metrics::REPL_LAG_BYTES.set(s.lag_bytes());
             }
             if self.is_shutting_down() {
                 return SessionEnd::Fatal;
@@ -1768,6 +2031,7 @@ impl Server {
                 u32::from_le_bytes(frame[..4].try_into().expect("4 bytes")),
                 u32::from_le_bytes(frame[4..8].try_into().expect("4 bytes")),
             ));
+            s.last_record_at_millis = Some(epoch_millis());
             match applied {
                 Ok(()) => s.records_applied += 1,
                 Err(_) => s.apply_errors += 1,
@@ -1778,8 +2042,9 @@ impl Server {
     }
 
     /// The divergence detector fired: remember why, stop replicating,
-    /// and make the data plane refuse to serve.
-    fn mark_diverged(&self, why: &str) {
+    /// and make the data plane refuse to serve. Public so fault
+    /// harnesses can force the diverged state an operator would see.
+    pub fn mark_diverged(&self, why: &str) {
         if let Some(repl) = &self.inner.repl {
             let mut s = repl.lock().expect("repl poisoned");
             s.diverged = true;
@@ -1890,6 +2155,622 @@ impl Server {
             }
         }
     }
+
+    // ------------------------------------------------ metrics plane
+
+    /// Render the Prometheus text-exposition page behind `/metrics`.
+    ///
+    /// Always-on server state first — requests, latency histograms,
+    /// cache, WAL, replication, per-KB workload profiles — then, when
+    /// `REVKB_TRACE` enables the workspace registry, every `obs`
+    /// instrument under a distinct `revkb_obs_` prefix so the two
+    /// layers never collide on a family name.
+    pub fn metrics_text(&self) -> String {
+        let mut page = http::PromText::new();
+        let counters = &self.inner.counters;
+        page.header(
+            "server.requests.total",
+            "counter",
+            "Requests fully processed (any outcome).",
+        );
+        page.sample("server.requests.total", &[], counters.requests_total());
+        page.header(
+            "server.overloaded.total",
+            "counter",
+            "Requests rejected by admission control.",
+        );
+        page.sample("server.overloaded.total", &[], counters.overloaded_total());
+        page.header(
+            "server.timeouts.total",
+            "counter",
+            "Requests that exceeded their deadline.",
+        );
+        page.sample("server.timeouts.total", &[], counters.timeouts_total());
+        page.header(
+            "server.errors.total",
+            "counter",
+            "Requests answered with a protocol-level error.",
+        );
+        page.sample("server.errors.total", &[], counters.errors_total());
+        page.header(
+            "server.degraded.total",
+            "counter",
+            "Compilations that fell back to the degraded profile.",
+        );
+        page.sample("server.degraded.total", &[], counters.degraded_total());
+        page.header(
+            "server.in_flight",
+            "gauge",
+            "Requests currently admitted and unfinished.",
+        );
+        page.sample(
+            "server.in_flight",
+            &[],
+            self.inner.in_flight.load(Ordering::Relaxed) as u64,
+        );
+        page.header(
+            "server.request.micros",
+            "histogram",
+            "End-to-end request latency in microseconds, per command.",
+        );
+        for (kind, h) in counters.latencies() {
+            let buckets: Vec<(usize, u64)> = (0..obs::HIST_BUCKETS)
+                .filter_map(|b| {
+                    let c = h.bucket(b);
+                    (c > 0).then_some((b, c))
+                })
+                .collect();
+            page.histogram(
+                "server.request.micros",
+                &[("cmd", kind)],
+                h.count(),
+                h.sum(),
+                &buckets,
+            );
+        }
+        {
+            let cache = self.inner.cache.lock().expect("cache poisoned");
+            page.header("server.cache.hits.total", "counter", "Artifact-cache hits.");
+            page.sample("server.cache.hits.total", &[], cache.hits);
+            page.header(
+                "server.cache.misses.total",
+                "counter",
+                "Artifact-cache misses.",
+            );
+            page.sample("server.cache.misses.total", &[], cache.misses);
+            page.header(
+                "server.cache.evictions.total",
+                "counter",
+                "Artifact-cache evictions.",
+            );
+            page.sample("server.cache.evictions.total", &[], cache.evictions);
+            page.header(
+                "server.cache.entries",
+                "gauge",
+                "Artifacts currently cached.",
+            );
+            page.sample("server.cache.entries", &[], cache.len() as u64);
+        }
+        if let Some(wal) = &self.inner.wal {
+            let wal = wal.lock().expect("wal poisoned");
+            page.header("wal.records.total", "counter", "WAL records appended.");
+            page.sample("wal.records.total", &[], wal.records);
+            page.header(
+                "wal.bytes.total",
+                "counter",
+                "Committed log length in bytes.",
+            );
+            page.sample("wal.bytes.total", &[], wal.bytes);
+            page.header("wal.appends.total", "counter", "WAL append calls.");
+            page.sample("wal.appends.total", &[], wal.appends);
+            page.header(
+                "wal.append.errors.total",
+                "counter",
+                "WAL appends that failed with an I/O error.",
+            );
+            page.sample("wal.append.errors.total", &[], wal.append_errors);
+            page.header(
+                "wal.fsyncs.total",
+                "counter",
+                "sync_all calls issued on the WAL.",
+            );
+            page.sample("wal.fsyncs.total", &[], wal.fsyncs);
+            page.header(
+                "wal.snapshots.total",
+                "counter",
+                "Artifact snapshots written.",
+            );
+            page.sample("wal.snapshots.total", &[], wal.snapshots);
+        }
+        match &self.inner.repl {
+            Some(repl) => {
+                let s = repl.lock().expect("repl poisoned");
+                let now = epoch_millis();
+                page.header(
+                    "repl.connected",
+                    "gauge",
+                    "1 while the replication stream is up.",
+                );
+                page.sample("repl.connected", &[], u64::from(s.connected));
+                page.header(
+                    "repl.diverged",
+                    "gauge",
+                    "1 once the divergence detector has fired.",
+                );
+                page.sample("repl.diverged", &[], u64::from(s.diverged));
+                page.header(
+                    "repl.offset",
+                    "gauge",
+                    "Durable replication offset in bytes.",
+                );
+                page.sample("repl.offset", &[], s.offset);
+                page.header(
+                    "repl.lag.bytes",
+                    "gauge",
+                    "Byte lag behind the primary's committed log.",
+                );
+                page.sample("repl.lag.bytes", &[], s.lag_bytes());
+                if let Some(lag) = s.lag_millis(now) {
+                    page.header(
+                        "repl.lag.millis",
+                        "gauge",
+                        "Time lag behind the primary's wall clock in milliseconds.",
+                    );
+                    page.sample("repl.lag.millis", &[], lag);
+                }
+                if let Some(stale) = s.stale_millis(now) {
+                    page.header(
+                        "repl.stale.millis",
+                        "gauge",
+                        "Milliseconds since the stream last delivered anything.",
+                    );
+                    page.sample("repl.stale.millis", &[], stale);
+                }
+                page.header(
+                    "repl.records.applied.total",
+                    "counter",
+                    "Shipped records applied by this replica.",
+                );
+                page.sample("repl.records.applied.total", &[], s.records_applied);
+                page.header(
+                    "repl.apply.errors.total",
+                    "counter",
+                    "Shipped records that failed to re-apply.",
+                );
+                page.sample("repl.apply.errors.total", &[], s.apply_errors);
+                page.header(
+                    "repl.sessions.total",
+                    "counter",
+                    "Replication sessions established.",
+                );
+                page.sample("repl.sessions.total", &[], s.sessions);
+            }
+            None => {
+                page.header(
+                    "repl.streams",
+                    "gauge",
+                    "Replication streams currently being served.",
+                );
+                page.sample(
+                    "repl.streams",
+                    &[],
+                    self.inner.repl_streams.load(Ordering::Relaxed),
+                );
+                page.header(
+                    "repl.streams.total",
+                    "counter",
+                    "Replication streams served (lifetime).",
+                );
+                page.sample(
+                    "repl.streams.total",
+                    &[],
+                    self.inner.repl_streams_total.load(Ordering::Relaxed),
+                );
+                page.header(
+                    "repl.shipped.bytes.total",
+                    "counter",
+                    "Raw WAL bytes shipped to replicas.",
+                );
+                page.sample(
+                    "repl.shipped.bytes.total",
+                    &[],
+                    self.inner.repl_shipped_bytes.load(Ordering::Relaxed),
+                );
+                page.header(
+                    "repl.handshakes.total",
+                    "counter",
+                    "Replication handshakes accepted.",
+                );
+                page.sample(
+                    "repl.handshakes.total",
+                    &[],
+                    self.inner.repl_handshakes.load(Ordering::Relaxed),
+                );
+                page.header(
+                    "repl.refusals.total",
+                    "counter",
+                    "Handshakes refused for divergence.",
+                );
+                page.sample(
+                    "repl.refusals.total",
+                    &[],
+                    self.inner.repl_refusals.load(Ordering::Relaxed),
+                );
+            }
+        }
+        self.kb_metrics(&mut page);
+        self.obs_metrics(&mut page);
+        page.finish()
+    }
+
+    /// The per-KB workload-profile families (`revkb_kb_*`, labelled by
+    /// KB name and, for the per-operator families, by operator tag).
+    fn kb_metrics(&self, page: &mut http::PromText) {
+        struct Row {
+            name: String,
+            letters: u64,
+            revisions: u64,
+            compiled_size: Option<u64>,
+            profile: KbProfile,
+        }
+        let rows: Vec<Row> = {
+            let handles: Vec<(String, Arc<Mutex<KbState>>)> = {
+                let registry = self.inner.registry.lock().expect("registry poisoned");
+                let mut entries: Vec<_> = registry
+                    .iter()
+                    .map(|(name, handle)| (name.clone(), Arc::clone(handle)))
+                    .collect();
+                entries.sort_by(|a, b| a.0.cmp(&b.0));
+                entries
+            };
+            handles
+                .into_iter()
+                .map(|(name, handle)| {
+                    let kb = handle.lock().expect("kb poisoned");
+                    Row {
+                        name,
+                        letters: kb.sig.len() as u64,
+                        revisions: kb.revisions.len() as u64,
+                        compiled_size: kb.engine.compiled_size().map(|s| s as u64),
+                        profile: kb.profile.clone(),
+                    }
+                })
+                .collect()
+        };
+        page.header(
+            "kb.letters",
+            "gauge",
+            "Alphabet size of the KB's signature.",
+        );
+        for row in &rows {
+            page.sample("kb.letters", &[("kb", &row.name)], row.letters);
+        }
+        page.header("kb.revisions.total", "counter", "Revisions applied per KB.");
+        for row in &rows {
+            page.sample("kb.revisions.total", &[("kb", &row.name)], row.revisions);
+        }
+        page.header("kb.queries.total", "counter", "Queries answered per KB.");
+        for row in &rows {
+            page.sample(
+                "kb.queries.total",
+                &[("kb", &row.name)],
+                row.profile.queries,
+            );
+        }
+        page.header(
+            "kb.query.commands.total",
+            "counter",
+            "Query commands (single or batch) per KB.",
+        );
+        for row in &rows {
+            page.sample(
+                "kb.query.commands.total",
+                &[("kb", &row.name)],
+                row.profile.query_commands,
+            );
+        }
+        page.header(
+            "kb.query.nodes.total",
+            "counter",
+            "Formula nodes across all queries per KB.",
+        );
+        for row in &rows {
+            page.sample(
+                "kb.query.nodes.total",
+                &[("kb", &row.name)],
+                row.profile.query_nodes_total,
+            );
+        }
+        page.header(
+            "kb.cache.hits.total",
+            "counter",
+            "Artifact-cache hits attributed to the KB's revises.",
+        );
+        for row in &rows {
+            page.sample(
+                "kb.cache.hits.total",
+                &[("kb", &row.name)],
+                row.profile.cache_hits,
+            );
+        }
+        page.header(
+            "kb.cache.misses.total",
+            "counter",
+            "Artifact-cache misses attributed to the KB's revises.",
+        );
+        for row in &rows {
+            page.sample(
+                "kb.cache.misses.total",
+                &[("kb", &row.name)],
+                row.profile.cache_misses,
+            );
+        }
+        page.header(
+            "kb.compiled.size",
+            "gauge",
+            "Compiled representation size of the KB's engine, when it reports one.",
+        );
+        for row in &rows {
+            if let Some(size) = row.compiled_size {
+                page.sample("kb.compiled.size", &[("kb", &row.name)], size);
+            }
+        }
+        page.header(
+            "kb.op.revises.total",
+            "counter",
+            "Revisions per KB and operator.",
+        );
+        for row in &rows {
+            for (tag, op) in &row.profile.ops {
+                page.sample(
+                    "kb.op.revises.total",
+                    &[("kb", &row.name), ("op", tag)],
+                    op.revises,
+                );
+            }
+        }
+        page.header(
+            "kb.op.input.nodes.total",
+            "counter",
+            "Formula nodes across revision inputs, per KB and operator.",
+        );
+        for row in &rows {
+            for (tag, op) in &row.profile.ops {
+                page.sample(
+                    "kb.op.input.nodes.total",
+                    &[("kb", &row.name), ("op", tag)],
+                    op.input_nodes_total,
+                );
+            }
+        }
+        page.header(
+            "kb.op.compiles.total",
+            "counter",
+            "Finished compiles per KB and operator.",
+        );
+        for row in &rows {
+            for (tag, op) in &row.profile.ops {
+                page.sample(
+                    "kb.op.compiles.total",
+                    &[("kb", &row.name), ("op", tag)],
+                    op.compiles,
+                );
+            }
+        }
+        page.header(
+            "kb.op.compile.micros.total",
+            "counter",
+            "Microseconds spent compiling, per KB and operator.",
+        );
+        for row in &rows {
+            for (tag, op) in &row.profile.ops {
+                page.sample(
+                    "kb.op.compile.micros.total",
+                    &[("kb", &row.name), ("op", tag)],
+                    op.compile_micros_total,
+                );
+            }
+        }
+    }
+
+    /// The trace-gated workspace registry, exported verbatim under
+    /// `revkb_obs_*`. Empty (and therefore absent) unless the process
+    /// runs with `REVKB_TRACE` enabled.
+    fn obs_metrics(&self, page: &mut http::PromText) {
+        let snap = obs::snapshot();
+        for (name, value) in &snap.counters {
+            let raw = format!("obs.{name}.total");
+            page.header(
+                &raw,
+                "counter",
+                "Workspace telemetry counter (REVKB_TRACE).",
+            );
+            page.sample(&raw, &[], *value);
+        }
+        for (name, value) in &snap.gauges {
+            let raw = format!("obs.{name}");
+            page.header(&raw, "gauge", "Workspace telemetry gauge (REVKB_TRACE).");
+            page.sample(&raw, &[], *value);
+        }
+        for h in &snap.histograms {
+            let raw = format!("obs.{}", h.name);
+            page.header(
+                &raw,
+                "histogram",
+                "Workspace telemetry histogram (REVKB_TRACE).",
+            );
+            page.histogram(&raw, &[], h.count, h.sum, &h.buckets);
+        }
+    }
+
+    /// Liveness/readiness verdict for `/readyz`: `(ready, body)`.
+    /// Not ready while shutting down, while a primary is replaying its
+    /// log, or when a replica has diverged, never connected, or lost
+    /// its stream for at least [`READY_STALE_MS`] milliseconds. A
+    /// short disconnect within that budget stays ready: reconnects
+    /// with backoff are normal operation.
+    pub fn readiness(&self) -> (bool, Json) {
+        let mut reasons: Vec<String> = Vec::new();
+        if self.is_shutting_down() {
+            reasons.push("shutting down".to_string());
+        }
+        if self.inner.repl.is_none() && self.inner.replaying.load(Ordering::SeqCst) {
+            reasons.push("replaying the write-ahead log".to_string());
+        }
+        if let Some(repl) = &self.inner.repl {
+            let s = repl.lock().expect("repl poisoned");
+            if s.diverged {
+                reasons.push("replica diverged from its primary".to_string());
+            } else if s.sessions == 0 {
+                reasons.push("replica has never connected to its primary".to_string());
+            } else if !s.connected {
+                if let Some(stale) = s.stale_millis(epoch_millis()) {
+                    if stale >= READY_STALE_MS {
+                        reasons.push(format!("replication stream stale for {stale} ms"));
+                    }
+                }
+            }
+        }
+        let ready = reasons.is_empty();
+        let body = Json::obj([
+            ("ready", Json::Bool(ready)),
+            (
+                "reasons",
+                Json::Arr(reasons.iter().map(Json::str).collect()),
+            ),
+        ]);
+        (ready, body)
+    }
+
+    /// Route one metrics-plane path to its response. Public so tests
+    /// can exercise the endpoints without a live listener.
+    pub fn metrics_route(&self, path: &str) -> http::Response {
+        fn json_body(json: Json) -> String {
+            let mut body = json.render();
+            body.push('\n');
+            body
+        }
+        match path {
+            "/metrics" => http::Response::ok(http::PROM_CONTENT_TYPE, self.metrics_text()),
+            "/stats.json" => {
+                http::Response::ok(http::JSON_CONTENT_TYPE, json_body(self.stats_json()))
+            }
+            "/series.json" => {
+                http::Response::ok(http::JSON_CONTENT_TYPE, json_body(self.series_json()))
+            }
+            "/healthz" => {
+                let role = if self.inner.repl.is_some() {
+                    "replica"
+                } else {
+                    "primary"
+                };
+                http::Response::ok(
+                    http::JSON_CONTENT_TYPE,
+                    json_body(Json::obj([
+                        ("ok", Json::Bool(true)),
+                        ("role", Json::str(role)),
+                        ("requests", num(self.inner.counters.requests_total())),
+                    ])),
+                )
+            }
+            "/readyz" => {
+                let (ready, body) = self.readiness();
+                http::Response {
+                    status: if ready { 200 } else { 503 },
+                    content_type: http::JSON_CONTENT_TYPE,
+                    body: json_body(body),
+                }
+            }
+            other => http::Response::not_found(other),
+        }
+    }
+
+    /// Bind and serve the sidecar metrics listener configured by
+    /// `--metrics-addr` / `REVKB_SERVER_METRICS_ADDR` on a background
+    /// thread until shutdown. `Ok(None)` when no address is
+    /// configured; otherwise the bound address (so `:0` resolves to a
+    /// real port) and the serving thread's handle, which the caller
+    /// joins after `begin_shutdown`.
+    pub fn start_metrics_listener(
+        &self,
+    ) -> io::Result<Option<(SocketAddr, std::thread::JoinHandle<()>)>> {
+        let Some(addr) = self.inner.config.metrics_addr.clone() else {
+            return Ok(None);
+        };
+        let listener = TcpListener::bind(&addr)?;
+        let local = listener.local_addr()?;
+        let stopper = self.clone();
+        let router = self.clone();
+        let handle = std::thread::Builder::new()
+            .name("revkb-metrics".to_string())
+            .spawn(move || {
+                let stop = move || stopper.is_shutting_down();
+                let handler = move |path: &str| router.metrics_route(path);
+                if let Err(e) = http::serve(listener, stop, handler) {
+                    eprintln!("revkb-server: metrics listener failed: {e}");
+                }
+            })
+            .expect("spawn metrics thread");
+        Ok(Some((local, handle)))
+    }
+}
+
+/// One sampler tick's worth of cumulative observations from the
+/// always-on server state. The trace-gated `obs` registry is *not*
+/// sampled: with tracing off it is empty, and with tracing on it
+/// mirrors these counters anyway.
+fn sample_observations(inner: &Inner) -> Vec<obs::Observation> {
+    use obs::Observation as Obs;
+    let counters = &inner.counters;
+    let mut out = Vec::with_capacity(24);
+    out.push(Obs::counter("server.requests", counters.requests_total()));
+    for (kind, h) in counters.latencies() {
+        out.push(Obs::counter(format!("server.requests.{kind}"), h.count()));
+    }
+    out.push(Obs::counter(
+        "server.overloaded",
+        counters.overloaded_total(),
+    ));
+    out.push(Obs::counter("server.timeouts", counters.timeouts_total()));
+    out.push(Obs::counter("server.errors", counters.errors_total()));
+    out.push(Obs::counter("server.degraded", counters.degraded_total()));
+    {
+        let cache = inner.cache.lock().expect("cache poisoned");
+        out.push(Obs::counter("server.cache.hits", cache.hits));
+        out.push(Obs::counter("server.cache.misses", cache.misses));
+        out.push(Obs::counter("server.cache.evictions", cache.evictions));
+    }
+    out.push(Obs::gauge(
+        "server.in_flight",
+        inner.in_flight.load(Ordering::Relaxed) as u64,
+    ));
+    out.push(Obs::gauge(
+        "server.kbs",
+        inner.registry.lock().expect("registry poisoned").len() as u64,
+    ));
+    if let Some(wal) = &inner.wal {
+        let wal = wal.lock().expect("wal poisoned");
+        out.push(Obs::counter("wal.bytes", wal.bytes));
+        out.push(Obs::counter("wal.appends", wal.appends));
+        out.push(Obs::counter("wal.fsyncs", wal.fsyncs));
+    }
+    match &inner.repl {
+        Some(repl) => {
+            let s = repl.lock().expect("repl poisoned");
+            out.push(Obs::counter("repl.records_applied", s.records_applied));
+            out.push(Obs::gauge("repl.lag.bytes", s.lag_bytes()));
+            if let Some(lag) = s.lag_millis(epoch_millis()) {
+                out.push(Obs::gauge("repl.lag.millis", lag));
+            }
+        }
+        None => {
+            out.push(Obs::counter(
+                "repl.shipped.bytes",
+                inner.repl_shipped_bytes.load(Ordering::Relaxed),
+            ));
+        }
+    }
+    out
 }
 
 /// How one replication session against the primary ended.
@@ -2445,5 +3326,133 @@ mod tests {
             &call(&s, r#"{"cmd":"replicate","offset":0}"#),
             codes::UNSUPPORTED,
         );
+    }
+
+    #[test]
+    fn readyz_flips_when_a_replica_diverges() {
+        // A healthy primary is ready.
+        let primary = server();
+        let resp = primary.metrics_route("/readyz");
+        assert_eq!(resp.status, 200, "healthy primary must be ready");
+        assert!(resp.body.contains(r#""ready":true"#), "{}", resp.body);
+
+        // A replica that never reached its primary is not ready…
+        let replica = replica_server();
+        let resp = replica.metrics_route("/readyz");
+        assert_eq!(resp.status, 503);
+        assert!(resp.body.contains("never connected"), "{}", resp.body);
+
+        // …and a diverged replica reports the divergence as the reason.
+        replica.mark_diverged("test: forced divergence");
+        let resp = replica.metrics_route("/readyz");
+        assert_eq!(resp.status, 503);
+        assert!(resp.body.contains("diverged"), "{}", resp.body);
+        let (ready, body) = replica.readiness();
+        assert!(!ready);
+        let reasons = body.get("reasons").expect("reasons array").clone();
+        assert!(
+            reasons.render().contains("diverged"),
+            "{}",
+            reasons.render()
+        );
+    }
+
+    #[test]
+    fn stats_exposes_kb_profiles_and_series() {
+        let s = server();
+        assert_ok(&call(&s, r#"{"cmd":"load","kb":"k","t":"a & b"}"#));
+        assert_ok(&call(
+            &s,
+            r#"{"cmd":"revise","kb":"k","op":"dalal","p":"!a"}"#,
+        ));
+        assert_ok(&call(&s, r#"{"cmd":"query","kb":"k","q":"b"}"#));
+        let stats = call(&s, r#"{"cmd":"stats"}"#);
+        let result = assert_ok(&stats);
+
+        let profiles = result.get("kb_profiles").expect("kb_profiles").clone();
+        let arr = match &profiles {
+            Json::Arr(items) => items.clone(),
+            other => panic!("kb_profiles must be an array, got {other:?}"),
+        };
+        assert_eq!(arr.len(), 1);
+        let p = &arr[0];
+        assert_eq!(p.get("kb").and_then(Json::as_str), Some("k"));
+        assert_eq!(p.get("queries").and_then(Json::as_u64), Some(1));
+        assert!(p.get("query_nodes_total").and_then(Json::as_u64).unwrap() >= 1);
+        let ops = match p.get("ops").expect("ops array") {
+            Json::Arr(items) => items.clone(),
+            other => panic!("ops must be an array, got {other:?}"),
+        };
+        assert_eq!(ops.len(), 1);
+        assert_eq!(ops[0].get("op").and_then(Json::as_str), Some("dalal"));
+        assert_eq!(ops[0].get("revises").and_then(Json::as_u64), Some(1));
+        // Exactly one compile happened and it was a cache miss.
+        assert_eq!(p.get("cache_misses").and_then(Json::as_u64), Some(1));
+
+        let series = result.get("series").expect("series block").clone();
+        assert!(series.get("interval_ms").and_then(Json::as_u64).is_some());
+        assert!(series.get("capacity").and_then(Json::as_u64).is_some());
+        assert!(
+            matches!(series.get("series"), Some(Json::Arr(_))),
+            "series.series must be an array"
+        );
+    }
+
+    #[test]
+    fn metrics_text_renders_labelled_families() {
+        let s = server();
+        assert_ok(&call(&s, r#"{"cmd":"load","kb":"k","t":"a & b"}"#));
+        assert_ok(&call(
+            &s,
+            r#"{"cmd":"revise","kb":"k","op":"dalal","p":"!a"}"#,
+        ));
+        assert_ok(&call(&s, r#"{"cmd":"query","kb":"k","q":"b"}"#));
+        let page = s.metrics_text();
+
+        // Top-level server counters.
+        assert!(
+            page.contains("revkb_server_requests_total 3"),
+            "missing requests counter:\n{page}"
+        );
+        assert!(page.contains("# TYPE revkb_server_requests_total counter"));
+        // Per-KB families carry the kb label.
+        assert!(
+            page.contains(r#"revkb_kb_queries_total{kb="k"} 1"#),
+            "missing per-KB query counter:\n{page}"
+        );
+        assert!(page.contains(r#"revkb_kb_op_revises_total{kb="k",op="dalal"} 1"#));
+        // Histograms are cumulative and end with +Inf == _count.
+        assert!(
+            page.contains(r#"revkb_server_request_micros_bucket{cmd="query",le="+Inf"} 1"#),
+            "missing +Inf bucket:\n{page}"
+        );
+        assert!(page.contains(r#"revkb_server_request_micros_count{cmd="query"} 1"#));
+        // The page ends with a trailing newline (text exposition v0.0.4).
+        assert!(page.ends_with('\n'));
+    }
+
+    #[test]
+    fn metrics_route_serves_all_endpoints() {
+        let s = server();
+        assert_ok(&call(&s, r#"{"cmd":"ping"}"#));
+        let metrics = s.metrics_route("/metrics");
+        assert_eq!(metrics.status, 200);
+        assert!(metrics.content_type.starts_with("text/plain"));
+        let stats = s.metrics_route("/stats.json");
+        assert_eq!(stats.status, 200);
+        assert!(stats.content_type.starts_with("application/json"));
+        assert!(stats.body.contains("kb_profiles"));
+        let series = s.metrics_route("/series.json");
+        assert_eq!(series.status, 200);
+        assert!(series.body.contains("interval_ms"));
+        let healthz = s.metrics_route("/healthz");
+        assert_eq!(healthz.status, 200);
+        assert!(
+            healthz.body.contains(r#""role":"primary""#),
+            "{}",
+            healthz.body
+        );
+        let missing = s.metrics_route("/nope");
+        assert_eq!(missing.status, 404);
     }
 }

@@ -15,7 +15,10 @@
 #      primary's WAL, serves read-only queries, survives a SIGKILL of
 #      the primary (which restarts from its own log on the same port),
 #      reconnects, catches up, and applies replicated revises warm
-#      (artifact-cache hits on the replica).
+#      (artifact-cache hits on the replica);
+#   6. a metrics round: a `--metrics-addr` sidecar listener is scraped
+#      (Prometheus /metrics with per-KB labels, /healthz, /readyz)
+#      while the data plane keeps serving the same TCP session.
 #
 # Usage: scripts/server_smoke.sh  (from the repo root; builds the
 # release binary if target/release/revkb-server is missing).
@@ -290,5 +293,61 @@ shutil.rmtree(replica_dir, ignore_errors=True)
 print(f"replication ok: offset {repl['offset']}, "
       f"{repl['sessions']} session(s), replica cache hits "
       f"{rstats['cache']['hits']}")
-print("server smoke: all five phases passed")
+
+# -- 6. metrics plane: scrape the sidecar listener while the data
+#       plane keeps answering on its own port.
+proc = subprocess.Popen(
+    [BIN, "--listen", "127.0.0.1:0", "--metrics-addr", "127.0.0.1:0"],
+    stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True)
+# The metrics banner goes to stderr (stdout belongs to the data
+# plane); the data banner stays on stdout.
+maddr = None
+for _ in range(20):
+    line = proc.stderr.readline().strip()
+    if "metrics listening " in line:
+        maddr = line.rsplit(" ", 1)[1]
+        break
+assert maddr, "no metrics banner on stderr"
+banner = proc.stdout.readline().strip()
+assert banner.startswith("listening "), banner
+host, port = banner.split()[1].rsplit(":", 1)
+mhost, mport = maddr.rsplit(":", 1)
+
+def scrape(path):
+    with socket.create_connection((mhost, int(mport)), timeout=30) as s:
+        s.sendall(f"GET {path} HTTP/1.1\r\nHost: {maddr}\r\n"
+                  "Connection: close\r\n\r\n".encode())
+        raw = b""
+        while chunk := s.recv(65536):
+            raw += chunk
+    head, _, body = raw.decode().partition("\r\n\r\n")
+    return int(head.split()[1]), body
+
+sock, call = session(host, int(port))
+ok(call({"cmd": "load", "kb": "scraped", "t": THEORY}), "metrics load")
+ok(call({"cmd": "revise", "kb": "scraped", "op": "dalal",
+         "p": REVISION}), "metrics revise")
+for i in range(5):
+    ok(call({"cmd": "query", "kb": "scraped", "q": "a"}),
+       f"metrics query {i}")
+    status, page = scrape("/metrics")
+    assert status == 200, (status, page)
+assert "# TYPE revkb_server_requests_total counter" in page, page
+assert 'revkb_kb_queries_total{kb="scraped"}' in page, page
+assert 'revkb_kb_op_revises_total{kb="scraped",op="dalal"} 1' in page, page
+status, body = scrape("/healthz")
+assert status == 200 and '"ok":true' in body, (status, body)
+status, body = scrape("/readyz")
+assert status == 200, (status, body)
+status, body = scrape("/stats.json")
+assert status == 200 and "kb_profiles" in body, (status, body)
+status, body = scrape("/series.json")
+assert status == 200 and "interval_ms" in body, (status, body)
+ok(call({"cmd": "shutdown"}), "metrics shutdown")
+sock.close()
+if proc.wait(timeout=30) != 0:
+    sys.exit(f"metrics server exited with {proc.returncode}: "
+             f"{proc.stderr.read()}")
+print(f"metrics plane ok: scraped {maddr} under live traffic")
+print("server smoke: all six phases passed")
 EOF

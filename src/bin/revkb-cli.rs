@@ -21,10 +21,14 @@ use std::process::ExitCode;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    // `serve` is a long-running loop writing to stdout as it goes; it
-    // cannot go through `run`'s collect-then-print contract.
+    // `serve` and `top` are long-running loops writing to stdout as
+    // they go; they cannot go through `run`'s collect-then-print
+    // contract.
     if args.first().map(String::as_str) == Some("serve") {
         return serve(&args[1..]);
+    }
+    if args.first().map(String::as_str) == Some("top") {
+        return top(&args[1..]);
     }
     match run(&args) {
         Ok(output) => {
@@ -41,7 +45,7 @@ fn main() -> ExitCode {
 }
 
 fn usage() -> &'static str {
-    "usage:\n  revkb-cli revise  --op <operator> -t <formula> -p <formula> [--models]\n  revkb-cli compile --op <operator> -t <formula> -p <formula> -q <query>\n  revkb-cli compile-seq --op <operator> -t <formula> --ps <p1 ; p2 ; …> -q <query>\n  revkb-cli worlds  -t <f1 ; f2 ; …> -p <formula>\n  revkb-cli widtio  -t <f1 ; f2 ; …> -p <formula>\n  revkb-cli check   --op <operator> -t <formula> -p <formula> -m <letters,comma,separated>\n  revkb-cli postulates --op <operator> [--cases <n>]\n  revkb-cli advise  --op <operator|gfuv|widtio> [--bounded] [--new-letters] [--iterated]\n  revkb-cli serve   [--stdio | --listen ADDR]\n\noperators: winslett borgida forbus satoh dalal weber"
+    "usage:\n  revkb-cli revise  --op <operator> -t <formula> -p <formula> [--models]\n  revkb-cli compile --op <operator> -t <formula> -p <formula> -q <query>\n  revkb-cli compile-seq --op <operator> -t <formula> --ps <p1 ; p2 ; …> -q <query>\n  revkb-cli worlds  -t <f1 ; f2 ; …> -p <formula>\n  revkb-cli widtio  -t <f1 ; f2 ; …> -p <formula>\n  revkb-cli check   --op <operator> -t <formula> -p <formula> -m <letters,comma,separated>\n  revkb-cli postulates --op <operator> [--cases <n>]\n  revkb-cli advise  --op <operator|gfuv|widtio> [--bounded] [--new-letters] [--iterated]\n  revkb-cli serve   [--stdio | --listen ADDR]\n  revkb-cli top     ADDR [--interval-ms N] [--iterations N] [--no-clear]\n\noperators: winslett borgida forbus satoh dalal weber"
 }
 
 /// Parsed flag map: `--key value` and `-k value` pairs.
@@ -118,6 +122,281 @@ fn serve_stdio(server: &revkb::server::Server) -> std::io::Result<()> {
     let stdin = std::io::stdin();
     let stdout = std::io::stdout();
     server.serve_stdio(std::io::BufReader::new(stdin.lock()), stdout.lock())
+}
+
+/// `revkb-cli top ADDR`: a live terminal dashboard over a server's
+/// metrics plane. Polls `/stats.json` and `/series.json` on the
+/// sidecar listener (`revkb-server --metrics-addr HOST:PORT`) and
+/// renders request rates, latency percentiles, the cache hit rate,
+/// WAL throughput, and replication lag as unicode sparklines.
+fn top(args: &[String]) -> ExitCode {
+    match run_top(args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            eprintln!("usage: revkb-cli top ADDR [--interval-ms N] [--iterations N] [--no-clear]");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run_top(args: &[String]) -> Result<(), String> {
+    let mut addr: Option<String> = None;
+    let mut interval_ms: u64 = 1000;
+    let mut iterations: u64 = 0; // 0 = run until interrupted
+    let mut clear = true;
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--interval-ms" => {
+                interval_ms = iter
+                    .next()
+                    .ok_or("--interval-ms needs a value")?
+                    .parse()
+                    .map_err(|_| "--interval-ms needs an integer".to_string())?;
+            }
+            "--iterations" => {
+                iterations = iter
+                    .next()
+                    .ok_or("--iterations needs a value")?
+                    .parse()
+                    .map_err(|_| "--iterations needs an integer".to_string())?;
+            }
+            "--no-clear" => clear = false,
+            other if addr.is_none() && !other.starts_with('-') => addr = Some(other.to_string()),
+            other => return Err(format!("unknown argument {other:?}")),
+        }
+    }
+    let addr = addr.ok_or("missing metrics ADDR (the server's --metrics-addr)")?;
+    let mut frame_no = 0u64;
+    loop {
+        let stats = http_get_json(&addr, "/stats.json")?;
+        let series = http_get_json(&addr, "/series.json")?;
+        let frame = render_top(&addr, &stats, &series);
+        if clear {
+            // Clear and home: cheap, flicker-free enough at 1 Hz, and
+            // keeps the binary free of any terminal library.
+            print!("\x1b[2J\x1b[H");
+        }
+        print!("{frame}");
+        use std::io::Write as _;
+        let _ = std::io::stdout().flush();
+        frame_no += 1;
+        if iterations != 0 && frame_no >= iterations {
+            return Ok(());
+        }
+        std::thread::sleep(std::time::Duration::from_millis(interval_ms.max(10)));
+    }
+}
+
+/// One blocking HTTP/1.1 GET against the metrics sidecar, parsed as
+/// JSON. Hand-rolled over `TcpStream` — the whole workspace builds
+/// offline, so no HTTP client crate.
+fn http_get_json(addr: &str, path: &str) -> Result<revkb::server::Json, String> {
+    use std::io::{Read as _, Write as _};
+    let mut stream =
+        std::net::TcpStream::connect(addr).map_err(|e| format!("cannot connect to {addr}: {e}"))?;
+    let timeout = Some(std::time::Duration::from_secs(5));
+    let _ = stream.set_read_timeout(timeout);
+    let _ = stream.set_write_timeout(timeout);
+    write!(
+        stream,
+        "GET {path} HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n\r\n"
+    )
+    .map_err(|e| format!("cannot send request to {addr}: {e}"))?;
+    let mut raw = String::new();
+    stream
+        .read_to_string(&mut raw)
+        .map_err(|e| format!("cannot read response from {addr}: {e}"))?;
+    let (head, body) = raw
+        .split_once("\r\n\r\n")
+        .ok_or_else(|| format!("{path}: malformed HTTP response"))?;
+    let status = head.split_whitespace().nth(1).unwrap_or("?");
+    if status != "200" {
+        return Err(format!("{path}: HTTP {status}"));
+    }
+    revkb::server::Json::parse(body).map_err(|e| format!("{path}: {e}"))
+}
+
+const SPARK_LEVELS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+
+/// The last `width` values as a bar-per-sample sparkline, scaled to
+/// the window's maximum.
+fn sparkline(points: &[u64], width: usize) -> String {
+    let tail = &points[points.len().saturating_sub(width)..];
+    let max = tail.iter().copied().max().unwrap_or(0);
+    tail.iter()
+        .map(|&v| {
+            let level = (v * 7).checked_div(max).unwrap_or(0) as usize;
+            SPARK_LEVELS[level]
+        })
+        .collect()
+}
+
+/// The value column of one named series from a `/series.json` payload.
+fn series_points(series: &revkb::server::Json, name: &str) -> Vec<u64> {
+    use revkb::server::Json;
+    series
+        .get("series")
+        .and_then(Json::as_array)
+        .into_iter()
+        .flatten()
+        .find(|s| s.get("name").and_then(Json::as_str) == Some(name))
+        .and_then(|s| s.get("points")?.as_array())
+        .map(|pts| {
+            pts.iter()
+                .filter_map(|p| p.as_array()?.get(1)?.as_u64())
+                .collect()
+        })
+        .unwrap_or_default()
+}
+
+/// Render one dashboard frame from the two JSON payloads. Pure — unit
+/// tests drive it with synthetic documents.
+fn render_top(addr: &str, stats: &revkb::server::Json, series: &revkb::server::Json) -> String {
+    use revkb::server::Json;
+    use std::fmt::Write as _;
+    const WIDTH: usize = 48;
+    let u = |json: &Json, key: &str| json.get(key).and_then(Json::as_u64).unwrap_or(0);
+    let interval_ms = series
+        .get("interval_ms")
+        .and_then(Json::as_u64)
+        .unwrap_or(1000)
+        .max(1);
+    // Counter series hold per-interval deltas: the newest point over
+    // the interval is the current rate.
+    let per_sec = |points: &[u64]| {
+        points
+            .last()
+            .map_or(0.0, |&v| v as f64 * 1000.0 / interval_ms as f64)
+    };
+
+    let mut out = String::new();
+    writeln!(
+        out,
+        "revkb top — {addr} — {} request(s), {} in flight, {} kb(s), sampled every {interval_ms} ms",
+        u(stats, "requests"),
+        u(stats, "in_flight"),
+        u(stats, "kbs"),
+    )
+    .unwrap();
+
+    let req = series_points(series, "server.requests");
+    writeln!(
+        out,
+        "  req/s    {:>9.1}  {}",
+        per_sec(&req),
+        sparkline(&req, WIDTH)
+    )
+    .unwrap();
+    let queries = series_points(series, "server.requests.query");
+    if !queries.is_empty() {
+        writeln!(
+            out,
+            "  query/s  {:>9.1}  {}",
+            per_sec(&queries),
+            sparkline(&queries, WIDTH)
+        )
+        .unwrap();
+    }
+    let revises = series_points(series, "server.requests.revise");
+    if !revises.is_empty() {
+        writeln!(
+            out,
+            "  revise/s {:>9.1}  {}",
+            per_sec(&revises),
+            sparkline(&revises, WIDTH)
+        )
+        .unwrap();
+    }
+
+    let cache = stats.get("cache").cloned().unwrap_or(Json::Null);
+    let (hits, misses) = (u(&cache, "hits"), u(&cache, "misses"));
+    let ratio = if hits + misses == 0 {
+        0.0
+    } else {
+        hits as f64 / (hits + misses) as f64
+    };
+    let hit_series = series_points(series, "server.cache.hits");
+    writeln!(
+        out,
+        "  cache    {:>8.1}%  {}",
+        ratio * 100.0,
+        sparkline(&hit_series, WIDTH)
+    )
+    .unwrap();
+
+    let wal_bytes = series_points(series, "wal.bytes");
+    if !wal_bytes.is_empty() {
+        writeln!(
+            out,
+            "  wal B/s  {:>9.0}  {}",
+            per_sec(&wal_bytes),
+            sparkline(&wal_bytes, WIDTH)
+        )
+        .unwrap();
+    }
+
+    let repl = stats.get("repl").cloned().unwrap_or(Json::Null);
+    match repl.get("role").and_then(Json::as_str) {
+        Some("replica") => {
+            let lag = series_points(series, "repl.lag.millis");
+            writeln!(
+                out,
+                "  lag ms   {:>9}  {}  ({}connected{})",
+                repl.get("lag_millis")
+                    .and_then(Json::as_u64)
+                    .map_or("?".to_string(), |v| v.to_string()),
+                sparkline(&lag, WIDTH),
+                if repl.get("connected").and_then(Json::as_bool) == Some(true) {
+                    ""
+                } else {
+                    "dis"
+                },
+                if repl.get("diverged").and_then(Json::as_bool) == Some(true) {
+                    ", DIVERGED"
+                } else {
+                    ""
+                },
+            )
+            .unwrap();
+        }
+        _ => {
+            let shipped = series_points(series, "repl.shipped.bytes");
+            if !shipped.is_empty() {
+                writeln!(
+                    out,
+                    "  ship B/s {:>9.0}  {}",
+                    per_sec(&shipped),
+                    sparkline(&shipped, WIDTH)
+                )
+                .unwrap();
+            }
+        }
+    }
+
+    writeln!(out).unwrap();
+    writeln!(
+        out,
+        "  {:<14}{:>10}{:>10}{:>10}{:>10}",
+        "command", "count", "p50 us", "p95 us", "p99 us"
+    )
+    .unwrap();
+    if let Json::Obj(kinds) = stats.get("request_latency").unwrap_or(&Json::Null) {
+        for (kind, h) in kinds {
+            writeln!(
+                out,
+                "  {:<14}{:>10}{:>10}{:>10}{:>10}",
+                kind,
+                u(h, "count"),
+                u(h, "p50"),
+                u(h, "p95"),
+                u(h, "p99"),
+            )
+            .unwrap();
+        }
+    }
+    out
 }
 
 fn required<'a>(
@@ -426,6 +705,44 @@ mod tests {
         ]))
         .unwrap();
         assert!(out4.contains("COMPACTABLE"));
+    }
+
+    #[test]
+    fn top_sparkline_scales_to_the_window_maximum() {
+        assert_eq!(sparkline(&[], 8), "");
+        assert_eq!(sparkline(&[0, 0], 8), "▁▁");
+        let line = sparkline(&[1, 4, 8], 8);
+        assert_eq!(line.chars().count(), 3);
+        assert!(line.ends_with('█'));
+        // Only the last `width` samples are drawn.
+        assert_eq!(sparkline(&[9, 9, 9, 1], 2).chars().count(), 2);
+    }
+
+    #[test]
+    fn top_renders_a_frame_from_synthetic_payloads() {
+        use revkb::server::Json;
+        let stats = Json::parse(
+            r#"{"requests":42,"in_flight":1,"kbs":2,
+                "cache":{"hits":3,"misses":1},
+                "request_latency":{"query":{"count":10,"p50":5,"p95":9,"p99":12}},
+                "repl":{"role":"primary"}}"#,
+        )
+        .unwrap();
+        let series = Json::parse(
+            r#"{"interval_ms":1000,"capacity":300,"series":[
+                {"name":"server.requests","kind":"counter","points":[[1000,5],[2000,10]]},
+                {"name":"server.cache.hits","kind":"counter","points":[[1000,1],[2000,2]]}]}"#,
+        )
+        .unwrap();
+        assert_eq!(series_points(&series, "server.requests"), vec![5, 10]);
+        assert_eq!(series_points(&series, "no.such.series"), Vec::<u64>::new());
+        let frame = render_top("127.0.0.1:9", &stats, &series);
+        assert!(frame.contains("42 request(s)"), "{frame}");
+        assert!(frame.contains("req/s"), "{frame}");
+        assert!(frame.contains("10.0"), "{frame}"); // newest delta over 1 s
+        assert!(frame.contains("75.0%"), "{frame}"); // 3 hits / 4 lookups
+        assert!(frame.contains("query"), "{frame}");
+        assert!(frame.contains("p95"), "{frame}");
     }
 
     #[test]

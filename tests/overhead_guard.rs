@@ -68,3 +68,57 @@ fn disabled_telemetry_stays_under_five_percent() {
     // probe never even registered itself.
     assert_eq!(obs::snapshot().counter("test.overhead.probe"), None);
 }
+
+/// Guard on the cost of the *enabled* time-series sampler: one tick
+/// folds every server observation into the ring buffers, and at the
+/// default 1 s interval that work must stay far inside 5% of a
+/// table1-sized batch's wall time. The store is clock-free, so the
+/// test drives a realistic observation set through it directly and
+/// measures the real per-tick cost — no sleeping, no background
+/// thread, deterministic across machines.
+#[test]
+fn sampler_tick_stays_under_five_percent() {
+    use revkb::obs::timeseries::{Observation, SeriesStore, DEFAULT_SERIES_CAPACITY};
+
+    // The same batch workload as above sets the wall-time yardstick.
+    let t = Formula::and_all((0..12u32).map(|i| Formula::var(Var(i))));
+    let p = Formula::var(Var(0)).not().or(Formula::var(Var(1)).not());
+    let rep = winslett_bounded(&t, &p);
+    let mut seed = 0x7AB1E2u64;
+    let queries: Vec<Formula> = (0..60)
+        .map(|_| pseudo_random_formula(&mut seed, 3, 12))
+        .collect();
+    let mut pool = SessionPool::with_config(&rep.formula, PoolConfig::default());
+    let answers = pool.par_entails_batch(&queries);
+    assert_eq!(answers.len(), 60);
+    let wall_micros = pool.stats().wall_time_micros.max(FLOOR_MICROS);
+
+    // A server-sized observation set: more series than the server's
+    // source actually emits, so the bound is conservative.
+    let observations: Vec<Observation> = (0..32)
+        .map(|i| Observation::counter(format!("guard.counter.{i}"), 0))
+        .chain((0..8).map(|i| Observation::gauge(format!("guard.gauge.{i}"), 0)))
+        .collect();
+    let mut store = SeriesStore::new(DEFAULT_SERIES_CAPACITY);
+    // Warm tick so ring creation (a one-time cost) is off the clock.
+    store.tick(0, &observations);
+
+    const TICKS: u64 = 10_000;
+    let start = Instant::now();
+    for i in 1..=TICKS {
+        store.tick(i, std::hint::black_box(&observations));
+    }
+    std::hint::black_box(&store);
+    let per_tick_micros = start.elapsed().as_micros() as f64 / TICKS as f64;
+
+    // At the default interval the sampler ticks once per second; over
+    // the window it would take to run the batch, that is at most
+    // ceil(wall/1s) ticks — but even charging one *full* tick against
+    // every batch keeps the bound strict and timing-free.
+    let budget_micros = 0.05 * wall_micros as f64;
+    assert!(
+        per_tick_micros <= budget_micros,
+        "one sampler tick costs {per_tick_micros:.1}µs against a {wall_micros}µs batch; \
+         budget is {budget_micros:.1}µs"
+    );
+}
