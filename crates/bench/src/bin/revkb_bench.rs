@@ -1,8 +1,9 @@
 //! `revkb-bench` — the continuous-performance regression harness.
 //!
 //! ```text
-//! revkb-bench                         # run the suite, write BENCH_PR8.json
-//! revkb-bench --baseline BENCH_PR7.json   # compare; exit 1 on regression
+//! revkb-bench                         # run the suite, write BENCH_PR9.json
+//! revkb-bench --baseline BENCH_PR8.json   # compare; exit 1 on regression
+//! revkb-bench --load-only             # just the load generator, no report
 //! ```
 //!
 //! The suite is fixed and named (see [`revkb_bench::suite`]): eight
@@ -17,6 +18,11 @@
 //! Also regenerates `server_bench_report.json` (the per-operator
 //! cold/warm grid formerly produced by the separate `server_bench`
 //! binary) unless `--no-server-report` is given.
+//!
+//! `--load-only` skips everything except the open-loop load generator
+//! (`REVKB_BENCH_CONNS` connections against a spawned `revkb-server`)
+//! and writes no report files — the mode CI's connection-count smoke
+//! uses.
 
 use revkb_bench::suite::{
     compare_against_baseline, report_json, run_suite, server_ops_report, SuiteConfig,
@@ -26,22 +32,24 @@ use std::process::ExitCode;
 
 const USAGE: &str = "usage: revkb-bench [--out FILE] [--baseline FILE] [--warn-only] \
                      [--seed N] [--trials N] [--warmup N] [--tolerance-pct X] \
-                     [--no-server-report]";
+                     [--no-server-report] [--load-only]";
 
 struct Args {
     out: String,
     baseline: Option<String>,
     warn_only: bool,
     server_report: bool,
+    load_only: bool,
     config: SuiteConfig,
 }
 
 fn parse_args(args: &[String]) -> Result<Args, String> {
     let mut parsed = Args {
-        out: "BENCH_PR8.json".to_string(),
+        out: "BENCH_PR9.json".to_string(),
         baseline: None,
         warn_only: false,
         server_report: true,
+        load_only: false,
         config: SuiteConfig::from_env(),
     };
     let mut iter = args.iter();
@@ -56,6 +64,7 @@ fn parse_args(args: &[String]) -> Result<Args, String> {
             "--baseline" => parsed.baseline = Some(value(&mut iter, "--baseline")?),
             "--warn-only" => parsed.warn_only = true,
             "--no-server-report" => parsed.server_report = false,
+            "--load-only" => parsed.load_only = true,
             "--seed" => {
                 parsed.config.seed = value(&mut iter, "--seed")?
                     .parse()
@@ -114,7 +123,11 @@ fn main() -> ExitCode {
         "== revkb-bench: seed={} trials={} warmup={} threads={} ==",
         args.config.seed, args.config.trials, args.config.warmup, meta.threads
     );
-    let results = run_suite(&args.config);
+    let results = if args.load_only {
+        revkb_bench::load::load_benches(&args.config)
+    } else {
+        run_suite(&args.config)
+    };
 
     println!(
         "{:<22} {:>12} {:>10} {:>8}",
@@ -129,14 +142,18 @@ fn main() -> ExitCode {
     }
     println!();
 
-    let report = report_json(&args.config, &meta, &results);
-    if let Err(e) = std::fs::write(&args.out, &report) {
-        eprintln!("revkb-bench: cannot write {}: {e}", args.out);
-        return ExitCode::FAILURE;
+    // Load-only runs are smoke checks: print the table, write nothing
+    // (a partial report would shadow the real BENCH_PR9.json).
+    if !args.load_only {
+        let report = report_json(&args.config, &meta, &results);
+        if let Err(e) = std::fs::write(&args.out, &report) {
+            eprintln!("revkb-bench: cannot write {}: {e}", args.out);
+            return ExitCode::FAILURE;
+        }
+        println!("report written to {}", args.out);
     }
-    println!("report written to {}", args.out);
 
-    if args.server_report {
+    if args.server_report && !args.load_only {
         let (server_report, summary) = server_ops_report(&args.config, &meta);
         print!("{summary}");
         if let Err(e) = std::fs::write("server_bench_report.json", server_report) {

@@ -19,6 +19,7 @@ use revkb_sat::{PoolConfig, PoolStats, SessionPool};
 use std::time::Instant;
 
 pub mod json;
+pub mod load;
 pub mod suite;
 
 /// A measured size series: representation size as a function of the

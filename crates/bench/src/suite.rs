@@ -6,14 +6,17 @@
 //! cold-vs-warm server revises over a loopback TCP connection,
 //! cold-boot recovery from a write-ahead-log data directory (with and
 //! without artifact snapshots), replication — replica catch-up
-//! from a seeded primary and query fan-out across read replicas — and
-//! the metrics plane (one Prometheus scrape, one sampler tick).
+//! from a seeded primary and query fan-out across read replicas — the
+//! metrics plane (one Prometheus scrape, one sampler tick), and the
+//! open-loop load generation against a spawned server process
+//! (see [`crate::load`]: ten thousand concurrent connections,
+//! scheduled-rate latency percentiles, pipelining, the HTTP gateway).
 //!
 //! Everything is deterministic modulo wall-clock noise: instance
 //! generation is seeded (`REVKB_BENCH_SEED`), each benchmark runs
 //! `REVKB_BENCH_WARMUP` discarded warmup rounds followed by
 //! `REVKB_BENCH_TRIALS` measured trials, and the reported figure is
-//! the **median** trial. The emitted report (`BENCH_PR8.json`) is
+//! the **median** trial. The emitted report (`BENCH_PR9.json`) is
 //! schema-versioned and can be replayed as a `--baseline` to detect
 //! regressions: a benchmark regresses only when it is both relatively
 //! slower than its per-benchmark tolerance *and* absolutely slower by
@@ -89,7 +92,7 @@ impl SuiteConfig {
         cfg
     }
 
-    fn tolerance_for(&self, name: &str) -> f64 {
+    pub(crate) fn tolerance_for(&self, name: &str) -> f64 {
         if let Some(t) = self.tolerance_pct {
             return t;
         }
@@ -840,6 +843,7 @@ pub fn run_suite(cfg: &SuiteConfig) -> Vec<BenchResult> {
     results.extend(wal_boot_benches(cfg));
     results.extend(repl_benches(cfg));
     results.extend(obs_benches(cfg));
+    results.extend(crate::load::load_benches(cfg));
     results
 }
 

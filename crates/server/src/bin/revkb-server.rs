@@ -15,19 +15,53 @@ use std::net::TcpListener;
 use std::process::ExitCode;
 
 const USAGE: &str = "usage: revkb-server (--stdio | --listen ADDR) \
+                     [--io evloop|blocking] \
                      [--threads N] [--queue N] [--deadline-ms N] \
                      [--compile-timeout-ms N] [--cache-cap N] \
                      [--slow-ms N] [--data-dir DIR] \
                      [--wal-sync always|batch|off] [--snapshot-every N] \
                      [--replica-of HOST:PORT] [--metrics-addr HOST:PORT]";
 
+/// Environment variable selecting the TCP front end (`evloop` or
+/// `blocking`); overridden by `--io`.
+const IO_ENV: &str = "REVKB_SERVER_IO";
+
 enum Transport {
     Stdio,
     Tcp(String),
 }
 
-fn parse_args(args: &[String]) -> Result<(Transport, ServerConfig), String> {
+/// Which TCP front end serves the data plane.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum IoMode {
+    /// The epoll event loop (pipelining + the HTTP gateway). The
+    /// default on Linux; elsewhere it falls back to `blocking`.
+    Evloop,
+    /// One blocking thread per connection.
+    Blocking,
+}
+
+impl IoMode {
+    fn parse(raw: &str) -> Option<IoMode> {
+        match raw {
+            "evloop" => Some(IoMode::Evloop),
+            "blocking" => Some(IoMode::Blocking),
+            _ => None,
+        }
+    }
+
+    fn from_env() -> IoMode {
+        std::env::var(IO_ENV)
+            .ok()
+            .as_deref()
+            .and_then(IoMode::parse)
+            .unwrap_or(IoMode::Evloop)
+    }
+}
+
+fn parse_args(args: &[String]) -> Result<(Transport, ServerConfig, IoMode), String> {
     let mut transport = None;
+    let mut io_mode = IoMode::from_env();
     let mut config = ServerConfig::from_env();
     let mut iter = args.iter();
     let value = |iter: &mut std::slice::Iter<String>, flag: &str| {
@@ -39,6 +73,11 @@ fn parse_args(args: &[String]) -> Result<(Transport, ServerConfig), String> {
         match arg.as_str() {
             "--stdio" => transport = Some(Transport::Stdio),
             "--listen" => transport = Some(Transport::Tcp(value(&mut iter, "--listen")?)),
+            "--io" => {
+                let raw = value(&mut iter, "--io")?;
+                io_mode =
+                    IoMode::parse(&raw).ok_or_else(|| "--io needs evloop|blocking".to_string())?;
+            }
             "--threads" => {
                 config = config.with_threads(
                     value(&mut iter, "--threads")?
@@ -108,12 +147,12 @@ fn parse_args(args: &[String]) -> Result<(Transport, ServerConfig), String> {
         }
     }
     let transport = transport.ok_or_else(|| "pick --stdio or --listen ADDR".to_string())?;
-    Ok((transport, config))
+    Ok((transport, config, io_mode))
 }
 
 /// Run the server on the chosen transport. Shared with `revkb serve`.
 pub fn run(args: &[String]) -> ExitCode {
-    let (transport, config) = match parse_args(args) {
+    let (transport, config, io_mode) = match parse_args(args) {
         Ok(parsed) => parsed,
         Err(message) => {
             eprintln!("revkb-server: {message}\n{USAGE}");
@@ -177,7 +216,10 @@ pub fn run(args: &[String]) -> ExitCode {
                     println!("listening {local}");
                     let _ = io::stdout().flush();
                 }
-                server.serve_tcp(listener)
+                match io_mode {
+                    IoMode::Evloop => server.serve_event_loop(listener),
+                    IoMode::Blocking => server.serve_tcp(listener),
+                }
             }
             Err(e) => {
                 eprintln!("revkb-server: cannot bind {addr}: {e}");

@@ -1,0 +1,967 @@
+//! The epoll-based non-blocking I/O front end.
+//!
+//! One readiness thread multiplexes every data-plane connection:
+//! non-blocking accept, read, and write, with a per-connection state
+//! machine that frames both wire protocols the server speaks —
+//! NDJSON lines and HTTP/1.1 (the JSON gateway). The loop owns
+//! *readiness and framing only*; execution stays on the existing
+//! worker/admission machinery:
+//!
+//! - **admission runs on the loop thread** ([`Server` routing]) so a
+//!   flood of connections is answered `overloaded` in arrival order,
+//!   exactly as the blocking front end would answer it;
+//! - admitted data-plane commands go to a pool of
+//!   `ServerConfig::threads` workers (the same permit gate and
+//!   deadlines apply);
+//! - control-plane commands (`ping`, `hello`, `stats`, `shutdown`)
+//!   and metrics GETs run on one dedicated control worker, so a
+//!   `stats` that locks every KB can never stall readiness polling;
+//! - workers push completed responses onto a shared completion list
+//!   and wake the loop through a self-pipe; the loop copies each
+//!   response into its connection's write buffer.
+//!
+//! **Pipelining**: a connection may have any number of line-protocol
+//! requests in flight; responses are written in *completion* order,
+//! with the envelope's `req` field preserving correlation. HTTP
+//! connections run one request at a time (HTTP responses have no
+//! `req`-style correlation on the wire, so order must be preserved);
+//! pipelined HTTP requests queue in the parser.
+//!
+//! A `replicate` request hands the whole connection off to a
+//! dedicated blocking thread (the WAL shipping stream is not
+//! line-framed); any bytes the replica pipelined behind the handshake
+//! are discarded, matching the blocking front end.
+//!
+//! On shutdown the loop stops accepting, flushes every buffered
+//! response (bounded by a 5 s grace period) so the `shutdown` answer
+//! itself is delivered, then joins the workers.
+//!
+//! Everything here is zero-dependency: the epoll and rlimit syscalls
+//! are declared directly against libc (which every std binary links
+//! anyway) in the private `sys` shim — the only `unsafe` in the
+//! workspace.
+//!
+//! On non-Linux targets [`Server::serve_event_loop`] falls back to
+//! the blocking thread-per-connection front end.
+
+use crate::server::Server;
+use std::io;
+use std::net::TcpListener;
+
+/// Raise this process's soft `RLIMIT_NOFILE` toward `target` (capped
+/// at the hard limit) and return the resulting soft limit. Serving —
+/// or benchmarking — tens of thousands of concurrent connections
+/// needs more file descriptors than the usual soft default of 1024.
+/// Returns 0 when the limit cannot even be read (or on non-Linux
+/// targets, where this is a no-op).
+pub fn raise_nofile(target: u64) -> u64 {
+    #[cfg(target_os = "linux")]
+    {
+        linux::sys::raise_nofile(target)
+    }
+    #[cfg(not(target_os = "linux"))]
+    {
+        let _ = target;
+        0
+    }
+}
+
+impl Server {
+    /// Serve the data plane on `listener` with the epoll event loop
+    /// until a `shutdown` command arrives. Answers are identical to
+    /// [`Server::serve_tcp`] — same routing, same admission, same
+    /// envelopes — plus the HTTP/JSON gateway (`POST /v1`, metrics
+    /// GETs) on the same port. Falls back to `serve_tcp` on
+    /// non-Linux targets.
+    pub fn serve_event_loop(&self, listener: TcpListener) -> io::Result<()> {
+        #[cfg(target_os = "linux")]
+        {
+            linux::serve(self, listener)
+        }
+        #[cfg(not(target_os = "linux"))]
+        {
+            self.serve_tcp(listener)
+        }
+    }
+}
+
+#[cfg(target_os = "linux")]
+mod linux {
+    use std::collections::HashMap;
+    use std::io::{self, Read, Write};
+    use std::net::{TcpListener, TcpStream};
+    use std::os::fd::AsRawFd;
+    use std::os::unix::net::UnixStream;
+    use std::sync::mpsc;
+    use std::sync::{Arc, Mutex};
+    use std::time::{Duration, Instant};
+
+    use crate::http;
+    use crate::json::Json;
+    use crate::protocol::{parse_request, Request};
+    use crate::server::{Routing, Server};
+
+    /// Thin wrappers over the epoll and rlimit syscalls — the only
+    /// `unsafe` in the workspace. No libc crate: the symbols are
+    /// declared directly and resolved by the libc every std binary
+    /// already links.
+    #[allow(unsafe_code)]
+    pub(super) mod sys {
+        use std::io;
+        use std::os::fd::{FromRawFd, OwnedFd, RawFd};
+
+        /// One epoll event: interest/readiness mask plus the caller's
+        /// 64-bit token. The kernel ABI packs this struct on x86-64.
+        #[cfg_attr(target_arch = "x86_64", repr(C, packed))]
+        #[cfg_attr(not(target_arch = "x86_64"), repr(C))]
+        #[derive(Clone, Copy)]
+        pub struct EpollEvent {
+            pub events: u32,
+            pub data: u64,
+        }
+
+        pub const EPOLLIN: u32 = 0x1;
+        pub const EPOLLOUT: u32 = 0x4;
+        pub const EPOLLERR: u32 = 0x8;
+        pub const EPOLLHUP: u32 = 0x10;
+        pub const EPOLLRDHUP: u32 = 0x2000;
+
+        const EPOLL_CLOEXEC: i32 = 0o2000000;
+        pub const EPOLL_CTL_ADD: i32 = 1;
+        pub const EPOLL_CTL_DEL: i32 = 2;
+        pub const EPOLL_CTL_MOD: i32 = 3;
+
+        const RLIMIT_NOFILE: i32 = 7;
+
+        #[repr(C)]
+        struct RLimit {
+            cur: u64,
+            max: u64,
+        }
+
+        extern "C" {
+            fn epoll_create1(flags: i32) -> i32;
+            fn epoll_ctl(epfd: i32, op: i32, fd: i32, event: *mut EpollEvent) -> i32;
+            fn epoll_wait(epfd: i32, events: *mut EpollEvent, maxevents: i32, timeout: i32) -> i32;
+            fn getrlimit(resource: i32, rlim: *mut RLimit) -> i32;
+            fn setrlimit(resource: i32, rlim: *const RLimit) -> i32;
+        }
+
+        /// A fresh close-on-exec epoll instance.
+        pub fn epoll_create() -> io::Result<OwnedFd> {
+            let fd = unsafe { epoll_create1(EPOLL_CLOEXEC) };
+            if fd < 0 {
+                return Err(io::Error::last_os_error());
+            }
+            Ok(unsafe { OwnedFd::from_raw_fd(fd) })
+        }
+
+        /// One `epoll_ctl` operation on `fd` with interest `events`
+        /// and caller token `token`.
+        pub fn ctl(epfd: RawFd, op: i32, fd: RawFd, events: u32, token: u64) -> io::Result<()> {
+            let mut event = EpollEvent {
+                events,
+                data: token,
+            };
+            let rc = unsafe { epoll_ctl(epfd, op, fd, &mut event) };
+            if rc < 0 {
+                return Err(io::Error::last_os_error());
+            }
+            Ok(())
+        }
+
+        /// Wait for readiness, retrying on `EINTR`. Returns how many
+        /// entries of `events` were filled.
+        pub fn wait(epfd: RawFd, events: &mut [EpollEvent], timeout_ms: i32) -> io::Result<usize> {
+            loop {
+                let rc = unsafe {
+                    epoll_wait(epfd, events.as_mut_ptr(), events.len() as i32, timeout_ms)
+                };
+                if rc >= 0 {
+                    return Ok(rc as usize);
+                }
+                let err = io::Error::last_os_error();
+                if err.kind() != io::ErrorKind::Interrupted {
+                    return Err(err);
+                }
+            }
+        }
+
+        /// See [`crate::event_loop::raise_nofile`].
+        pub fn raise_nofile(target: u64) -> u64 {
+            let mut lim = RLimit { cur: 0, max: 0 };
+            if unsafe { getrlimit(RLIMIT_NOFILE, &mut lim) } != 0 {
+                return 0;
+            }
+            let want = target.max(lim.cur).min(lim.max);
+            if want > lim.cur {
+                let new = RLimit {
+                    cur: want,
+                    max: lim.max,
+                };
+                if unsafe { setrlimit(RLIMIT_NOFILE, &new) } == 0 {
+                    return want;
+                }
+            }
+            lim.cur
+        }
+    }
+
+    /// The epoll instance plus registration helpers.
+    struct Poller {
+        epfd: std::os::fd::OwnedFd,
+    }
+
+    impl Poller {
+        fn new() -> io::Result<Poller> {
+            Ok(Poller {
+                epfd: sys::epoll_create()?,
+            })
+        }
+
+        fn add(&self, fd: i32, token: u64, events: u32) -> io::Result<()> {
+            sys::ctl(self.epfd.as_raw_fd(), sys::EPOLL_CTL_ADD, fd, events, token)
+        }
+
+        fn modify(&self, fd: i32, token: u64, events: u32) -> io::Result<()> {
+            sys::ctl(self.epfd.as_raw_fd(), sys::EPOLL_CTL_MOD, fd, events, token)
+        }
+
+        fn delete(&self, fd: i32) -> io::Result<()> {
+            sys::ctl(self.epfd.as_raw_fd(), sys::EPOLL_CTL_DEL, fd, 0, 0)
+        }
+
+        fn wait(&self, events: &mut [sys::EpollEvent], timeout_ms: i32) -> io::Result<usize> {
+            sys::wait(self.epfd.as_raw_fd(), events, timeout_ms)
+        }
+    }
+
+    const TOKEN_LISTENER: u64 = 0;
+    const TOKEN_WAKE: u64 = 1;
+    const FIRST_CONN_TOKEN: u64 = 2;
+    const READ_CHUNK: usize = 16 * 1024;
+    const EVENTS_CAP: usize = 1024;
+    const SHUTDOWN_GRACE: Duration = Duration::from_secs(5);
+
+    /// Which wire framing a worker's response needs.
+    enum Reply {
+        /// NDJSON: envelope plus a newline.
+        Line,
+        /// HTTP: envelope as a `200` JSON body.
+        Http { keep_alive: bool },
+    }
+
+    /// One request dispatched to a worker.
+    struct Job {
+        token: u64,
+        request: Request,
+        started: Instant,
+        req: u64,
+        reply: Reply,
+    }
+
+    /// Work for the dedicated control worker.
+    enum ControlJob {
+        /// A control-plane command (`ping`, `hello`, `stats`,
+        /// `shutdown`, or a rejected `replicate`).
+        Request(Job),
+        /// A metrics-plane GET from the HTTP gateway.
+        MetricsGet {
+            token: u64,
+            path: String,
+            keep_alive: bool,
+        },
+    }
+
+    /// A rendered response on its way back to the loop thread.
+    struct Completion {
+        token: u64,
+        bytes: Vec<u8>,
+    }
+
+    /// Protocol state of one connection, decided by its first byte:
+    /// NDJSON requests start with `{` (or leading whitespace), HTTP
+    /// request lines start with a method.
+    enum Proto {
+        Unknown,
+        Line,
+        Http(http::HttpParser),
+    }
+
+    /// Per-connection state machine.
+    struct Conn {
+        stream: TcpStream,
+        token: u64,
+        proto: Proto,
+        /// Unframed bytes (line protocol and pre-sniff).
+        line_buf: Vec<u8>,
+        /// Bytes queued for the peer; `written` of them already sent.
+        write_buf: Vec<u8>,
+        written: usize,
+        /// Responses still owed by workers.
+        pending: usize,
+        /// HTTP runs one request at a time to preserve response order.
+        http_busy: bool,
+        /// EOF seen or `Connection: close` honoured: stop reading,
+        /// close once everything pending has flushed.
+        closing: bool,
+        /// Current epoll interest mask (to skip redundant `ctl`s).
+        interest: u32,
+    }
+
+    impl Conn {
+        fn new(stream: TcpStream, token: u64) -> Conn {
+            Conn {
+                stream,
+                token,
+                proto: Proto::Unknown,
+                line_buf: Vec::new(),
+                write_buf: Vec::new(),
+                written: 0,
+                pending: 0,
+                http_busy: false,
+                closing: false,
+                interest: sys::EPOLLIN | sys::EPOLLRDHUP,
+            }
+        }
+    }
+
+    /// What to do with a connection after handling its readable bytes.
+    enum After {
+        Keep,
+        Close,
+        /// Hand the connection to a blocking replication stream.
+        Handoff {
+            request: Request,
+            req: u64,
+        },
+    }
+
+    /// Shared references the per-connection handlers need.
+    struct Ctx<'a> {
+        server: &'a Server,
+        poller: &'a Poller,
+        ctl_tx: &'a mpsc::Sender<ControlJob>,
+        data_tx: &'a mpsc::Sender<Job>,
+    }
+
+    fn push_completion(
+        completions: &Mutex<Vec<Completion>>,
+        wake: &UnixStream,
+        token: u64,
+        bytes: Vec<u8>,
+    ) {
+        completions
+            .lock()
+            .expect("completions poisoned")
+            .push(Completion { token, bytes });
+        // A full pipe is fine: the loop is already due to wake.
+        let _ = (&*wake).write(&[1]);
+    }
+
+    fn render_reply(reply: &Reply, response: &crate::protocol::Response) -> Vec<u8> {
+        match reply {
+            Reply::Line => {
+                let mut bytes = response.render().into_bytes();
+                bytes.push(b'\n');
+                bytes
+            }
+            Reply::Http { keep_alive } => envelope_http(response).to_bytes_with(*keep_alive),
+        }
+    }
+
+    /// An executed envelope as an HTTP response: always `200`; the
+    /// envelope's own `ok`/`code` fields carry the command outcome.
+    fn envelope_http(response: &crate::protocol::Response) -> http::Response {
+        http::Response::ok(http::JSON_CONTENT_TYPE, format!("{}\n", response.render()))
+    }
+
+    fn data_worker(
+        server: Server,
+        rx: Arc<Mutex<mpsc::Receiver<Job>>>,
+        completions: Arc<Mutex<Vec<Completion>>>,
+        wake: UnixStream,
+    ) {
+        loop {
+            let job = match rx.lock().expect("worker queue poisoned").recv() {
+                Ok(job) => job,
+                Err(_) => break,
+            };
+            let response = server.execute_admitted(&job.request, job.started, job.req);
+            push_completion(
+                &completions,
+                &wake,
+                job.token,
+                render_reply(&job.reply, &response),
+            );
+        }
+    }
+
+    fn control_worker(
+        server: Server,
+        rx: mpsc::Receiver<ControlJob>,
+        completions: Arc<Mutex<Vec<Completion>>>,
+        wake: UnixStream,
+    ) {
+        for job in rx {
+            match job {
+                ControlJob::Request(job) => {
+                    let response = server.execute_control(&job.request, job.started, job.req);
+                    push_completion(
+                        &completions,
+                        &wake,
+                        job.token,
+                        render_reply(&job.reply, &response),
+                    );
+                }
+                ControlJob::MetricsGet {
+                    token,
+                    path,
+                    keep_alive,
+                } => {
+                    let response = server.metrics_route(&path);
+                    push_completion(
+                        &completions,
+                        &wake,
+                        token,
+                        response.to_bytes_with(keep_alive),
+                    );
+                }
+            }
+        }
+    }
+
+    /// Flush as much of the write buffer as the socket accepts.
+    /// `Ok(true)` once fully flushed.
+    fn flush(conn: &mut Conn) -> io::Result<bool> {
+        while conn.written < conn.write_buf.len() {
+            match conn.stream.write(&conn.write_buf[conn.written..]) {
+                Ok(0) => return Err(io::ErrorKind::WriteZero.into()),
+                Ok(n) => conn.written += n,
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    conn.write_buf.drain(..conn.written);
+                    conn.written = 0;
+                    return Ok(false);
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(e),
+            }
+        }
+        conn.write_buf.clear();
+        conn.written = 0;
+        Ok(true)
+    }
+
+    /// Flush, update epoll interest, decide the connection's fate.
+    /// `false` means drop it.
+    fn settle(ctx: &Ctx, conn: &mut Conn) -> bool {
+        let flushed = match flush(conn) {
+            Ok(flushed) => flushed,
+            Err(_) => return false,
+        };
+        if conn.closing && flushed && conn.pending == 0 {
+            return false;
+        }
+        let mut want = 0;
+        if !conn.closing {
+            want |= sys::EPOLLIN | sys::EPOLLRDHUP;
+        }
+        if !flushed {
+            want |= sys::EPOLLOUT;
+        }
+        if want != conn.interest {
+            conn.interest = want;
+            let _ = ctx.poller.modify(conn.stream.as_raw_fd(), conn.token, want);
+        }
+        true
+    }
+
+    fn drop_conn(ctx: &Ctx, conns: &mut HashMap<u64, Conn>, token: u64) {
+        if let Some(conn) = conns.remove(&token) {
+            let _ = ctx.poller.delete(conn.stream.as_raw_fd());
+            ctx.server.connection_closed();
+        }
+    }
+
+    /// Detach the connection from the loop and serve the replication
+    /// stream on a blocking thread of its own.
+    fn handoff(ctx: &Ctx, conns: &mut HashMap<u64, Conn>, token: u64, request: Request, req: u64) {
+        let Some(conn) = conns.remove(&token) else {
+            return;
+        };
+        let _ = ctx.poller.delete(conn.stream.as_raw_fd());
+        let mut stream = conn.stream;
+        if stream.set_nonblocking(false).is_err() {
+            ctx.server.connection_closed();
+            return;
+        }
+        let server = ctx.server.clone();
+        std::thread::Builder::new()
+            .name("revkb-replicate".to_string())
+            .spawn(move || {
+                server.handle_replicate(&mut stream, req, &request);
+                server.connection_closed();
+            })
+            .expect("spawn replication thread");
+    }
+
+    /// Drain readable bytes and frame them per the connection's
+    /// protocol.
+    fn handle_readable(ctx: &Ctx, conn: &mut Conn) -> After {
+        let mut chunk = [0u8; READ_CHUNK];
+        loop {
+            match conn.stream.read(&mut chunk) {
+                Ok(0) => {
+                    conn.closing = true;
+                    return After::Keep;
+                }
+                Ok(n) => match feed(ctx, conn, &chunk[..n]) {
+                    After::Keep => {}
+                    other => return other,
+                },
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return After::Keep,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(_) => return After::Close,
+            }
+        }
+    }
+
+    /// Feed freshly read bytes through protocol sniffing and framing.
+    fn feed(ctx: &Ctx, conn: &mut Conn, bytes: &[u8]) -> After {
+        match conn.proto {
+            Proto::Unknown => {
+                conn.line_buf.extend_from_slice(bytes);
+                let Some(pos) = conn.line_buf.iter().position(|b| !b" \t\r\n".contains(b)) else {
+                    // Only keep-alive noise so far; drop it.
+                    conn.line_buf.clear();
+                    return After::Keep;
+                };
+                if conn.line_buf[pos] == b'{' {
+                    conn.proto = Proto::Line;
+                    process_lines(ctx, conn)
+                } else {
+                    let rest = conn.line_buf.split_off(pos);
+                    conn.line_buf.clear();
+                    let mut parser = http::HttpParser::new();
+                    parser.feed(&rest);
+                    conn.proto = Proto::Http(parser);
+                    drain_http(ctx, conn)
+                }
+            }
+            Proto::Line => {
+                conn.line_buf.extend_from_slice(bytes);
+                process_lines(ctx, conn)
+            }
+            Proto::Http(ref mut parser) => {
+                parser.feed(bytes);
+                drain_http(ctx, conn)
+            }
+        }
+    }
+
+    /// Dispatch every complete NDJSON line in the buffer. Requests
+    /// pipeline freely: each is routed as soon as its line arrives.
+    fn process_lines(ctx: &Ctx, conn: &mut Conn) -> After {
+        while let Some(pos) = conn.line_buf.iter().position(|&b| b == b'\n') {
+            let line_bytes: Vec<u8> = conn.line_buf.drain(..=pos).collect();
+            let line = String::from_utf8_lossy(&line_bytes[..pos]).into_owned();
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            let started = Instant::now();
+            match parse_request(line) {
+                Err(e) => {
+                    let response = ctx.server.reject_line(&e, started);
+                    conn.write_buf.extend_from_slice(response.as_bytes());
+                    conn.write_buf.push(b'\n');
+                }
+                Ok(request) => {
+                    let req = ctx.server.next_req();
+                    match ctx.server.route_request(&request, req, true) {
+                        Routing::Done(response) => {
+                            ctx.server.note_request(request.cmd.tag(), req, started);
+                            conn.write_buf
+                                .extend_from_slice(response.render().as_bytes());
+                            conn.write_buf.push(b'\n');
+                        }
+                        Routing::Control => {
+                            conn.pending += 1;
+                            let _ = ctx.ctl_tx.send(ControlJob::Request(Job {
+                                token: conn.token,
+                                request,
+                                started,
+                                req,
+                                reply: Reply::Line,
+                            }));
+                        }
+                        Routing::Admitted => {
+                            conn.pending += 1;
+                            let _ = ctx.data_tx.send(Job {
+                                token: conn.token,
+                                request,
+                                started,
+                                req,
+                                reply: Reply::Line,
+                            });
+                        }
+                        Routing::Replicate => return After::Handoff { request, req },
+                    }
+                }
+            }
+        }
+        After::Keep
+    }
+
+    /// Take complete HTTP requests off the parser, one in flight at a
+    /// time.
+    fn drain_http(ctx: &Ctx, conn: &mut Conn) -> After {
+        loop {
+            if conn.http_busy || conn.closing {
+                return After::Keep;
+            }
+            let taken = match conn.proto {
+                Proto::Http(ref mut parser) => parser.take(),
+                _ => return After::Keep,
+            };
+            match taken {
+                Ok(None) => return After::Keep,
+                Ok(Some(request)) => route_http(ctx, conn, request),
+                Err(error) => {
+                    conn.write_buf.extend_from_slice(&error.to_bytes());
+                    conn.closing = true;
+                    return After::Keep;
+                }
+            }
+        }
+    }
+
+    /// Every command tag the gateway accepts as `POST /v1/<cmd>`.
+    const GATEWAY_TAGS: [&str; 11] = [
+        "load",
+        "revise",
+        "query",
+        "query_batch",
+        "list",
+        "stats",
+        "drop",
+        "ping",
+        "hello",
+        "shutdown",
+        "replicate",
+    ];
+
+    /// Turn one gateway POST into a protocol request line: `/v1`
+    /// bodies are the request object verbatim; `/v1/<cmd>` bodies are
+    /// the request object minus `cmd`, which the path supplies.
+    fn gateway_line(request: &http::HttpRequest) -> Result<String, http::Response> {
+        let body = std::str::from_utf8(&request.body)
+            .map_err(|_| http::Response::text(400, "request body must be UTF-8\n"))?;
+        if request.path == "/v1" {
+            if body.trim().is_empty() {
+                return Err(http::Response::text(
+                    400,
+                    "empty body; POST a JSON request object\n",
+                ));
+            }
+            return Ok(body.to_string());
+        }
+        let tag = &request.path["/v1/".len()..];
+        if !GATEWAY_TAGS.contains(&tag) {
+            return Err(http::Response::not_found(&request.path));
+        }
+        let body = if body.trim().is_empty() { "{}" } else { body };
+        let mut json = Json::parse(body)
+            .map_err(|_| http::Response::text(400, "request body is not valid JSON\n"))?;
+        let Json::Obj(pairs) = &mut json else {
+            return Err(http::Response::text(
+                400,
+                "request body must be a JSON object\n",
+            ));
+        };
+        // The path wins over any `cmd` field in the body.
+        pairs.retain(|(key, _)| key != "cmd");
+        pairs.insert(0, ("cmd".to_string(), Json::str(tag)));
+        Ok(json.render())
+    }
+
+    /// Route one parsed HTTP request: gateway POSTs run the protocol
+    /// pipeline; metrics GETs go to the control worker; everything
+    /// else is 404/405.
+    fn route_http(ctx: &Ctx, conn: &mut Conn, hreq: http::HttpRequest) {
+        let keep = hreq.keep_alive;
+        let started = Instant::now();
+        if hreq.method == "POST" && (hreq.path == "/v1" || hreq.path.starts_with("/v1/")) {
+            match gateway_line(&hreq) {
+                Err(response) => {
+                    conn.write_buf
+                        .extend_from_slice(&response.to_bytes_with(keep));
+                }
+                Ok(line) => match parse_request(line.trim()) {
+                    Err(e) => {
+                        // The gateway routed fine; the *command* is bad.
+                        // Transport says 200, the envelope carries the
+                        // error code — same contract as the line
+                        // protocol, where a bad request still gets a
+                        // well-formed reply line.
+                        let body = format!("{}\n", ctx.server.reject_line(&e, started));
+                        let response = http::Response {
+                            status: 200,
+                            content_type: http::JSON_CONTENT_TYPE,
+                            body,
+                        };
+                        conn.write_buf
+                            .extend_from_slice(&response.to_bytes_with(keep));
+                    }
+                    Ok(request) => {
+                        let req = ctx.server.next_req();
+                        // `replicate` cannot hand off an HTTP
+                        // connection, so it routes to the control
+                        // worker and earns `unsupported` there.
+                        match ctx.server.route_request(&request, req, false) {
+                            Routing::Done(response) => {
+                                ctx.server.note_request(request.cmd.tag(), req, started);
+                                conn.write_buf.extend_from_slice(
+                                    &envelope_http(&response).to_bytes_with(keep),
+                                );
+                            }
+                            Routing::Control => {
+                                conn.pending += 1;
+                                conn.http_busy = true;
+                                let _ = ctx.ctl_tx.send(ControlJob::Request(Job {
+                                    token: conn.token,
+                                    request,
+                                    started,
+                                    req,
+                                    reply: Reply::Http { keep_alive: keep },
+                                }));
+                            }
+                            Routing::Admitted => {
+                                conn.pending += 1;
+                                conn.http_busy = true;
+                                let _ = ctx.data_tx.send(Job {
+                                    token: conn.token,
+                                    request,
+                                    started,
+                                    req,
+                                    reply: Reply::Http { keep_alive: keep },
+                                });
+                            }
+                            Routing::Replicate => unreachable!("replicate is not routed over HTTP"),
+                        }
+                    }
+                },
+            }
+        } else if hreq.method == "GET"
+            && matches!(
+                hreq.path.as_str(),
+                "/metrics" | "/stats.json" | "/series.json" | "/healthz" | "/readyz"
+            )
+        {
+            conn.pending += 1;
+            conn.http_busy = true;
+            let _ = ctx.ctl_tx.send(ControlJob::MetricsGet {
+                token: conn.token,
+                path: hreq.path,
+                keep_alive: keep,
+            });
+        } else if hreq.path == "/v1" || hreq.path.starts_with("/v1/") {
+            let response = http::Response::text(405, "use POST for /v1 endpoints\n");
+            conn.write_buf
+                .extend_from_slice(&response.to_bytes_with(keep));
+        } else {
+            conn.write_buf
+                .extend_from_slice(&http::Response::not_found(&hreq.path).to_bytes_with(keep));
+        }
+        if !keep {
+            conn.closing = true;
+        }
+    }
+
+    /// Accept until the backlog is drained.
+    fn accept_burst(
+        ctx: &Ctx,
+        listener: &TcpListener,
+        conns: &mut HashMap<u64, Conn>,
+        next_token: &mut u64,
+    ) {
+        loop {
+            match listener.accept() {
+                Ok((stream, _addr)) => {
+                    if stream.set_nonblocking(true).is_err() {
+                        continue;
+                    }
+                    let _ = stream.set_nodelay(true);
+                    let token = *next_token;
+                    *next_token += 1;
+                    if ctx
+                        .poller
+                        .add(stream.as_raw_fd(), token, sys::EPOLLIN | sys::EPOLLRDHUP)
+                        .is_err()
+                    {
+                        continue;
+                    }
+                    ctx.server.connection_opened();
+                    conns.insert(token, Conn::new(stream, token));
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(_) => {
+                    // Out of descriptors (or similar): back off so a
+                    // level-triggered listener can't spin the loop.
+                    std::thread::sleep(Duration::from_millis(10));
+                    break;
+                }
+            }
+        }
+    }
+
+    /// Handle one epoll event for a connection token.
+    fn on_conn_event(ctx: &Ctx, conns: &mut HashMap<u64, Conn>, token: u64, flags: u32) {
+        let Some(conn) = conns.get_mut(&token) else {
+            return;
+        };
+        if flags & (sys::EPOLLERR | sys::EPOLLHUP) != 0 {
+            drop_conn(ctx, conns, token);
+            return;
+        }
+        let mut after = After::Keep;
+        if flags & (sys::EPOLLIN | sys::EPOLLRDHUP) != 0 && !conn.closing {
+            after = handle_readable(ctx, conn);
+        }
+        match after {
+            After::Close => {
+                drop_conn(ctx, conns, token);
+                return;
+            }
+            After::Handoff { request, req } => {
+                handoff(ctx, conns, token, request, req);
+                return;
+            }
+            After::Keep => {}
+        }
+        let keep = conns
+            .get_mut(&token)
+            .map(|conn| settle(ctx, conn))
+            .unwrap_or(true);
+        if !keep {
+            drop_conn(ctx, conns, token);
+        }
+    }
+
+    /// The event loop proper. See the module docs for the design.
+    pub(super) fn serve(server: &Server, listener: TcpListener) -> io::Result<()> {
+        sys::raise_nofile(u64::MAX);
+        listener.set_nonblocking(true)?;
+        let poller = Poller::new()?;
+        poller.add(listener.as_raw_fd(), TOKEN_LISTENER, sys::EPOLLIN)?;
+        let (wake_rx, wake_tx) = UnixStream::pair()?;
+        wake_rx.set_nonblocking(true)?;
+        wake_tx.set_nonblocking(true)?;
+        poller.add(wake_rx.as_raw_fd(), TOKEN_WAKE, sys::EPOLLIN)?;
+
+        let completions: Arc<Mutex<Vec<Completion>>> = Arc::default();
+        let (ctl_tx, ctl_rx) = mpsc::channel::<ControlJob>();
+        let (data_tx, data_rx) = mpsc::channel::<Job>();
+        let data_rx = Arc::new(Mutex::new(data_rx));
+        let mut workers = Vec::new();
+        {
+            let server = server.clone();
+            let completions = Arc::clone(&completions);
+            let wake = wake_tx.try_clone()?;
+            workers.push(
+                std::thread::Builder::new()
+                    .name("revkb-ctl".to_string())
+                    .spawn(move || control_worker(server, ctl_rx, completions, wake))
+                    .expect("spawn control worker"),
+            );
+        }
+        for i in 0..server.config().threads.max(1) {
+            let server = server.clone();
+            let rx = Arc::clone(&data_rx);
+            let completions = Arc::clone(&completions);
+            let wake = wake_tx.try_clone()?;
+            workers.push(
+                std::thread::Builder::new()
+                    .name(format!("revkb-worker-{i}"))
+                    .spawn(move || data_worker(server, rx, completions, wake))
+                    .expect("spawn data worker"),
+            );
+        }
+
+        let mut conns: HashMap<u64, Conn> = HashMap::new();
+        let mut next_token = FIRST_CONN_TOKEN;
+        let mut events = vec![sys::EpollEvent { events: 0, data: 0 }; EVENTS_CAP];
+        let mut accepting = true;
+        let mut grace: Option<Instant> = None;
+
+        loop {
+            if server.is_shutting_down() {
+                if accepting {
+                    let _ = poller.delete(listener.as_raw_fd());
+                    accepting = false;
+                    grace = Some(Instant::now() + SHUTDOWN_GRACE);
+                }
+                let idle = conns
+                    .values()
+                    .all(|c| c.pending == 0 && c.write_buf.is_empty());
+                if idle || grace.is_some_and(|g| Instant::now() > g) {
+                    break;
+                }
+            }
+            let n = poller.wait(&mut events, 100)?;
+            let fired: Vec<(u64, u32)> = events[..n]
+                .iter()
+                .map(|e| {
+                    let e = *e;
+                    (e.data, e.events)
+                })
+                .collect();
+            let ctx = Ctx {
+                server,
+                poller: &poller,
+                ctl_tx: &ctl_tx,
+                data_tx: &data_tx,
+            };
+            for (token, flags) in fired {
+                match token {
+                    TOKEN_LISTENER => {
+                        if accepting {
+                            accept_burst(&ctx, &listener, &mut conns, &mut next_token);
+                        }
+                    }
+                    TOKEN_WAKE => {
+                        let mut buf = [0u8; 256];
+                        while matches!((&wake_rx).read(&mut buf), Ok(n) if n > 0) {}
+                    }
+                    token => on_conn_event(&ctx, &mut conns, token, flags),
+                }
+            }
+            // Completed responses: copy each into its connection's
+            // write buffer (dead tokens are simply dropped) and give
+            // HTTP connections their next queued request.
+            let batch = std::mem::take(&mut *completions.lock().expect("completions poisoned"));
+            for completion in batch {
+                let Some(conn) = conns.get_mut(&completion.token) else {
+                    continue;
+                };
+                conn.pending = conn.pending.saturating_sub(1);
+                conn.http_busy = false;
+                conn.write_buf.extend_from_slice(&completion.bytes);
+                if matches!(conn.proto, Proto::Http(_)) {
+                    let _ = drain_http(&ctx, conn);
+                }
+                let keep = settle(&ctx, conn);
+                if !keep {
+                    drop_conn(&ctx, &mut conns, completion.token);
+                }
+            }
+        }
+        drop(ctl_tx);
+        drop(data_tx);
+        for worker in workers {
+            let _ = worker.join();
+        }
+        Ok(())
+    }
+}

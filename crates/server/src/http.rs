@@ -1,13 +1,21 @@
-//! The sidecar metrics plane: a hand-rolled, zero-dependency HTTP/1.1
-//! responder plus the Prometheus text-exposition renderer behind
-//! `revkb-server --metrics-addr`.
+//! The repo's one hand-rolled, zero-dependency HTTP/1.1
+//! implementation, plus the Prometheus text-exposition renderer.
 //!
-//! Deliberately **out of band** from the data plane: the NDJSON
-//! protocol keeps its own listener, admission control, and deadlines,
-//! while this listener is GET-only, unauthenticated, answers every
-//! request from in-memory state (no engine work, no KB locks held
-//! across I/O), and closes the connection after one response. A stuck
-//! scraper can therefore never wedge a revision.
+//! Two consumers share this layer:
+//!
+//! - the **metrics sidecar** behind `revkb-server --metrics-addr`
+//!   (deliberately out of band from the data plane: GET-only,
+//!   unauthenticated, answers from in-memory state, closes the
+//!   connection after one response — a stuck scraper can never wedge
+//!   a revision), and
+//! - the **event-loop HTTP/JSON gateway** on the data port
+//!   (`POST /v1`, keep-alive, request bodies via `Content-Length` or
+//!   chunked transfer coding).
+//!
+//! [`HttpParser`] is the shared incremental parser: feed it bytes as
+//! they arrive, take complete [`HttpRequest`]s out. Limits are fixed:
+//! 8 KiB of head, 1 MiB of body; beyond them the parser fails the
+//! connection with a ready-to-send error [`Response`].
 //!
 //! The exposition format is Prometheus text v0.0.4: `# HELP` /
 //! `# TYPE` headers once per metric family, label values escaped
@@ -32,9 +40,16 @@ pub const JSON_CONTENT_TYPE: &str = "application/json";
 /// Prefix every exported metric name carries.
 pub const METRIC_PREFIX: &str = "revkb_";
 
-/// One HTTP response, ready to serialise. Every response closes the
-/// connection (`Connection: close`), so there is no keep-alive state
-/// to manage.
+/// Largest accepted request head (request line + headers).
+pub const MAX_HEAD_BYTES: usize = 8 * 1024;
+
+/// Largest accepted request body (either framing).
+pub const MAX_BODY_BYTES: usize = 1024 * 1024;
+
+/// One HTTP response, ready to serialise. [`Response::to_bytes`]
+/// closes the connection (`Connection: close`, the sidecar's
+/// one-shot semantics); [`Response::to_bytes_with`] lets the gateway
+/// keep the connection alive.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Response {
     /// HTTP status code (200, 404, 405, 503, …).
@@ -66,40 +81,61 @@ impl Response {
         }
     }
 
+    /// A plain-text response with an arbitrary status.
+    pub fn text(status: u16, body: impl Into<String>) -> Self {
+        Response {
+            status,
+            content_type: "text/plain; charset=utf-8",
+            body: body.into(),
+        }
+    }
+
     /// A `405 Method Not Allowed` — this listener is GET-only.
     pub fn method_not_allowed() -> Self {
-        Response {
-            status: 405,
-            content_type: "text/plain; charset=utf-8",
-            body: "metrics listener is GET-only\n".to_string(),
-        }
+        Response::text(405, "metrics listener is GET-only\n")
     }
 
     /// A `400 Bad Request` for an unparseable request line.
     pub fn bad_request() -> Self {
-        Response {
-            status: 400,
-            content_type: "text/plain; charset=utf-8",
-            body: "malformed HTTP request\n".to_string(),
-        }
+        Response::text(400, "malformed HTTP request\n")
+    }
+
+    /// A `431` for a request head beyond [`MAX_HEAD_BYTES`].
+    pub fn head_too_large() -> Self {
+        Response::text(431, "request head too large\n")
+    }
+
+    /// A `413` for a request body beyond [`MAX_BODY_BYTES`].
+    pub fn body_too_large() -> Self {
+        Response::text(413, "request body too large\n")
+    }
+
+    /// The full wire form with `Connection: close` (the sidecar's
+    /// one-response-per-connection semantics).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        self.to_bytes_with(false)
     }
 
     /// The full wire form: status line, headers, blank line, body.
-    pub fn to_bytes(&self) -> Vec<u8> {
+    pub fn to_bytes_with(&self, keep_alive: bool) -> Vec<u8> {
         let reason = match self.status {
             200 => "OK",
             400 => "Bad Request",
             404 => "Not Found",
             405 => "Method Not Allowed",
+            413 => "Payload Too Large",
+            431 => "Request Header Fields Too Large",
             503 => "Service Unavailable",
             _ => "Unknown",
         };
+        let connection = if keep_alive { "keep-alive" } else { "close" };
         let mut out = format!(
-            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n",
             self.status,
             reason,
             self.content_type,
-            self.body.len()
+            self.body.len(),
+            connection
         )
         .into_bytes();
         out.extend_from_slice(self.body.as_bytes());
@@ -107,31 +143,204 @@ impl Response {
     }
 }
 
-/// Parse an HTTP request head down to the path this listener routes
-/// on: GET-only, query strings stripped. `Err` carries the error
-/// response to send instead.
-pub fn parse_request_head(head: &str) -> Result<String, Response> {
-    let line = head.lines().next().unwrap_or("");
-    let mut parts = line.split_whitespace();
-    let (Some(method), Some(target), Some(version)) = (parts.next(), parts.next(), parts.next())
-    else {
-        return Err(Response::bad_request());
-    };
-    if !version.starts_with("HTTP/") {
-        return Err(Response::bad_request());
+/// One parsed HTTP request: the routing fields plus the raw body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HttpRequest {
+    /// Request method, verbatim (`GET`, `POST`, …).
+    pub method: String,
+    /// Request path with any query string or fragment stripped.
+    pub path: String,
+    /// Header `(name, value)` pairs in arrival order, trimmed.
+    pub headers: Vec<(String, String)>,
+    /// Decoded request body (chunked bodies arrive de-chunked).
+    pub body: Vec<u8>,
+    /// Whether the client asked to keep the connection open
+    /// (HTTP/1.1 default, overridable with `Connection:` either way).
+    pub keep_alive: bool,
+}
+
+impl HttpRequest {
+    /// Case-insensitive header lookup (first match wins).
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(k, _)| k.eq_ignore_ascii_case(name))
+            .map(|(_, v)| v.as_str())
     }
-    if method != "GET" {
-        return Err(Response::method_not_allowed());
+}
+
+/// Incremental HTTP/1.1 request parser: [`HttpParser::feed`] bytes as
+/// they arrive, [`HttpParser::take`] complete requests out. Multiple
+/// pipelined requests in one buffer come out one `take` at a time.
+///
+/// A `take` error is fatal for the connection: send the carried
+/// [`Response`] and close.
+#[derive(Debug, Default)]
+pub struct HttpParser {
+    buf: Vec<u8>,
+}
+
+/// Find the end of the request head: the index just past the first
+/// blank line (`\r\n\r\n` or the tolerant `\n\n`).
+fn head_end(buf: &[u8]) -> Option<usize> {
+    let crlf = buf.windows(4).position(|w| w == b"\r\n\r\n").map(|i| i + 4);
+    let lf = buf.windows(2).position(|w| w == b"\n\n").map(|i| i + 2);
+    match (crlf, lf) {
+        (Some(a), Some(b)) => Some(a.min(b)),
+        (a, b) => a.or(b),
     }
-    let path = target
-        .split(['?', '#'])
-        .next()
-        .unwrap_or_default()
-        .to_string();
-    if !path.starts_with('/') {
-        return Err(Response::bad_request());
+}
+
+impl HttpParser {
+    /// A parser with an empty buffer.
+    pub fn new() -> Self {
+        Self::default()
     }
-    Ok(path)
+
+    /// Append bytes read from the connection.
+    pub fn feed(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Whether any unconsumed bytes are buffered.
+    pub fn has_buffered(&self) -> bool {
+        !self.buf.is_empty()
+    }
+
+    /// Try to take one complete request off the front of the buffer.
+    /// `Ok(None)` means feed more bytes; `Err` carries the error
+    /// response to send before closing the connection.
+    pub fn take(&mut self) -> Result<Option<HttpRequest>, Response> {
+        let Some(head_len) = head_end(&self.buf) else {
+            if self.buf.len() > MAX_HEAD_BYTES {
+                return Err(Response::head_too_large());
+            }
+            return Ok(None);
+        };
+        if head_len > MAX_HEAD_BYTES {
+            return Err(Response::head_too_large());
+        }
+        let head = String::from_utf8_lossy(&self.buf[..head_len]).into_owned();
+        let mut lines = head.lines();
+        let request_line = lines.next().unwrap_or("");
+        let mut parts = request_line.split_whitespace();
+        let (Some(method), Some(target), Some(version)) =
+            (parts.next(), parts.next(), parts.next())
+        else {
+            return Err(Response::bad_request());
+        };
+        if !version.starts_with("HTTP/") || parts.next().is_some() {
+            return Err(Response::bad_request());
+        }
+        let path = target
+            .split(['?', '#'])
+            .next()
+            .unwrap_or_default()
+            .to_string();
+        if !path.starts_with('/') {
+            return Err(Response::bad_request());
+        }
+        let mut headers = Vec::new();
+        for line in lines {
+            if line.is_empty() || line == "\r" {
+                break;
+            }
+            let Some((name, value)) = line.split_once(':') else {
+                return Err(Response::bad_request());
+            };
+            headers.push((name.trim().to_string(), value.trim().to_string()));
+        }
+        let header = |name: &str| {
+            headers
+                .iter()
+                .find(|(k, _)| k.eq_ignore_ascii_case(name))
+                .map(|(_, v)| v.as_str())
+        };
+        let keep_alive = match header("connection") {
+            Some(v) if v.eq_ignore_ascii_case("close") => false,
+            Some(v) if v.eq_ignore_ascii_case("keep-alive") => true,
+            _ => version != "HTTP/1.0",
+        };
+        // Body framing: exactly one of Content-Length and chunked
+        // (both at once is a request-smuggling vector — refuse it).
+        let (body, end) = match (header("transfer-encoding"), header("content-length")) {
+            (Some(_), Some(_)) => return Err(Response::bad_request()),
+            (Some(te), None) => {
+                if !te.eq_ignore_ascii_case("chunked") {
+                    return Err(Response::bad_request());
+                }
+                match decode_chunked(&self.buf[head_len..])? {
+                    None => return Ok(None),
+                    Some((body, used)) => (body, head_len + used),
+                }
+            }
+            (None, Some(cl)) => {
+                let len: usize = cl.parse().map_err(|_| Response::bad_request())?;
+                if len > MAX_BODY_BYTES {
+                    return Err(Response::body_too_large());
+                }
+                if self.buf.len() < head_len + len {
+                    return Ok(None);
+                }
+                (self.buf[head_len..head_len + len].to_vec(), head_len + len)
+            }
+            (None, None) => (Vec::new(), head_len),
+        };
+        let method = method.to_string();
+        self.buf.drain(..end);
+        Ok(Some(HttpRequest {
+            method,
+            path,
+            headers,
+            body,
+            keep_alive,
+        }))
+    }
+}
+
+/// Decode a chunked body from `buf`. `Ok(None)` means incomplete;
+/// `Ok(Some((body, bytes_consumed)))` on success.
+fn decode_chunked(buf: &[u8]) -> Result<Option<(Vec<u8>, usize)>, Response> {
+    let mut body = Vec::new();
+    let mut at = 0usize;
+    loop {
+        // The chunk-size line, strictly CRLF-terminated.
+        let Some(nl) = buf[at..].windows(2).position(|w| w == b"\r\n") else {
+            if buf.len() - at > 18 {
+                // Longer than any valid hex size + extension start.
+                return Err(Response::bad_request());
+            }
+            return Ok(None);
+        };
+        let line = std::str::from_utf8(&buf[at..at + nl]).map_err(|_| Response::bad_request())?;
+        let size_str = line.split(';').next().unwrap_or("").trim();
+        let size = usize::from_str_radix(size_str, 16).map_err(|_| Response::bad_request())?;
+        at += nl + 2;
+        if size == 0 {
+            // Trailer section: zero or more header lines, then CRLF.
+            loop {
+                let Some(nl) = buf[at..].windows(2).position(|w| w == b"\r\n") else {
+                    return Ok(None);
+                };
+                let end = at + nl + 2;
+                if nl == 0 {
+                    return Ok(Some((body, end)));
+                }
+                at = end;
+            }
+        }
+        if body.len() + size > MAX_BODY_BYTES {
+            return Err(Response::body_too_large());
+        }
+        if buf.len() < at + size + 2 {
+            return Ok(None);
+        }
+        if &buf[at + size..at + size + 2] != b"\r\n" {
+            return Err(Response::bad_request());
+        }
+        body.extend_from_slice(&buf[at..at + size]);
+        at += size + 2;
+    }
 }
 
 /// Serve HTTP on `listener` until `stop` returns true: accept
@@ -142,7 +351,7 @@ pub fn parse_request_head(head: &str) -> Result<String, Response> {
 pub fn serve<S, H>(listener: TcpListener, stop: S, handler: H) -> io::Result<()>
 where
     S: Fn() -> bool + Clone + Send + Sync + 'static,
-    H: Fn(&str) -> Response + Clone + Send + Sync + 'static,
+    H: Fn(&HttpRequest) -> Response + Clone + Send + Sync + 'static,
 {
     listener.set_nonblocking(true)?;
     let mut handles = Vec::new();
@@ -167,9 +376,14 @@ where
     Ok(())
 }
 
-/// One connection: read the request head (2 s budget, 8 KiB cap),
-/// route, answer, close.
-fn serve_conn(mut stream: TcpStream, stop: &dyn Fn() -> bool, handler: &dyn Fn(&str) -> Response) {
+/// One connection: read one full request (2 s budget, [`HttpParser`]
+/// limits), route, answer, close. One response per connection — the
+/// sidecar never keeps a scraper attached.
+fn serve_conn(
+    mut stream: TcpStream,
+    stop: &dyn Fn() -> bool,
+    handler: &dyn Fn(&HttpRequest) -> Response,
+) {
     if stream
         .set_read_timeout(Some(Duration::from_millis(100)))
         .is_err()
@@ -177,36 +391,26 @@ fn serve_conn(mut stream: TcpStream, stop: &dyn Fn() -> bool, handler: &dyn Fn(&
         return;
     }
     let _ = stream.set_nodelay(true);
-    let mut head = Vec::new();
+    let mut parser = HttpParser::new();
     let mut chunk = [0u8; 1024];
     let deadline = Instant::now() + Duration::from_secs(2);
-    let complete = loop {
-        if stop() || Instant::now() > deadline || head.len() > 8 * 1024 {
-            break false;
+    let response = loop {
+        match parser.take() {
+            Ok(Some(request)) => break handler(&request),
+            Ok(None) => {}
+            Err(error) => break error,
+        }
+        if stop() || Instant::now() > deadline {
+            return;
         }
         match stream.read(&mut chunk) {
-            Ok(0) => break false,
-            Ok(n) => {
-                head.extend_from_slice(&chunk[..n]);
-                if head.windows(4).any(|w| w == b"\r\n\r\n")
-                    || head.windows(2).any(|w| w == b"\n\n")
-                {
-                    break true;
-                }
-            }
+            Ok(0) => return,
+            Ok(n) => parser.feed(&chunk[..n]),
             Err(e)
                 if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut => {
             }
-            Err(_) => break false,
+            Err(_) => return,
         }
-    };
-    if !complete {
-        return;
-    }
-    let head = String::from_utf8_lossy(&head);
-    let response = match parse_request_head(&head) {
-        Ok(path) => handler(&path),
-        Err(error) => error,
     };
     let _ = stream.write_all(&response.to_bytes());
     let _ = stream.flush();
@@ -442,33 +646,109 @@ revkb_server_request_micros_count{cmd=\"query\"} 6
         assert_eq!(last, 10, "+Inf bucket equals the count");
     }
 
+    fn take_one(raw: &str) -> Result<Option<HttpRequest>, Response> {
+        let mut parser = HttpParser::new();
+        parser.feed(raw.as_bytes());
+        parser.take()
+    }
+
     #[test]
-    fn request_head_routing() {
-        assert_eq!(
-            parse_request_head("GET /metrics HTTP/1.1\r\nHost: x\r\n\r\n"),
-            Ok("/metrics".to_string())
+    fn parses_a_simple_get() {
+        let req = take_one("GET /metrics?pretty=1 HTTP/1.1\r\nHost: x\r\n\r\n")
+            .unwrap()
+            .unwrap();
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.path, "/metrics");
+        assert_eq!(req.header("host"), Some("x"));
+        assert_eq!(req.header("HOST"), Some("x"));
+        assert!(req.body.is_empty());
+        assert!(req.keep_alive, "HTTP/1.1 defaults to keep-alive");
+    }
+
+    #[test]
+    fn keep_alive_follows_version_and_connection_header() {
+        let close11 = take_one("GET / HTTP/1.1\r\nConnection: close\r\n\r\n");
+        assert!(!close11.unwrap().unwrap().keep_alive);
+        let plain10 = take_one("GET / HTTP/1.0\r\n\r\n");
+        assert!(!plain10.unwrap().unwrap().keep_alive);
+        let keep10 = take_one("GET / HTTP/1.0\r\nConnection: keep-alive\r\n\r\n");
+        assert!(keep10.unwrap().unwrap().keep_alive);
+    }
+
+    #[test]
+    fn parses_post_bodies_and_pipelines() {
+        let mut parser = HttpParser::new();
+        parser.feed(
+            b"POST /v1 HTTP/1.1\r\nContent-Length: 4\r\n\r\nabcdGET /healthz HTTP/1.1\r\n\r\n",
         );
-        assert_eq!(
-            parse_request_head("GET /stats.json?pretty=1 HTTP/1.0\r\n\r\n"),
-            Ok("/stats.json".to_string())
-        );
-        assert_eq!(
-            parse_request_head("POST /metrics HTTP/1.1\r\n\r\n")
-                .unwrap_err()
-                .status,
-            405
-        );
-        assert_eq!(parse_request_head("garbage").unwrap_err().status, 400);
-        assert_eq!(
-            parse_request_head("GET metrics HTTP/1.1")
-                .unwrap_err()
-                .status,
-            400
-        );
-        assert_eq!(
-            parse_request_head("GET /x NOTHTTP").unwrap_err().status,
-            400
-        );
+        let first = parser.take().unwrap().unwrap();
+        assert_eq!(first.method, "POST");
+        assert_eq!(first.body, b"abcd");
+        let second = parser.take().unwrap().unwrap();
+        assert_eq!(second.path, "/healthz");
+        assert!(parser.take().unwrap().is_none());
+        assert!(!parser.has_buffered());
+    }
+
+    #[test]
+    fn incomplete_requests_wait_for_more_bytes() {
+        let mut parser = HttpParser::new();
+        parser.feed(b"POST /v1 HTTP/1.1\r\nContent-Length: 8\r\n\r\nabc");
+        assert!(parser.take().unwrap().is_none());
+        parser.feed(b"defgh");
+        assert_eq!(parser.take().unwrap().unwrap().body, b"abcdefgh");
+    }
+
+    #[test]
+    fn decodes_chunked_bodies() {
+        let req = take_one(
+            "POST /v1 HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n4\r\nabcd\r\n3\r\nefg\r\n0\r\n\r\n",
+        )
+        .unwrap()
+        .unwrap();
+        assert_eq!(req.body, b"abcdefg");
+        // Trailers after the last chunk are consumed.
+        let req = take_one(
+            "POST /v1 HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n2\r\nhi\r\n0\r\nX-Sum: 1\r\n\r\n",
+        )
+        .unwrap()
+        .unwrap();
+        assert_eq!(req.body, b"hi");
+    }
+
+    #[test]
+    fn malformed_requests_fail_with_the_right_status() {
+        let cases: [(&str, u16); 7] = [
+            ("garbage\r\n\r\n", 400),
+            ("GET metrics HTTP/1.1\r\n\r\n", 400),
+            ("GET /x NOTHTTP\r\n\r\n", 400),
+            ("GET / HTTP/1.1\r\nno-colon-here\r\n\r\n", 400),
+            ("POST /v1 HTTP/1.1\r\nContent-Length: nope\r\n\r\n", 400),
+            (
+                "POST /v1 HTTP/1.1\r\nContent-Length: 4\r\nTransfer-Encoding: chunked\r\n\r\n",
+                400,
+            ),
+            ("POST /v1 HTTP/1.1\r\nContent-Length: 99999999\r\n\r\n", 413),
+        ];
+        for (raw, status) in cases {
+            assert_eq!(take_one(raw).unwrap_err().status, status, "{raw:?}");
+        }
+        // Bad chunking: non-hex size, and a chunk that overruns its
+        // declared length.
+        for raw in [
+            "POST /v1 HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\nzz\r\nabcd\r\n0\r\n\r\n",
+            "POST /v1 HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n2\r\nabcd\r\n0\r\n\r\n",
+        ] {
+            assert_eq!(take_one(raw).unwrap_err().status, 400, "{raw:?}");
+        }
+    }
+
+    #[test]
+    fn oversized_heads_are_rejected() {
+        let mut parser = HttpParser::new();
+        parser.feed(b"GET / HTTP/1.1\r\n");
+        parser.feed(format!("X-Filler: {}\r\n", "y".repeat(MAX_HEAD_BYTES)).as_bytes());
+        assert_eq!(parser.take().unwrap_err().status, 431);
     }
 
     #[test]
@@ -482,5 +762,9 @@ revkb_server_request_micros_count{cmd=\"query\"} 6
         assert!(text.ends_with("\r\n\r\nabc\n"), "{text}");
         let nf = Response::not_found("/nope").to_bytes();
         assert!(String::from_utf8(nf).unwrap().starts_with("HTTP/1.1 404"));
+        let keep = Response::ok(JSON_CONTENT_TYPE, "{}\n".to_string()).to_bytes_with(true);
+        assert!(String::from_utf8(keep)
+            .unwrap()
+            .contains("Connection: keep-alive\r\n"));
     }
 }

@@ -29,16 +29,26 @@
 //!   backoff, and the replica's durable-offset state machine;
 //! - [`metrics`]: always-on counters for the `stats` command, mirrored
 //!   into `revkb-obs` instruments when tracing is enabled;
-//! - [`http`]: the sidecar metrics plane behind `--metrics-addr` — a
-//!   zero-dependency GET-only HTTP responder serving Prometheus text
-//!   exposition (`/metrics`), JSON state (`/stats.json`,
-//!   `/series.json`), and probes (`/healthz`, `/readyz`).
+//! - [`http`]: the repo's one hand-rolled, zero-dependency HTTP/1.1
+//!   layer — request parsing (bodies, keep-alive, chunked encoding)
+//!   and response serialisation shared by the sidecar metrics plane
+//!   behind `--metrics-addr` (Prometheus `/metrics`, JSON
+//!   `/stats.json` / `/series.json`, probes `/healthz` / `/readyz`)
+//!   and the event loop's JSON gateway;
+//! - [`event_loop`]: the epoll-based non-blocking front end — one
+//!   readiness thread multiplexing thousands of pipelined line- or
+//!   HTTP-protocol connections onto the existing worker/admission
+//!   machinery.
 //!
 //! See `crates/server/PROTOCOL.md` for the wire format.
 
-#![forbid(unsafe_code)]
+// The only unsafe in the workspace is the thin epoll/rlimit syscall
+// shim in `event_loop::sys`; everything else stays forbidden by the
+// lint below plus scoped `allow`s.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod event_loop;
 pub mod http;
 pub mod json;
 pub mod metrics;
@@ -50,7 +60,7 @@ pub mod wal;
 
 pub use http::METRICS_ADDR_ENV;
 pub use json::Json;
-pub use protocol::{Command, OpName, Request};
+pub use protocol::{Command, OpName, Request, Response, MIN_PROTOCOL_VERSION, PROTOCOL_VERSION};
 pub use registry::{cache_key, parse_canonical, Artifact, ArtifactCache, KbKind, KbState};
 pub use replica::ReplStatus;
 pub use server::{Server, ServerConfig};

@@ -83,10 +83,14 @@ pub static REPL_HEARTBEATS: obs::Counter = obs::Counter::new("repl.heartbeats");
 /// disconnected.
 pub static REPL_LAG_MILLIS: obs::Gauge = obs::Gauge::new("repl.lag.millis");
 
-/// Request-type buckets for per-type latency in `stats`: the ten
+/// Connections currently open on the event-loop front end.
+pub static CONNECTIONS: obs::Gauge = obs::Gauge::new("server.connections");
+
+/// Request-type buckets for per-type latency in `stats`: the eleven
 /// command tags ([`crate::protocol::Command::tag`]) plus a catch-all
-/// for lines that never parsed into a command.
-pub const REQUEST_KINDS: [&str; 11] = [
+/// for lines that never parsed into a command (`bad_request` must stay
+/// last: it doubles as the fallback bucket).
+pub const REQUEST_KINDS: [&str; 12] = [
     "load",
     "revise",
     "query",
@@ -95,6 +99,7 @@ pub const REQUEST_KINDS: [&str; 11] = [
     "stats",
     "drop",
     "ping",
+    "hello",
     "shutdown",
     "replicate",
     "bad_request",

@@ -2,9 +2,11 @@
 //!
 //! One request per line, one response per line, matched by the
 //! client-chosen `id` field (echoed verbatim — number or string).
-//! Responses are `{"id":…,"req":N,"ok":true,"result":{…}}` on success
-//! and `{"id":…,"req":N,"ok":false,"code":"…","error":"…"}` on
-//! failure, where `req` is the server-assigned monotonic request id —
+//! Responses are `{"v":2,"id":…,"req":N,"ok":true,"result":{…}}` on
+//! success and `{"v":2,"id":…,"req":N,"ok":false,"code":"…","error":"…"}`
+//! on failure, where `v` is the protocol version
+//! ([`PROTOCOL_VERSION`]) and `req` is the server-assigned monotonic
+//! request id —
 //! the same number every `server.*` telemetry span and `slow_log`
 //! entry for that request carries, so wire lines and traces
 //! correlate. The
@@ -17,6 +19,18 @@
 
 use crate::json::Json;
 use revkb_revision::{Backend, ModelBasedOp};
+
+/// The protocol version this server speaks. Every response envelope
+/// carries it as `"v"`. Requests may pin a version with an optional
+/// `"v"` field; versions outside
+/// [`MIN_PROTOCOL_VERSION`]`..=`[`PROTOCOL_VERSION`] are rejected with
+/// `bad_request`.
+pub const PROTOCOL_VERSION: u64 = 2;
+
+/// The oldest protocol version still accepted in a request's `"v"`
+/// field. Version 1 is the pre-`v` envelope: same commands, same error
+/// codes, responses without the `"v"` key.
+pub const MIN_PROTOCOL_VERSION: u64 = 1;
 
 /// Protocol-level error codes (engine-level codes come verbatim from
 /// [`revkb_revision::Error::code`]).
@@ -109,6 +123,9 @@ pub struct Request {
     /// Per-request deadline in milliseconds (admission + execution
     /// must start within it). Absent means the server default.
     pub deadline_ms: Option<u64>,
+    /// Requested protocol version (the optional `"v"` field). Absent
+    /// means "whatever the server speaks".
+    pub version: Option<u64>,
     /// The command.
     pub cmd: Command,
 }
@@ -159,6 +176,9 @@ pub enum Command {
     },
     /// Liveness probe.
     Ping,
+    /// Protocol negotiation: report the server's name, version, and
+    /// the protocol version range it accepts.
+    Hello,
     /// Stop accepting work and shut down cleanly.
     Shutdown,
     /// Switch this TCP connection into a replication stream: after a
@@ -196,6 +216,7 @@ impl Command {
             Command::Stats => "stats",
             Command::Drop { .. } => "drop",
             Command::Ping => "ping",
+            Command::Hello => "hello",
             Command::Shutdown => "shutdown",
             Command::Replicate { .. } => "replicate",
         }
@@ -241,6 +262,13 @@ pub fn parse_request(line: &str) -> Result<Request, RequestError> {
         Some(v) => Some(
             v.as_u64()
                 .ok_or_else(|| fail("deadline_ms must be a non-negative integer".to_string()))?,
+        ),
+    };
+    let version = match value.get("v") {
+        None => None,
+        Some(v) => Some(
+            v.as_u64()
+                .ok_or_else(|| fail("v must be a non-negative integer".to_string()))?,
         ),
     };
     let cmd_tag = field(&value, "cmd").map_err(&fail)?;
@@ -298,6 +326,7 @@ pub fn parse_request(line: &str) -> Result<Request, RequestError> {
             kb: field(&value, "kb").map_err(&fail)?.to_string(),
         },
         "ping" => Command::Ping,
+        "hello" => Command::Hello,
         "shutdown" => Command::Shutdown,
         "replicate" => {
             let offset = match value.get("offset") {
@@ -334,14 +363,71 @@ pub fn parse_request(line: &str) -> Result<Request, RequestError> {
     Ok(Request {
         id,
         deadline_ms,
+        version,
         cmd,
     })
+}
+
+/// A response envelope, not yet rendered to its wire line. This is
+/// the transport-agnostic return value of `Server::execute`: stdio,
+/// blocking TCP, the event loop, and the HTTP gateway all render the
+/// same [`Response`] with [`Response::render`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct Response {
+    /// Echoed client correlation id (`None` renders as `null`).
+    pub id: Option<Json>,
+    /// Server-assigned monotonic request id.
+    pub req: u64,
+    /// `Ok(result)` on success, `Err((code, message))` on failure.
+    pub result: Result<Json, (String, String)>,
+}
+
+impl Response {
+    /// Build a success envelope.
+    pub fn ok(id: Option<Json>, req: u64, result: Json) -> Response {
+        Response {
+            id,
+            req,
+            result: Ok(result),
+        }
+    }
+
+    /// Build an error envelope.
+    pub fn err(id: Option<Json>, req: u64, code: &str, message: impl Into<String>) -> Response {
+        Response {
+            id,
+            req,
+            result: Err((code.to_string(), message.into())),
+        }
+    }
+
+    /// Whether this is a success envelope.
+    pub fn is_ok(&self) -> bool {
+        self.result.is_ok()
+    }
+
+    /// The error code, when this is an error envelope.
+    pub fn code(&self) -> Option<&str> {
+        match &self.result {
+            Ok(_) => None,
+            Err((code, _)) => Some(code.as_str()),
+        }
+    }
+
+    /// Render the one-line wire form (no trailing newline).
+    pub fn render(&self) -> String {
+        match &self.result {
+            Ok(result) => ok_response(&self.id, self.req, result.clone()),
+            Err((code, message)) => err_response(&self.id, self.req, code, message),
+        }
+    }
 }
 
 /// Render a success response line (no trailing newline). `req` is the
 /// server-assigned monotonic request id echoed for trace correlation.
 pub fn ok_response(id: &Option<Json>, req: u64, result: Json) -> String {
     Json::obj([
+        ("v", Json::Num(PROTOCOL_VERSION as f64)),
         ("id", id.clone().unwrap_or(Json::Null)),
         ("req", Json::Num(req as f64)),
         ("ok", Json::Bool(true)),
@@ -354,6 +440,7 @@ pub fn ok_response(id: &Option<Json>, req: u64, result: Json) -> String {
 /// server-assigned monotonic request id echoed for trace correlation.
 pub fn err_response(id: &Option<Json>, req: u64, code: &str, message: &str) -> String {
     Json::obj([
+        ("v", Json::Num(PROTOCOL_VERSION as f64)),
         ("id", id.clone().unwrap_or(Json::Null)),
         ("req", Json::Num(req as f64)),
         ("ok", Json::Bool(false)),
@@ -384,6 +471,7 @@ mod tests {
             (r#"{"cmd":"stats"}"#, "stats"),
             (r#"{"cmd":"drop","kb":"k"}"#, "drop"),
             (r#"{"cmd":"ping"}"#, "ping"),
+            (r#"{"cmd":"hello"}"#, "hello"),
             (r#"{"cmd":"shutdown"}"#, "shutdown"),
             (
                 r#"{"cmd":"replicate","offset":8,"last_len":0,"last_crc":0,"snapshot":true}"#,
@@ -402,6 +490,7 @@ mod tests {
                     | (Command::Stats, "stats")
                     | (Command::Drop { .. }, "drop")
                     | (Command::Ping, "ping")
+                    | (Command::Hello, "hello")
                     | (Command::Shutdown, "shutdown")
                     | (Command::Replicate { .. }, "replicate")
             );
@@ -449,6 +538,12 @@ mod tests {
         let req = parse_request(r#"{"id":7,"deadline_ms":250,"cmd":"ping"}"#).unwrap();
         assert_eq!(req.id, Some(Json::Num(7.0)));
         assert_eq!(req.deadline_ms, Some(250));
+        assert_eq!(req.version, None);
+        let req = parse_request(r#"{"v":2,"cmd":"ping"}"#).unwrap();
+        assert_eq!(req.version, Some(2));
+        // Unknown envelope fields are tolerated (forward compatibility).
+        let req = parse_request(r#"{"cmd":"ping","someday":true}"#).unwrap();
+        assert_eq!(req.cmd, Command::Ping);
     }
 
     #[test]
@@ -466,6 +561,8 @@ mod tests {
             r#"{"id":[1],"cmd":"ping"}"#,
             r#"{"cmd":"ping","deadline_ms":-3}"#,
             r#"{"cmd":"ping","deadline_ms":1.5}"#,
+            r#"{"cmd":"ping","v":"two"}"#,
+            r#"{"cmd":"ping","v":-1}"#,
         ] {
             assert!(parse_request(line).is_err(), "accepted {line:?}");
         }
@@ -487,17 +584,39 @@ mod tests {
                 3,
                 Json::obj([("pong", Json::Bool(true))])
             ),
-            r#"{"id":1,"req":3,"ok":true,"result":{"pong":true}}"#
+            r#"{"v":2,"id":1,"req":3,"ok":true,"result":{"pong":true}}"#
         );
         assert_eq!(
             err_response(&None, 4, codes::BAD_REQUEST, "nope"),
-            r#"{"id":null,"req":4,"ok":false,"code":"bad_request","error":"nope"}"#
+            r#"{"v":2,"id":null,"req":4,"ok":false,"code":"bad_request","error":"nope"}"#
+        );
+    }
+
+    #[test]
+    fn response_struct_renders_both_shapes() {
+        let ok = Response::ok(
+            Some(Json::Num(1.0)),
+            3,
+            Json::obj([("pong", Json::Bool(true))]),
+        );
+        assert!(ok.is_ok());
+        assert_eq!(ok.code(), None);
+        assert_eq!(
+            ok.render(),
+            ok_response(&ok.id, 3, Json::obj([("pong", Json::Bool(true))]))
+        );
+        let err = Response::err(None, 4, codes::TIMEOUT, "too slow");
+        assert!(!err.is_ok());
+        assert_eq!(err.code(), Some("timeout"));
+        assert_eq!(
+            err.render(),
+            err_response(&None, 4, codes::TIMEOUT, "too slow")
         );
     }
 
     #[test]
     fn command_tags_cover_every_command() {
-        let cases: [(Command, &str); 10] = [
+        let cases: [(Command, &str); 11] = [
             (
                 Command::Load {
                     kb: "k".into(),
@@ -532,6 +651,7 @@ mod tests {
             (Command::Stats, "stats"),
             (Command::Drop { kb: "k".into() }, "drop"),
             (Command::Ping, "ping"),
+            (Command::Hello, "hello"),
             (Command::Shutdown, "shutdown"),
             (
                 Command::Replicate {

@@ -28,7 +28,8 @@ use crate::http;
 use crate::json::Json;
 use crate::metrics::{self, ServerCounters};
 use crate::protocol::{
-    codes, err_response, ok_response, parse_request, Command, OpName, Request, RequestError,
+    codes, parse_request, Command, OpName, Request, RequestError, Response, MIN_PROTOCOL_VERSION,
+    PROTOCOL_VERSION,
 };
 use crate::registry::{
     cache_key, formula_size, Artifact, ArtifactCache, KbKind, KbProfile, KbState,
@@ -367,6 +368,31 @@ impl Drop for InFlightGuard<'_> {
     }
 }
 
+/// Decrements the open-connection gauge when a blocking connection
+/// thread exits by any path.
+struct ConnGuard<'a>(&'a Server);
+
+impl Drop for ConnGuard<'_> {
+    fn drop(&mut self) {
+        self.0.connection_closed();
+    }
+}
+
+/// Where one parsed request goes next, as decided on the event-loop
+/// thread by [`Server::route_request`].
+pub(crate) enum Routing {
+    /// Answered on the spot (rejections, overload): ship the response.
+    Done(Response),
+    /// A control-plane command for the dedicated control worker.
+    Control,
+    /// Admitted to the data-plane worker pool; the in-flight slot is
+    /// already claimed and [`Server::execute_admitted`] releases it.
+    Admitted,
+    /// A `replicate` handshake: hand the whole connection over to a
+    /// blocking replication stream.
+    Replicate,
+}
+
 /// One `slow_log` entry: a request whose end-to-end latency was at
 /// least the configured threshold.
 #[derive(Debug, Clone, Copy)]
@@ -417,6 +443,9 @@ struct Inner {
     /// `series` section of `stats` (populated right after
     /// construction; `None` only mid-build).
     sampler: Mutex<Option<obs::Sampler>>,
+    /// Data-plane connections currently open (blocking TCP threads
+    /// plus event-loop registrations).
+    connections: AtomicU64,
 }
 
 /// The revision service. Cheap to clone (shared state behind an
@@ -565,6 +594,7 @@ impl Server {
                 repl_handshakes: AtomicU64::new(0),
                 repl_refusals: AtomicU64::new(0),
                 sampler: Mutex::new(None),
+                connections: AtomicU64::new(0),
             }),
         };
         server.start_sampler();
@@ -606,26 +636,49 @@ impl Server {
         *self.inner.sampler.lock().expect("sampler poisoned") = Some(sampler);
     }
 
-    /// Re-apply one logged operation through the normal command paths
-    /// (so replay enforces exactly the rules the original commit did).
+    /// Re-apply one logged operation through the same request path the
+    /// data plane uses ([`Server::process_request`] in replay mode) —
+    /// so replay enforces exactly the engine rules the original commit
+    /// did, while skipping the gating (admission, deadlines, replica
+    /// read-only) those operations already passed once.
     fn replay_op(&self, op: &WalOp) -> Result<(), String> {
-        match op {
-            WalOp::Load { kb, t } => self
-                .cmd_load(kb, t)
-                .map(drop)
-                .map_err(|(code, m)| format!("load {kb:?}: {code}: {m}")),
+        let (kb, cmd) = match op {
+            WalOp::Load { kb, t } => (
+                kb,
+                Command::Load {
+                    kb: kb.clone(),
+                    t: t.clone(),
+                },
+            ),
             WalOp::Revise { kb, op, p, backend } => {
                 let op_name = OpName::from_tag(op).ok_or_else(|| format!("unknown op {op:?}"))?;
                 let be = Backend::from_tag(backend)
                     .ok_or_else(|| format!("unknown backend {backend:?}"))?;
-                self.cmd_revise(kb, op_name, p, be, 0)
-                    .map(drop)
-                    .map_err(|(code, m)| format!("revise {kb:?}: {code}: {m}"))
+                (
+                    kb,
+                    Command::Revise {
+                        kb: kb.clone(),
+                        op: op_name,
+                        p: p.clone(),
+                        backend: be,
+                    },
+                )
             }
-            WalOp::Drop { kb } => self
-                .cmd_drop(kb)
-                .map(drop)
-                .map_err(|(code, m)| format!("drop {kb:?}: {code}: {m}")),
+            WalOp::Drop { kb } => (kb, Command::Drop { kb: kb.clone() }),
+        };
+        let request = Request {
+            id: None,
+            deadline_ms: None,
+            version: None,
+            cmd,
+        };
+        let tag = request.cmd.tag();
+        match self
+            .process_request(&request, Instant::now(), 0, true)
+            .result
+        {
+            Ok(_) => Ok(()),
+            Err((code, m)) => Err(format!("{tag} {kb:?}: {code}: {m}")),
         }
     }
 
@@ -692,13 +745,59 @@ impl Server {
         if line.is_empty() {
             return None;
         }
-        let start = Instant::now();
-        let req = self.inner.seq.fetch_add(1, Ordering::Relaxed) + 1;
-        let (response, kind) = {
+        let started = Instant::now();
+        match parse_request(line) {
+            Ok(request) => Some(self.execute_from(&request, started).render()),
+            Err(e) => Some(self.reject_line(&e, started)),
+        }
+    }
+
+    /// The transport-agnostic service entry point: run one parsed
+    /// request through the full pipeline — version check, control
+    /// plane, gating, admission, deadline-bounded execution — and
+    /// return the response envelope. Every transport (stdio, blocking
+    /// TCP, the event loop, the HTTP gateway) and the replay paths
+    /// funnel through the same machinery this calls.
+    pub fn execute(&self, request: &Request) -> Response {
+        self.execute_from(request, Instant::now())
+    }
+
+    /// [`Server::execute`] with an explicit arrival instant, so
+    /// transports that buffered the request charge queueing time
+    /// against the deadline too.
+    fn execute_from(&self, request: &Request, started: Instant) -> Response {
+        let req = self.next_req();
+        let response = {
             let _span = obs::span_with("server.request", &[("req", req)]);
-            self.process(line, start, req)
+            self.process_request(request, started, req, false)
         };
-        let micros = u64::try_from(start.elapsed().as_micros()).unwrap_or(u64::MAX);
+        self.note_request(request.cmd.tag(), req, started);
+        response
+    }
+
+    /// Answer an unparseable line. Shares the accounting path with
+    /// real requests (a `req` id, the error counter, latency and
+    /// slow-log bookkeeping under `bad_request`).
+    pub(crate) fn reject_line(&self, err: &RequestError, started: Instant) -> String {
+        let req = self.next_req();
+        let response = {
+            let _span = obs::span_with("server.request", &[("req", req)]);
+            self.inner.counters.error();
+            bad_request_response(err, req)
+        };
+        self.note_request("bad_request", req, started);
+        response
+    }
+
+    /// Claim the next monotonic request id (first request is 1).
+    pub(crate) fn next_req(&self) -> u64 {
+        self.inner.seq.fetch_add(1, Ordering::Relaxed) + 1
+    }
+
+    /// Post-response accounting: the per-kind latency histogram and,
+    /// past the slow threshold, the `slow_log` ring buffer.
+    pub(crate) fn note_request(&self, kind: &'static str, req: u64, started: Instant) {
+        let micros = u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX);
         self.inner.counters.request(kind, micros);
         let cap = self.inner.config.slow_log_cap;
         if cap > 0 && micros >= self.inner.config.slow_ms.saturating_mul(1000) {
@@ -712,67 +811,134 @@ impl Server {
                 micros,
             });
         }
-        Some(response)
     }
 
-    fn process(&self, line: &str, start: Instant, req: u64) -> (String, &'static str) {
-        let request = match parse_request(line) {
-            Ok(request) => request,
-            Err(e) => {
-                self.inner.counters.error();
-                return (bad_request_response(&e, req), "bad_request");
-            }
-        };
-        let kind = request.cmd.tag();
+    /// The request pipeline behind [`Server::execute`]. In `replay`
+    /// mode (boot replay, replica apply) the gating stages are skipped
+    /// — the operation already passed them when it first committed —
+    /// and no counters move.
+    fn process_request(
+        &self,
+        request: &Request,
+        started: Instant,
+        req: u64,
+        replay: bool,
+    ) -> Response {
+        if let Some(response) = self.version_rejection(request, req, replay) {
+            return response;
+        }
+        if replay {
+            return match self.dispatch(&request.cmd, req) {
+                Ok(result) => Response::ok(request.id.clone(), req, result),
+                Err((code, message)) => Response::err(request.id.clone(), req, code, message),
+            };
+        }
         // Control-plane commands bypass admission: they must answer
         // even (especially) when the server is saturated.
+        if let Some(response) = self.control_response(request, req) {
+            return response;
+        }
+        if let Some(response) = self.gate_rejection(request, req) {
+            return response;
+        }
+        if !self.try_admit() {
+            return self.overloaded_response(request, req);
+        }
+        self.run_admitted(request, started, req)
+    }
+
+    /// Reject a request that pins a protocol version outside the
+    /// supported range.
+    fn version_rejection(&self, request: &Request, req: u64, replay: bool) -> Option<Response> {
+        let v = request.version?;
+        if (MIN_PROTOCOL_VERSION..=PROTOCOL_VERSION).contains(&v) {
+            return None;
+        }
+        if !replay {
+            self.inner.counters.error();
+        }
+        Some(Response::err(
+            request.id.clone(),
+            req,
+            codes::BAD_REQUEST,
+            format!(
+                "unsupported protocol version {v} \
+                 (supported {MIN_PROTOCOL_VERSION}..={PROTOCOL_VERSION})"
+            ),
+        ))
+    }
+
+    /// Answer a control-plane command (`None` for data-plane
+    /// commands). Control commands bypass admission and deadlines so
+    /// they answer even when the server is saturated; the event loop
+    /// additionally runs them on a dedicated worker so a slow `stats`
+    /// never blocks readiness polling.
+    pub(crate) fn control_response(&self, request: &Request, req: u64) -> Option<Response> {
         match request.cmd {
-            Command::Ping => {
-                return (
-                    ok_response(&request.id, req, Json::obj([("pong", Json::Bool(true))])),
-                    kind,
-                );
-            }
-            Command::Stats => return (self.stats_response(&request, req), kind),
+            Command::Ping => Some(Response::ok(
+                request.id.clone(),
+                req,
+                Json::obj([("pong", Json::Bool(true))]),
+            )),
+            Command::Hello => Some(Response::ok(request.id.clone(), req, self.hello_json())),
+            Command::Stats => Some(Response::ok(request.id.clone(), req, self.stats_json())),
             Command::Shutdown => {
                 self.inner.shutdown.store(true, Ordering::SeqCst);
-                return (
-                    ok_response(
-                        &request.id,
-                        req,
-                        Json::obj([("shutting_down", Json::Bool(true))]),
-                    ),
-                    kind,
-                );
+                Some(Response::ok(
+                    request.id.clone(),
+                    req,
+                    Json::obj([("shutting_down", Json::Bool(true))]),
+                ))
             }
             Command::Replicate { .. } => {
-                // The TCP loop intercepts `replicate` before line
-                // dispatch and switches the connection to a raw
-                // record stream; reaching here means stdio.
+                // The TCP loops intercept `replicate` before line
+                // dispatch and switch the connection to a raw record
+                // stream; reaching here means a transport that cannot
+                // carry one (stdio, HTTP).
                 self.inner.counters.error();
-                return (
-                    err_response(
-                        &request.id,
-                        req,
-                        codes::UNSUPPORTED,
-                        "replicate requires a dedicated TCP connection",
-                    ),
-                    kind,
-                );
+                Some(Response::err(
+                    request.id.clone(),
+                    req,
+                    codes::UNSUPPORTED,
+                    "replicate requires a dedicated TCP connection",
+                ))
             }
-            _ => {}
+            _ => None,
         }
+    }
+
+    /// The `hello` negotiation payload: who the server is and which
+    /// protocol versions it accepts.
+    fn hello_json(&self) -> Json {
+        Json::obj([
+            ("server", Json::str("revkb-server")),
+            ("version", Json::str(env!("CARGO_PKG_VERSION"))),
+            ("protocol", num(PROTOCOL_VERSION)),
+            ("min_protocol", num(MIN_PROTOCOL_VERSION)),
+            (
+                "features",
+                Json::Arr(
+                    ["pipelining", "http", "wal", "replication"]
+                        .iter()
+                        .map(|f| Json::str(*f))
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    /// Reject a data-plane request the server's current state refuses
+    /// to serve: shutting down, or a replica that is read-only or has
+    /// diverged.
+    fn gate_rejection(&self, request: &Request, req: u64) -> Option<Response> {
         if self.is_shutting_down() {
             self.inner.counters.error();
-            return (
-                err_response(
-                    &request.id,
-                    req,
-                    codes::SHUTTING_DOWN,
-                    "server is shutting down",
-                ),
-                kind,
-            );
+            return Some(Response::err(
+                request.id.clone(),
+                req,
+                codes::SHUTTING_DOWN,
+                "server is shutting down",
+            ));
         }
         // A replica serves reads only — and once its divergence
         // detector has fired, not even those: answers would come from
@@ -781,103 +947,101 @@ impl Server {
             let diverged = repl.lock().expect("repl poisoned").diverged;
             if diverged {
                 self.inner.counters.error();
-                return (
-                    err_response(
-                        &request.id,
-                        req,
-                        codes::DIVERGED,
-                        "replica log diverged from its primary; refusing to serve",
-                    ),
-                    kind,
-                );
+                return Some(Response::err(
+                    request.id.clone(),
+                    req,
+                    codes::DIVERGED,
+                    "replica log diverged from its primary; refusing to serve",
+                ));
             }
             if matches!(
                 request.cmd,
                 Command::Load { .. } | Command::Revise { .. } | Command::Drop { .. }
             ) {
                 self.inner.counters.error();
-                return (
-                    err_response(
-                        &request.id,
-                        req,
-                        codes::READ_ONLY,
-                        "this server is a read-only replica; send writes to the primary",
-                    ),
-                    kind,
-                );
+                return Some(Response::err(
+                    request.id.clone(),
+                    req,
+                    codes::READ_ONLY,
+                    "this server is a read-only replica; send writes to the primary",
+                ));
             }
         }
-        // Admission control: a bounded number of requests may be in
-        // flight (waiting or executing); the rest are told to back off
-        // rather than queueing without bound.
-        let admitted = self
-            .inner
+        None
+    }
+
+    /// Admission control: claim an in-flight slot if one is free. A
+    /// `true` return must be paired with [`Server::run_admitted`],
+    /// which releases the slot.
+    fn try_admit(&self) -> bool {
+        self.inner
             .in_flight
             .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |n| {
                 (n < self.inner.config.queue).then_some(n + 1)
-            });
-        if admitted.is_err() {
-            self.inner.counters.overloaded();
-            return (
-                err_response(
-                    &request.id,
-                    req,
-                    codes::OVERLOADED,
-                    &format!(
-                        "{} requests already in flight (bound {}); retry later",
-                        self.inner.in_flight.load(Ordering::Relaxed),
-                        self.inner.config.queue
-                    ),
-                ),
-                kind,
-            );
-        }
+            })
+            .is_ok()
+    }
+
+    /// The `overloaded` rejection for a request [`Server::try_admit`]
+    /// turned away.
+    fn overloaded_response(&self, request: &Request, req: u64) -> Response {
+        self.inner.counters.overloaded();
+        Response::err(
+            request.id.clone(),
+            req,
+            codes::OVERLOADED,
+            format!(
+                "{} requests already in flight (bound {}); retry later",
+                self.inner.in_flight.load(Ordering::Relaxed),
+                self.inner.config.queue
+            ),
+        )
+    }
+
+    /// Execute an admitted request: wait (deadline-bounded) for an
+    /// execution permit, dispatch, and discard answers that arrived
+    /// too late. Releases the in-flight slot claimed by
+    /// [`Server::try_admit`] on every path out.
+    fn run_admitted(&self, request: &Request, started: Instant, req: u64) -> Response {
         let _in_flight = InFlightGuard(&self.inner.in_flight);
         metrics::IN_FLIGHT_PEAK.set_max(self.inner.in_flight.load(Ordering::Relaxed) as u64);
 
         let deadline_ms = request
             .deadline_ms
             .unwrap_or(self.inner.config.default_deadline_ms);
-        let deadline = start + Duration::from_millis(deadline_ms);
+        let deadline = started + Duration::from_millis(deadline_ms);
         if !self.inner.gate.acquire(deadline) {
             self.inner.counters.timeout();
-            return (
-                err_response(
-                    &request.id,
-                    req,
-                    codes::TIMEOUT,
-                    &format!("deadline of {deadline_ms} ms expired before execution started"),
-                ),
-                kind,
+            return Response::err(
+                request.id.clone(),
+                req,
+                codes::TIMEOUT,
+                format!("deadline of {deadline_ms} ms expired before execution started"),
             );
         }
         let _permit = PermitGuard(&self.inner.gate);
-        let result = self.execute(&request.cmd, req);
+        let result = self.dispatch(&request.cmd, req);
         if Instant::now() > deadline {
             // The answer arrived after the client's deadline: discard
             // it so a late answer cannot masquerade as a fast one.
             self.inner.counters.timeout();
-            return (
-                err_response(
-                    &request.id,
-                    req,
-                    codes::TIMEOUT,
-                    &format!("deadline of {deadline_ms} ms expired during execution"),
-                ),
-                kind,
+            return Response::err(
+                request.id.clone(),
+                req,
+                codes::TIMEOUT,
+                format!("deadline of {deadline_ms} ms expired during execution"),
             );
         }
-        let response = match result {
-            Ok(result) => ok_response(&request.id, req, result),
+        match result {
+            Ok(result) => Response::ok(request.id.clone(), req, result),
             Err((code, message)) => {
                 self.inner.counters.error();
-                err_response(&request.id, req, code, &message)
+                Response::err(request.id.clone(), req, code, message)
             }
-        };
-        (response, kind)
+        }
     }
 
-    fn execute(&self, cmd: &Command, req: u64) -> Result<Json, ExecError> {
+    fn dispatch(&self, cmd: &Command, req: u64) -> Result<Json, ExecError> {
         let span_name = match cmd {
             Command::Load { .. } => "server.cmd.load",
             Command::Revise { .. } => "server.cmd.revise",
@@ -885,9 +1049,11 @@ impl Server {
             Command::QueryBatch { .. } => "server.cmd.query_batch",
             Command::List => "server.cmd.list",
             Command::Drop { .. } => "server.cmd.drop",
-            Command::Ping | Command::Stats | Command::Shutdown | Command::Replicate { .. } => {
-                "server.cmd.control"
-            }
+            Command::Ping
+            | Command::Hello
+            | Command::Stats
+            | Command::Shutdown
+            | Command::Replicate { .. } => "server.cmd.control",
         };
         let _span = obs::span_with(span_name, &[("req", req)]);
         match cmd {
@@ -898,10 +1064,88 @@ impl Server {
             Command::List => self.cmd_list(),
             Command::Drop { kb } => self.cmd_drop(kb),
             // Handled before admission.
-            Command::Ping | Command::Stats | Command::Shutdown | Command::Replicate { .. } => {
+            Command::Ping
+            | Command::Hello
+            | Command::Stats
+            | Command::Shutdown
+            | Command::Replicate { .. } => {
                 unreachable!("exempt command")
             }
         }
+    }
+
+    /// Classify one request for the event loop: an immediate answer
+    /// (version/gate rejections, overload), a control command for the
+    /// control worker, an admitted data-plane command for the worker
+    /// pool, or a `replicate` handoff (line transport only —
+    /// `allow_replicate` is false for HTTP, which cannot carry a raw
+    /// record stream).
+    ///
+    /// Runs on the loop thread, so admission happens at arrival order:
+    /// a flood of connections sees `overloaded` exactly as the
+    /// blocking front end would answer it.
+    pub(crate) fn route_request(
+        &self,
+        request: &Request,
+        req: u64,
+        allow_replicate: bool,
+    ) -> Routing {
+        if let Some(response) = self.version_rejection(request, req, false) {
+            return Routing::Done(response);
+        }
+        if matches!(request.cmd, Command::Replicate { .. }) && allow_replicate {
+            return Routing::Replicate;
+        }
+        if matches!(
+            request.cmd,
+            Command::Ping
+                | Command::Hello
+                | Command::Stats
+                | Command::Shutdown
+                | Command::Replicate { .. }
+        ) {
+            return Routing::Control;
+        }
+        if let Some(response) = self.gate_rejection(request, req) {
+            return Routing::Done(response);
+        }
+        if !self.try_admit() {
+            return Routing::Done(self.overloaded_response(request, req));
+        }
+        Routing::Admitted
+    }
+
+    /// Run a control command routed by [`Server::route_request`]
+    /// (event-loop control worker).
+    pub(crate) fn execute_control(
+        &self,
+        request: &Request,
+        started: Instant,
+        req: u64,
+    ) -> Response {
+        let response = {
+            let _span = obs::span_with("server.request", &[("req", req)]);
+            self.control_response(request, req)
+                .expect("routed as control")
+        };
+        self.note_request(request.cmd.tag(), req, started);
+        response
+    }
+
+    /// Run an admitted data-plane command routed by
+    /// [`Server::route_request`] (event-loop worker pool).
+    pub(crate) fn execute_admitted(
+        &self,
+        request: &Request,
+        started: Instant,
+        req: u64,
+    ) -> Response {
+        let response = {
+            let _span = obs::span_with("server.request", &[("req", req)]);
+            self.run_admitted(request, started, req)
+        };
+        self.note_request(request.cmd.tag(), req, started);
+        response
     }
 
     fn kb_handle(&self, name: &str) -> Result<Arc<Mutex<KbState>>, ExecError> {
@@ -1272,10 +1516,6 @@ impl Server {
         ]))
     }
 
-    fn stats_response(&self, request: &Request, req: u64) -> String {
-        ok_response(&request.id, req, self.stats_json())
-    }
-
     /// The full `stats` payload as a JSON object — the body of the
     /// wire `stats` response and of the HTTP `/stats.json` endpoint,
     /// byte-identical between the two so dashboards can use either.
@@ -1419,6 +1659,10 @@ impl Server {
             (
                 "in_flight",
                 num(self.inner.in_flight.load(Ordering::Relaxed) as u64),
+            ),
+            (
+                "connections",
+                num(self.inner.connections.load(Ordering::Relaxed)),
             ),
             ("kbs", num(kbs as u64)),
             ("cache", cache_json),
@@ -1568,7 +1812,7 @@ impl Server {
     /// JSON handshake, then switch the connection to a raw stream of
     /// committed WAL records, tailing the log until the replica
     /// disconnects or the server shuts down.
-    fn handle_replicate(&self, stream: &mut TcpStream, req: u64, request: &Request) {
+    pub(crate) fn handle_replicate(&self, stream: &mut TcpStream, req: u64, request: &Request) {
         let id = &request.id;
         let Command::Replicate {
             offset,
@@ -1589,7 +1833,10 @@ impl Server {
             Ok(accepted) => accepted,
             Err((code, message)) => {
                 self.inner.counters.error();
-                let _ = write_framed(stream, err_response(id, req, code, &message));
+                let _ = write_framed(
+                    stream,
+                    Response::err(id.clone(), req, code, message).render(),
+                );
                 return;
             }
         };
@@ -1605,7 +1852,12 @@ impl Server {
         if let Some(hex) = &snapshot_hex {
             result.push(("snapshot_hex", Json::str(hex)));
         }
-        if write_framed(stream, ok_response(id, req, Json::obj(result))).is_err() {
+        if write_framed(
+            stream,
+            Response::ok(id.clone(), req, Json::obj(result)).render(),
+        )
+        .is_err()
+        {
             return;
         }
         self.inner.repl_handshakes.fetch_add(1, Ordering::Relaxed);
@@ -2095,6 +2347,24 @@ impl Server {
         Ok(())
     }
 
+    /// The configuration this server was built with.
+    pub(crate) fn config(&self) -> &ServerConfig {
+        &self.inner.config
+    }
+
+    /// Record a data-plane connection opening; pair with
+    /// [`Server::connection_closed`].
+    pub(crate) fn connection_opened(&self) {
+        self.inner.connections.fetch_add(1, Ordering::Relaxed);
+        metrics::CONNECTIONS.inc();
+    }
+
+    /// Record a data-plane connection closing.
+    pub(crate) fn connection_closed(&self) {
+        self.inner.connections.fetch_sub(1, Ordering::Relaxed);
+        metrics::CONNECTIONS.dec();
+    }
+
     /// One connection: manual line buffering on top of short read
     /// timeouts, so the thread notices a shutdown initiated elsewhere
     /// instead of blocking in `read` forever. (A `BufReader::read_line`
@@ -2106,6 +2376,8 @@ impl Server {
         {
             return;
         }
+        self.connection_opened();
+        let _conn = ConnGuard(self);
         // Each response is a single small segment; without TCP_NODELAY,
         // Nagle's algorithm holds it back waiting for the peer's delayed
         // ACK, adding tens of milliseconds to every round trip.
@@ -2207,6 +2479,16 @@ impl Server {
             "server.in_flight",
             &[],
             self.inner.in_flight.load(Ordering::Relaxed) as u64,
+        );
+        page.header(
+            "server.connections",
+            "gauge",
+            "Data-plane connections currently open.",
+        );
+        page.sample(
+            "server.connections",
+            &[],
+            self.inner.connections.load(Ordering::Relaxed),
         );
         page.header(
             "server.request.micros",
@@ -2705,7 +2987,12 @@ impl Server {
             .name("revkb-metrics".to_string())
             .spawn(move || {
                 let stop = move || stopper.is_shutting_down();
-                let handler = move |path: &str| router.metrics_route(path);
+                let handler = move |request: &http::HttpRequest| {
+                    if request.method != "GET" {
+                        return http::Response::method_not_allowed();
+                    }
+                    router.metrics_route(&request.path)
+                };
                 if let Err(e) = http::serve(listener, stop, handler) {
                     eprintln!("revkb-server: metrics listener failed: {e}");
                 }
@@ -2743,6 +3030,10 @@ fn sample_observations(inner: &Inner) -> Vec<obs::Observation> {
     out.push(Obs::gauge(
         "server.in_flight",
         inner.in_flight.load(Ordering::Relaxed) as u64,
+    ));
+    out.push(Obs::gauge(
+        "server.connections",
+        inner.connections.load(Ordering::Relaxed),
     ));
     out.push(Obs::gauge(
         "server.kbs",
@@ -2821,7 +3112,7 @@ fn operator_mismatch(prev: ModelBasedOp, requested: OpName) -> ExecError {
 fn bad_request_response(err: &RequestError, req: u64) -> String {
     let id = err.id.clone().unwrap_or_else(|| "null".to_string());
     format!(
-        "{{\"id\":{id},\"req\":{req},\"ok\":false,\"code\":\"{}\",\"error\":{}}}",
+        "{{\"v\":{PROTOCOL_VERSION},\"id\":{id},\"req\":{req},\"ok\":false,\"code\":\"{}\",\"error\":{}}}",
         codes::BAD_REQUEST,
         Json::str(&err.message).render()
     )

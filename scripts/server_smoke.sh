@@ -18,10 +18,15 @@
 #      (artifact-cache hits on the replica);
 #   6. a metrics round: a `--metrics-addr` sidecar listener is scraped
 #      (Prometheus /metrics with per-KB labels, /healthz, /readyz)
-#      while the data plane keeps serving the same TCP session.
+#      while the data plane keeps serving the same TCP session;
+#   7. an event-loop round: the HTTP/1.1 gateway answers the data
+#      plane (POST /v1, POST /v1/<cmd>, GET /metrics on the data
+#      port, 404/405 for bad routes) on the same listener as a
+#      pipelined NDJSON burst, then `revkb-bench --load-only` holds
+#      >= 1000 concurrent connections against a 4-thread server.
 #
 # Usage: scripts/server_smoke.sh  (from the repo root; builds the
-# release binary if target/release/revkb-server is missing).
+# release binaries if target/release/revkb-server is missing).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -349,5 +354,91 @@ if proc.wait(timeout=30) != 0:
     sys.exit(f"metrics server exited with {proc.returncode}: "
              f"{proc.stderr.read()}")
 print(f"metrics plane ok: scraped {maddr} under live traffic")
-print("server smoke: all six phases passed")
+
+# -- 7a. HTTP gateway on the event-loop listener: the data plane over
+#        POST /v1 routes, GET metrics on the same port, and a
+#        pipelined NDJSON burst on a sibling connection.
+proc = subprocess.Popen(
+    [BIN, "--listen", "127.0.0.1:0"],
+    stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True)
+banner = proc.stdout.readline().strip()
+assert banner.startswith("listening "), banner
+host, port = banner.split()[1].rsplit(":", 1)
+
+def http(method, path, body=None):
+    payload = (body or "").encode()
+    head = (f"{method} {path} HTTP/1.1\r\nHost: smoke\r\n"
+            f"Content-Length: {len(payload)}\r\nConnection: close\r\n\r\n")
+    with socket.create_connection((host, int(port)), timeout=30) as s:
+        s.sendall(head.encode() + payload)
+        raw = b""
+        while chunk := s.recv(65536):
+            raw += chunk
+    header, _, content = raw.decode().partition("\r\n\r\n")
+    return int(header.split()[1]), content
+
+status, body = http("POST", "/v1/load",
+                    json.dumps({"kb": "gw", "t": THEORY}))
+assert status == 200, (status, body)
+ok(json.loads(body), "gateway load")
+
+status, body = http("POST", "/v1",
+                    json.dumps({"cmd": "query", "kb": "gw", "q": "a"}))
+assert status == 200, (status, body)
+assert ok(json.loads(body), "gateway query")["entails"] is True
+
+status, page = http("GET", "/metrics")
+assert status == 200 and "revkb_server_requests_total" in page, status
+status, _ = http("POST", "/v1/warp", "{}")
+assert status == 404, status
+status, _ = http("GET", "/v1/query")
+assert status == 405, status
+
+# A pipelined burst on a plain TCP connection of the same listener:
+# one write, every response answered and correlated by id.
+with socket.create_connection((host, int(port)), timeout=30) as sock:
+    burst = "".join(
+        json.dumps({"id": i, "cmd": "query", "kb": "gw", "q": "a"}) + "\n"
+        for i in range(32))
+    sock.sendall(burst.encode())
+    stream = sock.makefile("r", encoding="utf-8", newline="\n")
+    seen = set()
+    for _ in range(32):
+        resp = json.loads(stream.readline())
+        ok(resp, "pipelined query")
+        seen.add(resp["id"])
+    assert seen == set(range(32)), seen
+    stream = sock.makefile("rw", encoding="utf-8", newline="\n")
+    stream.write('{"cmd":"shutdown"}\n')
+    stream.flush()
+    ok(json.loads(stream.readline()), "gateway shutdown")
+if proc.wait(timeout=30) != 0:
+    sys.exit(f"gateway server exited with {proc.returncode}: "
+             f"{proc.stderr.read()}")
+print(f"http gateway ok: {banner}, 32-deep pipelined burst answered")
+print("server smoke: python phases passed")
 EOF
+
+# -- 7b. connection-count smoke: >= 1000 concurrent connections held
+#        open against a 4-thread event-loop server while an open-loop
+#        schedule drives queries through it. The bench spawns the
+#        server binary it finds next to itself.
+BENCH="${REVKB_BENCH_BIN:-target/release/revkb-bench}"
+if [[ ! -x "$BENCH" ]]; then
+    cargo build --release -p revkb-bench --bin revkb-bench
+fi
+LOAD_OUT=$(REVKB_SERVER_THREADS=4 REVKB_BENCH_CONNS=1000 \
+    REVKB_BENCH_QPS=500 REVKB_BENCH_LOAD_MS=1000 "$BENCH" --load-only)
+echo "$LOAD_OUT" | grep "open-loop:"
+CONNS=$(echo "$LOAD_OUT" | sed -n 's/^open-loop: connections=\([0-9]*\).*/\1/p')
+if [[ -z "$CONNS" || "$CONNS" -lt 1000 ]]; then
+    echo "load smoke: expected >= 1000 concurrent connections, got '${CONNS:-none}'" >&2
+    exit 1
+fi
+ERRS=$(echo "$LOAD_OUT" | sed -n 's/.* errors=\([0-9]*\).*/\1/p')
+if [[ "${ERRS:-0}" -ne 0 ]]; then
+    echo "load smoke: open-loop reported $ERRS error(s)" >&2
+    exit 1
+fi
+echo "load smoke ok: $CONNS concurrent connections, 0 errors"
+echo "server smoke: all seven phases passed"

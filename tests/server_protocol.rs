@@ -40,27 +40,27 @@ fn golden_response_lines() {
     let golden = [
         (
             r#"{"id":1,"cmd":"ping"}"#,
-            r#"{"id":1,"req":1,"ok":true,"result":{"pong":true}}"#,
+            r#"{"v":2,"id":1,"req":1,"ok":true,"result":{"pong":true}}"#,
         ),
         (
             r#"{"id":2,"cmd":"load","kb":"k","t":"a & b; b -> c; c | d"}"#,
-            r#"{"id":2,"req":2,"ok":true,"result":{"kb":"k","formulas":3,"letters":4}}"#,
+            r#"{"v":2,"id":2,"req":2,"ok":true,"result":{"kb":"k","formulas":3,"letters":4}}"#,
         ),
         (
             r#"{"id":3,"cmd":"query","kb":"k","q":"a & c"}"#,
-            r#"{"id":3,"req":3,"ok":true,"result":{"kb":"k","entails":true}}"#,
+            r#"{"v":2,"id":3,"req":3,"ok":true,"result":{"kb":"k","entails":true}}"#,
         ),
         (
             r#"{"id":4,"cmd":"query_batch","kb":"k","qs":["a","!a"]}"#,
-            r#"{"id":4,"req":4,"ok":true,"result":{"kb":"k","answers":[true,false]}}"#,
+            r#"{"v":2,"id":4,"req":4,"ok":true,"result":{"kb":"k","answers":[true,false]}}"#,
         ),
         (
             r#"{"id":5,"cmd":"drop","kb":"k"}"#,
-            r#"{"id":5,"req":5,"ok":true,"result":{"kb":"k","dropped":true}}"#,
+            r#"{"v":2,"id":5,"req":5,"ok":true,"result":{"kb":"k","dropped":true}}"#,
         ),
         (
             r#"{"id":6,"cmd":"query","kb":"ghost","q":"a"}"#,
-            r#"{"id":6,"req":6,"ok":false,"code":"unknown_kb","error":"no knowledge base named \"ghost\""}"#,
+            r#"{"v":2,"id":6,"req":6,"ok":false,"code":"unknown_kb","error":"no knowledge base named \"ghost\""}"#,
         ),
     ];
     for (request, expected) in golden {
