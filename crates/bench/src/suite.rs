@@ -16,7 +16,7 @@
 //! generation is seeded (`REVKB_BENCH_SEED`), each benchmark runs
 //! `REVKB_BENCH_WARMUP` discarded warmup rounds followed by
 //! `REVKB_BENCH_TRIALS` measured trials, and the reported figure is
-//! the **median** trial. The emitted report (`BENCH_PR9.json`) is
+//! the **median** trial. The emitted report (`BENCH_PR10.json`) is
 //! schema-versioned and can be replayed as a `--baseline` to detect
 //! regressions: a benchmark regresses only when it is both relatively
 //! slower than its per-benchmark tolerance *and* absolutely slower by
@@ -829,7 +829,65 @@ fn obs_benches(cfg: &SuiteConfig) -> Vec<BenchResult> {
     tick.extra.push(("ticks", Value::Number(1000.0)));
     tick.extra
         .push(("series", Value::Number(observations.len() as f64)));
-    vec![scrape, tick]
+
+    // `obs.log_emit` — the per-record cost of the structured sinks: a
+    // representative server log record rendered to its NDJSON line
+    // (the marginal work each recorded line adds over the plain
+    // stderr write the server always did).
+    let record = revkb_obs::LogRecord {
+        ts_millis: 1_700_000_000_000,
+        level: revkb_obs::Level::Warn,
+        target: "wal",
+        trace: Some(0x4fd0_aecc_c9f1_bb2a),
+        msg: "revkb-server: wal replay skipped a record: checksum mismatch at offset 4096"
+            .to_string(),
+    };
+    let (log_median, log_trials) = timed_trials(cfg, || {
+        for _ in 0..1000 {
+            std::hint::black_box(record.render_json());
+        }
+    });
+    let mut log_emit = result(cfg, "obs.log_emit".into(), log_median, log_trials);
+    log_emit.extra.push(("records", Value::Number(1000.0)));
+    log_emit.extra.push((
+        "line_bytes",
+        Value::Number(record.render_json().len() as f64),
+    ));
+
+    // `obs.flight_record` — the always-on cost of one attributed span
+    // through the flight recorder with `REVKB_TRACE` off: the price
+    // every request pays so `/debug/trace.json` works without a
+    // restart.
+    let prev_mode = revkb_obs::mode();
+    let prev_flight = revkb_obs::flight_enabled();
+    revkb_obs::set_mode(revkb_obs::TraceMode::Off);
+    revkb_obs::set_flight_enabled(true);
+    let mut trace_id = 1u64;
+    let (flight_median, flight_trials) = timed_trials(cfg, || {
+        for _ in 0..1000 {
+            trace_id = trace_id.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+            let _span = revkb_obs::span_with(
+                "bench.flight.span",
+                &[("req", 7), (revkb_obs::TRACE_ATTR, trace_id)],
+            );
+        }
+    });
+    revkb_obs::set_flight_enabled(prev_flight);
+    revkb_obs::set_mode(prev_mode);
+    revkb_obs::flight_reset();
+    let mut flight = result(
+        cfg,
+        "obs.flight_record".into(),
+        flight_median,
+        flight_trials,
+    );
+    flight.extra.push(("spans", Value::Number(1000.0)));
+    flight.extra.push((
+        "ring_capacity",
+        Value::Number(revkb_obs::FLIGHT_CAPACITY as f64),
+    ));
+
+    vec![scrape, tick, log_emit, flight]
 }
 
 /// Run the whole fixed suite in order.

@@ -27,6 +27,14 @@
 //! ¹ the trace file is written by whoever drains (the bench binaries);
 //! this crate only marks the intent via [`TraceMode::Chrome`].
 //!
+//! Independently of the mode, an always-on **flight recorder**
+//! ([`trace`]) keeps a bounded ring of the most recent finished spans
+//! for on-demand diagnostics (`REVKB_FLIGHT=off` disables it), and the
+//! [`log`] module provides leveled structured NDJSON logging
+//! (`REVKB_LOG`, default `info`) with its own bounded ring. Trace ids
+//! ([`new_trace_id`], [`parse_traceparent`]) join spans, log records,
+//! and wire envelopes into one per-request story.
+//!
 //! ## Cost when disabled
 //!
 //! Every instrument call starts with one relaxed atomic load of the
@@ -60,19 +68,30 @@
 
 pub mod check;
 pub mod chrome;
+pub mod log;
 pub mod metrics;
 pub mod snapshot;
 pub mod span;
 pub mod timeseries;
+pub mod trace;
 
 pub use check::validate_json;
 pub use chrome::{chrome_trace, trace_file_path, write_chrome_trace, TRACE_FILE_ENV};
+pub use log::{
+    clear_log_file, debug, error, info, log, log_enabled, log_level, log_ring_reset,
+    log_ring_snapshot, set_log_file, set_log_level, warn, Level, LogRecord, LOG_ENV,
+    LOG_RING_CAPACITY,
+};
 pub use metrics::{estimate_percentile, Counter, Gauge, Histogram, LocalHistogram, HIST_BUCKETS};
 pub use snapshot::{drain, reset, snapshot, HistogramSnapshot, Snapshot, SpanAggregate};
 pub use span::{span, span_with, SpanEvent, SpanGuard};
 pub use timeseries::{
     sample_interval, Observation, Sampler, SeriesKind, SeriesSnapshot, SeriesStore,
     DEFAULT_SAMPLE_MS, DEFAULT_SERIES_CAPACITY, SAMPLE_MS_ENV,
+};
+pub use trace::{
+    flight_enabled, flight_len, flight_reset, flight_snapshot, format_trace_id, new_trace_id,
+    parse_trace_id, parse_traceparent, set_flight_enabled, FLIGHT_CAPACITY, FLIGHT_ENV, TRACE_ATTR,
 };
 
 use std::sync::atomic::{AtomicU8, Ordering};

@@ -134,7 +134,7 @@ pub fn span(name: &'static str) -> SpanGuard {
 #[inline]
 pub fn span_with(name: &'static str, attrs: &[(&'static str, u64)]) -> SpanGuard {
     let mode = crate::mode();
-    if mode == crate::TraceMode::Off {
+    if mode == crate::TraceMode::Off && !crate::trace::flight_enabled() {
         return SpanGuard {
             armed: false,
             _not_send: PhantomData,
@@ -150,9 +150,9 @@ pub fn span_with(name: &'static str, attrs: &[(&'static str, u64)]) -> SpanGuard
 #[cold]
 fn open_span(name: &'static str, attrs: &[(&'static str, u64)]) {
     let start_ns = epoch().elapsed().as_nanos() as u64;
-    // Attributes only matter on retained events; skip the allocation
-    // in summary mode.
-    let attrs = if crate::mode().spans_enabled() {
+    // Attributes only matter on retained events (the drainable span
+    // tree or the flight ring); skip the allocation in summary mode.
+    let attrs = if crate::mode().spans_enabled() || crate::trace::flight_enabled() {
         attrs.to_vec()
     } else {
         Vec::new()
@@ -185,23 +185,26 @@ impl Drop for SpanGuard {
 #[cold]
 fn close_span() {
     let now_ns = epoch().elapsed().as_nanos() as u64;
-    let keep_events = crate::mode().spans_enabled();
+    let mode = crate::mode();
+    let keep_aggs = mode != crate::TraceMode::Off;
+    let keep_events = mode.spans_enabled();
+    let keep_flight = crate::trace::flight_enabled();
     THREAD_SPANS.with(|ts| {
         let mut ts = ts.borrow_mut();
         let Some(active) = ts.stack.pop() else {
             return; // mode flipped mid-span; nothing to close
         };
         let dur_ns = now_ns.saturating_sub(active.start_ns);
-        {
+        if keep_aggs {
             let mut aggs = AGGS.lock().expect("span aggregate table poisoned");
             let agg = aggs.entry(active.name).or_default();
             agg.count += 1;
             agg.total_ns += dur_ns;
             agg.max_ns = agg.max_ns.max(dur_ns);
         }
-        if keep_events {
+        if keep_events || keep_flight {
             let thread = ts.ord;
-            ts.finished.push(SpanEvent {
+            let event = SpanEvent {
                 name: active.name,
                 thread,
                 id: active.id,
@@ -210,7 +213,13 @@ fn close_span() {
                 start_ns: active.start_ns,
                 dur_ns,
                 attrs: active.attrs,
-            });
+            };
+            if keep_flight {
+                crate::trace::flight_record(&event);
+            }
+            if keep_events {
+                ts.finished.push(event);
+            }
         }
         if ts.stack.is_empty() {
             ts.flush();

@@ -9,6 +9,7 @@
 //! `ServerConfig::from_env`) overridden by the flags below. The same
 //! loops are reachable as `revkb serve` from the main CLI.
 
+use revkb_obs as obs;
 use revkb_server::{Server, ServerConfig, SyncMode};
 use std::io::{self, BufReader, Write};
 use std::net::TcpListener;
@@ -20,7 +21,8 @@ const USAGE: &str = "usage: revkb-server (--stdio | --listen ADDR) \
                      [--compile-timeout-ms N] [--cache-cap N] \
                      [--slow-ms N] [--data-dir DIR] \
                      [--wal-sync always|batch|off] [--snapshot-every N] \
-                     [--replica-of HOST:PORT] [--metrics-addr HOST:PORT]";
+                     [--replica-of HOST:PORT] [--metrics-addr HOST:PORT] \
+                     [--log-file PATH]";
 
 /// Environment variable selecting the TCP front end (`evloop` or
 /// `blocking`); overridden by `--io`.
@@ -59,8 +61,11 @@ impl IoMode {
     }
 }
 
-fn parse_args(args: &[String]) -> Result<(Transport, ServerConfig, IoMode), String> {
+type Parsed = (Transport, ServerConfig, IoMode, Option<std::path::PathBuf>);
+
+fn parse_args(args: &[String]) -> Result<Parsed, String> {
     let mut transport = None;
+    let mut log_file = None;
     let mut io_mode = IoMode::from_env();
     let mut config = ServerConfig::from_env();
     let mut iter = args.iter();
@@ -143,62 +148,85 @@ fn parse_args(args: &[String]) -> Result<(Transport, ServerConfig, IoMode), Stri
             "--metrics-addr" => {
                 config = config.with_metrics_addr(Some(value(&mut iter, "--metrics-addr")?));
             }
+            "--log-file" => {
+                log_file = Some(std::path::PathBuf::from(value(&mut iter, "--log-file")?));
+            }
             other => return Err(format!("unknown argument {other:?}")),
         }
     }
     let transport = transport.ok_or_else(|| "pick --stdio or --listen ADDR".to_string())?;
-    Ok((transport, config, io_mode))
+    Ok((transport, config, io_mode, log_file))
 }
 
 /// Run the server on the chosen transport. Shared with `revkb serve`.
 pub fn run(args: &[String]) -> ExitCode {
-    let (transport, config, io_mode) = match parse_args(args) {
+    let (transport, config, io_mode, log_file) = match parse_args(args) {
         Ok(parsed) => parsed,
         Err(message) => {
-            eprintln!("revkb-server: {message}\n{USAGE}");
+            obs::error("server", None, || {
+                format!("revkb-server: {message}\n{USAGE}")
+            });
             return ExitCode::FAILURE;
         }
     };
+    if let Some(path) = &log_file {
+        if let Err(e) = obs::set_log_file(path) {
+            obs::error("server", None, || {
+                format!("revkb-server: cannot open log file {}: {e}", path.display())
+            });
+            return ExitCode::FAILURE;
+        }
+    }
     let data_dir = config.data_dir.clone();
     let server = match Server::open(config) {
         Ok(server) => server,
         Err(e) => {
             let dir = data_dir.as_deref().unwrap_or(std::path::Path::new("?"));
-            eprintln!("revkb-server: cannot open data dir {}: {e}", dir.display());
+            obs::error("server", None, || {
+                format!("revkb-server: cannot open data dir {}: {e}", dir.display())
+            });
             return ExitCode::FAILURE;
         }
     };
     if let Some(report) = server.recovery_report() {
-        eprintln!(
-            "revkb-server: recovered {} op(s) ({} skipped, {} snapshot artifact(s), \
-             {} torn byte(s) truncated) in {} us",
-            report.replayed,
-            report.replay_errors,
-            report.snapshot_artifacts,
-            report.truncated_bytes,
-            report.boot_micros
-        );
+        obs::info("wal", None, || {
+            format!(
+                "revkb-server: recovered {} op(s) ({} skipped, {} snapshot artifact(s), \
+                 {} torn byte(s) truncated) in {} us",
+                report.replayed,
+                report.replay_errors,
+                report.snapshot_artifacts,
+                report.truncated_bytes,
+                report.boot_micros
+            )
+        });
     }
     // Replica mode: the apply loop runs alongside the serving loop
     // and drains on `shutdown` like every connection thread.
     let replication = server.start_replication();
     if let Some(status) = server.replication_status() {
-        eprintln!(
-            "revkb-server: replicating from {} (resume offset {})",
-            status.primary, status.offset
-        );
+        obs::info("repl", None, || {
+            format!(
+                "revkb-server: replicating from {} (resume offset {})",
+                status.primary, status.offset
+            )
+        });
     }
     // The metrics plane is a sidecar listener: it must not collide
     // with the stdio data plane, so the banner goes to stderr.
     let metrics = match server.start_metrics_listener() {
         Ok(handle) => {
             if let Some((addr, _)) = &handle {
-                eprintln!("revkb-server: metrics listening {addr}");
+                obs::info("http", None, || {
+                    format!("revkb-server: metrics listening {addr}")
+                });
             }
             handle
         }
         Err(e) => {
-            eprintln!("revkb-server: cannot bind metrics listener: {e}");
+            obs::error("http", None, || {
+                format!("revkb-server: cannot bind metrics listener: {e}")
+            });
             return ExitCode::FAILURE;
         }
     };
@@ -222,7 +250,9 @@ pub fn run(args: &[String]) -> ExitCode {
                 }
             }
             Err(e) => {
-                eprintln!("revkb-server: cannot bind {addr}: {e}");
+                obs::error("server", None, || {
+                    format!("revkb-server: cannot bind {addr}: {e}")
+                });
                 return ExitCode::FAILURE;
             }
         },
@@ -241,7 +271,7 @@ pub fn run(args: &[String]) -> ExitCode {
     match outcome {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
-            eprintln!("revkb-server: {e}");
+            obs::error("server", None, || format!("revkb-server: {e}"));
             ExitCode::FAILURE
         }
     }
@@ -252,18 +282,21 @@ pub fn run(args: &[String]) -> ExitCode {
 /// `server.*` span carries the `req` attribute, so the trace lines up
 /// with the wire log's `req` fields.
 fn write_trace_if_requested() {
-    use revkb_obs as obs;
     if obs::mode() != obs::TraceMode::Chrome {
         return;
     }
     let snap = obs::drain();
     let path = obs::trace_file_path();
     match obs::write_chrome_trace(&path, &snap) {
-        Ok(()) => eprintln!("revkb-server: wrote chrome trace to {}", path.display()),
-        Err(e) => eprintln!(
-            "revkb-server: cannot write chrome trace to {}: {e}",
-            path.display()
-        ),
+        Ok(()) => obs::info("server", None, || {
+            format!("revkb-server: wrote chrome trace to {}", path.display())
+        }),
+        Err(e) => obs::error("server", None, || {
+            format!(
+                "revkb-server: cannot write chrome trace to {}: {e}",
+                path.display()
+            )
+        }),
     }
 }
 

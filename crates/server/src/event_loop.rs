@@ -100,6 +100,7 @@ mod linux {
     use crate::json::Json;
     use crate::protocol::{parse_request, Request};
     use crate::server::{Routing, Server};
+    use revkb_obs as obs;
 
     /// Thin wrappers over the epoll and rlimit syscalls — the only
     /// `unsafe` in the workspace. No libc crate: the symbols are
@@ -269,6 +270,7 @@ mod linux {
         MetricsGet {
             token: u64,
             path: String,
+            query: String,
             keep_alive: bool,
         },
     }
@@ -417,9 +419,10 @@ mod linux {
                 ControlJob::MetricsGet {
                     token,
                     path,
+                    query,
                     keep_alive,
                 } => {
-                    let response = server.metrics_route(&path);
+                    let response = server.metrics_route(&path, &query);
                     push_completion(
                         &completions,
                         &wake,
@@ -572,15 +575,22 @@ mod linux {
             let started = Instant::now();
             match parse_request(line) {
                 Err(e) => {
-                    let response = ctx.server.reject_line(&e, started);
+                    let response = ctx.server.reject_line(&e, started, None);
                     conn.write_buf.extend_from_slice(response.as_bytes());
                     conn.write_buf.push(b'\n');
                 }
-                Ok(request) => {
+                Ok(mut request) => {
                     let req = ctx.server.next_req();
-                    match ctx.server.route_request(&request, req, true) {
+                    // Resolve the trace id on the loop thread so the
+                    // worker that eventually executes the request (and
+                    // the immediate-rejection path below) all see one
+                    // consistent id.
+                    let trace = request.trace.unwrap_or_else(obs::new_trace_id);
+                    request.trace = Some(trace);
+                    match ctx.server.route_request(&request, req, trace, true) {
                         Routing::Done(response) => {
-                            ctx.server.note_request(request.cmd.tag(), req, started);
+                            ctx.server
+                                .note_request(request.cmd.tag(), req, trace, started);
                             conn.write_buf
                                 .extend_from_slice(response.render().as_bytes());
                             conn.write_buf.push(b'\n');
@@ -692,6 +702,25 @@ mod linux {
         let keep = hreq.keep_alive;
         let started = Instant::now();
         if hreq.method == "POST" && (hreq.path == "/v1" || hreq.path.starts_with("/v1/")) {
+            // A W3C `traceparent` header seeds the request's trace id
+            // (the envelope's own `trace` field wins when both are
+            // present). A malformed header is a client error worth
+            // reporting — but only a 400, never a dropped connection.
+            let trace_header = match hreq.header("traceparent") {
+                None => None,
+                Some(value) => match obs::parse_traceparent(value) {
+                    Some(id) => Some(id),
+                    None => {
+                        let response = http::Response::text(400, "malformed traceparent header\n");
+                        conn.write_buf
+                            .extend_from_slice(&response.to_bytes_with(keep));
+                        if !keep {
+                            conn.closing = true;
+                        }
+                        return;
+                    }
+                },
+            };
             match gateway_line(&hreq) {
                 Err(response) => {
                     conn.write_buf
@@ -704,7 +733,8 @@ mod linux {
                         // error code — same contract as the line
                         // protocol, where a bad request still gets a
                         // well-formed reply line.
-                        let body = format!("{}\n", ctx.server.reject_line(&e, started));
+                        let body =
+                            format!("{}\n", ctx.server.reject_line(&e, started, trace_header));
                         let response = http::Response {
                             status: 200,
                             content_type: http::JSON_CONTENT_TYPE,
@@ -713,14 +743,20 @@ mod linux {
                         conn.write_buf
                             .extend_from_slice(&response.to_bytes_with(keep));
                     }
-                    Ok(request) => {
+                    Ok(mut request) => {
                         let req = ctx.server.next_req();
+                        let trace = request
+                            .trace
+                            .or(trace_header)
+                            .unwrap_or_else(obs::new_trace_id);
+                        request.trace = Some(trace);
                         // `replicate` cannot hand off an HTTP
                         // connection, so it routes to the control
                         // worker and earns `unsupported` there.
-                        match ctx.server.route_request(&request, req, false) {
+                        match ctx.server.route_request(&request, req, trace, false) {
                             Routing::Done(response) => {
-                                ctx.server.note_request(request.cmd.tag(), req, started);
+                                ctx.server
+                                    .note_request(request.cmd.tag(), req, trace, started);
                                 conn.write_buf.extend_from_slice(
                                     &envelope_http(&response).to_bytes_with(keep),
                                 );
@@ -755,7 +791,14 @@ mod linux {
         } else if hreq.method == "GET"
             && matches!(
                 hreq.path.as_str(),
-                "/metrics" | "/stats.json" | "/series.json" | "/healthz" | "/readyz"
+                "/metrics"
+                    | "/stats.json"
+                    | "/series.json"
+                    | "/healthz"
+                    | "/readyz"
+                    | "/debug/trace.json"
+                    | "/debug/logs.json"
+                    | "/debug/requests.json"
             )
         {
             conn.pending += 1;
@@ -763,6 +806,7 @@ mod linux {
             let _ = ctx.ctl_tx.send(ControlJob::MetricsGet {
                 token: conn.token,
                 path: hreq.path,
+                query: hreq.query,
                 keep_alive: keep,
             });
         } else if hreq.path == "/v1" || hreq.path.starts_with("/v1/") {

@@ -150,6 +150,9 @@ pub struct HttpRequest {
     pub method: String,
     /// Request path with any query string or fragment stripped.
     pub path: String,
+    /// Raw query string (between `?` and any `#`), without the `?`;
+    /// empty when the target carried none.
+    pub query: String,
     /// Header `(name, value)` pairs in arrival order, trimmed.
     pub headers: Vec<(String, String)>,
     /// Decoded request body (chunked bodies arrive de-chunked).
@@ -237,6 +240,11 @@ impl HttpParser {
             .next()
             .unwrap_or_default()
             .to_string();
+        let query = target
+            .split_once('?')
+            .map(|(_, rest)| rest.split('#').next().unwrap_or_default())
+            .unwrap_or_default()
+            .to_string();
         if !path.starts_with('/') {
             return Err(Response::bad_request());
         }
@@ -291,6 +299,7 @@ impl HttpParser {
         Ok(Some(HttpRequest {
             method,
             path,
+            query,
             headers,
             body,
             keep_alive,
@@ -659,6 +668,7 @@ revkb_server_request_micros_count{cmd=\"query\"} 6
             .unwrap();
         assert_eq!(req.method, "GET");
         assert_eq!(req.path, "/metrics");
+        assert_eq!(req.query, "pretty=1");
         assert_eq!(req.header("host"), Some("x"));
         assert_eq!(req.header("HOST"), Some("x"));
         assert!(req.body.is_empty());

@@ -2,14 +2,18 @@
 //!
 //! One request per line, one response per line, matched by the
 //! client-chosen `id` field (echoed verbatim — number or string).
-//! Responses are `{"v":2,"id":…,"req":N,"ok":true,"result":{…}}` on
-//! success and `{"v":2,"id":…,"req":N,"ok":false,"code":"…","error":"…"}`
+//! Responses are
+//! `{"v":2,"id":…,"req":N,"trace":"…","ok":true,"result":{…}}` on
+//! success and
+//! `{"v":2,"id":…,"req":N,"trace":"…","ok":false,"code":"…","error":"…"}`
 //! on failure, where `v` is the protocol version
-//! ([`PROTOCOL_VERSION`]) and `req` is the server-assigned monotonic
+//! ([`PROTOCOL_VERSION`]), `req` is the server-assigned monotonic
 //! request id —
 //! the same number every `server.*` telemetry span and `slow_log`
 //! entry for that request carries, so wire lines and traces
-//! correlate. The
+//! correlate — and `trace` is the 16-hex-digit trace id (taken from
+//! the request's optional `trace` field or the HTTP gateway's
+//! `traceparent` header, generated server-side otherwise). The
 //! `code` strings for engine-level failures are exactly
 //! [`revkb_revision::Error::code`]; the protocol adds its own codes
 //! for transport-level conditions ([`codes`]).
@@ -18,6 +22,7 @@
 //! examples.
 
 use crate::json::Json;
+use revkb_obs as obs;
 use revkb_revision::{Backend, ModelBasedOp};
 
 /// The protocol version this server speaks. Every response envelope
@@ -115,7 +120,7 @@ impl OpName {
 }
 
 /// A parsed request: the command plus the request-level envelope
-/// fields (`id`, `deadline_ms`).
+/// fields (`id`, `deadline_ms`, `trace`).
 #[derive(Debug, Clone, PartialEq)]
 pub struct Request {
     /// Client-chosen correlation id, echoed verbatim in the response.
@@ -126,6 +131,10 @@ pub struct Request {
     /// Requested protocol version (the optional `"v"` field). Absent
     /// means "whatever the server speaks".
     pub version: Option<u64>,
+    /// Trace id (the optional `"trace"` field, 1–32 hex digits, or a
+    /// `traceparent` header on the HTTP gateway). Absent means the
+    /// server generates one; either way the response echoes it.
+    pub trace: Option<u64>,
     /// The command.
     pub cmd: Command,
 }
@@ -228,6 +237,10 @@ impl Command {
 pub struct RequestError {
     /// The echoable id, if the line parsed far enough to have one.
     pub id: Option<String>,
+    /// The client's trace id, if the line parsed far enough to carry
+    /// a well-formed one — salvaged like `id`, so even a rejected
+    /// request joins the trace the client asked for.
+    pub trace: Option<u64>,
     /// Human-readable description.
     pub message: String,
 }
@@ -243,11 +256,17 @@ fn field<'a>(obj: &'a Json, key: &str) -> Result<&'a str, String> {
 pub fn parse_request(line: &str) -> Result<Request, RequestError> {
     let value = Json::parse(line).map_err(|e| RequestError {
         id: None,
+        trace: None,
         message: e.to_string(),
     })?;
     let id = value.get("id").cloned();
+    let salvaged_trace = value
+        .get("trace")
+        .and_then(Json::as_str)
+        .and_then(obs::parse_trace_id);
     let fail = |message: String| RequestError {
         id: id.as_ref().map(Json::render),
+        trace: salvaged_trace,
         message,
     };
     if !matches!(value, Json::Obj(_)) {
@@ -269,6 +288,14 @@ pub fn parse_request(line: &str) -> Result<Request, RequestError> {
         Some(v) => Some(
             v.as_u64()
                 .ok_or_else(|| fail("v must be a non-negative integer".to_string()))?,
+        ),
+    };
+    let trace = match value.get("trace") {
+        None => None,
+        Some(v) => Some(
+            v.as_str()
+                .and_then(obs::parse_trace_id)
+                .ok_or_else(|| fail("trace must be a nonzero hex-digit string".to_string()))?,
         ),
     };
     let cmd_tag = field(&value, "cmd").map_err(&fail)?;
@@ -364,6 +391,7 @@ pub fn parse_request(line: &str) -> Result<Request, RequestError> {
         id,
         deadline_ms,
         version,
+        trace,
         cmd,
     })
 }
@@ -378,25 +406,36 @@ pub struct Response {
     pub id: Option<Json>,
     /// Server-assigned monotonic request id.
     pub req: u64,
+    /// Trace id — the client's, or one the server generated. Rendered
+    /// as 16 lowercase hex digits next to `req`.
+    pub trace: u64,
     /// `Ok(result)` on success, `Err((code, message))` on failure.
     pub result: Result<Json, (String, String)>,
 }
 
 impl Response {
     /// Build a success envelope.
-    pub fn ok(id: Option<Json>, req: u64, result: Json) -> Response {
+    pub fn ok(id: Option<Json>, req: u64, trace: u64, result: Json) -> Response {
         Response {
             id,
             req,
+            trace,
             result: Ok(result),
         }
     }
 
     /// Build an error envelope.
-    pub fn err(id: Option<Json>, req: u64, code: &str, message: impl Into<String>) -> Response {
+    pub fn err(
+        id: Option<Json>,
+        req: u64,
+        trace: u64,
+        code: &str,
+        message: impl Into<String>,
+    ) -> Response {
         Response {
             id,
             req,
+            trace,
             result: Err((code.to_string(), message.into())),
         }
     }
@@ -417,19 +456,21 @@ impl Response {
     /// Render the one-line wire form (no trailing newline).
     pub fn render(&self) -> String {
         match &self.result {
-            Ok(result) => ok_response(&self.id, self.req, result.clone()),
-            Err((code, message)) => err_response(&self.id, self.req, code, message),
+            Ok(result) => ok_response(&self.id, self.req, self.trace, result.clone()),
+            Err((code, message)) => err_response(&self.id, self.req, self.trace, code, message),
         }
     }
 }
 
 /// Render a success response line (no trailing newline). `req` is the
-/// server-assigned monotonic request id echoed for trace correlation.
-pub fn ok_response(id: &Option<Json>, req: u64, result: Json) -> String {
+/// server-assigned monotonic request id and `trace` the trace id, both
+/// echoed for telemetry correlation.
+pub fn ok_response(id: &Option<Json>, req: u64, trace: u64, result: Json) -> String {
     Json::obj([
         ("v", Json::Num(PROTOCOL_VERSION as f64)),
         ("id", id.clone().unwrap_or(Json::Null)),
         ("req", Json::Num(req as f64)),
+        ("trace", Json::Str(obs::format_trace_id(trace))),
         ("ok", Json::Bool(true)),
         ("result", result),
     ])
@@ -437,12 +478,14 @@ pub fn ok_response(id: &Option<Json>, req: u64, result: Json) -> String {
 }
 
 /// Render an error response line (no trailing newline). `req` is the
-/// server-assigned monotonic request id echoed for trace correlation.
-pub fn err_response(id: &Option<Json>, req: u64, code: &str, message: &str) -> String {
+/// server-assigned monotonic request id and `trace` the trace id, both
+/// echoed for telemetry correlation.
+pub fn err_response(id: &Option<Json>, req: u64, trace: u64, code: &str, message: &str) -> String {
     Json::obj([
         ("v", Json::Num(PROTOCOL_VERSION as f64)),
         ("id", id.clone().unwrap_or(Json::Null)),
         ("req", Json::Num(req as f64)),
+        ("trace", Json::Str(obs::format_trace_id(trace))),
         ("ok", Json::Bool(false)),
         ("code", Json::str(code)),
         ("error", Json::str(message)),
@@ -539,8 +582,15 @@ mod tests {
         assert_eq!(req.id, Some(Json::Num(7.0)));
         assert_eq!(req.deadline_ms, Some(250));
         assert_eq!(req.version, None);
+        assert_eq!(req.trace, None);
         let req = parse_request(r#"{"v":2,"cmd":"ping"}"#).unwrap();
         assert_eq!(req.version, Some(2));
+        let req = parse_request(r#"{"cmd":"ping","trace":"00f0000000000abc"}"#).unwrap();
+        assert_eq!(req.trace, Some(0x00f0_0000_0000_0abc));
+        // The 32-digit W3C form keeps its low 64 bits.
+        let req =
+            parse_request(r#"{"cmd":"ping","trace":"0af7651916cd43dd8448eb211c80319c"}"#).unwrap();
+        assert_eq!(req.trace, Some(0x8448_eb21_1c80_319c));
         // Unknown envelope fields are tolerated (forward compatibility).
         let req = parse_request(r#"{"cmd":"ping","someday":true}"#).unwrap();
         assert_eq!(req.cmd, Command::Ping);
@@ -563,6 +613,10 @@ mod tests {
             r#"{"cmd":"ping","deadline_ms":1.5}"#,
             r#"{"cmd":"ping","v":"two"}"#,
             r#"{"cmd":"ping","v":-1}"#,
+            r#"{"cmd":"ping","trace":17}"#,
+            r#"{"cmd":"ping","trace":""}"#,
+            r#"{"cmd":"ping","trace":"0000000000000000"}"#,
+            r#"{"cmd":"ping","trace":"not-hex"}"#,
         ] {
             assert!(parse_request(line).is_err(), "accepted {line:?}");
         }
@@ -582,13 +636,14 @@ mod tests {
             ok_response(
                 &Some(Json::Num(1.0)),
                 3,
+                0xabc,
                 Json::obj([("pong", Json::Bool(true))])
             ),
-            r#"{"v":2,"id":1,"req":3,"ok":true,"result":{"pong":true}}"#
+            r#"{"v":2,"id":1,"req":3,"trace":"0000000000000abc","ok":true,"result":{"pong":true}}"#
         );
         assert_eq!(
-            err_response(&None, 4, codes::BAD_REQUEST, "nope"),
-            r#"{"v":2,"id":null,"req":4,"ok":false,"code":"bad_request","error":"nope"}"#
+            err_response(&None, 4, 0xdef, codes::BAD_REQUEST, "nope"),
+            r#"{"v":2,"id":null,"req":4,"trace":"0000000000000def","ok":false,"code":"bad_request","error":"nope"}"#
         );
     }
 
@@ -597,20 +652,21 @@ mod tests {
         let ok = Response::ok(
             Some(Json::Num(1.0)),
             3,
+            7,
             Json::obj([("pong", Json::Bool(true))]),
         );
         assert!(ok.is_ok());
         assert_eq!(ok.code(), None);
         assert_eq!(
             ok.render(),
-            ok_response(&ok.id, 3, Json::obj([("pong", Json::Bool(true))]))
+            ok_response(&ok.id, 3, 7, Json::obj([("pong", Json::Bool(true))]))
         );
-        let err = Response::err(None, 4, codes::TIMEOUT, "too slow");
+        let err = Response::err(None, 4, 7, codes::TIMEOUT, "too slow");
         assert!(!err.is_ok());
         assert_eq!(err.code(), Some("timeout"));
         assert_eq!(
             err.render(),
-            err_response(&None, 4, codes::TIMEOUT, "too slow")
+            err_response(&None, 4, 7, codes::TIMEOUT, "too slow")
         );
     }
 

@@ -368,6 +368,36 @@ impl Drop for InFlightGuard<'_> {
     }
 }
 
+/// Registers an admitted request in the in-flight table (the
+/// `/debug/requests.json` source) and removes it on every exit path.
+struct ActiveGuard<'a> {
+    table: &'a Mutex<HashMap<u64, ActiveRequest>>,
+    req: u64,
+}
+
+impl<'a> ActiveGuard<'a> {
+    fn register(
+        table: &'a Mutex<HashMap<u64, ActiveRequest>>,
+        req: u64,
+        entry: ActiveRequest,
+    ) -> Self {
+        table
+            .lock()
+            .expect("active table poisoned")
+            .insert(req, entry);
+        Self { table, req }
+    }
+}
+
+impl Drop for ActiveGuard<'_> {
+    fn drop(&mut self) {
+        self.table
+            .lock()
+            .expect("active table poisoned")
+            .remove(&self.req);
+    }
+}
+
 /// Decrements the open-connection gauge when a blocking connection
 /// thread exits by any path.
 struct ConnGuard<'a>(&'a Server);
@@ -404,6 +434,57 @@ struct SlowEntry {
     cmd: &'static str,
     /// End-to-end latency in microseconds.
     micros: u64,
+    /// The request's trace id (0 for paths that never resolved one,
+    /// e.g. unparseable lines).
+    trace: u64,
+    /// Time spent waiting for an execution permit, microseconds.
+    queue_micros: u64,
+    /// Time spent compiling, microseconds (0 for non-revise work).
+    compile_micros: u64,
+}
+
+/// Per-request phase timings, accumulated on the executing thread as
+/// the request moves through the pipeline and harvested by
+/// [`Server::note_request`]. Thread-local because a request executes
+/// synchronously on exactly one thread; `take()` both reads and resets
+/// so one request's phases never bleed into the next.
+#[derive(Debug, Clone, Copy, Default)]
+struct Phases {
+    queue_micros: u64,
+    compile_micros: u64,
+}
+
+thread_local! {
+    static PHASES: std::cell::Cell<Phases> = const {
+        std::cell::Cell::new(Phases {
+            queue_micros: 0,
+            compile_micros: 0,
+        })
+    };
+}
+
+fn note_queue_micros(micros: u64) {
+    PHASES.with(|p| {
+        let mut phases = p.get();
+        phases.queue_micros += micros;
+        p.set(phases);
+    });
+}
+
+fn note_compile_micros(micros: u64) {
+    PHASES.with(|p| {
+        let mut phases = p.get();
+        phases.compile_micros += micros;
+        p.set(phases);
+    });
+}
+
+/// One entry in the in-flight table behind `/debug/requests.json`.
+#[derive(Debug, Clone, Copy)]
+struct ActiveRequest {
+    cmd: &'static str,
+    trace: u64,
+    started: Instant,
 }
 
 struct Inner {
@@ -418,6 +499,11 @@ struct Inner {
     seq: AtomicU64,
     /// Ring buffer of the last `slow_log_cap` slow requests.
     slow_log: Mutex<VecDeque<SlowEntry>>,
+    /// Admitted requests currently executing, keyed by `req` — the
+    /// in-flight table behind `/debug/requests.json`.
+    active: Mutex<HashMap<u64, ActiveRequest>>,
+    /// Construction instant, for `uptime_millis` / `revkb_uptime_seconds`.
+    started: Instant,
     /// The write-ahead log, when a data directory is configured.
     /// Lock order: registry/KB lock → `wal` → `cache`.
     wal: Option<Mutex<Wal>>,
@@ -550,7 +636,9 @@ impl Server {
                     Ok(()) => report.replayed += 1,
                     Err(message) => {
                         report.replay_errors += 1;
-                        eprintln!("revkb-server: wal replay skipped a record: {message}");
+                        obs::warn("wal", None, || {
+                            format!("revkb-server: wal replay skipped a record: {message}")
+                        });
                     }
                 }
             }
@@ -584,6 +672,8 @@ impl Server {
                 shutdown: AtomicBool::new(false),
                 seq: AtomicU64::new(0),
                 slow_log: Mutex::new(VecDeque::new()),
+                active: Mutex::new(HashMap::new()),
+                started: Instant::now(),
                 wal: wal.map(Mutex::new),
                 replaying: AtomicBool::new(false),
                 recovery: Mutex::new(None),
@@ -670,11 +760,12 @@ impl Server {
             id: None,
             deadline_ms: None,
             version: None,
+            trace: None,
             cmd,
         };
         let tag = request.cmd.tag();
         match self
-            .process_request(&request, Instant::now(), 0, true)
+            .process_request(&request, Instant::now(), 0, obs::new_trace_id(), true)
             .result
         {
             Ok(_) => Ok(()),
@@ -688,16 +779,22 @@ impl Server {
     /// failure is counted and reported on stderr but does not fail the
     /// request — the operation already succeeded in memory, and
     /// refusing to answer would not make the disk healthier.
-    fn wal_append(&self, op: WalOp) {
+    fn wal_append(&self, op: WalOp, trace: u64) {
         let Some(wal) = &self.inner.wal else {
             return;
         };
         if self.inner.replaying.load(Ordering::SeqCst) {
             return;
         }
-        let _span = obs::span("wal.append");
         let start = Instant::now();
         let mut wal = wal.lock().expect("wal poisoned");
+        // The record lands at the current end of the log; stamping the
+        // span with that offset (and the trace id) makes a primary's
+        // append joinable with the replica's replay of the same record.
+        let _span = obs::span_with(
+            "wal.append",
+            &[("wal_offset", wal.bytes), (obs::TRACE_ATTR, trace)],
+        );
         let fsyncs_before = wal.fsyncs;
         match wal.append(&op) {
             Ok(bytes) => {
@@ -710,7 +807,9 @@ impl Server {
             Err(e) => {
                 wal.append_errors += 1;
                 metrics::WAL_APPEND_ERRORS.inc();
-                eprintln!("revkb-server: wal append failed: {e}");
+                obs::error("wal", Some(trace), || {
+                    format!("revkb-server: wal append failed: {e}")
+                });
                 return;
             }
         }
@@ -719,7 +818,9 @@ impl Server {
             let cache = self.inner.cache.lock().expect("cache poisoned");
             match wal.write_snapshot(cache.entries()) {
                 Ok(()) => metrics::WAL_SNAPSHOTS.inc(),
-                Err(e) => eprintln!("revkb-server: wal snapshot failed: {e}"),
+                Err(e) => obs::error("wal", Some(trace), || {
+                    format!("revkb-server: wal snapshot failed: {e}")
+                }),
             }
         }
     }
@@ -748,7 +849,7 @@ impl Server {
         let started = Instant::now();
         match parse_request(line) {
             Ok(request) => Some(self.execute_from(&request, started).render()),
-            Err(e) => Some(self.reject_line(&e, started)),
+            Err(e) => Some(self.reject_line(&e, started, None)),
         }
     }
 
@@ -767,25 +868,36 @@ impl Server {
     /// against the deadline too.
     fn execute_from(&self, request: &Request, started: Instant) -> Response {
         let req = self.next_req();
+        let trace = request.trace.unwrap_or_else(obs::new_trace_id);
         let response = {
-            let _span = obs::span_with("server.request", &[("req", req)]);
-            self.process_request(request, started, req, false)
+            let _span = obs::span_with("server.request", &[("req", req), (obs::TRACE_ATTR, trace)]);
+            self.process_request(request, started, req, trace, false)
         };
-        self.note_request(request.cmd.tag(), req, started);
+        self.note_request(request.cmd.tag(), req, trace, started);
         response
     }
 
     /// Answer an unparseable line. Shares the accounting path with
     /// real requests (a `req` id, the error counter, latency and
-    /// slow-log bookkeeping under `bad_request`).
-    pub(crate) fn reject_line(&self, err: &RequestError, started: Instant) -> String {
+    /// slow-log bookkeeping under `bad_request`). `trace` is the
+    /// transport-supplied trace id, when one survived the parse
+    /// failure (e.g. a valid `traceparent` header on a bad body); a
+    /// trace salvaged from the body itself wins over it, matching the
+    /// body-beats-header precedence of well-formed requests.
+    pub(crate) fn reject_line(
+        &self,
+        err: &RequestError,
+        started: Instant,
+        trace: Option<u64>,
+    ) -> String {
         let req = self.next_req();
+        let trace = err.trace.or(trace).unwrap_or_else(obs::new_trace_id);
         let response = {
-            let _span = obs::span_with("server.request", &[("req", req)]);
+            let _span = obs::span_with("server.request", &[("req", req), (obs::TRACE_ATTR, trace)]);
             self.inner.counters.error();
-            bad_request_response(err, req)
+            bad_request_response(err, req, trace)
         };
-        self.note_request("bad_request", req, started);
+        self.note_request("bad_request", req, trace, started);
         response
     }
 
@@ -795,9 +907,12 @@ impl Server {
     }
 
     /// Post-response accounting: the per-kind latency histogram and,
-    /// past the slow threshold, the `slow_log` ring buffer.
-    pub(crate) fn note_request(&self, kind: &'static str, req: u64, started: Instant) {
+    /// past the slow threshold, the `slow_log` ring buffer. Harvests
+    /// (and resets) the thread-local phase timings, so it must run on
+    /// the thread that executed the request.
+    pub(crate) fn note_request(&self, kind: &'static str, req: u64, trace: u64, started: Instant) {
         let micros = u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX);
+        let phases = PHASES.with(std::cell::Cell::take);
         self.inner.counters.request(kind, micros);
         let cap = self.inner.config.slow_log_cap;
         if cap > 0 && micros >= self.inner.config.slow_ms.saturating_mul(1000) {
@@ -809,6 +924,9 @@ impl Server {
                 req,
                 cmd: kind,
                 micros,
+                trace,
+                queue_micros: phases.queue_micros,
+                compile_micros: phases.compile_micros,
             });
         }
     }
@@ -822,34 +940,48 @@ impl Server {
         request: &Request,
         started: Instant,
         req: u64,
+        trace: u64,
         replay: bool,
     ) -> Response {
-        if let Some(response) = self.version_rejection(request, req, replay) {
+        if let Some(response) = self.version_rejection(request, req, trace, replay) {
             return response;
         }
         if replay {
-            return match self.dispatch(&request.cmd, req) {
-                Ok(result) => Response::ok(request.id.clone(), req, result),
-                Err((code, message)) => Response::err(request.id.clone(), req, code, message),
+            let result = self.dispatch(&request.cmd, req, trace);
+            // Replay never reaches note_request; drop any phase
+            // timings so they cannot bleed into the next request
+            // accounted on this thread.
+            let _ = PHASES.with(std::cell::Cell::take);
+            return match result {
+                Ok(result) => Response::ok(request.id.clone(), req, trace, result),
+                Err((code, message)) => {
+                    Response::err(request.id.clone(), req, trace, code, message)
+                }
             };
         }
         // Control-plane commands bypass admission: they must answer
         // even (especially) when the server is saturated.
-        if let Some(response) = self.control_response(request, req) {
+        if let Some(response) = self.control_response(request, req, trace) {
             return response;
         }
-        if let Some(response) = self.gate_rejection(request, req) {
+        if let Some(response) = self.gate_rejection(request, req, trace) {
             return response;
         }
         if !self.try_admit() {
-            return self.overloaded_response(request, req);
+            return self.overloaded_response(request, req, trace);
         }
-        self.run_admitted(request, started, req)
+        self.run_admitted(request, started, req, trace)
     }
 
     /// Reject a request that pins a protocol version outside the
     /// supported range.
-    fn version_rejection(&self, request: &Request, req: u64, replay: bool) -> Option<Response> {
+    fn version_rejection(
+        &self,
+        request: &Request,
+        req: u64,
+        trace: u64,
+        replay: bool,
+    ) -> Option<Response> {
         let v = request.version?;
         if (MIN_PROTOCOL_VERSION..=PROTOCOL_VERSION).contains(&v) {
             return None;
@@ -860,6 +992,7 @@ impl Server {
         Some(Response::err(
             request.id.clone(),
             req,
+            trace,
             codes::BAD_REQUEST,
             format!(
                 "unsupported protocol version {v} \
@@ -873,20 +1006,37 @@ impl Server {
     /// they answer even when the server is saturated; the event loop
     /// additionally runs them on a dedicated worker so a slow `stats`
     /// never blocks readiness polling.
-    pub(crate) fn control_response(&self, request: &Request, req: u64) -> Option<Response> {
+    pub(crate) fn control_response(
+        &self,
+        request: &Request,
+        req: u64,
+        trace: u64,
+    ) -> Option<Response> {
         match request.cmd {
             Command::Ping => Some(Response::ok(
                 request.id.clone(),
                 req,
+                trace,
                 Json::obj([("pong", Json::Bool(true))]),
             )),
-            Command::Hello => Some(Response::ok(request.id.clone(), req, self.hello_json())),
-            Command::Stats => Some(Response::ok(request.id.clone(), req, self.stats_json())),
+            Command::Hello => Some(Response::ok(
+                request.id.clone(),
+                req,
+                trace,
+                self.hello_json(),
+            )),
+            Command::Stats => Some(Response::ok(
+                request.id.clone(),
+                req,
+                trace,
+                self.stats_json(),
+            )),
             Command::Shutdown => {
                 self.inner.shutdown.store(true, Ordering::SeqCst);
                 Some(Response::ok(
                     request.id.clone(),
                     req,
+                    trace,
                     Json::obj([("shutting_down", Json::Bool(true))]),
                 ))
             }
@@ -899,6 +1049,7 @@ impl Server {
                 Some(Response::err(
                     request.id.clone(),
                     req,
+                    trace,
                     codes::UNSUPPORTED,
                     "replicate requires a dedicated TCP connection",
                 ))
@@ -930,12 +1081,13 @@ impl Server {
     /// Reject a data-plane request the server's current state refuses
     /// to serve: shutting down, or a replica that is read-only or has
     /// diverged.
-    fn gate_rejection(&self, request: &Request, req: u64) -> Option<Response> {
+    fn gate_rejection(&self, request: &Request, req: u64, trace: u64) -> Option<Response> {
         if self.is_shutting_down() {
             self.inner.counters.error();
             return Some(Response::err(
                 request.id.clone(),
                 req,
+                trace,
                 codes::SHUTTING_DOWN,
                 "server is shutting down",
             ));
@@ -950,6 +1102,7 @@ impl Server {
                 return Some(Response::err(
                     request.id.clone(),
                     req,
+                    trace,
                     codes::DIVERGED,
                     "replica log diverged from its primary; refusing to serve",
                 ));
@@ -962,6 +1115,7 @@ impl Server {
                 return Some(Response::err(
                     request.id.clone(),
                     req,
+                    trace,
                     codes::READ_ONLY,
                     "this server is a read-only replica; send writes to the primary",
                 ));
@@ -984,11 +1138,12 @@ impl Server {
 
     /// The `overloaded` rejection for a request [`Server::try_admit`]
     /// turned away.
-    fn overloaded_response(&self, request: &Request, req: u64) -> Response {
+    fn overloaded_response(&self, request: &Request, req: u64, trace: u64) -> Response {
         self.inner.counters.overloaded();
         Response::err(
             request.id.clone(),
             req,
+            trace,
             codes::OVERLOADED,
             format!(
                 "{} requests already in flight (bound {}); retry later",
@@ -1002,25 +1157,37 @@ impl Server {
     /// execution permit, dispatch, and discard answers that arrived
     /// too late. Releases the in-flight slot claimed by
     /// [`Server::try_admit`] on every path out.
-    fn run_admitted(&self, request: &Request, started: Instant, req: u64) -> Response {
+    fn run_admitted(&self, request: &Request, started: Instant, req: u64, trace: u64) -> Response {
         let _in_flight = InFlightGuard(&self.inner.in_flight);
         metrics::IN_FLIGHT_PEAK.set_max(self.inner.in_flight.load(Ordering::Relaxed) as u64);
+        let _active = ActiveGuard::register(
+            &self.inner.active,
+            req,
+            ActiveRequest {
+                cmd: request.cmd.tag(),
+                trace,
+                started,
+            },
+        );
 
         let deadline_ms = request
             .deadline_ms
             .unwrap_or(self.inner.config.default_deadline_ms);
         let deadline = started + Duration::from_millis(deadline_ms);
+        let queue_start = Instant::now();
         if !self.inner.gate.acquire(deadline) {
             self.inner.counters.timeout();
             return Response::err(
                 request.id.clone(),
                 req,
+                trace,
                 codes::TIMEOUT,
                 format!("deadline of {deadline_ms} ms expired before execution started"),
             );
         }
+        note_queue_micros(u64::try_from(queue_start.elapsed().as_micros()).unwrap_or(u64::MAX));
         let _permit = PermitGuard(&self.inner.gate);
-        let result = self.dispatch(&request.cmd, req);
+        let result = self.dispatch(&request.cmd, req, trace);
         if Instant::now() > deadline {
             // The answer arrived after the client's deadline: discard
             // it so a late answer cannot masquerade as a fast one.
@@ -1028,20 +1195,21 @@ impl Server {
             return Response::err(
                 request.id.clone(),
                 req,
+                trace,
                 codes::TIMEOUT,
                 format!("deadline of {deadline_ms} ms expired during execution"),
             );
         }
         match result {
-            Ok(result) => Response::ok(request.id.clone(), req, result),
+            Ok(result) => Response::ok(request.id.clone(), req, trace, result),
             Err((code, message)) => {
                 self.inner.counters.error();
-                Response::err(request.id.clone(), req, code, message)
+                Response::err(request.id.clone(), req, trace, code, message)
             }
         }
     }
 
-    fn dispatch(&self, cmd: &Command, req: u64) -> Result<Json, ExecError> {
+    fn dispatch(&self, cmd: &Command, req: u64, trace: u64) -> Result<Json, ExecError> {
         let span_name = match cmd {
             Command::Load { .. } => "server.cmd.load",
             Command::Revise { .. } => "server.cmd.revise",
@@ -1055,14 +1223,16 @@ impl Server {
             | Command::Shutdown
             | Command::Replicate { .. } => "server.cmd.control",
         };
-        let _span = obs::span_with(span_name, &[("req", req)]);
+        let _span = obs::span_with(span_name, &[("req", req), (obs::TRACE_ATTR, trace)]);
         match cmd {
-            Command::Load { kb, t } => self.cmd_load(kb, t),
-            Command::Revise { kb, op, p, backend } => self.cmd_revise(kb, *op, p, *backend, req),
+            Command::Load { kb, t } => self.cmd_load(kb, t, trace),
+            Command::Revise { kb, op, p, backend } => {
+                self.cmd_revise(kb, *op, p, *backend, req, trace)
+            }
             Command::Query { kb, q } => self.cmd_query(kb, q),
             Command::QueryBatch { kb, qs } => self.cmd_query_batch(kb, qs),
             Command::List => self.cmd_list(),
-            Command::Drop { kb } => self.cmd_drop(kb),
+            Command::Drop { kb } => self.cmd_drop(kb, trace),
             // Handled before admission.
             Command::Ping
             | Command::Hello
@@ -1088,9 +1258,10 @@ impl Server {
         &self,
         request: &Request,
         req: u64,
+        trace: u64,
         allow_replicate: bool,
     ) -> Routing {
-        if let Some(response) = self.version_rejection(request, req, false) {
+        if let Some(response) = self.version_rejection(request, req, trace, false) {
             return Routing::Done(response);
         }
         if matches!(request.cmd, Command::Replicate { .. }) && allow_replicate {
@@ -1106,11 +1277,11 @@ impl Server {
         ) {
             return Routing::Control;
         }
-        if let Some(response) = self.gate_rejection(request, req) {
+        if let Some(response) = self.gate_rejection(request, req, trace) {
             return Routing::Done(response);
         }
         if !self.try_admit() {
-            return Routing::Done(self.overloaded_response(request, req));
+            return Routing::Done(self.overloaded_response(request, req, trace));
         }
         Routing::Admitted
     }
@@ -1123,12 +1294,13 @@ impl Server {
         started: Instant,
         req: u64,
     ) -> Response {
+        let trace = request.trace.unwrap_or_else(obs::new_trace_id);
         let response = {
-            let _span = obs::span_with("server.request", &[("req", req)]);
-            self.control_response(request, req)
+            let _span = obs::span_with("server.request", &[("req", req), (obs::TRACE_ATTR, trace)]);
+            self.control_response(request, req, trace)
                 .expect("routed as control")
         };
-        self.note_request(request.cmd.tag(), req, started);
+        self.note_request(request.cmd.tag(), req, trace, started);
         response
     }
 
@@ -1140,11 +1312,12 @@ impl Server {
         started: Instant,
         req: u64,
     ) -> Response {
+        let trace = request.trace.unwrap_or_else(obs::new_trace_id);
         let response = {
-            let _span = obs::span_with("server.request", &[("req", req)]);
-            self.run_admitted(request, started, req)
+            let _span = obs::span_with("server.request", &[("req", req), (obs::TRACE_ATTR, trace)]);
+            self.run_admitted(request, started, req, trace)
         };
-        self.note_request(request.cmd.tag(), req, started);
+        self.note_request(request.cmd.tag(), req, trace, started);
         response
     }
 
@@ -1163,7 +1336,7 @@ impl Server {
             })
     }
 
-    fn cmd_load(&self, name: &str, t: &str) -> Result<Json, ExecError> {
+    fn cmd_load(&self, name: &str, t: &str, trace: u64) -> Result<Json, ExecError> {
         let mut sig = Signature::new();
         let mut theory = Vec::new();
         for segment in t.split(';') {
@@ -1181,10 +1354,13 @@ impl Server {
             let mut registry = self.inner.registry.lock().expect("registry poisoned");
             registry.insert(name.to_string(), Arc::new(Mutex::new(state)));
             // Logged under the registry lock so log order is apply order.
-            self.wal_append(WalOp::Load {
-                kb: name.to_string(),
-                t: t.to_string(),
-            });
+            self.wal_append(
+                WalOp::Load {
+                    kb: name.to_string(),
+                    t: t.to_string(),
+                },
+                trace,
+            );
             registry.len()
         };
         metrics::KBS.set(kbs as u64);
@@ -1202,6 +1378,7 @@ impl Server {
         p_text: &str,
         backend: Backend,
         req: u64,
+        trace: u64,
     ) -> Result<Json, ExecError> {
         let handle = self.kb_handle(name)?;
         let mut kb = handle.lock().expect("kb poisoned");
@@ -1231,7 +1408,7 @@ impl Server {
                 let mut ps = kb.revisions.clone();
                 ps.push(p.clone());
                 let (engine, outcome, micros) =
-                    self.model_based_engine(&kb, m, &ps, backend, req)?;
+                    self.model_based_engine(&kb, m, &ps, backend, req, trace)?;
                 (engine, KbKind::ModelBased(m), outcome, micros)
             }
             (KbKind::Unrevised, OpName::Gfuv) => {
@@ -1294,16 +1471,20 @@ impl Server {
         }
         if let Some(micros) = compile_micros {
             kb.profile.note_compile(op.tag(), micros);
+            note_compile_micros(micros);
         }
         // Logged under the KB lock, after the revise took effect: a
         // record in the log is a revise the client was (about to be)
         // told succeeded, never a partially applied one.
-        self.wal_append(WalOp::Revise {
-            kb: name.to_string(),
-            op: op.tag().to_string(),
-            p: p_text.to_string(),
-            backend: backend.tag().to_string(),
-        });
+        self.wal_append(
+            WalOp::Revise {
+                kb: name.to_string(),
+                op: op.tag().to_string(),
+                p: p_text.to_string(),
+                backend: backend.tag().to_string(),
+            },
+            trace,
+        );
         Ok(Json::obj([
             ("kb", Json::str(name)),
             ("op", Json::str(op.tag())),
@@ -1333,6 +1514,7 @@ impl Server {
         ps: &[Formula],
         backend: Backend,
         req: u64,
+        trace: u64,
     ) -> Result<(Box<dyn Engine + Send>, CacheOutcome, Option<u64>), ExecError> {
         let key = cache_key(OpName::Model(op), backend, &kb.theory, ps);
         {
@@ -1351,7 +1533,7 @@ impl Server {
         let t = kb.t();
         let compile_start = Instant::now();
         let compiled = {
-            let _span = obs::span_with("server.compile", &[("req", req)]);
+            let _span = obs::span_with("server.compile", &[("req", req), (obs::TRACE_ATTR, trace)]);
             self.compile_budgeted(op, &t, ps, backend)
         };
         match compiled {
@@ -1492,14 +1674,17 @@ impl Server {
         Ok(Json::obj([("kbs", Json::Arr(kbs))]))
     }
 
-    fn cmd_drop(&self, name: &str) -> Result<Json, ExecError> {
+    fn cmd_drop(&self, name: &str, trace: u64) -> Result<Json, ExecError> {
         let (removed, kbs) = {
             let mut registry = self.inner.registry.lock().expect("registry poisoned");
             let removed = registry.remove(name).is_some();
             if removed {
-                self.wal_append(WalOp::Drop {
-                    kb: name.to_string(),
-                });
+                self.wal_append(
+                    WalOp::Drop {
+                        kb: name.to_string(),
+                    },
+                    trace,
+                );
             }
             (removed, registry.len())
         };
@@ -1552,20 +1737,7 @@ impl Server {
                 })
                 .collect::<Vec<_>>(),
         );
-        let slow_json = {
-            let log = self.inner.slow_log.lock().expect("slow log poisoned");
-            Json::Arr(
-                log.iter()
-                    .map(|e| {
-                        Json::obj([
-                            ("req", num(e.req)),
-                            ("cmd", Json::str(e.cmd)),
-                            ("micros", num(e.micros)),
-                        ])
-                    })
-                    .collect(),
-            )
-        };
+        let slow_json = self.slow_log_json();
         let wal_json = match &self.inner.wal {
             None => Json::obj([("enabled", Json::Bool(false))]),
             Some(wal) => {
@@ -1657,6 +1829,10 @@ impl Server {
             ("errors", num(counters.errors_total())),
             ("degraded", num(counters.degraded_total())),
             (
+                "uptime_millis",
+                num(u64::try_from(self.inner.started.elapsed().as_millis()).unwrap_or(u64::MAX)),
+            ),
+            (
                 "in_flight",
                 num(self.inner.in_flight.load(Ordering::Relaxed) as u64),
             ),
@@ -1674,6 +1850,35 @@ impl Server {
             ("kb_profiles", self.kb_profiles_json()),
             ("series", self.series_json()),
         ])
+    }
+
+    /// The `slow_log` ring as a JSON array (shared by `stats` and
+    /// `/debug/requests.json`). Each entry carries the request's trace
+    /// id and a phase breakdown: queue wait, compile time, and the
+    /// remaining solve/dispatch time.
+    fn slow_log_json(&self) -> Json {
+        let log = self.inner.slow_log.lock().expect("slow log poisoned");
+        Json::Arr(
+            log.iter()
+                .map(|e| {
+                    Json::obj([
+                        ("req", num(e.req)),
+                        ("cmd", Json::str(e.cmd)),
+                        ("trace", Json::Str(obs::format_trace_id(e.trace))),
+                        ("micros", num(e.micros)),
+                        ("queue_micros", num(e.queue_micros)),
+                        ("compile_micros", num(e.compile_micros)),
+                        (
+                            "solve_micros",
+                            num(e
+                                .micros
+                                .saturating_sub(e.queue_micros)
+                                .saturating_sub(e.compile_micros)),
+                        ),
+                    ])
+                })
+                .collect(),
+        )
     }
 
     /// Per-KB workload profiles as a JSON array (sorted by KB name) —
@@ -1824,7 +2029,11 @@ impl Server {
             return;
         };
         let start = Instant::now();
-        let _span = obs::span_with("server.cmd.replicate", &[("req", req)]);
+        let trace = request.trace.unwrap_or_else(obs::new_trace_id);
+        let _span = obs::span_with(
+            "server.cmd.replicate",
+            &[("req", req), (obs::TRACE_ATTR, trace)],
+        );
         let magic_len = LOG_MAGIC.len() as u64;
         let handshake = self.replicate_handshake(offset, last_len, last_crc);
         let micros = u64::try_from(start.elapsed().as_micros()).unwrap_or(u64::MAX);
@@ -1835,7 +2044,7 @@ impl Server {
                 self.inner.counters.error();
                 let _ = write_framed(
                     stream,
-                    Response::err(id.clone(), req, code, message).render(),
+                    Response::err(id.clone(), req, trace, code, message).render(),
                 );
                 return;
             }
@@ -1854,7 +2063,7 @@ impl Server {
         }
         if write_framed(
             stream,
-            Response::ok(id.clone(), req, Json::obj(result)).render(),
+            Response::ok(id.clone(), req, trace, Json::obj(result)).render(),
         )
         .is_err()
         {
@@ -2251,14 +2460,29 @@ impl Server {
             self.mark_diverged("shipped record does not decode as a v1 operation");
             return false;
         }
+        // The record being applied starts at the replica's current
+        // durable offset — and the replica's log is a byte-for-byte
+        // prefix of the primary's, so this is exactly the offset the
+        // primary's `wal.append` span recorded for the same record.
+        // Stamping the replay span with it makes the two joinable.
+        let origin_offset = self
+            .inner
+            .repl
+            .as_ref()
+            .map_or(0, |r| r.lock().expect("repl poisoned").offset);
         self.inner.replaying.store(true, Ordering::SeqCst);
-        let applied = self.replay_op(&ops[0]);
+        let applied = {
+            let _span = obs::span_with("repl.replay", &[("wal_offset", origin_offset)]);
+            self.replay_op(&ops[0])
+        };
         self.inner.replaying.store(false, Ordering::SeqCst);
         match applied {
             Ok(()) => metrics::REPL_APPLIED.inc(),
             Err(ref message) => {
                 metrics::REPL_APPLY_ERRORS.inc();
-                eprintln!("revkb-server: replication skipped a record: {message}");
+                obs::warn("repl", None, || {
+                    format!("revkb-server: replication skipped a record: {message}")
+                });
             }
         }
         if let Some(wal) = &self.inner.wal {
@@ -2271,7 +2495,9 @@ impl Server {
                 Err(e) => {
                     wal.append_errors += 1;
                     metrics::WAL_APPEND_ERRORS.inc();
-                    eprintln!("revkb-server: replica wal append failed: {e}");
+                    obs::error("wal", None, || {
+                        format!("revkb-server: replica wal append failed: {e}")
+                    });
                 }
             }
         }
@@ -2303,7 +2529,9 @@ impl Server {
             s.connected = false;
         }
         metrics::REPL_DIVERGENCE.inc();
-        eprintln!("revkb-server: replication diverged: {why}");
+        obs::error("repl", None, || {
+            format!("revkb-server: replication diverged: {why}")
+        });
     }
 
     /// Serve line-delimited requests from `reader`, writing one
@@ -2680,6 +2908,31 @@ impl Server {
                 );
             }
         }
+        page.header(
+            "build.info",
+            "gauge",
+            "Build metadata (constant 1, data in the labels).",
+        );
+        let protocol = PROTOCOL_VERSION.to_string();
+        page.sample(
+            "build.info",
+            &[
+                ("version", env!("CARGO_PKG_VERSION")),
+                ("git", option_env!("REVKB_GIT_SHA").unwrap_or("unknown")),
+                ("protocol", &protocol),
+            ],
+            1,
+        );
+        page.header(
+            "uptime.seconds",
+            "counter",
+            "Seconds since the server was constructed.",
+        );
+        page.sample(
+            "uptime.seconds",
+            &[],
+            self.inner.started.elapsed().as_secs(),
+        );
         self.kb_metrics(&mut page);
         self.obs_metrics(&mut page);
         page.finish()
@@ -2924,9 +3177,11 @@ impl Server {
         (ready, body)
     }
 
-    /// Route one metrics-plane path to its response. Public so tests
-    /// can exercise the endpoints without a live listener.
-    pub fn metrics_route(&self, path: &str) -> http::Response {
+    /// Route one metrics-plane path to its response; `query` is the
+    /// raw query string (without the `?`), used by the `/debug/*`
+    /// routes for filtering. Public so tests can exercise the
+    /// endpoints without a live listener.
+    pub fn metrics_route(&self, path: &str, query: &str) -> http::Response {
         fn json_body(json: Json) -> String {
             let mut body = json.render();
             body.push('\n');
@@ -2963,6 +3218,76 @@ impl Server {
                     body: json_body(body),
                 }
             }
+            "/debug/trace.json" => {
+                // The flight recorder's ring as a loadable Chrome
+                // trace — available in every mode, REVKB_TRACE or not.
+                let snap = obs::Snapshot {
+                    mode: obs::mode(),
+                    counters: Vec::new(),
+                    gauges: Vec::new(),
+                    histograms: Vec::new(),
+                    span_aggregates: Vec::new(),
+                    spans: obs::flight_snapshot(),
+                };
+                http::Response::ok(http::JSON_CONTENT_TYPE, obs::chrome_trace(&snap))
+            }
+            "/debug/logs.json" => {
+                let level = query_param(query, "level").and_then(|v| obs::Level::parse(&v));
+                let trace = query_param(query, "trace").and_then(|v| obs::parse_trace_id(&v));
+                let records: Vec<obs::LogRecord> = obs::log_ring_snapshot()
+                    .into_iter()
+                    .filter(|r| level.is_none_or(|want| r.level <= want))
+                    .filter(|r| trace.is_none_or(|want| r.trace == Some(want)))
+                    .collect();
+                let mut body = String::with_capacity(records.len() * 96 + 32);
+                body.push_str("{\"count\":");
+                body.push_str(&records.len().to_string());
+                body.push_str(",\"logs\":[");
+                for (i, r) in records.iter().enumerate() {
+                    if i > 0 {
+                        body.push(',');
+                    }
+                    body.push_str(&r.render_json());
+                }
+                body.push_str("]}\n");
+                http::Response::ok(http::JSON_CONTENT_TYPE, body)
+            }
+            "/debug/requests.json" => {
+                let now = Instant::now();
+                let in_flight = {
+                    let active = self.inner.active.lock().expect("active table poisoned");
+                    let mut entries: Vec<(u64, ActiveRequest)> =
+                        active.iter().map(|(req, e)| (*req, *e)).collect();
+                    entries.sort_unstable_by_key(|(req, _)| *req);
+                    Json::Arr(
+                        entries
+                            .into_iter()
+                            .map(|(req, e)| {
+                                Json::obj([
+                                    ("req", num(req)),
+                                    ("cmd", Json::str(e.cmd)),
+                                    ("trace", Json::Str(obs::format_trace_id(e.trace))),
+                                    (
+                                        "running_micros",
+                                        num(u64::try_from(
+                                            now.saturating_duration_since(e.started).as_micros(),
+                                        )
+                                        .unwrap_or(u64::MAX)),
+                                    ),
+                                ])
+                            })
+                            .collect(),
+                    )
+                };
+                http::Response::ok(
+                    http::JSON_CONTENT_TYPE,
+                    json_body(Json::obj([
+                        ("in_flight", in_flight),
+                        ("slow_ms", num(self.inner.config.slow_ms)),
+                        ("slow_log", self.slow_log_json()),
+                    ])),
+                )
+            }
             other => http::Response::not_found(other),
         }
     }
@@ -2991,10 +3316,12 @@ impl Server {
                     if request.method != "GET" {
                         return http::Response::method_not_allowed();
                     }
-                    router.metrics_route(&request.path)
+                    router.metrics_route(&request.path, &request.query)
                 };
                 if let Err(e) = http::serve(listener, stop, handler) {
-                    eprintln!("revkb-server: metrics listener failed: {e}");
+                    obs::error("http", None, || {
+                        format!("revkb-server: metrics listener failed: {e}")
+                    });
                 }
             })
             .expect("spawn metrics thread");
@@ -3109,13 +3436,24 @@ fn operator_mismatch(prev: ModelBasedOp, requested: OpName) -> ExecError {
 
 /// Render a `bad_request` response reusing the already-rendered id
 /// from a [`RequestError`] (the id is valid JSON by construction).
-fn bad_request_response(err: &RequestError, req: u64) -> String {
+fn bad_request_response(err: &RequestError, req: u64, trace: u64) -> String {
     let id = err.id.clone().unwrap_or_else(|| "null".to_string());
     format!(
-        "{{\"v\":{PROTOCOL_VERSION},\"id\":{id},\"req\":{req},\"ok\":false,\"code\":\"{}\",\"error\":{}}}",
+        "{{\"v\":{PROTOCOL_VERSION},\"id\":{id},\"req\":{req},\"trace\":\"{}\",\"ok\":false,\"code\":\"{}\",\"error\":{}}}",
+        obs::format_trace_id(trace),
         codes::BAD_REQUEST,
         Json::str(&err.message).render()
     )
+}
+
+/// Value of `name` in a raw query string (`a=1&b=2`); no
+/// percent-decoding — the `/debug/*` filter values (level names, hex
+/// trace ids) never need it.
+fn query_param(query: &str, name: &str) -> Option<String> {
+    query.split('&').find_map(|pair| {
+        let (k, v) = pair.split_once('=')?;
+        (k == name).then(|| v.to_string())
+    })
 }
 
 #[cfg(test)]
@@ -3623,19 +3961,19 @@ mod tests {
     fn readyz_flips_when_a_replica_diverges() {
         // A healthy primary is ready.
         let primary = server();
-        let resp = primary.metrics_route("/readyz");
+        let resp = primary.metrics_route("/readyz", "");
         assert_eq!(resp.status, 200, "healthy primary must be ready");
         assert!(resp.body.contains(r#""ready":true"#), "{}", resp.body);
 
         // A replica that never reached its primary is not ready…
         let replica = replica_server();
-        let resp = replica.metrics_route("/readyz");
+        let resp = replica.metrics_route("/readyz", "");
         assert_eq!(resp.status, 503);
         assert!(resp.body.contains("never connected"), "{}", resp.body);
 
         // …and a diverged replica reports the divergence as the reason.
         replica.mark_diverged("test: forced divergence");
-        let resp = replica.metrics_route("/readyz");
+        let resp = replica.metrics_route("/readyz", "");
         assert_eq!(resp.status, 503);
         assert!(resp.body.contains("diverged"), "{}", resp.body);
         let (ready, body) = replica.readiness();
@@ -3726,24 +4064,24 @@ mod tests {
     fn metrics_route_serves_all_endpoints() {
         let s = server();
         assert_ok(&call(&s, r#"{"cmd":"ping"}"#));
-        let metrics = s.metrics_route("/metrics");
+        let metrics = s.metrics_route("/metrics", "");
         assert_eq!(metrics.status, 200);
         assert!(metrics.content_type.starts_with("text/plain"));
-        let stats = s.metrics_route("/stats.json");
+        let stats = s.metrics_route("/stats.json", "");
         assert_eq!(stats.status, 200);
         assert!(stats.content_type.starts_with("application/json"));
         assert!(stats.body.contains("kb_profiles"));
-        let series = s.metrics_route("/series.json");
+        let series = s.metrics_route("/series.json", "");
         assert_eq!(series.status, 200);
         assert!(series.body.contains("interval_ms"));
-        let healthz = s.metrics_route("/healthz");
+        let healthz = s.metrics_route("/healthz", "");
         assert_eq!(healthz.status, 200);
         assert!(
             healthz.body.contains(r#""role":"primary""#),
             "{}",
             healthz.body
         );
-        let missing = s.metrics_route("/nope");
+        let missing = s.metrics_route("/nope", "");
         assert_eq!(missing.status, 404);
     }
 }

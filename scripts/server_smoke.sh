@@ -23,7 +23,13 @@
 #      plane (POST /v1, POST /v1/<cmd>, GET /metrics on the data
 #      port, 404/405 for bad routes) on the same listener as a
 #      pipelined NDJSON burst, then `revkb-bench --load-only` holds
-#      >= 1000 concurrent connections against a 4-thread server.
+#      >= 1000 concurrent connections against a 4-thread server;
+#   8. a diagnostics round: with `REVKB_TRACE` unset, a
+#      `--metrics-addr --log-file` server echoes client trace ids,
+#      serves all three /debug routes (flight-recorder Chrome trace,
+#      NDJSON log tail, slow/in-flight requests), and is SIGKILLed
+#      mid-load — the surviving log file must be a parseable NDJSON
+#      prefix and the fetched trace a valid Chrome trace.
 #
 # Usage: scripts/server_smoke.sh  (from the repo root; builds the
 # release binaries if target/release/revkb-server is missing).
@@ -416,6 +422,90 @@ if proc.wait(timeout=30) != 0:
     sys.exit(f"gateway server exited with {proc.returncode}: "
              f"{proc.stderr.read()}")
 print(f"http gateway ok: {banner}, 32-deep pipelined burst answered")
+
+# -- 8. diagnostics plane: trace echo, the /debug routes, and a
+#       SIGKILL mid-load that must leave a parseable NDJSON log.
+diag_dir = tempfile.mkdtemp(prefix="revkb-smoke-diag-")
+log_file = os.path.join(diag_dir, "server.ndjson")
+diag_env = dict(os.environ)
+diag_env.pop("REVKB_TRACE", None)   # the flight recorder needs no mode
+diag_env["REVKB_LOG"] = "debug"
+proc = subprocess.Popen(
+    [BIN, "--listen", "127.0.0.1:0", "--metrics-addr", "127.0.0.1:0",
+     "--log-file", log_file],
+    stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True,
+    env=diag_env)
+maddr = None
+for _ in range(20):
+    line = proc.stderr.readline().strip()
+    if "metrics listening " in line:
+        maddr = line.rsplit(" ", 1)[1]
+        break
+assert maddr, "no metrics banner on stderr"
+banner = proc.stdout.readline().strip()
+assert banner.startswith("listening "), banner
+host, port = banner.split()[1].rsplit(":", 1)
+mhost, mport = maddr.rsplit(":", 1)
+
+def diag_get(path):
+    with socket.create_connection((mhost, int(mport)), timeout=30) as s:
+        s.sendall(f"GET {path} HTTP/1.1\r\nHost: {maddr}\r\n"
+                  "Connection: close\r\n\r\n".encode())
+        raw = b""
+        while chunk := s.recv(65536):
+            raw += chunk
+    head, _, body = raw.decode().partition("\r\n\r\n")
+    return int(head.split()[1]), body
+
+sock, call = session(host, int(port))
+ok(call({"cmd": "load", "kb": "diag", "t": THEORY}), "diag load")
+resp = call({"cmd": "revise", "kb": "diag", "op": "dalal", "p": REVISION,
+             "trace": "000000000000beef"})
+ok(resp, "diag revise")
+assert resp["trace"] == "000000000000beef", resp
+for i in range(10):
+    ok(call({"cmd": "query", "kb": "diag", "q": "a"}), f"diag query {i}")
+
+status, body = diag_get("/debug/trace.json")
+assert status == 200, (status, body)
+trace_doc = json.loads(body)
+events = trace_doc["traceEvents"]
+assert any(e["name"] == "server.request" for e in events), events[:3]
+assert any(e.get("args", {}).get("trace") == 0xBEEF for e in events), \
+    "client trace id missing from the flight recorder"
+
+status, body = diag_get("/debug/logs.json")
+assert status == 200, (status, body)
+logs_doc = json.loads(body)
+assert logs_doc["count"] == len(logs_doc["logs"]), logs_doc["count"]
+for line in logs_doc["logs"]:
+    assert "level" in line and "msg" in line, line
+
+status, body = diag_get("/debug/requests.json")
+assert status == 200, (status, body)
+req_doc = json.loads(body)
+assert "slow_log" in req_doc and "in_flight" in req_doc, req_doc
+
+# SIGKILL mid-load: a pipelined burst is in flight when the process
+# dies. The unbuffered log file must still be a valid NDJSON prefix.
+burst = "".join(
+    json.dumps({"cmd": "query", "kb": "diag", "q": "a | e"}) + "\n"
+    for _ in range(64))
+sock.sendall(burst.encode())
+proc.kill()
+proc.wait(timeout=30)
+sock.close()
+with open(log_file, encoding="utf-8") as f:
+    log_lines = f.read().splitlines()
+assert log_lines, "log file is empty"
+for line in log_lines:
+    parsed = json.loads(line)          # every surviving line parses
+    assert {"ts", "level", "target", "msg"} <= set(parsed), parsed
+json.loads(json.dumps(trace_doc))      # fetched trace stays a valid doc
+shutil.rmtree(diag_dir, ignore_errors=True)
+print(f"diagnostics ok: trace echoed, 3 /debug routes served, "
+      f"{len(log_lines)} NDJSON log line(s) survived SIGKILL")
+
 print("server smoke: python phases passed")
 EOF
 
@@ -441,4 +531,4 @@ if [[ "${ERRS:-0}" -ne 0 ]]; then
     exit 1
 fi
 echo "load smoke ok: $CONNS concurrent connections, 0 errors"
-echo "server smoke: all seven phases passed"
+echo "server smoke: all eight phases passed"

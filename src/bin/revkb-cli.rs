@@ -6,6 +6,7 @@
 //! revkb-cli worlds  -t "a ; a -> b" -p "!b"
 //! revkb-cli check   --op forbus -t "a & b" -p "!a" -m "b"
 //! revkb-cli postulates --op winslett [--cases 100]
+//! revkb-cli trace   127.0.0.1:9100 4fd0aeccc9f1bb2a
 //! ```
 //!
 //! Formulas use the `revkb` concrete syntax (`& | ! -> <-> <+>`);
@@ -30,6 +31,9 @@ fn main() -> ExitCode {
     if args.first().map(String::as_str) == Some("top") {
         return top(&args[1..]);
     }
+    if args.first().map(String::as_str) == Some("trace") {
+        return trace_cmd(&args[1..]);
+    }
     match run(&args) {
         Ok(output) => {
             print!("{output}");
@@ -45,7 +49,7 @@ fn main() -> ExitCode {
 }
 
 fn usage() -> &'static str {
-    "usage:\n  revkb-cli revise  --op <operator> -t <formula> -p <formula> [--models]\n  revkb-cli compile --op <operator> -t <formula> -p <formula> -q <query>\n  revkb-cli compile-seq --op <operator> -t <formula> --ps <p1 ; p2 ; …> -q <query>\n  revkb-cli worlds  -t <f1 ; f2 ; …> -p <formula>\n  revkb-cli widtio  -t <f1 ; f2 ; …> -p <formula>\n  revkb-cli check   --op <operator> -t <formula> -p <formula> -m <letters,comma,separated>\n  revkb-cli postulates --op <operator> [--cases <n>]\n  revkb-cli advise  --op <operator|gfuv|widtio> [--bounded] [--new-letters] [--iterated]\n  revkb-cli serve   [--stdio | --listen ADDR [--io evloop|blocking]]\n  revkb-cli top     ADDR [--interval-ms N] [--iterations N] [--no-clear]\n\noperators: winslett borgida forbus satoh dalal weber"
+    "usage:\n  revkb-cli revise  --op <operator> -t <formula> -p <formula> [--models]\n  revkb-cli compile --op <operator> -t <formula> -p <formula> -q <query>\n  revkb-cli compile-seq --op <operator> -t <formula> --ps <p1 ; p2 ; …> -q <query>\n  revkb-cli worlds  -t <f1 ; f2 ; …> -p <formula>\n  revkb-cli widtio  -t <f1 ; f2 ; …> -p <formula>\n  revkb-cli check   --op <operator> -t <formula> -p <formula> -m <letters,comma,separated>\n  revkb-cli postulates --op <operator> [--cases <n>]\n  revkb-cli advise  --op <operator|gfuv|widtio> [--bounded] [--new-letters] [--iterated]\n  revkb-cli serve   [--stdio | --listen ADDR [--io evloop|blocking]]\n  revkb-cli top     ADDR [--interval-ms N] [--iterations N] [--no-clear]\n  revkb-cli trace   ADDR TRACE_ID\n\noperators: winslett borgida forbus satoh dalal weber"
 }
 
 /// Parsed flag map: `--key value` and `-k value` pairs.
@@ -227,6 +231,83 @@ fn http_get_json(addr: &str, path: &str) -> Result<revkb::server::Json, String> 
         return Err(format!("{path}: HTTP {status}"));
     }
     revkb::server::Json::parse(body).map_err(|e| format!("{path}: {e}"))
+}
+
+/// `revkb-cli trace ADDR ID`: fetch the server's flight recorder
+/// (`/debug/trace.json` on the metrics listener) and print the span
+/// tree recorded for one trace id — no restart, no `REVKB_TRACE`.
+fn trace_cmd(args: &[String]) -> ExitCode {
+    match run_trace(args) {
+        Ok(out) => {
+            print!("{out}");
+            ExitCode::SUCCESS
+        }
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            eprintln!("usage: revkb-cli trace ADDR TRACE_ID");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run_trace(args: &[String]) -> Result<String, String> {
+    let [addr, id] = args else {
+        return Err("expected the metrics ADDR and a trace id".to_string());
+    };
+    let want = revkb::obs::parse_trace_id(id).ok_or_else(|| format!("bad trace id {id:?}"))?;
+    let doc = http_get_json(addr, "/debug/trace.json")?;
+    Ok(render_trace(id, want, &doc))
+}
+
+/// Render the spans of one trace from a Chrome-trace document, oldest
+/// first, indented by recorded depth. Pure — unit tests drive it with
+/// synthetic documents.
+fn render_trace(id: &str, want: u64, doc: &revkb::server::Json) -> String {
+    use revkb::server::Json;
+    use std::fmt::Write as _;
+    let mut events: Vec<(&Json, u64, u64)> = doc
+        .get("traceEvents")
+        .and_then(Json::as_array)
+        .into_iter()
+        .flatten()
+        .filter(|e| {
+            e.get("args")
+                .and_then(|a| a.get("trace"))
+                .and_then(Json::as_u64)
+                == Some(want)
+        })
+        .map(|e| {
+            let ts = e.get("ts").and_then(Json::as_u64).unwrap_or(0);
+            let depth = e
+                .get("args")
+                .and_then(|a| a.get("depth"))
+                .and_then(Json::as_u64)
+                .unwrap_or(0);
+            (e, ts, depth)
+        })
+        .collect();
+    events.sort_by_key(|&(_, ts, _)| ts);
+    let mut out = String::new();
+    writeln!(out, "trace {id}: {} span(s)", events.len()).unwrap();
+    let base_depth = events.iter().map(|&(_, _, d)| d).min().unwrap_or(0);
+    for (e, _, depth) in events {
+        let name = e.get("name").and_then(Json::as_str).unwrap_or("?");
+        let dur = e.get("dur").and_then(Json::as_u64).unwrap_or(0);
+        let indent = "  ".repeat(1 + (depth.saturating_sub(base_depth)) as usize);
+        write!(out, "{indent}{name}  {dur} us").unwrap();
+        if let Some(Json::Obj(attrs)) = e.get("args") {
+            for (k, v) in attrs {
+                if k == "depth" || k == "trace" {
+                    continue;
+                }
+                if let Some(v) = v.as_u64() {
+                    write!(out, "  {k}={v}").unwrap();
+                }
+            }
+        }
+        writeln!(out).unwrap();
+    }
+    out
 }
 
 const SPARK_LEVELS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
@@ -754,6 +835,29 @@ mod tests {
         assert!(frame.contains("75.0%"), "{frame}"); // 3 hits / 4 lookups
         assert!(frame.contains("query"), "{frame}");
         assert!(frame.contains("p95"), "{frame}");
+    }
+
+    #[test]
+    fn trace_renders_only_the_requested_trace() {
+        use revkb::server::Json;
+        let doc = Json::parse(
+            r#"{"traceEvents":[
+                {"name":"server.request.query","ph":"X","pid":1,"tid":1,"ts":10,"dur":120,
+                 "args":{"depth":0,"req":7,"trace":99}},
+                {"name":"server.compile","ph":"X","pid":1,"tid":1,"ts":20,"dur":80,
+                 "args":{"depth":1,"trace":99}},
+                {"name":"server.request.load","ph":"X","pid":1,"tid":2,"ts":5,"dur":30,
+                 "args":{"depth":0,"req":6,"trace":42}}],
+                "displayTimeUnit":"ms"}"#,
+        )
+        .unwrap();
+        let out = render_trace("0000000000000063", 99, &doc);
+        assert!(out.contains("2 span(s)"), "{out}");
+        assert!(out.contains("server.request.query  120 us  req=7"), "{out}");
+        assert!(out.contains("    server.compile  80 us"), "{out}");
+        assert!(!out.contains("load"), "{out}");
+        let none = render_trace("1", 1, &doc);
+        assert!(none.contains("0 span(s)"), "{none}");
     }
 
     #[test]

@@ -69,6 +69,72 @@ fn disabled_telemetry_stays_under_five_percent() {
     assert_eq!(obs::snapshot().counter("test.overhead.probe"), None);
 }
 
+/// Guard on the diagnostics plane's quiet path: with `REVKB_TRACE`
+/// off and the flight recorder disabled, a `span_with` reduces to the
+/// unarmed guard; with the log level at its default (`info`), a
+/// `debug!`-style call is gate-only and its message closure never
+/// runs. Charged at realistic per-query site counts, both together
+/// must stay inside the same 5% budget as the metric hooks.
+#[test]
+fn flight_and_log_quiet_paths_stay_under_five_percent() {
+    // The same batch workload as above sets the wall-time yardstick.
+    let t = Formula::and_all((0..12u32).map(|i| Formula::var(Var(i))));
+    let p = Formula::var(Var(0)).not().or(Formula::var(Var(1)).not());
+    let rep = winslett_bounded(&t, &p);
+    let mut seed = 0x7AB1E3u64;
+    let queries: Vec<Formula> = (0..60)
+        .map(|_| pseudo_random_formula(&mut seed, 3, 12))
+        .collect();
+    let mut pool = SessionPool::with_config(&rep.formula, PoolConfig::default());
+    let answers = pool.par_entails_batch(&queries);
+    assert_eq!(answers.len(), 60);
+    let wall_micros = pool.stats().wall_time_micros.max(FLOOR_MICROS);
+
+    // Span and log sites the server path executes per query: the
+    // request / command / compile spans and the error/warn gates on
+    // the WAL and reply paths, rounded up.
+    const SPANS_PER_QUERY: f64 = 4.0;
+    const LOGS_PER_QUERY: f64 = 4.0;
+    const CALLS: u64 = 200_000;
+
+    obs::set_mode(TraceMode::Off);
+    let prev_flight = obs::flight_enabled();
+    obs::set_flight_enabled(false);
+    let flight_before = obs::flight_len();
+    let start = Instant::now();
+    for i in 0..CALLS {
+        let _span = obs::span_with("test.overhead.span", &[("i", std::hint::black_box(i))]);
+    }
+    let per_span_nanos = start.elapsed().as_nanos() as f64 / CALLS as f64;
+    assert_eq!(
+        obs::flight_len(),
+        flight_before,
+        "a disabled flight recorder must not record"
+    );
+    obs::set_flight_enabled(prev_flight);
+
+    let prev_level = obs::log_level();
+    obs::set_log_level(obs::Level::Info);
+    let start = Instant::now();
+    for i in 0..CALLS {
+        obs::debug("overhead-guard", Some(std::hint::black_box(i)), || {
+            panic!("a suppressed log message must never be rendered")
+        });
+    }
+    let per_log_nanos = start.elapsed().as_nanos() as f64 / CALLS as f64;
+    obs::set_log_level(prev_level);
+
+    let added_micros = (per_span_nanos * SPANS_PER_QUERY + per_log_nanos * LOGS_PER_QUERY)
+        * queries.len() as f64
+        / 1_000.0;
+    let budget_micros = 0.05 * wall_micros as f64;
+    assert!(
+        added_micros <= budget_micros,
+        "quiet diagnostics would add {added_micros:.1}µs to a {wall_micros}µs batch \
+         ({per_span_nanos:.2}ns/span, {per_log_nanos:.2}ns/log); budget is {budget_micros:.1}µs"
+    );
+}
+
 /// Guard on the cost of the *enabled* time-series sampler: one tick
 /// folds every server observation into the ring buffers, and at the
 /// default 1 s interval that work must stay far inside 5% of a

@@ -71,32 +71,34 @@ fn shutdown(stream: &mut TcpStream, reader: &mut BufReader<TcpStream>) {
 
 /// The differential script: every revision operator compiled, queried
 /// and batch-queried, plus the list/drop bookkeeping around them.
-/// Responses carry no wall-clock fields, so a fresh server answers it
-/// deterministically.
+/// Responses carry no wall-clock fields, and every line supplies an
+/// explicit trace id (a server-minted one would differ run to run —
+/// even on the rejected `warp` line, whose trace must be salvaged),
+/// so a fresh server answers the script deterministically.
 fn differential_script() -> Vec<String> {
     let mut script = Vec::new();
     for (i, op) in OPERATORS.iter().enumerate() {
         script.push(format!(
-            r#"{{"id":"load-{op}","cmd":"load","kb":"kb-{op}","t":"a & b; b -> c"}}"#
+            r#"{{"id":"load-{op}","trace":"1{i}","cmd":"load","kb":"kb-{op}","t":"a & b; b -> c"}}"#
         ));
         script.push(format!(
-            r#"{{"id":"revise-{op}","cmd":"revise","kb":"kb-{op}","op":"{op}","p":"!b | !c"}}"#
+            r#"{{"id":"revise-{op}","trace":"2{i}","cmd":"revise","kb":"kb-{op}","op":"{op}","p":"!b | !c"}}"#
         ));
         script.push(format!(
-            r#"{{"id":"query-{op}","cmd":"query","kb":"kb-{op}","q":"a"}}"#
+            r#"{{"id":"query-{op}","trace":"3{i}","cmd":"query","kb":"kb-{op}","q":"a"}}"#
         ));
         script.push(format!(
-            r#"{{"id":"batch-{op}","cmd":"query_batch","kb":"kb-{op}","qs":["a","!a","b -> a"]}}"#
+            r#"{{"id":"batch-{op}","trace":"4{i}","cmd":"query_batch","kb":"kb-{op}","qs":["a","!a","b -> a"]}}"#
         ));
         if i % 2 == 0 {
             script.push(format!(
-                r#"{{"id":"drop-{op}","cmd":"drop","kb":"kb-{op}"}}"#
+                r#"{{"id":"drop-{op}","trace":"5{i}","cmd":"drop","kb":"kb-{op}"}}"#
             ));
         }
     }
-    script.push(r#"{"id":"list","cmd":"list"}"#.to_string());
-    script.push(r#"{"id":"bad","cmd":"warp"}"#.to_string());
-    script.push(r#"{"id":"hello","cmd":"hello"}"#.to_string());
+    script.push(r#"{"id":"list","trace":"91","cmd":"list"}"#.to_string());
+    script.push(r#"{"id":"bad","trace":"92","cmd":"warp"}"#.to_string());
+    script.push(r#"{"id":"hello","trace":"93","cmd":"hello"}"#.to_string());
     script
 }
 

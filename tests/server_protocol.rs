@@ -31,36 +31,43 @@ fn err_code(resp: &Json) -> &str {
 
 /// The exact bytes of the stable responses. These lines are the
 /// protocol: scripts and foreign clients parse them, so any drift is
-/// a breaking change and must show up here first. The `req` values are
-/// deterministic because the server is fresh: the server-assigned
-/// monotonic request id starts at 1.
+/// a breaking change and must show up here first. The `req` values
+/// are deterministic because the server is fresh (the server-assigned
+/// monotonic request id starts at 1); the trace ids are deterministic
+/// because every request supplies one — a missing `trace` would be
+/// answered with a server-minted id, which a golden line cannot pin.
 #[test]
 fn golden_response_lines() {
     let server = Server::new(ServerConfig::default());
     let golden = [
         (
-            r#"{"id":1,"cmd":"ping"}"#,
-            r#"{"v":2,"id":1,"req":1,"ok":true,"result":{"pong":true}}"#,
+            r#"{"id":1,"trace":"a1","cmd":"ping"}"#,
+            r#"{"v":2,"id":1,"req":1,"trace":"00000000000000a1","ok":true,"result":{"pong":true}}"#,
         ),
         (
-            r#"{"id":2,"cmd":"load","kb":"k","t":"a & b; b -> c; c | d"}"#,
-            r#"{"v":2,"id":2,"req":2,"ok":true,"result":{"kb":"k","formulas":3,"letters":4}}"#,
+            r#"{"id":2,"trace":"a2","cmd":"load","kb":"k","t":"a & b; b -> c; c | d"}"#,
+            r#"{"v":2,"id":2,"req":2,"trace":"00000000000000a2","ok":true,"result":{"kb":"k","formulas":3,"letters":4}}"#,
         ),
         (
-            r#"{"id":3,"cmd":"query","kb":"k","q":"a & c"}"#,
-            r#"{"v":2,"id":3,"req":3,"ok":true,"result":{"kb":"k","entails":true}}"#,
+            r#"{"id":3,"trace":"a3","cmd":"query","kb":"k","q":"a & c"}"#,
+            r#"{"v":2,"id":3,"req":3,"trace":"00000000000000a3","ok":true,"result":{"kb":"k","entails":true}}"#,
         ),
         (
-            r#"{"id":4,"cmd":"query_batch","kb":"k","qs":["a","!a"]}"#,
-            r#"{"v":2,"id":4,"req":4,"ok":true,"result":{"kb":"k","answers":[true,false]}}"#,
+            r#"{"id":4,"trace":"a4","cmd":"query_batch","kb":"k","qs":["a","!a"]}"#,
+            r#"{"v":2,"id":4,"req":4,"trace":"00000000000000a4","ok":true,"result":{"kb":"k","answers":[true,false]}}"#,
         ),
         (
-            r#"{"id":5,"cmd":"drop","kb":"k"}"#,
-            r#"{"v":2,"id":5,"req":5,"ok":true,"result":{"kb":"k","dropped":true}}"#,
+            r#"{"id":5,"trace":"a5","cmd":"drop","kb":"k"}"#,
+            r#"{"v":2,"id":5,"req":5,"trace":"00000000000000a5","ok":true,"result":{"kb":"k","dropped":true}}"#,
         ),
         (
-            r#"{"id":6,"cmd":"query","kb":"ghost","q":"a"}"#,
-            r#"{"v":2,"id":6,"req":6,"ok":false,"code":"unknown_kb","error":"no knowledge base named \"ghost\""}"#,
+            r#"{"id":6,"trace":"a6","cmd":"query","kb":"ghost","q":"a"}"#,
+            r#"{"v":2,"id":6,"req":6,"trace":"00000000000000a6","ok":false,"code":"unknown_kb","error":"no knowledge base named \"ghost\""}"#,
+        ),
+        // A full 32-hex W3C trace-id keeps its low 64 bits.
+        (
+            r#"{"id":7,"trace":"0af7651916cd43dd8448eb211c80319c","cmd":"ping"}"#,
+            r#"{"v":2,"id":7,"req":7,"trace":"8448eb211c80319c","ok":true,"result":{"pong":true}}"#,
         ),
     ];
     for (request, expected) in golden {
